@@ -1,0 +1,86 @@
+//! Ablations of MULE's design choices (DESIGN.md "Design choices"):
+//!
+//! 1. dense adjacency index vs galloping binary search for the
+//!    GenerateI/GenerateX neighborhood filter;
+//! 2. natural vertex order vs degeneracy relabeling;
+//! 3. sequential vs parallel root fan-out.
+//!
+//! (Choice 1 of DESIGN.md — incremental factors vs recomputation — is the
+//! MULE/DFS–NOIP comparison benched in `mule_vs_noip.rs`.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mule::sinks::CountSink;
+use mule::{par_enumerate_maximal_cliques, IndexMode, Mule, MuleConfig};
+use ugraph_bench::harness::dataset;
+
+fn bench_ablations(c: &mut Criterion) {
+    let g = dataset("wiki-vote", 42, 0.1);
+    let alpha = 0.001;
+
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+
+    for (label, mode) in [("index-dense", IndexMode::Always), ("index-gallop", IndexMode::Never)] {
+        group.bench_function(BenchmarkId::new("neighborhood", label), |b| {
+            b.iter(|| {
+                let cfg = MuleConfig {
+                    index_mode: mode,
+                    ..Default::default()
+                };
+                let mut m = Mule::with_config(&g, alpha, cfg).unwrap();
+                let mut sink = CountSink::new();
+                m.run(&mut sink);
+                sink.count
+            })
+        });
+    }
+
+    for (label, degeneracy) in [("natural", false), ("degeneracy", true)] {
+        group.bench_function(BenchmarkId::new("ordering", label), |b| {
+            b.iter(|| {
+                let cfg = MuleConfig {
+                    degeneracy_order: degeneracy,
+                    ..Default::default()
+                };
+                let mut m = Mule::with_config(&g, alpha, cfg).unwrap();
+                let mut sink = CountSink::new();
+                m.run(&mut sink);
+                sink.count
+            })
+        });
+    }
+
+    // Root expansion ablation on a graph big enough for Θ(n²) to show.
+    {
+        let big = dataset("DBLP10", 42, 0.02);
+        for (label, naive) in [("closed-form", false), ("naive", true)] {
+            group.bench_function(BenchmarkId::new("root", label), |b| {
+                b.iter(|| {
+                    let cfg = MuleConfig {
+                        naive_root: naive,
+                        ..Default::default()
+                    };
+                    let mut m = Mule::with_config(&big, 0.5, cfg).unwrap();
+                    let mut sink = CountSink::new();
+                    m.run(&mut sink);
+                    sink.count
+                })
+            });
+        }
+    }
+
+    for threads in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("parallel", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| par_enumerate_maximal_cliques(&g, alpha, threads).unwrap().cliques.len())
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion micro-form of Figures 2–3: MULE runtime across the α grid on
+//! a BA graph and a collaboration projection.
+//!
+//! Expected: monotone decrease in time as α grows (the Figure 2 shape).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use ugraph_bench::harness::{dataset, timed_run, Algo};
+
+fn bench_alpha_sweep(c: &mut Criterion) {
+    let budget = Duration::from_secs(30);
+    let mut group = c.benchmark_group("fig2_micro");
+    group.sample_size(10);
+    for name in ["BA10000", "ca-GrQc"] {
+        let g = dataset(name, 42, 0.1);
+        for alpha in [0.0001, 0.001, 0.01, 0.1, 0.9] {
+            group.bench_with_input(
+                BenchmarkId::new(name, alpha),
+                &alpha,
+                |b, &alpha| b.iter(|| timed_run(Algo::Mule, &g, alpha, budget)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_alpha_sweep);
+criterion_main!(benches);

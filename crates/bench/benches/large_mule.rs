@@ -1,0 +1,32 @@
+//! Criterion micro-form of Figures 5–6: LARGE–MULE across the size
+//! threshold `t`, against full MULE as the reference point.
+//!
+//! Expected: cost falls steeply with `t` (the Figure 5 shape), most
+//! dramatically on the DBLP-style projection graph.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use ugraph_bench::harness::{dataset, timed_run, Algo};
+
+fn bench_large_mule(c: &mut Criterion) {
+    let budget = Duration::from_secs(30);
+    let mut group = c.benchmark_group("fig5_micro");
+    group.sample_size(10);
+    for (name, alpha) in [("ca-GrQc", 0.001), ("DBLP10", 0.3)] {
+        let g = dataset(name, 42, 0.05);
+        group.bench_function(BenchmarkId::new(format!("{name}/full-mule"), alpha), |b| {
+            b.iter(|| timed_run(Algo::Mule, &g, alpha, budget))
+        });
+        for t in [3usize, 5, 7] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}/large-mule"), t),
+                &t,
+                |b, &t| b.iter(|| timed_run(Algo::LargeMule(t), &g, alpha, budget)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_large_mule);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion micro-form of Figure 1: MULE vs DFS–NOIP on scaled-down
+//! Table 1 stand-ins, at a high and a low α.
+//!
+//! The paper's qualitative claim under measurement: incremental
+//! probability maintenance beats per-candidate recomputation by one to
+//! several orders of magnitude, and the gap widens as α shrinks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use ugraph_bench::harness::{dataset, timed_run, Algo};
+
+fn bench_mule_vs_noip(c: &mut Criterion) {
+    let budget = Duration::from_secs(30);
+    let mut group = c.benchmark_group("fig1_micro");
+    group.sample_size(10);
+    for name in ["wiki-vote", "BA5000", "ca-GrQc", "Fruit-Fly"] {
+        // 10% scale keeps DFS–NOIP inside a criterion-friendly envelope.
+        let g = dataset(name, 42, 0.1);
+        for alpha in [0.9, 0.001] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("mule/{name}"), alpha),
+                &alpha,
+                |b, &alpha| b.iter(|| timed_run(Algo::Mule, &g, alpha, budget)),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("noip/{name}"), alpha),
+                &alpha,
+                |b, &alpha| b.iter(|| timed_run(Algo::DfsNoip, &g, alpha, budget)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mule_vs_noip);
+criterion_main!(benches);

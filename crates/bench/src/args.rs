@@ -1,0 +1,136 @@
+//! A minimal `--key value` argument parser for the harness binaries.
+//!
+//! Hand-rolled because no CLI crate is on the offline dependency
+//! allowlist. Supports `--key value`, `--key=value`, and bare `--flag`
+//! switches; unknown keys abort with the binary's usage string so typos
+//! never silently run the wrong experiment.
+
+use std::collections::BTreeMap;
+
+/// Parsed arguments: `--key value` pairs plus bare flags.
+#[derive(Debug, Default)]
+pub struct Args {
+    values: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parse from an explicit iterator (testable); `allowed` lists every
+    /// recognized key/flag name (without the `--`).
+    pub fn parse_from<I: IntoIterator<Item = String>>(
+        argv: I,
+        allowed: &[&str],
+        usage: &str,
+    ) -> Result<Self, String> {
+        let mut out = Args::default();
+        let mut iter = argv.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            let Some(name) = arg.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument {arg:?}\n{usage}"));
+            };
+            if name == "help" {
+                return Err(usage.to_string());
+            }
+            let (key, inline) = match name.split_once('=') {
+                Some((k, v)) => (k.to_string(), Some(v.to_string())),
+                None => (name.to_string(), None),
+            };
+            if !allowed.contains(&key.as_str()) {
+                return Err(format!("unknown option --{key}\n{usage}"));
+            }
+            if let Some(v) = inline {
+                out.values.insert(key, v);
+            } else if iter.peek().is_some_and(|next| !next.starts_with("--")) {
+                out.values.insert(key, iter.next().unwrap());
+            } else {
+                out.flags.push(key);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parse the process arguments; prints the message and exits on error.
+    pub fn parse(allowed: &[&str], usage: &str) -> Self {
+        match Self::parse_from(std::env::args().skip(1), allowed, usage) {
+            Ok(a) => a,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// A string value.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(|s| s.as_str())
+    }
+
+    /// A parsed value with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        match self.get(key) {
+            Some(s) => s.parse().unwrap_or_else(|_| {
+                eprintln!("invalid value for --{key}: {s:?}");
+                std::process::exit(2);
+            }),
+            None => default,
+        }
+    }
+
+    /// Whether a bare flag was given.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    const ALLOWED: &[&str] = &["seed", "scale", "quick"];
+
+    #[test]
+    fn parses_pairs_and_flags() {
+        let a = Args::parse_from(argv(&["--seed", "7", "--quick", "--scale=0.5"]), ALLOWED, "u")
+            .unwrap();
+        assert_eq!(a.get_or("seed", 0u64), 7);
+        assert_eq!(a.get_or("scale", 1.0f64), 0.5);
+        assert!(a.flag("quick"));
+        assert!(!a.flag("seed"));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = Args::parse_from(argv(&[]), ALLOWED, "u").unwrap();
+        assert_eq!(a.get_or("seed", 42u64), 42);
+        assert!(!a.flag("quick"));
+    }
+
+    #[test]
+    fn unknown_key_rejected_with_usage() {
+        let err = Args::parse_from(argv(&["--sede", "7"]), ALLOWED, "USAGE").unwrap_err();
+        assert!(err.contains("USAGE"));
+        assert!(err.contains("sede"));
+    }
+
+    #[test]
+    fn positional_rejected() {
+        assert!(Args::parse_from(argv(&["7"]), ALLOWED, "u").is_err());
+    }
+
+    #[test]
+    fn help_returns_usage() {
+        let err = Args::parse_from(argv(&["--help"]), ALLOWED, "USAGE").unwrap_err();
+        assert_eq!(err, "USAGE");
+    }
+
+    #[test]
+    fn flag_followed_by_option() {
+        let a = Args::parse_from(argv(&["--quick", "--seed", "3"]), ALLOWED, "u").unwrap();
+        assert!(a.flag("quick"));
+        assert_eq!(a.get_or("seed", 0u64), 3);
+    }
+}

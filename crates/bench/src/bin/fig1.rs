@@ -1,0 +1,63 @@
+//! Regenerates **Figure 1**: MULE vs DFS–NOIP runtime on wiki-vote,
+//! BA5000, ca-GrQc and the Fruit-Fly PPI, at α ∈ {0.9, 0.8, 10⁻⁴,
+//! 5·10⁻⁴} (the paper's four panels, log-scale y).
+//!
+//! The paper's qualitative claims this must reproduce: MULE wins on every
+//! input at every α, by roughly an order of magnitude at high α and by
+//! several orders at small α (where DFS–NOIP exceeded 11 hours on
+//! wiki-vote — here: the deadline, reported as `>budget`).
+//!
+//! ```text
+//! cargo run -p ugraph-bench --release --bin fig1 -- [--seed 42] [--scale 1.0] [--timeout 60]
+//! ```
+
+use std::time::Duration;
+use ugraph_bench::{harness, timed_run, Algo, Args, Report};
+
+const USAGE: &str = "fig1 — MULE vs DFS-NOIP (Figure 1)
+options:
+  --seed N      dataset seed (default 42)
+  --scale X     dataset scale in (0,1] (default 1.0)
+  --timeout S   per-run budget in seconds (default 60)";
+
+fn main() {
+    let args = Args::parse(&["seed", "scale", "timeout"], USAGE);
+    let seed: u64 = args.get_or("seed", 42);
+    let scale: f64 = args.get_or("scale", 1.0);
+    let budget = Duration::from_secs_f64(args.get_or("timeout", 60.0));
+
+    // Panel order follows the figure's x-axis.
+    let datasets = ["wiki-vote", "BA5000", "ca-GrQc", "Fruit-Fly"];
+    let alphas = [0.9, 0.8, 0.0001, 0.0005];
+
+    let mut report = Report::new(
+        "Figure 1: MULE vs DFS-NOIP runtime (seconds; '>' = deadline hit)",
+        &["alpha", "graph", "MULE", "DFS-NOIP", "speedup", "cliques"],
+    );
+    for &alpha in &alphas {
+        for name in datasets {
+            let g = harness::dataset(name, seed, scale);
+            let mule = timed_run(Algo::Mule, &g, alpha, budget);
+            let noip = timed_run(Algo::DfsNoip, &g, alpha, budget);
+            let speedup = if noip.timed_out {
+                format!(">{:.1}x", noip.seconds / mule.seconds.max(1e-9))
+            } else {
+                format!("{:.1}x", noip.seconds / mule.seconds.max(1e-9))
+            };
+            report.row(&[
+                format!("{alpha}"),
+                name.to_string(),
+                mule.display_time(),
+                noip.display_time(),
+                speedup,
+                mule.cliques.to_string(),
+            ]);
+            eprintln!(
+                "done α={alpha} {name}: mule {} noip {}",
+                mule.display_time(),
+                noip.display_time()
+            );
+        }
+    }
+    report.emit(&harness::results_dir(), "fig1");
+}

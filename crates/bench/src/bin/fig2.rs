@@ -1,0 +1,80 @@
+//! Regenerates **Figure 2**: MULE runtime as a function of α.
+//!
+//! Panel (a): the Barabási–Albert family BA5000 … BA10000.
+//! Panel (b): the semi-synthetic / real stand-ins (Fruit-Fly PPI,
+//! ca-GrQc, three Gnutella snapshots, wiki-vote).
+//!
+//! Expected shape (paper): runtime drops sharply as α grows — larger
+//! thresholds prune search paths earlier — and larger graphs sit higher.
+//!
+//! ```text
+//! cargo run -p ugraph-bench --release --bin fig2 -- [--seed 42] [--scale 1.0] [--timeout 120]
+//! ```
+
+use std::time::Duration;
+use ugraph_bench::{harness, timed_run, Algo, Args, Report};
+
+const USAGE: &str = "fig2 — MULE runtime vs alpha (Figure 2)
+options:
+  --seed N      dataset seed (default 42)
+  --scale X     dataset scale in (0,1] (default 1.0)
+  --timeout S   per-run budget in seconds (default 120)
+  --plot        render an ASCII log-log chart per panel";
+
+fn main() {
+    let args = Args::parse(&["seed", "scale", "timeout", "plot"], USAGE);
+    let seed: u64 = args.get_or("seed", 42);
+    let scale: f64 = args.get_or("scale", 1.0);
+    let budget = Duration::from_secs_f64(args.get_or("timeout", 120.0));
+    let alphas = harness::alpha_grid();
+
+    for (panel, datasets) in [
+        ("a", &["BA5000", "BA6000", "BA7000", "BA8000", "BA9000", "BA10000"][..]),
+        (
+            "b",
+            &[
+                "Fruit-Fly",
+                "ca-GrQc",
+                "p2p-Gnutella04",
+                "p2p-Gnutella08",
+                "p2p-Gnutella09",
+                "wiki-vote",
+            ][..],
+        ),
+    ] {
+        let mut report = Report::new(
+            format!("Figure 2{panel}: MULE runtime (s) vs alpha"),
+            &["alpha", "graph", "runtime", "cliques", "calls"],
+        );
+        let mut curves: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
+        for name in datasets {
+            let g = harness::dataset(name, seed, scale);
+            let mut pts = Vec::new();
+            for &alpha in &alphas {
+                let r = timed_run(Algo::Mule, &g, alpha, budget);
+                report.row(&[
+                    format!("{alpha}"),
+                    name.to_string(),
+                    r.display_time(),
+                    r.cliques.to_string(),
+                    r.calls.to_string(),
+                ]);
+                pts.push((alpha, r.seconds));
+                eprintln!("done {name} α={alpha}: {}", r.display_time());
+            }
+            curves.push((name.to_string(), pts));
+        }
+        report.emit(&harness::results_dir(), &format!("fig2{panel}"));
+        if args.flag("plot") {
+            let mut plot = ugraph_bench::AsciiPlot::new(
+                format!("Figure 2{panel}: runtime (s, log) vs alpha (log)"),
+                ugraph_bench::Scale::Log,
+                ugraph_bench::Scale::Log,
+            );
+            for (name, pts) in &curves {
+                plot = plot.series(name, pts);
+            }
+            println!("{}", plot.render());
+        }
+    }
+}

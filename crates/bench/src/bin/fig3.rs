@@ -1,0 +1,86 @@
+//! Regenerates **Figure 3**: the number of α-maximal cliques as a
+//! function of α (same dataset panels as Figure 2).
+//!
+//! Expected shape (paper): counts fall steeply as α grows; collaboration
+//! projections (ca-GrQc) dominate the semi-synthetic panel — their
+//! per-paper cliques survive at every threshold. The paper also notes the
+//! count need not be monotone (a large clique can split into several
+//! smaller maximal ones as α rises), but the differences are negligible at
+//! plot scale; the TSV output lets one check for such local bumps.
+//!
+//! ```text
+//! cargo run -p ugraph-bench --release --bin fig3 -- [--seed 42] [--scale 1.0] [--timeout 120]
+//! ```
+
+use std::time::Duration;
+use ugraph_bench::{harness, timed_run, Algo, Args, Report};
+
+const USAGE: &str = "fig3 — number of alpha-maximal cliques vs alpha (Figure 3)
+options:
+  --seed N      dataset seed (default 42)
+  --scale X     dataset scale in (0,1] (default 1.0)
+  --timeout S   per-run budget in seconds (default 120)
+  --plot        render an ASCII chart per panel";
+
+fn main() {
+    let args = Args::parse(&["seed", "scale", "timeout", "plot"], USAGE);
+    let seed: u64 = args.get_or("seed", 42);
+    let scale: f64 = args.get_or("scale", 1.0);
+    let budget = Duration::from_secs_f64(args.get_or("timeout", 120.0));
+    let alphas = harness::alpha_grid();
+
+    for (panel, datasets) in [
+        ("a", &["BA5000", "BA6000", "BA7000", "BA8000", "BA9000", "BA10000"][..]),
+        (
+            "b",
+            &[
+                "Fruit-Fly",
+                "ca-GrQc",
+                "p2p-Gnutella04",
+                "p2p-Gnutella08",
+                "p2p-Gnutella09",
+                "wiki-vote",
+            ][..],
+        ),
+    ] {
+        let mut report = Report::new(
+            format!("Figure 3{panel}: number of alpha-maximal cliques vs alpha"),
+            &["alpha", "graph", "cliques", "output_vertices", "max_clique"],
+        );
+        let mut curves: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
+        for name in datasets {
+            let g = harness::dataset(name, seed, scale);
+            let mut pts = Vec::new();
+            for &alpha in &alphas {
+                let r = timed_run(Algo::Mule, &g, alpha, budget);
+                let count = if r.timed_out {
+                    format!(">{}", r.cliques)
+                } else {
+                    r.cliques.to_string()
+                };
+                report.row(&[
+                    format!("{alpha}"),
+                    name.to_string(),
+                    count,
+                    r.output_vertices.to_string(),
+                    r.max_clique.to_string(),
+                ]);
+                pts.push((alpha, r.cliques as f64));
+                eprintln!("done {name} α={alpha}: {} cliques", r.cliques);
+            }
+            curves.push((name.to_string(), pts));
+        }
+        report.emit(&harness::results_dir(), &format!("fig3{panel}"));
+        if args.flag("plot") {
+            let mut plot = ugraph_bench::AsciiPlot::new(
+                format!("Figure 3{panel}: #cliques (log) vs alpha (log)"),
+                ugraph_bench::Scale::Log,
+                ugraph_bench::Scale::Log,
+            );
+            for (name, pts) in &curves {
+                plot = plot.series(name, pts);
+            }
+            println!("{}", plot.render());
+        }
+    }
+}

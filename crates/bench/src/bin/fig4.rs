@@ -1,0 +1,51 @@
+//! Regenerates **Figure 4**: MULE runtime against output size (number of
+//! α-maximal cliques) on the random BA graphs, α ∈
+//! {0.05, 0.01, 0.005, 0.001, 0.0005, 0.0001}.
+//!
+//! Expected shape (paper): the points fall on a near-straight line —
+//! observed runtime is proportional to output size, the empirical
+//! counterpart of the `O(√n)`-of-optimal analysis (Lemma 12). The TSV
+//! includes the `secs_per_clique` column so the proportionality constant
+//! is visible directly.
+//!
+//! ```text
+//! cargo run -p ugraph-bench --release --bin fig4 -- [--seed 42] [--scale 1.0] [--timeout 120]
+//! ```
+
+use std::time::Duration;
+use ugraph_bench::{harness, timed_run, Algo, Args, Report};
+
+const USAGE: &str = "fig4 — runtime vs output size on BA graphs (Figure 4)
+options:
+  --seed N      dataset seed (default 42)
+  --scale X     dataset scale in (0,1] (default 1.0)
+  --timeout S   per-run budget in seconds (default 120)";
+
+fn main() {
+    let args = Args::parse(&["seed", "scale", "timeout"], USAGE);
+    let seed: u64 = args.get_or("seed", 42);
+    let scale: f64 = args.get_or("scale", 1.0);
+    let budget = Duration::from_secs_f64(args.get_or("timeout", 120.0));
+
+    let datasets = ["BA5000", "BA6000", "BA7000", "BA8000", "BA9000", "BA10000"];
+    let mut report = Report::new(
+        "Figure 4: runtime vs output size (BA graphs)",
+        &["alpha", "graph", "cliques", "runtime", "secs_per_1k_cliques"],
+    );
+    for name in datasets {
+        let g = harness::dataset(name, seed, scale);
+        for &alpha in &harness::fig4_alphas() {
+            let r = timed_run(Algo::Mule, &g, alpha, budget);
+            let per_k = 1000.0 * r.seconds / (r.cliques.max(1) as f64);
+            report.row(&[
+                format!("{alpha}"),
+                name.to_string(),
+                r.cliques.to_string(),
+                r.display_time(),
+                format!("{per_k:.4}"),
+            ]);
+            eprintln!("done {name} α={alpha}");
+        }
+    }
+    report.emit(&harness::results_dir(), "fig4");
+}

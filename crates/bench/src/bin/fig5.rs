@@ -1,0 +1,68 @@
+//! Regenerates **Figure 5**: LARGE–MULE runtime as a function of the size
+//! threshold `t`.
+//!
+//! Panels: (a) BA10000, (b) ca-GrQc — α from 0.2 down to 10⁻⁴; (c) DBLP —
+//! α from 0.9 down to 0.1 (the paper's per-panel α grids differ because
+//! DBLP's co-authorship probabilities are concentrated near the low end).
+//!
+//! Expected shape (paper): runtime falls substantially as `t` grows — the
+//! shared-neighborhood filter plus the `|C'|+|I'| < t` bound prune most of
+//! the search. DBLP is the headline: MULE needs 76797 s for all maximal
+//! cliques at α=0.9 while LARGE–MULE needs 32 s at t=3.
+//!
+//! DBLP defaults to `--dblp-scale 0.1` (68k vertices / 228k edges) so the
+//! whole sweep runs in minutes; pass `--dblp-scale 1.0` for paper scale.
+//!
+//! ```text
+//! cargo run -p ugraph-bench --release --bin fig5 -- [--seed 42] [--scale 1.0] [--dblp-scale 0.1] [--timeout 120]
+//! ```
+
+use std::time::Duration;
+use ugraph_bench::{harness, timed_run, Algo, Args, Report};
+
+const USAGE: &str = "fig5 — LARGE-MULE runtime vs size threshold (Figure 5)
+options:
+  --seed N         dataset seed (default 42)
+  --scale X        scale for BA10000 / ca-GrQc (default 1.0)
+  --dblp-scale X   scale for DBLP10 (default 0.1)
+  --timeout S      per-run budget in seconds (default 120)";
+
+fn main() {
+    let args = Args::parse(&["seed", "scale", "dblp-scale", "timeout"], USAGE);
+    let seed: u64 = args.get_or("seed", 42);
+    let scale: f64 = args.get_or("scale", 1.0);
+    let dblp_scale: f64 = args.get_or("dblp-scale", 0.1);
+    let budget = Duration::from_secs_f64(args.get_or("timeout", 120.0));
+
+    let small_alphas = [0.2, 0.1, 0.05, 0.01, 0.005, 0.001, 0.0005, 0.0001];
+    let dblp_alphas = [0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1];
+
+    type Panel<'a> = (&'a str, &'a str, f64, &'a [f64], std::ops::RangeInclusive<usize>);
+    let panels: [Panel; 3] = [
+        ("a", "BA10000", scale, &small_alphas, 2..=7),
+        ("b", "ca-GrQc", scale, &small_alphas, 2..=9),
+        ("c", "DBLP10", dblp_scale, &dblp_alphas, 2..=8),
+    ];
+
+    for (panel, name, s, alphas, t_range) in panels {
+        let g = harness::dataset(name, seed, s);
+        let mut report = Report::new(
+            format!("Figure 5{panel}: LARGE-MULE runtime (s) vs t on {name} (scale {s})"),
+            &["alpha", "t", "runtime", "cliques", "calls"],
+        );
+        for &alpha in alphas {
+            for t in t_range.clone() {
+                let r = timed_run(Algo::LargeMule(t), &g, alpha, budget);
+                report.row(&[
+                    format!("{alpha}"),
+                    t.to_string(),
+                    r.display_time(),
+                    r.cliques.to_string(),
+                    r.calls.to_string(),
+                ]);
+            }
+            eprintln!("done {name} α={alpha}");
+        }
+        report.emit(&harness::results_dir(), &format!("fig5{panel}"));
+    }
+}

@@ -1,0 +1,65 @@
+//! Regenerates **Figure 6**: the number of α-maximal cliques of size at
+//! least `t`, as a function of `t` (log-scale y), on BA10000, ca-GrQc and
+//! DBLP — the output-size companion of Figure 5.
+//!
+//! Expected shape (paper): counts drop by orders of magnitude with each
+//! unit of `t` (most maximal cliques are small), which is exactly why
+//! LARGE–MULE's pruning pays off.
+//!
+//! ```text
+//! cargo run -p ugraph-bench --release --bin fig6 -- [--seed 42] [--scale 1.0] [--dblp-scale 0.1] [--timeout 120]
+//! ```
+
+use std::time::Duration;
+use ugraph_bench::{harness, timed_run, Algo, Args, Report};
+
+const USAGE: &str = "fig6 — number of large alpha-maximal cliques vs t (Figure 6)
+options:
+  --seed N         dataset seed (default 42)
+  --scale X        scale for BA10000 / ca-GrQc (default 1.0)
+  --dblp-scale X   scale for DBLP10 (default 0.1)
+  --timeout S      per-run budget in seconds (default 120)";
+
+fn main() {
+    let args = Args::parse(&["seed", "scale", "dblp-scale", "timeout"], USAGE);
+    let seed: u64 = args.get_or("seed", 42);
+    let scale: f64 = args.get_or("scale", 1.0);
+    let dblp_scale: f64 = args.get_or("dblp-scale", 0.1);
+    let budget = Duration::from_secs_f64(args.get_or("timeout", 120.0));
+
+    let small_alphas = [0.2, 0.1, 0.05, 0.01, 0.005, 0.001, 0.0005, 0.0001];
+    let dblp_alphas = [0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1];
+
+    type Panel<'a> = (&'a str, &'a str, f64, &'a [f64], std::ops::RangeInclusive<usize>);
+    let panels: [Panel; 3] = [
+        ("a", "BA10000", scale, &small_alphas, 2..=6),
+        ("b", "ca-GrQc", scale, &small_alphas, 2..=8),
+        ("c", "DBLP10", dblp_scale, &dblp_alphas, 2..=8),
+    ];
+
+    for (panel, name, s, alphas, t_range) in panels {
+        let g = harness::dataset(name, seed, s);
+        let mut report = Report::new(
+            format!("Figure 6{panel}: #alpha-maximal cliques of size >= t on {name} (scale {s})"),
+            &["alpha", "t", "cliques", "max_clique"],
+        );
+        for &alpha in alphas {
+            for t in t_range.clone() {
+                let r = timed_run(Algo::LargeMule(t), &g, alpha, budget);
+                let count = if r.timed_out {
+                    format!(">{}", r.cliques)
+                } else {
+                    r.cliques.to_string()
+                };
+                report.row(&[
+                    format!("{alpha}"),
+                    t.to_string(),
+                    count,
+                    r.max_clique.to_string(),
+                ]);
+            }
+            eprintln!("done {name} α={alpha}");
+        }
+        report.emit(&harness::results_dir(), &format!("fig6{panel}"));
+    }
+}

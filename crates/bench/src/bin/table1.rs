@@ -1,0 +1,60 @@
+//! Regenerates **Table 1** (the input-graph inventory): builds every
+//! dataset stand-in and reports category, vertex and edge counts next to
+//! the paper's numbers, plus the probability summary our generators
+//! realized.
+//!
+//! ```text
+//! cargo run -p ugraph-bench --release --bin table1 -- [--seed 42] [--scale 1.0] [--quick]
+//! ```
+//!
+//! `--quick` scales DBLP10 (the only multi-minute build) down to 10%.
+
+use ugraph_bench::{harness, Args, Report};
+use ugraph_core::GraphStats;
+
+const USAGE: &str = "table1 — regenerate Table 1 (input graphs)
+options:
+  --seed N     dataset seed (default 42)
+  --scale X    global scale factor in (0,1] (default 1.0)
+  --quick      build DBLP10 at 10% scale (everything else full size)";
+
+fn main() {
+    let args = Args::parse(&["seed", "scale", "quick"], USAGE);
+    let seed: u64 = args.get_or("seed", 42);
+    let scale: f64 = args.get_or("scale", 1.0);
+    let quick = args.flag("quick");
+
+    let mut report = Report::new(
+        "Table 1: Input Graphs (stand-ins; paper numbers in parentheses)",
+        &[
+            "Input Graph",
+            "Category",
+            "Vertices",
+            "(paper)",
+            "Edges",
+            "(paper)",
+            "mean p",
+            "max deg",
+        ],
+    );
+    for spec in ugraph_gen::datasets::table1() {
+        let s = if quick && spec.name == "DBLP10" {
+            (scale * 0.1).min(1.0)
+        } else {
+            scale
+        };
+        let g = harness::dataset(spec.name, seed, s);
+        let stats = GraphStats::compute(&g);
+        report.row(&[
+            spec.name.to_string(),
+            spec.category.to_string(),
+            stats.n.to_string(),
+            spec.paper_n.to_string(),
+            stats.m.to_string(),
+            spec.paper_m.to_string(),
+            format!("{:.3}", stats.mean_prob),
+            stats.max_degree.to_string(),
+        ]);
+    }
+    report.emit(&harness::results_dir(), "table1");
+}

@@ -1,0 +1,33 @@
+//! # ugraph-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation
+//! (Section 5). Each `src/bin/*.rs` binary reproduces one artifact:
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `table1` | Table 1 (input graphs) |
+//! | `fig1` | Figure 1 (MULE vs DFS–NOIP, four α values) |
+//! | `fig2` | Figure 2 (runtime vs α) |
+//! | `fig3` | Figure 3 (#α-maximal cliques vs α) |
+//! | `fig4` | Figure 4 (runtime vs output size) |
+//! | `fig5` | Figure 5 (LARGE–MULE runtime vs t) |
+//! | `fig6` | Figure 6 (#cliques vs t) |
+//! | `headline` | the prose speedup numbers of Section 5 |
+//! | `theorem1` | Theorem 1 / Observation 5 empirical checks |
+//!
+//! Shared machinery: [`harness`] (timed runs with deadlines, dataset
+//! cache), [`report`] (aligned stdout + TSV under `results/`), [`args`]
+//! (CLI parsing). Criterion micro-benchmarks live in `benches/`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod args;
+pub mod harness;
+pub mod plot;
+pub mod report;
+
+pub use args::Args;
+pub use harness::{timed_run, Algo, RunResult};
+pub use plot::{AsciiPlot, Scale};
+pub use report::Report;

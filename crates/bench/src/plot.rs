@@ -1,0 +1,232 @@
+//! Terminal plots: log-scale scatter/line charts rendered in ASCII, so the
+//! figure binaries can show the paper's curve shapes directly in the
+//! terminal (pass `--plot` to any `figN` binary).
+//!
+//! Deliberately minimal: fixed-size character grid, log or linear axes,
+//! one glyph per series, a legend, axis tick labels. Enough to eyeball
+//! "who wins and where the curves bend" without leaving the shell.
+
+use std::fmt::Write as _;
+
+/// Axis scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Linear axis.
+    Linear,
+    /// Base-10 logarithmic axis (all values must be positive).
+    Log,
+}
+
+/// One named series of `(x, y)` points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// Data points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// An ASCII chart under construction.
+pub struct AsciiPlot {
+    title: String,
+    x_scale: Scale,
+    y_scale: Scale,
+    width: usize,
+    height: usize,
+    series: Vec<Series>,
+}
+
+/// Glyphs assigned to series in order.
+const GLYPHS: &[char] = &['*', 'o', '+', 'x', '#', '@', '%', '&'];
+
+impl AsciiPlot {
+    /// Start a chart. `width`/`height` are the plotting area in cells
+    /// (axes and labels are added around it).
+    pub fn new(title: impl Into<String>, x_scale: Scale, y_scale: Scale) -> Self {
+        AsciiPlot {
+            title: title.into(),
+            x_scale,
+            y_scale,
+            width: 64,
+            height: 20,
+            series: Vec::new(),
+        }
+    }
+
+    /// Override the plotting-area size.
+    pub fn size(mut self, width: usize, height: usize) -> Self {
+        assert!(width >= 8 && height >= 4, "plot area too small");
+        self.width = width;
+        self.height = height;
+        self
+    }
+
+    /// Add a series. Points with non-positive coordinates on a log axis
+    /// are skipped (they have no finite position).
+    pub fn series(mut self, name: impl Into<String>, points: &[(f64, f64)]) -> Self {
+        self.series.push(Series {
+            name: name.into(),
+            points: points.to_vec(),
+        });
+        self
+    }
+
+    fn transform(scale: Scale, v: f64) -> Option<f64> {
+        match scale {
+            Scale::Linear => Some(v),
+            Scale::Log => (v > 0.0).then(|| v.log10()),
+        }
+    }
+
+    /// Render the chart to a string.
+    pub fn render(&self) -> String {
+        // Collect transformed points per series.
+        type Transformed<'a> = (char, &'a str, Vec<(f64, f64)>);
+        let mut t_series: Vec<Transformed> = Vec::new();
+        let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut min_y, mut max_y) = (f64::INFINITY, f64::NEG_INFINITY);
+        for (i, s) in self.series.iter().enumerate() {
+            let glyph = GLYPHS[i % GLYPHS.len()];
+            let pts: Vec<(f64, f64)> = s
+                .points
+                .iter()
+                .filter_map(|&(x, y)| {
+                    Some((
+                        Self::transform(self.x_scale, x)?,
+                        Self::transform(self.y_scale, y)?,
+                    ))
+                })
+                .collect();
+            for &(x, y) in &pts {
+                min_x = min_x.min(x);
+                max_x = max_x.max(x);
+                min_y = min_y.min(y);
+                max_y = max_y.max(y);
+            }
+            t_series.push((glyph, &s.name, pts));
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.title);
+        if !min_x.is_finite() || !min_y.is_finite() {
+            let _ = writeln!(out, "(no plottable points)");
+            return out;
+        }
+        // Avoid zero ranges.
+        if (max_x - min_x).abs() < 1e-12 {
+            max_x = min_x + 1.0;
+        }
+        if (max_y - min_y).abs() < 1e-12 {
+            max_y = min_y + 1.0;
+        }
+
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for (glyph, _, pts) in &t_series {
+            for &(x, y) in pts {
+                let cx = ((x - min_x) / (max_x - min_x) * (self.width - 1) as f64).round() as usize;
+                let cy = ((y - min_y) / (max_y - min_y) * (self.height - 1) as f64).round() as usize;
+                let row = self.height - 1 - cy; // y grows upward
+                grid[row][cx] = *glyph;
+            }
+        }
+
+        let y_label = |v: f64| -> String {
+            match self.y_scale {
+                Scale::Linear => format!("{v:.3}"),
+                Scale::Log => format!("1e{v:.1}"),
+            }
+        };
+        let top = y_label(max_y);
+        let bottom = y_label(min_y);
+        let label_w = top.len().max(bottom.len());
+        for (i, row) in grid.iter().enumerate() {
+            let label = if i == 0 {
+                format!("{top:>label_w$}")
+            } else if i == self.height - 1 {
+                format!("{bottom:>label_w$}")
+            } else {
+                " ".repeat(label_w)
+            };
+            let _ = writeln!(out, "{label} |{}", row.iter().collect::<String>());
+        }
+        let _ = writeln!(
+            out,
+            "{} +{}",
+            " ".repeat(label_w),
+            "-".repeat(self.width)
+        );
+        let x_lo = match self.x_scale {
+            Scale::Linear => format!("{min_x:.3}"),
+            Scale::Log => format!("1e{min_x:.1}"),
+        };
+        let x_hi = match self.x_scale {
+            Scale::Linear => format!("{max_x:.3}"),
+            Scale::Log => format!("1e{max_x:.1}"),
+        };
+        let pad = self.width.saturating_sub(x_lo.len() + x_hi.len());
+        let _ = writeln!(out, "{} {x_lo}{}{x_hi}", " ".repeat(label_w), " ".repeat(pad));
+        for (glyph, name, _) in &t_series {
+            let _ = writeln!(out, "{} {glyph} = {name}", " ".repeat(label_w));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_points_in_correct_corners() {
+        let plot = AsciiPlot::new("t", Scale::Linear, Scale::Linear)
+            .size(10, 5)
+            .series("a", &[(0.0, 0.0), (1.0, 1.0)]);
+        let text = plot.render();
+        let lines: Vec<&str> = text.lines().collect();
+        // Title, 5 grid rows, axis, x labels, legend.
+        assert_eq!(lines[0], "t");
+        // Top row contains the (1,1) point at the right edge.
+        assert!(lines[1].ends_with('*'), "{text}");
+        // Bottom grid row has the (0,0) point at the left edge.
+        assert!(lines[5].contains("|*"), "{text}");
+        assert!(text.contains("* = a"));
+    }
+
+    #[test]
+    fn log_scale_labels() {
+        let plot = AsciiPlot::new("log", Scale::Log, Scale::Log)
+            .series("s", &[(0.001, 10.0), (1.0, 1000.0)]);
+        let text = plot.render();
+        assert!(text.contains("1e3.0"), "{text}");
+        assert!(text.contains("1e-3.0"), "{text}");
+    }
+
+    #[test]
+    fn log_scale_skips_nonpositive() {
+        let plot = AsciiPlot::new("log", Scale::Log, Scale::Log)
+            .series("s", &[(0.0, 5.0), (-1.0, 5.0)]);
+        assert!(plot.render().contains("no plottable points"));
+    }
+
+    #[test]
+    fn multiple_series_get_distinct_glyphs() {
+        let plot = AsciiPlot::new("multi", Scale::Linear, Scale::Linear)
+            .series("first", &[(0.0, 0.0)])
+            .series("second", &[(1.0, 1.0)]);
+        let text = plot.render();
+        assert!(text.contains("* = first"));
+        assert!(text.contains("o = second"));
+    }
+
+    #[test]
+    fn degenerate_single_point() {
+        let plot = AsciiPlot::new("pt", Scale::Linear, Scale::Linear).series("s", &[(3.0, 7.0)]);
+        let text = plot.render();
+        assert!(text.contains('*'));
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_small_area_rejected() {
+        let _ = AsciiPlot::new("x", Scale::Linear, Scale::Linear).size(2, 2);
+    }
+}

@@ -1,0 +1,169 @@
+//! TSV experiment reports: every harness binary prints its series to
+//! stdout *and* writes a TSV file under `results/`, so figures can be
+//! re-plotted and EXPERIMENTS.md can cite stable artifacts.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// A tabular report: header row plus data rows, rendered aligned to
+/// stdout and tab-separated to disk.
+pub struct Report {
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Report {
+    /// Start a report with the given title and column names.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Report {
+            title: title.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a data row; must match the column count.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row width mismatches header"
+        );
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Number of data rows so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as an aligned text table (what the binaries print).
+    pub fn to_aligned_string(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.columns, &widths));
+        let _ = writeln!(
+            out,
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Render as TSV (what lands under `results/`).
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.title);
+        let _ = writeln!(out, "{}", self.columns.join("\t"));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join("\t"));
+        }
+        out
+    }
+
+    /// Print aligned to stdout and persist TSV as `dir/name.tsv`; returns
+    /// the written path (best effort: I/O errors are reported to stderr
+    /// but do not abort the experiment).
+    pub fn emit(&self, dir: &Path, name: &str) -> Option<PathBuf> {
+        print!("{}", self.to_aligned_string());
+        println!();
+        if let Err(e) = fs::create_dir_all(dir) {
+            eprintln!("warning: cannot create {dir:?}: {e}");
+            return None;
+        }
+        let path = dir.join(format!("{name}.tsv"));
+        match fs::File::create(&path).and_then(|mut f| f.write_all(self.to_tsv().as_bytes())) {
+            Ok(()) => Some(path),
+            Err(e) => {
+                eprintln!("warning: cannot write {path:?}: {e}");
+                None
+            }
+        }
+    }
+}
+
+/// Format seconds the way the paper's plots read: sub-millisecond runs in
+/// microseconds, otherwise three significant decimals.
+pub fn fmt_secs(s: f64) -> String {
+    if s < 0.001 {
+        format!("{:.1}us", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{s:.3}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_and_tsv_agree_on_content() {
+        let mut r = Report::new("t", &["a", "bb"]);
+        r.row(&["1".into(), "2".into()]);
+        r.row(&["333".into(), "4".into()]);
+        let aligned = r.to_aligned_string();
+        assert!(aligned.contains("== t =="));
+        assert!(aligned.contains("333"));
+        let tsv = r.to_tsv();
+        assert!(tsv.contains("a\tbb"));
+        assert!(tsv.contains("333\t4"));
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_width_checked() {
+        let mut r = Report::new("t", &["a", "b"]);
+        r.row(&["1".into()]);
+    }
+
+    #[test]
+    fn emit_writes_file() {
+        let dir = std::env::temp_dir().join(format!("ugraph-report-{}", std::process::id()));
+        let mut r = Report::new("t", &["x"]);
+        r.row(&["7".into()]);
+        let path = r.emit(&dir, "probe").unwrap();
+        let content = fs::read_to_string(&path).unwrap();
+        assert!(content.contains("7"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fmt_secs_ranges() {
+        assert!(fmt_secs(0.0000005).ends_with("us"));
+        assert!(fmt_secs(0.5).ends_with("ms"));
+        assert_eq!(fmt_secs(12.3456), "12.346s");
+    }
+}

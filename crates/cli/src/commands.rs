@@ -1,0 +1,294 @@
+//! The `mule` subcommand implementations.
+
+use crate::opts::{load_graph, save_graph, Opts};
+use mule::sinks::{CollectSink, CountSink};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use ugraph_core::{GraphStats, VertexId};
+
+type CmdResult = Result<(), String>;
+
+/// Shared loader for commands whose first positional is a graph file.
+fn graph_from(opts: &Opts) -> Result<ugraph_core::UncertainGraph, String> {
+    let path = opts.positional(0, "graph file")?;
+    let seed: u64 = opts.get_or("seed", 42)?;
+    load_graph(path, opts.flag("snap"), opts.get_str("assign"), seed)
+}
+
+const GRAPH_INPUT_OPTS: &[&str] = &["snap", "assign", "seed"];
+
+fn with_input_opts<'a>(extra: &[&'a str]) -> Vec<&'a str> {
+    GRAPH_INPUT_OPTS.iter().chain(extra).copied().collect()
+}
+
+/// `mule stats <graph>` — summary statistics plus a short degree profile.
+pub fn stats(args: &[String], out: &mut dyn Write) -> CmdResult {
+    let opts = Opts::parse(args, &with_input_opts(&[]))?;
+    let g = graph_from(&opts)?;
+    let s = GraphStats::compute(&g);
+    writeln!(out, "name:         {}", if s.name.is_empty() { "(unnamed)" } else { &s.name })
+        .map_err(io_err)?;
+    writeln!(out, "vertices:     {}", s.n).map_err(io_err)?;
+    writeln!(out, "edges:        {}", s.m).map_err(io_err)?;
+    writeln!(out, "degree:       min {} / mean {:.2} / max {}", s.min_degree, s.mean_degree, s.max_degree)
+        .map_err(io_err)?;
+    writeln!(out, "density:      {:.6}", s.density).map_err(io_err)?;
+    writeln!(out, "probability:  min {:.4} / mean {:.4} / max {:.4}", s.min_prob, s.mean_prob, s.max_prob)
+        .map_err(io_err)?;
+    let (_, degeneracy) = ugraph_core::subgraph::degeneracy_order(&g);
+    writeln!(out, "degeneracy:   {degeneracy}").map_err(io_err)?;
+    Ok(())
+}
+
+/// `mule enumerate <graph> --alpha A [--min-size T] [--threads N]
+/// [--count-only] [--out FILE]`.
+pub fn enumerate(args: &[String], out: &mut dyn Write) -> CmdResult {
+    let opts = Opts::parse(
+        args,
+        &with_input_opts(&["alpha", "min-size", "threads", "count-only", "out"]),
+    )?;
+    let g = graph_from(&opts)?;
+    let alpha: f64 = opts.required("alpha")?;
+    let min_size: usize = opts.get_or("min-size", 0)?;
+    let threads: usize = opts.get_or("threads", 1)?;
+    let started = std::time::Instant::now();
+
+    if opts.flag("count-only") {
+        let mut sink = CountSink::new();
+        let calls = if min_size >= 2 {
+            let mut lm = mule::LargeMule::new(&g, alpha, min_size).map_err(fmt_err)?;
+            lm.run(&mut sink);
+            lm.stats().calls
+        } else {
+            let mut m = mule::Mule::new(&g, alpha).map_err(fmt_err)?;
+            m.run(&mut sink);
+            m.stats().calls
+        };
+        writeln!(out, "cliques:      {}", sink.count).map_err(io_err)?;
+        writeln!(out, "max size:     {}", sink.max_size).map_err(io_err)?;
+        writeln!(out, "output ids:   {}", sink.total_vertices).map_err(io_err)?;
+        writeln!(out, "search nodes: {calls}").map_err(io_err)?;
+        writeln!(out, "elapsed:      {:.3}s", started.elapsed().as_secs_f64()).map_err(io_err)?;
+        return Ok(());
+    }
+
+    let pairs: Vec<(Vec<VertexId>, f64)> = if min_size >= 2 {
+        let mut lm = mule::LargeMule::new(&g, alpha, min_size).map_err(fmt_err)?;
+        let mut sink = CollectSink::new();
+        lm.run(&mut sink);
+        sink.into_pairs()
+    } else if threads > 1 {
+        let o = mule::par_enumerate_maximal_cliques(&g, alpha, threads).map_err(fmt_err)?;
+        o.cliques.into_iter().zip(o.probs).collect()
+    } else {
+        let mut m = mule::Mule::new(&g, alpha).map_err(fmt_err)?;
+        let mut sink = CollectSink::new();
+        m.run(&mut sink);
+        sink.into_pairs()
+    };
+
+    match opts.get_str("out") {
+        Some(path) => {
+            let file = File::create(path).map_err(|e| format!("cannot create {path:?}: {e}"))?;
+            ugraph_io::write_clique_list(BufWriter::new(file), alpha, &pairs).map_err(io_err)?;
+            writeln!(
+                out,
+                "wrote {} cliques to {path} in {:.3}s",
+                pairs.len(),
+                started.elapsed().as_secs_f64()
+            )
+            .map_err(io_err)?;
+        }
+        None => {
+            ugraph_io::write_clique_list(&mut *out, alpha, &pairs).map_err(io_err)?;
+        }
+    }
+    Ok(())
+}
+
+/// `mule topk <graph> --alpha A --k K [--skeleton]`.
+///
+/// Default: the k most probable *α-maximal* cliques (this library's
+/// semantics). With `--skeleton`: the related-work problem (Zou et al.,
+/// ICDE 2010) — the k most probable maximal cliques of the deterministic
+/// skeleton, found by branch-and-bound (no α involved).
+pub fn topk(args: &[String], out: &mut dyn Write) -> CmdResult {
+    let opts = Opts::parse(args, &with_input_opts(&["alpha", "k", "skeleton"]))?;
+    let g = graph_from(&opts)?;
+    let k: usize = opts.required("k")?;
+    if opts.flag("skeleton") {
+        let (top, stats) = mule::zou_topk::zou_top_k(&g, k, 0.0);
+        writeln!(out, "# skeleton-maximal top-{k} (Zou et al. semantics)").map_err(io_err)?;
+        writeln!(
+            out,
+            "# search: {} nodes, {} bound-pruned",
+            stats.nodes, stats.bound_pruned
+        )
+        .map_err(io_err)?;
+        ugraph_io::write_clique_list(&mut *out, 1.0, &top).map_err(io_err)?;
+        return Ok(());
+    }
+    let alpha: f64 = opts.required("alpha")?;
+    let top = mule::topk::top_k_maximal_cliques(&g, alpha, k).map_err(fmt_err)?;
+    ugraph_io::write_clique_list(&mut *out, alpha, &top).map_err(io_err)?;
+    Ok(())
+}
+
+/// `mule verify <graph> --alpha A --cliques FILE [--complete]`.
+pub fn verify(args: &[String], out: &mut dyn Write) -> CmdResult {
+    let opts = Opts::parse(args, &with_input_opts(&["alpha", "cliques", "complete"]))?;
+    let g = graph_from(&opts)?;
+    let alpha: f64 = opts.required("alpha")?;
+    let path: String = opts.required("cliques")?;
+    let file = File::open(&path).map_err(|e| format!("cannot open {path:?}: {e}"))?;
+    let pairs = ugraph_io::read_clique_list(BufReader::new(file)).map_err(fmt_err)?;
+    let cliques: Vec<Vec<VertexId>> = pairs.into_iter().map(|(c, _)| c).collect();
+    let violations = if opts.flag("complete") {
+        mule::verify::verify_complete(&g, alpha, &cliques).map_err(fmt_err)?
+    } else {
+        mule::verify::verify_sound(&g, alpha, &cliques).map_err(fmt_err)?
+    };
+    if violations.is_empty() {
+        writeln!(out, "OK: {} cliques verified", cliques.len()).map_err(io_err)?;
+        Ok(())
+    } else {
+        let detail: Vec<String> = violations.iter().take(20).map(|v| v.to_string()).collect();
+        Err(format!(
+            "VERIFY-FAILED: {} violations\n{}",
+            violations.len(),
+            detail.join("\n")
+        ))
+    }
+}
+
+/// `mule sample <graph> --clique V,V,... [--samples N] [--seed S]`.
+pub fn sample(args: &[String], out: &mut dyn Write) -> CmdResult {
+    let opts = Opts::parse(args, &with_input_opts(&["clique", "samples"]))?;
+    let g = graph_from(&opts)?;
+    let spec: String = opts.required("clique")?;
+    let samples: usize = opts.get_or("samples", 100_000)?;
+    let seed: u64 = opts.get_or("seed", 42)?;
+    let clique: Vec<VertexId> = spec
+        .split(',')
+        .map(|t| t.trim().parse::<VertexId>().map_err(|_| format!("bad vertex {t:?}")))
+        .collect::<Result<_, _>>()?;
+    let canonical = ugraph_core::clique::canonicalize(&g, &clique)
+        .ok_or_else(|| format!("{clique:?} has duplicates or out-of-range vertices"))?;
+    let exact = ugraph_core::clique::clique_probability(&g, &canonical);
+    let mut rng = ugraph_gen::rng::rng_from_seed(seed);
+    let estimate =
+        ugraph_core::sample::estimate_clique_probability(&g, &canonical, samples, &mut rng);
+    match exact {
+        Some(p) => writeln!(out, "exact clique probability:   {p:.6}").map_err(io_err)?,
+        None => writeln!(out, "exact clique probability:   0 (not a skeleton clique)")
+            .map_err(io_err)?,
+    }
+    writeln!(out, "sampled ({samples} worlds):  {estimate:.6}").map_err(io_err)?;
+    Ok(())
+}
+
+/// `mule convert <in> <out> [--snap] [--assign MODEL] [--seed S]`.
+pub fn convert(args: &[String], out: &mut dyn Write) -> CmdResult {
+    let opts = Opts::parse(args, &with_input_opts(&[]))?;
+    let input = opts.positional(0, "input file")?;
+    let output = opts.positional(1, "output file")?;
+    let seed: u64 = opts.get_or("seed", 42)?;
+    let g = load_graph(input, opts.flag("snap"), opts.get_str("assign"), seed)?;
+    save_graph(&g, output)?;
+    writeln!(
+        out,
+        "converted {input} -> {output} ({} vertices, {} edges)",
+        g.num_vertices(),
+        g.num_edges()
+    )
+    .map_err(io_err)?;
+    Ok(())
+}
+
+/// `mule generate --dataset NAME --out FILE [--seed S] [--scale X]`.
+pub fn generate(args: &[String], out: &mut dyn Write) -> CmdResult {
+    let opts = Opts::parse(args, &["dataset", "out", "seed", "scale"])?;
+    let name: String = opts.required("dataset")?;
+    let out_path: String = opts.required("out")?;
+    let seed: u64 = opts.get_or("seed", 42)?;
+    let scale: f64 = opts.get_or("scale", 1.0)?;
+    let spec = ugraph_gen::datasets::by_name(&name)
+        .ok_or_else(|| format!("unknown dataset {name:?} (see `mule datasets`)"))?;
+    if !(scale > 0.0 && scale <= 1.0) {
+        return Err(format!("--scale {scale} outside (0, 1]"));
+    }
+    let g = spec.build_scaled(seed, scale);
+    save_graph(&g, &out_path)?;
+    writeln!(
+        out,
+        "generated {name} at scale {scale}: {} vertices, {} edges -> {out_path}",
+        g.num_vertices(),
+        g.num_edges()
+    )
+    .map_err(io_err)?;
+    Ok(())
+}
+
+/// `mule datasets` — list the Table 1 registry.
+pub fn datasets(args: &[String], out: &mut dyn Write) -> CmdResult {
+    let _ = Opts::parse(args, &[])?;
+    for spec in ugraph_gen::datasets::table1() {
+        writeln!(
+            out,
+            "{:<15} n={:<7} m={:<8} {}",
+            spec.name, spec.paper_n, spec.paper_m, spec.category
+        )
+        .map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// `mule kcore <graph> [--k K]` — expected-degree core decomposition.
+pub fn kcore(args: &[String], out: &mut dyn Write) -> CmdResult {
+    let opts = Opts::parse(args, &with_input_opts(&["k"]))?;
+    let g = graph_from(&opts)?;
+    let decomp = mule::kcore::CoreDecomposition::compute(&g);
+    writeln!(out, "max expected-degree core: {:.4}", decomp.max_core()).map_err(io_err)?;
+    if let Some(k) = opts.get_str("k") {
+        let k: f64 = k.parse().map_err(|_| format!("invalid --k {k:?}"))?;
+        let members = decomp.core(k);
+        writeln!(out, "{k}-core: {} vertices", members.len()).map_err(io_err)?;
+        if members.len() <= 50 {
+            writeln!(out, "members: {members:?}").map_err(io_err)?;
+        }
+    } else {
+        // Profile: core sizes at a few thresholds up to the maximum.
+        let max = decomp.max_core();
+        writeln!(out, "core-size profile:").map_err(io_err)?;
+        for frac in [0.25, 0.5, 0.75, 1.0] {
+            let k = max * frac;
+            writeln!(out, "  k={k:>10.4}: {} vertices", decomp.core(k).len()).map_err(io_err)?;
+        }
+    }
+    Ok(())
+}
+
+/// `mule worlds <graph> [--worlds N] [--seed S]` — sampled possible-world
+/// maximal-clique statistics (Bron–Kerbosch per world).
+pub fn worlds(args: &[String], out: &mut dyn Write) -> CmdResult {
+    let opts = Opts::parse(args, &with_input_opts(&["worlds"]))?;
+    let g = graph_from(&opts)?;
+    let worlds: usize = opts.get_or("worlds", 20)?;
+    let seed: u64 = opts.get_or("seed", 42)?;
+    let mut rng = ugraph_gen::rng::rng_from_seed(seed);
+    let s = mule::worlds::sampled_world_clique_stats(&g, worlds, &mut rng);
+    writeln!(out, "worlds sampled:        {}", s.worlds).map_err(io_err)?;
+    writeln!(out, "maximal cliques/world: mean {:.1} (min {}, max {})", s.mean_count, s.min_count, s.max_count)
+        .map_err(io_err)?;
+    writeln!(out, "largest clique/world:  mean {:.2}, overall max {}", s.mean_max_size, s.max_size)
+        .map_err(io_err)?;
+    Ok(())
+}
+
+fn io_err(e: std::io::Error) -> String {
+    format!("I/O error: {e}")
+}
+
+fn fmt_err<E: std::fmt::Display>(e: E) -> String {
+    e.to_string()
+}

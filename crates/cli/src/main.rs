@@ -1,0 +1,8 @@
+//! Binary entry point for the `mule` CLI; all logic lives in the library
+//! (see `mule_cli::run`) so integration tests can drive it in-process.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = mule_cli::run(&args, &mut std::io::stdout(), &mut std::io::stderr());
+    std::process::exit(code);
+}

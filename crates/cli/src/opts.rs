@@ -1,0 +1,217 @@
+//! Option parsing and graph loading shared by the subcommands.
+
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+use ugraph_core::{DuplicatePolicy, UncertainGraph};
+use ugraph_gen::probs::EdgeProbModel;
+
+/// Parsed subcommand arguments: positional operands plus `--key value` /
+/// `--flag` options.
+#[derive(Debug, Default)]
+pub struct Opts {
+    positional: Vec<String>,
+    values: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Opts {
+    /// Parse; `allowed` names the valid option keys (sans `--`).
+    pub fn parse(args: &[String], allowed: &[&str]) -> Result<Self, String> {
+        let mut out = Opts::default();
+        let mut iter = args.iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                let (key, inline) = match name.split_once('=') {
+                    Some((k, v)) => (k.to_string(), Some(v.to_string())),
+                    None => (name.to_string(), None),
+                };
+                if !allowed.contains(&key.as_str()) {
+                    return Err(format!("unknown option --{key}"));
+                }
+                if let Some(v) = inline {
+                    out.values.insert(key, v);
+                } else if iter.peek().is_some_and(|n| !n.starts_with("--")) {
+                    out.values.insert(key, iter.next().unwrap().clone());
+                } else {
+                    out.flags.push(key);
+                }
+            } else {
+                out.positional.push(arg.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// The `i`-th positional operand, or an error naming it.
+    pub fn positional(&self, i: usize, what: &str) -> Result<&str, String> {
+        self.positional
+            .get(i)
+            .map(|s| s.as_str())
+            .ok_or_else(|| format!("missing {what}"))
+    }
+
+    /// Number of positional operands.
+    pub fn num_positional(&self) -> usize {
+        self.positional.len()
+    }
+
+    /// Required `--key` value, parsed.
+    pub fn required<T: std::str::FromStr>(&self, key: &str) -> Result<T, String> {
+        let raw = self
+            .values
+            .get(key)
+            .ok_or_else(|| format!("missing required option --{key}"))?;
+        raw.parse()
+            .map_err(|_| format!("invalid value for --{key}: {raw:?}"))
+    }
+
+    /// Optional `--key` value with default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("invalid value for --{key}: {raw:?}")),
+        }
+    }
+
+    /// Optional raw string value.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(|s| s.as_str())
+    }
+
+    /// Bare flag presence.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+/// Parse an `--assign` probability-model spec:
+/// `uniform`, `uniform:LO:HI`, `fixed:P`, `string-like`.
+pub fn parse_prob_model(spec: &str) -> Result<EdgeProbModel, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    match parts.as_slice() {
+        ["uniform"] => Ok(EdgeProbModel::Uniform { lo: 0.0, hi: 1.0 }),
+        ["uniform", lo, hi] => {
+            let lo: f64 = lo.parse().map_err(|_| format!("bad lo in {spec:?}"))?;
+            let hi: f64 = hi.parse().map_err(|_| format!("bad hi in {spec:?}"))?;
+            if !(0.0..1.0).contains(&lo) || lo >= hi || hi > 1.0 {
+                return Err(format!("uniform range {lo}:{hi} invalid"));
+            }
+            Ok(EdgeProbModel::Uniform { lo, hi })
+        }
+        ["fixed", p] => {
+            let p: f64 = p.parse().map_err(|_| format!("bad probability in {spec:?}"))?;
+            if !(p > 0.0 && p <= 1.0) {
+                return Err(format!("fixed probability {p} outside (0, 1]"));
+            }
+            Ok(EdgeProbModel::Fixed(p))
+        }
+        ["string-like"] => Ok(EdgeProbModel::StringLike),
+        _ => Err(format!("unknown probability model {spec:?}")),
+    }
+}
+
+/// True if a path should use the binary format.
+pub fn is_binary_path(path: &str) -> bool {
+    Path::new(path)
+        .extension()
+        .is_some_and(|e| e.eq_ignore_ascii_case("ugb"))
+}
+
+/// Load a graph from a file: `.ugb` binary, otherwise text. `snap` +
+/// `assign`/`seed` route through the SNAP reader.
+pub fn load_graph(
+    path: &str,
+    snap: bool,
+    assign: Option<&str>,
+    seed: u64,
+) -> Result<UncertainGraph, String> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path:?}: {e}"))?;
+    let reader = BufReader::new(file);
+    if is_binary_path(path) {
+        if snap {
+            return Err("--snap does not apply to binary files".into());
+        }
+        return ugraph_io::read_binary(reader).map_err(|e| format!("{path}: {e}"));
+    }
+    if snap {
+        let model = parse_prob_model(assign.unwrap_or("uniform"))?;
+        let mut rng = ugraph_gen::rng::rng_from_seed(seed);
+        let loaded = ugraph_io::read_snap_edgelist(reader, || model.sample(&mut rng))
+        .map_err(|e| format!("{path}: {e}"))?;
+        Ok(loaded.graph)
+    } else {
+        let loaded = ugraph_io::read_prob_edgelist(reader, DuplicatePolicy::Error)
+            .map_err(|e| format!("{path}: {e}"))?;
+        Ok(loaded.graph)
+    }
+}
+
+/// Save a graph to a file, format by extension.
+pub fn save_graph(g: &UncertainGraph, path: &str) -> Result<(), String> {
+    let file = File::create(path).map_err(|e| format!("cannot create {path:?}: {e}"))?;
+    let writer = BufWriter::new(file);
+    if is_binary_path(path) {
+        ugraph_io::write_binary(g, writer).map_err(|e| format!("{path}: {e}"))
+    } else {
+        ugraph_io::write_prob_edgelist(g, writer).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_mixed_positional_and_options() {
+        let o = Opts::parse(&args(&["g.txt", "--alpha", "0.5", "--count-only"]), &["alpha", "count-only"]).unwrap();
+        assert_eq!(o.positional(0, "graph").unwrap(), "g.txt");
+        assert_eq!(o.required::<f64>("alpha").unwrap(), 0.5);
+        assert!(o.flag("count-only"));
+        assert_eq!(o.num_positional(), 1);
+    }
+
+    #[test]
+    fn missing_required_reported() {
+        let o = Opts::parse(&args(&["g.txt"]), &["alpha"]).unwrap();
+        assert!(o.required::<f64>("alpha").unwrap_err().contains("--alpha"));
+        assert!(o.positional(1, "output file").is_err());
+    }
+
+    #[test]
+    fn unknown_option_rejected() {
+        assert!(Opts::parse(&args(&["--bogus", "1"]), &["alpha"]).is_err());
+    }
+
+    #[test]
+    fn prob_model_specs() {
+        assert_eq!(
+            parse_prob_model("uniform").unwrap(),
+            EdgeProbModel::Uniform { lo: 0.0, hi: 1.0 }
+        );
+        assert_eq!(
+            parse_prob_model("uniform:0.2:0.8").unwrap(),
+            EdgeProbModel::Uniform { lo: 0.2, hi: 0.8 }
+        );
+        assert_eq!(parse_prob_model("fixed:0.7").unwrap(), EdgeProbModel::Fixed(0.7));
+        assert_eq!(parse_prob_model("string-like").unwrap(), EdgeProbModel::StringLike);
+        for bad in ["nope", "uniform:0.9:0.1", "fixed:0", "fixed:2", "uniform:a:b"] {
+            assert!(parse_prob_model(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn binary_path_detection() {
+        assert!(is_binary_path("x.ugb"));
+        assert!(is_binary_path("x.UGB"));
+        assert!(!is_binary_path("x.txt"));
+        assert!(!is_binary_path("ugb"));
+    }
+}

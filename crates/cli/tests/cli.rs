@@ -1,0 +1,285 @@
+//! In-process integration tests for the `mule` CLI: every subcommand,
+//! happy paths and error paths, driven through `mule_cli::run` with
+//! captured output.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn run(args: &[&str]) -> (i32, String, String) {
+    let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    let mut out = Vec::new();
+    let mut err = Vec::new();
+    let code = mule_cli::run(&args, &mut out, &mut err);
+    (
+        code,
+        String::from_utf8(out).unwrap(),
+        String::from_utf8(err).unwrap(),
+    )
+}
+
+/// Per-test scratch directory.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mule-cli-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Write the standard text fixture: solid triangle + shaky pendant.
+fn fixture_graph(dir: &Path) -> String {
+    let path = dir.join("g.txt");
+    fs::write(&path, "# fixture\n0 1 0.9\n1 2 0.9\n0 2 0.9\n2 3 0.6\n").unwrap();
+    path.to_string_lossy().into_owned()
+}
+
+#[test]
+fn no_command_prints_usage() {
+    let (code, _, err) = run(&[]);
+    assert_eq!(code, 2);
+    assert!(err.contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_rejected() {
+    let (code, _, err) = run(&["frobnicate"]);
+    assert_eq!(code, 2);
+    assert!(err.contains("frobnicate"));
+}
+
+#[test]
+fn help_prints_usage_on_stdout() {
+    let (code, out, _) = run(&["help"]);
+    assert_eq!(code, 0);
+    assert!(out.contains("enumerate"));
+}
+
+#[test]
+fn stats_reports_counts() {
+    let dir = scratch("stats");
+    let g = fixture_graph(&dir);
+    let (code, out, err) = run(&["stats", &g]);
+    assert_eq!(code, 0, "{err}");
+    assert!(out.contains("vertices:     4"));
+    assert!(out.contains("edges:        4"));
+    assert!(out.contains("degeneracy:   2"));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn enumerate_to_stdout_and_file() {
+    let dir = scratch("enum");
+    let g = fixture_graph(&dir);
+    let (code, out, err) = run(&["enumerate", &g, "--alpha", "0.5"]);
+    assert_eq!(code, 0, "{err}");
+    assert!(out.contains("0 1 2"), "{out}");
+    assert!(out.contains("2 3"));
+
+    let out_file = dir.join("cliques.txt").to_string_lossy().into_owned();
+    let (code, msg, _) = run(&["enumerate", &g, "--alpha", "0.5", "--out", &out_file]);
+    assert_eq!(code, 0);
+    assert!(msg.contains("wrote 2 cliques"));
+    let content = fs::read_to_string(&out_file).unwrap();
+    assert!(content.contains("0 1 2"));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn enumerate_count_only_and_min_size() {
+    let dir = scratch("count");
+    let g = fixture_graph(&dir);
+    let (code, out, _) = run(&["enumerate", &g, "--alpha", "0.5", "--count-only"]);
+    assert_eq!(code, 0);
+    assert!(out.contains("cliques:      2"));
+    let (code, out, _) = run(&["enumerate", &g, "--alpha", "0.5", "--min-size", "3"]);
+    assert_eq!(code, 0);
+    assert!(out.contains("0 1 2"));
+    assert!(!out.contains("2 3\n"));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn enumerate_parallel_matches_sequential() {
+    let dir = scratch("par");
+    let g = fixture_graph(&dir);
+    let (_, seq, _) = run(&["enumerate", &g, "--alpha", "0.5"]);
+    let (_, par, _) = run(&["enumerate", &g, "--alpha", "0.5", "--threads", "3"]);
+    // Same cliques (header lines identical too).
+    assert_eq!(seq, par);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn enumerate_requires_alpha() {
+    let dir = scratch("noalpha");
+    let g = fixture_graph(&dir);
+    let (code, _, err) = run(&["enumerate", &g]);
+    assert_eq!(code, 2);
+    assert!(err.contains("--alpha"));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn topk_orders_by_probability() {
+    let dir = scratch("topk");
+    let g = fixture_graph(&dir);
+    let (code, out, err) = run(&["topk", &g, "--alpha", "0.5", "--k", "1"]);
+    assert_eq!(code, 0, "{err}");
+    // 0.9³ = 0.729 beats 0.6.
+    assert!(out.contains("0 1 2"));
+    assert!(!out.contains("2 3"));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn topk_skeleton_uses_zou_semantics() {
+    let dir = scratch("zou");
+    // Triangle with one strong and two weak edges: the only
+    // skeleton-maximal clique is the whole triangle, even though the
+    // strong edge dominates under α-maximal semantics.
+    let path = dir.join("z.txt");
+    fs::write(&path, "0 1 0.9\n1 2 0.1\n0 2 0.1\n").unwrap();
+    let g = path.to_string_lossy().into_owned();
+    let (code, out, err) = run(&["topk", &g, "--k", "1", "--skeleton"]);
+    assert_eq!(code, 0, "{err}");
+    assert!(out.contains("0 1 2"), "{out}");
+    // α-maximal semantics at α = 0.5: the maximal cliques are {0,1}
+    // (prob 0.9) and the isolated singleton {2} (prob 1.0) — the triangle
+    // does not appear at all, and the singleton outranks the edge.
+    let (code, out, _) = run(&["topk", &g, "--k", "2", "--alpha", "0.5"]);
+    assert_eq!(code, 0);
+    assert!(!out.contains("0 1 2"), "{out}");
+    assert!(out.contains("1.0 2"), "{out}");
+    assert!(out.contains("0.9 0 1"), "{out}");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn verify_accepts_good_and_rejects_bad() {
+    let dir = scratch("verify");
+    let g = fixture_graph(&dir);
+    let cliques = dir.join("c.txt").to_string_lossy().into_owned();
+    let (code, _, _) = run(&["enumerate", &g, "--alpha", "0.5", "--out", &cliques]);
+    assert_eq!(code, 0);
+    let (code, out, _) = run(&["verify", &g, "--alpha", "0.5", "--cliques", &cliques, "--complete"]);
+    assert_eq!(code, 0);
+    assert!(out.contains("OK"));
+
+    // Corrupt the list: drop one clique, add a non-maximal one.
+    fs::write(dir.join("bad.txt"), "0.9 0 1\n").unwrap();
+    let bad = dir.join("bad.txt").to_string_lossy().into_owned();
+    let (code, _, err) = run(&["verify", &g, "--alpha", "0.5", "--cliques", &bad, "--complete"]);
+    assert_eq!(code, 1, "{err}");
+    assert!(err.contains("violations"));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sample_matches_exact() {
+    let dir = scratch("sample");
+    let g = fixture_graph(&dir);
+    let (code, out, err) = run(&["sample", &g, "--clique", "0,1,2", "--samples", "50000"]);
+    assert_eq!(code, 0, "{err}");
+    assert!(out.contains("0.729"), "{out}");
+    let (code, out, _) = run(&["sample", &g, "--clique", "0,3"]);
+    assert_eq!(code, 0);
+    assert!(out.contains("not a skeleton clique"));
+    let (code, _, err) = run(&["sample", &g, "--clique", "0,0"]);
+    assert_eq!(code, 2);
+    assert!(err.contains("duplicates"));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn convert_text_binary_round_trip() {
+    let dir = scratch("convert");
+    let g = fixture_graph(&dir);
+    let bin = dir.join("g.ugb").to_string_lossy().into_owned();
+    let back = dir.join("g2.txt").to_string_lossy().into_owned();
+    let (code, out, err) = run(&["convert", &g, &bin]);
+    assert_eq!(code, 0, "{err}");
+    assert!(out.contains("4 edges"));
+    let (code, _, _) = run(&["convert", &bin, &back]);
+    assert_eq!(code, 0);
+    // Enumeration through both forms agrees.
+    let (_, a, _) = run(&["enumerate", &g, "--alpha", "0.5"]);
+    let (_, b, _) = run(&["enumerate", &bin, "--alpha", "0.5"]);
+    let (_, c, _) = run(&["enumerate", &back, "--alpha", "0.5"]);
+    assert_eq!(a, b);
+    assert_eq!(a, c);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn convert_snap_with_assignment() {
+    let dir = scratch("snap");
+    let snap = dir.join("s.txt");
+    fs::write(&snap, "# snap\n10 20\n20 30\n30 10\n").unwrap();
+    let snap = snap.to_string_lossy().into_owned();
+    let out_path = dir.join("s.ugb").to_string_lossy().into_owned();
+    let (code, _, err) = run(&[
+        "convert", &snap, &out_path, "--snap", "--assign", "fixed:0.8", "--seed", "1",
+    ]);
+    assert_eq!(code, 0, "{err}");
+    let (code, out, _) = run(&["enumerate", &out_path, "--alpha", "0.5"]);
+    assert_eq!(code, 0);
+    // Triangle with p = 0.8: 0.512 ≥ 0.5 → one maximal clique.
+    assert!(out.contains("count=1"), "{out}");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn generate_and_datasets() {
+    let dir = scratch("gen");
+    let out_path = dir.join("ba.ugb").to_string_lossy().into_owned();
+    let (code, out, err) = run(&[
+        "generate", "--dataset", "BA5000", "--scale", "0.01", "--out", &out_path, "--seed", "7",
+    ]);
+    assert_eq!(code, 0, "{err}");
+    assert!(out.contains("generated BA5000"));
+    let (code, out, _) = run(&["stats", &out_path]);
+    assert_eq!(code, 0);
+    assert!(out.contains("vertices:     50"));
+
+    let (code, out, _) = run(&["datasets"]);
+    assert_eq!(code, 0);
+    assert!(out.contains("wiki-vote"));
+    assert_eq!(out.lines().count(), 13);
+
+    let (code, _, err) = run(&["generate", "--dataset", "nope", "--out", &out_path]);
+    assert_eq!(code, 2);
+    assert!(err.contains("unknown dataset"));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn kcore_profiles_and_thresholds() {
+    let dir = scratch("kcore");
+    let g = fixture_graph(&dir);
+    let (code, out, err) = run(&["kcore", &g]);
+    assert_eq!(code, 0, "{err}");
+    assert!(out.contains("max expected-degree core"));
+    assert!(out.contains("core-size profile"));
+    let (code, out, _) = run(&["kcore", &g, "--k", "1.5"]);
+    assert_eq!(code, 0);
+    // Triangle members have expected degree 1.8 within the triangle.
+    assert!(out.contains("1.5-core: 3 vertices"), "{out}");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn worlds_reports_sampled_stats() {
+    let dir = scratch("worlds");
+    let g = fixture_graph(&dir);
+    let (code, out, err) = run(&["worlds", &g, "--worlds", "10", "--seed", "3"]);
+    assert_eq!(code, 0, "{err}");
+    assert!(out.contains("worlds sampled:        10"));
+    assert!(out.contains("maximal cliques/world"));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn missing_file_reports_cleanly() {
+    let (code, _, err) = run(&["stats", "/nonexistent/graph.txt"]);
+    assert_eq!(code, 2);
+    assert!(err.contains("cannot open"));
+}

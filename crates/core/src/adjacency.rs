@@ -1,0 +1,152 @@
+//! Dense adjacency index: one [`BitSet`] row per vertex.
+//!
+//! MULE's `GenerateI`/`GenerateX` steps intersect candidate sets with the
+//! neighborhood `Γ(m)` of the newly added vertex (Algorithm 3, line 4). Two
+//! strategies are available:
+//!
+//! * binary search of each candidate in the CSR adjacency — `O(k log deg)`
+//!   for `k` candidates, no extra memory;
+//! * probing a dense bitset row — `O(k)` with `O(n²/64)` bits of memory.
+//!
+//! The dense index pays off on small or dense graphs (all the paper's
+//! Figure 1 inputs fit easily); [`AdjacencyIndex::should_build`] encodes the
+//! heuristic, and `mule`'s enumeration picks automatically. The ablation
+//! bench (`ugraph-bench`, `benches/ablation.rs`) measures the difference.
+
+use crate::bitset::BitSet;
+use crate::error::VertexId;
+use crate::graph::UncertainGraph;
+
+/// Dense neighborhood rows for O(1) membership probes.
+pub struct AdjacencyIndex {
+    rows: Vec<BitSet>,
+}
+
+impl AdjacencyIndex {
+    /// Build the index from a graph. Memory is `n² / 8` bytes; callers on
+    /// large graphs should consult [`Self::should_build`] first.
+    pub fn build(g: &UncertainGraph) -> Self {
+        let n = g.num_vertices();
+        let rows = g
+            .vertices()
+            .map(|v| {
+                BitSet::from_iter_with_len(n, g.neighbors(v).iter().map(|&w| w as usize))
+            })
+            .collect();
+        AdjacencyIndex { rows }
+    }
+
+    /// Heuristic: build the dense index when it costs at most
+    /// `max_bytes` (default used by `mule` is 64 MiB).
+    pub fn should_build(g: &UncertainGraph, max_bytes: usize) -> bool {
+        let n = g.num_vertices();
+        // n rows of ceil(n/64) u64 words.
+        n.saturating_mul(n.div_ceil(64))
+            .saturating_mul(8)
+            <= max_bytes
+    }
+
+    /// O(1) edge membership probe.
+    #[inline]
+    pub fn contains_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.rows[u as usize].contains(v as usize)
+    }
+
+    /// The neighborhood row of `v` as a bitset.
+    #[inline]
+    pub fn row(&self, v: VertexId) -> &BitSet {
+        &self.rows[v as usize]
+    }
+
+    /// Number of vertices covered.
+    pub fn num_vertices(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `|Γ(u) ∩ Γ(v)|` — the shared-neighborhood size used by the
+    /// Modani–Dey filter in `mule::pruning`.
+    pub fn common_neighbors(&self, u: VertexId, v: VertexId) -> usize {
+        self.rows[u as usize].intersection_count(&self.rows[v as usize])
+    }
+}
+
+/// Count common neighbors with a sorted-merge over CSR adjacency, for graphs
+/// where the dense index is too large. Equivalent to
+/// [`AdjacencyIndex::common_neighbors`].
+pub fn common_neighbors_merge(g: &UncertainGraph, u: VertexId, v: VertexId) -> usize {
+    let (mut a, mut b) = (g.neighbors(u).iter().peekable(), g.neighbors(v).iter().peekable());
+    let mut count = 0;
+    while let (Some(&&x), Some(&&y)) = (a.peek(), b.peek()) {
+        match x.cmp(&y) {
+            std::cmp::Ordering::Less => {
+                a.next();
+            }
+            std::cmp::Ordering::Greater => {
+                b.next();
+            }
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                a.next();
+                b.next();
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{complete_graph, from_edges};
+    use crate::prob::Prob;
+
+    fn path4() -> UncertainGraph {
+        from_edges(4, &[(0, 1, 0.5), (1, 2, 0.5), (2, 3, 0.5)]).unwrap()
+    }
+
+    #[test]
+    fn index_matches_graph_edges() {
+        let g = path4();
+        let idx = AdjacencyIndex::build(&g);
+        for u in 0..4 {
+            for v in 0..4 {
+                assert_eq!(idx.contains_edge(u, v), g.contains_edge(u, v), "({u},{v})");
+            }
+        }
+        assert_eq!(idx.num_vertices(), 4);
+    }
+
+    #[test]
+    fn rows_expose_neighborhoods() {
+        let g = path4();
+        let idx = AdjacencyIndex::build(&g);
+        assert_eq!(idx.row(1).iter().collect::<Vec<_>>(), vec![0, 2]);
+    }
+
+    #[test]
+    fn common_neighbors_dense_and_merge_agree() {
+        let g = complete_graph(6, Prob::new(0.5).unwrap());
+        let idx = AdjacencyIndex::build(&g);
+        for u in 0..6 {
+            for v in 0..6 {
+                if u != v {
+                    assert_eq!(idx.common_neighbors(u, v), 4);
+                    assert_eq!(common_neighbors_merge(&g, u, v), 4);
+                }
+            }
+        }
+        let p = path4();
+        let pidx = AdjacencyIndex::build(&p);
+        assert_eq!(pidx.common_neighbors(0, 2), 1); // via vertex 1
+        assert_eq!(common_neighbors_merge(&p, 0, 2), 1);
+        assert_eq!(pidx.common_neighbors(0, 3), 0);
+        assert_eq!(common_neighbors_merge(&p, 0, 3), 0);
+    }
+
+    #[test]
+    fn should_build_thresholds() {
+        let g = path4();
+        assert!(AdjacencyIndex::should_build(&g, 1 << 20));
+        assert!(!AdjacencyIndex::should_build(&g, 0));
+    }
+}

@@ -1,0 +1,334 @@
+//! A fixed-capacity bitset over `u64` blocks.
+//!
+//! Maximal-clique enumeration is dominated by neighborhood intersections.
+//! For small and dense graphs MULE uses a dense adjacency index
+//! ([`crate::adjacency::AdjacencyIndex`]) whose rows are these bitsets, so
+//! membership probes are O(1) and intersections run a word at a time.
+//!
+//! The implementation is deliberately self-contained (no `fixedbitset`
+//! dependency is available offline) and exposes exactly the operations the
+//! enumeration kernels need: set/clear/test, word-wise intersection and
+//! union, popcount, and an iterator over set bits.
+
+use std::fmt;
+
+const BITS: usize = 64;
+
+/// A fixed-capacity set of `usize` keys drawn from `0..len`.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BitSet {
+    blocks: Vec<u64>,
+    /// Number of addressable bits (not the number of set bits).
+    len: usize,
+}
+
+impl BitSet {
+    /// Create an empty bitset able to hold keys in `0..len`.
+    pub fn new(len: usize) -> Self {
+        BitSet {
+            blocks: vec![0; len.div_ceil(BITS)],
+            len,
+        }
+    }
+
+    /// Create a bitset with every key in `0..len` present.
+    pub fn full(len: usize) -> Self {
+        let mut s = BitSet::new(len);
+        for (i, b) in s.blocks.iter_mut().enumerate() {
+            let lo = i * BITS;
+            let hi = (lo + BITS).min(len);
+            if hi - lo == BITS {
+                *b = u64::MAX;
+            } else {
+                *b = (1u64 << (hi - lo)) - 1;
+            }
+        }
+        s
+    }
+
+    /// Build from an iterator of keys; keys must be `< len`.
+    pub fn from_iter_with_len(len: usize, keys: impl IntoIterator<Item = usize>) -> Self {
+        let mut s = BitSet::new(len);
+        for k in keys {
+            s.insert(k);
+        }
+        s
+    }
+
+    /// Number of addressable bits.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.len
+    }
+
+    /// Insert a key. Panics if `key >= capacity`.
+    #[inline]
+    pub fn insert(&mut self, key: usize) {
+        assert!(key < self.len, "bit {key} out of range (len {})", self.len);
+        self.blocks[key / BITS] |= 1u64 << (key % BITS);
+    }
+
+    /// Remove a key. Panics if `key >= capacity`.
+    #[inline]
+    pub fn remove(&mut self, key: usize) {
+        assert!(key < self.len, "bit {key} out of range (len {})", self.len);
+        self.blocks[key / BITS] &= !(1u64 << (key % BITS));
+    }
+
+    /// Membership probe.
+    #[inline]
+    pub fn contains(&self, key: usize) -> bool {
+        if key >= self.len {
+            return false;
+        }
+        self.blocks[key / BITS] & (1u64 << (key % BITS)) != 0
+    }
+
+    /// Remove all keys.
+    pub fn clear(&mut self) {
+        self.blocks.iter_mut().for_each(|b| *b = 0);
+    }
+
+    /// Number of keys present (popcount).
+    pub fn count(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// True if no key is present.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.iter().all(|&b| b == 0)
+    }
+
+    /// In-place intersection: `self &= other`.
+    ///
+    /// # Panics
+    /// Panics if the capacities differ — intersecting sets over different key
+    /// universes is always a bug at the call site.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a &= *b;
+        }
+    }
+
+    /// In-place union: `self |= other`. Panics on capacity mismatch.
+    pub fn union_with(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a |= *b;
+        }
+    }
+
+    /// In-place difference: `self &= !other`. Panics on capacity mismatch.
+    pub fn difference_with(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a &= !*b;
+        }
+    }
+
+    /// Size of the intersection without materializing it.
+    pub fn intersection_count(&self, other: &BitSet) -> usize {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// True if the intersection is non-empty (early-exits).
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        self.blocks.iter().zip(&other.blocks).any(|(a, b)| a & b != 0)
+    }
+
+    /// True if every key of `self` is also in `other`.
+    pub fn is_subset_of(&self, other: &BitSet) -> bool {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        self.blocks.iter().zip(&other.blocks).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Iterate over set keys in increasing order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            blocks: &self.blocks,
+            block_idx: 0,
+            current: self.blocks.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Smallest key present, if any.
+    pub fn first(&self) -> Option<usize> {
+        self.iter().next()
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Collect keys into a bitset sized to the largest key + 1.
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        let keys: Vec<usize> = iter.into_iter().collect();
+        let len = keys.iter().max().map_or(0, |&m| m + 1);
+        BitSet::from_iter_with_len(len, keys)
+    }
+}
+
+/// Iterator over set bits, produced by [`BitSet::iter`].
+pub struct Iter<'a> {
+    blocks: &'a [u64],
+    block_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.block_idx += 1;
+            if self.block_idx >= self.blocks.len() {
+                return None;
+            }
+            self.current = self.blocks[self.block_idx];
+        }
+        let tz = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1; // clear lowest set bit
+        Some(self.block_idx * BITS + tz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(130);
+        assert!(!s.contains(0));
+        s.insert(0);
+        s.insert(63);
+        s.insert(64);
+        s.insert(129);
+        assert!(s.contains(0) && s.contains(63) && s.contains(64) && s.contains(129));
+        assert_eq!(s.count(), 4);
+        s.remove(64);
+        assert!(!s.contains(64));
+        assert_eq!(s.count(), 3);
+    }
+
+    #[test]
+    fn contains_out_of_range_is_false() {
+        let s = BitSet::new(10);
+        assert!(!s.contains(10));
+        assert!(!s.contains(1000));
+    }
+
+    #[test]
+    #[should_panic]
+    fn insert_out_of_range_panics() {
+        BitSet::new(10).insert(10);
+    }
+
+    #[test]
+    fn full_sets_exactly_len_bits() {
+        for len in [0, 1, 63, 64, 65, 128, 130] {
+            let s = BitSet::full(len);
+            assert_eq!(s.count(), len, "len {len}");
+            if len > 0 {
+                assert!(s.contains(len - 1));
+            }
+            assert!(!s.contains(len));
+        }
+    }
+
+    #[test]
+    fn iter_yields_sorted_keys() {
+        let keys = [3usize, 64, 65, 127, 128, 199];
+        let s = BitSet::from_iter_with_len(200, keys.iter().copied());
+        let got: Vec<usize> = s.iter().collect();
+        assert_eq!(got, keys);
+        assert_eq!(s.first(), Some(3));
+    }
+
+    #[test]
+    fn iter_empty() {
+        let s = BitSet::new(100);
+        assert_eq!(s.iter().count(), 0);
+        assert_eq!(s.first(), None);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn intersection_union_difference() {
+        let a = BitSet::from_iter_with_len(128, [1usize, 2, 3, 70]);
+        let b = BitSet::from_iter_with_len(128, [2usize, 3, 4, 71]);
+
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![2, 3]);
+        assert_eq!(a.intersection_count(&b), 2);
+        assert!(a.intersects(&b));
+
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![1, 2, 3, 4, 70, 71]);
+
+        let mut d = a.clone();
+        d.difference_with(&b);
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![1, 70]);
+    }
+
+    #[test]
+    fn disjoint_sets_do_not_intersect() {
+        let a = BitSet::from_iter_with_len(128, [0usize, 1]);
+        let b = BitSet::from_iter_with_len(128, [100usize]);
+        assert!(!a.intersects(&b));
+        assert_eq!(a.intersection_count(&b), 0);
+    }
+
+    #[test]
+    fn subset_relation() {
+        let a = BitSet::from_iter_with_len(64, [1usize, 5]);
+        let b = BitSet::from_iter_with_len(64, [1usize, 5, 9]);
+        assert!(a.is_subset_of(&b));
+        assert!(!b.is_subset_of(&a));
+        assert!(a.is_subset_of(&a));
+        assert!(BitSet::new(64).is_subset_of(&a));
+    }
+
+    #[test]
+    #[should_panic]
+    fn capacity_mismatch_panics() {
+        let mut a = BitSet::new(64);
+        let b = BitSet::new(128);
+        a.intersect_with(&b);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut s = BitSet::full(100);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.capacity(), 100);
+    }
+
+    #[test]
+    fn from_iterator_sizes_to_max_key() {
+        let s: BitSet = [4usize, 9].into_iter().collect();
+        assert_eq!(s.capacity(), 10);
+        assert!(s.contains(4) && s.contains(9));
+    }
+
+    #[test]
+    fn debug_format_lists_members() {
+        let s = BitSet::from_iter_with_len(8, [1usize, 3]);
+        assert_eq!(format!("{s:?}"), "{1, 3}");
+    }
+}

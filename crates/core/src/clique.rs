@@ -1,0 +1,235 @@
+//! Clique probabilities and the reference α-clique / α-maximality oracles.
+//!
+//! For a vertex set `C` that induces a clique in the deterministic skeleton
+//! `(V, E)`, the *clique probability* is
+//!
+//! ```text
+//! clq(C, G) = ∏_{e ∈ E_C} p(e)            (Observation 1)
+//! ```
+//!
+//! the probability that a world sampled from `G` contains every edge among
+//! `C`. `C` is an **α-clique** if `clq(C, G) ≥ α` (Definition 3) and an
+//! **α-maximal clique** if additionally no strict superset `C ∪ {v}` is an
+//! α-clique (Definition 4).
+//!
+//! The functions here are the *reference* implementations: straightforward,
+//! obviously correct, and used as test oracles for the incremental
+//! algorithms in the `mule` crate. `clique_probability` is `O(|C|²)` and
+//! `is_alpha_maximal` is `O(n·|C|)` — exactly the costs the paper's
+//! incremental bookkeeping exists to avoid.
+
+use crate::error::VertexId;
+use crate::graph::UncertainGraph;
+
+/// By convention `clq(∅, G) = 1` and `clq({v}, G) = 1` (Section 4: a single
+/// vertex is a clique with probability one).
+///
+/// Returns `None` when `C` is not a clique in the deterministic skeleton
+/// (some pair has no possible edge at all), and `Some(product)` otherwise.
+///
+/// # Panics
+/// Panics if `C` contains a repeated vertex; callers pass canonical sets.
+pub fn clique_probability(g: &UncertainGraph, c: &[VertexId]) -> Option<f64> {
+    let mut q = 1.0f64;
+    for (i, &u) in c.iter().enumerate() {
+        for &v in &c[i + 1..] {
+            assert_ne!(u, v, "vertex {u} repeated in clique set");
+            q *= g.edge_prob_raw(u, v)?;
+        }
+    }
+    Some(q)
+}
+
+/// True if `C` induces a clique in the skeleton `(V, E)` (Definition 1),
+/// ignoring probabilities.
+pub fn is_clique(g: &UncertainGraph, c: &[VertexId]) -> bool {
+    clique_probability(g, c).is_some()
+}
+
+/// True if `C` is an α-clique: a skeleton clique with
+/// `clq(C, G) ≥ α` (Definition 3).
+pub fn is_alpha_clique(g: &UncertainGraph, c: &[VertexId], alpha: f64) -> bool {
+    matches!(clique_probability(g, c), Some(q) if q >= alpha)
+}
+
+/// Reference α-maximality oracle (Definition 4): `C` is an α-clique and no
+/// vertex `v ∉ C` extends it to another α-clique.
+///
+/// `O(n · |C|)` after the initial `O(|C|²)` probability computation — the
+/// cost the paper cites when motivating the `X` set (Section 4,
+/// "the cost of checking maximality").
+pub fn is_alpha_maximal(g: &UncertainGraph, c: &[VertexId], alpha: f64) -> bool {
+    let Some(q) = clique_probability(g, c) else {
+        return false;
+    };
+    if q < alpha {
+        return false;
+    }
+    // Candidate extensions only come from neighbors of the smallest-degree
+    // member (every extender is adjacent to all of C). The empty clique is
+    // extendable by any vertex when n > 0.
+    if c.is_empty() {
+        return g.num_vertices() == 0;
+    }
+    let pivot = *c
+        .iter()
+        .min_by_key(|&&v| g.degree(v))
+        .expect("non-empty clique");
+    'cand: for &v in g.neighbors(pivot) {
+        if c.contains(&v) {
+            continue;
+        }
+        let mut q_ext = q;
+        for &u in c {
+            match g.edge_prob_raw(u, v) {
+                Some(p) => q_ext *= p,
+                None => continue 'cand,
+            }
+        }
+        if q_ext >= alpha {
+            return false; // v extends C to an α-clique
+        }
+    }
+    true
+}
+
+/// Sort and verify a vertex set into canonical (strictly increasing) form.
+///
+/// Returns `None` if the set contains duplicates or out-of-range ids.
+pub fn canonicalize(g: &UncertainGraph, c: &[VertexId]) -> Option<Vec<VertexId>> {
+    let mut v = c.to_vec();
+    v.sort_unstable();
+    if v.windows(2).any(|w| w[0] == w[1]) {
+        return None;
+    }
+    if v.last().is_some_and(|&x| x as usize >= g.num_vertices()) {
+        return None;
+    }
+    Some(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{complete_graph, from_edges};
+    use crate::prob::Prob;
+
+    /// Triangle {0,1,2} with probs 1/2, 1/2, 1/4 plus pendant 3-2 (p=1/2).
+    fn fixture() -> UncertainGraph {
+        from_edges(
+            4,
+            &[(0, 1, 0.5), (1, 2, 0.5), (0, 2, 0.25), (2, 3, 0.5)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn empty_and_singleton_probability_is_one() {
+        let g = fixture();
+        assert_eq!(clique_probability(&g, &[]), Some(1.0));
+        assert_eq!(clique_probability(&g, &[3]), Some(1.0));
+    }
+
+    #[test]
+    fn pair_probability_is_edge_probability() {
+        let g = fixture();
+        assert_eq!(clique_probability(&g, &[0, 2]), Some(0.25));
+        assert_eq!(clique_probability(&g, &[2, 0]), Some(0.25));
+    }
+
+    #[test]
+    fn triangle_probability_is_product() {
+        let g = fixture();
+        assert_eq!(clique_probability(&g, &[0, 1, 2]), Some(0.5 * 0.5 * 0.25));
+    }
+
+    #[test]
+    fn non_clique_returns_none() {
+        let g = fixture();
+        assert_eq!(clique_probability(&g, &[0, 3]), None);
+        assert_eq!(clique_probability(&g, &[0, 1, 3]), None);
+        assert!(!is_clique(&g, &[0, 3]));
+        assert!(is_clique(&g, &[0, 1, 2]));
+    }
+
+    #[test]
+    #[should_panic]
+    fn repeated_vertex_panics() {
+        let g = fixture();
+        let _ = clique_probability(&g, &[1, 1]);
+    }
+
+    #[test]
+    fn alpha_clique_thresholds() {
+        let g = fixture();
+        // clq({0,1,2}) = 1/16
+        assert!(is_alpha_clique(&g, &[0, 1, 2], 0.0625));
+        assert!(!is_alpha_clique(&g, &[0, 1, 2], 0.0626));
+        assert!(is_alpha_clique(&g, &[0, 1], 0.5));
+        assert!(!is_alpha_clique(&g, &[0, 3], 0.0001)); // not a skeleton clique
+    }
+
+    #[test]
+    fn maximality_depends_on_alpha() {
+        let g = fixture();
+        // At α = 1/16 the full triangle is an α-clique, so {0,1} is not
+        // maximal; the triangle itself is (vertex 3 attaches only to 2).
+        assert!(!is_alpha_maximal(&g, &[0, 1], 0.0625));
+        assert!(is_alpha_maximal(&g, &[0, 1, 2], 0.0625));
+        // At α = 0.5 the triangle fails the threshold and each qualifying
+        // edge becomes maximal.
+        assert!(!is_alpha_maximal(&g, &[0, 1, 2], 0.5));
+        assert!(is_alpha_maximal(&g, &[0, 1], 0.5));
+        assert!(is_alpha_maximal(&g, &[1, 2], 0.5));
+        assert!(is_alpha_maximal(&g, &[2, 3], 0.5));
+        // {0,2} has probability 0.25 < 0.5: not even an α-clique.
+        assert!(!is_alpha_maximal(&g, &[0, 2], 0.5));
+    }
+
+    #[test]
+    fn singleton_maximality() {
+        // Isolated vertex: maximal at any α. Connected vertex: not maximal
+        // when its edge clears the threshold.
+        let g = from_edges(3, &[(0, 1, 0.9)]).unwrap();
+        assert!(is_alpha_maximal(&g, &[2], 0.5));
+        assert!(!is_alpha_maximal(&g, &[0], 0.5));
+        assert!(is_alpha_maximal(&g, &[0], 0.95));
+    }
+
+    #[test]
+    fn empty_set_maximal_only_for_empty_graph() {
+        let empty = crate::builder::GraphBuilder::new(0).build();
+        assert!(is_alpha_maximal(&empty, &[], 0.5));
+        let g = fixture();
+        assert!(!is_alpha_maximal(&g, &[], 0.5));
+    }
+
+    #[test]
+    fn complete_graph_maximal_prefix() {
+        // K5 with p = 0.5: clq of k-subset is 0.5^C(k,2).
+        let g = complete_graph(5, Prob::new(0.5).unwrap());
+        let alpha = 0.5f64.powi(3); // admits cliques with C(k,2) ≤ 3, i.e. k ≤ 3
+        assert!(is_alpha_clique(&g, &[0, 1, 2], alpha));
+        assert!(!is_alpha_clique(&g, &[0, 1, 2, 3], alpha));
+        assert!(is_alpha_maximal(&g, &[0, 1, 2], alpha));
+        assert!(!is_alpha_maximal(&g, &[0, 1], alpha));
+    }
+
+    #[test]
+    fn canonicalize_sorts_and_validates() {
+        let g = fixture();
+        assert_eq!(canonicalize(&g, &[2, 0, 1]), Some(vec![0, 1, 2]));
+        assert_eq!(canonicalize(&g, &[2, 2]), None);
+        assert_eq!(canonicalize(&g, &[9]), None);
+        assert_eq!(canonicalize(&g, &[]), Some(vec![]));
+    }
+
+    #[test]
+    fn observation_2_subset_probability_monotone() {
+        let g = fixture();
+        let big = clique_probability(&g, &[0, 1, 2]).unwrap();
+        for sub in [&[0u32, 1][..], &[1, 2], &[0, 2], &[0], &[]] {
+            assert!(clique_probability(&g, sub).unwrap() >= big);
+        }
+    }
+}

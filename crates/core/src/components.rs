@@ -1,0 +1,150 @@
+//! Connected components of the deterministic skeleton.
+//!
+//! Used by dataset diagnostics (`mule stats`), by tests, and as a cheap
+//! upper-bound structure: an α-clique can never span two components, so
+//! component sizes bound clique sizes for free.
+
+use crate::error::VertexId;
+use crate::graph::UncertainGraph;
+
+/// Component labeling: `label[v]` is the component id of `v` (ids are
+/// dense, `0..count`, in order of first discovery).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Components {
+    label: Vec<u32>,
+    count: usize,
+}
+
+impl Components {
+    /// Compute components with an iterative BFS (no recursion, no stack
+    /// overflows on path-like graphs).
+    pub fn compute(g: &UncertainGraph) -> Self {
+        let n = g.num_vertices();
+        let mut label = vec![u32::MAX; n];
+        let mut count = 0usize;
+        let mut queue = std::collections::VecDeque::new();
+        for start in 0..n as VertexId {
+            if label[start as usize] != u32::MAX {
+                continue;
+            }
+            let id = count as u32;
+            count += 1;
+            label[start as usize] = id;
+            queue.push_back(start);
+            while let Some(v) = queue.pop_front() {
+                for &w in g.neighbors(v) {
+                    if label[w as usize] == u32::MAX {
+                        label[w as usize] = id;
+                        queue.push_back(w);
+                    }
+                }
+            }
+        }
+        Components { label, count }
+    }
+
+    /// Number of components.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Component id of a vertex.
+    pub fn component_of(&self, v: VertexId) -> u32 {
+        self.label[v as usize]
+    }
+
+    /// True if `u` and `v` are in the same component.
+    pub fn connected(&self, u: VertexId, v: VertexId) -> bool {
+        self.label[u as usize] == self.label[v as usize]
+    }
+
+    /// Sizes of all components, indexed by component id.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.count];
+        for &l in &self.label {
+            sizes[l as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Size of the largest component (0 for the empty graph).
+    pub fn largest(&self) -> usize {
+        self.sizes().into_iter().max().unwrap_or(0)
+    }
+
+    /// Vertices of the largest component, sorted ascending — handy for
+    /// focusing an enumeration on the interesting part of a fragmented
+    /// graph via [`crate::subgraph::induced_subgraph`].
+    pub fn largest_component_vertices(&self) -> Vec<VertexId> {
+        let sizes = self.sizes();
+        // Ties break toward the earliest-discovered component so the
+        // result is deterministic (max_by_key alone would keep the last).
+        let Some((best, _)) = sizes
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+        else {
+            return vec![];
+        };
+        (0..self.label.len() as VertexId)
+            .filter(|&v| self.label[v as usize] == best as u32)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{from_edges, GraphBuilder};
+
+    #[test]
+    fn two_triangles_and_an_isolate() {
+        let g = from_edges(
+            7,
+            &[(0, 1, 0.5), (1, 2, 0.5), (0, 2, 0.5), (3, 4, 0.5), (4, 5, 0.5), (3, 5, 0.5)],
+        )
+        .unwrap();
+        let c = Components::compute(&g);
+        assert_eq!(c.count(), 3);
+        assert!(c.connected(0, 2));
+        assert!(c.connected(3, 5));
+        assert!(!c.connected(0, 3));
+        assert!(!c.connected(6, 0));
+        let mut sizes = c.sizes();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 3, 3]);
+        assert_eq!(c.largest(), 3);
+        assert_eq!(c.largest_component_vertices(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_and_edgeless() {
+        let c = Components::compute(&GraphBuilder::new(0).build());
+        assert_eq!(c.count(), 0);
+        assert_eq!(c.largest(), 0);
+        assert!(c.largest_component_vertices().is_empty());
+        let c = Components::compute(&GraphBuilder::new(4).build());
+        assert_eq!(c.count(), 4);
+        assert_eq!(c.largest(), 1);
+    }
+
+    #[test]
+    fn long_path_is_one_component() {
+        let edges: Vec<(u32, u32, f64)> = (0..999).map(|i| (i, i + 1, 0.5)).collect();
+        let g = from_edges(1000, &edges).unwrap();
+        let c = Components::compute(&g);
+        assert_eq!(c.count(), 1);
+        assert_eq!(c.largest(), 1000);
+    }
+
+    #[test]
+    fn labels_are_dense_discovery_ordered() {
+        let g = from_edges(4, &[(2, 3, 0.5)]).unwrap();
+        let c = Components::compute(&g);
+        // Discovery order: {0}, {1}, {2,3}.
+        assert_eq!(c.component_of(0), 0);
+        assert_eq!(c.component_of(1), 1);
+        assert_eq!(c.component_of(2), 2);
+        assert_eq!(c.component_of(3), 2);
+    }
+}

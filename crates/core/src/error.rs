@@ -1,0 +1,101 @@
+//! Error types for graph construction and queries.
+
+use crate::prob::ProbError;
+use std::fmt;
+
+/// Identifier of a vertex. The paper labels vertices `1..n`; we use dense
+/// zero-based `u32` ids (graphs with tens of thousands to millions of
+/// vertices fit comfortably, and half-width ids keep the CSR arrays compact).
+pub type VertexId = u32;
+
+/// Errors arising while building or querying an uncertain graph.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// An edge `{v, v}` was added; the model is restricted to simple graphs.
+    SelfLoop {
+        /// The vertex with the attempted self-loop.
+        vertex: VertexId,
+    },
+    /// The same undirected edge was added twice with conflicting
+    /// probabilities and the builder was not configured to merge duplicates.
+    DuplicateEdge {
+        /// Lower endpoint.
+        u: VertexId,
+        /// Upper endpoint.
+        v: VertexId,
+    },
+    /// An edge probability outside `(0, 1]`.
+    InvalidProbability(ProbError),
+    /// A vertex id at or above the declared vertex count.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: VertexId,
+        /// The declared number of vertices.
+        n: usize,
+    },
+    /// The requested α threshold is outside `(0, 1]`.
+    InvalidAlpha {
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::SelfLoop { vertex } => {
+                write!(f, "self-loop on vertex {vertex} (graphs are simple)")
+            }
+            GraphError::DuplicateEdge { u, v } => {
+                write!(f, "edge {{{u}, {v}}} added more than once with conflicting probabilities")
+            }
+            GraphError::InvalidProbability(e) => write!(f, "{e}"),
+            GraphError::VertexOutOfRange { vertex, n } => {
+                write!(f, "vertex {vertex} out of range for graph with {n} vertices")
+            }
+            GraphError::InvalidAlpha { value } => {
+                write!(f, "alpha {value} outside the half-open interval (0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::InvalidProbability(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ProbError> for GraphError {
+    fn from(e: ProbError) -> Self {
+        GraphError::InvalidProbability(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prob::Prob;
+
+    #[test]
+    fn display_messages_mention_operands() {
+        assert!(GraphError::SelfLoop { vertex: 7 }.to_string().contains('7'));
+        assert!(GraphError::DuplicateEdge { u: 1, v: 2 }.to_string().contains("{1, 2}"));
+        assert!(GraphError::VertexOutOfRange { vertex: 9, n: 5 }
+            .to_string()
+            .contains("9"));
+        assert!(GraphError::InvalidAlpha { value: 2.0 }.to_string().contains('2'));
+    }
+
+    #[test]
+    fn prob_error_converts_and_chains() {
+        let pe = Prob::new(-1.0).unwrap_err();
+        let ge: GraphError = pe.into();
+        assert!(matches!(ge, GraphError::InvalidProbability(_)));
+        use std::error::Error;
+        assert!(ge.source().is_some());
+    }
+}

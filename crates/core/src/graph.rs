@@ -1,0 +1,317 @@
+//! The uncertain graph: an immutable CSR structure with per-edge
+//! probabilities.
+//!
+//! An uncertain graph `G = (V, E, p)` (Section 2 of the paper) is a simple
+//! undirected graph plus a function `p : E → (0, 1]` giving each edge an
+//! independent probability of existence. `G` is equivalently a distribution
+//! over the `2^m` deterministic subgraphs of `(V, E)` — see
+//! [`crate::sample`] for that view.
+//!
+//! Storage is compressed sparse row (CSR): per-vertex neighbor lists are
+//! sorted by vertex id with a parallel probability array, so
+//!
+//! * neighbor iteration is a contiguous slice scan,
+//! * edge-probability lookup is a binary search in `O(log deg)`,
+//! * the whole structure is immutable and freely shareable across threads.
+
+use crate::error::{GraphError, VertexId};
+use crate::prob::Prob;
+
+/// An immutable uncertain graph in CSR form. Construct via
+/// [`GraphBuilder`](crate::builder::GraphBuilder) or the convenience
+/// constructors in [`crate::builder`].
+#[derive(Clone, PartialEq)]
+pub struct UncertainGraph {
+    /// `offsets[v]..offsets[v+1]` indexes `neighbors`/`probs` for vertex `v`.
+    offsets: Vec<usize>,
+    /// Concatenated sorted adjacency lists (each undirected edge appears twice).
+    neighbors: Vec<VertexId>,
+    /// `probs[i]` is the probability of the edge to `neighbors[i]`.
+    probs: Vec<f64>,
+    /// Number of undirected edges.
+    m: usize,
+    /// Optional human-readable name (dataset label).
+    name: String,
+}
+
+impl UncertainGraph {
+    /// Internal constructor used by the builder; inputs must already satisfy
+    /// the CSR invariants (sorted, symmetric, loop-free, valid probs).
+    pub(crate) fn from_csr_parts(
+        offsets: Vec<usize>,
+        neighbors: Vec<VertexId>,
+        probs: Vec<f64>,
+        name: String,
+    ) -> Self {
+        debug_assert_eq!(neighbors.len(), probs.len());
+        debug_assert_eq!(*offsets.last().unwrap_or(&0), neighbors.len());
+        let m = neighbors.len() / 2;
+        UncertainGraph {
+            offsets,
+            neighbors,
+            probs,
+            m,
+            name,
+        }
+    }
+
+    /// Number of vertices `n = |V|`.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges `m = |E|`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.m
+    }
+
+    /// The dataset name, if one was attached (empty string otherwise).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Replace the dataset name, returning the modified graph.
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Degree of `v`, i.e. `|Γ(v)|`.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        let v = v as usize;
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Sorted slice of neighbors of `v` (the paper's `Γ(v)`).
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize;
+        &self.neighbors[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Probabilities parallel to [`Self::neighbors`].
+    #[inline]
+    pub fn neighbor_probs(&self, v: VertexId) -> &[f64] {
+        let v = v as usize;
+        &self.probs[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Iterate `(neighbor, probability)` pairs of `v` in increasing neighbor
+    /// order.
+    pub fn neighbors_with_probs(
+        &self,
+        v: VertexId,
+    ) -> impl ExactSizeIterator<Item = (VertexId, f64)> + '_ {
+        self.neighbors(v)
+            .iter()
+            .copied()
+            .zip(self.neighbor_probs(v).iter().copied())
+    }
+
+    /// True if the possible edge `{u, v}` is in `E`.
+    #[inline]
+    pub fn contains_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.edge_prob_raw(u, v).is_some()
+    }
+
+    /// Probability of the edge `{u, v}`, or `None` if the edge is absent.
+    pub fn edge_prob(&self, u: VertexId, v: VertexId) -> Option<Prob> {
+        self.edge_prob_raw(u, v).map(Prob::new_unchecked)
+    }
+
+    /// Raw `f64` probability lookup via binary search into the sorted
+    /// adjacency of the lower-degree endpoint.
+    #[inline]
+    pub fn edge_prob_raw(&self, u: VertexId, v: VertexId) -> Option<f64> {
+        if u == v || u as usize >= self.num_vertices() || v as usize >= self.num_vertices() {
+            return None;
+        }
+        // Search the shorter list: lookups on skewed-degree graphs then cost
+        // O(log min(deg u, deg v)).
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        let nbrs = self.neighbors(a);
+        let idx = nbrs.binary_search(&b).ok()?;
+        Some(self.neighbor_probs(a)[idx])
+    }
+
+    /// Iterate all undirected edges once, as `(u, v, prob)` with `u < v`,
+    /// in lexicographic order.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId, f64)> + '_ {
+        (0..self.num_vertices() as VertexId).flat_map(move |u| {
+            self.neighbors_with_probs(u)
+                .filter(move |&(v, _)| u < v)
+                .map(move |(v, p)| (u, v, p))
+        })
+    }
+
+    /// Iterate vertex ids `0..n`.
+    pub fn vertices(&self) -> impl ExactSizeIterator<Item = VertexId> {
+        0..self.num_vertices() as VertexId
+    }
+
+    /// Largest degree in the graph (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.vertices().map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Smallest edge probability, or `None` for an edgeless graph.
+    pub fn min_edge_prob(&self) -> Option<f64> {
+        self.probs.iter().copied().reduce(f64::min)
+    }
+
+    /// Validate the α threshold per the paper's requirement `0 < α ≤ 1`.
+    pub fn validate_alpha(alpha: f64) -> Result<Prob, GraphError> {
+        Prob::new(alpha).map_err(|_| GraphError::InvalidAlpha { value: alpha })
+    }
+
+    /// Check internal CSR invariants; used by tests and the binary reader.
+    ///
+    /// Verified invariants: offsets monotone and bounded, adjacency sorted
+    /// strictly increasing (no duplicates), no self-loops, probabilities in
+    /// `(0, 1]`, and symmetry (`v ∈ Γ(u)` ⇔ `u ∈ Γ(v)` with equal
+    /// probability).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let n = self.num_vertices();
+        if self.offsets[0] != 0 {
+            return Err("offsets must start at 0".into());
+        }
+        for v in 0..n {
+            if self.offsets[v] > self.offsets[v + 1] {
+                return Err(format!("offsets not monotone at {v}"));
+            }
+        }
+        if *self.offsets.last().unwrap() != self.neighbors.len() {
+            return Err("offsets do not cover neighbor array".into());
+        }
+        if self.neighbors.len() != self.probs.len() {
+            return Err("neighbor/prob arrays differ in length".into());
+        }
+        for v in 0..n as VertexId {
+            let nbrs = self.neighbors(v);
+            for w in nbrs.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(format!("adjacency of {v} not strictly sorted"));
+                }
+            }
+            for (&u, &p) in nbrs.iter().zip(self.neighbor_probs(v)) {
+                if u == v {
+                    return Err(format!("self-loop on {v}"));
+                }
+                if u as usize >= n {
+                    return Err(format!("neighbor {u} of {v} out of range"));
+                }
+                if !(p > 0.0 && p <= 1.0) {
+                    return Err(format!("probability {p} on edge {{{v},{u}}} out of range"));
+                }
+                match self.edge_prob_raw(u, v) {
+                    Some(q) if q == p => {}
+                    _ => return Err(format!("edge {{{v},{u}}} not symmetric")),
+                }
+            }
+        }
+        if !self.neighbors.len().is_multiple_of(2) {
+            return Err("odd number of directed arcs".into());
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for UncertainGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UncertainGraph")
+            .field("name", &self.name)
+            .field("n", &self.num_vertices())
+            .field("m", &self.num_edges())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::GraphBuilder;
+
+    fn triangle() -> crate::UncertainGraph {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 0.5).unwrap();
+        b.add_edge(1, 2, 0.25).unwrap();
+        b.add_edge(0, 2, 1.0).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = triangle();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.min_edge_prob(), Some(0.25));
+    }
+
+    #[test]
+    fn neighbors_are_sorted_with_parallel_probs() {
+        let g = triangle();
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.neighbor_probs(1), &[0.5, 0.25]);
+        let pairs: Vec<_> = g.neighbors_with_probs(1).collect();
+        assert_eq!(pairs, vec![(0, 0.5), (2, 0.25)]);
+    }
+
+    #[test]
+    fn edge_prob_lookup_both_directions() {
+        let g = triangle();
+        assert_eq!(g.edge_prob_raw(0, 1), Some(0.5));
+        assert_eq!(g.edge_prob_raw(1, 0), Some(0.5));
+        assert_eq!(g.edge_prob(2, 0).unwrap().get(), 1.0);
+        assert_eq!(g.edge_prob_raw(0, 0), None);
+        assert_eq!(g.edge_prob_raw(0, 99), None);
+        assert!(g.contains_edge(1, 2));
+    }
+
+    #[test]
+    fn edges_iterates_each_once_lexicographically() {
+        let g = triangle();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1, 0.5), (0, 2, 1.0), (1, 2, 0.25)]);
+    }
+
+    #[test]
+    fn isolated_vertices_have_empty_adjacency() {
+        let g = GraphBuilder::new(4).build();
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.degree(3), 0);
+        assert!(g.neighbors(3).is_empty());
+        assert_eq!(g.min_edge_prob(), None);
+        assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    fn invariants_hold_for_builder_output() {
+        triangle().check_invariants().unwrap();
+        GraphBuilder::new(0).build().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn name_round_trip() {
+        let g = triangle().with_name("tri");
+        assert_eq!(g.name(), "tri");
+        assert!(format!("{g:?}").contains("tri"));
+    }
+
+    #[test]
+    fn validate_alpha_bounds() {
+        assert!(crate::UncertainGraph::validate_alpha(0.5).is_ok());
+        assert!(crate::UncertainGraph::validate_alpha(1.0).is_ok());
+        assert!(crate::UncertainGraph::validate_alpha(0.0).is_err());
+        assert!(crate::UncertainGraph::validate_alpha(1.1).is_err());
+    }
+}

@@ -1,0 +1,282 @@
+//! Validated probability values and probability arithmetic.
+//!
+//! The paper assigns every edge a probability of existence `p(e) ∈ (0, 1]`
+//! (Section 2). Clique probabilities are products of edge probabilities
+//! (Observation 1), and the enumeration algorithms maintain those products
+//! incrementally. This module provides:
+//!
+//! * [`Prob`] — a newtype over `f64` that is validated to lie in `(0, 1]` at
+//!   the API boundary, so the rest of the library never has to re-check.
+//! * [`LogProb`] — a log-domain accumulator for very long products, used by
+//!   diagnostics that need to report probabilities of huge cliques without
+//!   underflow.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error produced when constructing a [`Prob`] from an out-of-range value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbError {
+    /// The offending raw value.
+    pub value: f64,
+}
+
+impl fmt::Display for ProbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "probability {} outside the half-open interval (0, 1]",
+            self.value
+        )
+    }
+}
+
+impl std::error::Error for ProbError {}
+
+/// An edge-existence probability, guaranteed to lie in `(0, 1]`.
+///
+/// Zero is excluded on purpose: the paper's model (`p : E → (0, 1]`) treats a
+/// zero-probability edge as a non-edge, and keeping it out of the type means
+/// clique probabilities can never silently become zero through a stored edge.
+///
+/// ```
+/// use ugraph_core::Prob;
+/// let p = Prob::new(0.5).unwrap();
+/// assert_eq!(p.get(), 0.5);
+/// assert!(Prob::new(0.0).is_err());
+/// assert!(Prob::new(1.5).is_err());
+/// assert!(Prob::new(f64::NAN).is_err());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(try_from = "f64", into = "f64")]
+pub struct Prob(f64);
+
+impl Prob {
+    /// The probability `1.0` — a deterministic edge.
+    pub const ONE: Prob = Prob(1.0);
+
+    /// Validate and wrap a raw probability.
+    ///
+    /// Returns an error unless `0 < value <= 1` (NaN is rejected because all
+    /// comparisons with NaN are false).
+    pub fn new(value: f64) -> Result<Self, ProbError> {
+        if value > 0.0 && value <= 1.0 {
+            Ok(Prob(value))
+        } else {
+            Err(ProbError { value })
+        }
+    }
+
+    /// Wrap a value already known to be in range.
+    ///
+    /// # Panics
+    /// Panics in debug builds if the value is out of range. Intended for hot
+    /// paths where the invariant is structurally guaranteed (e.g. products of
+    /// stored probabilities are only used as raw `f64`, never rewrapped).
+    #[inline]
+    pub fn new_unchecked(value: f64) -> Self {
+        debug_assert!(value > 0.0 && value <= 1.0, "Prob out of range: {value}");
+        Prob(value)
+    }
+
+    /// The raw `f64` value.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Natural logarithm of the probability (always ≤ 0).
+    #[inline]
+    pub fn ln(self) -> f64 {
+        self.0.ln()
+    }
+
+    /// Clamp an arbitrary finite value into `(0, 1]`, mapping non-positive
+    /// values to `min_positive` and values above one to exactly one.
+    ///
+    /// Useful for generators that produce scores from noisy formulas.
+    pub fn clamped(value: f64, min_positive: f64) -> Self {
+        assert!(
+            min_positive > 0.0 && min_positive <= 1.0,
+            "min_positive must itself be a valid probability"
+        );
+        if value.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            Prob(min_positive)
+        } else if value > 1.0 {
+            Prob(1.0)
+        } else {
+            Prob(value)
+        }
+    }
+}
+
+impl TryFrom<f64> for Prob {
+    type Error = ProbError;
+    fn try_from(value: f64) -> Result<Self, Self::Error> {
+        Prob::new(value)
+    }
+}
+
+impl From<Prob> for f64 {
+    fn from(p: Prob) -> f64 {
+        p.0
+    }
+}
+
+impl fmt::Display for Prob {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// A probability maintained in log-space, safe against underflow for products
+/// of hundreds of thousands of factors.
+///
+/// ```
+/// use ugraph_core::{LogProb, Prob};
+/// let mut lp = LogProb::one();
+/// for _ in 0..10_000 {
+///     lp.mul(Prob::new(0.5).unwrap());
+/// }
+/// // 0.5^10000 underflows f64 (~1e-3010) but the log form is exact enough.
+/// assert!((lp.ln() - 10_000.0 * 0.5f64.ln()).abs() < 1e-6);
+/// assert_eq!(lp.to_f64(), 0.0); // underflow when converted back
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogProb {
+    ln: f64,
+}
+
+impl LogProb {
+    /// The multiplicative identity (probability one, log zero).
+    pub fn one() -> Self {
+        LogProb { ln: 0.0 }
+    }
+
+    /// Build from a linear-domain probability.
+    pub fn from_prob(p: Prob) -> Self {
+        LogProb { ln: p.ln() }
+    }
+
+    /// Multiply by a probability (adds logs).
+    #[inline]
+    pub fn mul(&mut self, p: Prob) {
+        self.ln += p.ln();
+    }
+
+    /// The accumulated natural log.
+    #[inline]
+    pub fn ln(self) -> f64 {
+        self.ln
+    }
+
+    /// Convert back to linear domain (may underflow to zero).
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        self.ln.exp()
+    }
+
+    /// True if this log-probability is at least `alpha` (compared in log
+    /// space, so no underflow for tiny values).
+    #[inline]
+    pub fn at_least(self, alpha: Prob) -> bool {
+        self.ln >= alpha.ln()
+    }
+}
+
+impl Default for LogProb {
+    fn default() -> Self {
+        LogProb::one()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_open_unit_interval() {
+        for v in [1e-300, 1e-9, 0.25, 0.5, 0.999, 1.0] {
+            assert_eq!(Prob::new(v).unwrap().get(), v);
+        }
+    }
+
+    #[test]
+    fn rejects_zero_negative_large_nan() {
+        for v in [0.0, -0.5, -0.0, 1.0000001, 2.0, f64::NAN, f64::INFINITY] {
+            assert!(Prob::new(v).is_err(), "{v} should be rejected");
+        }
+    }
+
+    #[test]
+    fn error_displays_value() {
+        let e = Prob::new(3.0).unwrap_err();
+        assert!(e.to_string().contains('3'));
+    }
+
+    #[test]
+    fn one_constant_is_one() {
+        assert_eq!(Prob::ONE.get(), 1.0);
+        assert_eq!(Prob::ONE.ln(), 0.0);
+    }
+
+    #[test]
+    fn clamped_maps_out_of_range() {
+        assert_eq!(Prob::clamped(-2.0, 1e-6).get(), 1e-6);
+        assert_eq!(Prob::clamped(0.0, 1e-6).get(), 1e-6);
+        assert_eq!(Prob::clamped(f64::NAN, 1e-6).get(), 1e-6);
+        assert_eq!(Prob::clamped(7.0, 1e-6).get(), 1.0);
+        assert_eq!(Prob::clamped(0.3, 1e-6).get(), 0.3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn clamped_rejects_bad_floor() {
+        let _ = Prob::clamped(0.5, 0.0);
+    }
+
+    #[test]
+    fn try_from_round_trips() {
+        let p: Prob = 0.75f64.try_into().unwrap();
+        let raw: f64 = p.into();
+        assert_eq!(raw, 0.75);
+    }
+
+    #[test]
+    fn log_prob_tracks_products() {
+        let mut lp = LogProb::one();
+        let mut direct = 1.0f64;
+        for i in 1..=20 {
+            let p = Prob::new(i as f64 / 21.0).unwrap();
+            lp.mul(p);
+            direct *= p.get();
+        }
+        assert!((lp.to_f64() - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_prob_threshold_without_underflow() {
+        let mut lp = LogProb::one();
+        for _ in 0..100_000 {
+            lp.mul(Prob::new(0.9).unwrap());
+        }
+        assert!(!lp.at_least(Prob::new(0.5).unwrap()));
+        assert!(lp.at_least(Prob::new_unchecked(f64::MIN_POSITIVE)) == (lp.ln() >= f64::MIN_POSITIVE.ln()));
+    }
+
+    #[test]
+    fn log_prob_from_prob_matches_mul() {
+        let p = Prob::new(0.37).unwrap();
+        let a = LogProb::from_prob(p);
+        let mut b = LogProb::one();
+        b.mul(p);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn prob_ordering() {
+        let a = Prob::new(0.2).unwrap();
+        let b = Prob::new(0.7).unwrap();
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,220 @@
+//! Possible-world semantics: sampling deterministic graphs from an
+//! uncertain graph.
+//!
+//! An uncertain graph is a distribution over `2^m` deterministic subgraphs
+//! (`D(G)` in Section 2); sampling draws each edge independently with its
+//! probability. This module provides world sampling and a Monte-Carlo
+//! estimator for clique probabilities, used to validate the closed-form
+//! product of Observation 1 end-to-end.
+
+use crate::error::VertexId;
+use crate::graph::UncertainGraph;
+use rand::Rng;
+
+/// A deterministic graph sampled from an uncertain graph: the surviving
+/// edge set, stored as sorted adjacency (no probabilities).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct World {
+    offsets: Vec<usize>,
+    neighbors: Vec<VertexId>,
+}
+
+impl World {
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of surviving undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Sorted neighbors of `v` in this world.
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize;
+        &self.neighbors[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// True if edge `{u, v}` survived.
+    pub fn contains_edge(&self, u: VertexId, v: VertexId) -> bool {
+        u != v && self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// True if `c` is a (deterministic) clique in this world.
+    pub fn is_clique(&self, c: &[VertexId]) -> bool {
+        for (i, &u) in c.iter().enumerate() {
+            for &v in &c[i + 1..] {
+                if !self.contains_edge(u, v) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Sample one possible world: each edge kept independently with its
+/// probability (the sampling procedure described in Section 2).
+pub fn sample_world<R: Rng + ?Sized>(g: &UncertainGraph, rng: &mut R) -> World {
+    let n = g.num_vertices();
+    let mut kept: Vec<(VertexId, VertexId)> = Vec::new();
+    for (u, v, p) in g.edges() {
+        if rng.gen::<f64>() < p {
+            kept.push((u, v));
+        }
+    }
+    let mut degree = vec![0usize; n];
+    for &(u, v) in &kept {
+        degree[u as usize] += 1;
+        degree[v as usize] += 1;
+    }
+    let mut offsets = Vec::with_capacity(n + 1);
+    offsets.push(0);
+    for v in 0..n {
+        offsets.push(offsets[v] + degree[v]);
+    }
+    let mut neighbors = vec![0 as VertexId; offsets[n]];
+    let mut cursor = offsets.clone();
+    for &(u, v) in &kept {
+        neighbors[cursor[u as usize]] = v;
+        cursor[u as usize] += 1;
+        neighbors[cursor[v as usize]] = u;
+        cursor[v as usize] += 1;
+    }
+    for v in 0..n {
+        neighbors[offsets[v]..offsets[v + 1]].sort_unstable();
+    }
+    World { offsets, neighbors }
+}
+
+/// Monte-Carlo estimate of `clq(C, G)`: the fraction of `samples` worlds in
+/// which `C` is a clique. Only the edges among `C` are sampled, so the cost
+/// is `O(samples · |C|²)` regardless of graph size.
+///
+/// Returns `0.0` if `C` is not even a skeleton clique (some pair has no
+/// possible edge).
+pub fn estimate_clique_probability<R: Rng + ?Sized>(
+    g: &UncertainGraph,
+    c: &[VertexId],
+    samples: usize,
+    rng: &mut R,
+) -> f64 {
+    assert!(samples > 0, "need at least one sample");
+    // Collect the pairwise edge probabilities once.
+    let mut edge_probs = Vec::with_capacity(c.len() * c.len().saturating_sub(1) / 2);
+    for (i, &u) in c.iter().enumerate() {
+        for &v in &c[i + 1..] {
+            match g.edge_prob_raw(u, v) {
+                Some(p) => edge_probs.push(p),
+                None => return 0.0,
+            }
+        }
+    }
+    let mut hits = 0usize;
+    for _ in 0..samples {
+        if edge_probs.iter().all(|&p| rng.gen::<f64>() < p) {
+            hits += 1;
+        }
+    }
+    hits as f64 / samples as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edges;
+    use crate::clique::clique_probability;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn fixture() -> UncertainGraph {
+        from_edges(4, &[(0, 1, 0.5), (1, 2, 0.5), (0, 2, 0.25), (2, 3, 1.0)]).unwrap()
+    }
+
+    #[test]
+    fn certain_edges_always_survive() {
+        let g = fixture();
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let w = sample_world(&g, &mut rng);
+            assert!(w.contains_edge(2, 3), "p = 1 edge must always exist");
+            assert!(!w.contains_edge(0, 3), "absent edge can never exist");
+            assert!(w.num_edges() <= g.num_edges());
+            assert_eq!(w.num_vertices(), 4);
+        }
+    }
+
+    #[test]
+    fn world_adjacency_is_symmetric_and_sorted() {
+        let g = fixture();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let w = sample_world(&g, &mut rng);
+        for v in 0..4u32 {
+            let nbrs = w.neighbors(v);
+            assert!(nbrs.windows(2).all(|p| p[0] < p[1]));
+            for &u in nbrs {
+                assert!(w.contains_edge(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn edge_survival_frequency_matches_probability() {
+        let g = fixture();
+        let mut rng = SmallRng::seed_from_u64(42);
+        let trials = 20_000;
+        let mut hits = 0;
+        for _ in 0..trials {
+            if sample_world(&g, &mut rng).contains_edge(0, 2) {
+                hits += 1;
+            }
+        }
+        let freq = hits as f64 / trials as f64;
+        assert!((freq - 0.25).abs() < 0.02, "freq {freq} far from 0.25");
+    }
+
+    #[test]
+    fn world_clique_check() {
+        let g = from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)]).unwrap();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let w = sample_world(&g, &mut rng);
+        assert!(w.is_clique(&[0, 1, 2]));
+        assert!(w.is_clique(&[1]));
+        assert!(w.is_clique(&[]));
+    }
+
+    #[test]
+    fn monte_carlo_matches_closed_form() {
+        let g = fixture();
+        let mut rng = SmallRng::seed_from_u64(99);
+        let exact = clique_probability(&g, &[0, 1, 2]).unwrap(); // 1/16
+        let est = estimate_clique_probability(&g, &[0, 1, 2], 100_000, &mut rng);
+        assert!(
+            (est - exact).abs() < 0.005,
+            "estimate {est} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn monte_carlo_non_clique_is_zero() {
+        let g = fixture();
+        let mut rng = SmallRng::seed_from_u64(5);
+        assert_eq!(estimate_clique_probability(&g, &[0, 3], 100, &mut rng), 0.0);
+    }
+
+    #[test]
+    fn monte_carlo_empty_set_is_one() {
+        let g = fixture();
+        let mut rng = SmallRng::seed_from_u64(5);
+        assert_eq!(estimate_clique_probability(&g, &[], 100, &mut rng), 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn monte_carlo_zero_samples_panics() {
+        let g = fixture();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let _ = estimate_clique_probability(&g, &[0], 0, &mut rng);
+    }
+}

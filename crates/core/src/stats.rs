@@ -1,0 +1,175 @@
+//! Summary statistics for graphs — the columns of the paper's Table 1 plus
+//! distributional diagnostics used when validating dataset stand-ins.
+
+use crate::graph::UncertainGraph;
+use serde::{Deserialize, Serialize};
+
+/// Aggregate statistics of an uncertain graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// Dataset name.
+    pub name: String,
+    /// Number of vertices.
+    pub n: usize,
+    /// Number of undirected edges.
+    pub m: usize,
+    /// Minimum degree.
+    pub min_degree: usize,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Mean degree `2m / n` (0 for the empty graph).
+    pub mean_degree: f64,
+    /// Edge density `2m / (n(n-1))` (0 when `n < 2`).
+    pub density: f64,
+    /// Minimum edge probability (1.0 for edgeless graphs, by convention).
+    pub min_prob: f64,
+    /// Maximum edge probability (1.0 for edgeless graphs, by convention).
+    pub max_prob: f64,
+    /// Mean edge probability (1.0 for edgeless graphs, by convention).
+    pub mean_prob: f64,
+}
+
+impl GraphStats {
+    /// Compute statistics in a single pass over the graph.
+    pub fn compute(g: &UncertainGraph) -> Self {
+        let n = g.num_vertices();
+        let m = g.num_edges();
+        let (mut min_d, mut max_d) = (usize::MAX, 0usize);
+        for v in g.vertices() {
+            let d = g.degree(v);
+            min_d = min_d.min(d);
+            max_d = max_d.max(d);
+        }
+        if n == 0 {
+            min_d = 0;
+        }
+        let (mut min_p, mut max_p, mut sum_p) = (f64::INFINITY, f64::NEG_INFINITY, 0.0f64);
+        for (_, _, p) in g.edges() {
+            min_p = min_p.min(p);
+            max_p = max_p.max(p);
+            sum_p += p;
+        }
+        let (min_prob, max_prob, mean_prob) = if m == 0 {
+            (1.0, 1.0, 1.0)
+        } else {
+            (min_p, max_p, sum_p / m as f64)
+        };
+        GraphStats {
+            name: g.name().to_string(),
+            n,
+            m,
+            min_degree: min_d,
+            max_degree: max_d,
+            mean_degree: if n == 0 { 0.0 } else { 2.0 * m as f64 / n as f64 },
+            density: if n < 2 {
+                0.0
+            } else {
+                2.0 * m as f64 / (n as f64 * (n as f64 - 1.0))
+            },
+            min_prob,
+            max_prob,
+            mean_prob,
+        }
+    }
+}
+
+/// Degree histogram: `hist[d]` is the number of vertices of degree `d`.
+pub fn degree_histogram(g: &UncertainGraph) -> Vec<usize> {
+    let mut hist = vec![0usize; g.max_degree() + 1];
+    for v in g.vertices() {
+        hist[g.degree(v)] += 1;
+    }
+    if g.num_vertices() == 0 {
+        hist.clear();
+    }
+    hist
+}
+
+/// Global clustering coefficient (transitivity): `3 × triangles / wedges`,
+/// computed on the deterministic skeleton. Expensive (`O(Σ deg²)`), intended
+/// for dataset validation on small/medium graphs.
+pub fn global_clustering(g: &UncertainGraph) -> f64 {
+    let mut wedges = 0u64;
+    let mut closed = 0u64; // ordered wedge (u, v, w) with u-w edge, counted per center v
+    for v in g.vertices() {
+        let nbrs = g.neighbors(v);
+        let d = nbrs.len() as u64;
+        wedges += d.saturating_sub(1) * d / 2;
+        for (i, &a) in nbrs.iter().enumerate() {
+            for &b in &nbrs[i + 1..] {
+                if g.contains_edge(a, b) {
+                    closed += 1;
+                }
+            }
+        }
+    }
+    if wedges == 0 {
+        0.0
+    } else {
+        closed as f64 / wedges as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{complete_graph, from_edges, GraphBuilder};
+    use crate::prob::Prob;
+
+    #[test]
+    fn stats_of_triangle_plus_pendant() {
+        let g = from_edges(4, &[(0, 1, 0.2), (1, 2, 0.4), (0, 2, 0.6), (2, 3, 0.8)])
+            .unwrap()
+            .with_name("fix");
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.name, "fix");
+        assert_eq!((s.n, s.m), (4, 4));
+        assert_eq!((s.min_degree, s.max_degree), (1, 3));
+        assert!((s.mean_degree - 2.0).abs() < 1e-12);
+        assert!((s.density - 4.0 / 6.0).abs() < 1e-12);
+        assert_eq!((s.min_prob, s.max_prob), (0.2, 0.8));
+        assert!((s.mean_prob - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_of_empty_graph() {
+        let s = GraphStats::compute(&GraphBuilder::new(0).build());
+        assert_eq!((s.n, s.m, s.min_degree, s.max_degree), (0, 0, 0, 0));
+        assert_eq!(s.mean_prob, 1.0);
+        assert_eq!(s.density, 0.0);
+    }
+
+    #[test]
+    fn stats_of_edgeless_graph() {
+        let s = GraphStats::compute(&GraphBuilder::new(3).build());
+        assert_eq!((s.n, s.m), (3, 0));
+        assert_eq!((s.min_degree, s.max_degree), (0, 0));
+        assert_eq!(s.density, 0.0);
+    }
+
+    #[test]
+    fn degree_histogram_counts() {
+        let g = from_edges(4, &[(0, 1, 0.5), (1, 2, 0.5), (0, 2, 0.5), (2, 3, 0.5)]).unwrap();
+        assert_eq!(degree_histogram(&g), vec![0, 1, 2, 1]); // degrees 2,2,3,1
+        assert!(degree_histogram(&GraphBuilder::new(0).build()).is_empty());
+    }
+
+    #[test]
+    fn clustering_of_complete_graph_is_one() {
+        let g = complete_graph(5, Prob::new(0.5).unwrap());
+        assert!((global_clustering(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clustering_of_star_is_zero() {
+        let g = from_edges(4, &[(0, 1, 0.5), (0, 2, 0.5), (0, 3, 0.5)]).unwrap();
+        assert_eq!(global_clustering(&g), 0.0);
+    }
+
+    #[test]
+    fn clustering_of_triangle_with_pendant() {
+        // Triangle 0-1-2 plus pendant 3 on 2: wedges = 1+1+3+0 = 5, closed = 3.
+        let g = from_edges(4, &[(0, 1, 0.5), (1, 2, 0.5), (0, 2, 0.5), (2, 3, 0.5)]).unwrap();
+        assert!((global_clustering(&g) - 3.0 / 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,132 @@
+//! Barabási–Albert preferential-attachment graphs — the paper's synthetic
+//! family (`BA5000` … `BA10000`, Table 1), generated "using the
+//! Barabási−Albert model" with edge probabilities assigned uniformly at
+//! random.
+//!
+//! Standard construction: start from a small complete seed of `m0 = m`
+//! vertices; each subsequent vertex attaches to `m` distinct existing
+//! vertices chosen proportionally to their degree. Preferential selection
+//! uses the classic repeated-endpoints trick (every edge endpoint is
+//! appended to a list; uniform draws from the list are degree-biased).
+
+use crate::probs::EdgeProbModel;
+use rand::Rng;
+use ugraph_core::{GraphBuilder, UncertainGraph, VertexId};
+
+/// Generate a BA graph on `n` vertices with `m_attach` edges per new
+/// vertex, assigning edge probabilities from `probs`.
+///
+/// # Panics
+/// Panics unless `1 ≤ m_attach < n`.
+pub fn barabasi_albert<R: Rng + ?Sized>(
+    n: usize,
+    m_attach: usize,
+    probs: EdgeProbModel,
+    rng: &mut R,
+) -> UncertainGraph {
+    assert!(m_attach >= 1 && m_attach < n, "need 1 ≤ m_attach < n");
+    let m0 = m_attach; // complete seed on m_attach vertices
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(n * m_attach);
+    // Degree-biased endpoint pool.
+    let mut pool: Vec<VertexId> = Vec::with_capacity(2 * n * m_attach);
+    for u in 0..m0 as VertexId {
+        for v in (u + 1)..m0 as VertexId {
+            edges.push((u, v));
+            pool.push(u);
+            pool.push(v);
+        }
+    }
+    // Seed of size 1 has no edges; make sure the pool is non-empty so the
+    // first attachment can happen (attach uniformly in that case).
+    if pool.is_empty() {
+        pool.push(0);
+    }
+    let mut targets: Vec<VertexId> = Vec::with_capacity(m_attach);
+    for v in m0..n {
+        let v = v as VertexId;
+        targets.clear();
+        // Draw m distinct targets by preferential attachment; rejection on
+        // duplicates terminates fast because m ≪ current vertex count.
+        while targets.len() < m_attach {
+            let cand = pool[rng.gen_range(0..pool.len())];
+            if cand != v && !targets.contains(&cand) {
+                targets.push(cand);
+            }
+        }
+        for &t in &targets {
+            edges.push((t, v));
+            pool.push(t);
+            pool.push(v);
+        }
+    }
+    let mut b = GraphBuilder::with_capacity(n, edges.len());
+    for (u, v) in edges {
+        b.add_edge(u, v, probs.sample(rng)).expect("generated edges are valid");
+    }
+    b.build()
+}
+
+/// Number of edges the construction yields: `C(m,2)` seed edges plus `m`
+/// per attached vertex.
+pub fn ba_edge_count(n: usize, m_attach: usize) -> usize {
+    m_attach * (m_attach - 1) / 2 + (n - m_attach) * m_attach
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+
+    #[test]
+    fn edge_count_is_deterministic_formula() {
+        let mut rng = rng_from_seed(1);
+        for (n, m) in [(50, 3), (100, 10), (200, 1)] {
+            let g = barabasi_albert(n, m, EdgeProbModel::Fixed(0.5), &mut rng);
+            assert_eq!(g.num_vertices(), n);
+            assert_eq!(g.num_edges(), ba_edge_count(n, m), "n={n}, m={m}");
+            g.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn minimum_degree_is_attachment_count() {
+        let mut rng = rng_from_seed(2);
+        let g = barabasi_albert(100, 5, EdgeProbModel::Fixed(0.5), &mut rng);
+        for v in g.vertices() {
+            assert!(g.degree(v) >= 5, "vertex {v} degree {}", g.degree(v));
+        }
+    }
+
+    #[test]
+    fn produces_skewed_degrees() {
+        let mut rng = rng_from_seed(3);
+        let g = barabasi_albert(2000, 4, EdgeProbModel::Fixed(0.5), &mut rng);
+        // Preferential attachment: the hub should far exceed the median.
+        let mut degs: Vec<usize> = g.vertices().map(|v| g.degree(v)).collect();
+        degs.sort_unstable();
+        let median = degs[degs.len() / 2];
+        let max = *degs.last().unwrap();
+        assert!(max >= 5 * median, "max {max} vs median {median}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g1 = barabasi_albert(80, 3, EdgeProbModel::Uniform { lo: 0.0, hi: 1.0 }, &mut rng_from_seed(9));
+        let g2 = barabasi_albert(80, 3, EdgeProbModel::Uniform { lo: 0.0, hi: 1.0 }, &mut rng_from_seed(9));
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_bad_attachment() {
+        let mut rng = rng_from_seed(1);
+        let _ = barabasi_albert(5, 5, EdgeProbModel::Fixed(0.5), &mut rng);
+    }
+
+    #[test]
+    fn m_attach_one_builds_tree_plus_seed() {
+        let mut rng = rng_from_seed(4);
+        let g = barabasi_albert(64, 1, EdgeProbModel::Fixed(0.5), &mut rng);
+        assert_eq!(g.num_edges(), 63); // a random recursive tree
+    }
+}

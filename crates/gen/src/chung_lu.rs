@@ -1,0 +1,160 @@
+//! Chung–Lu style power-law graphs: stand-ins for the SNAP topologies
+//! (wiki-vote, p2p-Gnutella) whose raw data we do not ship.
+//!
+//! The generator targets a vertex count `n`, an edge count `m`, and a
+//! power-law exponent `gamma` for the degree tail. Vertices get weights
+//! `w_i ∝ (i + i₀)^{−1/(γ−1)}` (a Zipf ranking); edges are formed by
+//! drawing both endpoints weight-proportionally and rejecting self-loops
+//! and duplicates. Expected degrees are proportional to the weights, which
+//! reproduces the heavy-tailed degree sequence and — crucially for the
+//! paper's experiments — the dense high-degree core that makes maximal
+//! clique enumeration expensive on wiki-vote.
+
+use crate::probs::EdgeProbModel;
+use rand::distributions::{Distribution, WeightedIndex};
+use rand::Rng;
+use std::collections::HashSet;
+use ugraph_core::{GraphBuilder, UncertainGraph, VertexId};
+
+/// Parameters for [`chung_lu`].
+#[derive(Debug, Clone, Copy)]
+pub struct ChungLuParams {
+    /// Number of vertices.
+    pub n: usize,
+    /// Target number of distinct edges (achieved exactly unless the weight
+    /// distribution cannot support it; see `max_attempts`).
+    pub m: usize,
+    /// Power-law exponent of the degree distribution (2 < γ ≤ 3.5 typical;
+    /// smaller γ → heavier tail → denser core).
+    pub gamma: f64,
+    /// Rank offset `i₀` damping the largest weights (larger → flatter).
+    pub rank_offset: f64,
+}
+
+/// Generate a Chung–Lu style graph. Deterministic given the RNG state.
+pub fn chung_lu<R: Rng + ?Sized>(
+    params: ChungLuParams,
+    probs: EdgeProbModel,
+    rng: &mut R,
+) -> UncertainGraph {
+    let ChungLuParams {
+        n,
+        m,
+        gamma,
+        rank_offset,
+    } = params;
+    assert!(n >= 2, "need at least two vertices");
+    assert!(gamma > 1.0, "gamma must exceed 1");
+    let max_m = n * (n - 1) / 2;
+    assert!(m <= max_m, "m = {m} exceeds C({n},2)");
+
+    let exponent = 1.0 / (gamma - 1.0);
+    let weights: Vec<f64> = (0..n)
+        .map(|i| (i as f64 + rank_offset).powf(-exponent))
+        .collect();
+    let dist = WeightedIndex::new(&weights).expect("positive weights");
+
+    let mut used: HashSet<(VertexId, VertexId)> = HashSet::with_capacity(m * 2);
+    let mut b = GraphBuilder::with_capacity(n, m);
+    // Rejection cap: heavy-tailed weights occasionally make the last few
+    // edges hard to place; fall back to uniform pairs so the target m is
+    // always met (a tiny fraction of edges, shape unaffected).
+    let mut attempts = 0usize;
+    let max_attempts = 50 * m + 1000;
+    while used.len() < m {
+        attempts += 1;
+        let (u, v) = if attempts <= max_attempts {
+            (dist.sample(rng) as VertexId, dist.sample(rng) as VertexId)
+        } else {
+            (
+                rng.gen_range(0..n as VertexId),
+                rng.gen_range(0..n as VertexId),
+            )
+        };
+        if u == v {
+            continue;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if used.insert(key) {
+            b.add_edge(key.0, key.1, probs.sample(rng)).expect("valid pair");
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+
+    fn params(n: usize, m: usize) -> ChungLuParams {
+        ChungLuParams {
+            n,
+            m,
+            gamma: 2.3,
+            rank_offset: 10.0,
+        }
+    }
+
+    #[test]
+    fn hits_exact_edge_target() {
+        let mut rng = rng_from_seed(1);
+        for (n, m) in [(100, 300), (500, 1500), (50, 0)] {
+            let g = chung_lu(params(n, m), EdgeProbModel::Fixed(0.5), &mut rng);
+            assert_eq!(g.num_vertices(), n);
+            assert_eq!(g.num_edges(), m);
+            g.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn low_ranks_are_hubs() {
+        let mut rng = rng_from_seed(2);
+        let g = chung_lu(params(2000, 8000), EdgeProbModel::Fixed(0.5), &mut rng);
+        let head: usize = (0..20u32).map(|v| g.degree(v)).sum();
+        let tail: usize = (1980..2000u32).map(|v| g.degree(v)).sum();
+        assert!(
+            head > 5 * tail.max(1),
+            "head degree {head} should dwarf tail {tail}"
+        );
+    }
+
+    #[test]
+    fn heavier_tail_with_smaller_gamma() {
+        let mut r1 = rng_from_seed(3);
+        let mut r2 = rng_from_seed(3);
+        let heavy = chung_lu(
+            ChungLuParams { n: 1000, m: 5000, gamma: 2.05, rank_offset: 5.0 },
+            EdgeProbModel::Fixed(0.5),
+            &mut r1,
+        );
+        let light = chung_lu(
+            ChungLuParams { n: 1000, m: 5000, gamma: 3.2, rank_offset: 5.0 },
+            EdgeProbModel::Fixed(0.5),
+            &mut r2,
+        );
+        assert!(heavy.max_degree() > light.max_degree());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = chung_lu(params(200, 600), EdgeProbModel::Uniform { lo: 0.0, hi: 1.0 }, &mut rng_from_seed(9));
+        let b = chung_lu(params(200, 600), EdgeProbModel::Uniform { lo: 0.0, hi: 1.0 }, &mut rng_from_seed(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dense_request_still_terminates() {
+        let mut rng = rng_from_seed(4);
+        // m close to the maximum forces the uniform fallback path.
+        let g = chung_lu(params(20, 180), EdgeProbModel::Fixed(0.5), &mut rng);
+        assert_eq!(g.num_edges(), 180);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_impossible_m() {
+        let mut rng = rng_from_seed(5);
+        let _ = chung_lu(params(10, 46), EdgeProbModel::Fixed(0.5), &mut rng);
+    }
+}

@@ -1,0 +1,133 @@
+//! Erdős–Rényi random graphs: `G(n, m)` (exactly `m` edges) and
+//! `G(n, p)` (each pair independently).
+//!
+//! Not part of the paper's evaluation, but the workhorse for randomized
+//! cross-checking (small dense graphs exercise every branch of the
+//! enumeration kernels) and for extra workloads.
+
+use crate::probs::EdgeProbModel;
+use rand::Rng;
+use ugraph_core::{GraphBuilder, UncertainGraph, VertexId};
+
+/// `G(n, m)`: exactly `m` distinct edges sampled uniformly from all pairs.
+///
+/// # Panics
+/// Panics if `m` exceeds `C(n, 2)`.
+pub fn gnm<R: Rng + ?Sized>(
+    n: usize,
+    m: usize,
+    probs: EdgeProbModel,
+    rng: &mut R,
+) -> UncertainGraph {
+    let max_m = n * n.saturating_sub(1) / 2;
+    assert!(m <= max_m, "m = {m} exceeds C({n},2) = {max_m}");
+    let mut b = GraphBuilder::with_capacity(n, m);
+    if m == 0 {
+        return b.build();
+    }
+    if m * 3 >= max_m {
+        // Dense: enumerate all pairs and sample m of them (reservoir).
+        let mut chosen: Vec<(VertexId, VertexId)> = Vec::with_capacity(m);
+        let mut seen = 0usize;
+        for u in 0..n as VertexId {
+            for v in (u + 1)..n as VertexId {
+                seen += 1;
+                if chosen.len() < m {
+                    chosen.push((u, v));
+                } else {
+                    let j = rng.gen_range(0..seen);
+                    if j < m {
+                        chosen[j] = (u, v);
+                    }
+                }
+            }
+        }
+        for (u, v) in chosen {
+            b.add_edge(u, v, probs.sample(rng)).expect("valid pair");
+        }
+    } else {
+        // Sparse: rejection-sample distinct pairs.
+        let mut used = std::collections::HashSet::with_capacity(m * 2);
+        while used.len() < m {
+            let u = rng.gen_range(0..n as VertexId);
+            let v = rng.gen_range(0..n as VertexId);
+            if u == v {
+                continue;
+            }
+            let key = if u < v { (u, v) } else { (v, u) };
+            if used.insert(key) {
+                b.add_edge(key.0, key.1, probs.sample(rng)).expect("valid pair");
+            }
+        }
+    }
+    b.build()
+}
+
+/// `G(n, p)`: each of the `C(n, 2)` pairs independently with probability
+/// `p_edge`. Quadratic scan — intended for small test graphs.
+pub fn gnp<R: Rng + ?Sized>(
+    n: usize,
+    p_edge: f64,
+    probs: EdgeProbModel,
+    rng: &mut R,
+) -> UncertainGraph {
+    assert!((0.0..=1.0).contains(&p_edge), "p_edge must be a probability");
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n as VertexId {
+        for v in (u + 1)..n as VertexId {
+            if rng.gen::<f64>() < p_edge {
+                b.add_edge(u, v, probs.sample(rng)).expect("valid pair");
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+
+    #[test]
+    fn gnm_exact_edge_count_sparse_and_dense() {
+        let mut rng = rng_from_seed(1);
+        for (n, m) in [(30, 10), (30, 400), (30, 435), (30, 0), (10, 45)] {
+            let g = gnm(n, m, EdgeProbModel::Fixed(0.5), &mut rng);
+            assert_eq!(g.num_edges(), m, "n={n}, m={m}");
+            assert_eq!(g.num_vertices(), n);
+            g.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn gnm_too_many_edges_panics() {
+        let mut rng = rng_from_seed(1);
+        let _ = gnm(5, 11, EdgeProbModel::Fixed(0.5), &mut rng);
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        let mut rng = rng_from_seed(2);
+        let empty = gnp(20, 0.0, EdgeProbModel::Fixed(0.5), &mut rng);
+        assert_eq!(empty.num_edges(), 0);
+        let full = gnp(20, 1.0, EdgeProbModel::Fixed(0.5), &mut rng);
+        assert_eq!(full.num_edges(), 190);
+    }
+
+    #[test]
+    fn gnp_edge_count_near_expectation() {
+        let mut rng = rng_from_seed(3);
+        let g = gnp(100, 0.3, EdgeProbModel::Fixed(0.5), &mut rng);
+        let expected = 0.3 * 4950.0;
+        let got = g.num_edges() as f64;
+        assert!((got - expected).abs() < 200.0, "got {got}, expected {expected}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = gnm(40, 100, EdgeProbModel::Uniform { lo: 0.0, hi: 1.0 }, &mut rng_from_seed(5));
+        let b = gnm(40, 100, EdgeProbModel::Uniform { lo: 0.0, hi: 1.0 }, &mut rng_from_seed(5));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,179 @@
+//! Extremal constructions from Section 3.
+//!
+//! * [`lemma1_graph`] — the witness of the lower bound in Lemma 1: the
+//!   complete uncertain graph `K_n` with uniform probability
+//!   `q = α^{1/κ}`, `κ = C(⌊n/2⌋, 2)`. Every ⌊n/2⌋-subset has clique
+//!   probability exactly α, every larger set falls below α, so the
+//!   α-maximal cliques are exactly the `C(n, ⌊n/2⌋)` half-size subsets.
+//! * [`moon_moser_graph`] — the deterministic extremal family: complete
+//!   multipartite graphs with parts of size 3 (adjusted for `n mod 3`),
+//!   attaining Moon–Moser's `3^{n/3}` maximal cliques.
+
+use ugraph_core::{GraphBuilder, Prob, UncertainGraph, VertexId};
+
+/// Build the Lemma 1 extremal uncertain graph for `n ≥ 2` vertices and
+/// `0 < α < 1`. Its α-maximal cliques are exactly the subsets of size
+/// `⌊n/2⌋`, of which there are `C(n, ⌊n/2⌋)` — the maximum possible
+/// (Theorem 1).
+///
+/// For `n ∈ {2, 3}` the half-size subsets are singletons, realized by
+/// making every edge fail the threshold (`q = α/2`).
+///
+/// # Panics
+/// Panics unless `n ≥ 2` and `0 < α < 1` (at `α = 1` the bound is the
+/// smaller Moon–Moser number; see [`moon_moser_graph`]).
+pub fn lemma1_graph(n: usize, alpha: f64) -> UncertainGraph {
+    assert!(n >= 2, "extremal construction needs n ≥ 2");
+    assert!(alpha > 0.0 && alpha < 1.0, "Lemma 1 requires 0 < α < 1");
+    let half = n / 2;
+    let kappa = half * half.saturating_sub(1) / 2; // C(⌊n/2⌋, 2)
+    let q = if kappa == 0 {
+        // Half-size sets are singletons/pairs with no internal edges to
+        // tune; suppress every edge below the threshold instead.
+        alpha / 2.0
+    } else {
+        // powf rounding can leave the κ-fold product a few ULPs below α —
+        // and different enumerators multiply the κ factors in different
+        // orders (the oracle goes pairwise left-to-right, MULE accumulates
+        // per-vertex factors), each with its own rounding. A relative nudge
+        // of 10⁻¹² inflates the product by ~κ·10⁻¹², far above the ~κ·ε
+        // spread between orderings and far below the q^⌊n/2⌋ gap to the
+        // next clique size, so *every* ordering classifies the half-size
+        // sets as α-cliques and their supersets as not.
+        let mut q = alpha.powf(1.0 / kappa as f64) * (1.0 + 1e-12);
+        while seq_pow(q, kappa) < alpha {
+            q = next_up(q);
+        }
+        q.min(1.0 - f64::EPSILON)
+    };
+    let q = Prob::new(q).expect("α^(1/κ) ∈ (0, 1) for 0 < α < 1");
+    let mut b = GraphBuilder::with_capacity(n, n * (n - 1) / 2);
+    for u in 0..n as VertexId {
+        for v in (u + 1)..n as VertexId {
+            b.add_edge(u, v, q.get()).expect("complete graph edges valid");
+        }
+    }
+    b.build().with_name(format!("lemma1(n={n}, alpha={alpha})"))
+}
+
+/// `q` multiplied by itself `k` times, in the same left-to-right order the
+/// clique-probability oracle uses — FP-exact agreement matters here.
+fn seq_pow(q: f64, k: usize) -> f64 {
+    let mut acc = 1.0f64;
+    for _ in 0..k {
+        acc *= q;
+    }
+    acc
+}
+
+/// Smallest `f64` strictly greater than `x` (for positive finite `x`).
+fn next_up(x: f64) -> f64 {
+    f64::from_bits(x.to_bits() + 1)
+}
+
+/// Build the Moon–Moser extremal deterministic graph on `n ≥ 2` vertices:
+/// complete multipartite with independent parts of size 3 (one part of
+/// size 2 when `n ≡ 2 (mod 3)`, two parts of size 2 when `n ≡ 1`). All
+/// edges have probability 1, so its maximal cliques — one vertex per part —
+/// are exactly the Moon–Moser number [`mule-bounds`-style `3^{n/3}` etc.].
+pub fn moon_moser_graph(n: usize) -> UncertainGraph {
+    assert!(n >= 2, "need n ≥ 2");
+    // Part sizes: as many 3s as possible, remainder as 2s.
+    let mut sizes = Vec::new();
+    match n % 3 {
+        0 => sizes.extend(std::iter::repeat_n(3, n / 3)),
+        1 => {
+            // n ≥ 4 here (n=1 excluded by assert).
+            sizes.extend(std::iter::repeat_n(3, n / 3 - 1));
+            sizes.push(2);
+            sizes.push(2);
+        }
+        _ => {
+            sizes.extend(std::iter::repeat_n(3, n / 3));
+            sizes.push(2);
+        }
+    }
+    // part[v] = index of v's independent part.
+    let mut part = Vec::with_capacity(n);
+    for (pi, &s) in sizes.iter().enumerate() {
+        part.extend(std::iter::repeat_n(pi, s));
+    }
+    debug_assert_eq!(part.len(), n);
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n as VertexId {
+        for v in (u + 1)..n as VertexId {
+            if part[u as usize] != part[v as usize] {
+                b.add_edge(u, v, 1.0).expect("valid edge");
+            }
+        }
+    }
+    b.build().with_name(format!("moon-moser(n={n})"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugraph_core::clique;
+
+    #[test]
+    fn lemma1_half_sets_sit_exactly_at_alpha() {
+        for (n, alpha) in [(6usize, 0.3f64), (7, 0.5), (8, 0.01), (5, 0.9)] {
+            let g = lemma1_graph(n, alpha);
+            let half = n / 2;
+            let set: Vec<u32> = (0..half as u32).collect();
+            let q = clique::clique_probability(&g, &set).unwrap();
+            assert!(
+                (q - alpha).abs() < 1e-9,
+                "n={n}, α={alpha}: half-set prob {q}"
+            );
+            let bigger: Vec<u32> = (0..(half + 1) as u32).collect();
+            assert!(clique::clique_probability(&g, &bigger).unwrap() < alpha);
+        }
+    }
+
+    #[test]
+    fn lemma1_half_sets_are_maximal() {
+        let g = lemma1_graph(6, 0.4);
+        assert!(clique::is_alpha_maximal(&g, &[0, 1, 2], 0.4));
+        assert!(clique::is_alpha_maximal(&g, &[1, 3, 5], 0.4));
+        assert!(!clique::is_alpha_maximal(&g, &[0, 1], 0.4)); // extendable
+        assert!(!clique::is_alpha_clique(&g, &[0, 1, 2, 3], 0.4));
+    }
+
+    #[test]
+    fn lemma1_small_n_degenerates_to_singletons() {
+        for n in [2usize, 3] {
+            let g = lemma1_graph(n, 0.5);
+            for v in 0..n as u32 {
+                assert!(clique::is_alpha_maximal(&g, &[v], 0.5), "n={n}, v={v}");
+            }
+            assert!(!clique::is_alpha_clique(&g, &[0, 1], 0.5));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn lemma1_rejects_alpha_one() {
+        let _ = lemma1_graph(5, 1.0);
+    }
+
+    #[test]
+    fn moon_moser_structure() {
+        let g = moon_moser_graph(6); // K(3,3)
+        assert_eq!(g.num_vertices(), 6);
+        // Parts {0,1,2} and {3,4,5}: no intra-part edges.
+        assert!(!g.contains_edge(0, 1));
+        assert!(!g.contains_edge(3, 5));
+        assert!(g.contains_edge(0, 3));
+        assert_eq!(g.num_edges(), 9);
+    }
+
+    #[test]
+    fn moon_moser_remainder_handling() {
+        assert_eq!(moon_moser_graph(4).num_vertices(), 4); // 2 + 2
+        assert_eq!(moon_moser_graph(5).num_vertices(), 5); // 3 + 2
+        assert_eq!(moon_moser_graph(7).num_vertices(), 7); // 3 + 2 + 2
+        // K(2,2): 4 edges.
+        assert_eq!(moon_moser_graph(4).num_edges(), 4);
+    }
+}

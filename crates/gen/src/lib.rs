@@ -1,0 +1,41 @@
+//! # ugraph-gen — workload generators and dataset stand-ins
+//!
+//! Synthesizes every input of the paper's evaluation (Section 5, Table 1):
+//!
+//! * [`ba`] — Barabási–Albert graphs (`BA5000` … `BA10000`);
+//! * [`chung_lu`] — power-law stand-ins for the SNAP topologies
+//!   (wiki-vote, p2p-Gnutella);
+//! * [`affiliation`] — team-projection stand-ins for collaboration and
+//!   protein-complex networks (ca-GrQc, DBLP, Fruit-Fly PPI);
+//! * [`er`] — Erdős–Rényi graphs for randomized testing;
+//! * [`extremal`] — the Lemma 1 and Moon–Moser extremal constructions;
+//! * [`probs`] — edge-probability models (uniform, STRING-like,
+//!   co-authorship `1 − e^{−c/10}`);
+//! * [`datasets`] — the Table 1 registry tying it all together.
+//!
+//! Everything is deterministic given a seed.
+//!
+//! ```
+//! use ugraph_gen::datasets;
+//! let g = datasets::by_name("BA5000").unwrap().build_scaled(42, 0.01);
+//! assert!(g.num_vertices() >= 16);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod affiliation;
+pub mod ba;
+pub mod chung_lu;
+pub mod datasets;
+pub mod er;
+pub mod extremal;
+pub mod planted;
+pub mod probs;
+pub mod rng;
+
+pub use affiliation::{AffiliationParams, AffiliationProbs};
+pub use chung_lu::ChungLuParams;
+pub use datasets::DatasetSpec;
+pub use planted::{PlantedInstance, PlantedParams};
+pub use probs::EdgeProbModel;

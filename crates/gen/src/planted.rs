@@ -1,0 +1,202 @@
+//! Planted-clique workloads: graphs with *known* α-maximal cliques.
+//!
+//! Evaluating a miner on real data only shows counts and runtimes; a
+//! planted workload additionally gives ground truth to recover. The
+//! generator embeds vertex-disjoint cliques with controlled internal edge
+//! probabilities into a background of random noise edges, and reports the
+//! plants so a test can assert each is found (or correctly rejected at
+//! thresholds above its clique probability).
+
+use crate::probs::EdgeProbModel;
+use rand::Rng;
+use std::collections::HashSet;
+use ugraph_core::{GraphBuilder, UncertainGraph, VertexId};
+
+/// Parameters for [`planted_cliques`].
+#[derive(Debug, Clone, Copy)]
+pub struct PlantedParams {
+    /// Total vertices.
+    pub n: usize,
+    /// Number of planted cliques (vertex-disjoint).
+    pub num_plants: usize,
+    /// Vertices per plant.
+    pub plant_size: usize,
+    /// Edge probability inside each plant (high ⇒ reliable community).
+    pub plant_prob: f64,
+    /// Number of random background edges (pairs not inside a plant).
+    pub noise_edges: usize,
+    /// Probability model for background edges (keep the values *below*
+    /// `plant_prob` if you want a threshold that isolates the plants).
+    pub noise_model: EdgeProbModel,
+}
+
+/// A generated planted-clique instance.
+#[derive(Debug, Clone)]
+pub struct PlantedInstance {
+    /// The graph.
+    pub graph: UncertainGraph,
+    /// The planted vertex sets (each sorted ascending).
+    pub plants: Vec<Vec<VertexId>>,
+    /// The clique probability of each plant (`plant_prob^C(size,2)`).
+    pub plant_clique_prob: f64,
+}
+
+/// Generate a planted-clique instance. Plants occupy the lowest
+/// `num_plants · plant_size` vertex ids (disjoint, contiguous); noise
+/// edges avoid plant-internal pairs but may touch plant vertices.
+///
+/// # Panics
+/// Panics if the plants do not fit in `n` or sizes are degenerate.
+pub fn planted_cliques<R: Rng + ?Sized>(
+    params: PlantedParams,
+    rng: &mut R,
+) -> PlantedInstance {
+    let PlantedParams {
+        n,
+        num_plants,
+        plant_size,
+        plant_prob,
+        noise_edges,
+        noise_model,
+    } = params;
+    assert!(plant_size >= 2, "plants must have at least 2 vertices");
+    assert!(
+        num_plants * plant_size <= n,
+        "plants do not fit: {num_plants}×{plant_size} > {n}"
+    );
+    assert!(plant_prob > 0.0 && plant_prob <= 1.0, "invalid plant_prob");
+
+    let mut b = GraphBuilder::new(n);
+    let mut plants = Vec::with_capacity(num_plants);
+    let mut plant_of = vec![usize::MAX; n];
+    for k in 0..num_plants {
+        let base = (k * plant_size) as VertexId;
+        let members: Vec<VertexId> = (base..base + plant_size as VertexId).collect();
+        for (i, &u) in members.iter().enumerate() {
+            plant_of[u as usize] = k;
+            for &v in &members[i + 1..] {
+                b.add_edge(u, v, plant_prob).expect("plant edges valid");
+            }
+        }
+        plants.push(members);
+    }
+
+    // Background noise: uniformly random pairs, skipping pairs internal to
+    // one plant (those already exist) and duplicates.
+    let mut used: HashSet<(VertexId, VertexId)> = HashSet::with_capacity(noise_edges * 2);
+    let mut placed = 0usize;
+    let mut attempts = 0usize;
+    let max_attempts = 100 * noise_edges + 1000;
+    while placed < noise_edges && attempts < max_attempts {
+        attempts += 1;
+        let u = rng.gen_range(0..n as VertexId);
+        let v = rng.gen_range(0..n as VertexId);
+        if u == v {
+            continue;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        let same_plant = plant_of[u as usize] != usize::MAX
+            && plant_of[u as usize] == plant_of[v as usize];
+        if same_plant || !used.insert(key) {
+            continue;
+        }
+        b.add_edge(key.0, key.1, noise_model.sample(rng))
+            .expect("noise edges valid");
+        placed += 1;
+    }
+
+    let pairs = plant_size * (plant_size - 1) / 2;
+    let plant_clique_prob = plant_prob.powi(pairs as i32);
+    PlantedInstance {
+        graph: b.build().with_name(format!(
+            "planted(n={n}, {num_plants}x{plant_size}@{plant_prob})"
+        )),
+        plants,
+        plant_clique_prob,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+
+    fn params() -> PlantedParams {
+        PlantedParams {
+            n: 200,
+            num_plants: 4,
+            plant_size: 6,
+            plant_prob: 0.95,
+            noise_edges: 300,
+            noise_model: EdgeProbModel::Uniform { lo: 0.0, hi: 0.5 },
+        }
+    }
+
+    #[test]
+    fn structure_is_as_declared() {
+        let mut rng = rng_from_seed(1);
+        let inst = planted_cliques(params(), &mut rng);
+        assert_eq!(inst.plants.len(), 4);
+        for plant in &inst.plants {
+            assert_eq!(plant.len(), 6);
+            for (i, &u) in plant.iter().enumerate() {
+                for &v in &plant[i + 1..] {
+                    assert_eq!(inst.graph.edge_prob_raw(u, v), Some(0.95));
+                }
+            }
+        }
+        let expected = 0.95f64.powi(15);
+        assert!((inst.plant_clique_prob - expected).abs() < 1e-12);
+        inst.graph.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn plants_are_disjoint() {
+        let mut rng = rng_from_seed(2);
+        let inst = planted_cliques(params(), &mut rng);
+        let mut seen = std::collections::HashSet::new();
+        for plant in &inst.plants {
+            for &v in plant {
+                assert!(seen.insert(v), "vertex {v} in two plants");
+            }
+        }
+    }
+
+    #[test]
+    fn noise_respects_model_bounds() {
+        let mut rng = rng_from_seed(3);
+        let inst = planted_cliques(params(), &mut rng);
+        for (u, v, p) in inst.graph.edges() {
+            let internal = inst
+                .plants
+                .iter()
+                .any(|pl| pl.contains(&u) && pl.contains(&v));
+            if !internal {
+                assert!(p <= 0.5, "noise edge ({u},{v}) has p={p}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_plants_rejected() {
+        let mut rng = rng_from_seed(4);
+        let _ = planted_cliques(
+            PlantedParams {
+                n: 10,
+                num_plants: 3,
+                plant_size: 4,
+                ..params()
+            },
+            &mut rng,
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = planted_cliques(params(), &mut rng_from_seed(9));
+        let b = planted_cliques(params(), &mut rng_from_seed(9));
+        assert_eq!(a.graph, b.graph);
+        assert_eq!(a.plants, b.plants);
+    }
+}

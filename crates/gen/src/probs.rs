@@ -1,0 +1,146 @@
+//! Edge-probability models.
+//!
+//! The paper constructs uncertain graphs three ways (Section 5):
+//!
+//! * real probabilities (the STRING-scored PPI network),
+//! * *semi-synthetic*: a real topology with probabilities "assigned
+//!   uniformly at random" — [`EdgeProbModel::Uniform`];
+//! * *derived*: DBLP co-authorship strength `p = 1 − e^{−c/10}` where `c`
+//!   is the number of co-authored papers — [`coauthorship_prob`].
+//!
+//! Sampled values are clamped into `(0, 1]` (a probability of exactly zero
+//! would contradict the model `p : E → (0, 1]`; the chance of drawing the
+//! endpoint is zero anyway, the clamp just makes the invariant total).
+
+use rand::Rng;
+
+/// Smallest probability the models will emit (keeps values inside `(0,1]`).
+pub const MIN_PROB: f64 = 1e-12;
+
+/// A distribution over edge probabilities.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EdgeProbModel {
+    /// Uniform on `(lo, hi]` — the paper's semi-synthetic assignment is
+    /// `Uniform { lo: 0.0, hi: 1.0 }`.
+    Uniform {
+        /// Exclusive lower bound (≥ 0).
+        lo: f64,
+        /// Inclusive upper bound (≤ 1).
+        hi: f64,
+    },
+    /// Every edge gets the same probability.
+    Fixed(f64),
+    /// STRING-database-like confidence scores: a mixture of a broad
+    /// low-confidence mass and a high-confidence mode, mimicking the
+    /// bimodal score histograms of interaction databases. Used by the
+    /// Fruit-Fly PPI stand-in.
+    StringLike,
+}
+
+impl EdgeProbModel {
+    /// Draw one probability.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let v = match *self {
+            EdgeProbModel::Uniform { lo, hi } => {
+                assert!((0.0..=1.0).contains(&lo) && lo < hi && hi <= 1.0, "bad uniform range");
+                // gen::<f64>() is [0, 1); flip to (0, 1] so lo itself is excluded.
+                lo + (hi - lo) * (1.0 - rng.gen::<f64>())
+            }
+            EdgeProbModel::Fixed(p) => p,
+            EdgeProbModel::StringLike => {
+                if rng.gen::<f64>() < 0.35 {
+                    // High-confidence mode concentrated near 0.9.
+                    0.75 + 0.25 * (1.0 - rng.gen::<f64>())
+                } else {
+                    // Broad low/medium confidence tail in (0.15, 0.75].
+                    0.15 + 0.60 * (1.0 - rng.gen::<f64>())
+                }
+            }
+        };
+        v.clamp(MIN_PROB, 1.0)
+    }
+}
+
+/// DBLP co-authorship strength: `1 − e^{−c/10}` for `c` co-authored papers
+/// (the exact formula the paper quotes for the DBLP dataset).
+pub fn coauthorship_prob(papers: u32) -> f64 {
+    let p = 1.0 - (-(papers as f64) / 10.0).exp();
+    p.clamp(MIN_PROB, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut rng = rng_from_seed(1);
+        let m = EdgeProbModel::Uniform { lo: 0.0, hi: 1.0 };
+        for _ in 0..10_000 {
+            let p = m.sample(&mut rng);
+            assert!(p > 0.0 && p <= 1.0);
+        }
+    }
+
+    #[test]
+    fn uniform_subrange() {
+        let mut rng = rng_from_seed(2);
+        let m = EdgeProbModel::Uniform { lo: 0.4, hi: 0.6 };
+        for _ in 0..1_000 {
+            let p = m.sample(&mut rng);
+            assert!(p > 0.4 && p <= 0.6);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn uniform_bad_range_panics() {
+        let mut rng = rng_from_seed(3);
+        let _ = EdgeProbModel::Uniform { lo: 0.9, hi: 0.5 }.sample(&mut rng);
+    }
+
+    #[test]
+    fn fixed_is_fixed() {
+        let mut rng = rng_from_seed(4);
+        assert_eq!(EdgeProbModel::Fixed(0.7).sample(&mut rng), 0.7);
+    }
+
+    #[test]
+    fn string_like_in_unit_interval_and_bimodal() {
+        let mut rng = rng_from_seed(5);
+        let m = EdgeProbModel::StringLike;
+        let mut high = 0usize;
+        const N: usize = 20_000;
+        for _ in 0..N {
+            let p = m.sample(&mut rng);
+            assert!(p > 0.0 && p <= 1.0);
+            if p > 0.75 {
+                high += 1;
+            }
+        }
+        let frac = high as f64 / N as f64;
+        assert!((frac - 0.35).abs() < 0.02, "high-confidence mass {frac}");
+    }
+
+    #[test]
+    fn coauthorship_formula_values() {
+        assert!((coauthorship_prob(1) - (1.0 - (-0.1f64).exp())).abs() < 1e-12);
+        assert!((coauthorship_prob(10) - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+        assert!(coauthorship_prob(0) >= MIN_PROB); // clamped, not zero
+        assert!(coauthorship_prob(1000) <= 1.0);
+        // Monotone in the number of papers.
+        for c in 1..50 {
+            assert!(coauthorship_prob(c + 1) > coauthorship_prob(c));
+        }
+    }
+
+    #[test]
+    fn uniform_mean_is_centered() {
+        let mut rng = rng_from_seed(6);
+        let m = EdgeProbModel::Uniform { lo: 0.0, hi: 1.0 };
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| m.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

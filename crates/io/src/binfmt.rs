@@ -1,0 +1,237 @@
+//! Compact binary graph format ("UGB1").
+//!
+//! Dataset stand-ins at full paper scale (DBLP: 2.28M edges) take a while
+//! to synthesize; the binary cache makes re-runs instant. Layout (all
+//! little-endian):
+//!
+//! ```text
+//! magic   4 bytes  "UGB1"
+//! name    u32 length + UTF-8 bytes
+//! n       u64
+//! m       u64
+//! edges   m × (u32 u, u32 v, f64 p), u < v, lexicographic order
+//! ```
+//!
+//! The reader validates the magic, bounds, ordering and probabilities, so
+//! a truncated or corrupted file fails loudly instead of producing a
+//! malformed graph. (Hand-rolled rather than a serde format because no
+//! serde serializer crate is on the offline allowlist — see DESIGN.md.)
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::io::{Read, Write};
+use ugraph_core::{GraphBuilder, UncertainGraph};
+
+const MAGIC: &[u8; 4] = b"UGB1";
+
+/// Errors from the binary reader.
+#[derive(Debug)]
+pub enum BinError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structurally invalid content.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for BinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BinError::Io(e) => write!(f, "I/O error: {e}"),
+            BinError::Corrupt(why) => write!(f, "corrupt UGB1 data: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for BinError {}
+
+impl From<std::io::Error> for BinError {
+    fn from(e: std::io::Error) -> Self {
+        BinError::Io(e)
+    }
+}
+
+/// Serialize a graph to the UGB1 byte layout.
+pub fn to_bytes(g: &UncertainGraph) -> Bytes {
+    let name = g.name().as_bytes();
+    let mut buf =
+        BytesMut::with_capacity(4 + 4 + name.len() + 16 + g.num_edges() * 16);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(name.len() as u32);
+    buf.put_slice(name);
+    buf.put_u64_le(g.num_vertices() as u64);
+    buf.put_u64_le(g.num_edges() as u64);
+    for (u, v, p) in g.edges() {
+        buf.put_u32_le(u);
+        buf.put_u32_le(v);
+        buf.put_f64_le(p);
+    }
+    buf.freeze()
+}
+
+/// Deserialize a graph from UGB1 bytes.
+pub fn from_bytes(mut data: Bytes) -> Result<UncertainGraph, BinError> {
+    let need = |data: &Bytes, n: usize, what: &str| {
+        if data.remaining() < n {
+            Err(BinError::Corrupt(format!("truncated while reading {what}")))
+        } else {
+            Ok(())
+        }
+    };
+    need(&data, 4, "magic")?;
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(BinError::Corrupt(format!("bad magic {magic:?}")));
+    }
+    need(&data, 4, "name length")?;
+    let name_len = data.get_u32_le() as usize;
+    need(&data, name_len, "name")?;
+    let name_bytes = data.copy_to_bytes(name_len);
+    let name = std::str::from_utf8(&name_bytes)
+        .map_err(|_| BinError::Corrupt("name is not UTF-8".into()))?
+        .to_string();
+    need(&data, 16, "header counts")?;
+    let n = data.get_u64_le() as usize;
+    let m = data.get_u64_le() as usize;
+    if n > u32::MAX as usize {
+        return Err(BinError::Corrupt(format!("vertex count {n} exceeds u32")));
+    }
+    need(&data, m.checked_mul(16).ok_or_else(|| BinError::Corrupt("edge count overflow".into()))?, "edges")?;
+    let mut b = GraphBuilder::with_capacity(n, m);
+    let mut prev: Option<(u32, u32)> = None;
+    for i in 0..m {
+        let u = data.get_u32_le();
+        let v = data.get_u32_le();
+        let p = data.get_f64_le();
+        if u >= v {
+            return Err(BinError::Corrupt(format!("edge {i}: not normalized ({u} ≥ {v})")));
+        }
+        if let Some(prev) = prev {
+            if (u, v) <= prev {
+                return Err(BinError::Corrupt(format!("edge {i}: out of order")));
+            }
+        }
+        prev = Some((u, v));
+        b.add_edge(u, v, p)
+            .map_err(|e| BinError::Corrupt(format!("edge {i}: {e}")))?;
+    }
+    Ok(b.try_build()
+        .map_err(|e| BinError::Corrupt(e.to_string()))?
+        .with_name(name))
+}
+
+/// Write UGB1 to any writer.
+pub fn write_binary<W: Write>(g: &UncertainGraph, mut w: W) -> std::io::Result<()> {
+    w.write_all(&to_bytes(g))
+}
+
+/// Read UGB1 from any reader.
+pub fn read_binary<R: Read>(mut r: R) -> Result<UncertainGraph, BinError> {
+    let mut data = Vec::new();
+    r.read_to_end(&mut data)?;
+    from_bytes(Bytes::from(data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugraph_core::builder::from_edges;
+
+    fn fixture() -> UncertainGraph {
+        from_edges(5, &[(0, 1, 0.5), (0, 4, 1.0), (2, 3, 0.125)])
+            .unwrap()
+            .with_name("bin-fixture")
+    }
+
+    #[test]
+    fn round_trip_exact() {
+        let g = fixture();
+        let back = from_bytes(to_bytes(&g)).unwrap();
+        assert_eq!(back, g);
+        assert_eq!(back.name(), "bin-fixture");
+    }
+
+    #[test]
+    fn round_trip_through_io() {
+        let g = fixture();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let back = read_binary(&buf[..]).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn empty_graph_round_trips() {
+        let g = ugraph_core::GraphBuilder::new(0).build();
+        assert_eq!(from_bytes(to_bytes(&g)).unwrap(), g);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = to_bytes(&fixture()).to_vec();
+        bytes[0] = b'X';
+        assert!(matches!(
+            from_bytes(Bytes::from(bytes)),
+            Err(BinError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        let full = to_bytes(&fixture()).to_vec();
+        for cut in [0, 3, 5, 10, full.len() - 1] {
+            let res = from_bytes(Bytes::from(full[..cut].to_vec()));
+            assert!(res.is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn unnormalized_edges_rejected() {
+        // Hand-craft a file with a (v, u) swapped edge.
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(0); // empty name
+        buf.put_u64_le(3);
+        buf.put_u64_le(1);
+        buf.put_u32_le(2);
+        buf.put_u32_le(1); // 2 ≥ 1: not normalized
+        buf.put_f64_le(0.5);
+        assert!(matches!(
+            from_bytes(buf.freeze()),
+            Err(BinError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn bad_probability_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(0);
+        buf.put_u64_le(2);
+        buf.put_u64_le(1);
+        buf.put_u32_le(0);
+        buf.put_u32_le(1);
+        buf.put_f64_le(1.5);
+        assert!(matches!(
+            from_bytes(buf.freeze()),
+            Err(BinError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn out_of_order_edges_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(0);
+        buf.put_u64_le(4);
+        buf.put_u64_le(2);
+        for (u, v) in [(2u32, 3u32), (0, 1)] {
+            buf.put_u32_le(u);
+            buf.put_u32_le(v);
+            buf.put_f64_le(0.5);
+        }
+        assert!(matches!(
+            from_bytes(buf.freeze()),
+            Err(BinError::Corrupt(_))
+        ));
+    }
+}

@@ -1,0 +1,99 @@
+//! Filesystem cache for generated datasets.
+//!
+//! The benchmark harness synthesizes the Table 1 stand-ins once per
+//! `(name, seed, scale)` and caches them as UGB1 files, so figure sweeps
+//! do not pay generation cost repeatedly.
+
+use crate::binfmt::{read_binary, write_binary, BinError};
+use std::fs;
+use std::path::{Path, PathBuf};
+use ugraph_core::UncertainGraph;
+
+/// Cache key → stable file name (`{label}.ugb`); label is sanitized to
+/// keep the cache portable across filesystems.
+pub fn cache_path(dir: &Path, label: &str) -> PathBuf {
+    let safe: String = label
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '.' { c } else { '_' })
+        .collect();
+    dir.join(format!("{safe}.ugb"))
+}
+
+/// Load from cache or build and store. Any cache read/write failure falls
+/// back to (re)building — the cache is an optimization, never a
+/// correctness dependency.
+pub fn load_or_build<F: FnOnce() -> UncertainGraph>(
+    dir: &Path,
+    label: &str,
+    build: F,
+) -> UncertainGraph {
+    let path = cache_path(dir, label);
+    if let Ok(file) = fs::File::open(&path) {
+        match read_binary(std::io::BufReader::new(file)) {
+            Ok(g) => return g,
+            Err(BinError::Corrupt(why)) => {
+                eprintln!("warning: discarding corrupt cache {path:?}: {why}");
+                let _ = fs::remove_file(&path);
+            }
+            Err(BinError::Io(_)) => {}
+        }
+    }
+    let g = build();
+    if fs::create_dir_all(dir).is_ok() {
+        if let Ok(file) = fs::File::create(&path) {
+            let _ = write_binary(&g, std::io::BufWriter::new(file));
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugraph_core::builder::from_edges;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ugraph-cache-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn fixture() -> UncertainGraph {
+        from_edges(3, &[(0, 1, 0.5), (1, 2, 0.25)]).unwrap().with_name("c")
+    }
+
+    #[test]
+    fn builds_then_hits_cache() {
+        let dir = tmp_dir("hit");
+        let mut builds = 0;
+        let g1 = load_or_build(&dir, "fix", || {
+            builds += 1;
+            fixture()
+        });
+        let g2 = load_or_build(&dir, "fix", || {
+            builds += 1;
+            fixture()
+        });
+        assert_eq!(builds, 1, "second load must come from cache");
+        assert_eq!(g1, g2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_cache_is_rebuilt() {
+        let dir = tmp_dir("corrupt");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(cache_path(&dir, "bad"), b"garbage").unwrap();
+        let g = load_or_build(&dir, "bad", fixture);
+        assert_eq!(g, fixture());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn labels_are_sanitized() {
+        let p = cache_path(Path::new("/tmp"), "DBLP10@0.1/evil");
+        let s = p.to_string_lossy();
+        assert!(!s[5..].contains('/'), "{s}");
+        assert!(!s.contains('@'));
+    }
+}

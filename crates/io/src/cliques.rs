@@ -1,0 +1,176 @@
+//! Text format for enumerated clique lists.
+//!
+//! One clique per line: the clique probability followed by the sorted
+//! vertex ids, whitespace-separated —
+//!
+//! ```text
+//! # alpha=0.5 count=2
+//! 0.729 0 1 2
+//! 0.6 2 3
+//! ```
+//!
+//! This is the interchange point between the CLI / harness and external
+//! analysis (plotting, diffing two runs, feeding a verifier).
+
+use std::io::{BufRead, Write};
+use ugraph_core::VertexId;
+
+/// Errors from the clique-list reader.
+#[derive(Debug)]
+pub enum CliqueListError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line that does not parse.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for CliqueListError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliqueListError::Io(e) => write!(f, "I/O error: {e}"),
+            CliqueListError::Malformed { line, reason } => write!(f, "line {line}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CliqueListError {}
+
+impl From<std::io::Error> for CliqueListError {
+    fn from(e: std::io::Error) -> Self {
+        CliqueListError::Io(e)
+    }
+}
+
+/// Write cliques with their probabilities, preceded by a header comment.
+pub fn write_clique_list<W: Write>(
+    mut w: W,
+    alpha: f64,
+    cliques: &[(Vec<VertexId>, f64)],
+) -> std::io::Result<()> {
+    writeln!(w, "# alpha={alpha} count={}", cliques.len())?;
+    for (c, p) in cliques {
+        write!(w, "{p:?}")?;
+        for v in c {
+            write!(w, " {v}")?;
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+/// Read a clique list written by [`write_clique_list`] (comments and blank
+/// lines are skipped; vertex ids are validated to be sorted).
+pub fn read_clique_list<R: BufRead>(
+    reader: R,
+) -> Result<Vec<(Vec<VertexId>, f64)>, CliqueListError> {
+    let mut out = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let lineno = lineno + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let prob: f64 = parts
+            .next()
+            .expect("split of non-empty line yields at least one token")
+            .parse()
+            .map_err(|_| CliqueListError::Malformed {
+                line: lineno,
+                reason: "first token must be the clique probability".into(),
+            })?;
+        if !(prob > 0.0 && prob <= 1.0) {
+            return Err(CliqueListError::Malformed {
+                line: lineno,
+                reason: format!("probability {prob} out of (0, 1]"),
+            });
+        }
+        let mut clique = Vec::new();
+        for tok in parts {
+            let v: VertexId = tok.parse().map_err(|_| CliqueListError::Malformed {
+                line: lineno,
+                reason: format!("vertex {tok:?} is not an unsigned integer"),
+            })?;
+            clique.push(v);
+        }
+        if !clique.windows(2).all(|w| w[0] < w[1]) {
+            return Err(CliqueListError::Malformed {
+                line: lineno,
+                reason: "vertex ids must be strictly increasing".into(),
+            });
+        }
+        out.push((clique, prob));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn round_trip() {
+        let cliques = vec![
+            (vec![0, 1, 2], 0.729),
+            (vec![2, 3], 0.6),
+            (vec![7], 1.0),
+        ];
+        let mut buf = Vec::new();
+        write_clique_list(&mut buf, 0.5, &cliques).unwrap();
+        let back = read_clique_list(Cursor::new(buf)).unwrap();
+        assert_eq!(back, cliques);
+    }
+
+    #[test]
+    fn empty_list_round_trips() {
+        let mut buf = Vec::new();
+        write_clique_list(&mut buf, 0.5, &[]).unwrap();
+        assert!(read_clique_list(Cursor::new(buf)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn full_precision_probabilities() {
+        let cliques = vec![(vec![0, 1], 0.123_456_789_012_345_68)];
+        let mut buf = Vec::new();
+        write_clique_list(&mut buf, 0.5, &cliques).unwrap();
+        let back = read_clique_list(Cursor::new(buf)).unwrap();
+        assert_eq!(back[0].1, cliques[0].1); // bit-exact via {:?}
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for (text, what) in [
+            ("abc 1 2\n", "bad prob"),
+            ("0.5 1 x\n", "bad vertex"),
+            ("1.5 1 2\n", "prob out of range"),
+            ("0.5 2 1\n", "unsorted"),
+            ("0.5 1 1\n", "duplicate vertex"),
+        ] {
+            assert!(
+                read_clique_list(Cursor::new(text)).is_err(),
+                "{what}: {text:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_clique_line_is_probability_only() {
+        // The empty clique (maximal in the empty graph) serializes as a
+        // bare probability.
+        let back = read_clique_list(Cursor::new("1.0\n")).unwrap();
+        assert_eq!(back, vec![(vec![], 1.0)]);
+    }
+
+    #[test]
+    fn error_reports_line_numbers() {
+        let err = read_clique_list(Cursor::new("0.5 1 2\nbogus\n")).unwrap_err();
+        assert!(err.to_string().contains("line 2"));
+    }
+}

@@ -1,0 +1,186 @@
+//! Combinatorial bounds from Section 3 of the paper.
+//!
+//! * Theorem 1: for any `0 < α < 1`, the maximum number of α-maximal
+//!   cliques on `n` vertices is exactly the central binomial coefficient
+//!   `g(n) = C(n, ⌊n/2⌋)`.
+//! * Moon–Moser (1965): for deterministic graphs (`α = 1`) the maximum is
+//!   `3^{n/3}` (with the `n mod 3` adjustments).
+//! * Observation 5: since `g(n) = Θ(2^n / √n)` and each clique has up to
+//!   `Θ(n)` vertices, any enumeration algorithm needs `Ω(√n · 2^n)` time;
+//!   MULE's `O(n · 2^n)` (Theorem 3) is within `O(√n)` of optimal.
+
+/// Exact binomial coefficient `C(n, k)` in `u128`.
+///
+/// Returns `None` on overflow of the *result*. The multiplicative formula
+/// reduces the divisor against both operands by GCD before multiplying, so
+/// intermediates never exceed the final value times the current numerator —
+/// `C(127, 63)` (≈ 1.5 × 10³⁷) computes without tripping on the
+/// `acc × (n−i)` blow-up a naive loop would hit.
+pub fn binomial(n: u64, k: u64) -> Option<u128> {
+    fn gcd(mut a: u128, mut b: u128) -> u128 {
+        while b != 0 {
+            (a, b) = (b, a % b);
+        }
+        a
+    }
+    if k > n {
+        return Some(0);
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        let mut num = (n - i) as u128;
+        let mut den = (i + 1) as u128;
+        // den divides acc · num (each C(n, i+1) is an integer); peeling the
+        // common factors off acc and then num always reduces den to 1.
+        let g = gcd(acc, den);
+        acc /= g;
+        den /= g;
+        let g = gcd(num, den);
+        num /= g;
+        den /= g;
+        debug_assert_eq!(den, 1, "binomial divisor did not cancel");
+        acc = acc.checked_mul(num)?;
+    }
+    Some(acc)
+}
+
+/// Theorem 1: `f(n, α) = C(n, ⌊n/2⌋)` for `0 < α < 1`, `n ≥ 2`.
+/// (For `n = 0` the only graph has one maximal clique, the empty set; for
+/// `n = 1`, one singleton — both equal `C(n, ⌊n/2⌋)` anyway.)
+pub fn max_alpha_maximal_cliques(n: u64) -> Option<u128> {
+    binomial(n, n / 2)
+}
+
+/// Moon–Moser bound: the maximum number of maximal cliques in a
+/// *deterministic* graph on `n ≥ 2` vertices. `3^{n/3}` when `3 | n`,
+/// `4·3^{(n-4)/3}` when `n ≡ 1 (mod 3)`, `2·3^{(n-2)/3}` when `n ≡ 2`.
+///
+/// For `n < 2` returns 1 (the empty/singleton clique). Note `n = 2`
+/// yields 2 — the *edgeless* pair has two maximal singleton cliques,
+/// matching the general `2·3^{(n−2)/3}` branch.
+pub fn moon_moser(n: usize) -> u128 {
+    match n {
+        0 | 1 => 1,
+        _ => match n % 3 {
+            0 => 3u128.pow(n as u32 / 3),
+            1 => 4 * 3u128.pow((n as u32 - 4) / 3),
+            _ => 2 * 3u128.pow((n as u32 - 2) / 3),
+        },
+    }
+}
+
+/// Simple valid lower bound on `C(n, ⌊n/2⌋)`: the largest of the `n + 1`
+/// binomials summing to `2^n` is at least their average, `2^n / (n + 1)`.
+/// Observation 5 only needs `C(n, ⌊n/2⌋) = Θ(2^n / √n)` (Stirling); this
+/// elementary bound already certifies the exponential growth, and the exact
+/// value is available from [`max_alpha_maximal_cliques`] for any `n` where
+/// it fits in `u128`.
+pub fn central_binomial_lower_bound(n: u64) -> f64 {
+    2f64.powi(n as i32) / (n as f64 + 1.0)
+}
+
+/// The paper's output-size lower bound (Observation 5): there are graphs
+/// whose α-maximal-clique listing has total size `Ω(√n · 2^n)` vertex ids;
+/// this returns the witness value `(n/2) · C(n, ⌊n/2⌋)` (every extremal
+/// clique has `⌊n/2⌋` vertices).
+pub fn output_size_lower_bound(n: u64) -> Option<u128> {
+    Some(max_alpha_maximal_cliques(n)? * (n as u128 / 2).max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_small_values() {
+        assert_eq!(binomial(0, 0), Some(1));
+        assert_eq!(binomial(5, 0), Some(1));
+        assert_eq!(binomial(5, 5), Some(1));
+        assert_eq!(binomial(5, 2), Some(10));
+        assert_eq!(binomial(10, 5), Some(252));
+        assert_eq!(binomial(4, 7), Some(0));
+    }
+
+    #[test]
+    fn binomial_pascal_identity() {
+        for n in 1..60u64 {
+            for k in 1..n {
+                assert_eq!(
+                    binomial(n, k).unwrap(),
+                    binomial(n - 1, k - 1).unwrap() + binomial(n - 1, k).unwrap(),
+                    "C({n},{k})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_symmetry() {
+        for n in 0..40u64 {
+            for k in 0..=n {
+                assert_eq!(binomial(n, k), binomial(n, n - k));
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_large_does_not_overflow_u128_for_n_127() {
+        // C(127, 63) ≈ 1.5e37 < u128::MAX ≈ 3.4e38.
+        assert!(binomial(127, 63).is_some());
+    }
+
+    #[test]
+    fn central_binomial_matches_known_values() {
+        assert_eq!(max_alpha_maximal_cliques(2), Some(2)); // C(2,1)
+        assert_eq!(max_alpha_maximal_cliques(3), Some(3)); // C(3,1)
+        assert_eq!(max_alpha_maximal_cliques(4), Some(6));
+        assert_eq!(max_alpha_maximal_cliques(5), Some(10));
+        assert_eq!(max_alpha_maximal_cliques(10), Some(252));
+    }
+
+    #[test]
+    fn moon_moser_known_values() {
+        assert_eq!(moon_moser(3), 3);
+        assert_eq!(moon_moser(4), 4);
+        assert_eq!(moon_moser(5), 6);
+        assert_eq!(moon_moser(6), 9);
+        assert_eq!(moon_moser(7), 12);
+        assert_eq!(moon_moser(9), 27);
+        assert_eq!(moon_moser(0), 1);
+        assert_eq!(moon_moser(2), 2); // edgeless pair: two maximal singletons
+    }
+
+    /// Section 3's headline comparison: uncertainty increases the worst
+    /// case — `g(n) ≥ MoonMoser(n)` everywhere, strictly from n = 4 on
+    /// (at n = 3 both equal 3).
+    #[test]
+    fn uncertain_bound_dominates_deterministic() {
+        for n in 2..60usize {
+            let g = max_alpha_maximal_cliques(n as u64).unwrap();
+            let mm = moon_moser(n);
+            assert!(g >= mm, "n = {n}");
+            if n >= 4 {
+                assert!(g > mm, "n = {n} should be strict");
+            }
+        }
+    }
+
+    #[test]
+    fn stirling_lower_bound_is_a_lower_bound() {
+        for n in 1..100u64 {
+            let exact = max_alpha_maximal_cliques(n).unwrap() as f64;
+            assert!(
+                central_binomial_lower_bound(n) <= exact,
+                "n = {n}: {} > {exact}",
+                central_binomial_lower_bound(n)
+            );
+        }
+    }
+
+    #[test]
+    fn output_size_bound_scales() {
+        assert_eq!(output_size_lower_bound(4), Some(12)); // 6 cliques × 2
+        assert_eq!(output_size_lower_bound(1), Some(1));
+    }
+}

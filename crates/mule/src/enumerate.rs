@@ -1,0 +1,523 @@
+//! MULE — Maximal Uncertain cLique Enumeration (Algorithms 1–4 of the
+//! paper).
+//!
+//! The enumeration is a depth-first search over α-cliques. A search node
+//! carries:
+//!
+//! * `C` — the current α-clique, grown in increasing vertex-id order so
+//!   every set is reached by exactly one path;
+//! * `q = clq(C, G)` — maintained incrementally;
+//! * `I` — tuples `(u, r)` with `u > max(C)` such that `C ∪ {u}` is an
+//!   α-clique with `clq(C ∪ {u}) = q·r`: the *candidates*;
+//! * `X` — tuples `(v, s)` with `v < max(C)`, `v ∉ C`, such that `C ∪ {v}`
+//!   is an α-clique with `clq(C ∪ {v}) = q·s`: extensions that belong to
+//!   other search paths, kept so that maximality is detected in O(1).
+//!
+//! `C` is emitted as α-maximal exactly when `I = ∅ ∧ X = ∅` (Lemmas 8/9).
+//! The incremental factors make extending a candidate set O(1) per tuple
+//! (the paper's key insight versus Θ(n) recomputation — the DFS–NOIP
+//! baseline in [`crate::dfs_noip`] shows the cost of not doing this).
+//!
+//! Neighborhood filtering (`S ∩ Γ(m)` in Algorithms 3/4) supports two
+//! strategies selected by [`MuleConfig::index_mode`]: probing a dense
+//! [`ugraph_core::AdjacencyIndex`] row, or galloping binary search in the
+//! CSR adjacency.
+
+use crate::sinks::{CliqueSink, CollectSink, Control};
+use crate::stats::EnumerationStats;
+use ugraph_core::{GraphError, UncertainGraph, VertexId};
+
+/// A candidate tuple `(vertex, factor)`: adding `vertex` to the current
+/// clique multiplies its probability by `factor`.
+pub type Candidate = (VertexId, f64);
+
+/// How to test candidate-vs-neighborhood membership.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IndexMode {
+    /// Build the dense adjacency index when it fits in
+    /// [`MuleConfig::max_index_bytes`]; otherwise use binary search.
+    #[default]
+    Auto,
+    /// Always build the dense index (tests/ablation).
+    Always,
+    /// Never build it; always binary-search the CSR adjacency.
+    Never,
+}
+
+/// Configuration for [`Mule`].
+#[derive(Debug, Clone)]
+pub struct MuleConfig {
+    /// Neighborhood membership strategy.
+    pub index_mode: IndexMode,
+    /// Budget for the dense index under [`IndexMode::Auto`] (bytes).
+    pub max_index_bytes: usize,
+    /// If true, relabel vertices by degeneracy order before enumerating and
+    /// translate emitted cliques back. Changes the search-tree shape, never
+    /// the output set. Off by default (the paper uses natural ids).
+    pub degeneracy_order: bool,
+    /// Reproduce the paper's literal Algorithm 1 root behavior: seed the
+    /// search with Î = {(u, 1) : u ∈ V} and filter it per branch, which
+    /// costs Θ(n²) candidate scans before any clique is found. Off by
+    /// default — the closed-form root expansion (see
+    /// `Mule::run_from_root`) produces the identical output in O(m).
+    /// This switch exists for the root-expansion ablation and to explain
+    /// the paper's 21-hour DBLP run (EXPERIMENTS.md).
+    pub naive_root: bool,
+}
+
+impl Default for MuleConfig {
+    fn default() -> Self {
+        MuleConfig {
+            index_mode: IndexMode::Auto,
+            max_index_bytes: 64 << 20,
+            degeneracy_order: false,
+            naive_root: false,
+        }
+    }
+}
+
+/// The MULE enumerator. Holds the α-pruned graph plus the acceleration
+/// structures; [`Mule::run`] streams every α-maximal clique to a sink.
+///
+/// ```
+/// use mule::{Mule, sinks::CollectSink};
+/// use ugraph_core::builder::from_edges;
+///
+/// let g = from_edges(4, &[(0, 1, 0.9), (1, 2, 0.9), (0, 2, 0.9), (2, 3, 0.6)]).unwrap();
+/// let mut mule = Mule::new(&g, 0.5).unwrap();
+/// let mut sink = CollectSink::new();
+/// mule.run(&mut sink);
+/// assert_eq!(
+///     sink.into_sorted_cliques(),
+///     vec![vec![0, 1, 2], vec![2, 3]],
+/// );
+/// ```
+pub struct Mule {
+    kernel: crate::kernel::Kernel,
+    naive_root: bool,
+    stats: EnumerationStats,
+}
+
+impl Mule {
+    /// Prepare an enumeration of all α-maximal cliques of `g` with the
+    /// default configuration. The input graph is α-pruned up front
+    /// (Observation 3): edges with `p(e) < α` cannot appear in any
+    /// α-clique.
+    pub fn new(g: &UncertainGraph, alpha: f64) -> Result<Self, GraphError> {
+        Self::with_config(g, alpha, MuleConfig::default())
+    }
+
+    /// Prepare an enumeration with an explicit [`MuleConfig`].
+    pub fn with_config(
+        g: &UncertainGraph,
+        alpha: f64,
+        config: MuleConfig,
+    ) -> Result<Self, GraphError> {
+        let kernel = crate::kernel::Kernel::prepare(g, alpha, &config)?;
+        Ok(Mule {
+            kernel,
+            naive_root: config.naive_root,
+            stats: EnumerationStats::new(),
+        })
+    }
+
+    /// The α threshold this enumerator was built with.
+    pub fn alpha(&self) -> f64 {
+        self.kernel.alpha
+    }
+
+    /// The pruned graph the search actually runs on.
+    pub fn graph(&self) -> &UncertainGraph {
+        &self.kernel.g
+    }
+
+    /// Whether the dense adjacency index was built.
+    pub fn uses_dense_index(&self) -> bool {
+        self.kernel.index.is_some()
+    }
+
+    /// Counters from the most recent [`Mule::run`].
+    pub fn stats(&self) -> &EnumerationStats {
+        &self.stats
+    }
+
+    /// Enumerate every α-maximal clique, streaming each (in canonical
+    /// sorted order, with its exact probability) into `sink`. Returns the
+    /// run's statistics. Stops early if the sink returns
+    /// [`Control::Stop`].
+    pub fn run<S: CliqueSink>(&mut self, sink: &mut S) -> &EnumerationStats {
+        self.stats = EnumerationStats::new();
+        if let Some(back) = self.kernel.back_map.take() {
+            // Translate internal ids to original ids on emission; cliques
+            // are re-sorted because the relabeling is not monotone.
+            let mut translating = TranslatingSink {
+                inner: sink,
+                back: &back,
+                scratch: Vec::new(),
+            };
+            self.run_from_root(&mut translating);
+            self.kernel.back_map = Some(back);
+        } else {
+            self.run_from_root(sink);
+        }
+        &self.stats
+    }
+
+    /// The root of Algorithm 2, with the Θ(n²) root-level candidate scan
+    /// replaced by its closed form: at the root every factor is 1 and every
+    /// vertex `< u` has moved to `X` when `u` is processed, so
+    /// `I₀(u) = {(w, p(u,w)) : w ∈ Γ(u), w > u}` and
+    /// `X₀(u) = {(v, p(u,v)) : v ∈ Γ(u), v < u}` read straight off the
+    /// (already α-pruned) adjacency in O(deg u). This is what makes
+    /// million-vertex inputs (the paper's DBLP graph) feasible: the naive
+    /// root loop would scan ~n²/2 candidate tuples before any real work.
+    fn run_from_root<S: CliqueSink>(&mut self, sink: &mut S) {
+        self.stats.calls += 1; // the conceptual root node
+        let n = self.kernel.g.num_vertices();
+        if n == 0 {
+            // The empty clique is maximal in the empty graph.
+            self.stats.emitted += 1;
+            sink.emit(&[], 1.0);
+            return;
+        }
+        if self.naive_root {
+            // Literal Algorithm 1/2 root: Î = {(u, 1)} for all u, filtered
+            // per branch by GenerateI/GenerateX. Θ(n²) total root work.
+            let i_hat: Vec<Candidate> = self.kernel.g.vertices().map(|u| (u, 1.0)).collect();
+            self.stats.calls -= 1; // recurse() recounts the root
+            let mut c = Vec::new();
+            self.recurse(&mut c, 1.0, &i_hat, Vec::new(), sink);
+            return;
+        }
+        let mut c = Vec::new();
+        for u in 0..n as VertexId {
+            let mut i0 = Vec::new();
+            let mut x0 = Vec::new();
+            for (w, p) in self.kernel.g.neighbors_with_probs(u) {
+                self.stats.i_candidates_scanned += 1;
+                if w > u {
+                    i0.push((w, p));
+                } else {
+                    x0.push((w, p));
+                }
+            }
+            c.push(u);
+            let ctl = self.recurse(&mut c, 1.0, &i0, x0, sink);
+            c.pop();
+            if ctl == Control::Stop {
+                return;
+            }
+        }
+    }
+
+    /// Algorithm 2 (`Enum-Uncertain-MC`). `i_set` is immutable per node;
+    /// `x_set` is owned because the loop extends it (line 10).
+    fn recurse<S: CliqueSink>(
+        &mut self,
+        c: &mut Vec<VertexId>,
+        q: f64,
+        i_set: &[Candidate],
+        x_set: Vec<Candidate>,
+        sink: &mut S,
+    ) -> Control {
+        self.stats.calls += 1;
+        self.stats.max_depth = self.stats.max_depth.max(c.len());
+        if i_set.is_empty() && x_set.is_empty() {
+            self.stats.emitted += 1;
+            return sink.emit(c, q);
+        }
+        let mut x_set = x_set;
+        for pos in 0..i_set.len() {
+            let (u, r) = i_set[pos];
+            let q2 = q * r; // clq(C ∪ {u}) — one multiplication (the key insight)
+            // Algorithm 3: I' from candidates beyond u (they are > u because
+            // i_set is sorted by vertex id).
+            let i2 = self.kernel.filter_candidates(
+                u,
+                q2,
+                &i_set[pos + 1..],
+                &mut self.stats.i_candidates_scanned,
+            );
+            // Algorithm 4: X' from the exclusion set (including vertices
+            // looped over earlier at this node).
+            let x2 = self.kernel.filter_candidates(
+                u,
+                q2,
+                &x_set,
+                &mut self.stats.x_candidates_scanned,
+            );
+            c.push(u);
+            let ctl = self.recurse(c, q2, &i2, x2, sink);
+            c.pop();
+            if ctl == Control::Stop {
+                return Control::Stop;
+            }
+            // Line 10: u's subtree is explored; future cliques at this node
+            // can still be extended by u, so remember it for maximality.
+            x_set.push((u, r));
+        }
+        Control::Continue
+    }
+}
+
+/// Sink adapter translating relabeled vertex ids back to the caller's ids.
+struct TranslatingSink<'a, S: CliqueSink> {
+    inner: &'a mut S,
+    back: &'a [VertexId],
+    scratch: Vec<VertexId>,
+}
+
+impl<S: CliqueSink> CliqueSink for TranslatingSink<'_, S> {
+    fn emit(&mut self, clique: &[VertexId], prob: f64) -> Control {
+        self.scratch.clear();
+        self.scratch
+            .extend(clique.iter().map(|&v| self.back[v as usize]));
+        self.scratch.sort_unstable();
+        self.inner.emit(&self.scratch, prob)
+    }
+}
+
+/// Convenience wrapper: collect all α-maximal cliques of `g`, each sorted
+/// ascending, the list sorted lexicographically.
+pub fn enumerate_maximal_cliques(
+    g: &UncertainGraph,
+    alpha: f64,
+) -> Result<Vec<Vec<VertexId>>, GraphError> {
+    let mut mule = Mule::new(g, alpha)?;
+    let mut sink = CollectSink::new();
+    mule.run(&mut sink);
+    Ok(sink.into_sorted_cliques())
+}
+
+/// Convenience wrapper: count α-maximal cliques without storing them.
+pub fn count_maximal_cliques(g: &UncertainGraph, alpha: f64) -> Result<u64, GraphError> {
+    let mut mule = Mule::new(g, alpha)?;
+    let mut sink = crate::sinks::CountSink::new();
+    mule.run(&mut sink);
+    Ok(sink.count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sinks::{CountSink, FirstKSink};
+    use ugraph_core::builder::{complete_graph, from_edges, GraphBuilder};
+    use ugraph_core::clique;
+    use ugraph_core::Prob;
+
+    fn fixture() -> UncertainGraph {
+        // Triangle 0-1-2 (probs 0.9, 0.9, 0.9) with a pendant 3 on 2 (0.6)
+        // and an isolated vertex 4.
+        from_edges(5, &[(0, 1, 0.9), (1, 2, 0.9), (0, 2, 0.9), (2, 3, 0.6)]).unwrap()
+    }
+
+    #[test]
+    fn enumerates_expected_cliques_at_half() {
+        let got = enumerate_maximal_cliques(&fixture(), 0.5).unwrap();
+        assert_eq!(got, vec![vec![0, 1, 2], vec![2, 3], vec![4]]);
+    }
+
+    #[test]
+    fn tighter_alpha_splits_triangle() {
+        // 0.9³ = 0.729 < 0.75, so the triangle fails and its edges win.
+        let got = enumerate_maximal_cliques(&fixture(), 0.75).unwrap();
+        assert_eq!(
+            got,
+            vec![vec![0, 1], vec![0, 2], vec![1, 2], vec![3], vec![4]]
+        );
+    }
+
+    #[test]
+    fn emitted_probability_matches_reference() {
+        let g = fixture();
+        let mut mule = Mule::new(&g, 0.5).unwrap();
+        let mut sink = CollectSink::new();
+        mule.run(&mut sink);
+        for (c, p) in sink.into_pairs() {
+            let exact = clique::clique_probability(&g, &c).unwrap();
+            assert!((p - exact).abs() < 1e-12, "{c:?}: {p} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn every_emitted_clique_is_alpha_maximal() {
+        let g = fixture();
+        for alpha in [0.9, 0.75, 0.5, 0.25, 1e-6] {
+            for c in enumerate_maximal_cliques(&g, alpha).unwrap() {
+                assert!(
+                    clique::is_alpha_maximal(&g, &c, alpha),
+                    "α={alpha}, clique {c:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_one_reduces_to_deterministic_on_certain_edges() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 1.0).unwrap();
+        b.add_edge(1, 2, 1.0).unwrap();
+        b.add_edge(0, 2, 1.0).unwrap();
+        b.add_edge(2, 3, 0.99).unwrap(); // pruned at α = 1
+        let g = b.build();
+        let got = enumerate_maximal_cliques(&g, 1.0).unwrap();
+        assert_eq!(got, vec![vec![0, 1, 2], vec![3]]);
+    }
+
+    #[test]
+    fn empty_graph_emits_empty_clique() {
+        let g = GraphBuilder::new(0).build();
+        let got = enumerate_maximal_cliques(&g, 0.5).unwrap();
+        assert_eq!(got, vec![Vec::<VertexId>::new()]);
+    }
+
+    #[test]
+    fn edgeless_graph_emits_singletons() {
+        let g = GraphBuilder::new(3).build();
+        let got = enumerate_maximal_cliques(&g, 0.5).unwrap();
+        assert_eq!(got, vec![vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn invalid_alpha_rejected() {
+        let g = fixture();
+        assert!(Mule::new(&g, 0.0).is_err());
+        assert!(Mule::new(&g, -0.5).is_err());
+        assert!(Mule::new(&g, 1.5).is_err());
+        assert!(Mule::new(&g, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn complete_graph_maximal_size_is_threshold_bound() {
+        // K6, p = 1/2 everywhere: a k-clique has prob 2^{-C(k,2)}.
+        // α = 2^{-3} admits k with C(k,2) ≤ 3, i.e. k ≤ 3: every 3-subset
+        // is maximal → C(6,3) = 20 cliques.
+        let g = complete_graph(6, Prob::new(0.5).unwrap());
+        let got = enumerate_maximal_cliques(&g, 0.125).unwrap();
+        assert_eq!(got.len(), 20);
+        assert!(got.iter().all(|c| c.len() == 3));
+    }
+
+    #[test]
+    fn index_modes_agree() {
+        let g = fixture();
+        for alpha in [0.9, 0.5, 0.1] {
+            let mut results = Vec::new();
+            for mode in [IndexMode::Always, IndexMode::Never] {
+                let cfg = MuleConfig {
+                    index_mode: mode,
+                    ..Default::default()
+                };
+                let mut m = Mule::with_config(&g, alpha, cfg).unwrap();
+                let mut sink = CollectSink::new();
+                m.run(&mut sink);
+                assert_eq!(m.uses_dense_index(), mode == IndexMode::Always);
+                results.push(sink.into_sorted_cliques());
+            }
+            assert_eq!(results[0], results[1], "α={alpha}");
+        }
+    }
+
+    #[test]
+    fn naive_root_produces_identical_output() {
+        let g = fixture();
+        for alpha in [0.9, 0.5, 0.25] {
+            let fast = enumerate_maximal_cliques(&g, alpha).unwrap();
+            let cfg = MuleConfig {
+                naive_root: true,
+                ..Default::default()
+            };
+            let mut m = Mule::with_config(&g, alpha, cfg).unwrap();
+            let mut sink = CollectSink::new();
+            m.run(&mut sink);
+            assert_eq!(sink.into_sorted_cliques(), fast, "α={alpha}");
+            // And the naive root provably does more scanning work.
+            let mut fast_m = Mule::new(&g, alpha).unwrap();
+            let mut s2 = CountSink::new();
+            fast_m.run(&mut s2);
+            assert!(m.stats().total_scanned() >= fast_m.stats().total_scanned());
+        }
+    }
+
+    #[test]
+    fn degeneracy_order_preserves_output() {
+        let g = fixture();
+        for alpha in [0.9, 0.5, 0.25] {
+            let plain = enumerate_maximal_cliques(&g, alpha).unwrap();
+            let cfg = MuleConfig {
+                degeneracy_order: true,
+                ..Default::default()
+            };
+            let mut m = Mule::with_config(&g, alpha, cfg).unwrap();
+            let mut sink = CollectSink::new();
+            m.run(&mut sink);
+            assert_eq!(sink.into_sorted_cliques(), plain, "α={alpha}");
+        }
+    }
+
+    #[test]
+    fn early_stop_respects_sink() {
+        let g = complete_graph(6, Prob::new(0.5).unwrap());
+        let mut m = Mule::new(&g, 0.125).unwrap();
+        let mut sink = FirstKSink::new(3);
+        m.run(&mut sink);
+        assert_eq!(sink.into_cliques().len(), 3);
+        assert!(m.stats().emitted >= 3);
+        assert!(m.stats().emitted < 20, "must have stopped early");
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let g = fixture();
+        let mut m = Mule::new(&g, 0.5).unwrap();
+        let mut sink = CountSink::new();
+        m.run(&mut sink);
+        let s = m.stats();
+        assert_eq!(s.emitted, 3);
+        assert!(s.calls >= 4, "root + one node per clique at minimum");
+        assert_eq!(s.max_depth, 3);
+        assert!(s.total_scanned() > 0);
+    }
+
+    #[test]
+    fn rerun_resets_stats_and_is_idempotent() {
+        let g = fixture();
+        let mut m = Mule::new(&g, 0.5).unwrap();
+        let mut s1 = CountSink::new();
+        m.run(&mut s1);
+        let calls1 = m.stats().calls;
+        let mut s2 = CountSink::new();
+        m.run(&mut s2);
+        assert_eq!(m.stats().calls, calls1);
+        assert_eq!(s1.count, s2.count);
+    }
+
+    #[test]
+    fn count_wrapper_matches_collect() {
+        let g = fixture();
+        assert_eq!(
+            count_maximal_cliques(&g, 0.5).unwrap(),
+            enumerate_maximal_cliques(&g, 0.5).unwrap().len() as u64
+        );
+    }
+
+    #[test]
+    fn disconnected_components_enumerated_independently() {
+        let g = from_edges(
+            6,
+            &[(0, 1, 0.8), (1, 2, 0.8), (0, 2, 0.8), (3, 4, 0.8), (4, 5, 0.8), (3, 5, 0.8)],
+        )
+        .unwrap();
+        let got = enumerate_maximal_cliques(&g, 0.5).unwrap();
+        assert_eq!(got, vec![vec![0, 1, 2], vec![3, 4, 5]]);
+    }
+
+    #[test]
+    fn pruned_graph_accessor_reflects_alpha() {
+        let g = fixture();
+        let m = Mule::new(&g, 0.75).unwrap();
+        // The 0.6 pendant edge is pruned.
+        assert_eq!(m.graph().num_edges(), 3);
+        assert_eq!(m.alpha(), 0.75);
+    }
+}

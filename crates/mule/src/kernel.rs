@@ -1,0 +1,131 @@
+//! Shared search kernel for MULE and LARGE–MULE: graph preparation
+//! (α-pruning, optional relabeling, adjacency index) and the
+//! GenerateI/GenerateX candidate filter (Algorithms 3 and 4).
+
+use crate::enumerate::{Candidate, IndexMode, MuleConfig};
+use ugraph_core::{subgraph, AdjacencyIndex, GraphError, UncertainGraph, VertexId};
+
+/// Prepared search state shared by the enumeration algorithms.
+pub(crate) struct Kernel {
+    pub g: UncertainGraph,
+    pub alpha: f64,
+    pub index: Option<AdjacencyIndex>,
+    /// When degeneracy relabeling is on: internal id → original id.
+    pub back_map: Option<Vec<VertexId>>,
+}
+
+impl Kernel {
+    /// α-prune (Observation 3), optionally relabel by degeneracy order, and
+    /// build the dense adjacency index per the configuration.
+    pub fn prepare(
+        g: &UncertainGraph,
+        alpha: f64,
+        config: &MuleConfig,
+    ) -> Result<Self, GraphError> {
+        let alpha = UncertainGraph::validate_alpha(alpha)?.get();
+        let mut pruned = subgraph::prune_below_alpha(g, alpha)?;
+        let back_map = if config.degeneracy_order {
+            let (relabeled, perm) = subgraph::degeneracy_relabel(&pruned);
+            let mut back = vec![0 as VertexId; perm.len()];
+            for (old, &new) in perm.iter().enumerate() {
+                back[new as usize] = old as VertexId;
+            }
+            pruned = relabeled;
+            Some(back)
+        } else {
+            None
+        };
+        let build_index = match config.index_mode {
+            IndexMode::Always => true,
+            IndexMode::Never => false,
+            IndexMode::Auto => AdjacencyIndex::should_build(&pruned, config.max_index_bytes),
+        };
+        let index = build_index.then(|| AdjacencyIndex::build(&pruned));
+        Ok(Kernel {
+            g: pruned,
+            alpha,
+            index,
+            back_map,
+        })
+    }
+
+    /// Wrap an existing, already-pruned graph (used by LARGE–MULE after the
+    /// Modani–Dey pass, which must not be α-pruned twice).
+    pub fn wrap(g: UncertainGraph, alpha: f64, config: &MuleConfig) -> Self {
+        let build_index = match config.index_mode {
+            IndexMode::Always => true,
+            IndexMode::Never => false,
+            IndexMode::Auto => AdjacencyIndex::should_build(&g, config.max_index_bytes),
+        };
+        let index = build_index.then(|| AdjacencyIndex::build(&g));
+        Kernel {
+            g,
+            alpha,
+            index,
+            back_map: None,
+        }
+    }
+
+    /// The shared body of GenerateI / GenerateX: keep candidates adjacent
+    /// to `u`, multiply each factor by `p({·, u})`, and drop entries whose
+    /// new clique probability `q2 · r'` would fall below α. `scanned` is
+    /// incremented by the number of candidate tuples examined.
+    #[inline]
+    pub fn filter_candidates(
+        &self,
+        u: VertexId,
+        q2: f64,
+        cands: &[Candidate],
+        scanned: &mut u64,
+    ) -> Vec<Candidate> {
+        *scanned += cands.len() as u64;
+        let mut out = Vec::with_capacity(cands.len());
+        match &self.index {
+            Some(idx) => {
+                let row = idx.row(u);
+                for &(w, r) in cands {
+                    if row.contains(w as usize) {
+                        // Membership is O(1); the probability still comes
+                        // from the CSR arrays (O(log deg)).
+                        let p = self
+                            .g
+                            .edge_prob_raw(u, w)
+                            .expect("index row and CSR agree");
+                        let r2 = r * p;
+                        if q2 * r2 >= self.alpha {
+                            out.push((w, r2));
+                        }
+                    }
+                }
+            }
+            None => {
+                // Both `cands` and Γ(u) are sorted: gallop through the
+                // adjacency with a moving left bound, total cost
+                // O(|cands| · log deg(u)).
+                let nbrs = self.g.neighbors(u);
+                let probs = self.g.neighbor_probs(u);
+                let mut lo = 0usize;
+                for &(w, r) in cands {
+                    if lo >= nbrs.len() {
+                        break;
+                    }
+                    match nbrs[lo..].binary_search(&w) {
+                        Ok(off) => {
+                            let j = lo + off;
+                            let r2 = r * probs[j];
+                            if q2 * r2 >= self.alpha {
+                                out.push((w, r2));
+                            }
+                            lo = j + 1;
+                        }
+                        Err(off) => {
+                            lo += off;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+}

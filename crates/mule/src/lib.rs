@@ -1,0 +1,64 @@
+//! # mule — Maximal Uncertain cLique Enumeration
+//!
+//! Algorithms from *Mukherjee, Xu, Tirthapura, "Mining Maximal Cliques
+//! from an Uncertain Graph"* (ICDE 2015):
+//!
+//! | Paper artifact | Here |
+//! |---|---|
+//! | MULE (Algorithms 1–4) | [`Mule`], [`enumerate_maximal_cliques`] |
+//! | LARGE–MULE (Algorithms 5–6) | [`LargeMule`], [`enumerate_large_maximal_cliques`] |
+//! | Modani–Dey shared-neighborhood filter | [`pruning::shared_neighborhood_filter`] |
+//! | DFS–NOIP baseline (Algorithm 7) | [`DfsNoip`], [`dfs_noip::enumerate_maximal_cliques_noip`] |
+//! | Theorem 1 / Moon–Moser bounds | [`bounds`] |
+//! | Bron–Kerbosch + Tomita pivot (paper refs 8, 42) | [`deterministic`] |
+//! | Top-k by probability (paper ref 47) | [`topk`] |
+//!
+//! Extensions beyond the paper: [`parallel`] (root-subtree fan-out across
+//! threads), [`verify`] (independent output checking), [`kcore`]
+//! (expected-degree core decomposition — the paper's future-work
+//! direction), [`worlds`] (sampled possible-world diagnostics) and
+//! [`naive`] (the exponential test oracle).
+//!
+//! ## Example
+//!
+//! ```
+//! use mule::enumerate_maximal_cliques;
+//! use ugraph_core::builder::from_edges;
+//!
+//! let g = from_edges(4, &[
+//!     (0, 1, 0.9), (1, 2, 0.9), (0, 2, 0.9), // solid triangle
+//!     (2, 3, 0.6),                            // shaky pendant
+//! ]).unwrap();
+//!
+//! let cliques = enumerate_maximal_cliques(&g, 0.5).unwrap();
+//! assert_eq!(cliques, vec![vec![0, 1, 2], vec![2, 3]]);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bounds;
+pub mod deterministic;
+pub mod dfs_noip;
+pub mod enumerate;
+mod kernel;
+pub mod kcore;
+pub mod large;
+pub mod naive;
+pub mod parallel;
+pub mod pruning;
+pub mod sinks;
+pub mod stats;
+pub mod topk;
+pub mod verify;
+pub mod worlds;
+pub mod zou_topk;
+
+pub use dfs_noip::DfsNoip;
+pub use enumerate::{
+    count_maximal_cliques, enumerate_maximal_cliques, Candidate, IndexMode, Mule, MuleConfig,
+};
+pub use large::{enumerate_large_maximal_cliques, LargeMule};
+pub use parallel::par_enumerate_maximal_cliques;
+pub use sinks::{CliqueSink, Control};
+pub use stats::EnumerationStats;

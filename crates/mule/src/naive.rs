@@ -1,0 +1,101 @@
+//! Brute-force enumeration over all `2^n` vertex subsets.
+//!
+//! The obviously-correct oracle: check every subset against the reference
+//! [`ugraph_core::clique::is_alpha_maximal`] predicate. Exponential in `n`
+//! and quadratic per subset — usable to roughly `n ≤ 20`, which is plenty
+//! for randomized cross-checking of MULE, DFS–NOIP and LARGE–MULE, and for
+//! verifying Theorem 1 exhaustively on small `n`.
+
+use ugraph_core::{clique, GraphError, UncertainGraph, VertexId};
+
+/// Hard cap on `n` to keep accidental misuse from hanging a test suite.
+pub const MAX_NAIVE_VERTICES: usize = 25;
+
+/// Enumerate all α-maximal cliques by subset enumeration. Cliques are
+/// sorted ascending; the list is sorted lexicographically.
+///
+/// # Panics
+/// Panics if `g` has more than [`MAX_NAIVE_VERTICES`] vertices.
+pub fn enumerate_naive(
+    g: &UncertainGraph,
+    alpha: f64,
+) -> Result<Vec<Vec<VertexId>>, GraphError> {
+    let alpha = UncertainGraph::validate_alpha(alpha)?.get();
+    let n = g.num_vertices();
+    assert!(
+        n <= MAX_NAIVE_VERTICES,
+        "naive enumeration is exponential; {n} vertices exceeds the {MAX_NAIVE_VERTICES} cap"
+    );
+    let mut out = Vec::new();
+    let mut members = Vec::with_capacity(n);
+    for mask in 0u32..(1u32 << n) {
+        members.clear();
+        members.extend((0..n as u32).filter(|&v| mask >> v & 1 == 1));
+        if clique::is_alpha_maximal(g, &members, alpha) {
+            out.push(members.clone());
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Count α-maximal cliques by subset enumeration.
+pub fn count_naive(g: &UncertainGraph, alpha: f64) -> Result<u64, GraphError> {
+    Ok(enumerate_naive(g, alpha)?.len() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugraph_core::builder::{complete_graph, from_edges, GraphBuilder};
+    use ugraph_core::Prob;
+
+    #[test]
+    fn triangle_with_pendant() {
+        let g = from_edges(4, &[(0, 1, 0.9), (1, 2, 0.9), (0, 2, 0.9), (2, 3, 0.6)]).unwrap();
+        assert_eq!(
+            enumerate_naive(&g, 0.5).unwrap(),
+            vec![vec![0, 1, 2], vec![2, 3]]
+        );
+        assert_eq!(
+            enumerate_naive(&g, 0.75).unwrap(),
+            vec![vec![0, 1], vec![0, 2], vec![1, 2], vec![3]]
+        );
+    }
+
+    #[test]
+    fn empty_graph_yields_empty_clique() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(enumerate_naive(&g, 0.5).unwrap(), vec![Vec::<VertexId>::new()]);
+    }
+
+    #[test]
+    fn edgeless_graph_yields_singletons() {
+        let g = GraphBuilder::new(2).build();
+        assert_eq!(enumerate_naive(&g, 0.5).unwrap(), vec![vec![0], vec![1]]);
+    }
+
+    #[test]
+    fn complete_graph_counts() {
+        // K4 p=1/2, α = 2^{-1}: pairs only → C(4,2) = 6.
+        let g = complete_graph(4, Prob::new(0.5).unwrap());
+        assert_eq!(count_naive(&g, 0.5).unwrap(), 6);
+        // α = 2^{-3}: triangles → C(4,3) = 4.
+        assert_eq!(count_naive(&g, 0.125).unwrap(), 4);
+        // α small enough for the full K4 (prob 2^{-6}).
+        assert_eq!(count_naive(&g, 0.015).unwrap(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn cap_enforced() {
+        let g = GraphBuilder::new(MAX_NAIVE_VERTICES + 1).build();
+        let _ = enumerate_naive(&g, 0.5);
+    }
+
+    #[test]
+    fn invalid_alpha_rejected() {
+        let g = GraphBuilder::new(2).build();
+        assert!(enumerate_naive(&g, 0.0).is_err());
+    }
+}

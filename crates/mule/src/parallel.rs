@@ -1,0 +1,261 @@
+//! Parallel MULE: fan the root-level subtrees out across threads.
+//!
+//! An engineering extension beyond the paper. Correctness rests on an
+//! independence property of Algorithm 2's root loop: the subtree rooted at
+//! `C = {u}` depends only on `u`'s neighborhood —
+//!
+//! * `I₀(u) = {(w, p(u,w)) : w ∈ Γ(u), w > u, p(u,w) ≥ α}`
+//! * `X₀(u) = {(v, p(u,v)) : v ∈ Γ(u), v < u, p(u,v) ≥ α}`
+//!
+//! because at the root every candidate carries factor 1 and every vertex
+//! smaller than `u` has been moved into `X` by the time `u` is processed.
+//! Each subtree can therefore be explored by a different worker with no
+//! shared mutable state. Work is distributed by an atomic cursor over the
+//! vertex ids (natural dynamic load balancing: cheap subtrees drain fast).
+//!
+//! Workers collect locally and results are merged and sorted at the end,
+//! so the output is deterministic and identical to sequential MULE.
+
+use crate::enumerate::{Candidate, MuleConfig};
+use crate::kernel::Kernel;
+use crate::sinks::{CliqueSink, CollectSink, Control};
+use crate::stats::EnumerationStats;
+use std::sync::atomic::{AtomicU32, Ordering};
+use ugraph_core::{GraphError, UncertainGraph, VertexId};
+
+/// Result of a parallel enumeration: the cliques (sorted lexicographically,
+/// probabilities parallel) plus merged statistics.
+#[derive(Debug, Clone)]
+pub struct ParallelOutput {
+    /// All α-maximal cliques, each sorted ascending, the list sorted
+    /// lexicographically.
+    pub cliques: Vec<Vec<VertexId>>,
+    /// `probs[i]` is the clique probability of `cliques[i]`.
+    pub probs: Vec<f64>,
+    /// Counters merged across workers (`max_depth` is the maximum).
+    pub stats: EnumerationStats,
+}
+
+/// Enumerate all α-maximal cliques using `threads` worker threads
+/// (`threads = 0` means one worker per available CPU).
+pub fn par_enumerate_maximal_cliques(
+    g: &UncertainGraph,
+    alpha: f64,
+    threads: usize,
+) -> Result<ParallelOutput, GraphError> {
+    let config = MuleConfig::default();
+    let kernel = Kernel::prepare(g, alpha, &config)?;
+    let n = kernel.g.num_vertices();
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        threads
+    };
+
+    // Degenerate cases the worker loop cannot express.
+    if n == 0 {
+        return Ok(ParallelOutput {
+            cliques: vec![vec![]],
+            probs: vec![1.0],
+            stats: EnumerationStats {
+                calls: 1,
+                emitted: 1,
+                ..Default::default()
+            },
+        });
+    }
+
+    let cursor = AtomicU32::new(0);
+    let mut worker_outputs: Vec<(CollectSink, EnumerationStats)> = Vec::new();
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let kernel = &kernel;
+            let cursor = &cursor;
+            handles.push(scope.spawn(move |_| {
+                let mut sink = CollectSink::new();
+                let mut worker = Worker {
+                    kernel,
+                    stats: EnumerationStats::new(),
+                };
+                loop {
+                    let u = cursor.fetch_add(1, Ordering::Relaxed);
+                    if u as usize >= n {
+                        break;
+                    }
+                    worker.run_root(u, &mut sink);
+                }
+                (sink, worker.stats)
+            }));
+        }
+        for h in handles {
+            worker_outputs.push(h.join().expect("worker panicked"));
+        }
+    })
+    .expect("crossbeam scope failed");
+
+    let mut stats = EnumerationStats::new();
+    stats.calls = 1; // the conceptual root node
+    let mut pairs: Vec<(Vec<VertexId>, f64)> = Vec::new();
+    for (sink, s) in worker_outputs {
+        stats.merge(&s);
+        pairs.extend(sink.into_pairs());
+    }
+    pairs.sort_by(|a, b| a.0.cmp(&b.0));
+    let (cliques, probs) = pairs.into_iter().unzip();
+    Ok(ParallelOutput {
+        cliques,
+        probs,
+        stats,
+    })
+}
+
+/// Per-thread search state: shares the read-only kernel, owns its counters.
+struct Worker<'k> {
+    kernel: &'k Kernel,
+    stats: EnumerationStats,
+}
+
+impl Worker<'_> {
+    /// Explore the root subtree `C = {u}` (see module docs for why the
+    /// initial sets take this closed form).
+    fn run_root(&mut self, u: VertexId, sink: &mut CollectSink) {
+        let mut i0 = Vec::new();
+        let mut x0 = Vec::new();
+        for (w, p) in self.kernel.g.neighbors_with_probs(u) {
+            // Kernel graphs are α-pruned, so p ≥ α always holds; the test
+            // is kept for clarity and symmetry with Algorithm 3 line 8.
+            if p >= self.kernel.alpha {
+                if w > u {
+                    i0.push((w, p));
+                } else {
+                    x0.push((w, p));
+                }
+            }
+        }
+        let mut c = vec![u];
+        self.recurse(&mut c, 1.0, &i0, x0, sink);
+    }
+
+    fn recurse(
+        &mut self,
+        c: &mut Vec<VertexId>,
+        q: f64,
+        i_set: &[Candidate],
+        x_set: Vec<Candidate>,
+        sink: &mut CollectSink,
+    ) -> Control {
+        self.stats.calls += 1;
+        self.stats.max_depth = self.stats.max_depth.max(c.len());
+        if i_set.is_empty() && x_set.is_empty() {
+            self.stats.emitted += 1;
+            return sink.emit(c, q);
+        }
+        let mut x_set = x_set;
+        for pos in 0..i_set.len() {
+            let (u, r) = i_set[pos];
+            let q2 = q * r;
+            let i2 = self.kernel.filter_candidates(
+                u,
+                q2,
+                &i_set[pos + 1..],
+                &mut self.stats.i_candidates_scanned,
+            );
+            let x2 = self.kernel.filter_candidates(
+                u,
+                q2,
+                &x_set,
+                &mut self.stats.x_candidates_scanned,
+            );
+            c.push(u);
+            let ctl = self.recurse(c, q2, &i2, x2, sink);
+            c.pop();
+            if ctl == Control::Stop {
+                return Control::Stop;
+            }
+            x_set.push((u, r));
+        }
+        Control::Continue
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::enumerate_maximal_cliques;
+    use ugraph_core::builder::{complete_graph, from_edges, GraphBuilder};
+    use ugraph_core::Prob;
+
+    fn fixture() -> UncertainGraph {
+        let mut edges = Vec::new();
+        // K5 (0..5) + K4 (4..8) sharing vertex 4 + pendant chain.
+        for u in 0..5u32 {
+            for v in (u + 1)..5 {
+                edges.push((u, v, 0.9));
+            }
+        }
+        for u in 4..8u32 {
+            for v in (u + 1)..8 {
+                edges.push((u, v, 0.8));
+            }
+        }
+        edges.push((8, 9, 0.7));
+        from_edges(10, &edges).unwrap()
+    }
+
+    #[test]
+    fn matches_sequential_for_various_alpha_and_threads() {
+        let g = fixture();
+        for alpha in [0.9, 0.5, 0.2, 0.05, 1e-4] {
+            let expected = enumerate_maximal_cliques(&g, alpha).unwrap();
+            for threads in [1, 2, 4] {
+                let out = par_enumerate_maximal_cliques(&g, alpha, threads).unwrap();
+                assert_eq!(out.cliques, expected, "α={alpha}, threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn probabilities_align_with_cliques() {
+        let g = fixture();
+        let out = par_enumerate_maximal_cliques(&g, 0.3, 3).unwrap();
+        assert_eq!(out.cliques.len(), out.probs.len());
+        for (c, p) in out.cliques.iter().zip(&out.probs) {
+            let exact = ugraph_core::clique::clique_probability(&g, c).unwrap();
+            assert!((p - exact).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn stats_emitted_matches_output() {
+        let g = fixture();
+        let out = par_enumerate_maximal_cliques(&g, 0.4, 4).unwrap();
+        assert_eq!(out.stats.emitted as usize, out.cliques.len());
+        assert!(out.stats.calls > 1);
+    }
+
+    #[test]
+    fn zero_threads_uses_available_parallelism() {
+        let g = fixture();
+        let expected = enumerate_maximal_cliques(&g, 0.5).unwrap();
+        let out = par_enumerate_maximal_cliques(&g, 0.5, 0).unwrap();
+        assert_eq!(out.cliques, expected);
+    }
+
+    #[test]
+    fn empty_graph_emits_empty_clique() {
+        let g = GraphBuilder::new(0).build();
+        let out = par_enumerate_maximal_cliques(&g, 0.5, 2).unwrap();
+        assert_eq!(out.cliques, vec![Vec::<VertexId>::new()]);
+        assert_eq!(out.probs, vec![1.0]);
+    }
+
+    #[test]
+    fn complete_graph_counts_match() {
+        let g = complete_graph(9, Prob::new(0.5).unwrap());
+        let alpha = 0.5f64.powi(6); // admits k with C(k,2) ≤ 6 → k ≤ 4
+        let out = par_enumerate_maximal_cliques(&g, alpha, 4).unwrap();
+        assert_eq!(out.cliques.len(), 126); // C(9,4)
+        assert!(out.cliques.iter().all(|c| c.len() == 4));
+    }
+}

@@ -1,0 +1,395 @@
+//! Output sinks for clique enumeration.
+//!
+//! All enumeration algorithms in this crate *emit* maximal cliques through
+//! the [`CliqueSink`] trait instead of materializing a `Vec<Vec<VertexId>>`.
+//! The paper's output can be as large as `Ω(√n · 2^n)` (Observation 5), so
+//! counting runs (Figures 3, 4, 6) must not allocate per clique, and the
+//! runtime experiments time exactly the enumeration, not result storage.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use ugraph_core::VertexId;
+
+/// Flow control returned by a sink: keep enumerating or stop early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Control {
+    /// Continue the enumeration.
+    Continue,
+    /// Abort the enumeration as soon as possible (the algorithms unwind
+    /// without emitting further cliques).
+    Stop,
+}
+
+/// Receiver for enumerated α-maximal cliques.
+///
+/// `clique` is in canonical form — vertex ids strictly increasing — and
+/// `prob` is `clq(C, G)`, maintained incrementally by the caller.
+pub trait CliqueSink {
+    /// Handle one maximal clique. Return [`Control::Stop`] to end the
+    /// enumeration early (used by e.g. "first k" queries).
+    fn emit(&mut self, clique: &[VertexId], prob: f64) -> Control;
+}
+
+/// Counts cliques (and total output size) without storing them.
+#[derive(Debug, Default, Clone)]
+pub struct CountSink {
+    /// Number of maximal cliques emitted.
+    pub count: u64,
+    /// Total number of vertex ids across all emitted cliques — the paper's
+    /// "output size" notion in Observation 5.
+    pub total_vertices: u64,
+    /// Size of the largest clique seen.
+    pub max_size: usize,
+}
+
+impl CountSink {
+    /// New, zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl CliqueSink for CountSink {
+    fn emit(&mut self, clique: &[VertexId], _prob: f64) -> Control {
+        self.count += 1;
+        self.total_vertices += clique.len() as u64;
+        self.max_size = self.max_size.max(clique.len());
+        Control::Continue
+    }
+}
+
+/// Collects cliques (and probabilities) into vectors.
+#[derive(Debug, Default, Clone)]
+pub struct CollectSink {
+    cliques: Vec<Vec<VertexId>>,
+    probs: Vec<f64>,
+}
+
+impl CollectSink {
+    /// New, empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cliques collected so far.
+    pub fn len(&self) -> usize {
+        self.cliques.len()
+    }
+
+    /// True if nothing was collected.
+    pub fn is_empty(&self) -> bool {
+        self.cliques.is_empty()
+    }
+
+    /// The collected cliques.
+    pub fn cliques(&self) -> &[Vec<VertexId>] {
+        &self.cliques
+    }
+
+    /// The collected probabilities, parallel to [`Self::cliques`].
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Consume into the clique list, sorted lexicographically for
+    /// deterministic comparison in tests.
+    pub fn into_sorted_cliques(mut self) -> Vec<Vec<VertexId>> {
+        self.cliques.sort();
+        self.cliques
+    }
+
+    /// Consume into `(clique, prob)` pairs in emission order.
+    pub fn into_pairs(self) -> Vec<(Vec<VertexId>, f64)> {
+        self.cliques.into_iter().zip(self.probs).collect()
+    }
+}
+
+impl CliqueSink for CollectSink {
+    fn emit(&mut self, clique: &[VertexId], prob: f64) -> Control {
+        self.cliques.push(clique.to_vec());
+        self.probs.push(prob);
+        Control::Continue
+    }
+}
+
+/// Adapts a closure `FnMut(&[VertexId], f64) -> Control` into a sink.
+pub struct FnSink<F>(pub F);
+
+impl<F: FnMut(&[VertexId], f64) -> Control> CliqueSink for FnSink<F> {
+    fn emit(&mut self, clique: &[VertexId], prob: f64) -> Control {
+        (self.0)(clique, prob)
+    }
+}
+
+/// Stops after the first `limit` cliques, collecting them.
+#[derive(Debug)]
+pub struct FirstKSink {
+    limit: usize,
+    inner: CollectSink,
+}
+
+impl FirstKSink {
+    /// Collect at most `limit` cliques, then stop the enumeration.
+    pub fn new(limit: usize) -> Self {
+        FirstKSink {
+            limit,
+            inner: CollectSink::new(),
+        }
+    }
+
+    /// The collected cliques (at most `limit`).
+    pub fn into_cliques(self) -> Vec<Vec<VertexId>> {
+        self.inner.cliques
+    }
+}
+
+impl CliqueSink for FirstKSink {
+    fn emit(&mut self, clique: &[VertexId], prob: f64) -> Control {
+        if self.inner.len() >= self.limit {
+            return Control::Stop;
+        }
+        self.inner.emit(clique, prob);
+        if self.inner.len() >= self.limit {
+            Control::Stop
+        } else {
+            Control::Continue
+        }
+    }
+}
+
+/// Histogram of maximal-clique sizes: `hist[k]` counts cliques with `k`
+/// vertices. Drives the Figure 6 style size-distribution reports.
+#[derive(Debug, Default, Clone)]
+pub struct SizeHistogramSink {
+    hist: Vec<u64>,
+}
+
+impl SizeHistogramSink {
+    /// New, empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `hist[k]` = number of maximal cliques of size `k`.
+    pub fn histogram(&self) -> &[u64] {
+        &self.hist
+    }
+
+    /// Number of cliques with size ≥ `t` — the Figure 6 y-axis.
+    pub fn count_at_least(&self, t: usize) -> u64 {
+        self.hist.iter().skip(t).sum()
+    }
+
+    /// Total cliques observed.
+    pub fn total(&self) -> u64 {
+        self.hist.iter().sum()
+    }
+}
+
+impl CliqueSink for SizeHistogramSink {
+    fn emit(&mut self, clique: &[VertexId], _prob: f64) -> Control {
+        let k = clique.len();
+        if self.hist.len() <= k {
+            self.hist.resize(k + 1, 0);
+        }
+        self.hist[k] += 1;
+        Control::Continue
+    }
+}
+
+/// Entry in the top-k heap: ordered by probability ascending so the heap
+/// root is the *weakest* retained clique.
+#[derive(Debug, Clone)]
+struct HeapEntry {
+    prob: f64,
+    clique: Vec<VertexId>,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.prob == other.prob && self.clique == other.clique
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want to pop the minimum
+        // probability first. Ties break on the clique itself so ordering is
+        // total and deterministic.
+        other
+            .prob
+            .total_cmp(&self.prob)
+            .then_with(|| other.clique.cmp(&self.clique))
+    }
+}
+
+/// Retains the `k` maximal cliques with the highest clique probability —
+/// the query shape studied by Zou et al. (paper ref 47), restricted to α-maximal
+/// cliques (see `mule::topk`).
+#[derive(Debug)]
+pub struct TopKSink {
+    k: usize,
+    heap: BinaryHeap<HeapEntry>,
+}
+
+impl TopKSink {
+    /// Keep the `k` most probable cliques.
+    pub fn new(k: usize) -> Self {
+        TopKSink {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
+    }
+
+    /// The current k-th best probability (threshold for admission), if the
+    /// heap is full.
+    pub fn threshold(&self) -> Option<f64> {
+        if self.heap.len() == self.k {
+            self.heap.peek().map(|e| e.prob)
+        } else {
+            None
+        }
+    }
+
+    /// Consume into `(clique, prob)` sorted by probability descending
+    /// (ties: lexicographically by clique).
+    pub fn into_sorted(self) -> Vec<(Vec<VertexId>, f64)> {
+        let mut v: Vec<(Vec<VertexId>, f64)> = self
+            .heap
+            .into_iter()
+            .map(|e| (e.clique, e.prob))
+            .collect();
+        v.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        v
+    }
+}
+
+impl CliqueSink for TopKSink {
+    fn emit(&mut self, clique: &[VertexId], prob: f64) -> Control {
+        if self.k == 0 {
+            return Control::Stop;
+        }
+        if self.heap.len() < self.k {
+            self.heap.push(HeapEntry {
+                prob,
+                clique: clique.to_vec(),
+            });
+        } else if self.heap.peek().is_some_and(|worst| prob > worst.prob) {
+            self.heap.pop();
+            self.heap.push(HeapEntry {
+                prob,
+                clique: clique.to_vec(),
+            });
+        }
+        Control::Continue
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_sink_accumulates() {
+        let mut s = CountSink::new();
+        assert_eq!(s.emit(&[0, 1], 0.5), Control::Continue);
+        assert_eq!(s.emit(&[2, 3, 4], 0.25), Control::Continue);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.total_vertices, 5);
+        assert_eq!(s.max_size, 3);
+    }
+
+    #[test]
+    fn collect_sink_stores_pairs() {
+        let mut s = CollectSink::new();
+        s.emit(&[1, 2], 0.5);
+        s.emit(&[0], 1.0);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        assert_eq!(s.cliques()[1], vec![0]);
+        assert_eq!(s.probs(), &[0.5, 1.0]);
+        let pairs = s.clone().into_pairs();
+        assert_eq!(pairs[0], (vec![1, 2], 0.5));
+        assert_eq!(s.into_sorted_cliques(), vec![vec![0], vec![1, 2]]);
+    }
+
+    #[test]
+    fn fn_sink_adapts_closures() {
+        let mut seen = Vec::new();
+        {
+            let mut s = FnSink(|c: &[VertexId], p: f64| {
+                seen.push((c.to_vec(), p));
+                Control::Continue
+            });
+            s.emit(&[7], 0.9);
+        }
+        assert_eq!(seen, vec![(vec![7], 0.9)]);
+    }
+
+    #[test]
+    fn first_k_stops_exactly_at_k() {
+        let mut s = FirstKSink::new(2);
+        assert_eq!(s.emit(&[0], 1.0), Control::Continue);
+        assert_eq!(s.emit(&[1], 1.0), Control::Stop);
+        assert_eq!(s.emit(&[2], 1.0), Control::Stop); // ignored past limit
+        assert_eq!(s.into_cliques(), vec![vec![0], vec![1]]);
+    }
+
+    #[test]
+    fn first_k_zero_limit() {
+        let mut s = FirstKSink::new(0);
+        assert_eq!(s.emit(&[0], 1.0), Control::Stop);
+        assert!(s.into_cliques().is_empty());
+    }
+
+    #[test]
+    fn size_histogram_counts_and_tail_sums() {
+        let mut s = SizeHistogramSink::new();
+        s.emit(&[0], 1.0);
+        s.emit(&[0, 1], 1.0);
+        s.emit(&[0, 1, 2], 1.0);
+        s.emit(&[3, 4, 5], 1.0);
+        assert_eq!(s.histogram(), &[0, 1, 1, 2]);
+        assert_eq!(s.count_at_least(0), 4);
+        assert_eq!(s.count_at_least(2), 3);
+        assert_eq!(s.count_at_least(3), 2);
+        assert_eq!(s.count_at_least(4), 0);
+        assert_eq!(s.total(), 4);
+    }
+
+    #[test]
+    fn top_k_keeps_highest_probabilities() {
+        let mut s = TopKSink::new(2);
+        s.emit(&[0], 0.3);
+        s.emit(&[1], 0.9);
+        assert_eq!(s.threshold(), Some(0.3));
+        s.emit(&[2], 0.5); // evicts 0.3
+        assert_eq!(s.threshold(), Some(0.5));
+        s.emit(&[3], 0.1); // below threshold, ignored
+        let top = s.into_sorted();
+        assert_eq!(top, vec![(vec![1], 0.9), (vec![2], 0.5)]);
+    }
+
+    #[test]
+    fn top_k_tie_break_is_deterministic() {
+        let mut s = TopKSink::new(2);
+        s.emit(&[5], 0.5);
+        s.emit(&[1], 0.5);
+        s.emit(&[3], 0.5);
+        let top = s.into_sorted();
+        assert_eq!(top.len(), 2);
+        assert!(top[0].0 < top[1].0);
+    }
+
+    #[test]
+    fn top_k_zero_is_noop_stop() {
+        let mut s = TopKSink::new(0);
+        assert_eq!(s.emit(&[0], 1.0), Control::Stop);
+        assert!(s.into_sorted().is_empty());
+    }
+}

@@ -1,0 +1,88 @@
+//! Enumeration statistics: counters backing the paper's runtime analysis.
+//!
+//! Theorem 3 bounds MULE's runtime by `O(n · 2^n)` via the size of the
+//! search tree (each call to `Enum-Uncertain-MC` is a node) times `O(n)`
+//! work per edge of that tree. These counters expose the tree size and the
+//! filtering work so experiments (and the `theorem1` harness binary) can
+//! check the bound empirically.
+
+/// Counters collected during one enumeration run.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct EnumerationStats {
+    /// Search-tree nodes: calls to the recursive procedure (the root
+    /// counts once).
+    pub calls: u64,
+    /// Maximal cliques emitted.
+    pub emitted: u64,
+    /// Deepest recursion (equals the largest clique size reached).
+    pub max_depth: usize,
+    /// Candidate tuples scanned while generating `I'` sets (the work term
+    /// of Lemma 10).
+    pub i_candidates_scanned: u64,
+    /// Candidate tuples scanned while generating `X'` sets (Lemma 11).
+    pub x_candidates_scanned: u64,
+    /// Branches cut by the LARGE–MULE size bound `|C'| + |I'| < t`
+    /// (Algorithm 6, line 8); zero for plain MULE.
+    pub size_pruned: u64,
+}
+
+impl EnumerationStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total candidate-tuple work, the quantity Theorem 3 charges per
+    /// search-tree edge.
+    pub fn total_scanned(&self) -> u64 {
+        self.i_candidates_scanned + self.x_candidates_scanned
+    }
+
+    /// Merge counters from another run (used by the parallel driver).
+    pub fn merge(&mut self, other: &EnumerationStats) {
+        self.calls += other.calls;
+        self.emitted += other.emitted;
+        self.max_depth = self.max_depth.max(other.max_depth);
+        self.i_candidates_scanned += other.i_candidates_scanned;
+        self.x_candidates_scanned += other.x_candidates_scanned;
+        self.size_pruned += other.size_pruned;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_and_maxes() {
+        let mut a = EnumerationStats {
+            calls: 3,
+            emitted: 1,
+            max_depth: 2,
+            i_candidates_scanned: 10,
+            x_candidates_scanned: 5,
+            size_pruned: 0,
+        };
+        let b = EnumerationStats {
+            calls: 4,
+            emitted: 2,
+            max_depth: 5,
+            i_candidates_scanned: 1,
+            x_candidates_scanned: 1,
+            size_pruned: 7,
+        };
+        a.merge(&b);
+        assert_eq!(a.calls, 7);
+        assert_eq!(a.emitted, 3);
+        assert_eq!(a.max_depth, 5);
+        assert_eq!(a.total_scanned(), 17);
+        assert_eq!(a.size_pruned, 7);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        let s = EnumerationStats::new();
+        assert_eq!(s.calls, 0);
+        assert_eq!(s.total_scanned(), 0);
+    }
+}

@@ -1,0 +1,203 @@
+//! Possible-world analysis: what does clique structure look like in
+//! *sampled* deterministic worlds, and how does it relate to α-maximal
+//! cliques?
+//!
+//! The α-maximal cliques of `G` are **not** the maximal cliques of any
+//! single world — they are threshold structures over the whole
+//! distribution. Sampling worlds and enumerating their (deterministic)
+//! maximal cliques gives an independent, assumption-free view that is
+//! useful for calibration and sanity checks:
+//!
+//! * [`sampled_world_clique_stats`] — the expected number / size profile
+//!   of maximal cliques per world (Bron–Kerbosch on each sample);
+//! * [`maximality_frequency`] — for a fixed vertex set `C`, how often `C`
+//!   is a maximal clique in a sampled world. An α-clique with high
+//!   `clq(C, G)` can still be maximal in very few worlds (some superset
+//!   usually materializes too), which is exactly why the paper defines
+//!   maximality against the threshold rather than per world; the examples
+//!   use this function to illustrate the distinction.
+
+use crate::deterministic::bron_kerbosch;
+use rand::Rng;
+use ugraph_core::{sample, UncertainGraph, VertexId};
+
+/// Aggregate statistics of maximal cliques across sampled worlds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorldCliqueStats {
+    /// Worlds sampled.
+    pub worlds: usize,
+    /// Mean number of maximal cliques per world.
+    pub mean_count: f64,
+    /// Smallest per-world count.
+    pub min_count: u64,
+    /// Largest per-world count.
+    pub max_count: u64,
+    /// Mean size of the largest clique per world.
+    pub mean_max_size: f64,
+    /// Largest clique seen in any world.
+    pub max_size: usize,
+}
+
+/// Sample `worlds` deterministic graphs and enumerate each one's maximal
+/// cliques with Bron–Kerbosch. Exponential-ish per world in the worst
+/// case — intended for small/medium graphs and moderate sample counts.
+pub fn sampled_world_clique_stats<R: Rng + ?Sized>(
+    g: &UncertainGraph,
+    worlds: usize,
+    rng: &mut R,
+) -> WorldCliqueStats {
+    assert!(worlds > 0, "need at least one world");
+    let mut total = 0u64;
+    let mut min_count = u64::MAX;
+    let mut max_count = 0u64;
+    let mut total_max_size = 0u64;
+    let mut max_size = 0usize;
+    for _ in 0..worlds {
+        let world = sample::sample_world(g, rng);
+        // Rebuild as a deterministic UncertainGraph (p = 1) to reuse the
+        // Bron–Kerbosch implementation.
+        let mut b = ugraph_core::GraphBuilder::new(world.num_vertices());
+        for v in 0..world.num_vertices() as VertexId {
+            for &w in world.neighbors(v) {
+                if v < w {
+                    b.add_edge(v, w, 1.0).expect("world edges are valid");
+                }
+            }
+        }
+        let cliques = bron_kerbosch(&b.build());
+        let count = cliques.len() as u64;
+        let world_max = cliques.iter().map(|c| c.len()).max().unwrap_or(0);
+        total += count;
+        min_count = min_count.min(count);
+        max_count = max_count.max(count);
+        total_max_size += world_max as u64;
+        max_size = max_size.max(world_max);
+    }
+    WorldCliqueStats {
+        worlds,
+        mean_count: total as f64 / worlds as f64,
+        min_count,
+        max_count,
+        mean_max_size: total_max_size as f64 / worlds as f64,
+        max_size,
+    }
+}
+
+/// Fraction of sampled worlds in which `c` is (a) a clique and (b) a
+/// *maximal* clique. Returns `(clique_freq, maximal_freq)`.
+///
+/// `clique_freq` estimates `clq(C, G)` (Observation 1); `maximal_freq`
+/// estimates the per-world maximality probability, which has no closed
+/// product form (it couples `C`'s edges with all potential extender
+/// edges) — sampling is the honest way to get it.
+pub fn maximality_frequency<R: Rng + ?Sized>(
+    g: &UncertainGraph,
+    c: &[VertexId],
+    worlds: usize,
+    rng: &mut R,
+) -> (f64, f64) {
+    assert!(worlds > 0, "need at least one world");
+    let mut clique_hits = 0usize;
+    let mut maximal_hits = 0usize;
+    // Candidate extenders: vertices adjacent (in the skeleton) to all of C.
+    let extenders: Vec<VertexId> = match c.first() {
+        None => g.vertices().collect(),
+        Some(&pivot) => g
+            .neighbors(pivot)
+            .iter()
+            .copied()
+            .filter(|&v| !c.contains(&v) && c.iter().all(|&u| u == v || g.contains_edge(u, v)))
+            .collect(),
+    };
+    for _ in 0..worlds {
+        let world = sample::sample_world(g, rng);
+        if !world.is_clique(c) {
+            continue;
+        }
+        clique_hits += 1;
+        let extendable = extenders
+            .iter()
+            .any(|&v| c.iter().all(|&u| world.contains_edge(u, v)));
+        if !extendable {
+            maximal_hits += 1;
+        }
+    }
+    (
+        clique_hits as f64 / worlds as f64,
+        maximal_hits as f64 / worlds as f64,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use ugraph_core::builder::{complete_graph, from_edges};
+    use ugraph_core::Prob;
+
+    #[test]
+    fn certain_graph_worlds_are_identical() {
+        let g = complete_graph(5, Prob::ONE);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let s = sampled_world_clique_stats(&g, 20, &mut rng);
+        assert_eq!(s.worlds, 20);
+        assert_eq!(s.mean_count, 1.0);
+        assert_eq!((s.min_count, s.max_count), (1, 1));
+        assert_eq!(s.max_size, 5);
+        assert_eq!(s.mean_max_size, 5.0);
+    }
+
+    #[test]
+    fn uncertain_graph_world_counts_vary() {
+        let g = complete_graph(8, Prob::new(0.5).unwrap());
+        let mut rng = SmallRng::seed_from_u64(2);
+        let s = sampled_world_clique_stats(&g, 50, &mut rng);
+        assert!(s.min_count < s.max_count, "p=1/2 worlds should differ");
+        assert!(s.mean_count > 1.0);
+        assert!(s.max_size <= 8);
+    }
+
+    #[test]
+    fn clique_frequency_matches_product() {
+        let g = from_edges(3, &[(0, 1, 0.8), (1, 2, 0.8), (0, 2, 0.8)]).unwrap();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let (clq_freq, max_freq) = maximality_frequency(&g, &[0, 1, 2], 50_000, &mut rng);
+        assert!((clq_freq - 0.512).abs() < 0.01, "{clq_freq}");
+        // The triangle has no extenders, so maximal whenever it's a clique.
+        assert_eq!(clq_freq, max_freq);
+    }
+
+    #[test]
+    fn maximality_is_rarer_than_cliqueness_with_extenders() {
+        // Edge {0,1} at p = 0.9 with a p = 0.9 apex vertex 2: when all
+        // three edges appear, {0,1} is a clique but NOT maximal.
+        let g = from_edges(3, &[(0, 1, 0.9), (0, 2, 0.9), (1, 2, 0.9)]).unwrap();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let (clq_freq, max_freq) = maximality_frequency(&g, &[0, 1], 50_000, &mut rng);
+        assert!((clq_freq - 0.9).abs() < 0.01);
+        // maximal ⇔ edge present ∧ ¬(both apex edges) = 0.9·(1−0.81).
+        assert!((max_freq - 0.9 * 0.19).abs() < 0.01, "{max_freq}");
+        assert!(max_freq < clq_freq);
+    }
+
+    #[test]
+    fn empty_set_maximality() {
+        // The empty set is a clique in every world; maximal only when the
+        // graph has no vertices at all... with vertices it's always
+        // extendable (any single vertex extends it).
+        let g = from_edges(2, &[(0, 1, 0.5)]).unwrap();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let (clq, max) = maximality_frequency(&g, &[], 100, &mut rng);
+        assert_eq!(clq, 1.0);
+        assert_eq!(max, 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_worlds_panics() {
+        let g = from_edges(2, &[(0, 1, 0.5)]).unwrap();
+        let mut rng = SmallRng::seed_from_u64(6);
+        let _ = sampled_world_clique_stats(&g, 0, &mut rng);
+    }
+}

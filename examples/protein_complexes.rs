@@ -1,0 +1,70 @@
+//! Protein-complex mining: the paper's motivating bioinformatics use case.
+//!
+//! Protein–protein interaction (PPI) networks are inherently uncertain —
+//! high-throughput assays have substantial false-positive/negative rates,
+//! so databases like STRING attach a confidence score to every
+//! interaction. A *protein complex* shows up as a set of proteins that is
+//! fully interconnected *with high probability*: exactly an α-maximal
+//! clique.
+//!
+//! This example builds the Fruit-Fly PPI stand-in (same scale and score
+//! distribution as the paper's STRING-derived network), mines complexes at
+//! a range of confidence thresholds, and validates one complex's
+//! probability by Monte-Carlo sampling of possible worlds (Observation 1).
+//!
+//! ```text
+//! cargo run --release --example protein_complexes
+//! ```
+
+use uncertain_clique::core::{clique, sample};
+use uncertain_clique::gen::datasets;
+use uncertain_clique::mule::{sinks::CollectSink, Mule};
+use uncertain_clique::prelude::*;
+
+fn main() -> Result<(), GraphError> {
+    let g = datasets::by_name("Fruit-Fly")
+        .expect("registry has the PPI dataset")
+        .build(42);
+    let stats = GraphStats::compute(&g);
+    println!(
+        "PPI stand-in: {} proteins, {} scored interactions, mean confidence {:.2}",
+        stats.n, stats.m, stats.mean_prob
+    );
+
+    // Sweep the confidence threshold: higher α keeps only complexes whose
+    // *joint* existence is well supported.
+    println!("\n alpha   #complexes   largest");
+    let mut strong: Vec<(Vec<VertexId>, f64)> = Vec::new();
+    for alpha in [0.05, 0.25, 0.5, 0.75] {
+        let mut mule = Mule::new(&g, alpha)?;
+        let mut sink = CollectSink::new();
+        mule.run(&mut sink);
+        let largest = sink.cliques().iter().map(|c| c.len()).max().unwrap_or(0);
+        println!("{alpha:>6}   {:>10}   {largest:>7}", sink.len());
+        if alpha == 0.5 {
+            strong = sink.into_pairs();
+        }
+    }
+
+    // Report the highest-probability non-trivial complexes at α = 0.5.
+    strong.retain(|(c, _)| c.len() >= 3);
+    strong.sort_by(|a, b| b.1.total_cmp(&a.1));
+    println!("\nmost reliable complexes (≥3 proteins) at alpha = 0.5:");
+    for (c, p) in strong.iter().take(5) {
+        println!("  proteins {c:?}: joint interaction probability {p:.4}");
+    }
+
+    // Validate the top complex against the possible-world semantics: the
+    // closed-form product (Observation 1) must match the sampled frequency.
+    if let Some((complex, exact)) = strong.first() {
+        let mut rng = uncertain_clique::gen::rng::rng_from_seed(7);
+        let est = sample::estimate_clique_probability(&g, complex, 200_000, &mut rng);
+        println!(
+            "\nMonte-Carlo check on {complex:?}: exact {exact:.4}, sampled {est:.4}"
+        );
+        assert!((est - exact).abs() < 0.01, "sampling must agree with the product form");
+        assert!(clique::is_alpha_maximal(&g, complex, 0.5));
+        println!("possible-world sampling agrees with the closed form ✓");
+    }
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! Quickstart: build a small uncertain graph, enumerate its α-maximal
+//! cliques, and inspect the result.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use uncertain_clique::mule::{sinks::CollectSink, Mule};
+use uncertain_clique::prelude::*;
+
+fn main() -> Result<(), GraphError> {
+    // A little collaboration network: vertices are people, an edge means
+    // "probably know each other", weighted by confidence.
+    //
+    //      0 --- 1          5
+    //      | \   |          |
+    //      |  \  |          6
+    //      3 --- 2 ---------+
+    //
+    let mut b = GraphBuilder::new(7);
+    b.add_edge(0, 1, 0.90)?;
+    b.add_edge(1, 2, 0.90)?;
+    b.add_edge(0, 2, 0.85)?;
+    b.add_edge(0, 3, 0.80)?;
+    b.add_edge(2, 3, 0.80)?;
+    b.add_edge(2, 6, 0.60)?;
+    b.add_edge(5, 6, 0.95)?;
+    let g = b.build().with_name("quickstart");
+
+    println!("graph: {} vertices, {} edges", g.num_vertices(), g.num_edges());
+
+    // Enumerate all 0.5-maximal cliques: vertex sets that form a fully
+    // connected group with probability at least 1/2, and cannot be
+    // extended without dropping below that bar.
+    let alpha = 0.5;
+    let mut mule = Mule::new(&g, alpha)?;
+    let mut sink = CollectSink::new();
+    mule.run(&mut sink);
+
+    println!("\n{alpha}-maximal cliques:");
+    for (clique, prob) in sink.into_pairs() {
+        println!("  {clique:?}  (clique probability {prob:.4})");
+    }
+
+    // Raising the bar to 0.7 splits the looser groups apart.
+    let strict = enumerate_maximal_cliques(&g, 0.7)?;
+    println!("\n0.7-maximal cliques: {strict:?}");
+
+    // How much work did the search do?
+    let s = mule.stats();
+    println!(
+        "\nsearch tree: {} nodes, {} cliques, deepest clique {}",
+        s.calls, s.emitted, s.max_depth
+    );
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! # uncertain-clique — mining maximal cliques from uncertain graphs
+//!
+//! Umbrella facade over the workspace crates implementing *Mukherjee, Xu,
+//! Tirthapura, "Mining Maximal Cliques from an Uncertain Graph"* (ICDE
+//! 2015):
+//!
+//! * [`core`] — the uncertain-graph substrate (storage, probabilities,
+//!   possible worlds);
+//! * [`mule`] — the MULE / LARGE–MULE enumeration algorithms, baselines and
+//!   extensions;
+//! * [`gen`] — workload generators and the paper's dataset stand-ins;
+//! * [`io`] — text and binary graph formats.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use uncertain_clique::prelude::*;
+//!
+//! // Build a small uncertain graph.
+//! let mut b = GraphBuilder::new(4);
+//! b.add_edge(0, 1, 0.9).unwrap();
+//! b.add_edge(1, 2, 0.9).unwrap();
+//! b.add_edge(0, 2, 0.9).unwrap();
+//! b.add_edge(2, 3, 0.6).unwrap();
+//! let g = b.build();
+//!
+//! // Enumerate all 0.5-maximal cliques.
+//! let cliques = enumerate_maximal_cliques(&g, 0.5).unwrap();
+//! assert!(cliques.contains(&vec![0, 1, 2])); // 0.9³ = 0.729 ≥ 0.5
+//! assert!(cliques.contains(&vec![2, 3]));    // 0.6 ≥ 0.5
+//! ```
+
+pub use mule;
+pub use ugraph_core as core;
+pub use ugraph_gen as gen;
+pub use ugraph_io as io;
+
+/// The most commonly used items, re-exported flat.
+pub mod prelude {
+    pub use mule::{
+        enumerate_maximal_cliques, sinks::CollectSink, sinks::CountSink, CliqueSink, LargeMule,
+        Mule, MuleConfig,
+    };
+    pub use ugraph_core::{
+        GraphBuilder, GraphError, GraphStats, Prob, UncertainGraph, VertexId,
+    };
+}

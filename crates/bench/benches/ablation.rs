@@ -20,7 +20,10 @@ fn bench_ablations(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation");
     group.sample_size(10);
 
-    for (label, mode) in [("index-dense", IndexMode::Always), ("index-gallop", IndexMode::Never)] {
+    for (label, mode) in [
+        ("index-dense", IndexMode::Always),
+        ("index-gallop", IndexMode::Never),
+    ] {
         group.bench_function(BenchmarkId::new("neighborhood", label), |b| {
             b.iter(|| {
                 let cfg = MuleConfig {
@@ -74,7 +77,12 @@ fn bench_ablations(c: &mut Criterion) {
             BenchmarkId::new("parallel", threads),
             &threads,
             |b, &threads| {
-                b.iter(|| par_enumerate_maximal_cliques(&g, alpha, threads).unwrap().cliques.len())
+                b.iter(|| {
+                    par_enumerate_maximal_cliques(&g, alpha, threads)
+                        .unwrap()
+                        .cliques
+                        .len()
+                })
             },
         );
     }

@@ -14,11 +14,9 @@ fn bench_alpha_sweep(c: &mut Criterion) {
     for name in ["BA10000", "ca-GrQc"] {
         let g = dataset(name, 42, 0.1);
         for alpha in [0.0001, 0.001, 0.01, 0.1, 0.9] {
-            group.bench_with_input(
-                BenchmarkId::new(name, alpha),
-                &alpha,
-                |b, &alpha| b.iter(|| timed_run(Algo::Mule, &g, alpha, budget)),
-            );
+            group.bench_with_input(BenchmarkId::new(name, alpha), &alpha, |b, &alpha| {
+                b.iter(|| timed_run(Algo::Mule, &g, alpha, budget))
+            });
         }
     }
     group.finish();

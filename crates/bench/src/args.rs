@@ -94,8 +94,12 @@ mod tests {
 
     #[test]
     fn parses_pairs_and_flags() {
-        let a = Args::parse_from(argv(&["--seed", "7", "--quick", "--scale=0.5"]), ALLOWED, "u")
-            .unwrap();
+        let a = Args::parse_from(
+            argv(&["--seed", "7", "--quick", "--scale=0.5"]),
+            ALLOWED,
+            "u",
+        )
+        .unwrap();
         assert_eq!(a.get_or("seed", 0u64), 7);
         assert_eq!(a.get_or("scale", 1.0f64), 0.5);
         assert!(a.flag("quick"));

@@ -29,7 +29,10 @@ fn main() {
     let alphas = harness::alpha_grid();
 
     for (panel, datasets) in [
-        ("a", &["BA5000", "BA6000", "BA7000", "BA8000", "BA9000", "BA10000"][..]),
+        (
+            "a",
+            &["BA5000", "BA6000", "BA7000", "BA8000", "BA9000", "BA10000"][..],
+        ),
         (
             "b",
             &[

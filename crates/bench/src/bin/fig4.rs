@@ -30,7 +30,13 @@ fn main() {
     let datasets = ["BA5000", "BA6000", "BA7000", "BA8000", "BA9000", "BA10000"];
     let mut report = Report::new(
         "Figure 4: runtime vs output size (BA graphs)",
-        &["alpha", "graph", "cliques", "runtime", "secs_per_1k_cliques"],
+        &[
+            "alpha",
+            "graph",
+            "cliques",
+            "runtime",
+            "secs_per_1k_cliques",
+        ],
     );
     for name in datasets {
         let g = harness::dataset(name, seed, scale);

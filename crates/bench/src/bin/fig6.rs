@@ -30,7 +30,13 @@ fn main() {
     let small_alphas = [0.2, 0.1, 0.05, 0.01, 0.005, 0.001, 0.0005, 0.0001];
     let dblp_alphas = [0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1];
 
-    type Panel<'a> = (&'a str, &'a str, f64, &'a [f64], std::ops::RangeInclusive<usize>);
+    type Panel<'a> = (
+        &'a str,
+        &'a str,
+        f64,
+        &'a [f64],
+        std::ops::RangeInclusive<usize>,
+    );
     let panels: [Panel; 3] = [
         ("a", "BA10000", scale, &small_alphas, 2..=6),
         ("b", "ca-GrQc", scale, &small_alphas, 2..=8),

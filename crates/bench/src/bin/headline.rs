@@ -37,7 +37,12 @@ fn main() {
         &["comparison", "slow", "fast", "ratio", "paper"],
     );
 
-    let mut add = |label: &str, slow_algo: Algo, fast_algo: Algo, g: &ugraph_core::UncertainGraph, alpha: f64, paper: &str| {
+    let mut add = |label: &str,
+                   slow_algo: Algo,
+                   fast_algo: Algo,
+                   g: &ugraph_core::UncertainGraph,
+                   alpha: f64,
+                   paper: &str| {
         let fast = timed_run(fast_algo, g, alpha, budget);
         let slow = timed_run(slow_algo, g, alpha, budget);
         let ratio = slow.seconds / fast.seconds.max(1e-9);
@@ -57,7 +62,14 @@ fn main() {
     };
 
     let wiki = harness::dataset("wiki-vote", seed, scale);
-    add("wiki-vote α=0.9 NOIP/MULE", Algo::DfsNoip, Algo::Mule, &wiki, 0.9, "64s/8s = 8x");
+    add(
+        "wiki-vote α=0.9 NOIP/MULE",
+        Algo::DfsNoip,
+        Algo::Mule,
+        &wiki,
+        0.9,
+        "64s/8s = 8x",
+    );
     add(
         "wiki-vote α=1e-4 NOIP/MULE",
         Algo::DfsNoip,

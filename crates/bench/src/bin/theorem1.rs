@@ -48,7 +48,11 @@ fn main() {
         } else {
             "-".to_string()
         };
-        let status = if sink.count as u128 == bound { "" } else { "  <-- MISMATCH" };
+        let status = if sink.count as u128 == bound {
+            ""
+        } else {
+            "  <-- MISMATCH"
+        };
         t1.row(&[
             n.to_string(),
             format!("{}{status}", sink.count),

@@ -175,8 +175,8 @@ pub fn cache_dir() -> std::path::PathBuf {
 
 /// Build (or load from cache) a Table 1 dataset stand-in.
 pub fn dataset(name: &str, seed: u64, scale: f64) -> UncertainGraph {
-    let spec = ugraph_gen::datasets::by_name(name)
-        .unwrap_or_else(|| panic!("unknown dataset {name:?}"));
+    let spec =
+        ugraph_gen::datasets::by_name(name).unwrap_or_else(|| panic!("unknown dataset {name:?}"));
     let label = format!("{name}-s{seed}-x{scale}");
     ugraph_io::cache::load_or_build(&cache_dir(), &label, || spec.build_scaled(seed, scale))
 }
@@ -254,10 +254,10 @@ mod tests {
 
     #[test]
     fn dataset_builder_caches_deterministically() {
-        std::env::set_var("UGRAPH_CACHE", std::env::temp_dir().join(format!(
-            "ugraph-harness-test-{}",
-            std::process::id()
-        )));
+        std::env::set_var(
+            "UGRAPH_CACHE",
+            std::env::temp_dir().join(format!("ugraph-harness-test-{}", std::process::id())),
+        );
         let a = dataset("BA5000", 1, 0.01);
         let b = dataset("BA5000", 1, 0.01);
         assert_eq!(a, b);

@@ -123,7 +123,8 @@ impl AsciiPlot {
         for (glyph, _, pts) in &t_series {
             for &(x, y) in pts {
                 let cx = ((x - min_x) / (max_x - min_x) * (self.width - 1) as f64).round() as usize;
-                let cy = ((y - min_y) / (max_y - min_y) * (self.height - 1) as f64).round() as usize;
+                let cy =
+                    ((y - min_y) / (max_y - min_y) * (self.height - 1) as f64).round() as usize;
                 let row = self.height - 1 - cy; // y grows upward
                 grid[row][cx] = *glyph;
             }
@@ -148,12 +149,7 @@ impl AsciiPlot {
             };
             let _ = writeln!(out, "{label} |{}", row.iter().collect::<String>());
         }
-        let _ = writeln!(
-            out,
-            "{} +{}",
-            " ".repeat(label_w),
-            "-".repeat(self.width)
-        );
+        let _ = writeln!(out, "{} +{}", " ".repeat(label_w), "-".repeat(self.width));
         let x_lo = match self.x_scale {
             Scale::Linear => format!("{min_x:.3}"),
             Scale::Log => format!("1e{min_x:.1}"),
@@ -163,7 +159,12 @@ impl AsciiPlot {
             Scale::Log => format!("1e{max_x:.1}"),
         };
         let pad = self.width.saturating_sub(x_lo.len() + x_hi.len());
-        let _ = writeln!(out, "{} {x_lo}{}{x_hi}", " ".repeat(label_w), " ".repeat(pad));
+        let _ = writeln!(
+            out,
+            "{} {x_lo}{}{x_hi}",
+            " ".repeat(label_w),
+            " ".repeat(pad)
+        );
         for (glyph, name, _) in &t_series {
             let _ = writeln!(out, "{} {glyph} = {name}", " ".repeat(label_w));
         }
@@ -202,8 +203,8 @@ mod tests {
 
     #[test]
     fn log_scale_skips_nonpositive() {
-        let plot = AsciiPlot::new("log", Scale::Log, Scale::Log)
-            .series("s", &[(0.0, 5.0), (-1.0, 5.0)]);
+        let plot =
+            AsciiPlot::new("log", Scale::Log, Scale::Log).series("s", &[(0.0, 5.0), (-1.0, 5.0)]);
         assert!(plot.render().contains("no plottable points"));
     }
 

@@ -26,15 +26,31 @@ pub fn stats(args: &[String], out: &mut dyn Write) -> CmdResult {
     let opts = Opts::parse(args, &with_input_opts(&[]))?;
     let g = graph_from(&opts)?;
     let s = GraphStats::compute(&g);
-    writeln!(out, "name:         {}", if s.name.is_empty() { "(unnamed)" } else { &s.name })
-        .map_err(io_err)?;
+    writeln!(
+        out,
+        "name:         {}",
+        if s.name.is_empty() {
+            "(unnamed)"
+        } else {
+            &s.name
+        }
+    )
+    .map_err(io_err)?;
     writeln!(out, "vertices:     {}", s.n).map_err(io_err)?;
     writeln!(out, "edges:        {}", s.m).map_err(io_err)?;
-    writeln!(out, "degree:       min {} / mean {:.2} / max {}", s.min_degree, s.mean_degree, s.max_degree)
-        .map_err(io_err)?;
+    writeln!(
+        out,
+        "degree:       min {} / mean {:.2} / max {}",
+        s.min_degree, s.mean_degree, s.max_degree
+    )
+    .map_err(io_err)?;
     writeln!(out, "density:      {:.6}", s.density).map_err(io_err)?;
-    writeln!(out, "probability:  min {:.4} / mean {:.4} / max {:.4}", s.min_prob, s.mean_prob, s.max_prob)
-        .map_err(io_err)?;
+    writeln!(
+        out,
+        "probability:  min {:.4} / mean {:.4} / max {:.4}",
+        s.min_prob, s.mean_prob, s.max_prob
+    )
+    .map_err(io_err)?;
     let (_, degeneracy) = ugraph_core::subgraph::degeneracy_order(&g);
     writeln!(out, "degeneracy:   {degeneracy}").map_err(io_err)?;
     Ok(())
@@ -170,7 +186,11 @@ pub fn sample(args: &[String], out: &mut dyn Write) -> CmdResult {
     let seed: u64 = opts.get_or("seed", 42)?;
     let clique: Vec<VertexId> = spec
         .split(',')
-        .map(|t| t.trim().parse::<VertexId>().map_err(|_| format!("bad vertex {t:?}")))
+        .map(|t| {
+            t.trim()
+                .parse::<VertexId>()
+                .map_err(|_| format!("bad vertex {t:?}"))
+        })
         .collect::<Result<_, _>>()?;
     let canonical = ugraph_core::clique::canonicalize(&g, &clique)
         .ok_or_else(|| format!("{clique:?} has duplicates or out-of-range vertices"))?;
@@ -278,10 +298,18 @@ pub fn worlds(args: &[String], out: &mut dyn Write) -> CmdResult {
     let mut rng = ugraph_gen::rng::rng_from_seed(seed);
     let s = mule::worlds::sampled_world_clique_stats(&g, worlds, &mut rng);
     writeln!(out, "worlds sampled:        {}", s.worlds).map_err(io_err)?;
-    writeln!(out, "maximal cliques/world: mean {:.1} (min {}, max {})", s.mean_count, s.min_count, s.max_count)
-        .map_err(io_err)?;
-    writeln!(out, "largest clique/world:  mean {:.2}, overall max {}", s.mean_max_size, s.max_size)
-        .map_err(io_err)?;
+    writeln!(
+        out,
+        "maximal cliques/world: mean {:.1} (min {}, max {})",
+        s.mean_count, s.min_count, s.max_count
+    )
+    .map_err(io_err)?;
+    writeln!(
+        out,
+        "largest clique/world:  mean {:.2}, overall max {}",
+        s.mean_max_size, s.max_size
+    )
+    .map_err(io_err)?;
     Ok(())
 }
 

@@ -103,7 +103,9 @@ pub fn parse_prob_model(spec: &str) -> Result<EdgeProbModel, String> {
             Ok(EdgeProbModel::Uniform { lo, hi })
         }
         ["fixed", p] => {
-            let p: f64 = p.parse().map_err(|_| format!("bad probability in {spec:?}"))?;
+            let p: f64 = p
+                .parse()
+                .map_err(|_| format!("bad probability in {spec:?}"))?;
             if !(p > 0.0 && p <= 1.0) {
                 return Err(format!("fixed probability {p} outside (0, 1]"));
             }
@@ -141,7 +143,7 @@ pub fn load_graph(
         let model = parse_prob_model(assign.unwrap_or("uniform"))?;
         let mut rng = ugraph_gen::rng::rng_from_seed(seed);
         let loaded = ugraph_io::read_snap_edgelist(reader, || model.sample(&mut rng))
-        .map_err(|e| format!("{path}: {e}"))?;
+            .map_err(|e| format!("{path}: {e}"))?;
         Ok(loaded.graph)
     } else {
         let loaded = ugraph_io::read_prob_edgelist(reader, DuplicatePolicy::Error)
@@ -171,7 +173,11 @@ mod tests {
 
     #[test]
     fn parses_mixed_positional_and_options() {
-        let o = Opts::parse(&args(&["g.txt", "--alpha", "0.5", "--count-only"]), &["alpha", "count-only"]).unwrap();
+        let o = Opts::parse(
+            &args(&["g.txt", "--alpha", "0.5", "--count-only"]),
+            &["alpha", "count-only"],
+        )
+        .unwrap();
         assert_eq!(o.positional(0, "graph").unwrap(), "g.txt");
         assert_eq!(o.required::<f64>("alpha").unwrap(), 0.5);
         assert!(o.flag("count-only"));
@@ -200,9 +206,21 @@ mod tests {
             parse_prob_model("uniform:0.2:0.8").unwrap(),
             EdgeProbModel::Uniform { lo: 0.2, hi: 0.8 }
         );
-        assert_eq!(parse_prob_model("fixed:0.7").unwrap(), EdgeProbModel::Fixed(0.7));
-        assert_eq!(parse_prob_model("string-like").unwrap(), EdgeProbModel::StringLike);
-        for bad in ["nope", "uniform:0.9:0.1", "fixed:0", "fixed:2", "uniform:a:b"] {
+        assert_eq!(
+            parse_prob_model("fixed:0.7").unwrap(),
+            EdgeProbModel::Fixed(0.7)
+        );
+        assert_eq!(
+            parse_prob_model("string-like").unwrap(),
+            EdgeProbModel::StringLike
+        );
+        for bad in [
+            "nope",
+            "uniform:0.9:0.1",
+            "fixed:0",
+            "fixed:2",
+            "uniform:a:b",
+        ] {
             assert!(parse_prob_model(bad).is_err(), "{bad}");
         }
     }

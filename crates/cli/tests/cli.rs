@@ -160,14 +160,30 @@ fn verify_accepts_good_and_rejects_bad() {
     let cliques = dir.join("c.txt").to_string_lossy().into_owned();
     let (code, _, _) = run(&["enumerate", &g, "--alpha", "0.5", "--out", &cliques]);
     assert_eq!(code, 0);
-    let (code, out, _) = run(&["verify", &g, "--alpha", "0.5", "--cliques", &cliques, "--complete"]);
+    let (code, out, _) = run(&[
+        "verify",
+        &g,
+        "--alpha",
+        "0.5",
+        "--cliques",
+        &cliques,
+        "--complete",
+    ]);
     assert_eq!(code, 0);
     assert!(out.contains("OK"));
 
     // Corrupt the list: drop one clique, add a non-maximal one.
     fs::write(dir.join("bad.txt"), "0.9 0 1\n").unwrap();
     let bad = dir.join("bad.txt").to_string_lossy().into_owned();
-    let (code, _, err) = run(&["verify", &g, "--alpha", "0.5", "--cliques", &bad, "--complete"]);
+    let (code, _, err) = run(&[
+        "verify",
+        &g,
+        "--alpha",
+        "0.5",
+        "--cliques",
+        &bad,
+        "--complete",
+    ]);
     assert_eq!(code, 1, "{err}");
     assert!(err.contains("violations"));
     let _ = fs::remove_dir_all(&dir);
@@ -217,7 +233,14 @@ fn convert_snap_with_assignment() {
     let snap = snap.to_string_lossy().into_owned();
     let out_path = dir.join("s.ugb").to_string_lossy().into_owned();
     let (code, _, err) = run(&[
-        "convert", &snap, &out_path, "--snap", "--assign", "fixed:0.8", "--seed", "1",
+        "convert",
+        &snap,
+        &out_path,
+        "--snap",
+        "--assign",
+        "fixed:0.8",
+        "--seed",
+        "1",
     ]);
     assert_eq!(code, 0, "{err}");
     let (code, out, _) = run(&["enumerate", &out_path, "--alpha", "0.5"]);
@@ -232,7 +255,15 @@ fn generate_and_datasets() {
     let dir = scratch("gen");
     let out_path = dir.join("ba.ugb").to_string_lossy().into_owned();
     let (code, out, err) = run(&[
-        "generate", "--dataset", "BA5000", "--scale", "0.01", "--out", &out_path, "--seed", "7",
+        "generate",
+        "--dataset",
+        "BA5000",
+        "--scale",
+        "0.01",
+        "--out",
+        &out_path,
+        "--seed",
+        "7",
     ]);
     assert_eq!(code, 0, "{err}");
     assert!(out.contains("generated BA5000"));

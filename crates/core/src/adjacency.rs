@@ -29,9 +29,7 @@ impl AdjacencyIndex {
         let n = g.num_vertices();
         let rows = g
             .vertices()
-            .map(|v| {
-                BitSet::from_iter_with_len(n, g.neighbors(v).iter().map(|&w| w as usize))
-            })
+            .map(|v| BitSet::from_iter_with_len(n, g.neighbors(v).iter().map(|&w| w as usize)))
             .collect();
         AdjacencyIndex { rows }
     }
@@ -41,9 +39,7 @@ impl AdjacencyIndex {
     pub fn should_build(g: &UncertainGraph, max_bytes: usize) -> bool {
         let n = g.num_vertices();
         // n rows of ceil(n/64) u64 words.
-        n.saturating_mul(n.div_ceil(64))
-            .saturating_mul(8)
-            <= max_bytes
+        n.saturating_mul(n.div_ceil(64)).saturating_mul(8) <= max_bytes
     }
 
     /// O(1) edge membership probe.
@@ -74,7 +70,10 @@ impl AdjacencyIndex {
 /// where the dense index is too large. Equivalent to
 /// [`AdjacencyIndex::common_neighbors`].
 pub fn common_neighbors_merge(g: &UncertainGraph, u: VertexId, v: VertexId) -> usize {
-    let (mut a, mut b) = (g.neighbors(u).iter().peekable(), g.neighbors(v).iter().peekable());
+    let (mut a, mut b) = (
+        g.neighbors(u).iter().peekable(),
+        g.neighbors(v).iter().peekable(),
+    );
     let mut count = 0;
     while let (Some(&&x), Some(&&y)) = (a.peek(), b.peek()) {
         match x.cmp(&y) {

@@ -140,13 +140,19 @@ impl BitSet {
     /// True if the intersection is non-empty (early-exits).
     pub fn intersects(&self, other: &BitSet) -> bool {
         assert_eq!(self.len, other.len, "bitset capacity mismatch");
-        self.blocks.iter().zip(&other.blocks).any(|(a, b)| a & b != 0)
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .any(|(a, b)| a & b != 0)
     }
 
     /// True if every key of `self` is also in `other`.
     pub fn is_subset_of(&self, other: &BitSet) -> bool {
         assert_eq!(self.len, other.len, "bitset capacity mismatch");
-        self.blocks.iter().zip(&other.blocks).all(|(a, b)| a & !b == 0)
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Iterate over set keys in increasing order.

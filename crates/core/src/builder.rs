@@ -95,7 +95,10 @@ impl GraphBuilder {
         }
         for &w in &[u, v] {
             if w as usize >= self.n {
-                return Err(GraphError::VertexOutOfRange { vertex: w, n: self.n });
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: w,
+                    n: self.n,
+                });
             }
         }
         let p = Prob::new(p)?;
@@ -189,7 +192,9 @@ impl GraphBuilder {
                 probs[offsets[v] + i] = p;
             }
         }
-        Ok(UncertainGraph::from_csr_parts(offsets, neighbors, probs, self.name))
+        Ok(UncertainGraph::from_csr_parts(
+            offsets, neighbors, probs, self.name,
+        ))
     }
 }
 
@@ -219,7 +224,8 @@ pub fn complete_graph(n: usize, p: Prob) -> UncertainGraph {
     let mut b = GraphBuilder::with_capacity(n, n * (n.saturating_sub(1)) / 2);
     for u in 0..n as VertexId {
         for v in (u + 1)..n as VertexId {
-            b.add_edge(u, v, p.get()).expect("complete graph edges are valid");
+            b.add_edge(u, v, p.get())
+                .expect("complete graph edges are valid");
         }
     }
     b.build().with_name(format!("K{n}(p={})", p.get()))
@@ -232,7 +238,10 @@ mod tests {
     #[test]
     fn rejects_self_loop() {
         let mut b = GraphBuilder::new(3);
-        assert_eq!(b.add_edge(1, 1, 0.5), Err(GraphError::SelfLoop { vertex: 1 }));
+        assert_eq!(
+            b.add_edge(1, 1, 0.5),
+            Err(GraphError::SelfLoop { vertex: 1 })
+        );
     }
 
     #[test]
@@ -262,7 +271,10 @@ mod tests {
         let mut b = GraphBuilder::new(3);
         b.add_edge(0, 1, 0.5).unwrap();
         b.add_edge(1, 0, 0.7).unwrap(); // same undirected edge, other direction
-        assert_eq!(b.try_build().unwrap_err(), GraphError::DuplicateEdge { u: 0, v: 1 });
+        assert_eq!(
+            b.try_build().unwrap_err(),
+            GraphError::DuplicateEdge { u: 0, v: 1 }
+        );
     }
 
     #[test]

@@ -116,11 +116,7 @@ mod tests {
 
     /// Triangle {0,1,2} with probs 1/2, 1/2, 1/4 plus pendant 3-2 (p=1/2).
     fn fixture() -> UncertainGraph {
-        from_edges(
-            4,
-            &[(0, 1, 0.5), (1, 2, 0.5), (0, 2, 0.25), (2, 3, 0.5)],
-        )
-        .unwrap()
+        from_edges(4, &[(0, 1, 0.5), (1, 2, 0.5), (0, 2, 0.25), (2, 3, 0.5)]).unwrap()
     }
 
     #[test]

@@ -101,7 +101,14 @@ mod tests {
     fn two_triangles_and_an_isolate() {
         let g = from_edges(
             7,
-            &[(0, 1, 0.5), (1, 2, 0.5), (0, 2, 0.5), (3, 4, 0.5), (4, 5, 0.5), (3, 5, 0.5)],
+            &[
+                (0, 1, 0.5),
+                (1, 2, 0.5),
+                (0, 2, 0.5),
+                (3, 4, 0.5),
+                (4, 5, 0.5),
+                (3, 5, 0.5),
+            ],
         )
         .unwrap();
         let c = Components::compute(&g);

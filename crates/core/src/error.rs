@@ -47,11 +47,17 @@ impl fmt::Display for GraphError {
                 write!(f, "self-loop on vertex {vertex} (graphs are simple)")
             }
             GraphError::DuplicateEdge { u, v } => {
-                write!(f, "edge {{{u}, {v}}} added more than once with conflicting probabilities")
+                write!(
+                    f,
+                    "edge {{{u}, {v}}} added more than once with conflicting probabilities"
+                )
             }
             GraphError::InvalidProbability(e) => write!(f, "{e}"),
             GraphError::VertexOutOfRange { vertex, n } => {
-                write!(f, "vertex {vertex} out of range for graph with {n} vertices")
+                write!(
+                    f,
+                    "vertex {vertex} out of range for graph with {n} vertices"
+                )
             }
             GraphError::InvalidAlpha { value } => {
                 write!(f, "alpha {value} outside the half-open interval (0, 1]")
@@ -83,11 +89,15 @@ mod tests {
     #[test]
     fn display_messages_mention_operands() {
         assert!(GraphError::SelfLoop { vertex: 7 }.to_string().contains('7'));
-        assert!(GraphError::DuplicateEdge { u: 1, v: 2 }.to_string().contains("{1, 2}"));
+        assert!(GraphError::DuplicateEdge { u: 1, v: 2 }
+            .to_string()
+            .contains("{1, 2}"));
         assert!(GraphError::VertexOutOfRange { vertex: 9, n: 5 }
             .to_string()
             .contains("9"));
-        assert!(GraphError::InvalidAlpha { value: 2.0 }.to_string().contains('2'));
+        assert!(GraphError::InvalidAlpha { value: 2.0 }
+            .to_string()
+            .contains('2'));
     }
 
     #[test]

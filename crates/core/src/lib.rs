@@ -51,8 +51,8 @@
 pub mod adjacency;
 pub mod bitset;
 pub mod builder;
-pub mod components;
 pub mod clique;
+pub mod components;
 pub mod error;
 pub mod graph;
 pub mod prob;

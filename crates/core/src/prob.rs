@@ -261,7 +261,10 @@ mod tests {
             lp.mul(Prob::new(0.9).unwrap());
         }
         assert!(!lp.at_least(Prob::new(0.5).unwrap()));
-        assert!(lp.at_least(Prob::new_unchecked(f64::MIN_POSITIVE)) == (lp.ln() >= f64::MIN_POSITIVE.ln()));
+        assert!(
+            lp.at_least(Prob::new_unchecked(f64::MIN_POSITIVE))
+                == (lp.ln() >= f64::MIN_POSITIVE.ln())
+        );
     }
 
     #[test]

@@ -60,7 +60,11 @@ impl GraphStats {
             m,
             min_degree: min_d,
             max_degree: max_d,
-            mean_degree: if n == 0 { 0.0 } else { 2.0 * m as f64 / n as f64 },
+            mean_degree: if n == 0 {
+                0.0
+            } else {
+                2.0 * m as f64 / n as f64
+            },
             density: if n < 2 {
                 0.0
             } else {

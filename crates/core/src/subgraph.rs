@@ -40,7 +40,11 @@ pub fn induced_subgraph(
                 n: g.num_vertices(),
             });
         }
-        assert_eq!(new_id[old as usize], u32::MAX, "duplicate vertex {old} in keep list");
+        assert_eq!(
+            new_id[old as usize],
+            u32::MAX,
+            "duplicate vertex {old} in keep list"
+        );
         new_id[old as usize] = new as u32;
     }
     let mut b = GraphBuilder::new(keep.len());
@@ -65,7 +69,10 @@ pub fn relabel(g: &UncertainGraph, perm: &[VertexId]) -> Result<UncertainGraph, 
     {
         let mut seen = vec![false; perm.len()];
         for &p in perm {
-            assert!(!std::mem::replace(&mut seen[p as usize], true), "perm not a bijection");
+            assert!(
+                !std::mem::replace(&mut seen[p as usize], true),
+                "perm not a bijection"
+            );
         }
     }
     let mut b = GraphBuilder::with_capacity(g.num_vertices(), g.num_edges());
@@ -147,7 +154,17 @@ mod tests {
     use crate::prob::Prob;
 
     fn fixture() -> UncertainGraph {
-        from_edges(5, &[(0, 1, 0.9), (1, 2, 0.4), (0, 2, 0.6), (2, 3, 0.2), (3, 4, 0.95)]).unwrap()
+        from_edges(
+            5,
+            &[
+                (0, 1, 0.9),
+                (1, 2, 0.4),
+                (0, 2, 0.6),
+                (2, 3, 0.2),
+                (3, 4, 0.95),
+            ],
+        )
+        .unwrap()
     }
 
     #[test]

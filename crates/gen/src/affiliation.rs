@@ -73,7 +73,10 @@ pub fn affiliation<R: Rng + ?Sized>(
         team_repeat,
     } = params;
     assert!(n >= 2, "need at least two vertices");
-    assert!((0.0..1.0).contains(&team_repeat), "team_repeat must be in [0, 1)");
+    assert!(
+        (0.0..1.0).contains(&team_repeat),
+        "team_repeat must be in [0, 1)"
+    );
     assert!(team_size_min >= 2, "teams of size < 2 project no edges");
     assert!(
         team_size_mean >= team_size_min as f64,
@@ -144,7 +147,9 @@ pub fn affiliation<R: Rng + ?Sized>(
             AffiliationProbs::PerEdge(model) => model.sample(rng),
             AffiliationProbs::CoAuthorship => coauthorship_prob(c),
         };
-        builder.add_edge(u, v, p).expect("projected edges are valid");
+        builder
+            .add_edge(u, v, p)
+            .expect("projected edges are valid");
     }
     builder.build()
 }
@@ -172,7 +177,11 @@ mod tests {
         let g = affiliation(params(500, 1500), AffiliationProbs::CoAuthorship, &mut rng);
         assert!(g.num_edges() >= 1500);
         // Overshoot bounded by one team's pair count (≤ C(52,2)).
-        assert!(g.num_edges() < 1500 + 1326, "overshoot too large: {}", g.num_edges());
+        assert!(
+            g.num_edges() < 1500 + 1326,
+            "overshoot too large: {}",
+            g.num_edges()
+        );
         g.check_invariants().unwrap();
     }
 
@@ -219,8 +228,16 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let a = affiliation(params(150, 400), AffiliationProbs::CoAuthorship, &mut rng_from_seed(7));
-        let b = affiliation(params(150, 400), AffiliationProbs::CoAuthorship, &mut rng_from_seed(7));
+        let a = affiliation(
+            params(150, 400),
+            AffiliationProbs::CoAuthorship,
+            &mut rng_from_seed(7),
+        );
+        let b = affiliation(
+            params(150, 400),
+            AffiliationProbs::CoAuthorship,
+            &mut rng_from_seed(7),
+        );
         assert_eq!(a, b);
     }
 
@@ -228,7 +245,10 @@ mod tests {
     fn popular_members_have_higher_degree() {
         let mut rng = rng_from_seed(5);
         let g = affiliation(
-            AffiliationParams { popularity_skew: 1.0, ..params(1000, 4000) },
+            AffiliationParams {
+                popularity_skew: 1.0,
+                ..params(1000, 4000)
+            },
             AffiliationProbs::CoAuthorship,
             &mut rng,
         );
@@ -241,16 +261,22 @@ mod tests {
     fn team_repetition_creates_heavy_coauthorship_counts() {
         let mut plain_rng = rng_from_seed(8);
         let mut repeat_rng = rng_from_seed(8);
-        let plain = affiliation(params(300, 800), AffiliationProbs::CoAuthorship, &mut plain_rng);
+        let plain = affiliation(
+            params(300, 800),
+            AffiliationProbs::CoAuthorship,
+            &mut plain_rng,
+        );
         let repeated = affiliation(
-            AffiliationParams { team_repeat: 0.8, ..params(300, 800) },
+            AffiliationParams {
+                team_repeat: 0.8,
+                ..params(300, 800)
+            },
             AffiliationProbs::CoAuthorship,
             &mut repeat_rng,
         );
         // With p = 1 − e^{−c/10}, heavy counts mean high max probability.
-        let max_p = |g: &ugraph_core::UncertainGraph| {
-            g.edges().map(|(_, _, p)| p).fold(0.0f64, f64::max)
-        };
+        let max_p =
+            |g: &ugraph_core::UncertainGraph| g.edges().map(|(_, _, p)| p).fold(0.0f64, f64::max);
         assert!(
             max_p(&repeated) > max_p(&plain),
             "repetition should create heavier edges: {} vs {}",
@@ -265,7 +291,10 @@ mod tests {
     fn rejects_repeat_probability_one() {
         let mut rng = rng_from_seed(10);
         let _ = affiliation(
-            AffiliationParams { team_repeat: 1.0, ..params(10, 5) },
+            AffiliationParams {
+                team_repeat: 1.0,
+                ..params(10, 5)
+            },
             AffiliationProbs::CoAuthorship,
             &mut rng,
         );
@@ -276,7 +305,10 @@ mod tests {
     fn rejects_tiny_teams() {
         let mut rng = rng_from_seed(6);
         let _ = affiliation(
-            AffiliationParams { team_size_min: 1, ..params(10, 5) },
+            AffiliationParams {
+                team_size_min: 1,
+                ..params(10, 5)
+            },
             AffiliationProbs::CoAuthorship,
             &mut rng,
         );

@@ -61,7 +61,8 @@ pub fn barabasi_albert<R: Rng + ?Sized>(
     }
     let mut b = GraphBuilder::with_capacity(n, edges.len());
     for (u, v) in edges {
-        b.add_edge(u, v, probs.sample(rng)).expect("generated edges are valid");
+        b.add_edge(u, v, probs.sample(rng))
+            .expect("generated edges are valid");
     }
     b.build()
 }
@@ -111,8 +112,18 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let g1 = barabasi_albert(80, 3, EdgeProbModel::Uniform { lo: 0.0, hi: 1.0 }, &mut rng_from_seed(9));
-        let g2 = barabasi_albert(80, 3, EdgeProbModel::Uniform { lo: 0.0, hi: 1.0 }, &mut rng_from_seed(9));
+        let g1 = barabasi_albert(
+            80,
+            3,
+            EdgeProbModel::Uniform { lo: 0.0, hi: 1.0 },
+            &mut rng_from_seed(9),
+        );
+        let g2 = barabasi_albert(
+            80,
+            3,
+            EdgeProbModel::Uniform { lo: 0.0, hi: 1.0 },
+            &mut rng_from_seed(9),
+        );
         assert_eq!(g1, g2);
     }
 

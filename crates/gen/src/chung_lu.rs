@@ -76,7 +76,8 @@ pub fn chung_lu<R: Rng + ?Sized>(
         }
         let key = if u < v { (u, v) } else { (v, u) };
         if used.insert(key) {
-            b.add_edge(key.0, key.1, probs.sample(rng)).expect("valid pair");
+            b.add_edge(key.0, key.1, probs.sample(rng))
+                .expect("valid pair");
         }
     }
     b.build()
@@ -124,12 +125,22 @@ mod tests {
         let mut r1 = rng_from_seed(3);
         let mut r2 = rng_from_seed(3);
         let heavy = chung_lu(
-            ChungLuParams { n: 1000, m: 5000, gamma: 2.05, rank_offset: 5.0 },
+            ChungLuParams {
+                n: 1000,
+                m: 5000,
+                gamma: 2.05,
+                rank_offset: 5.0,
+            },
             EdgeProbModel::Fixed(0.5),
             &mut r1,
         );
         let light = chung_lu(
-            ChungLuParams { n: 1000, m: 5000, gamma: 3.2, rank_offset: 5.0 },
+            ChungLuParams {
+                n: 1000,
+                m: 5000,
+                gamma: 3.2,
+                rank_offset: 5.0,
+            },
             EdgeProbModel::Fixed(0.5),
             &mut r2,
         );
@@ -138,8 +149,16 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let a = chung_lu(params(200, 600), EdgeProbModel::Uniform { lo: 0.0, hi: 1.0 }, &mut rng_from_seed(9));
-        let b = chung_lu(params(200, 600), EdgeProbModel::Uniform { lo: 0.0, hi: 1.0 }, &mut rng_from_seed(9));
+        let a = chung_lu(
+            params(200, 600),
+            EdgeProbModel::Uniform { lo: 0.0, hi: 1.0 },
+            &mut rng_from_seed(9),
+        );
+        let b = chung_lu(
+            params(200, 600),
+            EdgeProbModel::Uniform { lo: 0.0, hi: 1.0 },
+            &mut rng_from_seed(9),
+        );
         assert_eq!(a, b);
     }
 

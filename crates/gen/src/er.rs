@@ -56,7 +56,8 @@ pub fn gnm<R: Rng + ?Sized>(
             }
             let key = if u < v { (u, v) } else { (v, u) };
             if used.insert(key) {
-                b.add_edge(key.0, key.1, probs.sample(rng)).expect("valid pair");
+                b.add_edge(key.0, key.1, probs.sample(rng))
+                    .expect("valid pair");
             }
         }
     }
@@ -71,7 +72,10 @@ pub fn gnp<R: Rng + ?Sized>(
     probs: EdgeProbModel,
     rng: &mut R,
 ) -> UncertainGraph {
-    assert!((0.0..=1.0).contains(&p_edge), "p_edge must be a probability");
+    assert!(
+        (0.0..=1.0).contains(&p_edge),
+        "p_edge must be a probability"
+    );
     let mut b = GraphBuilder::new(n);
     for u in 0..n as VertexId {
         for v in (u + 1)..n as VertexId {
@@ -121,13 +125,26 @@ mod tests {
         let g = gnp(100, 0.3, EdgeProbModel::Fixed(0.5), &mut rng);
         let expected = 0.3 * 4950.0;
         let got = g.num_edges() as f64;
-        assert!((got - expected).abs() < 200.0, "got {got}, expected {expected}");
+        assert!(
+            (got - expected).abs() < 200.0,
+            "got {got}, expected {expected}"
+        );
     }
 
     #[test]
     fn deterministic_given_seed() {
-        let a = gnm(40, 100, EdgeProbModel::Uniform { lo: 0.0, hi: 1.0 }, &mut rng_from_seed(5));
-        let b = gnm(40, 100, EdgeProbModel::Uniform { lo: 0.0, hi: 1.0 }, &mut rng_from_seed(5));
+        let a = gnm(
+            40,
+            100,
+            EdgeProbModel::Uniform { lo: 0.0, hi: 1.0 },
+            &mut rng_from_seed(5),
+        );
+        let b = gnm(
+            40,
+            100,
+            EdgeProbModel::Uniform { lo: 0.0, hi: 1.0 },
+            &mut rng_from_seed(5),
+        );
         assert_eq!(a, b);
     }
 }

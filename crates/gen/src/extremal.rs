@@ -50,7 +50,8 @@ pub fn lemma1_graph(n: usize, alpha: f64) -> UncertainGraph {
     let mut b = GraphBuilder::with_capacity(n, n * (n - 1) / 2);
     for u in 0..n as VertexId {
         for v in (u + 1)..n as VertexId {
-            b.add_edge(u, v, q.get()).expect("complete graph edges valid");
+            b.add_edge(u, v, q.get())
+                .expect("complete graph edges valid");
         }
     }
     b.build().with_name(format!("lemma1(n={n}, alpha={alpha})"))
@@ -173,6 +174,7 @@ mod tests {
         assert_eq!(moon_moser_graph(4).num_vertices(), 4); // 2 + 2
         assert_eq!(moon_moser_graph(5).num_vertices(), 5); // 3 + 2
         assert_eq!(moon_moser_graph(7).num_vertices(), 7); // 3 + 2 + 2
+
         // K(2,2): 4 edges.
         assert_eq!(moon_moser_graph(4).num_edges(), 4);
     }

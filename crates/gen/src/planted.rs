@@ -47,10 +47,7 @@ pub struct PlantedInstance {
 ///
 /// # Panics
 /// Panics if the plants do not fit in `n` or sizes are degenerate.
-pub fn planted_cliques<R: Rng + ?Sized>(
-    params: PlantedParams,
-    rng: &mut R,
-) -> PlantedInstance {
+pub fn planted_cliques<R: Rng + ?Sized>(params: PlantedParams, rng: &mut R) -> PlantedInstance {
     let PlantedParams {
         n,
         num_plants,
@@ -95,8 +92,8 @@ pub fn planted_cliques<R: Rng + ?Sized>(
             continue;
         }
         let key = if u < v { (u, v) } else { (v, u) };
-        let same_plant = plant_of[u as usize] != usize::MAX
-            && plant_of[u as usize] == plant_of[v as usize];
+        let same_plant =
+            plant_of[u as usize] != usize::MAX && plant_of[u as usize] == plant_of[v as usize];
         if same_plant || !used.insert(key) {
             continue;
         }

@@ -42,7 +42,10 @@ impl EdgeProbModel {
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         let v = match *self {
             EdgeProbModel::Uniform { lo, hi } => {
-                assert!((0.0..=1.0).contains(&lo) && lo < hi && hi <= 1.0, "bad uniform range");
+                assert!(
+                    (0.0..=1.0).contains(&lo) && lo < hi && hi <= 1.0,
+                    "bad uniform range"
+                );
                 // gen::<f64>() is [0, 1); flip to (0, 1] so lo itself is excluded.
                 lo + (hi - lo) * (1.0 - rng.gen::<f64>())
             }

@@ -52,8 +52,7 @@ impl From<std::io::Error> for BinError {
 /// Serialize a graph to the UGB1 byte layout.
 pub fn to_bytes(g: &UncertainGraph) -> Bytes {
     let name = g.name().as_bytes();
-    let mut buf =
-        BytesMut::with_capacity(4 + 4 + name.len() + 16 + g.num_edges() * 16);
+    let mut buf = BytesMut::with_capacity(4 + 4 + name.len() + 16 + g.num_edges() * 16);
     buf.put_slice(MAGIC);
     buf.put_u32_le(name.len() as u32);
     buf.put_slice(name);
@@ -95,7 +94,12 @@ pub fn from_bytes(mut data: Bytes) -> Result<UncertainGraph, BinError> {
     if n > u32::MAX as usize {
         return Err(BinError::Corrupt(format!("vertex count {n} exceeds u32")));
     }
-    need(&data, m.checked_mul(16).ok_or_else(|| BinError::Corrupt("edge count overflow".into()))?, "edges")?;
+    need(
+        &data,
+        m.checked_mul(16)
+            .ok_or_else(|| BinError::Corrupt("edge count overflow".into()))?,
+        "edges",
+    )?;
     let mut b = GraphBuilder::with_capacity(n, m);
     let mut prev: Option<(u32, u32)> = None;
     for i in 0..m {
@@ -103,7 +107,9 @@ pub fn from_bytes(mut data: Bytes) -> Result<UncertainGraph, BinError> {
         let v = data.get_u32_le();
         let p = data.get_f64_le();
         if u >= v {
-            return Err(BinError::Corrupt(format!("edge {i}: not normalized ({u} ≥ {v})")));
+            return Err(BinError::Corrupt(format!(
+                "edge {i}: not normalized ({u} ≥ {v})"
+            )));
         }
         if let Some(prev) = prev {
             if (u, v) <= prev {

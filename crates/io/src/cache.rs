@@ -14,7 +14,13 @@ use ugraph_core::UncertainGraph;
 pub fn cache_path(dir: &Path, label: &str) -> PathBuf {
     let safe: String = label
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '.' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '.' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     dir.join(format!("{safe}.ugb"))
 }
@@ -53,13 +59,16 @@ mod tests {
     use ugraph_core::builder::from_edges;
 
     fn tmp_dir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!("ugraph-cache-test-{tag}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("ugraph-cache-test-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }
 
     fn fixture() -> UncertainGraph {
-        from_edges(3, &[(0, 1, 0.5), (1, 2, 0.25)]).unwrap().with_name("c")
+        from_edges(3, &[(0, 1, 0.5), (1, 2, 0.25)])
+            .unwrap()
+            .with_name("c")
     }
 
     #[test]

@@ -117,11 +117,7 @@ mod tests {
 
     #[test]
     fn round_trip() {
-        let cliques = vec![
-            (vec![0, 1, 2], 0.729),
-            (vec![2, 3], 0.6),
-            (vec![7], 1.0),
-        ];
+        let cliques = vec![(vec![0, 1, 2], 0.729), (vec![2, 3], 0.6), (vec![7], 1.0)];
         let mut buf = Vec::new();
         write_clique_list(&mut buf, 0.5, &cliques).unwrap();
         let back = read_clique_list(Cursor::new(buf)).unwrap();

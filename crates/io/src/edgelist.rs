@@ -202,7 +202,9 @@ fn build_from(
             source,
         })?;
     }
-    let graph = b.try_build().map_err(|source| ParseError::Graph { line: 0, source })?;
+    let graph = b
+        .try_build()
+        .map_err(|source| ParseError::Graph { line: 0, source })?;
     Ok(LoadedGraph {
         graph,
         original_ids: ids.originals,
@@ -246,8 +248,16 @@ mod tests {
         assert_eq!(loaded.graph.num_edges(), 3);
         for (u, v, p) in g.edges() {
             // Internal ids may be permuted; translate through original_ids.
-            let iu = loaded.original_ids.iter().position(|&x| x == u as u64).unwrap();
-            let iv = loaded.original_ids.iter().position(|&x| x == v as u64).unwrap();
+            let iu = loaded
+                .original_ids
+                .iter()
+                .position(|&x| x == u as u64)
+                .unwrap();
+            let iv = loaded
+                .original_ids
+                .iter()
+                .position(|&x| x == v as u64)
+                .unwrap();
             assert_eq!(
                 loaded.graph.edge_prob_raw(iu as u32, iv as u32),
                 Some(p),
@@ -274,14 +284,13 @@ mod tests {
 
     #[test]
     fn malformed_lines_reported_with_numbers() {
-        let err = read_prob_edgelist(Cursor::new("0 1 0.5\n0 1\n"), DuplicatePolicy::Error)
-            .unwrap_err();
+        let err =
+            read_prob_edgelist(Cursor::new("0 1 0.5\n0 1\n"), DuplicatePolicy::Error).unwrap_err();
         match err {
             ParseError::Malformed { line, .. } => assert_eq!(line, 2),
             other => panic!("unexpected {other:?}"),
         }
-        let err =
-            read_prob_edgelist(Cursor::new("0 x 0.5\n"), DuplicatePolicy::Error).unwrap_err();
+        let err = read_prob_edgelist(Cursor::new("0 x 0.5\n"), DuplicatePolicy::Error).unwrap_err();
         assert!(matches!(err, ParseError::Malformed { line: 1, .. }));
         let err =
             read_prob_edgelist(Cursor::new("0 1 banana\n"), DuplicatePolicy::Error).unwrap_err();
@@ -290,11 +299,9 @@ mod tests {
 
     #[test]
     fn graph_errors_surface() {
-        let err =
-            read_prob_edgelist(Cursor::new("7 7 0.5\n"), DuplicatePolicy::Error).unwrap_err();
+        let err = read_prob_edgelist(Cursor::new("7 7 0.5\n"), DuplicatePolicy::Error).unwrap_err();
         assert!(matches!(err, ParseError::Graph { .. }));
-        let err =
-            read_prob_edgelist(Cursor::new("0 1 1.5\n"), DuplicatePolicy::Error).unwrap_err();
+        let err = read_prob_edgelist(Cursor::new("0 1 1.5\n"), DuplicatePolicy::Error).unwrap_err();
         assert!(matches!(err, ParseError::Graph { .. }));
     }
 
@@ -302,8 +309,7 @@ mod tests {
     fn duplicate_policy_applies() {
         let text = "0 1 0.5\n1 0 0.75\n";
         assert!(read_prob_edgelist(Cursor::new(text), DuplicatePolicy::Error).is_err());
-        let loaded =
-            read_prob_edgelist(Cursor::new(text), DuplicatePolicy::KeepMax).unwrap();
+        let loaded = read_prob_edgelist(Cursor::new(text), DuplicatePolicy::KeepMax).unwrap();
         assert_eq!(loaded.graph.edge_prob_raw(0, 1), Some(0.75));
     }
 

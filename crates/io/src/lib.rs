@@ -18,6 +18,6 @@ pub mod cache;
 pub mod cliques;
 pub mod edgelist;
 
-pub use cliques::{read_clique_list, write_clique_list};
 pub use binfmt::{read_binary, write_binary, BinError};
+pub use cliques::{read_clique_list, write_clique_list};
 pub use edgelist::{read_prob_edgelist, read_snap_edgelist, write_prob_edgelist, ParseError};

@@ -113,10 +113,7 @@ mod tests {
     #[test]
     fn path_graph_edges_are_maximal() {
         let g = from_edges(4, &[(0, 1, 0.5), (1, 2, 0.5), (2, 3, 0.5)]).unwrap();
-        assert_eq!(
-            bron_kerbosch(&g),
-            vec![vec![0, 1], vec![1, 2], vec![2, 3]]
-        );
+        assert_eq!(bron_kerbosch(&g), vec![vec![0, 1], vec![1, 2], vec![2, 3]]);
     }
 
     /// Moon–Moser graphs: complete multipartite K(3,3,…,3) attains exactly

@@ -229,7 +229,8 @@ impl Mule {
         let mut x_set = x_set;
         for pos in 0..i_set.len() {
             let (u, r) = i_set[pos];
-            let q2 = q * r; // clq(C ∪ {u}) — one multiplication (the key insight)
+            // clq(C ∪ {u}) — one multiplication (the key insight).
+            let q2 = q * r;
             // Algorithm 3: I' from candidates beyond u (they are > u because
             // i_set is sorted by vertex id).
             let i2 = self.kernel.filter_candidates(
@@ -240,12 +241,9 @@ impl Mule {
             );
             // Algorithm 4: X' from the exclusion set (including vertices
             // looped over earlier at this node).
-            let x2 = self.kernel.filter_candidates(
-                u,
-                q2,
-                &x_set,
-                &mut self.stats.x_candidates_scanned,
-            );
+            let x2 =
+                self.kernel
+                    .filter_candidates(u, q2, &x_set, &mut self.stats.x_candidates_scanned);
             c.push(u);
             let ctl = self.recurse(c, q2, &i2, x2, sink);
             c.pop();
@@ -505,7 +503,14 @@ mod tests {
     fn disconnected_components_enumerated_independently() {
         let g = from_edges(
             6,
-            &[(0, 1, 0.8), (1, 2, 0.8), (0, 2, 0.8), (3, 4, 0.8), (4, 5, 0.8), (3, 5, 0.8)],
+            &[
+                (0, 1, 0.8),
+                (1, 2, 0.8),
+                (0, 2, 0.8),
+                (3, 4, 0.8),
+                (4, 5, 0.8),
+                (3, 5, 0.8),
+            ],
         )
         .unwrap();
         let got = enumerate_maximal_cliques(&g, 0.5).unwrap();

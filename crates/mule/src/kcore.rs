@@ -146,7 +146,14 @@ mod tests {
     fn core_numbers_are_monotone_along_peeling() {
         let g = from_edges(
             6,
-            &[(0, 1, 0.9), (1, 2, 0.9), (0, 2, 0.9), (2, 3, 0.4), (3, 4, 0.3), (4, 5, 0.8)],
+            &[
+                (0, 1, 0.9),
+                (1, 2, 0.9),
+                (0, 2, 0.9),
+                (2, 3, 0.4),
+                (3, 4, 0.3),
+                (4, 5, 0.8),
+            ],
         )
         .unwrap();
         let d = CoreDecomposition::compute(&g);

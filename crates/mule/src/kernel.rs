@@ -87,10 +87,7 @@ impl Kernel {
                     if row.contains(w as usize) {
                         // Membership is O(1); the probability still comes
                         // from the CSR arrays (O(log deg)).
-                        let p = self
-                            .g
-                            .edge_prob_raw(u, w)
-                            .expect("index row and CSR agree");
+                        let p = self.g.edge_prob_raw(u, w).expect("index row and CSR agree");
                         let r2 = r * p;
                         if q2 * r2 >= self.alpha {
                             out.push((w, r2));
@@ -127,5 +124,4 @@ impl Kernel {
         }
         out
     }
-
 }

@@ -101,9 +101,10 @@ impl LargeMule {
     pub fn run<S: CliqueSink>(&mut self, sink: &mut S) -> &EnumerationStats {
         self.stats = EnumerationStats::new();
         self.stats.calls += 1; // the conceptual root node
-        // Root-level subtrees expanded in closed form from the adjacency
-        // (see `Mule::run_from_root` for the derivation); the Algorithm 6
-        // line 8 bound applies per root branch as |{u}| + |I₀(u)|.
+                               // Root-level subtrees expanded in closed form from the adjacency
+                               // (see `Mule::run_from_root` for the derivation); the Algorithm 6
+                               // line 8 bound applies per root branch as |{u}| + |I₀(u)|.
+
         let n = self.kernel.g.num_vertices();
         let mut c = Vec::new();
         for u in 0..n as VertexId {
@@ -169,12 +170,9 @@ impl LargeMule {
                 self.stats.size_pruned += 1;
                 continue;
             }
-            let x2 = self.kernel.filter_candidates(
-                u,
-                q2,
-                &x_set,
-                &mut self.stats.x_candidates_scanned,
-            );
+            let x2 =
+                self.kernel
+                    .filter_candidates(u, q2, &x_set, &mut self.stats.x_candidates_scanned);
             c.push(u);
             let ctl = self.recurse(c, q2, &i2, x2, sink);
             c.pop();
@@ -210,8 +208,7 @@ mod tests {
     /// LARGE–MULE must equal MULE's output filtered to size ≥ t.
     fn assert_equals_filtered(g: &UncertainGraph, alpha: f64, t: usize) {
         let all = enumerate_maximal_cliques(g, alpha).unwrap();
-        let expected: Vec<Vec<VertexId>> =
-            all.into_iter().filter(|c| c.len() >= t).collect();
+        let expected: Vec<Vec<VertexId>> = all.into_iter().filter(|c| c.len() >= t).collect();
         let got = enumerate_large_maximal_cliques(g, alpha, t).unwrap();
         assert_eq!(got, expected, "α = {alpha}, t = {t}");
     }
@@ -260,7 +257,9 @@ mod tests {
     #[test]
     fn empty_result_when_no_large_clique() {
         let g = from_edges(3, &[(0, 1, 0.9), (1, 2, 0.9)]).unwrap(); // path
-        assert!(enumerate_large_maximal_cliques(&g, 0.5, 3).unwrap().is_empty());
+        assert!(enumerate_large_maximal_cliques(&g, 0.5, 3)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -312,7 +311,13 @@ mod tests {
             enumerate_large_maximal_cliques(&g, 0.015, 4).unwrap(),
             vec![vec![0, 1, 2, 3]]
         );
-        assert_eq!(enumerate_large_maximal_cliques(&g, 0.125, 4).unwrap().len(), 0);
-        assert_eq!(enumerate_large_maximal_cliques(&g, 0.125, 3).unwrap().len(), 4);
+        assert_eq!(
+            enumerate_large_maximal_cliques(&g, 0.125, 4).unwrap().len(),
+            0
+        );
+        assert_eq!(
+            enumerate_large_maximal_cliques(&g, 0.125, 3).unwrap().len(),
+            4
+        );
     }
 }

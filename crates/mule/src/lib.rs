@@ -41,8 +41,8 @@ pub mod bounds;
 pub mod deterministic;
 pub mod dfs_noip;
 pub mod enumerate;
-mod kernel;
 pub mod kcore;
+mod kernel;
 pub mod large;
 pub mod naive;
 pub mod parallel;

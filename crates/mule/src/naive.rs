@@ -16,10 +16,7 @@ pub const MAX_NAIVE_VERTICES: usize = 25;
 ///
 /// # Panics
 /// Panics if `g` has more than [`MAX_NAIVE_VERTICES`] vertices.
-pub fn enumerate_naive(
-    g: &UncertainGraph,
-    alpha: f64,
-) -> Result<Vec<Vec<VertexId>>, GraphError> {
+pub fn enumerate_naive(g: &UncertainGraph, alpha: f64) -> Result<Vec<Vec<VertexId>>, GraphError> {
     let alpha = UncertainGraph::validate_alpha(alpha)?.get();
     let n = g.num_vertices();
     assert!(
@@ -66,7 +63,10 @@ mod tests {
     #[test]
     fn empty_graph_yields_empty_clique() {
         let g = GraphBuilder::new(0).build();
-        assert_eq!(enumerate_naive(&g, 0.5).unwrap(), vec![Vec::<VertexId>::new()]);
+        assert_eq!(
+            enumerate_naive(&g, 0.5).unwrap(),
+            vec![Vec::<VertexId>::new()]
+        );
     }
 
     #[test]

@@ -161,12 +161,9 @@ impl Worker<'_> {
                 &i_set[pos + 1..],
                 &mut self.stats.i_candidates_scanned,
             );
-            let x2 = self.kernel.filter_candidates(
-                u,
-                q2,
-                &x_set,
-                &mut self.stats.x_candidates_scanned,
-            );
+            let x2 =
+                self.kernel
+                    .filter_candidates(u, q2, &x_set, &mut self.stats.x_candidates_scanned);
             c.push(u);
             let ctl = self.recurse(c, q2, &i2, x2, sink);
             c.pop();

@@ -174,7 +174,13 @@ mod tests {
         // Triangle {0,1,2} with a pendant chain 2-3-4.
         let g = from_edges(
             5,
-            &[(0, 1, 0.9), (1, 2, 0.9), (0, 2, 0.9), (2, 3, 0.9), (3, 4, 0.9)],
+            &[
+                (0, 1, 0.9),
+                (1, 2, 0.9),
+                (0, 2, 0.9),
+                (2, 3, 0.9),
+                (3, 4, 0.9),
+            ],
         )
         .unwrap();
         let (p, r) = shared_neighborhood_filter(&g, 0.5, 3).unwrap();
@@ -190,7 +196,14 @@ mod tests {
         // kills everything (no K4 anywhere), and the removals must cascade.
         let g = from_edges(
             5,
-            &[(0, 1, 0.9), (1, 2, 0.9), (0, 2, 0.9), (2, 3, 0.9), (3, 4, 0.9), (2, 4, 0.9)],
+            &[
+                (0, 1, 0.9),
+                (1, 2, 0.9),
+                (0, 2, 0.9),
+                (2, 3, 0.9),
+                (3, 4, 0.9),
+                (2, 4, 0.9),
+            ],
         )
         .unwrap();
         let (p, r) = shared_neighborhood_filter(&g, 0.5, 4).unwrap();
@@ -274,9 +287,7 @@ mod tests {
         loop {
             let nbrs = |v: VertexId, edges: &std::collections::BTreeSet<(VertexId, VertexId)>| {
                 (0..n as VertexId)
-                    .filter(|&w| {
-                        w != v && edges.contains(&if v < w { (v, w) } else { (w, v) })
-                    })
+                    .filter(|&w| w != v && edges.contains(&if v < w { (v, w) } else { (w, v) }))
                     .collect::<Vec<_>>()
             };
             let mut next = edges.clone();

@@ -259,11 +259,8 @@ impl TopKSink {
     /// Consume into `(clique, prob)` sorted by probability descending
     /// (ties: lexicographically by clique).
     pub fn into_sorted(self) -> Vec<(Vec<VertexId>, f64)> {
-        let mut v: Vec<(Vec<VertexId>, f64)> = self
-            .heap
-            .into_iter()
-            .map(|e| (e.clique, e.prob))
-            .collect();
+        let mut v: Vec<(Vec<VertexId>, f64)> =
+            self.heap.into_iter().map(|e| (e.clique, e.prob)).collect();
         v.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         v
     }

@@ -74,7 +74,13 @@ mod tests {
         //   edge {3,4} with prob 0.4
         from_edges(
             5,
-            &[(0, 1, 0.9), (1, 2, 0.9), (0, 2, 0.9), (2, 3, 0.5), (3, 4, 0.4)],
+            &[
+                (0, 1, 0.9),
+                (1, 2, 0.9),
+                (0, 2, 0.9),
+                (2, 3, 0.5),
+                (3, 4, 0.4),
+            ],
         )
         .unwrap()
     }
@@ -98,7 +104,9 @@ mod tests {
 
     #[test]
     fn k_zero_returns_empty() {
-        assert!(top_k_maximal_cliques(&fixture(), 0.3, 0).unwrap().is_empty());
+        assert!(top_k_maximal_cliques(&fixture(), 0.3, 0)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

@@ -207,9 +207,7 @@ mod tests {
     fn catches_missing_cliques() {
         let g = fixture();
         let v = verify_complete(&g, 0.5, &[vec![0, 1, 2], vec![4]]).unwrap();
-        assert!(v.contains(&Violation::Missing {
-            clique: vec![2, 3]
-        }));
+        assert!(v.contains(&Violation::Missing { clique: vec![2, 3] }));
     }
 
     #[test]

@@ -54,7 +54,16 @@ pub fn zou_top_k(
     }
     let mut r: Vec<VertexId> = Vec::new();
     let p: Vec<VertexId> = g.vertices().collect();
-    bb_recurse(g, &mut r, 1.0, p, Vec::new(), &mut sink, &mut min_prob, &mut stats);
+    bb_recurse(
+        g,
+        &mut r,
+        1.0,
+        p,
+        Vec::new(),
+        &mut sink,
+        &mut min_prob,
+        &mut stats,
+    );
     (sink.into_sorted(), stats)
 }
 
@@ -107,8 +116,16 @@ fn bb_recurse(
         for &u in r.iter() {
             q2 *= g.edge_prob_raw(u, v).expect("R ∪ {v} is a clique");
         }
-        let p2: Vec<VertexId> = p.iter().copied().filter(|&w| g.contains_edge(v, w)).collect();
-        let x2: Vec<VertexId> = x.iter().copied().filter(|&w| g.contains_edge(v, w)).collect();
+        let p2: Vec<VertexId> = p
+            .iter()
+            .copied()
+            .filter(|&w| g.contains_edge(v, w))
+            .collect();
+        let x2: Vec<VertexId> = x
+            .iter()
+            .copied()
+            .filter(|&w| g.contains_edge(v, w))
+            .collect();
         r.push(v);
         bb_recurse(g, r, q2, p2, x2, sink, threshold, stats);
         r.pop();

@@ -41,8 +41,15 @@ fn main() -> Result<(), GraphError> {
     // among the size-6 maximal cliques.
     let alpha = inst.plant_clique_prob * 0.9;
     let mined = enumerate_maximal_cliques(&inst.graph, alpha)?;
-    let big: Vec<_> = mined.iter().filter(|c| c.len() >= params.plant_size).collect();
-    println!("\nmined at α = {alpha:.3}: {} maximal cliques, {} of plant size+", mined.len(), big.len());
+    let big: Vec<_> = mined
+        .iter()
+        .filter(|c| c.len() >= params.plant_size)
+        .collect();
+    println!(
+        "\nmined at α = {alpha:.3}: {} maximal cliques, {} of plant size+",
+        mined.len(),
+        big.len()
+    );
     let mut recovered = 0;
     for plant in &inst.plants {
         if mined.iter().any(|c| c == plant) {
@@ -79,12 +86,18 @@ fn main() -> Result<(), GraphError> {
         inst.plants.iter().flatten().all(|v| kept.contains(v)),
         "the core filter may never drop a plant vertex"
     );
-    assert!(kept.len() < inst.graph.num_vertices() / 2, "filter should discard most noise");
+    assert!(
+        kept.len() < inst.graph.num_vertices() / 2,
+        "filter should discard most noise"
+    );
     let _ = plant_vertices;
 
     // Independent verification of the mined output.
     let violations = verify::verify_sound(&inst.graph, alpha, &mined)?;
     assert!(violations.is_empty(), "{violations:?}");
-    println!("\nverification: {} cliques sound, non-redundant ✓", mined.len());
+    println!(
+        "\nverification: {} cliques sound, non-redundant ✓",
+        mined.len()
+    );
     Ok(())
 }

@@ -27,7 +27,11 @@ fn main() -> Result<(), GraphError> {
     b.add_edge(5, 6, 0.95)?;
     let g = b.build().with_name("quickstart");
 
-    println!("graph: {} vertices, {} edges", g.num_vertices(), g.num_edges());
+    println!(
+        "graph: {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    );
 
     // Enumerate all 0.5-maximal cliques: vertex sets that form a fully
     // connected group with probability at least 1/2, and cannot be

@@ -1,0 +1,89 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::thread::scope` is provided, implemented on top of
+//! `std::thread::scope` (stable since Rust 1.63, which post-dates the
+//! original crossbeam API this mirrors). The one visible difference
+//! from crossbeam: the scope handle is passed to closures **by value**
+//! (it is `Copy`), which existing `|scope|` / `move |_|` call sites
+//! accept unchanged.
+
+#![forbid(unsafe_code)]
+
+pub mod thread {
+    //! Scoped threads.
+
+    use std::any::Any;
+
+    /// A handle for spawning scoped threads (wraps
+    /// [`std::thread::Scope`]; `Copy` so it moves freely into worker
+    /// closures).
+    #[derive(Clone, Copy, Debug)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread; `Err` carries the panic payload.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a worker inside the scope. The closure receives a copy
+        /// of the scope handle (crossbeam convention), so nested spawns
+        /// work too.
+        pub fn spawn<F, T>(self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(self)),
+            }
+        }
+    }
+
+    /// Create a scope: every thread spawned inside is joined before
+    /// `scope` returns. Always `Ok` — panics in unjoined workers
+    /// propagate as panics (std semantics) rather than as `Err`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_workers_share_stack_state() {
+        let counter = AtomicUsize::new(0);
+        let data = vec![1usize, 2, 3, 4];
+        let total = crate::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for &x in &data {
+                let counter = &counter;
+                handles.push(scope.spawn(move |_| {
+                    counter.fetch_add(x, Ordering::Relaxed);
+                    x * 10
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .sum::<usize>()
+        })
+        .expect("scope failed");
+        assert_eq!(counter.load(Ordering::Relaxed), 10);
+        assert_eq!(total, 100);
+    }
+}

@@ -1,0 +1,88 @@
+//! Test execution: configuration, per-case RNG derivation and the soft
+//! failure type used by `prop_assert!`.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Configuration for a [`proptest!`](crate::proptest) block (subset of
+/// `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to generate per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed case (mirrors `proptest::test_runner::TestCaseError::Fail`).
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Build a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+/// Drives the cases of one property.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    base_seed: u64,
+}
+
+impl TestRunner {
+    /// Runner for the named property. The name seeds the RNG stream, so
+    /// each property gets an independent but reproducible sequence.
+    pub fn new(config: ProptestConfig, name: &str) -> Self {
+        // FNV-1a over the test name.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRunner {
+            config,
+            base_seed: h,
+        }
+    }
+
+    /// Number of cases to run.
+    pub fn cases(&self) -> u32 {
+        self.config.cases
+    }
+
+    /// The seed behind [`Self::rng_for_case`] — reported on failure so a
+    /// case can be regenerated in isolation.
+    pub fn seed_for_case(&self, i: u32) -> u64 {
+        self.base_seed
+            .wrapping_add(0x9e3779b97f4a7c15u64.wrapping_mul(i as u64 + 1))
+    }
+
+    /// Deterministic RNG for case `i`.
+    pub fn rng_for_case(&self, i: u32) -> SmallRng {
+        SmallRng::seed_from_u64(self.seed_for_case(i))
+    }
+}

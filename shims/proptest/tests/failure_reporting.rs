@@ -1,0 +1,36 @@
+//! The shim's one behavioral promise beyond generation: a failing case
+//! panics with the inputs and a reproduction seed.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    #[should_panic(expected = "inputs: (")]
+    fn failing_case_reports_inputs_and_seed(x in 10usize..20, (a, b) in (0u32..5, 0u32..5)) {
+        // Force a failure on the first case; the panic message must
+        // carry the generated inputs and the reproduce seed.
+        prop_assert!(x > 100, "x={} a={} b={}", x, a, b);
+    }
+
+    #[test]
+    fn passing_cases_run_to_completion(x in 0usize..100) {
+        prop_assert!(x < 100);
+    }
+}
+
+#[test]
+fn reproduce_seed_regenerates_the_case() {
+    use proptest::strategy::Strategy;
+    use proptest::test_runner::{ProptestConfig, TestRunner};
+    use rand::SeedableRng;
+
+    let runner = TestRunner::new(ProptestConfig::with_cases(4), "some_property");
+    let strat = (2usize..=14, 0.05f64..0.9);
+    let direct = strat.new_value(&mut runner.rng_for_case(2));
+    let reseeded = strat.new_value(&mut rand::rngs::SmallRng::seed_from_u64(
+        runner.seed_for_case(2),
+    ));
+    assert_eq!(direct, reseeded);
+}

@@ -1,0 +1,109 @@
+//! Concrete RNGs. Only [`SmallRng`] is provided: a xoshiro256++
+//! generator seeded via SplitMix64, matching the role (small, fast,
+//! non-cryptographic) of `rand::rngs::SmallRng`.
+
+use crate::{RngCore, SeedableRng};
+
+/// A small, fast, seedable, non-cryptographic RNG (xoshiro256++).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+impl SeedableRng for SmallRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut sm);
+        }
+        // All-zero state is the one invalid xoshiro state; SplitMix64
+        // cannot produce four consecutive zeros, but guard anyway.
+        if s == [0; 4] {
+            s[0] = 0x9e3779b97f4a7c15;
+        }
+        SmallRng { s }
+    }
+}
+
+impl RngCore for SmallRng {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_centered() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        assert!((sum / n as f64 - 0.5).abs() < 0.005);
+    }
+
+    #[test]
+    fn gen_range_bounds_respected() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(0u32..=5);
+            assert!(y <= 5);
+        }
+    }
+
+    #[test]
+    fn gen_range_signed_spans_wider_than_positive_half() {
+        let mut rng = SmallRng::seed_from_u64(10);
+        let (mut saw_neg, mut saw_pos) = (false, false);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(i32::MIN..i32::MAX);
+            saw_neg |= x < 0;
+            saw_pos |= x > 0;
+            let y = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&y));
+        }
+        assert!(
+            saw_neg && saw_pos,
+            "full-width i32 range should hit both signs"
+        );
+    }
+}

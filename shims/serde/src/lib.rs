@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports the no-op `Serialize` / `Deserialize` derives from the
+//! `serde_derive` shim and defines matching blanket-implemented marker
+//! traits, so both `use serde::{Serialize, Deserialize}` namespaces
+//! (macro and trait) resolve. No serialization actually happens —
+//! the workspace's wire formats are hand-rolled (see `ugraph-io`).
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods; blanket
+/// implemented so `T: Serialize` bounds are always satisfiable).
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods).
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

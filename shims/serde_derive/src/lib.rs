@@ -1,0 +1,24 @@
+//! No-op derive macros standing in for `serde_derive`.
+//!
+//! The workspace has no crates.io access and no serde *format* crate,
+//! so the `#[derive(Serialize, Deserialize)]` annotations on public
+//! model types only need to parse, not generate code. These derives
+//! accept the full `#[serde(...)]` attribute grammar and expand to
+//! nothing; the matching marker traits live in the sibling `serde`
+//! shim crate.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (and `#[serde(...)]` attrs); expands
+/// to an empty impl-less token stream.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (and `#[serde(...)]` attrs);
+/// expands to an empty token stream.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -41,7 +41,5 @@ pub mod prelude {
         enumerate_maximal_cliques, sinks::CollectSink, sinks::CountSink, CliqueSink, LargeMule,
         Mule, MuleConfig,
     };
-    pub use ugraph_core::{
-        GraphBuilder, GraphError, GraphStats, Prob, UncertainGraph, VertexId,
-    };
+    pub use ugraph_core::{GraphBuilder, GraphError, GraphStats, Prob, UncertainGraph, VertexId};
 }

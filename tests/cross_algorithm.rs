@@ -25,7 +25,7 @@ fn random_dyadic_graph(n: usize, edge_prob: f64, rng: &mut SmallRng) -> Uncertai
     for u in 0..n as VertexId {
         for v in (u + 1)..n as VertexId {
             if rng.gen::<f64>() < edge_prob {
-                let p = [1.0, 0.5, 0.25, 0.125][rng.gen_range(0..4)];
+                let p = [1.0, 0.5, 0.25, 0.125][rng.gen_range(0..4usize)];
                 b.add_edge(u, v, p).unwrap();
             }
         }
@@ -109,7 +109,11 @@ fn index_strategies_and_ordering_agree_on_larger_graphs() {
                     index_mode: mode,
                     ..Default::default()
                 };
-                assert_eq!(mule_with(&g, alpha, cfg), base, "mode {mode:?} trial {trial}");
+                assert_eq!(
+                    mule_with(&g, alpha, cfg),
+                    base,
+                    "mode {mode:?} trial {trial}"
+                );
             }
             let cfg = MuleConfig {
                 degeneracy_order: true,
@@ -129,11 +133,8 @@ fn large_mule_equals_filtered_output_randomized() {
         for alpha in [0.2, 0.02, 0.002] {
             let all = mule::enumerate_maximal_cliques(&g, alpha).unwrap();
             for t in 2..=5 {
-                let expected: Vec<Vec<VertexId>> = all
-                    .iter()
-                    .filter(|c| c.len() >= t)
-                    .cloned()
-                    .collect();
+                let expected: Vec<Vec<VertexId>> =
+                    all.iter().filter(|c| c.len() >= t).cloned().collect();
                 let got = mule::enumerate_large_maximal_cliques(&g, alpha, t).unwrap();
                 assert_eq!(got, expected, "trial={trial} α={alpha} t={t}");
             }

@@ -54,7 +54,10 @@ fn dataset_to_text_to_enumeration_pipeline() {
         "multi-vertex cliques must survive the text round-trip"
     );
     let isolated = g.vertices().filter(|&v| g.degree(v) == 0).count() as u64;
-    assert_eq!(h1.histogram()[1], h2.histogram().get(1).copied().unwrap_or(0) + isolated);
+    assert_eq!(
+        h1.histogram()[1],
+        h2.histogram().get(1).copied().unwrap_or(0) + isolated
+    );
     assert!(h1.total() > 0);
 }
 
@@ -71,7 +74,9 @@ fn dataset_to_binary_cache_pipeline() {
 
 #[test]
 fn mined_complexes_validate_against_possible_worlds() {
-    let g = datasets::by_name("Fruit-Fly").unwrap().build_scaled(42, 0.3);
+    let g = datasets::by_name("Fruit-Fly")
+        .unwrap()
+        .build_scaled(42, 0.3);
     let alpha = 0.4;
     let top = topk::top_k_maximal_cliques(&g, alpha, 5).unwrap();
     assert!(!top.is_empty());
@@ -112,7 +117,8 @@ fn parallel_and_sequential_agree_on_dataset() {
 fn every_table1_dataset_builds_and_enumerates_at_small_scale() {
     for spec in datasets::table1() {
         let g = spec.build_scaled(9, 0.01);
-        g.check_invariants().unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        g.check_invariants()
+            .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
         let count = uncertain_clique::mule::count_maximal_cliques(&g, 0.3).unwrap();
         assert!(count > 0, "{} produced no cliques", spec.name);
     }

@@ -74,7 +74,10 @@ fn worlds_frequencies_consistent_with_alpha() {
     for c in cliques.iter().take(5) {
         let (clq_freq, max_freq) = worlds::maximality_frequency(&g, c, 30_000, &mut rng);
         let exact = ugraph_core::clique::clique_probability(&g, c).unwrap();
-        assert!((clq_freq - exact).abs() < 0.02, "{c:?}: {clq_freq} vs {exact}");
+        assert!(
+            (clq_freq - exact).abs() < 0.02,
+            "{c:?}: {clq_freq} vs {exact}"
+        );
         assert!(max_freq <= clq_freq + 1e-12);
         // An α-maximal clique has clique probability ≥ α, hence frequency
         // comfortably above α − sampling noise.
@@ -92,7 +95,8 @@ fn topk_semantics_agree_in_the_high_probability_regime() {
     for u in 0..14u32 {
         for v in (u + 1)..14 {
             if rng.gen::<f64>() < 0.5 {
-                b.add_edge(u, v, 0.97 + 0.03 * (1.0 - rng.gen::<f64>())).unwrap();
+                b.add_edge(u, v, 0.97 + 0.03 * (1.0 - rng.gen::<f64>()))
+                    .unwrap();
             }
         }
     }
@@ -125,7 +129,9 @@ fn planted_instances_recovered_and_verified() {
     for plant in &inst.plants {
         assert!(mined.contains(plant), "plant {plant:?} not recovered");
     }
-    assert!(verify::verify_sound(&inst.graph, alpha, &mined).unwrap().is_empty());
+    assert!(verify::verify_sound(&inst.graph, alpha, &mined)
+        .unwrap()
+        .is_empty());
 }
 
 /// The verifier catches deliberately corrupted output from *any* producer.
@@ -136,7 +142,9 @@ fn verifier_cross_checks_all_algorithms() {
     let outputs = [
         mule::enumerate_maximal_cliques(&g, alpha).unwrap(),
         mule::dfs_noip::enumerate_maximal_cliques_noip(&g, alpha).unwrap(),
-        mule::par_enumerate_maximal_cliques(&g, alpha, 2).unwrap().cliques,
+        mule::par_enumerate_maximal_cliques(&g, alpha, 2)
+            .unwrap()
+            .cliques,
     ];
     for (i, cliques) in outputs.iter().enumerate() {
         let v = verify::verify_complete(&g, alpha, cliques).unwrap();

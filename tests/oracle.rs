@@ -1,0 +1,140 @@
+//! Oracle cross-check (satellite of PR 1): MULE and DFS–NOIP against
+//! the exponential `naive` enumerator on small graphs at
+//! α ∈ {0.1, 0.5, 0.9}.
+//!
+//! Coverage is exhaustive where that is tractable and randomized where
+//! it is not:
+//!
+//! * **Exhaustive topology sweep, n ≤ 4**: every one of the `2^C(n,2)`
+//!   labeled graphs (64 for n = 4), with edge probabilities cycling
+//!   through a fixed palette so threshold comparisons exercise values
+//!   above, at, and below each α.
+//! * **Randomized sweep, n = 5..=8**: seeded random graphs across a
+//!   density grid — hundreds of distinct instances per size.
+//!
+//! `naive` checks α-maximality by definition over all vertex subsets,
+//! so agreement here pins both optimized algorithms to the paper's
+//! Definition 5/6 semantics exactly.
+
+use mule::dfs_noip::enumerate_maximal_cliques_noip;
+use mule::naive::enumerate_naive;
+use ugraph_core::{GraphBuilder, UncertainGraph};
+
+const ALPHAS: [f64; 3] = [0.1, 0.5, 0.9];
+
+/// Probability palette: straddles every α in [`ALPHAS`], includes the
+/// exact threshold values and 1.0.
+const PROBS: [f64; 6] = [0.05, 0.1, 0.3, 0.5, 0.9, 1.0];
+
+fn check_all_alphas(g: &UncertainGraph, context: &str) {
+    for alpha in ALPHAS {
+        let expected = enumerate_naive(g, alpha).unwrap();
+        let mule_out = mule::enumerate_maximal_cliques(g, alpha).unwrap();
+        assert_eq!(
+            mule_out, expected,
+            "MULE disagrees with naive oracle at α={alpha} on {context}"
+        );
+        let noip_out = enumerate_maximal_cliques_noip(g, alpha).unwrap();
+        assert_eq!(
+            noip_out, expected,
+            "DFS-NOIP disagrees with naive oracle at α={alpha} on {context}"
+        );
+    }
+}
+
+/// All C(n,2) vertex pairs of an n-vertex graph, in a fixed order.
+fn pairs(n: u32) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            out.push((u, v));
+        }
+    }
+    out
+}
+
+#[test]
+fn exhaustive_topologies_up_to_four_vertices() {
+    for n in 0..=4u32 {
+        let pairs = pairs(n);
+        let num_masks = 1u32 << pairs.len();
+        for mask in 0..num_masks {
+            // Cycle the palette differently per mask so the same
+            // topology appears with several probability assignments
+            // across the sweep.
+            for phase in 0..2usize {
+                let mut b = GraphBuilder::new(n as usize);
+                for (i, &(u, v)) in pairs.iter().enumerate() {
+                    if mask & (1 << i) != 0 {
+                        let p = PROBS[(i + phase * 3 + mask as usize) % PROBS.len()];
+                        b.add_edge(u, v, p).unwrap();
+                    }
+                }
+                let g = b.build();
+                check_all_alphas(&g, &format!("n={n} mask={mask:#b} phase={phase}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn randomized_graphs_five_to_eight_vertices() {
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
+    for n in 5..=8usize {
+        for (di, density) in [0.2, 0.45, 0.7, 0.95].into_iter().enumerate() {
+            for rep in 0..25u64 {
+                let seed = (n as u64) << 32 | (di as u64) << 16 | rep;
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let mut b = GraphBuilder::new(n);
+                for u in 0..n as u32 {
+                    for v in (u + 1)..n as u32 {
+                        if rng.gen::<f64>() < density {
+                            let p = PROBS[rng.gen_range(0..PROBS.len())];
+                            b.add_edge(u, v, p).unwrap();
+                        }
+                    }
+                }
+                let g = b.build();
+                check_all_alphas(&g, &format!("n={n} density={density} rep={rep}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn extremal_shapes_agree_with_oracle() {
+    // Complete graphs: the worst case for subset structure.
+    for n in 2..=7usize {
+        for p in [0.3, 0.5, 0.95] {
+            let mut b = GraphBuilder::new(n);
+            for u in 0..n as u32 {
+                for v in (u + 1)..n as u32 {
+                    b.add_edge(u, v, p).unwrap();
+                }
+            }
+            check_all_alphas(&b.build(), &format!("K{n} p={p}"));
+        }
+    }
+    // Stars, paths and cycles: sparse shapes with many size-2 maximals.
+    for n in 3..=8u32 {
+        let mut star = GraphBuilder::new(n as usize);
+        let mut path = GraphBuilder::new(n as usize);
+        let mut cycle = GraphBuilder::new(n as usize);
+        for v in 1..n {
+            star.add_edge(0, v, PROBS[v as usize % PROBS.len()])
+                .unwrap();
+        }
+        for v in 0..n - 1 {
+            path.add_edge(v, v + 1, PROBS[v as usize % PROBS.len()])
+                .unwrap();
+        }
+        for v in 0..n {
+            cycle
+                .add_edge(v.min((v + 1) % n), v.max((v + 1) % n), 0.5)
+                .unwrap();
+        }
+        check_all_alphas(&star.build(), &format!("star n={n}"));
+        check_all_alphas(&path.build(), &format!("path n={n}"));
+        check_all_alphas(&cycle.build(), &format!("cycle n={n}"));
+    }
+}

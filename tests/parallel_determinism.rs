@@ -1,0 +1,99 @@
+//! Parallel MULE determinism (satellite of PR 1).
+//!
+//! `par_enumerate_maximal_cliques` promises output *identical* to
+//! sequential MULE — not just the same set of cliques, but the same
+//! lexicographic order and bit-for-bit equal clique probabilities
+//! (workers compute the same incremental products the sequential
+//! traversal does, merged by a deterministic sort). These properties
+//! drive random graphs through both paths across α values and thread
+//! counts and compare byte-for-byte.
+
+use mule::par_enumerate_maximal_cliques;
+use mule::sinks::CollectSink;
+use mule::Mule;
+use proptest::prelude::*;
+use ugraph_core::{GraphBuilder, UncertainGraph};
+
+/// Random graph strategy: `n` vertices, Bernoulli(density) edges with
+/// probabilities dense in `(0, 1]`.
+fn arb_graph(max_n: usize) -> impl Strategy<Value = UncertainGraph> {
+    (2..=max_n, any::<u64>(), 0.1f64..0.9).prop_map(|(n, seed, density)| {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut b = GraphBuilder::new(n);
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                if rng.gen::<f64>() < density {
+                    b.add_edge(u, v, 1.0 - rng.gen::<f64>()).unwrap();
+                }
+            }
+        }
+        b.build()
+    })
+}
+
+/// Sequential MULE as (clique, probability) pairs in emission order
+/// sorted lexicographically — the exact shape `ParallelOutput` promises.
+fn sequential_pairs(g: &UncertainGraph, alpha: f64) -> Vec<(Vec<u32>, f64)> {
+    let mut m = Mule::new(g, alpha).unwrap();
+    let mut sink = CollectSink::new();
+    m.run(&mut sink);
+    let mut pairs = sink.into_pairs();
+    pairs.sort_by(|a, b| a.0.cmp(&b.0));
+    pairs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn parallel_output_is_byte_identical_to_sequential(
+        g in arb_graph(14),
+        alpha_pow in 1u32..=12,
+        threads in 1usize..=8,
+    ) {
+        let alpha = 0.5f64.powi(alpha_pow as i32);
+        let expected = sequential_pairs(&g, alpha);
+        let out = par_enumerate_maximal_cliques(&g, alpha, threads).unwrap();
+
+        // Same cliques in the same order…
+        let got: Vec<&Vec<u32>> = out.cliques.iter().collect();
+        let want: Vec<&Vec<u32>> = expected.iter().map(|(c, _)| c).collect();
+        prop_assert_eq!(got, want, "clique lists differ (threads={})", threads);
+
+        // …and bit-for-bit equal probabilities (not just within epsilon).
+        prop_assert_eq!(out.probs.len(), expected.len());
+        for (i, (p_par, (c, p_seq))) in out.probs.iter().zip(&expected).enumerate() {
+            prop_assert_eq!(
+                p_par.to_bits(), p_seq.to_bits(),
+                "prob bits differ at {} for {:?}: {} vs {}", i, c, p_par, p_seq
+            );
+        }
+    }
+
+    #[test]
+    fn thread_count_never_changes_output(
+        g in arb_graph(12),
+        alpha in 0.01f64..0.9,
+    ) {
+        let baseline = par_enumerate_maximal_cliques(&g, alpha, 1).unwrap();
+        for threads in [2, 3, 5, 8] {
+            let out = par_enumerate_maximal_cliques(&g, alpha, threads).unwrap();
+            prop_assert_eq!(&out.cliques, &baseline.cliques, "threads={}", threads);
+            let bits: Vec<u64> = out.probs.iter().map(|p| p.to_bits()).collect();
+            let base_bits: Vec<u64> = baseline.probs.iter().map(|p| p.to_bits()).collect();
+            prop_assert_eq!(bits, base_bits, "threads={}", threads);
+        }
+    }
+
+    #[test]
+    fn parallel_stats_account_for_all_emissions(
+        g in arb_graph(12),
+        alpha_pow in 1u32..=8,
+        threads in 1usize..=6,
+    ) {
+        let alpha = 0.5f64.powi(alpha_pow as i32);
+        let out = par_enumerate_maximal_cliques(&g, alpha, threads).unwrap();
+        prop_assert_eq!(out.stats.emitted as usize, out.cliques.len());
+    }
+}

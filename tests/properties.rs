@@ -22,7 +22,7 @@ fn dyadic_graph_and_alpha(max_n: usize) -> impl Strategy<Value = (UncertainGraph
         for u in 0..n as u32 {
             for v in (u + 1)..n as u32 {
                 if rng.gen::<f64>() < 0.55 {
-                    let p = [1.0, 0.5, 0.25, 0.125, 0.0625][rng.gen_range(0..5)];
+                    let p = [1.0, 0.5, 0.25, 0.125, 0.0625][rng.gen_range(0..5usize)];
                     b.add_edge(u, v, p).unwrap();
                 }
             }

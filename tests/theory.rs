@@ -83,7 +83,10 @@ fn search_tree_respects_theorem_3_bound() {
         let calls = m.stats().calls as u128;
         assert!(calls <= 1u128 << n, "n={n}: {calls} calls > 2^{n}");
         // And the output itself certifies Observation 5's growth.
-        assert_eq!(sink.count as u128, max_alpha_maximal_cliques(n as u64).unwrap());
+        assert_eq!(
+            sink.count as u128,
+            max_alpha_maximal_cliques(n as u64).unwrap()
+        );
     }
 }
 

@@ -1,0 +1,86 @@
+//! Micro-benchmarks for the enumeration hot path: the arena candidate
+//! filter (via full MULE runs under both membership strategies — the
+//! kernel itself is crate-private) and the word-wise bitset primitives
+//! backing the dense index.
+//!
+//! Run with `CRITERION_TSV_DIR=results cargo bench -p ugraph-bench
+//! --bench filter_kernel` to also record the distributions as TSV.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mule::sinks::CountSink;
+use mule::{IndexMode, Mule, MuleConfig};
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use ugraph_core::{BitSet, GraphBuilder, UncertainGraph};
+
+fn er_graph(n: usize, degree: usize, seed: u64) -> UncertainGraph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let p = degree as f64 / n as f64;
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            if rng.gen::<f64>() < p {
+                b.add_edge(u, v, 1.0 - rng.gen::<f64>() * 0.7).unwrap();
+            }
+        }
+    }
+    b.build()
+}
+
+/// The candidate filter under both membership strategies: a whole MULE
+/// run is dominated by `filter_candidates_into`, so this is the
+/// end-to-end cost of the arena kernel per strategy.
+fn bench_filter_paths(c: &mut Criterion) {
+    let g = er_graph(1200, 40, 42);
+    let mut group = c.benchmark_group("filter");
+    group.sample_size(10);
+    for (label, mode) in [
+        ("dense-index", IndexMode::Always),
+        ("gallop-csr", IndexMode::Never),
+    ] {
+        group.bench_function(BenchmarkId::new(label, "ER1200"), |b| {
+            let cfg = MuleConfig {
+                index_mode: mode,
+                ..Default::default()
+            };
+            let mut m = Mule::with_config(&g, 0.2, cfg).unwrap();
+            b.iter(|| {
+                let mut sink = CountSink::new();
+                m.run(&mut sink);
+                sink.count
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The new allocation-free bitset intersection vs the clone-based one it
+/// replaces, plus the masked iterator vs materialize-then-iterate.
+fn bench_bitset_primitives(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(7);
+    let len = 4096;
+    let a = BitSet::from_iter_with_len(len, (0..len).filter(|_| rng.gen::<f64>() < 0.3));
+    let b_set = BitSet::from_iter_with_len(len, (0..len).filter(|_| rng.gen::<f64>() < 0.3));
+    let mut group = c.benchmark_group("bitset");
+    group.sample_size(200);
+    group.bench_function("clone_intersect", |bch| {
+        bch.iter(|| {
+            let mut out = a.clone();
+            out.intersect_with(&b_set);
+            out.count()
+        });
+    });
+    group.bench_function("intersect_into", |bch| {
+        let mut out = BitSet::new(len);
+        bch.iter(|| {
+            a.intersect_into(&b_set, &mut out);
+            out.count()
+        });
+    });
+    group.bench_function("iter_and", |bch| {
+        bch.iter(|| black_box(&a).iter_and(black_box(&b_set)).sum::<usize>());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_filter_paths, bench_bitset_primitives);
+criterion_main!(benches);

@@ -11,22 +11,177 @@
 //! and their ordering are the reproduction target recorded in
 //! EXPERIMENTS.md.
 //!
+//! A second mode records the repo's own **perf trajectory**: `--json`
+//! times sequential and parallel MULE on ER / BA / Chung–Lu graphs at
+//! the Figure 1 scales, α ∈ {0.3, 0.5, 0.7}, with min/median/p95 over
+//! repeated runs, and writes a machine-readable JSON artifact. Each PR
+//! that touches the hot path reruns this and checks the result into
+//! `BENCH_pr<N>.json`, so speedups are measured against a recorded
+//! baseline instead of folklore.
+//!
 //! ```text
 //! cargo run -p ugraph-bench --release --bin headline -- [--seed 42] [--scale 1.0] [--dblp-scale 0.1] [--timeout 120]
+//! cargo run -p ugraph-bench --release --bin headline -- --json [--out results/headline.json] [--repeats 5] [--scale 1.0]
 //! ```
 
-use std::time::Duration;
-use ugraph_bench::{harness, timed_run, Algo, Args, Report};
+use std::time::{Duration, Instant};
+use ugraph_bench::{harness, timed_run, Algo, Args, Json, Report, Summary};
 
 const USAGE: &str = "headline — the Section 5 prose speedups
 options:
   --seed N         dataset seed (default 42)
   --scale X        scale for wiki-vote / ca-GrQc (default 1.0)
   --dblp-scale X   scale for DBLP10 (default 0.1)
-  --timeout S      per-run budget in seconds (default 120)";
+  --timeout S      per-run budget in seconds (default 120)
+  --json           run the perf-trajectory suite instead and emit JSON
+  --out PATH       JSON output path (default results/headline.json)
+  --repeats N      samples per (graph, alpha) point in --json mode (default 5)";
+
+/// The perf-trajectory suite behind `--json`: sequential + parallel MULE
+/// on ER / BA / Chung–Lu inputs at the Figure 1 scales.
+fn run_trajectory(args: &Args) {
+    let seed: u64 = args.get_or("seed", 42);
+    let scale: f64 = args.get_or("scale", 1.0);
+    let repeats: usize = args.get_or("repeats", 5).max(1);
+    let budget = Duration::from_secs_f64(args.get_or("timeout", 600.0));
+    let alphas = [0.3, 0.5, 0.7];
+    let thread_counts = [2usize, 4];
+
+    // ER has no Table 1 row; synthesize it at the wiki-vote scale (the
+    // largest Figure 1 input) with the same uniform-(0,1] probabilities.
+    let er = {
+        use rand::SeedableRng;
+        let n = ((7118.0 * scale).round() as usize).max(16);
+        let m = ((103_689.0 * scale).round() as usize).min(n * (n - 1) / 2);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(ugraph_gen::rng::derive_seed(
+            seed,
+            "ER-trajectory",
+        ));
+        ugraph_gen::er::gnm(
+            n,
+            m,
+            ugraph_gen::probs::EdgeProbModel::Uniform { lo: 0.0, hi: 1.0 },
+            &mut rng,
+        )
+    };
+    let graphs: Vec<(&str, ugraph_core::UncertainGraph)> = vec![
+        ("ER-7118", er),
+        ("BA5000", harness::dataset("BA5000", seed, scale)),
+        // Chung–Lu stand-in for wiki-vote: the largest Figure 1 input and
+        // the headline point this PR's acceptance criterion tracks.
+        ("CL-wiki-vote", harness::dataset("wiki-vote", seed, scale)),
+    ];
+
+    let mut table = Report::new(
+        "Perf trajectory: MULE on ER/BA/Chung-Lu (min/median/p95)",
+        &["graph", "alpha", "algo", "threads", "time", "cliques"],
+    );
+    let mut json = Json::new();
+    json.begin_obj();
+    json.key("suite").str_val("headline-trajectory");
+    json.key("seed").int(seed as i64);
+    json.key("scale").num(scale);
+    json.key("repeats").int(repeats as i64);
+    json.key("results").begin_arr();
+    for (name, g) in &graphs {
+        for &alpha in &alphas {
+            // Sequential MULE: the headline series.
+            let mut secs = Vec::with_capacity(repeats);
+            let mut cliques = 0u64;
+            for _ in 0..repeats {
+                let r = timed_run(Algo::Mule, g, alpha, budget);
+                assert!(!r.timed_out, "{name} α={alpha} exceeded the budget");
+                secs.push(r.seconds);
+                cliques = r.cliques;
+            }
+            let s = Summary::from_samples(&secs);
+            table.row(&[
+                name.to_string(),
+                format!("{alpha}"),
+                "MULE".into(),
+                "1".into(),
+                s.display(),
+                cliques.to_string(),
+            ]);
+            json.begin_obj();
+            json.key("graph").str_val(name);
+            json.key("n").int(g.num_vertices() as i64);
+            json.key("m").int(g.num_edges() as i64);
+            json.key("alpha").num(alpha);
+            json.key("algo").str_val("MULE");
+            json.key("threads").int(1);
+            json.key("cliques").int(cliques as i64);
+            json.summary("time", &s);
+            json.end_obj();
+            eprintln!("done {name} α={alpha} MULE: {}", s.display());
+
+            // Parallel MULE: the scheduler series.
+            for &threads in &thread_counts {
+                let mut secs = Vec::with_capacity(repeats);
+                let mut count = 0usize;
+                for _ in 0..repeats {
+                    let start = Instant::now();
+                    let out = mule::par_enumerate_maximal_cliques(g, alpha, threads)
+                        .expect("valid alpha");
+                    secs.push(start.elapsed().as_secs_f64());
+                    count = out.cliques.len();
+                }
+                assert_eq!(count as u64, cliques, "parallel/sequential count mismatch");
+                let s = Summary::from_samples(&secs);
+                table.row(&[
+                    name.to_string(),
+                    format!("{alpha}"),
+                    "MULE-par".into(),
+                    threads.to_string(),
+                    s.display(),
+                    count.to_string(),
+                ]);
+                json.begin_obj();
+                json.key("graph").str_val(name);
+                json.key("n").int(g.num_vertices() as i64);
+                json.key("m").int(g.num_edges() as i64);
+                json.key("alpha").num(alpha);
+                json.key("algo").str_val("MULE-par");
+                json.key("threads").int(threads as i64);
+                json.key("cliques").int(count as i64);
+                json.summary("time", &s);
+                json.end_obj();
+                eprintln!("done {name} α={alpha} MULE-par×{threads}: {}", s.display());
+            }
+        }
+    }
+    json.end_arr();
+    json.end_obj();
+
+    table.emit(&harness::results_dir(), "headline-trajectory");
+    let out_path = args
+        .get("out")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| harness::results_dir().join("headline.json"));
+    if let Some(dir) = out_path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&out_path, json.finish()).expect("write JSON artifact");
+    eprintln!("wrote {}", out_path.display());
+}
 
 fn main() {
-    let args = Args::parse(&["seed", "scale", "dblp-scale", "timeout"], USAGE);
+    let args = Args::parse(
+        &[
+            "seed",
+            "scale",
+            "dblp-scale",
+            "timeout",
+            "json",
+            "out",
+            "repeats",
+        ],
+        USAGE,
+    );
+    if args.flag("json") {
+        run_trajectory(&args);
+        return;
+    }
     let seed: u64 = args.get_or("seed", 42);
     let scale: f64 = args.get_or("scale", 1.0);
     let dblp_scale: f64 = args.get_or("dblp-scale", 0.1);

@@ -30,4 +30,4 @@ pub mod report;
 pub use args::Args;
 pub use harness::{timed_run, Algo, RunResult};
 pub use plot::{AsciiPlot, Scale};
-pub use report::Report;
+pub use report::{Json, Report, Summary};

@@ -1,4 +1,5 @@
-//! Dense adjacency index: one [`BitSet`] row per vertex.
+//! Dense adjacency index: one bit-row per vertex, flattened into a
+//! single contiguous word array.
 //!
 //! MULE's `GenerateI`/`GenerateX` steps intersect candidate sets with the
 //! neighborhood `Γ(m)` of the newly added vertex (Algorithm 3, line 4). Two
@@ -6,32 +7,82 @@
 //!
 //! * binary search of each candidate in the CSR adjacency — `O(k log deg)`
 //!   for `k` candidates, no extra memory;
-//! * probing a dense bitset row — `O(k)` with `O(n²/64)` bits of memory.
+//! * probing a dense bit-row — `O(k)` with `O(n²/64)` bits of memory.
+//!
+//! The rows are **not** individual [`crate::BitSet`]s: all `n` rows share
+//! one `Vec<u64>` with a fixed word stride, so a membership probe is a
+//! single dependent load (`words[base + w/64]`) instead of two
+//! (`rows[u] → blocks → word`), the whole index is one allocation, and
+//! rows sit contiguously in cache. The enumeration kernel's dense path
+//! runs on [`Row::contains`] probes; the row-vs-row set algebra
+//! ([`AdjacencyIndex::common_neighbors`], [`AdjacencyIndex::iter_common`]) is built on
+//! [`crate::bitset`]'s word-level free functions
+//! ([`bitset::and_count_words`], [`bitset::AndOnesIter`]).
 //!
 //! The dense index pays off on small or dense graphs (all the paper's
 //! Figure 1 inputs fit easily); [`AdjacencyIndex::should_build`] encodes the
 //! heuristic, and `mule`'s enumeration picks automatically. The ablation
 //! bench (`ugraph-bench`, `benches/ablation.rs`) measures the difference.
 
-use crate::bitset::BitSet;
+use crate::bitset::{self, AndOnesIter, OnesIter};
 use crate::error::VertexId;
 use crate::graph::UncertainGraph;
 
 /// Dense neighborhood rows for O(1) membership probes.
 pub struct AdjacencyIndex {
-    rows: Vec<BitSet>,
+    /// `n` rows of `stride` words each, row `v` at `v * stride`.
+    words: Vec<u64>,
+    /// Words per row: `ceil(n / 64)`.
+    stride: usize,
+    /// Number of vertices covered.
+    n: usize,
+}
+
+/// One neighborhood row of an [`AdjacencyIndex`]: a borrowed word slice
+/// with O(1) membership probes.
+#[derive(Clone, Copy)]
+pub struct Row<'a> {
+    words: &'a [u64],
+}
+
+impl<'a> Row<'a> {
+    /// O(1) membership probe. Keys at or beyond the index capacity are
+    /// absent by definition.
+    #[inline]
+    pub fn contains(&self, key: usize) -> bool {
+        match self.words.get(key / 64) {
+            Some(w) => w & (1u64 << (key % 64)) != 0,
+            None => false,
+        }
+    }
+
+    /// Iterate the row's members (neighbor ids) in increasing order.
+    pub fn iter(&self) -> OnesIter<'a> {
+        OnesIter::new(self.words)
+    }
+
+    /// The raw words (for word-wise set algebra against other rows).
+    #[inline]
+    pub fn words(&self) -> &'a [u64] {
+        self.words
+    }
 }
 
 impl AdjacencyIndex {
-    /// Build the index from a graph. Memory is `n² / 8` bytes; callers on
-    /// large graphs should consult [`Self::should_build`] first.
+    /// Build the index from a graph. Memory is `n² / 8` bytes in one
+    /// allocation; callers on large graphs should consult
+    /// [`Self::should_build`] first.
     pub fn build(g: &UncertainGraph) -> Self {
         let n = g.num_vertices();
-        let rows = g
-            .vertices()
-            .map(|v| BitSet::from_iter_with_len(n, g.neighbors(v).iter().map(|&w| w as usize)))
-            .collect();
-        AdjacencyIndex { rows }
+        let stride = n.div_ceil(64);
+        let mut words = vec![0u64; n * stride];
+        for v in g.vertices() {
+            let base = v as usize * stride;
+            for &w in g.neighbors(v) {
+                words[base + w as usize / 64] |= 1u64 << (w as usize % 64);
+            }
+        }
+        AdjacencyIndex { words, stride, n }
     }
 
     /// Heuristic: build the dense index when it costs at most
@@ -45,24 +96,34 @@ impl AdjacencyIndex {
     /// O(1) edge membership probe.
     #[inline]
     pub fn contains_edge(&self, u: VertexId, v: VertexId) -> bool {
-        self.rows[u as usize].contains(v as usize)
+        self.row(u).contains(v as usize)
     }
 
-    /// The neighborhood row of `v` as a bitset.
+    /// The neighborhood row of `v`.
     #[inline]
-    pub fn row(&self, v: VertexId) -> &BitSet {
-        &self.rows[v as usize]
+    pub fn row(&self, v: VertexId) -> Row<'_> {
+        let base = v as usize * self.stride;
+        Row {
+            words: &self.words[base..base + self.stride],
+        }
     }
 
     /// Number of vertices covered.
     pub fn num_vertices(&self) -> usize {
-        self.rows.len()
+        self.n
     }
 
     /// `|Γ(u) ∩ Γ(v)|` — the shared-neighborhood size used by the
-    /// Modani–Dey filter in `mule::pruning`.
+    /// Modani–Dey filter in `mule::pruning`. Word-wise popcount, no
+    /// materialization.
     pub fn common_neighbors(&self, u: VertexId, v: VertexId) -> usize {
-        self.rows[u as usize].intersection_count(&self.rows[v as usize])
+        bitset::and_count_words(self.row(u).words(), self.row(v).words())
+    }
+
+    /// Iterate `Γ(u) ∩ Γ(v)` in increasing order without materializing it
+    /// (masked iteration over the two word rows).
+    pub fn iter_common(&self, u: VertexId, v: VertexId) -> AndOnesIter<'_> {
+        AndOnesIter::new(self.row(u).words(), self.row(v).words())
     }
 }
 
@@ -120,6 +181,21 @@ mod tests {
         let g = path4();
         let idx = AdjacencyIndex::build(&g);
         assert_eq!(idx.row(1).iter().collect::<Vec<_>>(), vec![0, 2]);
+        assert!(idx.row(1).contains(0));
+        assert!(!idx.row(1).contains(3));
+        // Out-of-range probes are absent, not a panic.
+        assert!(!idx.row(1).contains(64));
+    }
+
+    #[test]
+    fn rows_are_wide_enough_past_one_word() {
+        // 70 vertices forces a 2-word stride; check both words of a row.
+        let g = from_edges(70, &[(0, 1, 0.5), (0, 69, 0.5)]).unwrap();
+        let idx = AdjacencyIndex::build(&g);
+        assert_eq!(idx.row(0).iter().collect::<Vec<_>>(), vec![1, 69]);
+        assert!(idx.contains_edge(69, 0));
+        assert_eq!(idx.common_neighbors(1, 69), 1); // via vertex 0
+        assert_eq!(idx.iter_common(1, 69).collect::<Vec<_>>(), vec![0]);
     }
 
     #[test]
@@ -140,6 +216,23 @@ mod tests {
         assert_eq!(common_neighbors_merge(&p, 0, 2), 1);
         assert_eq!(pidx.common_neighbors(0, 3), 0);
         assert_eq!(common_neighbors_merge(&p, 0, 3), 0);
+    }
+
+    #[test]
+    fn iter_common_matches_count() {
+        let g = complete_graph(9, Prob::new(0.5).unwrap());
+        let idx = AdjacencyIndex::build(&g);
+        for u in 0..9 {
+            for v in 0..9 {
+                if u != v {
+                    assert_eq!(
+                        idx.iter_common(u, v).count(),
+                        idx.common_neighbors(u, v),
+                        "({u},{v})"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -2,17 +2,128 @@
 //!
 //! Maximal-clique enumeration is dominated by neighborhood intersections.
 //! For small and dense graphs MULE uses a dense adjacency index
-//! ([`crate::adjacency::AdjacencyIndex`]) whose rows are these bitsets, so
-//! membership probes are O(1) and intersections run a word at a time.
+//! ([`crate::adjacency::AdjacencyIndex`]) whose rows are bit-rows in one
+//! flattened word array (plain `&[u64]` slices, not `BitSet`s — one
+//! pointer chase per membership probe instead of two), so probes are
+//! O(1) and row-vs-row set algebra runs a word at a time.
 //!
 //! The implementation is deliberately self-contained (no `fixedbitset`
-//! dependency is available offline) and exposes exactly the operations the
-//! enumeration kernels need: set/clear/test, word-wise intersection and
-//! union, popcount, and an iterator over set bits.
+//! dependency is available offline): [`BitSet`] for owned sets
+//! (set/clear/test, word-wise intersection and union, popcount, set-bit
+//! iteration), plus the word-level core as free functions —
+//! [`and_count_words`], [`intersect_words_into`] and
+//! [`OnesIter`]/[`AndOnesIter`] — shared by `BitSet` and by the index's
+//! borrowed rows ([`crate::adjacency::Row`]), and benchmarked in
+//! `ugraph-bench`'s `filter_kernel` micro-bench.
 
 use std::fmt;
 
 const BITS: usize = 64;
+
+/// Popcount of `a & b`, truncated to the shorter slice.
+#[inline]
+pub fn and_count_words(a: &[u64], b: &[u64]) -> usize {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x & y).count_ones() as usize)
+        .sum()
+}
+
+/// Word-wise `out[i] = a[i] & b[i]`, allocation-free.
+///
+/// # Panics
+/// Panics unless all three slices have equal length — intersecting sets
+/// over different key universes is always a bug at the call site.
+#[inline]
+pub fn intersect_words_into(a: &[u64], b: &[u64], out: &mut [u64]) {
+    assert!(
+        a.len() == b.len() && b.len() == out.len(),
+        "word-slice length mismatch"
+    );
+    for (o, (x, y)) in out.iter_mut().zip(a.iter().zip(b)) {
+        *o = x & y;
+    }
+}
+
+/// Iterator over the set-bit positions of a word slice, in increasing
+/// order (the masked-iteration primitive; also backs [`BitSet::iter`]).
+pub struct OnesIter<'a> {
+    blocks: &'a [u64],
+    block_idx: usize,
+    current: u64,
+}
+
+impl<'a> OnesIter<'a> {
+    /// Iterate the ones of `blocks`.
+    pub fn new(blocks: &'a [u64]) -> Self {
+        OnesIter {
+            blocks,
+            block_idx: 0,
+            current: blocks.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+impl Iterator for OnesIter<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.block_idx += 1;
+            if self.block_idx >= self.blocks.len() {
+                return None;
+            }
+            self.current = self.blocks[self.block_idx];
+        }
+        let tz = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1; // clear lowest set bit
+        Some(self.block_idx * BITS + tz)
+    }
+}
+
+/// Iterator over the set-bit positions of `a & b` without materializing
+/// the intersection: words are combined on the fly.
+pub struct AndOnesIter<'a> {
+    a: &'a [u64],
+    b: &'a [u64],
+    block_idx: usize,
+    current: u64,
+}
+
+impl<'a> AndOnesIter<'a> {
+    /// Iterate the ones of `a & b` (truncated to the shorter slice).
+    pub fn new(a: &'a [u64], b: &'a [u64]) -> Self {
+        let current = match (a.first(), b.first()) {
+            (Some(x), Some(y)) => x & y,
+            _ => 0,
+        };
+        AndOnesIter {
+            a,
+            b,
+            block_idx: 0,
+            current,
+        }
+    }
+}
+
+impl Iterator for AndOnesIter<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.block_idx += 1;
+            if self.block_idx >= self.a.len().min(self.b.len()) {
+                return None;
+            }
+            self.current = self.a[self.block_idx] & self.b[self.block_idx];
+        }
+        let tz = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(self.block_idx * BITS + tz)
+    }
+}
 
 /// A fixed-capacity set of `usize` keys drawn from `0..len`.
 #[derive(Clone, PartialEq, Eq, Hash, Default)]
@@ -155,13 +266,28 @@ impl BitSet {
             .all(|(a, b)| a & !b == 0)
     }
 
+    /// Intersection into a preallocated output: `out = self & other`,
+    /// allocation-free (unlike `clone` + [`BitSet::intersect_with`]).
+    /// Panics on any capacity mismatch.
+    pub fn intersect_into(&self, other: &BitSet, out: &mut BitSet) {
+        assert!(
+            self.len == other.len && other.len == out.len,
+            "bitset capacity mismatch"
+        );
+        intersect_words_into(&self.blocks, &other.blocks, &mut out.blocks);
+    }
+
+    /// Iterate over the keys of `self & other` in increasing order
+    /// without materializing the intersection. Panics on capacity
+    /// mismatch.
+    pub fn iter_and<'a>(&'a self, other: &'a BitSet) -> AndOnesIter<'a> {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        AndOnesIter::new(&self.blocks, &other.blocks)
+    }
+
     /// Iterate over set keys in increasing order.
-    pub fn iter(&self) -> Iter<'_> {
-        Iter {
-            blocks: &self.blocks,
-            block_idx: 0,
-            current: self.blocks.first().copied().unwrap_or(0),
-        }
+    pub fn iter(&self) -> OnesIter<'_> {
+        OnesIter::new(&self.blocks)
     }
 
     /// Smallest key present, if any.
@@ -182,31 +308,6 @@ impl FromIterator<usize> for BitSet {
         let keys: Vec<usize> = iter.into_iter().collect();
         let len = keys.iter().max().map_or(0, |&m| m + 1);
         BitSet::from_iter_with_len(len, keys)
-    }
-}
-
-/// Iterator over set bits, produced by [`BitSet::iter`].
-pub struct Iter<'a> {
-    blocks: &'a [u64],
-    block_idx: usize,
-    current: u64,
-}
-
-impl Iterator for Iter<'_> {
-    type Item = usize;
-
-    #[inline]
-    fn next(&mut self) -> Option<usize> {
-        while self.current == 0 {
-            self.block_idx += 1;
-            if self.block_idx >= self.blocks.len() {
-                return None;
-            }
-            self.current = self.blocks[self.block_idx];
-        }
-        let tz = self.current.trailing_zeros() as usize;
-        self.current &= self.current - 1; // clear lowest set bit
-        Some(self.block_idx * BITS + tz)
     }
 }
 
@@ -336,5 +437,67 @@ mod tests {
     fn debug_format_lists_members() {
         let s = BitSet::from_iter_with_len(8, [1usize, 3]);
         assert_eq!(format!("{s:?}"), "{1, 3}");
+    }
+
+    #[test]
+    fn intersect_into_is_allocation_free_equivalent() {
+        let a = BitSet::from_iter_with_len(130, [1usize, 64, 65, 129]);
+        let b = BitSet::from_iter_with_len(130, [1usize, 65, 100]);
+        let mut out = BitSet::full(130); // stale contents must be overwritten
+        a.intersect_into(&b, &mut out);
+        assert_eq!(out.iter().collect::<Vec<_>>(), vec![1, 65]);
+        let mut reference = a.clone();
+        reference.intersect_with(&b);
+        assert_eq!(out, reference);
+    }
+
+    #[test]
+    #[should_panic]
+    fn intersect_into_checks_capacity() {
+        let a = BitSet::new(64);
+        let b = BitSet::new(64);
+        let mut out = BitSet::new(128);
+        a.intersect_into(&b, &mut out);
+    }
+
+    #[test]
+    fn iter_and_matches_materialized_intersection() {
+        let a = BitSet::from_iter_with_len(200, [0usize, 3, 64, 127, 128, 199]);
+        let b = BitSet::from_iter_with_len(200, [3usize, 64, 128, 198]);
+        let lazy: Vec<usize> = a.iter_and(&b).collect();
+        let mut eager = a.clone();
+        eager.intersect_with(&b);
+        assert_eq!(lazy, eager.iter().collect::<Vec<_>>());
+        assert_eq!(lazy, vec![3, 64, 128]);
+    }
+
+    #[test]
+    fn iter_and_empty_and_disjoint() {
+        let a = BitSet::new(100);
+        let b = BitSet::new(100);
+        assert_eq!(a.iter_and(&b).count(), 0);
+        let c = BitSet::from_iter_with_len(100, [1usize]);
+        let d = BitSet::from_iter_with_len(100, [2usize]);
+        assert_eq!(c.iter_and(&d).count(), 0);
+    }
+
+    #[test]
+    fn word_level_primitives_agree_with_bitset_ops() {
+        let a = [0b1011u64, u64::MAX, 0];
+        let b = [0b1110u64, 1 << 63, 7];
+        assert_eq!(and_count_words(&a, &b), 3); // {1, 3} and bit 127
+        let mut out = [u64::MAX; 3];
+        intersect_words_into(&a, &b, &mut out);
+        assert_eq!(out, [0b1010, 1 << 63, 0]);
+        let ones: Vec<usize> = OnesIter::new(&b).take(3).collect();
+        assert_eq!(ones, vec![1, 2, 3]);
+        let and_ones: Vec<usize> = AndOnesIter::new(&a, &b).collect();
+        assert_eq!(and_ones, vec![1, 3, 127]);
+    }
+
+    #[test]
+    fn and_count_words_truncates_to_shorter() {
+        assert_eq!(and_count_words(&[u64::MAX], &[u64::MAX, u64::MAX]), 64);
+        assert_eq!(AndOnesIter::new(&[u64::MAX], &[]).count(), 0);
     }
 }

@@ -14,16 +14,30 @@
 //! this gap; on wiki-vote at α = 10⁻⁴ the paper reports 114 s for MULE vs
 //! more than 11 hours for DFS–NOIP.
 
+use crate::kernel::Arena;
 use crate::sinks::{CliqueSink, CollectSink, Control};
 use crate::stats::EnumerationStats;
+use std::ops::Range;
 use ugraph_core::{clique, subgraph, GraphError, UncertainGraph, VertexId};
 
 /// The DFS–NOIP enumerator. Mirrors [`crate::Mule`]'s interface so the
 /// benchmark harness can drive either interchangeably.
+///
+/// The candidate lists live in the same kind of span arena MULE uses
+/// (append at the tail, truncate to backtrack), so the measured gap
+/// between the two algorithms is the paper's — probability recomputation
+/// and full maximality scans — not allocator traffic.
 pub struct DfsNoip {
     g: UncertainGraph,
     alpha: f64,
     stats: EnumerationStats,
+    /// Candidate-vertex arena reused across runs.
+    arena: Arena<VertexId>,
+    /// Scratch for `clq(C ∪ {u})` recomputation (the NOIP cost model
+    /// rebuilds the member list; the buffer is merely reused).
+    scratch: Vec<VertexId>,
+    /// Current-clique buffer, reused across runs.
+    clique_buf: Vec<VertexId>,
 }
 
 impl DfsNoip {
@@ -37,6 +51,9 @@ impl DfsNoip {
             g: pruned,
             alpha,
             stats: EnumerationStats::new(),
+            arena: Arena::new(),
+            scratch: Vec::new(),
+            clique_buf: Vec::new(),
         })
     }
 
@@ -48,8 +65,10 @@ impl DfsNoip {
     /// Enumerate all α-maximal cliques into `sink`.
     pub fn run<S: CliqueSink>(&mut self, sink: &mut S) -> &EnumerationStats {
         self.stats = EnumerationStats::new();
-        let i0: Vec<VertexId> = self.g.vertices().collect();
-        let mut c = Vec::new();
+        let mut arena = std::mem::take(&mut self.arena);
+        let mut c = std::mem::take(&mut self.clique_buf);
+        arena.clear();
+        c.clear();
         if self.g.num_vertices() == 0 {
             // Degenerate case: the empty clique is maximal in the empty
             // graph (kept consistent with MULE and the oracle).
@@ -57,33 +76,50 @@ impl DfsNoip {
             self.stats.emitted = 1;
             sink.emit(&c, 1.0);
         } else {
-            self.recurse(&mut c, i0, sink);
+            for u in self.g.vertices() {
+                arena.push(u);
+            }
+            self.recurse(&mut c, 0..arena.mark(), &mut arena, sink);
         }
+        self.arena = arena;
+        self.clique_buf = c;
         &self.stats
     }
 
-    /// Algorithm 7. `c` is the current clique, `i` the candidate list
+    /// Algorithm 7. `c` is the current clique, `i_span` the candidate list
     /// (vertices known adjacent to all of `c`, not yet filtered for this
-    /// level).
+    /// level) as an arena span. The span is the arena tail when the call
+    /// starts, so the filter compacts it in place; child candidate lists
+    /// are appended behind it and truncated on backtrack.
     fn recurse<S: CliqueSink>(
         &mut self,
         c: &mut Vec<VertexId>,
-        mut i: Vec<VertexId>,
+        i_span: Range<usize>,
+        arena: &mut Arena<VertexId>,
         sink: &mut S,
     ) -> Control {
         self.stats.calls += 1;
         self.stats.max_depth = self.stats.max_depth.max(c.len());
         // Lines 1–4: drop candidates not greater than max(C) and those whose
         // extension falls below α — recomputing each clique probability from
-        // scratch (the "NOIP" in the name).
+        // scratch (the "NOIP" in the name). In-place compaction of the
+        // span, which is the current arena tail.
+        debug_assert_eq!(i_span.end, arena.mark());
         let max_c: i64 = c.last().map_or(-1, |&v| v as i64);
-        i.retain(|&u| {
+        let mut write = i_span.start;
+        for idx in i_span.clone() {
             self.stats.i_candidates_scanned += 1;
-            (u as i64) > max_c && self.clq_with(c, u) >= self.alpha
-        });
+            let u = arena.get(idx);
+            if (u as i64) > max_c && self.clq_with(c, u) >= self.alpha {
+                arena.set(write, u);
+                write += 1;
+            }
+        }
+        arena.truncate(write);
+        let i_span = i_span.start..write;
         // Lines 5–8: dead end — C may still be maximal via vertices smaller
         // than max(C); run the full (expensive) maximality check.
-        if i.is_empty() {
+        if i_span.is_empty() {
             if self.is_maximal_full_scan(c) {
                 self.stats.emitted += 1;
                 let q = clique::clique_probability(&self.g, c)
@@ -93,8 +129,8 @@ impl DfsNoip {
             return Control::Continue;
         }
         // Lines 9–15.
-        for idx in 0..i.len() {
-            let v = i[idx];
+        for idx in i_span.clone() {
+            let v = arena.get(idx);
             c.push(v);
             let ctl = if self.is_maximal_full_scan(c) {
                 self.stats.emitted += 1;
@@ -103,13 +139,17 @@ impl DfsNoip {
                 sink.emit(c, q)
             } else {
                 // I' ← I ∩ Γ(v): merge the remaining candidates with v's
-                // adjacency.
-                let i2: Vec<VertexId> = i
-                    .iter()
-                    .copied()
-                    .filter(|&w| w != v && self.g.contains_edge(v, w))
-                    .collect();
-                self.recurse(c, i2, sink)
+                // adjacency, appended at the tail for the child.
+                let mark = arena.mark();
+                for j in i_span.clone() {
+                    let w = arena.get(j);
+                    if w != v && self.g.contains_edge(v, w) {
+                        arena.push(w);
+                    }
+                }
+                let ctl = self.recurse(c, mark..arena.mark(), arena, sink);
+                arena.truncate(mark);
+                ctl
             };
             c.pop();
             if ctl == Control::Stop {
@@ -121,10 +161,11 @@ impl DfsNoip {
 
     /// `clq(C ∪ {u})` recomputed from scratch: Θ(|C|²) probability lookups.
     /// Returns a value below α when the extension is not a clique at all.
-    fn clq_with(&self, c: &[VertexId], u: VertexId) -> f64 {
-        let mut members = c.to_vec();
-        members.push(u);
-        clique::clique_probability(&self.g, &members).unwrap_or(0.0)
+    fn clq_with(&mut self, c: &[VertexId], u: VertexId) -> f64 {
+        self.scratch.clear();
+        self.scratch.extend_from_slice(c);
+        self.scratch.push(u);
+        clique::clique_probability(&self.g, &self.scratch).unwrap_or(0.0)
     }
 
     /// Full maximality scan (the Θ(n · |C|) check the paper charges this

@@ -22,7 +22,15 @@
 //! strategies selected by [`MuleConfig::index_mode`]: probing a dense
 //! [`ugraph_core::AdjacencyIndex`] row, or galloping binary search in the
 //! CSR adjacency.
+//!
+//! The candidate sets themselves live in a per-search pair of
+//! depth-alternating arenas ([`crate::kernel::DepthArenas`]): each
+//! node's `I`/`X` are spans of a contiguous buffer, the filters append
+//! at the sibling buffer's tail, and backtracking truncates — zero heap
+//! allocations per search node once the buffers reach the deepest path
+//! (see the kernel module docs for the span layout).
 
+use crate::kernel::DepthArenas;
 use crate::sinks::{CliqueSink, CollectSink, Control};
 use crate::stats::EnumerationStats;
 use ugraph_core::{GraphError, UncertainGraph, VertexId};
@@ -96,6 +104,11 @@ pub struct Mule {
     kernel: crate::kernel::Kernel,
     naive_root: bool,
     stats: EnumerationStats,
+    /// Candidate arena pair reused across runs (capacity persists, so a
+    /// rerun on the same instance is allocation-free).
+    arenas: DepthArenas,
+    /// Current-clique buffer, reused across runs like the arena.
+    clique_buf: Vec<VertexId>,
 }
 
 impl Mule {
@@ -118,6 +131,8 @@ impl Mule {
             kernel,
             naive_root: config.naive_root,
             stats: EnumerationStats::new(),
+            arenas: DepthArenas::new(),
+            clique_buf: Vec::new(),
         })
     }
 
@@ -180,81 +195,59 @@ impl Mule {
             sink.emit(&[], 1.0);
             return;
         }
+        // The arenas and the clique buffer are struct members so their
+        // capacity survives across runs, but the recursion needs them
+        // mutably alongside `&mut self` — move them out for the run.
+        let mut arenas = std::mem::take(&mut self.arenas);
+        let mut c = std::mem::take(&mut self.clique_buf);
+        arenas.clear();
+        c.clear();
         if self.naive_root {
             // Literal Algorithm 1/2 root: Î = {(u, 1)} for all u, filtered
             // per branch by GenerateI/GenerateX. Θ(n²) total root work.
-            let i_hat: Vec<Candidate> = self.kernel.g.vertices().map(|u| (u, 1.0)).collect();
-            self.stats.calls -= 1; // recurse() recounts the root
-            let mut c = Vec::new();
-            self.recurse(&mut c, 1.0, &i_hat, Vec::new(), sink);
-            return;
-        }
-        let mut c = Vec::new();
-        for u in 0..n as VertexId {
-            let mut i0 = Vec::new();
-            let mut x0 = Vec::new();
-            for (w, p) in self.kernel.g.neighbors_with_probs(u) {
-                self.stats.i_candidates_scanned += 1;
-                if w > u {
-                    i0.push((w, p));
-                } else {
-                    x0.push((w, p));
+            for u in self.kernel.g.vertices() {
+                arenas.even.push((u, 1.0));
+            }
+            self.stats.calls -= 1; // enumerate_subtree recounts the root
+            crate::kernel::enumerate_subtree(
+                &self.kernel,
+                &mut self.stats,
+                &mut c,
+                1.0,
+                0..arenas.even.mark(),
+                0..0,
+                &mut arenas.even,
+                &mut arenas.odd,
+                sink,
+            );
+        } else {
+            for u in 0..n as VertexId {
+                let (i0, x0) = self.kernel.expand_root_into(
+                    u,
+                    &mut arenas.even,
+                    &mut self.stats.i_candidates_scanned,
+                );
+                c.push(u);
+                let ctl = crate::kernel::enumerate_subtree(
+                    &self.kernel,
+                    &mut self.stats,
+                    &mut c,
+                    1.0,
+                    i0,
+                    x0,
+                    &mut arenas.even,
+                    &mut arenas.odd,
+                    sink,
+                );
+                c.pop();
+                arenas.clear();
+                if ctl == Control::Stop {
+                    break;
                 }
             }
-            c.push(u);
-            let ctl = self.recurse(&mut c, 1.0, &i0, x0, sink);
-            c.pop();
-            if ctl == Control::Stop {
-                return;
-            }
         }
-    }
-
-    /// Algorithm 2 (`Enum-Uncertain-MC`). `i_set` is immutable per node;
-    /// `x_set` is owned because the loop extends it (line 10).
-    fn recurse<S: CliqueSink>(
-        &mut self,
-        c: &mut Vec<VertexId>,
-        q: f64,
-        i_set: &[Candidate],
-        x_set: Vec<Candidate>,
-        sink: &mut S,
-    ) -> Control {
-        self.stats.calls += 1;
-        self.stats.max_depth = self.stats.max_depth.max(c.len());
-        if i_set.is_empty() && x_set.is_empty() {
-            self.stats.emitted += 1;
-            return sink.emit(c, q);
-        }
-        let mut x_set = x_set;
-        for pos in 0..i_set.len() {
-            let (u, r) = i_set[pos];
-            // clq(C ∪ {u}) — one multiplication (the key insight).
-            let q2 = q * r;
-            // Algorithm 3: I' from candidates beyond u (they are > u because
-            // i_set is sorted by vertex id).
-            let i2 = self.kernel.filter_candidates(
-                u,
-                q2,
-                &i_set[pos + 1..],
-                &mut self.stats.i_candidates_scanned,
-            );
-            // Algorithm 4: X' from the exclusion set (including vertices
-            // looped over earlier at this node).
-            let x2 =
-                self.kernel
-                    .filter_candidates(u, q2, &x_set, &mut self.stats.x_candidates_scanned);
-            c.push(u);
-            let ctl = self.recurse(c, q2, &i2, x2, sink);
-            c.pop();
-            if ctl == Control::Stop {
-                return Control::Stop;
-            }
-            // Line 10: u's subtree is explored; future cliques at this node
-            // can still be extended by u, so remember it for maximality.
-            x_set.push((u, r));
-        }
-        Control::Continue
+        self.arenas = arenas;
+        self.clique_buf = c;
     }
 }
 

@@ -1,9 +1,131 @@
-//! Shared search kernel for MULE and LARGE–MULE: graph preparation
-//! (α-pruning, optional relabeling, adjacency index) and the
-//! GenerateI/GenerateX candidate filter (Algorithms 3 and 4).
+//! Shared search kernel for MULE, LARGE–MULE and the parallel workers:
+//! graph preparation (α-pruning, optional relabeling, adjacency index),
+//! the GenerateI/GenerateX candidate filter (Algorithms 3 and 4), and the
+//! candidate **arena** the filters write into.
+//!
+//! # Arena span layout
+//!
+//! The enumeration's per-node candidate sets (`I`, `X`) live in a
+//! depth-alternating **pair** of contiguous [`Arena`] buffers per search
+//! (per worker in the parallel driver), addressed as half-open index
+//! ranges ("spans") instead of owned vectors. A node at depth `d` holds
+//! its spans in buffer `d mod 2` and appends its children's spans to
+//! buffer `(d+1) mod 2`; each buffer is a stack of every *other* level
+//! of the DFS path:
+//!
+//! ```text
+//! even buffer: [ X₀ | I₀ | I₂ | X₂ | I₄ | X₄ | … ]
+//! odd  buffer: [ I₁ | X₁ | I₃ | X₃ | … ]
+//! ```
+//!
+//! Each recursion step appends the child's `I'` span and then its `X'`
+//! span at the sibling buffer's tail (the `X'` span is the concatenation
+//! of the filtered parent `X` and the filtered already-processed prefix
+//! of the parent `I`, in that order — exactly the order Algorithm 2's
+//! `X ← X ∪ {(u,r)}` update produces). Backtracking truncates to the
+//! mark taken before the child was expanded. After the buffers have
+//! grown to the deepest path once, the search performs **zero heap
+//! allocations per node**: filters append into reserved capacity and
+//! backtracking is a length reset (`tests/alloc_regression.rs` pins
+//! this).
+//!
+//! Two buffers instead of one is what keeps the hot loop optimal: the
+//! filter reads the parent span as a plain `&[Candidate]` slice from one
+//! buffer while pushing into the other, so the compiler keeps the read
+//! pointer in a register instead of re-checking a buffer that the
+//! in-flight pushes might reallocate.
 
 use crate::enumerate::{Candidate, IndexMode, MuleConfig};
+use crate::sinks::{CliqueSink, Control};
+use crate::stats::EnumerationStats;
+use std::ops::Range;
 use ugraph_core::{subgraph, AdjacencyIndex, GraphError, UncertainGraph, VertexId};
+
+/// A growable scratch stack of `T` addressed by [`Range<usize>`] spans.
+///
+/// `mark`/`truncate` bracket a child expansion; `get` copies an element
+/// out by value so the buffer can be appended to while a span is being
+/// read.
+#[derive(Debug, Default)]
+pub(crate) struct Arena<T> {
+    buf: Vec<T>,
+}
+
+impl<T: Copy> Arena<T> {
+    /// Fresh, empty arena.
+    pub fn new() -> Self {
+        Arena { buf: Vec::new() }
+    }
+
+    /// Current length — the tail position new spans are appended at.
+    #[inline]
+    pub fn mark(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Drop everything at and beyond `mark` (backtrack). Keeps capacity.
+    #[inline]
+    pub fn truncate(&mut self, mark: usize) {
+        self.buf.truncate(mark);
+    }
+
+    /// Remove all elements, keeping capacity (start of a new run).
+    #[inline]
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Copy the element at `i` out of the buffer.
+    #[inline]
+    pub fn get(&self, i: usize) -> T {
+        self.buf[i]
+    }
+
+    /// Overwrite the element at `i` (used by in-place span compaction).
+    #[inline]
+    pub fn set(&mut self, i: usize, value: T) {
+        self.buf[i] = value;
+    }
+
+    /// Append one element at the tail.
+    #[inline]
+    pub fn push(&mut self, value: T) {
+        self.buf.push(value);
+    }
+
+    /// Borrow a span as a slice (the fast read path of the filters).
+    #[inline]
+    pub fn span(&self, r: Range<usize>) -> &[T] {
+        &self.buf[r]
+    }
+}
+
+/// The arena of `(vertex, factor)` candidate tuples used by MULE and
+/// LARGE–MULE.
+pub(crate) type CandidateArena = Arena<Candidate>;
+
+/// The depth-alternating buffer pair (see the module docs): nodes at
+/// even depth hold their spans in `even` and write children into `odd`,
+/// and vice versa. Owned by each enumerator / worker so capacity
+/// persists across runs.
+#[derive(Debug, Default)]
+pub(crate) struct DepthArenas {
+    pub even: CandidateArena,
+    pub odd: CandidateArena,
+}
+
+impl DepthArenas {
+    /// Fresh, empty pair.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empty both buffers, keeping capacity (start of a new run/root).
+    pub fn clear(&mut self) {
+        self.even.clear();
+        self.odd.clear();
+    }
+}
 
 /// Prepared search state shared by the enumeration algorithms.
 pub(crate) struct Kernel {
@@ -66,29 +188,73 @@ impl Kernel {
         }
     }
 
-    /// The shared body of GenerateI / GenerateX: keep candidates adjacent
-    /// to `u`, multiply each factor by `p({·, u})`, and drop entries whose
-    /// new clique probability `q2 · r'` would fall below α. `scanned` is
-    /// incremented by the number of candidate tuples examined.
+    /// Closed-form root expansion shared by sequential MULE, LARGE–MULE
+    /// and the parallel workers: at the root every factor is 1 and every
+    /// vertex `< u` has moved to `X` by the time `u` is processed, so
+    ///
+    /// * `I₀(u) = {(w, p(u,w)) : w ∈ Γ(u), w > u}`
+    /// * `X₀(u) = {(v, p(u,v)) : v ∈ Γ(u), v < u}`
+    ///
+    /// read straight off the (already α-pruned, so `p ≥ α` always holds)
+    /// adjacency in O(deg u). Appends `X₀` then `I₀` at the arena tail —
+    /// the adjacency is sorted, so one pass writes both spans
+    /// contiguously — and returns `(I₀, X₀)`. `scanned` is incremented
+    /// per neighbor examined.
+    pub fn expand_root_into(
+        &self,
+        u: VertexId,
+        arena: &mut CandidateArena,
+        scanned: &mut u64,
+    ) -> (Range<usize>, Range<usize>) {
+        let x_start = arena.mark();
+        let mut i_start = x_start;
+        for (w, p) in self.g.neighbors_with_probs(u) {
+            *scanned += 1;
+            arena.push((w, p));
+            if w < u {
+                i_start = arena.mark();
+            }
+        }
+        (i_start..arena.mark(), x_start..i_start)
+    }
+
+    /// The shared body of GenerateI / GenerateX: keep the candidates of
+    /// `src` (a span borrowed from the *other* depth buffer) that are
+    /// adjacent to `u`, multiply each factor by `p({·, u})`, and drop
+    /// entries whose new clique probability `q2 · r'` would fall below α.
+    /// Survivors are appended at `out`'s tail (callers bracket the
+    /// appends with `mark`/`truncate`). `scanned` is incremented by the
+    /// number of candidate tuples examined.
+    ///
+    /// Both `src` and `Γ(u)` are sorted by vertex id, so the edge
+    /// probability is found by exponential ("galloping") search from a
+    /// moving left bound — O(log gap) per candidate, O(1) when hits are
+    /// adjacent in the row — and O(1) per *rejected* candidate when the
+    /// dense index is available.
     #[inline]
-    pub fn filter_candidates(
+    pub fn filter_candidates_into(
         &self,
         u: VertexId,
         q2: f64,
-        cands: &[Candidate],
+        src: &[Candidate],
+        out: &mut CandidateArena,
         scanned: &mut u64,
-    ) -> Vec<Candidate> {
-        *scanned += cands.len() as u64;
-        let mut out = Vec::with_capacity(cands.len());
+    ) {
+        *scanned += src.len() as u64;
+        let nbrs = self.g.neighbors(u);
+        let probs = self.g.neighbor_probs(u);
+        let mut lo = 0usize;
         match &self.index {
             Some(idx) => {
                 let row = idx.row(u);
-                for &(w, r) in cands {
+                for &(w, r) in src {
+                    // O(1) membership probe; on a hit the probability is
+                    // found by galloping the CSR row (successive hits are
+                    // at increasing positions because `src` is sorted).
                     if row.contains(w as usize) {
-                        // Membership is O(1); the probability still comes
-                        // from the CSR arrays (O(log deg)).
-                        let p = self.g.edge_prob_raw(u, w).expect("index row and CSR agree");
-                        let r2 = r * p;
+                        let j = gallop_search(nbrs, lo, w).expect("index row and CSR agree");
+                        let r2 = r * probs[j];
+                        lo = j + 1;
                         if q2 * r2 >= self.alpha {
                             out.push((w, r2));
                         }
@@ -96,32 +262,312 @@ impl Kernel {
                 }
             }
             None => {
-                // Both `cands` and Γ(u) are sorted: gallop through the
-                // adjacency with a moving left bound, total cost
-                // O(|cands| · log deg(u)).
-                let nbrs = self.g.neighbors(u);
-                let probs = self.g.neighbor_probs(u);
-                let mut lo = 0usize;
-                for &(w, r) in cands {
+                for &(w, r) in src {
                     if lo >= nbrs.len() {
                         break;
                     }
-                    match nbrs[lo..].binary_search(&w) {
-                        Ok(off) => {
-                            let j = lo + off;
+                    match gallop_search(nbrs, lo, w) {
+                        Ok(j) => {
                             let r2 = r * probs[j];
                             if q2 * r2 >= self.alpha {
                                 out.push((w, r2));
                             }
                             lo = j + 1;
                         }
-                        Err(off) => {
-                            lo += off;
+                        Err(j) => {
+                            lo = j;
                         }
                     }
                 }
             }
         }
-        out
+    }
+
+    /// Existence variant of the filter for leaf detection: when a child's
+    /// `I'` is empty it can never recurse, so its `X'` is only ever
+    /// tested for emptiness (Lemma 9) — this answers that test directly,
+    /// short-circuiting at the first survivor instead of materializing
+    /// the set. `scanned` counts only the tuples actually examined.
+    #[inline]
+    pub fn any_candidate_survives(
+        &self,
+        u: VertexId,
+        q2: f64,
+        srcs: [&[Candidate]; 2],
+        scanned: &mut u64,
+    ) -> bool {
+        let nbrs = self.g.neighbors(u);
+        let probs = self.g.neighbor_probs(u);
+        for src in srcs {
+            let mut lo = 0usize;
+            match &self.index {
+                Some(idx) => {
+                    let row = idx.row(u);
+                    for &(w, r) in src {
+                        *scanned += 1;
+                        if row.contains(w as usize) {
+                            let j = gallop_search(nbrs, lo, w).expect("index row and CSR agree");
+                            lo = j + 1;
+                            if q2 * (r * probs[j]) >= self.alpha {
+                                return true;
+                            }
+                        }
+                    }
+                }
+                None => {
+                    for &(w, r) in src {
+                        if lo >= nbrs.len() {
+                            break;
+                        }
+                        *scanned += 1;
+                        match gallop_search(nbrs, lo, w) {
+                            Ok(j) => {
+                                if q2 * (r * probs[j]) >= self.alpha {
+                                    return true;
+                                }
+                                lo = j + 1;
+                            }
+                            Err(j) => {
+                                lo = j;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
+/// Exponential search for `w` in the sorted slice `nbrs`, starting from
+/// `start`: probe at offsets 1, 2, 4, … then binary-search the bracketed
+/// window. `Ok(i)`/`Err(i)` follow [`slice::binary_search`] semantics
+/// relative to the whole slice. O(log gap) instead of O(log (len−start)),
+/// which is what makes sorted-merge intersections cheap when consecutive
+/// hits are near each other.
+#[inline]
+fn gallop_search(nbrs: &[VertexId], start: usize, w: VertexId) -> Result<usize, usize> {
+    let n = nbrs.len();
+    let mut prev = start;
+    let mut probe = start;
+    let mut step = 1usize;
+    while probe < n {
+        match nbrs[probe].cmp(&w) {
+            std::cmp::Ordering::Equal => return Ok(probe),
+            std::cmp::Ordering::Less => {
+                prev = probe + 1;
+                probe += step;
+                step <<= 1;
+            }
+            std::cmp::Ordering::Greater => {
+                return match nbrs[prev..probe].binary_search(&w) {
+                    Ok(off) => Ok(prev + off),
+                    Err(off) => Err(prev + off),
+                };
+            }
+        }
+    }
+    match nbrs[prev..n].binary_search(&w) {
+        Ok(off) => Ok(prev + off),
+        Err(off) => Err(prev + off),
+    }
+}
+
+/// Algorithm 2 (`Enum-Uncertain-MC`) over arena spans — the one copy of
+/// MULE's recursion, shared by [`crate::Mule`] and the parallel workers.
+///
+/// `i_span` and `x_span` index into `cur` (this depth's buffer); each
+/// branch appends the child's filtered `I'` span and then its `X'` span
+/// at `next`'s tail, recurses with the buffers swapped, and truncates
+/// back afterwards. The child's `X'` is the filtered parent `X` followed
+/// by the filtered already-processed prefix of the parent `I` — the same
+/// order Algorithm 2's `X ← X ∪ {(u, r)}` (line 10) grows the owned set,
+/// without materializing it.
+#[allow(clippy::too_many_arguments)] // mirrors Algorithm 2's state tuple
+pub(crate) fn enumerate_subtree<S: CliqueSink>(
+    kernel: &Kernel,
+    stats: &mut EnumerationStats,
+    c: &mut Vec<VertexId>,
+    q: f64,
+    i_span: Range<usize>,
+    x_span: Range<usize>,
+    cur: &mut CandidateArena,
+    next: &mut CandidateArena,
+    sink: &mut S,
+) -> Control {
+    stats.calls += 1;
+    stats.max_depth = stats.max_depth.max(c.len());
+    if i_span.is_empty() && x_span.is_empty() {
+        stats.emitted += 1;
+        return sink.emit(c, q);
+    }
+    for pos in i_span.clone() {
+        let (u, r) = cur.get(pos);
+        // clq(C ∪ {u}) — one multiplication (the key insight).
+        let q2 = q * r;
+        let mark = next.mark();
+        // Algorithm 3: I' from candidates beyond u (they are > u because
+        // the I span is sorted by vertex id).
+        kernel.filter_candidates_into(
+            u,
+            q2,
+            cur.span(pos + 1..i_span.end),
+            next,
+            &mut stats.i_candidates_scanned,
+        );
+        let x2_start = next.mark();
+        if mark == x2_start {
+            // I' is empty: the child is a leaf, so X' is only tested for
+            // emptiness (Lemma 9) — answer that directly with the
+            // short-circuiting existence filter instead of materializing
+            // X'. This inlines the child call (counters match what the
+            // recursion would have recorded, minus the skipped scans).
+            stats.calls += 1;
+            stats.max_depth = stats.max_depth.max(c.len() + 1);
+            let extendable = kernel.any_candidate_survives(
+                u,
+                q2,
+                [cur.span(x_span.clone()), cur.span(i_span.start..pos)],
+                &mut stats.x_candidates_scanned,
+            );
+            if !extendable {
+                stats.emitted += 1;
+                c.push(u);
+                let ctl = sink.emit(c, q2);
+                c.pop();
+                if ctl == Control::Stop {
+                    return Control::Stop;
+                }
+            }
+            continue;
+        }
+        // Algorithm 4: X' from the exclusion set (including vertices
+        // looped over earlier at this node).
+        kernel.filter_candidates_into(
+            u,
+            q2,
+            cur.span(x_span.clone()),
+            next,
+            &mut stats.x_candidates_scanned,
+        );
+        kernel.filter_candidates_into(
+            u,
+            q2,
+            cur.span(i_span.start..pos),
+            next,
+            &mut stats.x_candidates_scanned,
+        );
+        let x2_end = next.mark();
+        c.push(u);
+        let ctl = enumerate_subtree(
+            kernel,
+            stats,
+            c,
+            q2,
+            mark..x2_start,
+            x2_start..x2_end,
+            next,
+            cur,
+            sink,
+        );
+        c.pop();
+        next.truncate(mark);
+        if ctl == Control::Stop {
+            return Control::Stop;
+        }
+    }
+    Control::Continue
+}
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gallop_search_matches_binary_search() {
+        let nbrs: Vec<VertexId> = vec![1, 3, 4, 9, 17, 33, 64, 65, 66, 900];
+        for start in 0..=nbrs.len() {
+            for w in 0..=1000u32 {
+                let expected = match nbrs[start..].binary_search(&w) {
+                    Ok(off) => Ok(start + off),
+                    Err(off) => Err(start + off),
+                };
+                assert_eq!(
+                    gallop_search(&nbrs, start, w),
+                    expected,
+                    "start={start}, w={w}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gallop_search_empty_slice() {
+        assert_eq!(gallop_search(&[], 0, 7), Err(0));
+    }
+
+    #[test]
+    fn arena_mark_truncate_and_span() {
+        let mut a: Arena<u32> = Arena::new();
+        a.push(1);
+        a.push(2);
+        let mark = a.mark();
+        a.push(3);
+        a.push(4);
+        assert_eq!(a.span(mark..a.mark()), &[3, 4]);
+        a.set(mark, 30);
+        assert_eq!(a.get(mark), 30);
+        a.truncate(mark);
+        assert_eq!(a.mark(), 2);
+        assert_eq!(a.span(0..2), &[1, 2]);
+        a.clear();
+        assert_eq!(a.mark(), 0);
+    }
+
+    #[test]
+    fn any_candidate_survives_matches_materialized_filter() {
+        use crate::enumerate::IndexMode;
+        use crate::enumerate::MuleConfig;
+        use ugraph_core::builder::from_edges;
+
+        let g = from_edges(
+            6,
+            &[
+                (0, 1, 0.9),
+                (0, 2, 0.8),
+                (0, 3, 0.4),
+                (0, 5, 0.95),
+                (1, 2, 0.7),
+            ],
+        )
+        .unwrap();
+        for mode in [IndexMode::Always, IndexMode::Never] {
+            let cfg = MuleConfig {
+                index_mode: mode,
+                ..Default::default()
+            };
+            let kernel = Kernel::prepare(&g, 0.3, &cfg).unwrap();
+            // Candidates probing Γ(0): 2 survives (0.8·q2 ≥ α), 4 is not a
+            // neighbor, 3 was α-pruned from the kernel graph.
+            let mut arena = CandidateArena::new();
+            for cand in [(2u32, 1.0f64), (3, 1.0), (4, 1.0)] {
+                arena.push(cand);
+            }
+            let mut scanned = 0u64;
+            for (loq, expect) in [(1.0, true), (0.1, false)] {
+                let survives = kernel.any_candidate_survives(
+                    0,
+                    loq,
+                    [arena.span(0..3), arena.span(0..0)],
+                    &mut scanned,
+                );
+                assert_eq!(survives, expect, "mode {mode:?}, q2={loq}");
+                // Cross-check against the materializing filter (which
+                // writes into the sibling buffer, per the span layout).
+                let mut out = CandidateArena::new();
+                let mut s2 = 0u64;
+                kernel.filter_candidates_into(0, loq, arena.span(0..3), &mut out, &mut s2);
+                assert_eq!(out.mark() > 0, expect);
+            }
+        }
     }
 }

@@ -19,11 +19,12 @@
 //! clique that `u` could still extend would have placed `u`'s branch above
 //! the size bound in the first place.
 
-use crate::enumerate::{Candidate, MuleConfig};
-use crate::kernel::Kernel;
+use crate::enumerate::MuleConfig;
+use crate::kernel::{CandidateArena, DepthArenas, Kernel};
 use crate::pruning::{shared_neighborhood_filter, PruneReport};
 use crate::sinks::{CliqueSink, CollectSink, Control};
 use crate::stats::EnumerationStats;
+use std::ops::Range;
 use ugraph_core::{GraphError, UncertainGraph, VertexId};
 
 /// The LARGE–MULE enumerator.
@@ -45,6 +46,11 @@ pub struct LargeMule {
     t: usize,
     prune_report: PruneReport,
     stats: EnumerationStats,
+    /// Candidate arena pair reused across runs (see `kernel` module docs
+    /// for the span layout).
+    arenas: DepthArenas,
+    /// Current-clique buffer, reused across runs like the arena.
+    clique_buf: Vec<VertexId>,
 }
 
 impl LargeMule {
@@ -73,6 +79,8 @@ impl LargeMule {
             t,
             prune_report,
             stats: EnumerationStats::new(),
+            arenas: DepthArenas::new(),
+            clique_buf: Vec::new(),
         })
     }
 
@@ -102,48 +110,56 @@ impl LargeMule {
         self.stats = EnumerationStats::new();
         self.stats.calls += 1; // the conceptual root node
                                // Root-level subtrees expanded in closed form from the adjacency
-                               // (see `Mule::run_from_root` for the derivation); the Algorithm 6
-                               // line 8 bound applies per root branch as |{u}| + |I₀(u)|.
+                               // (see `Kernel::expand_root_into` for the derivation); the
+                               // Algorithm 6 line 8 bound applies per root branch as
+                               // |{u}| + |I₀(u)|.
 
         let n = self.kernel.g.num_vertices();
-        let mut c = Vec::new();
+        let mut arenas = std::mem::take(&mut self.arenas);
+        let mut c = std::mem::take(&mut self.clique_buf);
+        arenas.clear();
+        c.clear();
         for u in 0..n as VertexId {
-            let mut i0 = Vec::new();
-            let mut x0 = Vec::new();
-            for (w, p) in self.kernel.g.neighbors_with_probs(u) {
-                self.stats.i_candidates_scanned += 1;
-                if w > u {
-                    i0.push((w, p));
-                } else {
-                    x0.push((w, p));
-                }
-            }
+            let (i0, x0) = self.kernel.expand_root_into(
+                u,
+                &mut arenas.even,
+                &mut self.stats.i_candidates_scanned,
+            );
             if 1 + i0.len() < self.t {
                 self.stats.size_pruned += 1;
+                arenas.clear();
                 continue;
             }
             c.push(u);
-            let ctl = self.recurse(&mut c, 1.0, &i0, x0, sink);
+            let ctl = self.recurse(&mut c, 1.0, i0, x0, &mut arenas.even, &mut arenas.odd, sink);
             c.pop();
+            arenas.clear();
             if ctl == Control::Stop {
                 break;
             }
         }
+        self.arenas = arenas;
+        self.clique_buf = c;
         &self.stats
     }
 
-    /// Algorithm 6 (`Enum-Uncertain-MC-Large`).
+    /// Algorithm 6 (`Enum-Uncertain-MC-Large`) over arena spans (same
+    /// depth-alternating layout as `kernel::enumerate_subtree`; see the
+    /// kernel module docs).
+    #[allow(clippy::too_many_arguments)] // mirrors Algorithm 6's state tuple
     fn recurse<S: CliqueSink>(
         &mut self,
         c: &mut Vec<VertexId>,
         q: f64,
-        i_set: &[Candidate],
-        x_set: Vec<Candidate>,
+        i_span: Range<usize>,
+        x_span: Range<usize>,
+        cur: &mut CandidateArena,
+        next: &mut CandidateArena,
         sink: &mut S,
     ) -> Control {
         self.stats.calls += 1;
         self.stats.max_depth = self.stats.max_depth.max(c.len());
-        if i_set.is_empty() && x_set.is_empty() {
+        if i_span.is_empty() && x_span.is_empty() {
             // Reached only through branches that passed the size bound, so
             // |C| ≥ t here (Lemma 13) — asserted in debug builds.
             debug_assert!(c.len() >= self.t || c.is_empty());
@@ -153,33 +169,73 @@ impl LargeMule {
             }
             return Control::Continue;
         }
-        let mut x_set = x_set;
-        for pos in 0..i_set.len() {
-            let (u, r) = i_set[pos];
+        for pos in i_span.clone() {
+            let (u, r) = cur.get(pos);
             let q2 = q * r;
-            let i2 = self.kernel.filter_candidates(
+            let mark = next.mark();
+            self.kernel.filter_candidates_into(
                 u,
                 q2,
-                &i_set[pos + 1..],
+                cur.span(pos + 1..i_span.end),
+                next,
                 &mut self.stats.i_candidates_scanned,
             );
+            let i2_len = next.mark() - mark;
             // Line 8: not enough material left to reach t vertices. The
             // `continue` deliberately skips both the recursion and the
             // X-update (see module docs).
-            if c.len() + 1 + i2.len() < self.t {
+            if c.len() + 1 + i2_len < self.t {
                 self.stats.size_pruned += 1;
+                next.truncate(mark);
                 continue;
             }
-            let x2 =
-                self.kernel
-                    .filter_candidates(u, q2, &x_set, &mut self.stats.x_candidates_scanned);
+            let x2_start = next.mark();
+            if mark == x2_start {
+                // I' empty: leaf child (and past the line 8 bound, so
+                // |C| + 1 ≥ t). Same emptiness short-circuit as
+                // `kernel::enumerate_subtree`.
+                debug_assert!(c.len() + 1 >= self.t);
+                self.stats.calls += 1;
+                self.stats.max_depth = self.stats.max_depth.max(c.len() + 1);
+                let extendable = self.kernel.any_candidate_survives(
+                    u,
+                    q2,
+                    [cur.span(x_span.clone()), cur.span(i_span.start..pos)],
+                    &mut self.stats.x_candidates_scanned,
+                );
+                if !extendable {
+                    self.stats.emitted += 1;
+                    c.push(u);
+                    let ctl = sink.emit(c, q2);
+                    c.pop();
+                    if ctl == Control::Stop {
+                        return Control::Stop;
+                    }
+                }
+                continue;
+            }
+            self.kernel.filter_candidates_into(
+                u,
+                q2,
+                cur.span(x_span.clone()),
+                next,
+                &mut self.stats.x_candidates_scanned,
+            );
+            self.kernel.filter_candidates_into(
+                u,
+                q2,
+                cur.span(i_span.start..pos),
+                next,
+                &mut self.stats.x_candidates_scanned,
+            );
+            let x2_end = next.mark();
             c.push(u);
-            let ctl = self.recurse(c, q2, &i2, x2, sink);
+            let ctl = self.recurse(c, q2, mark..x2_start, x2_start..x2_end, next, cur, sink);
             c.pop();
+            next.truncate(mark);
             if ctl == Control::Stop {
                 return Control::Stop;
             }
-            x_set.push((u, r));
         }
         Control::Continue
     }

@@ -1,27 +1,57 @@
-//! Parallel MULE: fan the root-level subtrees out across threads.
+//! Parallel MULE: work-stealing over the root-level subtrees.
 //!
 //! An engineering extension beyond the paper. Correctness rests on an
-//! independence property of Algorithm 2's root loop: the subtree rooted at
-//! `C = {u}` depends only on `u`'s neighborhood —
+//! independence property of Algorithm 2's root loop: the subtree rooted
+//! at `C = {u}` depends only on `u`'s neighborhood (see
+//! [`Kernel::expand_root_into`] for the closed-form initial sets), so
+//! each root can be explored by a different worker with no shared
+//! mutable state.
 //!
-//! * `I₀(u) = {(w, p(u,w)) : w ∈ Γ(u), w > u, p(u,w) ≥ α}`
-//! * `X₀(u) = {(v, p(u,v)) : v ∈ Γ(u), v < u, p(u,v) ≥ α}`
+//! # Scheduling: per-worker deques + stealing
 //!
-//! because at the root every candidate carries factor 1 and every vertex
-//! smaller than `u` has been moved into `X` by the time `u` is processed.
-//! Each subtree can therefore be explored by a different worker with no
-//! shared mutable state. Work is distributed by an atomic cursor over the
-//! vertex ids (natural dynamic load balancing: cheap subtrees drain fast).
+//! Root subtree costs are heavily skewed (a hub vertex can own most of
+//! the search tree), so a bare shared cursor stalls: whoever draws the
+//! hub last runs alone while the rest idle. Instead:
 //!
-//! Workers collect locally and results are merged and sorted at the end,
-//! so the output is deterministic and identical to sequential MULE.
+//! * roots are sorted **largest-degree-first** (ties by id) and dealt
+//!   round-robin across per-worker deques, so the expensive subtrees
+//!   start early and start spread out;
+//! * each worker pops work from the *front* of its own deque;
+//! * a worker whose deque runs dry picks victims round-robin and steals
+//!   the *back half* of the first non-empty deque (the cheap tail —
+//!   classic steal-from-the-back, minimizing contention with the
+//!   victim's front pops).
+//!
+//! No work is ever produced after seeding, so termination is a full
+//! sweep finding every deque empty. Each worker owns its own
+//! depth-alternating arena pair ([`DepthArenas`]), so the per-node
+//! zero-allocation property of the sequential kernel holds per worker.
+//!
+//! # Determinism by construction
+//!
+//! Every clique emitted from root `u` starts with `u` (the clique is
+//! grown from `{u}` with larger ids only), and within one root the DFS
+//! emits in lexicographic order (children are visited in increasing
+//! vertex order and emission happens at leaves). Per-root outputs are
+//! therefore pre-sorted with pairwise-disjoint, increasing key ranges:
+//! placing each root's block at index `u` and concatenating is a k-way
+//! merge with no comparisons, and the result is **byte-identical to
+//! sequential MULE** no matter which worker ran which root or in what
+//! order — the schedule affects timing only. The merged statistics are
+//! equally schedule-independent (each root subtree contributes the same
+//! counters wherever it runs), so they equal the sequential run's.
 
-use crate::enumerate::{Candidate, MuleConfig};
-use crate::kernel::Kernel;
-use crate::sinks::{CliqueSink, CollectSink, Control};
+use crate::enumerate::MuleConfig;
+use crate::kernel::{enumerate_subtree, DepthArenas, Kernel};
+use crate::sinks::{CollectSink, Control};
 use crate::stats::EnumerationStats;
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::collections::VecDeque;
+use std::sync::Mutex;
 use ugraph_core::{GraphError, UncertainGraph, VertexId};
+
+/// One root's collected output: `(root, pairs)` with pairs in emission
+/// (= lexicographic) order.
+type RootOutput = (VertexId, Vec<(Vec<VertexId>, f64)>);
 
 /// Result of a parallel enumeration: the cliques (sorted lexicographically,
 /// probabilities parallel) plus merged statistics.
@@ -32,7 +62,8 @@ pub struct ParallelOutput {
     pub cliques: Vec<Vec<VertexId>>,
     /// `probs[i]` is the clique probability of `cliques[i]`.
     pub probs: Vec<f64>,
-    /// Counters merged across workers (`max_depth` is the maximum).
+    /// Counters merged across workers; schedule-independent and equal to
+    /// the sequential run's (`max_depth` is the maximum).
     pub stats: EnumerationStats,
 }
 
@@ -52,7 +83,7 @@ pub fn par_enumerate_maximal_cliques(
         threads
     };
 
-    // Degenerate cases the worker loop cannot express.
+    // Degenerate case the worker loop cannot express.
     if n == 0 {
         return Ok(ParallelOutput {
             cliques: vec![vec![]],
@@ -65,27 +96,36 @@ pub fn par_enumerate_maximal_cliques(
         });
     }
 
-    let cursor = AtomicU32::new(0);
-    let mut worker_outputs: Vec<(CollectSink, EnumerationStats)> = Vec::new();
+    // Seed: largest-degree-first (stable sort, so ties keep id order),
+    // dealt round-robin so every deque starts with a share of the
+    // expensive subtrees.
+    let mut order: Vec<VertexId> = (0..n as VertexId).collect();
+    order.sort_by_key(|&u| std::cmp::Reverse(kernel.g.neighbors(u).len()));
+    let queues: Vec<Mutex<VecDeque<VertexId>>> = (0..threads)
+        .map(|_| Mutex::new(VecDeque::with_capacity(n / threads + 1)))
+        .collect();
+    for (k, &u) in order.iter().enumerate() {
+        queues[k % threads].lock().unwrap().push_back(u);
+    }
+
+    let mut worker_outputs: Vec<(Vec<RootOutput>, EnumerationStats)> = Vec::new();
     crossbeam::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
-        for _ in 0..threads {
+        for id in 0..threads {
             let kernel = &kernel;
-            let cursor = &cursor;
+            let queues = &queues;
             handles.push(scope.spawn(move |_| {
-                let mut sink = CollectSink::new();
                 let mut worker = Worker {
                     kernel,
                     stats: EnumerationStats::new(),
+                    arenas: DepthArenas::new(),
+                    clique_buf: Vec::new(),
+                    outputs: Vec::new(),
                 };
-                loop {
-                    let u = cursor.fetch_add(1, Ordering::Relaxed);
-                    if u as usize >= n {
-                        break;
-                    }
-                    worker.run_root(u, &mut sink);
+                while let Some(u) = next_root(queues, id) {
+                    worker.run_root(u);
                 }
-                (sink, worker.stats)
+                (worker.outputs, worker.stats)
             }));
         }
         for h in handles {
@@ -94,15 +134,27 @@ pub fn par_enumerate_maximal_cliques(
     })
     .expect("crossbeam scope failed");
 
+    // K-way merge by construction: slot each root's pre-sorted block at
+    // its root index, then concatenate (see module docs).
+    let mut slots: Vec<Vec<(Vec<VertexId>, f64)>> = (0..n).map(|_| Vec::new()).collect();
     let mut stats = EnumerationStats::new();
     stats.calls = 1; // the conceptual root node
-    let mut pairs: Vec<(Vec<VertexId>, f64)> = Vec::new();
-    for (sink, s) in worker_outputs {
+    for (outputs, s) in worker_outputs {
         stats.merge(&s);
-        pairs.extend(sink.into_pairs());
+        for (u, pairs) in outputs {
+            debug_assert!(slots[u as usize].is_empty(), "root {u} ran twice");
+            slots[u as usize] = pairs;
+        }
     }
-    pairs.sort_by(|a, b| a.0.cmp(&b.0));
-    let (cliques, probs) = pairs.into_iter().unzip();
+    let total: usize = slots.iter().map(Vec::len).sum();
+    let mut cliques = Vec::with_capacity(total);
+    let mut probs = Vec::with_capacity(total);
+    for pairs in slots {
+        for (c, p) in pairs {
+            cliques.push(c);
+            probs.push(p);
+        }
+    }
     Ok(ParallelOutput {
         cliques,
         probs,
@@ -110,69 +162,75 @@ pub fn par_enumerate_maximal_cliques(
     })
 }
 
-/// Per-thread search state: shares the read-only kernel, owns its counters.
+/// Pop the next root for worker `id`: own deque front first, then steal
+/// the back half of the first non-empty victim (round-robin from
+/// `id + 1`). `None` means every deque was empty — and since no work is
+/// created after seeding, the worker can retire.
+fn next_root(queues: &[Mutex<VecDeque<VertexId>>], id: usize) -> Option<VertexId> {
+    if let Some(u) = queues[id].lock().unwrap().pop_front() {
+        return Some(u);
+    }
+    let t = queues.len();
+    for k in 1..t {
+        let victim = (id + k) % t;
+        let mut stolen = {
+            let mut vq = queues[victim].lock().unwrap();
+            let keep = vq.len() / 2;
+            vq.split_off(keep)
+        };
+        // Locks are never held in pairs (victim released above, own
+        // acquired below), so stealing cannot deadlock.
+        if let Some(u) = stolen.pop_front() {
+            if !stolen.is_empty() {
+                queues[id].lock().unwrap().append(&mut stolen);
+            }
+            return Some(u);
+        }
+    }
+    None
+}
+
+/// Per-thread search state: shares the read-only kernel, owns its arena,
+/// counters and per-root outputs.
 struct Worker<'k> {
     kernel: &'k Kernel,
     stats: EnumerationStats,
+    arenas: DepthArenas,
+    clique_buf: Vec<VertexId>,
+    /// One [`RootOutput`] for every root this worker explored.
+    outputs: Vec<RootOutput>,
 }
 
 impl Worker<'_> {
-    /// Explore the root subtree `C = {u}` (see module docs for why the
-    /// initial sets take this closed form).
-    fn run_root(&mut self, u: VertexId, sink: &mut CollectSink) {
-        let mut i0 = Vec::new();
-        let mut x0 = Vec::new();
-        for (w, p) in self.kernel.g.neighbors_with_probs(u) {
-            // Kernel graphs are α-pruned, so p ≥ α always holds; the test
-            // is kept for clarity and symmetry with Algorithm 3 line 8.
-            if p >= self.kernel.alpha {
-                if w > u {
-                    i0.push((w, p));
-                } else {
-                    x0.push((w, p));
-                }
-            }
-        }
-        let mut c = vec![u];
-        self.recurse(&mut c, 1.0, &i0, x0, sink);
-    }
-
-    fn recurse(
-        &mut self,
-        c: &mut Vec<VertexId>,
-        q: f64,
-        i_set: &[Candidate],
-        x_set: Vec<Candidate>,
-        sink: &mut CollectSink,
-    ) -> Control {
-        self.stats.calls += 1;
-        self.stats.max_depth = self.stats.max_depth.max(c.len());
-        if i_set.is_empty() && x_set.is_empty() {
-            self.stats.emitted += 1;
-            return sink.emit(c, q);
-        }
-        let mut x_set = x_set;
-        for pos in 0..i_set.len() {
-            let (u, r) = i_set[pos];
-            let q2 = q * r;
-            let i2 = self.kernel.filter_candidates(
-                u,
-                q2,
-                &i_set[pos + 1..],
-                &mut self.stats.i_candidates_scanned,
-            );
-            let x2 =
-                self.kernel
-                    .filter_candidates(u, q2, &x_set, &mut self.stats.x_candidates_scanned);
-            c.push(u);
-            let ctl = self.recurse(c, q2, &i2, x2, sink);
-            c.pop();
-            if ctl == Control::Stop {
-                return Control::Stop;
-            }
-            x_set.push((u, r));
-        }
-        Control::Continue
+    /// Explore the root subtree `C = {u}` with the shared kernel
+    /// recursion, collecting its cliques separately for the
+    /// deterministic merge.
+    fn run_root(&mut self, u: VertexId) {
+        let mut sink = CollectSink::new();
+        let mut arenas = std::mem::take(&mut self.arenas);
+        let mut c = std::mem::take(&mut self.clique_buf);
+        arenas.clear();
+        c.clear();
+        let (i0, x0) =
+            self.kernel
+                .expand_root_into(u, &mut arenas.even, &mut self.stats.i_candidates_scanned);
+        c.push(u);
+        let ctl = enumerate_subtree(
+            self.kernel,
+            &mut self.stats,
+            &mut c,
+            1.0,
+            i0,
+            x0,
+            &mut arenas.even,
+            &mut arenas.odd,
+            &mut sink,
+        );
+        debug_assert_eq!(ctl, Control::Continue, "CollectSink never stops");
+        c.pop();
+        self.arenas = arenas;
+        self.clique_buf = c;
+        self.outputs.push((u, sink.into_pairs()));
     }
 }
 
@@ -224,6 +282,22 @@ mod tests {
     }
 
     #[test]
+    fn stats_equal_sequential_run() {
+        // The merge is schedule-independent, so the merged counters must
+        // equal sequential MULE's exactly — not just emitted.
+        let g = fixture();
+        for alpha in [0.9, 0.4, 0.05] {
+            let mut m = crate::Mule::new(&g, alpha).unwrap();
+            let mut sink = crate::sinks::CountSink::new();
+            m.run(&mut sink);
+            for threads in [1, 3, 8] {
+                let out = par_enumerate_maximal_cliques(&g, alpha, threads).unwrap();
+                assert_eq!(&out.stats, m.stats(), "α={alpha}, threads={threads}");
+            }
+        }
+    }
+
+    #[test]
     fn stats_emitted_matches_output() {
         let g = fixture();
         let out = par_enumerate_maximal_cliques(&g, 0.4, 4).unwrap();
@@ -236,6 +310,14 @@ mod tests {
         let g = fixture();
         let expected = enumerate_maximal_cliques(&g, 0.5).unwrap();
         let out = par_enumerate_maximal_cliques(&g, 0.5, 0).unwrap();
+        assert_eq!(out.cliques, expected);
+    }
+
+    #[test]
+    fn more_threads_than_roots() {
+        let g = from_edges(3, &[(0, 1, 0.9), (1, 2, 0.9)]).unwrap();
+        let expected = enumerate_maximal_cliques(&g, 0.5).unwrap();
+        let out = par_enumerate_maximal_cliques(&g, 0.5, 16).unwrap();
         assert_eq!(out.cliques, expected);
     }
 
@@ -254,5 +336,65 @@ mod tests {
         let out = par_enumerate_maximal_cliques(&g, alpha, 4).unwrap();
         assert_eq!(out.cliques.len(), 126); // C(9,4)
         assert!(out.cliques.iter().all(|c| c.len() == 4));
+    }
+
+    #[test]
+    fn skewed_hub_graph_is_deterministic_across_thread_counts() {
+        // One hub adjacent to everything (the expensive first subtree the
+        // largest-degree-first seeding is for) plus a sparse periphery.
+        let mut b = GraphBuilder::new(40);
+        for v in 1..40u32 {
+            b.add_edge(0, v, 0.95).unwrap();
+        }
+        for v in 1..39u32 {
+            b.add_edge(v, v + 1, 0.9).unwrap();
+        }
+        let g = b.build();
+        let expected = enumerate_maximal_cliques(&g, 0.5).unwrap();
+        let baseline = par_enumerate_maximal_cliques(&g, 0.5, 1).unwrap();
+        assert_eq!(baseline.cliques, expected);
+        for threads in [2, 3, 5, 8, 13] {
+            let out = par_enumerate_maximal_cliques(&g, 0.5, threads).unwrap();
+            assert_eq!(out.cliques, baseline.cliques, "threads={threads}");
+            let bits: Vec<u64> = out.probs.iter().map(|p| p.to_bits()).collect();
+            let base: Vec<u64> = baseline.probs.iter().map(|p| p.to_bits()).collect();
+            assert_eq!(bits, base, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn steal_half_takes_the_back() {
+        let queues = vec![
+            Mutex::new(VecDeque::new()),
+            Mutex::new(VecDeque::from(vec![10, 11, 12, 13])),
+        ];
+        // Worker 0 is empty: it must steal the back half {12, 13} of
+        // worker 1, return the first stolen root and keep the rest.
+        assert_eq!(next_root(&queues, 0), Some(12));
+        assert_eq!(
+            queues[0]
+                .lock()
+                .unwrap()
+                .iter()
+                .copied()
+                .collect::<Vec<_>>(),
+            vec![13]
+        );
+        assert_eq!(
+            queues[1]
+                .lock()
+                .unwrap()
+                .iter()
+                .copied()
+                .collect::<Vec<_>>(),
+            vec![10, 11]
+        );
+        // Own work is drained before stealing again.
+        assert_eq!(next_root(&queues, 0), Some(13));
+        // Then the remaining victim half, then exhaustion.
+        assert_eq!(next_root(&queues, 0), Some(11));
+        assert_eq!(next_root(&queues, 0), Some(10));
+        assert_eq!(next_root(&queues, 0), None);
+        assert_eq!(next_root(&queues, 1), None);
     }
 }

@@ -1,9 +1,16 @@
 //! Offline stand-in for the `criterion` crate.
 //!
-//! Benches written against the criterion API compile and run, reporting
-//! mean wall-clock time per iteration to stdout. No statistical
-//! analysis, warm-up calibration, or HTML reports — this exists so
-//! `cargo bench` works in an environment with no crates.io access.
+//! Benches written against the criterion API compile and run, timing
+//! **each iteration individually** and reporting the distribution
+//! (min/median/p95, plus the mean) to stdout — enumeration runtimes are
+//! right-skewed, so a bare mean hides regressions in the tail. No
+//! warm-up calibration or HTML reports — this exists so `cargo bench`
+//! works in an environment with no crates.io access.
+//!
+//! Set `CRITERION_TSV_DIR` to also append one TSV row per benchmark
+//! (`name, iters, min_s, median_s, p95_s, mean_s`) under that directory
+//! as `shim-bench.tsv`, for the same figure-regeneration pipeline the
+//! harness binaries feed via `ugraph-bench::report`.
 
 #![forbid(unsafe_code)]
 
@@ -48,20 +55,68 @@ impl Display for BenchmarkId {
 /// Timing loop handle passed to bench closures.
 pub struct Bencher {
     iterations: u64,
-    elapsed: Duration,
+    samples: Vec<Duration>,
 }
 
 impl Bencher {
-    /// Time `routine`, called repeatedly; its return value is passed
-    /// through [`black_box`] so it cannot be optimized away.
+    /// Time `routine` once per iteration, individually; its return value
+    /// is passed through [`black_box`] so it cannot be optimized away.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         // One untimed call to warm caches and page in code.
         black_box(routine());
-        let start = Instant::now();
+        self.samples.clear();
+        self.samples.reserve(self.iterations as usize);
         for _ in 0..self.iterations {
+            let start = Instant::now();
             black_box(routine());
+            self.samples.push(start.elapsed());
         }
-        self.elapsed = start.elapsed();
+    }
+}
+
+/// Distribution of one benchmark's per-iteration samples (seconds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Stats {
+    min: f64,
+    median: f64,
+    p95: f64,
+    mean: f64,
+}
+
+impl Stats {
+    fn from_samples(samples: &[Duration]) -> Option<Stats> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut secs: Vec<f64> = samples.iter().map(Duration::as_secs_f64).collect();
+        secs.sort_by(f64::total_cmp);
+        Some(Stats {
+            min: secs[0],
+            median: percentile(&secs, 0.50),
+            p95: percentile(&secs, 0.95),
+            mean: secs.iter().sum::<f64>() / secs.len() as f64,
+        })
+    }
+}
+
+/// Linear-interpolation percentile over an ascending-sorted slice.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = q * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * (rank - lo as f64)
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s < 0.001 {
+        format!("{:.1}us", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{s:.3}s")
     }
 }
 
@@ -152,15 +207,37 @@ impl Criterion {
     fn run_one(&mut self, label: &str, iterations: u64, mut f: impl FnMut(&mut Bencher)) {
         let mut bencher = Bencher {
             iterations,
-            elapsed: Duration::ZERO,
+            samples: Vec::new(),
         };
         f(&mut bencher);
-        let per_iter = if iterations > 0 {
-            bencher.elapsed / iterations as u32
-        } else {
-            Duration::ZERO
+        let Some(s) = Stats::from_samples(&bencher.samples) else {
+            println!("bench {label:<56} (no samples)");
+            return;
         };
-        println!("bench {label:<60} {per_iter:>12.2?}/iter  ({iterations} iters)");
+        println!(
+            "bench {label:<56} min {:>9} med {:>9} p95 {:>9}  ({iterations} iters)",
+            fmt_secs(s.min),
+            fmt_secs(s.median),
+            fmt_secs(s.p95),
+        );
+        if let Some(dir) = std::env::var_os("CRITERION_TSV_DIR") {
+            let dir = std::path::PathBuf::from(dir);
+            let row = format!(
+                "{label}\t{iterations}\t{}\t{}\t{}\t{}\n",
+                s.min, s.median, s.p95, s.mean
+            );
+            let write = std::fs::create_dir_all(&dir).and_then(|()| {
+                use std::io::Write as _;
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(dir.join("shim-bench.tsv"))
+                    .and_then(|mut fh| fh.write_all(row.as_bytes()))
+            });
+            if let Err(e) = write {
+                eprintln!("warning: cannot write bench TSV under {dir:?}: {e}");
+            }
+        }
     }
 }
 
@@ -185,4 +262,61 @@ macro_rules! criterion_main {
             $($group();)+
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_one_sample_per_iteration() {
+        let mut b = Bencher {
+            iterations: 7,
+            samples: Vec::new(),
+        };
+        let mut calls = 0u32;
+        b.iter(|| {
+            calls += 1;
+            calls
+        });
+        assert_eq!(b.samples.len(), 7);
+        assert_eq!(calls, 8, "one warm-up call plus 7 timed iterations");
+    }
+
+    #[test]
+    fn stats_order_statistics() {
+        let samples: Vec<Duration> = [3, 1, 2, 5, 4]
+            .iter()
+            .map(|&s| Duration::from_secs(s))
+            .collect();
+        let s = Stats::from_samples(&samples).unwrap();
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.mean, 3.0);
+        assert!((s.p95 - 4.8).abs() < 1e-9, "p95 = {}", s.p95);
+        assert_eq!(Stats::from_samples(&[]), None);
+    }
+
+    #[test]
+    fn fmt_secs_units() {
+        assert!(fmt_secs(0.0000005).ends_with("us"));
+        assert!(fmt_secs(0.5).ends_with("ms"));
+        assert_eq!(fmt_secs(2.5), "2.500s");
+    }
+
+    #[test]
+    fn group_and_function_apis_run() {
+        let mut c = Criterion::default();
+        let mut ran = 0u32;
+        {
+            let mut g = c.benchmark_group("shim-self-test");
+            g.sample_size(2)
+                .measurement_time(Duration::from_millis(1))
+                .bench_function(BenchmarkId::new("f", 1), |b| b.iter(|| ran += 1));
+            g.bench_with_input("with-input", &3u32, |b, &x| b.iter(|| x * 2));
+            g.finish();
+        }
+        c.bench_function("standalone", |b| b.iter(|| 1 + 1));
+        assert!(ran >= 2);
+    }
 }

@@ -138,3 +138,106 @@ fn extremal_shapes_agree_with_oracle() {
         check_all_alphas(&cycle.build(), &format!("cycle n={n}"));
     }
 }
+
+/// Arena-kernel cases (PR 2): both membership strategies over the
+/// depth-alternating span arena must match the exponential oracle on
+/// inputs chosen to stress the arena specifically — deep DFS paths
+/// (spans stacked many levels), hub vertices (large spans truncated and
+/// regrown thousands of times), and near-threshold probabilities (the
+/// leaf short-circuit must agree with materializing X' exactly).
+#[test]
+fn arena_kernel_matches_oracle_under_both_index_modes() {
+    use mule::sinks::CollectSink;
+    use mule::{IndexMode, Mule, MuleConfig};
+
+    let mut cases: Vec<(String, UncertainGraph)> = Vec::new();
+    // Deep path: K8 with probabilities straddling every α power.
+    for p in [0.5, 0.9] {
+        let mut b = GraphBuilder::new(8);
+        for u in 0..8u32 {
+            for v in (u + 1)..8 {
+                b.add_edge(u, v, p).unwrap();
+            }
+        }
+        cases.push((format!("K8 p={p}"), b.build()));
+    }
+    // Hub + periphery: one huge root span, many tiny ones.
+    {
+        let mut b = GraphBuilder::new(12);
+        for v in 1..12u32 {
+            b.add_edge(0, v, PROBS[v as usize % PROBS.len()]).unwrap();
+        }
+        for v in 1..11u32 {
+            b.add_edge(v, v + 1, 0.9).unwrap();
+        }
+        cases.push(("hub-12".into(), b.build()));
+    }
+    // Two K5s sharing two vertices: X sets stay non-empty deep into the
+    // search, exercising the short-circuit's survivor scan.
+    {
+        let mut b = GraphBuilder::new(8);
+        for u in 0..5u32 {
+            for v in (u + 1)..5 {
+                b.add_edge(u, v, 0.9).unwrap();
+            }
+        }
+        for u in 3..8u32 {
+            for v in (u + 1)..8 {
+                if !(u < 5 && v < 5) {
+                    b.add_edge(u, v, 0.5).unwrap();
+                }
+            }
+        }
+        cases.push(("overlapping-K5s".into(), b.build()));
+    }
+
+    for (label, g) in &cases {
+        for alpha in [0.9, 0.5, 0.1, 0.01, 1e-6] {
+            let expected = enumerate_naive(g, alpha).unwrap();
+            for mode in [IndexMode::Auto, IndexMode::Always, IndexMode::Never] {
+                let cfg = MuleConfig {
+                    index_mode: mode,
+                    ..Default::default()
+                };
+                let mut m = Mule::with_config(g, alpha, cfg).unwrap();
+                let mut sink = CollectSink::new();
+                m.run(&mut sink);
+                assert_eq!(
+                    sink.into_sorted_cliques(),
+                    expected,
+                    "{label} α={alpha} mode={mode:?}"
+                );
+            }
+        }
+    }
+}
+
+/// LARGE–MULE's arena recursion (size bound + leaf short-circuit) vs the
+/// oracle filtered to `|C| ≥ t`.
+#[test]
+fn large_mule_arena_matches_filtered_oracle() {
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
+    for seed in 0..12u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = 7 + (seed % 2) as usize;
+        let mut b = GraphBuilder::new(n);
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                if rng.gen::<f64>() < 0.6 {
+                    b.add_edge(u, v, PROBS[rng.gen_range(0..PROBS.len())])
+                        .unwrap();
+                }
+            }
+        }
+        let g = b.build();
+        for alpha in ALPHAS {
+            let all = enumerate_naive(&g, alpha).unwrap();
+            for t in 2..=4usize {
+                let expected: Vec<Vec<u32>> =
+                    all.iter().filter(|c| c.len() >= t).cloned().collect();
+                let got = mule::enumerate_large_maximal_cliques(&g, alpha, t).unwrap();
+                assert_eq!(got, expected, "seed={seed} α={alpha} t={t}");
+            }
+        }
+    }
+}

@@ -1,12 +1,18 @@
-//! Parallel MULE determinism (satellite of PR 1).
+//! Parallel MULE determinism (satellite of PR 1, extended to the
+//! work-stealing scheduler in PR 2).
 //!
 //! `par_enumerate_maximal_cliques` promises output *identical* to
 //! sequential MULE — not just the same set of cliques, but the same
-//! lexicographic order and bit-for-bit equal clique probabilities
-//! (workers compute the same incremental products the sequential
-//! traversal does, merged by a deterministic sort). These properties
-//! drive random graphs through both paths across α values and thread
-//! counts and compare byte-for-byte.
+//! lexicographic order and bit-for-bit equal clique probabilities.
+//! Since PR 2 the scheduler is work-stealing (per-worker deques seeded
+//! largest-degree-first, idle workers stealing back halves), so which
+//! worker runs which root — and in what order — varies run to run; the
+//! per-root merge makes the output independent of the steal schedule by
+//! construction. These properties drive random graphs through both
+//! paths across α values and thread counts and compare byte-for-byte;
+//! the skew test targets the hub-heavy shape where stealing actually
+//! happens, and the stats property pins schedule-independence of the
+//! merged counters (they must equal the sequential run's exactly).
 
 use mule::par_enumerate_maximal_cliques;
 use mule::sinks::CollectSink;
@@ -95,5 +101,56 @@ proptest! {
         let alpha = 0.5f64.powi(alpha_pow as i32);
         let out = par_enumerate_maximal_cliques(&g, alpha, threads).unwrap();
         prop_assert_eq!(out.stats.emitted as usize, out.cliques.len());
+    }
+
+    #[test]
+    fn merged_stats_equal_sequential_regardless_of_schedule(
+        g in arb_graph(13),
+        alpha in 0.01f64..0.9,
+        threads in 1usize..=8,
+    ) {
+        // Every root subtree contributes the same counters no matter
+        // which worker explores it, so the merged statistics must be
+        // *equal* to sequential MULE's — a strong pin on the
+        // work-stealing scheduler doing no duplicated or dropped work.
+        let mut m = Mule::new(&g, alpha).unwrap();
+        let mut sink = mule::sinks::CountSink::new();
+        m.run(&mut sink);
+        let out = par_enumerate_maximal_cliques(&g, alpha, threads).unwrap();
+        prop_assert_eq!(&out.stats, m.stats(), "threads={}", threads);
+    }
+
+    #[test]
+    fn skewed_hubs_are_byte_identical_across_thread_counts(
+        hub_degree in 10usize..=25,
+        seed in any::<u64>(),
+        alpha in 0.05f64..0.5,
+    ) {
+        // Hub-heavy graphs are where subtree costs skew and stealing
+        // actually fires; the output must not care.
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = hub_degree + 8;
+        let mut b = GraphBuilder::new(n);
+        for v in 1..=hub_degree as u32 {
+            b.add_edge(0, v, 0.9 + 0.1 * rng.gen::<f64>()).unwrap();
+        }
+        for u in 1..n as u32 {
+            for v in (u + 1)..n as u32 {
+                if rng.gen::<f64>() < 0.25 {
+                    b.add_edge(u, v, 1.0 - rng.gen::<f64>() * 0.5).unwrap();
+                }
+            }
+        }
+        let g = b.build();
+        let expected = sequential_pairs(&g, alpha);
+        for threads in [1usize, 2, 4, 8] {
+            let out = par_enumerate_maximal_cliques(&g, alpha, threads).unwrap();
+            let got: Vec<(Vec<u32>, u64)> =
+                out.cliques.into_iter().zip(out.probs.iter().map(|p| p.to_bits())).collect();
+            let want: Vec<(Vec<u32>, u64)> =
+                expected.iter().map(|(c, p)| (c.clone(), p.to_bits())).collect();
+            prop_assert_eq!(got, want, "threads={}", threads);
+        }
     }
 }

@@ -7,24 +7,31 @@
 //! Expected shape (paper): runtime drops sharply as α grows — larger
 //! thresholds prune search paths earlier — and larger graphs sit higher.
 //!
+//! Each point is timed `--repeats` times and reported as a
+//! min/median/p95 [`ugraph_bench::Summary`] (runtimes are right-skewed;
+//! a single sample is noise). A point that hits the deadline is not
+//! repeated and its cell is prefixed `>`.
+//!
 //! ```text
-//! cargo run -p ugraph-bench --release --bin fig2 -- [--seed 42] [--scale 1.0] [--timeout 120]
+//! cargo run -p ugraph-bench --release --bin fig2 -- [--seed 42] [--scale 1.0] [--timeout 120] [--repeats 3]
 //! ```
 
 use std::time::Duration;
-use ugraph_bench::{harness, timed_run, Algo, Args, Report};
+use ugraph_bench::{harness, repeated_run, Algo, Args, Report};
 
 const USAGE: &str = "fig2 — MULE runtime vs alpha (Figure 2)
 options:
   --seed N      dataset seed (default 42)
   --scale X     dataset scale in (0,1] (default 1.0)
   --timeout S   per-run budget in seconds (default 120)
+  --repeats N   timing samples per point (default 3)
   --plot        render an ASCII log-log chart per panel";
 
 fn main() {
-    let args = Args::parse(&["seed", "scale", "timeout", "plot"], USAGE);
+    let args = Args::parse(&["seed", "scale", "timeout", "repeats", "plot"], USAGE);
     let seed: u64 = args.get_or("seed", 42);
     let scale: f64 = args.get_or("scale", 1.0);
+    let repeats: usize = args.get_or("repeats", 3);
     let budget = Duration::from_secs_f64(args.get_or("timeout", 120.0));
     let alphas = harness::alpha_grid();
 
@@ -46,7 +53,9 @@ fn main() {
         ),
     ] {
         let mut report = Report::new(
-            format!("Figure 2{panel}: MULE runtime (s) vs alpha"),
+            format!(
+                "Figure 2{panel}: MULE runtime (s, min/median/p95 over {repeats} runs) vs alpha"
+            ),
             &["alpha", "graph", "runtime", "cliques", "calls"],
         );
         let mut curves: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
@@ -54,16 +63,17 @@ fn main() {
             let g = harness::dataset(name, seed, scale);
             let mut pts = Vec::new();
             for &alpha in &alphas {
-                let r = timed_run(Algo::Mule, &g, alpha, budget);
+                let (r, s) = repeated_run(Algo::Mule, &g, alpha, budget, repeats);
+                let cell = s.display_censored(r.timed_out);
                 report.row(&[
                     format!("{alpha}"),
                     name.to_string(),
-                    r.display_time(),
+                    cell.clone(),
                     r.cliques.to_string(),
                     r.calls.to_string(),
                 ]);
-                pts.push((alpha, r.seconds));
-                eprintln!("done {name} α={alpha}: {}", r.display_time());
+                pts.push((alpha, s.median));
+                eprintln!("done {name} α={alpha}: {cell}");
             }
             curves.push((name.to_string(), pts));
         }

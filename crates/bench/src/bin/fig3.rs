@@ -8,24 +8,30 @@
 //! smaller maximal ones as α rises), but the differences are negligible at
 //! plot scale; the TSV output lets one check for such local bumps.
 //!
+//! Each point also reports a min/median/p95 runtime summary over
+//! `--repeats` timed runs (the counts themselves are deterministic; the
+//! summary column is what the repeated-run port of this sweep adds).
+//!
 //! ```text
-//! cargo run -p ugraph-bench --release --bin fig3 -- [--seed 42] [--scale 1.0] [--timeout 120]
+//! cargo run -p ugraph-bench --release --bin fig3 -- [--seed 42] [--scale 1.0] [--timeout 120] [--repeats 3]
 //! ```
 
 use std::time::Duration;
-use ugraph_bench::{harness, timed_run, Algo, Args, Report};
+use ugraph_bench::{harness, repeated_run, Algo, Args, Report};
 
 const USAGE: &str = "fig3 — number of alpha-maximal cliques vs alpha (Figure 3)
 options:
   --seed N      dataset seed (default 42)
   --scale X     dataset scale in (0,1] (default 1.0)
   --timeout S   per-run budget in seconds (default 120)
+  --repeats N   timing samples per point (default 3)
   --plot        render an ASCII chart per panel";
 
 fn main() {
-    let args = Args::parse(&["seed", "scale", "timeout", "plot"], USAGE);
+    let args = Args::parse(&["seed", "scale", "timeout", "repeats", "plot"], USAGE);
     let seed: u64 = args.get_or("seed", 42);
     let scale: f64 = args.get_or("scale", 1.0);
+    let repeats: usize = args.get_or("repeats", 3);
     let budget = Duration::from_secs_f64(args.get_or("timeout", 120.0));
     let alphas = harness::alpha_grid();
 
@@ -48,25 +54,34 @@ fn main() {
     ] {
         let mut report = Report::new(
             format!("Figure 3{panel}: number of alpha-maximal cliques vs alpha"),
-            &["alpha", "graph", "cliques", "output_vertices", "max_clique"],
+            &[
+                "alpha",
+                "graph",
+                "cliques",
+                "output_vertices",
+                "max_clique",
+                "runtime",
+            ],
         );
         let mut curves: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
         for name in datasets {
             let g = harness::dataset(name, seed, scale);
             let mut pts = Vec::new();
             for &alpha in &alphas {
-                let r = timed_run(Algo::Mule, &g, alpha, budget);
+                let (r, s) = repeated_run(Algo::Mule, &g, alpha, budget, repeats);
                 let count = if r.timed_out {
                     format!(">{}", r.cliques)
                 } else {
                     r.cliques.to_string()
                 };
+                let runtime = s.display_censored(r.timed_out);
                 report.row(&[
                     format!("{alpha}"),
                     name.to_string(),
                     count,
                     r.output_vertices.to_string(),
                     r.max_clique.to_string(),
+                    runtime,
                 ]);
                 pts.push((alpha, r.cliques as f64));
                 eprintln!("done {name} α={alpha}: {} cliques", r.cliques);

@@ -8,28 +8,36 @@
 //! includes the `secs_per_clique` column so the proportionality constant
 //! is visible directly.
 //!
+//! Each point is timed `--repeats` times; the runtime column is a
+//! min/median/p95 summary and the proportionality constant uses the
+//! median (the sample least polluted by warm-up noise).
+//!
 //! ```text
-//! cargo run -p ugraph-bench --release --bin fig4 -- [--seed 42] [--scale 1.0] [--timeout 120]
+//! cargo run -p ugraph-bench --release --bin fig4 -- [--seed 42] [--scale 1.0] [--timeout 120] [--repeats 3]
 //! ```
 
 use std::time::Duration;
-use ugraph_bench::{harness, timed_run, Algo, Args, Report};
+use ugraph_bench::{harness, repeated_run, Algo, Args, Report};
 
 const USAGE: &str = "fig4 — runtime vs output size on BA graphs (Figure 4)
 options:
   --seed N      dataset seed (default 42)
   --scale X     dataset scale in (0,1] (default 1.0)
-  --timeout S   per-run budget in seconds (default 120)";
+  --timeout S   per-run budget in seconds (default 120)
+  --repeats N   timing samples per point (default 3)";
 
 fn main() {
-    let args = Args::parse(&["seed", "scale", "timeout"], USAGE);
+    let args = Args::parse(&["seed", "scale", "timeout", "repeats"], USAGE);
     let seed: u64 = args.get_or("seed", 42);
     let scale: f64 = args.get_or("scale", 1.0);
+    let repeats: usize = args.get_or("repeats", 3);
     let budget = Duration::from_secs_f64(args.get_or("timeout", 120.0));
 
     let datasets = ["BA5000", "BA6000", "BA7000", "BA8000", "BA9000", "BA10000"];
     let mut report = Report::new(
-        "Figure 4: runtime vs output size (BA graphs)",
+        format!(
+            "Figure 4: runtime (min/median/p95 over {repeats} runs) vs output size (BA graphs)"
+        ),
         &[
             "alpha",
             "graph",
@@ -41,14 +49,21 @@ fn main() {
     for name in datasets {
         let g = harness::dataset(name, seed, scale);
         for &alpha in &harness::fig4_alphas() {
-            let r = timed_run(Algo::Mule, &g, alpha, budget);
-            let per_k = 1000.0 * r.seconds / (r.cliques.max(1) as f64);
+            let (r, s) = repeated_run(Algo::Mule, &g, alpha, budget, repeats);
+            // A censored point has a truncated time over a partial
+            // count — the ratio the figure exists to show is undefined
+            // there, so print a placeholder instead of a wrong number.
+            let per_k = if r.timed_out {
+                "-".to_string()
+            } else {
+                format!("{:.4}", 1000.0 * s.median / (r.cliques.max(1) as f64))
+            };
             report.row(&[
                 format!("{alpha}"),
                 name.to_string(),
                 r.cliques.to_string(),
-                r.display_time(),
-                format!("{per_k:.4}"),
+                s.display_censored(r.timed_out),
+                per_k,
             ]);
             eprintln!("done {name} α={alpha}");
         }

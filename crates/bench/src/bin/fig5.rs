@@ -13,25 +13,34 @@
 //! DBLP defaults to `--dblp-scale 0.1` (68k vertices / 228k edges) so the
 //! whole sweep runs in minutes; pass `--dblp-scale 1.0` for paper scale.
 //!
+//! Each point is timed `--repeats` times and reported as a
+//! min/median/p95 summary; deadline hits are not repeated and marked
+//! `>`.
+//!
 //! ```text
-//! cargo run -p ugraph-bench --release --bin fig5 -- [--seed 42] [--scale 1.0] [--dblp-scale 0.1] [--timeout 120]
+//! cargo run -p ugraph-bench --release --bin fig5 -- [--seed 42] [--scale 1.0] [--dblp-scale 0.1] [--timeout 120] [--repeats 3]
 //! ```
 
 use std::time::Duration;
-use ugraph_bench::{harness, timed_run, Algo, Args, Report};
+use ugraph_bench::{harness, repeated_run, Algo, Args, Report};
 
 const USAGE: &str = "fig5 — LARGE-MULE runtime vs size threshold (Figure 5)
 options:
   --seed N         dataset seed (default 42)
   --scale X        scale for BA10000 / ca-GrQc (default 1.0)
   --dblp-scale X   scale for DBLP10 (default 0.1)
-  --timeout S      per-run budget in seconds (default 120)";
+  --timeout S      per-run budget in seconds (default 120)
+  --repeats N      timing samples per point (default 3)";
 
 fn main() {
-    let args = Args::parse(&["seed", "scale", "dblp-scale", "timeout"], USAGE);
+    let args = Args::parse(
+        &["seed", "scale", "dblp-scale", "timeout", "repeats"],
+        USAGE,
+    );
     let seed: u64 = args.get_or("seed", 42);
     let scale: f64 = args.get_or("scale", 1.0);
     let dblp_scale: f64 = args.get_or("dblp-scale", 0.1);
+    let repeats: usize = args.get_or("repeats", 3);
     let budget = Duration::from_secs_f64(args.get_or("timeout", 120.0));
 
     let small_alphas = [0.2, 0.1, 0.05, 0.01, 0.005, 0.001, 0.0005, 0.0001];
@@ -53,16 +62,19 @@ fn main() {
     for (panel, name, s, alphas, t_range) in panels {
         let g = harness::dataset(name, seed, s);
         let mut report = Report::new(
-            format!("Figure 5{panel}: LARGE-MULE runtime (s) vs t on {name} (scale {s})"),
+            format!(
+                "Figure 5{panel}: LARGE-MULE runtime (s, min/median/p95 over {repeats} runs) vs t on {name} (scale {s})"
+            ),
             &["alpha", "t", "runtime", "cliques", "calls"],
         );
         for &alpha in alphas {
             for t in t_range.clone() {
-                let r = timed_run(Algo::LargeMule(t), &g, alpha, budget);
+                let (r, summary) = repeated_run(Algo::LargeMule(t), &g, alpha, budget, repeats);
+                let cell = summary.display_censored(r.timed_out);
                 report.row(&[
                     format!("{alpha}"),
                     t.to_string(),
-                    r.display_time(),
+                    cell,
                     r.cliques.to_string(),
                     r.calls.to_string(),
                 ]);

@@ -6,25 +6,33 @@
 //! unit of `t` (most maximal cliques are small), which is exactly why
 //! LARGE–MULE's pruning pays off.
 //!
+//! Each point also records a min/median/p95 runtime summary over
+//! `--repeats` timed runs alongside the (deterministic) counts.
+//!
 //! ```text
-//! cargo run -p ugraph-bench --release --bin fig6 -- [--seed 42] [--scale 1.0] [--dblp-scale 0.1] [--timeout 120]
+//! cargo run -p ugraph-bench --release --bin fig6 -- [--seed 42] [--scale 1.0] [--dblp-scale 0.1] [--timeout 120] [--repeats 3]
 //! ```
 
 use std::time::Duration;
-use ugraph_bench::{harness, timed_run, Algo, Args, Report};
+use ugraph_bench::{harness, repeated_run, Algo, Args, Report};
 
 const USAGE: &str = "fig6 — number of large alpha-maximal cliques vs t (Figure 6)
 options:
   --seed N         dataset seed (default 42)
   --scale X        scale for BA10000 / ca-GrQc (default 1.0)
   --dblp-scale X   scale for DBLP10 (default 0.1)
-  --timeout S      per-run budget in seconds (default 120)";
+  --timeout S      per-run budget in seconds (default 120)
+  --repeats N      timing samples per point (default 3)";
 
 fn main() {
-    let args = Args::parse(&["seed", "scale", "dblp-scale", "timeout"], USAGE);
+    let args = Args::parse(
+        &["seed", "scale", "dblp-scale", "timeout", "repeats"],
+        USAGE,
+    );
     let seed: u64 = args.get_or("seed", 42);
     let scale: f64 = args.get_or("scale", 1.0);
     let dblp_scale: f64 = args.get_or("dblp-scale", 0.1);
+    let repeats: usize = args.get_or("repeats", 3);
     let budget = Duration::from_secs_f64(args.get_or("timeout", 120.0));
 
     let small_alphas = [0.2, 0.1, 0.05, 0.01, 0.005, 0.001, 0.0005, 0.0001];
@@ -47,21 +55,23 @@ fn main() {
         let g = harness::dataset(name, seed, s);
         let mut report = Report::new(
             format!("Figure 6{panel}: #alpha-maximal cliques of size >= t on {name} (scale {s})"),
-            &["alpha", "t", "cliques", "max_clique"],
+            &["alpha", "t", "cliques", "max_clique", "runtime"],
         );
         for &alpha in alphas {
             for t in t_range.clone() {
-                let r = timed_run(Algo::LargeMule(t), &g, alpha, budget);
+                let (r, summary) = repeated_run(Algo::LargeMule(t), &g, alpha, budget, repeats);
                 let count = if r.timed_out {
                     format!(">{}", r.cliques)
                 } else {
                     r.cliques.to_string()
                 };
+                let runtime = summary.display_censored(r.timed_out);
                 report.row(&[
                     format!("{alpha}"),
                     t.to_string(),
                     count,
                     r.max_clique.to_string(),
+                    runtime,
                 ]);
             }
             eprintln!("done {name} α={alpha}");

@@ -12,37 +12,48 @@
 //! EXPERIMENTS.md.
 //!
 //! A second mode records the repo's own **perf trajectory**: `--json`
-//! times sequential and parallel MULE on ER / BA / Chung–Lu graphs at
-//! the Figure 1 scales, α ∈ {0.3, 0.5, 0.7}, with min/median/p95 over
-//! repeated runs, and writes a machine-readable JSON artifact. Each PR
-//! that touches the hot path reruns this and checks the result into
-//! `BENCH_pr<N>.json`, so speedups are measured against a recorded
-//! baseline instead of folklore.
+//! times the sequential and parallel default enumeration paths on
+//! ER / BA / Chung–Lu graphs at the Figure 1 scales, α ∈ {0.3, 0.5,
+//! 0.7}, with min/median/p95 over repeated runs, and writes a
+//! machine-readable JSON artifact. Since PR 3 both paths run through
+//! the preprocessing pipeline (`mule::prepare` — prune, core filter,
+//! component shard); the rows keep the `MULE` / `MULE-par` labels so
+//! the series stays comparable across `BENCH_pr<N>.json` artifacts.
+//! Each PR that touches the hot path reruns this and checks the result
+//! in, so speedups are measured against a recorded baseline instead of
+//! folklore. `--min-size T` runs the suite through the size-bounded
+//! pipeline instead (core filter + Modani–Dey peel engaged; parallel
+//! rows included), and `--prune-report PATH` writes a JSON array of
+//! per-point `PrepareReport`s.
 //!
 //! ```text
 //! cargo run -p ugraph-bench --release --bin headline -- [--seed 42] [--scale 1.0] [--dblp-scale 0.1] [--timeout 120]
-//! cargo run -p ugraph-bench --release --bin headline -- --json [--out results/headline.json] [--repeats 5] [--scale 1.0]
+//! cargo run -p ugraph-bench --release --bin headline -- --json [--out results/headline.json] [--repeats 5] [--scale 1.0] [--min-size T] [--prune-report PATH]
 //! ```
 
 use std::time::{Duration, Instant};
-use ugraph_bench::{harness, timed_run, Algo, Args, Json, Report, Summary};
+use ugraph_bench::{harness, repeated_run, timed_run, Algo, Args, Json, Report, Summary};
 
 const USAGE: &str = "headline — the Section 5 prose speedups
 options:
-  --seed N         dataset seed (default 42)
-  --scale X        scale for wiki-vote / ca-GrQc (default 1.0)
-  --dblp-scale X   scale for DBLP10 (default 0.1)
-  --timeout S      per-run budget in seconds (default 120)
-  --json           run the perf-trajectory suite instead and emit JSON
-  --out PATH       JSON output path (default results/headline.json)
-  --repeats N      samples per (graph, alpha) point in --json mode (default 5)";
+  --seed N           dataset seed (default 42)
+  --scale X          scale for wiki-vote / ca-GrQc (default 1.0)
+  --dblp-scale X     scale for DBLP10 (default 0.1)
+  --timeout S        per-run budget in seconds (default 120)
+  --json             run the perf-trajectory suite instead and emit JSON
+  --out PATH         JSON output path (default results/headline.json)
+  --repeats N        samples per (graph, alpha) point in --json mode (default 5)
+  --min-size T       route the --json suite through the size-bounded pipeline
+  --prune-report P   write per-point PrepareReport JSON to P (--json mode)";
 
-/// The perf-trajectory suite behind `--json`: sequential + parallel MULE
-/// on ER / BA / Chung–Lu inputs at the Figure 1 scales.
+/// The perf-trajectory suite behind `--json`: sequential + parallel
+/// pipeline enumeration on ER / BA / Chung–Lu inputs at the Figure 1
+/// scales.
 fn run_trajectory(args: &Args) {
     let seed: u64 = args.get_or("seed", 42);
     let scale: f64 = args.get_or("scale", 1.0);
     let repeats: usize = args.get_or("repeats", 5).max(1);
+    let min_size: usize = args.get_or("min-size", 0);
     let budget = Duration::from_secs_f64(args.get_or("timeout", 600.0));
     let alphas = [0.3, 0.5, 0.7];
     let thread_counts = [2usize, 4];
@@ -72,8 +83,21 @@ fn run_trajectory(args: &Args) {
         ("CL-wiki-vote", harness::dataset("wiki-vote", seed, scale)),
     ];
 
+    // Row labels: min-size 0 keeps the historical MULE / MULE-par names
+    // so the series diffs cleanly against earlier BENCH_pr<N>.json
+    // artifacts (the *path* is the pipeline either way).
+    let (seq_label, par_label) = if min_size >= 2 {
+        (
+            Algo::Pipeline(min_size).label(),
+            format!("LARGE-pipeline-par(t={min_size})"),
+        )
+    } else {
+        ("MULE".to_string(), "MULE-par".to_string())
+    };
+    let prepare_cfg = mule::PrepareConfig::with_min_size(min_size);
+
     let mut table = Report::new(
-        "Perf trajectory: MULE on ER/BA/Chung-Lu (min/median/p95)",
+        "Perf trajectory: pipeline MULE on ER/BA/Chung-Lu (min/median/p95)",
         &["graph", "alpha", "algo", "threads", "time", "cliques"],
     );
     let mut json = Json::new();
@@ -82,23 +106,23 @@ fn run_trajectory(args: &Args) {
     json.key("seed").int(seed as i64);
     json.key("scale").num(scale);
     json.key("repeats").int(repeats as i64);
+    json.key("min_size").int(min_size as i64);
     json.key("results").begin_arr();
+    let mut prune_json = Json::new();
+    prune_json.begin_arr();
     for (name, g) in &graphs {
         for &alpha in &alphas {
-            // Sequential MULE: the headline series.
-            let mut secs = Vec::with_capacity(repeats);
-            let mut cliques = 0u64;
-            for _ in 0..repeats {
-                let r = timed_run(Algo::Mule, g, alpha, budget);
-                assert!(!r.timed_out, "{name} α={alpha} exceeded the budget");
-                secs.push(r.seconds);
-                cliques = r.cliques;
-            }
-            let s = Summary::from_samples(&secs);
+            // Sequential pipeline enumeration: the headline series.
+            let (r, s) = repeated_run(Algo::Pipeline(min_size), g, alpha, budget, repeats);
+            assert!(
+                !r.timed_out && s.samples == repeats,
+                "{name} α={alpha} exceeded the budget"
+            );
+            let cliques = r.cliques;
             table.row(&[
                 name.to_string(),
                 format!("{alpha}"),
-                "MULE".into(),
+                seq_label.clone(),
                 "1".into(),
                 s.display(),
                 cliques.to_string(),
@@ -108,21 +132,38 @@ fn run_trajectory(args: &Args) {
             json.key("n").int(g.num_vertices() as i64);
             json.key("m").int(g.num_edges() as i64);
             json.key("alpha").num(alpha);
-            json.key("algo").str_val("MULE");
+            json.key("algo").str_val(&seq_label);
             json.key("threads").int(1);
             json.key("cliques").int(cliques as i64);
             json.summary("time", &s);
             json.end_obj();
-            eprintln!("done {name} α={alpha} MULE: {}", s.display());
+            eprintln!("done {name} α={alpha} {seq_label}: {}", s.display());
 
-            // Parallel MULE: the scheduler series.
+            if args.get("prune-report").is_some() {
+                // One extra, untimed prepare per point: the report is a
+                // diagnostic artifact, deliberately kept out of the
+                // timed region.
+                let inst = mule::prepare(g, alpha, &prepare_cfg).expect("valid alpha");
+                prune_json.begin_obj();
+                prune_json.key("graph").str_val(name);
+                prune_json.key("alpha").num(alpha);
+                prune_json.key("min_size").int(min_size as i64);
+                for (field, value) in inst.report().fields() {
+                    prune_json.key(field).int(value as i64);
+                }
+                prune_json.end_obj();
+            }
+
+            // Parallel pipeline enumeration: the scheduler series (the
+            // timed region includes the prepare stages, matching the
+            // sequential rows' whole-query timing).
             for &threads in &thread_counts {
                 let mut secs = Vec::with_capacity(repeats);
                 let mut count = 0usize;
                 for _ in 0..repeats {
                     let start = Instant::now();
-                    let out = mule::par_enumerate_maximal_cliques(g, alpha, threads)
-                        .expect("valid alpha");
+                    let inst = mule::prepare(g, alpha, &prepare_cfg).expect("valid alpha");
+                    let out = mule::par_enumerate_prepared(&inst, threads);
                     secs.push(start.elapsed().as_secs_f64());
                     count = out.cliques.len();
                 }
@@ -131,7 +172,7 @@ fn run_trajectory(args: &Args) {
                 table.row(&[
                     name.to_string(),
                     format!("{alpha}"),
-                    "MULE-par".into(),
+                    par_label.clone(),
                     threads.to_string(),
                     s.display(),
                     count.to_string(),
@@ -141,17 +182,21 @@ fn run_trajectory(args: &Args) {
                 json.key("n").int(g.num_vertices() as i64);
                 json.key("m").int(g.num_edges() as i64);
                 json.key("alpha").num(alpha);
-                json.key("algo").str_val("MULE-par");
+                json.key("algo").str_val(&par_label);
                 json.key("threads").int(threads as i64);
                 json.key("cliques").int(count as i64);
                 json.summary("time", &s);
                 json.end_obj();
-                eprintln!("done {name} α={alpha} MULE-par×{threads}: {}", s.display());
+                eprintln!(
+                    "done {name} α={alpha} {par_label}×{threads}: {}",
+                    s.display()
+                );
             }
         }
     }
     json.end_arr();
     json.end_obj();
+    prune_json.end_arr();
 
     table.emit(&harness::results_dir(), "headline-trajectory");
     let out_path = args
@@ -163,6 +208,14 @@ fn run_trajectory(args: &Args) {
     }
     std::fs::write(&out_path, json.finish()).expect("write JSON artifact");
     eprintln!("wrote {}", out_path.display());
+    if let Some(path) = args.get("prune-report") {
+        let path = std::path::PathBuf::from(path);
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        std::fs::write(&path, prune_json.finish()).expect("write prune-report artifact");
+        eprintln!("wrote {}", path.display());
+    }
 }
 
 fn main() {
@@ -175,6 +228,8 @@ fn main() {
             "json",
             "out",
             "repeats",
+            "min-size",
+            "prune-report",
         ],
         USAGE,
     );

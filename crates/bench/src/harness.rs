@@ -89,15 +89,21 @@ impl CliqueSink for DeadlineSink {
 /// Which algorithm a timed run should use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Algo {
-    /// MULE (Algorithms 1–4).
+    /// MULE (Algorithms 1–4), the direct single-kernel path.
     Mule,
     /// MULE with the paper's literal Θ(n²) root (ablation of the
     /// closed-form root expansion; explains the paper's DBLP runtimes).
     MuleNaiveRoot,
     /// The DFS–NOIP baseline (Algorithm 7).
     DfsNoip,
-    /// LARGE–MULE with the given size threshold.
+    /// LARGE–MULE with the given size threshold (direct path).
     LargeMule(usize),
+    /// The preprocessing pipeline (`mule::prepare`) with the given
+    /// `min_size` (0 = all maximal cliques): prune → core filter →
+    /// shared-neighborhood peel → per-component enumeration. The
+    /// measured time includes all pipeline stages, like the paper's
+    /// whole-query timing.
+    Pipeline(usize),
 }
 
 impl Algo {
@@ -108,6 +114,8 @@ impl Algo {
             Algo::MuleNaiveRoot => "MULE(naive-root)".into(),
             Algo::DfsNoip => "DFS-NOIP".into(),
             Algo::LargeMule(t) => format!("LARGE-MULE(t={t})"),
+            Algo::Pipeline(0 | 1) => "MULE(pipeline)".into(),
+            Algo::Pipeline(t) => format!("LARGE-pipeline(t={t})"),
         }
     }
 }
@@ -142,6 +150,12 @@ pub fn timed_run(algo: Algo, g: &UncertainGraph, alpha: f64, budget: Duration) -
             l.run(&mut sink);
             l.stats().calls
         }
+        Algo::Pipeline(t) => {
+            let cfg = mule::PrepareConfig::with_min_size(t);
+            let mut inst = mule::prepare(g, alpha, &cfg).expect("valid alpha");
+            inst.run(&mut sink);
+            inst.stats().calls
+        }
     };
     let seconds = start.elapsed().as_secs_f64();
     RunResult {
@@ -152,6 +166,38 @@ pub fn timed_run(algo: Algo, g: &UncertainGraph, alpha: f64, budget: Duration) -
         calls,
         timed_out: sink.expired,
     }
+}
+
+/// Time one point `repeats` times and summarize the samples
+/// (min/median/p95 …).
+///
+/// Censoring contract: if the *first* run hits the deadline, the point
+/// is not repeated and the single censored sample is returned with
+/// `RunResult::timed_out` set (callers mark the whole row `>…`). If a
+/// *later* repeat hits the deadline (a borderline point straddling the
+/// budget), repetition stops and the censored sample is **discarded** —
+/// the summary then covers only completed runs (its `samples` count
+/// shows how many), and the returned first-run result keeps its
+/// completed counts unmarked.
+pub fn repeated_run(
+    algo: Algo,
+    g: &UncertainGraph,
+    alpha: f64,
+    budget: Duration,
+    repeats: usize,
+) -> (RunResult, crate::report::Summary) {
+    let first = timed_run(algo, g, alpha, budget);
+    let mut secs = vec![first.seconds];
+    if !first.timed_out {
+        for _ in 1..repeats.max(1) {
+            let r = timed_run(algo, g, alpha, budget);
+            if r.timed_out {
+                break;
+            }
+            secs.push(r.seconds);
+        }
+    }
+    (first, crate::report::Summary::from_samples(&secs))
 }
 
 /// The α grid used by Figures 2–3 (log-spaced, matching the paper's
@@ -214,8 +260,22 @@ mod tests {
         let a = timed_run(Algo::Mule, &g, alpha, Duration::from_secs(10));
         let b = timed_run(Algo::DfsNoip, &g, alpha, Duration::from_secs(10));
         let c = timed_run(Algo::LargeMule(3), &g, alpha, Duration::from_secs(10));
+        let d = timed_run(Algo::Pipeline(0), &g, alpha, Duration::from_secs(10));
+        let e = timed_run(Algo::Pipeline(3), &g, alpha, Duration::from_secs(10));
         assert_eq!(a.cliques, b.cliques);
         assert_eq!(a.cliques, c.cliques); // all maximal cliques have size 3 here
+        assert_eq!(a.cliques, d.cliques);
+        assert_eq!(a.cliques, e.cliques);
+    }
+
+    #[test]
+    fn repeated_run_summarizes() {
+        let g = from_edges(4, &[(0, 1, 0.9), (1, 2, 0.9), (0, 2, 0.9), (2, 3, 0.6)]).unwrap();
+        let (r, s) = repeated_run(Algo::Pipeline(0), &g, 0.5, Duration::from_secs(10), 4);
+        assert!(!r.timed_out);
+        assert_eq!(r.cliques, 2);
+        assert_eq!(s.samples, 4);
+        assert!(s.min <= s.median && s.median <= s.p95);
     }
 
     #[test]
@@ -250,6 +310,8 @@ mod tests {
         assert_eq!(Algo::Mule.label(), "MULE");
         assert_eq!(Algo::DfsNoip.label(), "DFS-NOIP");
         assert_eq!(Algo::LargeMule(4).label(), "LARGE-MULE(t=4)");
+        assert_eq!(Algo::Pipeline(0).label(), "MULE(pipeline)");
+        assert_eq!(Algo::Pipeline(5).label(), "LARGE-pipeline(t=5)");
     }
 
     #[test]

@@ -173,6 +173,17 @@ impl Summary {
             fmt_secs(self.p95)
         )
     }
+
+    /// [`Self::display`], prefixed `>` when the point was
+    /// deadline-censored — the one cell idiom shared by every figure
+    /// binary (see `harness::repeated_run` for the censoring contract).
+    pub fn display_censored(&self, timed_out: bool) -> String {
+        if timed_out {
+            format!(">{}", self.display())
+        } else {
+            self.display()
+        }
+    }
 }
 
 /// Linear-interpolation percentile over an ascending-sorted slice.

@@ -57,28 +57,67 @@ pub fn stats(args: &[String], out: &mut dyn Write) -> CmdResult {
 }
 
 /// `mule enumerate <graph> --alpha A [--min-size T] [--threads N]
-/// [--count-only] [--out FILE]`.
+/// [--count-only] [--out FILE] [--no-prune] [--prune-report]`.
+///
+/// Default route is the preprocessing pipeline (`mule::prepare`):
+/// α-prune → `(t−1)·α` core filter → shared-neighborhood peel →
+/// per-component enumeration on compact remapped instances.
+/// `--no-prune` falls back to the direct single-kernel enumerators
+/// (byte-identical output, no sharding); `--prune-report` prints what
+/// each stage removed as `#`-prefixed comment lines.
 pub fn enumerate(args: &[String], out: &mut dyn Write) -> CmdResult {
     let opts = Opts::parse(
         args,
-        &with_input_opts(&["alpha", "min-size", "threads", "count-only", "out"]),
+        &with_input_opts(&[
+            "alpha",
+            "min-size",
+            "threads",
+            "count-only",
+            "out",
+            "no-prune",
+            "prune-report",
+        ]),
     )?;
     let g = graph_from(&opts)?;
     let alpha: f64 = opts.required("alpha")?;
     let min_size: usize = opts.get_or("min-size", 0)?;
     let threads: usize = opts.get_or("threads", 1)?;
+    let no_prune = opts.flag("no-prune");
+    if no_prune && opts.flag("prune-report") {
+        return Err("--prune-report requires the pipeline; drop --no-prune".into());
+    }
     let started = std::time::Instant::now();
+
+    let prepared = if no_prune {
+        None
+    } else {
+        let cfg = mule::PrepareConfig::with_min_size(min_size);
+        let inst = mule::prepare(&g, alpha, &cfg).map_err(fmt_err)?;
+        if opts.flag("prune-report") {
+            for line in inst.report().render().lines() {
+                writeln!(out, "# {line}").map_err(io_err)?;
+            }
+        }
+        Some(inst)
+    };
 
     if opts.flag("count-only") {
         let mut sink = CountSink::new();
-        let calls = if min_size >= 2 {
-            let mut lm = mule::LargeMule::new(&g, alpha, min_size).map_err(fmt_err)?;
-            lm.run(&mut sink);
-            lm.stats().calls
-        } else {
-            let mut m = mule::Mule::new(&g, alpha).map_err(fmt_err)?;
-            m.run(&mut sink);
-            m.stats().calls
+        let calls = match prepared {
+            Some(mut inst) => {
+                inst.run(&mut sink);
+                inst.stats().calls
+            }
+            None if min_size >= 2 => {
+                let mut lm = mule::LargeMule::new(&g, alpha, min_size).map_err(fmt_err)?;
+                lm.run(&mut sink);
+                lm.stats().calls
+            }
+            None => {
+                let mut m = mule::Mule::new(&g, alpha).map_err(fmt_err)?;
+                m.run(&mut sink);
+                m.stats().calls
+            }
         };
         writeln!(out, "cliques:      {}", sink.count).map_err(io_err)?;
         writeln!(out, "max size:     {}", sink.max_size).map_err(io_err)?;
@@ -88,19 +127,40 @@ pub fn enumerate(args: &[String], out: &mut dyn Write) -> CmdResult {
         return Ok(());
     }
 
-    let pairs: Vec<(Vec<VertexId>, f64)> = if min_size >= 2 {
-        let mut lm = mule::LargeMule::new(&g, alpha, min_size).map_err(fmt_err)?;
-        let mut sink = CollectSink::new();
-        lm.run(&mut sink);
-        sink.into_pairs()
-    } else if threads > 1 {
-        let o = mule::par_enumerate_maximal_cliques(&g, alpha, threads).map_err(fmt_err)?;
-        o.cliques.into_iter().zip(o.probs).collect()
-    } else {
-        let mut m = mule::Mule::new(&g, alpha).map_err(fmt_err)?;
-        let mut sink = CollectSink::new();
-        m.run(&mut sink);
-        sink.into_pairs()
+    let pairs: Vec<(Vec<VertexId>, f64)> = match prepared {
+        Some(mut inst) => {
+            if threads > 1 {
+                let o = mule::par_enumerate_prepared(&inst, threads);
+                o.cliques.into_iter().zip(o.probs).collect()
+            } else {
+                let mut sink = CollectSink::new();
+                inst.run(&mut sink);
+                sink.into_pairs()
+            }
+        }
+        None if min_size >= 2 => {
+            let mut lm = mule::LargeMule::new(&g, alpha, min_size).map_err(fmt_err)?;
+            let mut sink = CollectSink::new();
+            lm.run(&mut sink);
+            sink.into_pairs()
+        }
+        None if threads > 1 => {
+            // Direct-path parallel: prepare without sharding so the
+            // kernel matches the sequential direct enumerators.
+            let cfg = mule::PrepareConfig {
+                shard_components: false,
+                ..Default::default()
+            };
+            let inst = mule::prepare(&g, alpha, &cfg).map_err(fmt_err)?;
+            let o = mule::par_enumerate_prepared(&inst, threads);
+            o.cliques.into_iter().zip(o.probs).collect()
+        }
+        None => {
+            let mut m = mule::Mule::new(&g, alpha).map_err(fmt_err)?;
+            let mut sink = CollectSink::new();
+            m.run(&mut sink);
+            sink.into_pairs()
+        }
     };
 
     match opts.get_str("out") {

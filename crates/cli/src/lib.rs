@@ -38,6 +38,8 @@ COMMANDS:
   stats      <graph>                        summarize a graph
   enumerate  <graph> --alpha A              enumerate α-maximal cliques
                [--min-size T] [--threads N] [--count-only] [--out FILE]
+               [--no-prune]                 (bypass the preprocessing pipeline)
+               [--prune-report]             (print per-stage removal counts)
   topk       <graph> --alpha A --k K        k most probable α-maximal cliques
                [--skeleton]                 (skeleton-maximal instead: Zou et al.)
   verify     <graph> --alpha A --cliques F  verify a clique list

@@ -98,6 +98,54 @@ fn enumerate_count_only_and_min_size() {
 }
 
 #[test]
+fn enumerate_pipeline_flags() {
+    let dir = scratch("pipeline");
+    let g = fixture_graph(&dir);
+    // The pipeline (default) and the direct path must agree byte for
+    // byte on the emitted clique list.
+    let (code, piped, err) = run(&["enumerate", &g, "--alpha", "0.5"]);
+    assert_eq!(code, 0, "{err}");
+    let (code, direct, _) = run(&["enumerate", &g, "--alpha", "0.5", "--no-prune"]);
+    assert_eq!(code, 0);
+    assert_eq!(piped, direct);
+
+    // --prune-report prefixes commented stage accounting.
+    let (code, out, err) = run(&["enumerate", &g, "--alpha", "0.5", "--prune-report"]);
+    assert_eq!(code, 0, "{err}");
+    assert!(out.contains("# prepare:"), "{out}");
+    assert!(out.contains("components"), "{out}");
+    // The clique payload is still intact after the report.
+    assert!(out.contains("0 1 2"), "{out}");
+
+    // Report lines are comments, so a written file still verifies.
+    let (code, _, err) = run(&[
+        "enumerate",
+        &g,
+        "--alpha",
+        "0.5",
+        "--prune-report",
+        "--no-prune",
+    ]);
+    assert_eq!(code, 2, "{err}");
+    assert!(err.contains("--no-prune"));
+
+    // min-size flows through the pipeline stages.
+    let (code, out, _) = run(&[
+        "enumerate",
+        &g,
+        "--alpha",
+        "0.5",
+        "--min-size",
+        "3",
+        "--prune-report",
+        "--count-only",
+    ]);
+    assert_eq!(code, 0);
+    assert!(out.contains("cliques:      1"), "{out}");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn enumerate_parallel_matches_sequential() {
     let dir = scratch("par");
     let g = fixture_graph(&dir);

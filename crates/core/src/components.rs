@@ -72,6 +72,20 @@ impl Components {
         self.sizes().into_iter().max().unwrap_or(0)
     }
 
+    /// Vertex lists of every component, indexed by component id; each
+    /// list is sorted ascending (labels are assigned by a scan from
+    /// vertex 0, and vertices are appended in id order here). This is
+    /// the sharding primitive of the preprocessing pipeline: each list
+    /// feeds [`crate::subgraph::induced_subgraph`] to produce a compact
+    /// per-component instance whose old↔new id map is monotone.
+    pub fn vertex_lists(&self) -> Vec<Vec<VertexId>> {
+        let mut lists: Vec<Vec<VertexId>> = vec![Vec::new(); self.count];
+        for (v, &l) in self.label.iter().enumerate() {
+            lists[l as usize].push(v as VertexId);
+        }
+        lists
+    }
+
     /// Vertices of the largest component, sorted ascending — handy for
     /// focusing an enumeration on the interesting part of a fragmented
     /// graph via [`crate::subgraph::induced_subgraph`].
@@ -122,6 +136,10 @@ mod tests {
         assert_eq!(sizes, vec![1, 3, 3]);
         assert_eq!(c.largest(), 3);
         assert_eq!(c.largest_component_vertices(), vec![0, 1, 2]);
+        assert_eq!(
+            c.vertex_lists(),
+            vec![vec![0, 1, 2], vec![3, 4, 5], vec![6]]
+        );
     }
 
     #[test]

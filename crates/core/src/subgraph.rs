@@ -12,15 +12,61 @@ use crate::graph::UncertainGraph;
 
 /// Remove every edge with probability `< alpha` (Observation 3). The vertex
 /// set is unchanged, so clique vertex ids remain valid.
+///
+/// Runs directly CSR-to-CSR in `O(n + m)`: filtering a sorted adjacency
+/// keeps it sorted, and dropping an arc drops its mirror (same
+/// probability test), so no re-sort or builder validation pass is
+/// needed. This sits at the head of every enumeration (the pipeline
+/// α-prunes each query), so the constant matters.
 pub fn prune_below_alpha(g: &UncertainGraph, alpha: f64) -> Result<UncertainGraph, GraphError> {
     let alpha = UncertainGraph::validate_alpha(alpha)?.get();
-    let mut b = GraphBuilder::with_capacity(g.num_vertices(), g.num_edges());
-    for (u, v, p) in g.edges() {
-        if p >= alpha {
-            b.add_edge(u, v, p)?;
+    let n = g.num_vertices();
+    let mut offsets = Vec::with_capacity(n + 1);
+    offsets.push(0usize);
+    let mut neighbors = Vec::with_capacity(2 * g.num_edges());
+    let mut probs = Vec::with_capacity(2 * g.num_edges());
+    for v in 0..n as VertexId {
+        for (w, p) in g.neighbors_with_probs(v) {
+            if p >= alpha {
+                neighbors.push(w);
+                probs.push(p);
+            }
         }
+        offsets.push(neighbors.len());
     }
-    Ok(b.try_build()?.with_name(g.name().to_string()))
+    Ok(
+        UncertainGraph::from_csr_parts(offsets, neighbors, probs, String::new())
+            .with_name(g.name().to_string()),
+    )
+}
+
+/// Drop every edge with an endpoint outside the `keep` mask, preserving
+/// the vertex id space (masked-out vertices simply become isolated).
+/// Runs CSR-to-CSR in `O(n + m)` like [`prune_below_alpha`]: filtering a
+/// sorted adjacency keeps it sorted, and both mirror arcs of an edge see
+/// the same mask test. This is the vertex-filter stage of the
+/// preprocessing pipeline (expected-degree core filtering), where ids
+/// must stay stable for the later component decomposition.
+pub fn restrict_to_vertices(g: &UncertainGraph, keep: &[bool]) -> UncertainGraph {
+    assert_eq!(keep.len(), g.num_vertices(), "mask size mismatch");
+    let n = g.num_vertices();
+    let mut offsets = Vec::with_capacity(n + 1);
+    offsets.push(0usize);
+    let mut neighbors = Vec::with_capacity(2 * g.num_edges());
+    let mut probs = Vec::with_capacity(2 * g.num_edges());
+    for v in 0..n as VertexId {
+        if keep[v as usize] {
+            for (w, p) in g.neighbors_with_probs(v) {
+                if keep[w as usize] {
+                    neighbors.push(w);
+                    probs.push(p);
+                }
+            }
+        }
+        offsets.push(neighbors.len());
+    }
+    UncertainGraph::from_csr_parts(offsets, neighbors, probs, String::new())
+        .with_name(g.name().to_string())
 }
 
 /// The subgraph induced by `keep`, with vertices relabeled to `0..keep.len()`
@@ -28,6 +74,12 @@ pub fn prune_below_alpha(g: &UncertainGraph, alpha: f64) -> Result<UncertainGrap
 /// original id.
 ///
 /// `keep` must contain no duplicates and only in-range vertices.
+///
+/// When `keep` is strictly ascending (a *monotone* map — the shape the
+/// component-sharding pipeline produces), the subgraph is assembled
+/// CSR-to-CSR in `O(Σ deg(keep))` with no sorting: the source adjacency
+/// is sorted and monotone relabeling preserves order. Arbitrary orders
+/// fall back to the builder path.
 pub fn induced_subgraph(
     g: &UncertainGraph,
     keep: &[VertexId],
@@ -46,6 +98,27 @@ pub fn induced_subgraph(
             "duplicate vertex {old} in keep list"
         );
         new_id[old as usize] = new as u32;
+    }
+    if keep.windows(2).all(|w| w[0] < w[1]) {
+        let mut offsets = Vec::with_capacity(keep.len() + 1);
+        offsets.push(0usize);
+        // Upper bound: every arc of a kept vertex survives (exact when
+        // `keep` is a connected component).
+        let arcs: usize = keep.iter().map(|&v| g.degree(v)).sum();
+        let mut neighbors = Vec::with_capacity(arcs);
+        let mut probs = Vec::with_capacity(arcs);
+        for &old_u in keep {
+            for (old_v, p) in g.neighbors_with_probs(old_u) {
+                let new_v = new_id[old_v as usize];
+                if new_v != u32::MAX {
+                    neighbors.push(new_v);
+                    probs.push(p);
+                }
+            }
+            offsets.push(neighbors.len());
+        }
+        let sub = UncertainGraph::from_csr_parts(offsets, neighbors, probs, String::new());
+        return Ok((sub, keep.to_vec()));
     }
     let mut b = GraphBuilder::new(keep.len());
     for (new_u, &old_u) in keep.iter().enumerate() {
@@ -202,6 +275,45 @@ mod tests {
         // new 0 = old 2, new 1 = old 0: edge prob must be old (0,2) = 0.6
         assert_eq!(s.edge_prob_raw(0, 1), Some(0.6));
         s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn restrict_to_vertices_isolates_masked_out() {
+        let g = fixture();
+        let r = restrict_to_vertices(&g, &[true, true, true, false, false]);
+        r.check_invariants().unwrap();
+        assert_eq!(r.num_vertices(), 5, "id space preserved");
+        assert_eq!(r.num_edges(), 3, "triangle survives, 2-3 and 3-4 go");
+        assert!(r.contains_edge(0, 1) && r.contains_edge(0, 2) && r.contains_edge(1, 2));
+        assert_eq!(r.degree(3), 0);
+        assert_eq!(r.degree(4), 0);
+        assert_eq!(r.name(), g.name());
+    }
+
+    #[test]
+    #[should_panic]
+    fn restrict_to_vertices_rejects_wrong_mask_size() {
+        let _ = restrict_to_vertices(&fixture(), &[true, false]);
+    }
+
+    #[test]
+    fn induced_subgraph_monotone_fast_path_matches_builder() {
+        let g = fixture();
+        // Ascending keep takes the CSR-to-CSR path; the same set in a
+        // scrambled order takes the builder path. Same structure modulo
+        // the relabeling.
+        let (fast, map) = induced_subgraph(&g, &[0, 1, 2, 4]).unwrap();
+        fast.check_invariants().unwrap();
+        assert_eq!(map, vec![0, 1, 2, 4]);
+        assert_eq!(fast.num_vertices(), 4);
+        assert_eq!(fast.num_edges(), 3); // triangle; the (3,4) edge loses 3
+        assert_eq!(fast.edge_prob_raw(0, 1), Some(0.9));
+        assert_eq!(fast.edge_prob_raw(1, 2), Some(0.4));
+        assert_eq!(fast.edge_prob_raw(0, 2), Some(0.6));
+        assert!(!fast.contains_edge(0, 3) && !fast.contains_edge(2, 3));
+
+        let (scrambled, _) = induced_subgraph(&g, &[4, 2, 1, 0]).unwrap();
+        assert_eq!(scrambled.num_edges(), fast.num_edges());
     }
 
     #[test]

@@ -1,0 +1,88 @@
+//! Multi-million-edge round-trip + reuse test for the dataset cache
+//! (`io::cache`), closing the ROADMAP open item "the dataset cache is
+//! untested at multi-million-edge scale".
+//!
+//! The workload is a generated Chung–Lu power-law graph at roughly the
+//! scale of the paper's larger SNAP inputs: 2,000,000 distinct edges
+//! over 300,000 vertices with uniform-(0, 1] probabilities. The test
+//! pins three properties at that scale:
+//!
+//! * the first `load_or_build` builds and persists a UGB1 file;
+//! * the second `load_or_build` **reuses** the cache (the build closure
+//!   must not run again) and the decoded graph equals the original
+//!   exactly — same CSR arrays, same probability bits (`PartialEq` on
+//!   `UncertainGraph` compares them all);
+//! * the cached file has the expected UGB1 size shape (header + 2 edge
+//!   endpoints + 1 probability per edge), so nothing was silently
+//!   truncated.
+
+use std::fs;
+use std::path::PathBuf;
+use ugraph_core::UncertainGraph;
+use ugraph_gen::chung_lu::{chung_lu, ChungLuParams};
+use ugraph_gen::probs::EdgeProbModel;
+use ugraph_io::cache::{cache_path, load_or_build};
+
+const N: usize = 300_000;
+const M: usize = 2_000_000;
+
+fn big_chung_lu() -> UncertainGraph {
+    let mut rng = ugraph_gen::rng::rng_from_seed(0xCAFE);
+    chung_lu(
+        ChungLuParams {
+            n: N,
+            m: M,
+            gamma: 2.5,
+            rank_offset: 50.0,
+        },
+        EdgeProbModel::Uniform { lo: 0.0, hi: 1.0 },
+        &mut rng,
+    )
+    .with_name("cache-scale-CL")
+}
+
+#[test]
+fn multi_million_edge_round_trip_and_reuse() {
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("ugraph-cache-scale-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+
+    let mut builds = 0usize;
+    let g1 = load_or_build(&dir, "cl-2m", || {
+        builds += 1;
+        big_chung_lu()
+    });
+    assert_eq!(builds, 1);
+    assert_eq!(g1.num_vertices(), N);
+    assert_eq!(g1.num_edges(), M);
+
+    // The cache file exists and is at least as large as the payload it
+    // must hold: per edge two u32 endpoints + one f64 probability.
+    let path = cache_path(&dir, "cl-2m");
+    let size = fs::metadata(&path).expect("cache file written").len();
+    assert!(
+        size >= (M * (2 * 4 + 8)) as u64,
+        "cache file suspiciously small: {size} bytes"
+    );
+
+    // Reuse: the second load must come from disk, bit-identical.
+    let g2 = load_or_build(&dir, "cl-2m", || {
+        builds += 1;
+        big_chung_lu()
+    });
+    assert_eq!(builds, 1, "second load rebuilt instead of reusing");
+    assert_eq!(g1, g2, "decoded graph differs from the built one");
+    assert_eq!(g2.name(), "cache-scale-CL");
+
+    // Spot-check the probability bits survived the binary round trip on
+    // a few high-degree rows (hubs have the longest adjacency slices,
+    // the most likely place for an offset bug at this scale).
+    for v in 0..16u32 {
+        assert_eq!(g1.neighbors(v), g2.neighbors(v), "row {v}");
+        let a: Vec<u64> = g1.neighbor_probs(v).iter().map(|p| p.to_bits()).collect();
+        let b: Vec<u64> = g2.neighbor_probs(v).iter().map(|p| p.to_bits()).collect();
+        assert_eq!(a, b, "probability bits differ in row {v}");
+    }
+
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -270,21 +270,28 @@ impl<S: CliqueSink> CliqueSink for TranslatingSink<'_, S> {
 
 /// Convenience wrapper: collect all α-maximal cliques of `g`, each sorted
 /// ascending, the list sorted lexicographically.
+///
+/// Routes through the preprocessing pipeline ([`crate::prepare`]):
+/// α-pruned, component-sharded, enumerated per compact instance — the
+/// output is identical to running [`Mule`] directly (the pipeline is
+/// byte-identical on default settings).
 pub fn enumerate_maximal_cliques(
     g: &UncertainGraph,
     alpha: f64,
 ) -> Result<Vec<Vec<VertexId>>, GraphError> {
-    let mut mule = Mule::new(g, alpha)?;
+    let mut inst = crate::prepare::prepare(g, alpha, &crate::prepare::PrepareConfig::default())?;
     let mut sink = CollectSink::new();
-    mule.run(&mut sink);
+    inst.run(&mut sink);
     Ok(sink.into_sorted_cliques())
 }
 
 /// Convenience wrapper: count α-maximal cliques without storing them.
+/// Routes through the preprocessing pipeline like
+/// [`enumerate_maximal_cliques`].
 pub fn count_maximal_cliques(g: &UncertainGraph, alpha: f64) -> Result<u64, GraphError> {
-    let mut mule = Mule::new(g, alpha)?;
+    let mut inst = crate::prepare::prepare(g, alpha, &crate::prepare::PrepareConfig::default())?;
     let mut sink = crate::sinks::CountSink::new();
-    mule.run(&mut sink);
+    inst.run(&mut sink);
     Ok(sink.count)
 }
 

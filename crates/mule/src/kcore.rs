@@ -30,10 +30,33 @@ pub struct CoreDecomposition {
 }
 
 impl CoreDecomposition {
-    /// Peel vertices by minimum current expected degree. `O(n² + m)` with
-    /// a simple scan-min (adequate for the graph sizes here; the classic
-    /// bucket trick does not apply directly to fractional degrees).
+    /// Peel vertices by minimum current expected degree, with a lazy
+    /// min-heap: `O((n + m) log n)` — the classic bucket trick does not
+    /// apply directly to fractional degrees, but a heap of `(η, v)`
+    /// entries (stale entries skipped on pop, since η only decreases)
+    /// does the job at scale. The pipeline (`mule::prepare`) runs this
+    /// on every `--min-size` query, so it must not be the quadratic
+    /// scan-min it once was. Tie-breaking matches the scan-min version:
+    /// smallest η first, then smallest vertex id.
     pub fn compute(g: &UncertainGraph) -> Self {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        /// `f64` ordered by `total_cmp` so it can live in a heap key.
+        #[derive(PartialEq)]
+        struct Eta(f64);
+        impl Eq for Eta {}
+        impl PartialOrd for Eta {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Eta {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                self.0.total_cmp(&other.0)
+            }
+        }
+
         let n = g.num_vertices();
         let mut eta: Vec<f64> = (0..n as VertexId)
             .map(|v| g.neighbor_probs(v).iter().sum())
@@ -41,25 +64,32 @@ impl CoreDecomposition {
         let mut removed = vec![false; n];
         let mut core_number = vec![0.0f64; n];
         let mut order = Vec::with_capacity(n);
+        let mut heap: BinaryHeap<Reverse<(Eta, VertexId)>> = (0..n as VertexId)
+            .map(|v| Reverse((Eta(eta[v as usize]), v)))
+            .collect();
         let mut running_max = 0.0f64;
-        for _ in 0..n {
-            // Minimum-η unremoved vertex.
-            let v = (0..n)
-                .filter(|&v| !removed[v])
-                .min_by(|&a, &b| eta[a].total_cmp(&eta[b]))
-                .expect("loop runs exactly n times");
-            removed[v] = true;
+        while let Some(Reverse((Eta(e), v))) = heap.pop() {
+            let vi = v as usize;
+            // Stale entry: v was already peeled, or its η has since
+            // decreased (a fresher entry is still in the heap).
+            if removed[vi] || e != eta[vi] {
+                continue;
+            }
+            removed[vi] = true;
             // Monotone core number: the max min-η seen so far (standard
             // peeling argument, fractional version).
-            running_max = running_max.max(eta[v]);
-            core_number[v] = running_max;
-            order.push(v as VertexId);
-            for (w, p) in g.neighbors_with_probs(v as VertexId) {
-                if !removed[w as usize] {
-                    eta[w as usize] -= p;
+            running_max = running_max.max(eta[vi]);
+            core_number[vi] = running_max;
+            order.push(v);
+            for (w, p) in g.neighbors_with_probs(v) {
+                let wi = w as usize;
+                if !removed[wi] {
+                    eta[wi] -= p;
+                    heap.push(Reverse((Eta(eta[wi]), w)));
                 }
             }
         }
+        debug_assert_eq!(order.len(), n);
         CoreDecomposition { core_number, order }
     }
 

@@ -478,6 +478,122 @@ pub(crate) fn enumerate_subtree<S: CliqueSink>(
     }
     Control::Continue
 }
+
+/// Algorithm 6 (`Enum-Uncertain-MC-Large`) over arena spans — the
+/// size-bounded sibling of [`enumerate_subtree`], shared by
+/// [`crate::LargeMule`] and the per-component prepared path
+/// (`crate::prepare`). Identical span layout; two differences:
+///
+/// * a branch is abandoned when `|C'| + |I'| < t` (line 8 — the
+///   `continue` also skips the explicit `X ← X ∪ {(u, r)}` update,
+///   which is safe because `u` stays in the parent `I` span and later
+///   siblings filter it into their `X'` regardless);
+/// * a node with `I = ∅ ∧ X = ∅` emits only when `|C| ≥ t` (reached
+///   only through branches that passed the bound, so the condition
+///   holds except at a too-small root — asserted in debug builds).
+#[allow(clippy::too_many_arguments)] // mirrors Algorithm 6's state tuple
+pub(crate) fn enumerate_subtree_bounded<S: CliqueSink>(
+    kernel: &Kernel,
+    stats: &mut EnumerationStats,
+    c: &mut Vec<VertexId>,
+    q: f64,
+    i_span: Range<usize>,
+    x_span: Range<usize>,
+    cur: &mut CandidateArena,
+    next: &mut CandidateArena,
+    t: usize,
+    sink: &mut S,
+) -> Control {
+    stats.calls += 1;
+    stats.max_depth = stats.max_depth.max(c.len());
+    if i_span.is_empty() && x_span.is_empty() {
+        debug_assert!(c.len() >= t || c.is_empty());
+        if c.len() >= t {
+            stats.emitted += 1;
+            return sink.emit(c, q);
+        }
+        return Control::Continue;
+    }
+    for pos in i_span.clone() {
+        let (u, r) = cur.get(pos);
+        let q2 = q * r;
+        let mark = next.mark();
+        kernel.filter_candidates_into(
+            u,
+            q2,
+            cur.span(pos + 1..i_span.end),
+            next,
+            &mut stats.i_candidates_scanned,
+        );
+        let i2_len = next.mark() - mark;
+        // Line 8: not enough material left to reach t vertices.
+        if c.len() + 1 + i2_len < t {
+            stats.size_pruned += 1;
+            next.truncate(mark);
+            continue;
+        }
+        let x2_start = next.mark();
+        if mark == x2_start {
+            // I' empty: leaf child (and past the line 8 bound, so
+            // |C| + 1 ≥ t). Same emptiness short-circuit as
+            // `enumerate_subtree`.
+            debug_assert!(c.len() + 1 >= t);
+            stats.calls += 1;
+            stats.max_depth = stats.max_depth.max(c.len() + 1);
+            let extendable = kernel.any_candidate_survives(
+                u,
+                q2,
+                [cur.span(x_span.clone()), cur.span(i_span.start..pos)],
+                &mut stats.x_candidates_scanned,
+            );
+            if !extendable {
+                stats.emitted += 1;
+                c.push(u);
+                let ctl = sink.emit(c, q2);
+                c.pop();
+                if ctl == Control::Stop {
+                    return Control::Stop;
+                }
+            }
+            continue;
+        }
+        kernel.filter_candidates_into(
+            u,
+            q2,
+            cur.span(x_span.clone()),
+            next,
+            &mut stats.x_candidates_scanned,
+        );
+        kernel.filter_candidates_into(
+            u,
+            q2,
+            cur.span(i_span.start..pos),
+            next,
+            &mut stats.x_candidates_scanned,
+        );
+        let x2_end = next.mark();
+        c.push(u);
+        let ctl = enumerate_subtree_bounded(
+            kernel,
+            stats,
+            c,
+            q2,
+            mark..x2_start,
+            x2_start..x2_end,
+            next,
+            cur,
+            t,
+            sink,
+        );
+        c.pop();
+        next.truncate(mark);
+        if ctl == Control::Stop {
+            return Control::Stop;
+        }
+    }
+    Control::Continue
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -20,11 +20,10 @@
 //! the size bound in the first place.
 
 use crate::enumerate::MuleConfig;
-use crate::kernel::{CandidateArena, DepthArenas, Kernel};
+use crate::kernel::{enumerate_subtree_bounded, DepthArenas, Kernel};
 use crate::pruning::{shared_neighborhood_filter, PruneReport};
 use crate::sinks::{CliqueSink, CollectSink, Control};
 use crate::stats::EnumerationStats;
-use std::ops::Range;
 use ugraph_core::{GraphError, UncertainGraph, VertexId};
 
 /// The LARGE–MULE enumerator.
@@ -131,7 +130,20 @@ impl LargeMule {
                 continue;
             }
             c.push(u);
-            let ctl = self.recurse(&mut c, 1.0, i0, x0, &mut arenas.even, &mut arenas.odd, sink);
+            // Algorithm 6 lives in `kernel::enumerate_subtree_bounded`,
+            // shared with the prepared per-component path.
+            let ctl = enumerate_subtree_bounded(
+                &self.kernel,
+                &mut self.stats,
+                &mut c,
+                1.0,
+                i0,
+                x0,
+                &mut arenas.even,
+                &mut arenas.odd,
+                self.t,
+                sink,
+            );
             c.pop();
             arenas.clear();
             if ctl == Control::Stop {
@@ -142,115 +154,26 @@ impl LargeMule {
         self.clique_buf = c;
         &self.stats
     }
-
-    /// Algorithm 6 (`Enum-Uncertain-MC-Large`) over arena spans (same
-    /// depth-alternating layout as `kernel::enumerate_subtree`; see the
-    /// kernel module docs).
-    #[allow(clippy::too_many_arguments)] // mirrors Algorithm 6's state tuple
-    fn recurse<S: CliqueSink>(
-        &mut self,
-        c: &mut Vec<VertexId>,
-        q: f64,
-        i_span: Range<usize>,
-        x_span: Range<usize>,
-        cur: &mut CandidateArena,
-        next: &mut CandidateArena,
-        sink: &mut S,
-    ) -> Control {
-        self.stats.calls += 1;
-        self.stats.max_depth = self.stats.max_depth.max(c.len());
-        if i_span.is_empty() && x_span.is_empty() {
-            // Reached only through branches that passed the size bound, so
-            // |C| ≥ t here (Lemma 13) — asserted in debug builds.
-            debug_assert!(c.len() >= self.t || c.is_empty());
-            if c.len() >= self.t {
-                self.stats.emitted += 1;
-                return sink.emit(c, q);
-            }
-            return Control::Continue;
-        }
-        for pos in i_span.clone() {
-            let (u, r) = cur.get(pos);
-            let q2 = q * r;
-            let mark = next.mark();
-            self.kernel.filter_candidates_into(
-                u,
-                q2,
-                cur.span(pos + 1..i_span.end),
-                next,
-                &mut self.stats.i_candidates_scanned,
-            );
-            let i2_len = next.mark() - mark;
-            // Line 8: not enough material left to reach t vertices. The
-            // `continue` deliberately skips both the recursion and the
-            // X-update (see module docs).
-            if c.len() + 1 + i2_len < self.t {
-                self.stats.size_pruned += 1;
-                next.truncate(mark);
-                continue;
-            }
-            let x2_start = next.mark();
-            if mark == x2_start {
-                // I' empty: leaf child (and past the line 8 bound, so
-                // |C| + 1 ≥ t). Same emptiness short-circuit as
-                // `kernel::enumerate_subtree`.
-                debug_assert!(c.len() + 1 >= self.t);
-                self.stats.calls += 1;
-                self.stats.max_depth = self.stats.max_depth.max(c.len() + 1);
-                let extendable = self.kernel.any_candidate_survives(
-                    u,
-                    q2,
-                    [cur.span(x_span.clone()), cur.span(i_span.start..pos)],
-                    &mut self.stats.x_candidates_scanned,
-                );
-                if !extendable {
-                    self.stats.emitted += 1;
-                    c.push(u);
-                    let ctl = sink.emit(c, q2);
-                    c.pop();
-                    if ctl == Control::Stop {
-                        return Control::Stop;
-                    }
-                }
-                continue;
-            }
-            self.kernel.filter_candidates_into(
-                u,
-                q2,
-                cur.span(x_span.clone()),
-                next,
-                &mut self.stats.x_candidates_scanned,
-            );
-            self.kernel.filter_candidates_into(
-                u,
-                q2,
-                cur.span(i_span.start..pos),
-                next,
-                &mut self.stats.x_candidates_scanned,
-            );
-            let x2_end = next.mark();
-            c.push(u);
-            let ctl = self.recurse(c, q2, mark..x2_start, x2_start..x2_end, next, cur, sink);
-            c.pop();
-            next.truncate(mark);
-            if ctl == Control::Stop {
-                return Control::Stop;
-            }
-        }
-        Control::Continue
-    }
 }
 
 /// Convenience wrapper: collect all α-maximal cliques with at least `t`
 /// vertices, sorted lexicographically.
+///
+/// Routes through the full preprocessing pipeline ([`crate::prepare`]):
+/// α-prune, `(t−1)·α` expected-degree core filter, shared-neighborhood
+/// peel, then per-component enumeration with the Algorithm 6 size
+/// bound. [`LargeMule`] remains the direct single-kernel path; the two
+/// emit the same cliques.
 pub fn enumerate_large_maximal_cliques(
     g: &UncertainGraph,
     alpha: f64,
     t: usize,
 ) -> Result<Vec<Vec<VertexId>>, GraphError> {
-    let mut lm = LargeMule::new(g, alpha, t)?;
+    assert!(t >= 2, "size threshold t must be at least 2 (got {t})");
+    let mut inst =
+        crate::prepare::prepare(g, alpha, &crate::prepare::PrepareConfig::with_min_size(t))?;
     let mut sink = CollectSink::new();
-    lm.run(&mut sink);
+    inst.run(&mut sink);
     Ok(sink.into_sorted_cliques())
 }
 

@@ -13,11 +13,22 @@
 //! | Bron–Kerbosch + Tomita pivot (paper refs 8, 42) | [`deterministic`] |
 //! | Top-k by probability (paper ref 47) | [`topk`] |
 //!
-//! Extensions beyond the paper: [`parallel`] (root-subtree fan-out across
-//! threads), [`verify`] (independent output checking), [`kcore`]
-//! (expected-degree core decomposition — the paper's future-work
-//! direction), [`worlds`] (sampled possible-world diagnostics) and
-//! [`naive`] (the exponential test oracle).
+//! Extensions beyond the paper: [`prepare`] (the unified preprocessing
+//! pipeline — α-prune → core-filter → shared-neighborhood peel →
+//! component-shard — that feeds every enumeration entry point one
+//! compact remapped instance per component), [`parallel`] (work-stealing
+//! root-subtree fan-out across threads, seeded per component), [`verify`]
+//! (independent output checking), [`kcore`] (expected-degree core
+//! decomposition — the paper's future-work direction), [`worlds`]
+//! (sampled possible-world diagnostics) and [`naive`] (the exponential
+//! test oracle).
+//!
+//! The convenience wrappers ([`enumerate_maximal_cliques`],
+//! [`enumerate_large_maximal_cliques`], [`par_enumerate_maximal_cliques`],
+//! [`topk`]) all route through [`prepare`]; the enumerator types
+//! ([`Mule`], [`LargeMule`], [`DfsNoip`]) remain the direct single-kernel
+//! paths, and the two are byte-identical on default settings (pinned by
+//! `tests/pipeline_equality.rs`).
 //!
 //! ## Example
 //!
@@ -46,6 +57,7 @@ mod kernel;
 pub mod large;
 pub mod naive;
 pub mod parallel;
+pub mod prepare;
 pub mod pruning;
 pub mod sinks;
 pub mod stats;
@@ -59,6 +71,7 @@ pub use enumerate::{
     count_maximal_cliques, enumerate_maximal_cliques, Candidate, IndexMode, Mule, MuleConfig,
 };
 pub use large::{enumerate_large_maximal_cliques, LargeMule};
-pub use parallel::par_enumerate_maximal_cliques;
+pub use parallel::{par_enumerate_maximal_cliques, par_enumerate_prepared};
+pub use prepare::{prepare, PrepareConfig, PrepareReport, PreparedInstance};
 pub use sinks::{CliqueSink, Control};
 pub use stats::EnumerationStats;

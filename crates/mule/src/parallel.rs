@@ -7,15 +7,24 @@
 //! each root can be explored by a different worker with no shared
 //! mutable state.
 //!
+//! # Input: the preprocessing pipeline
+//!
+//! Since PR 3 the driver runs over a [`PreparedInstance`]
+//! ([`crate::prepare`]): the graph arrives α-pruned and sharded into
+//! compact per-component kernels, and the root tasks seeded into the
+//! deques are `(component, local root)` pairs — sharding falls out of
+//! the decomposition, and a worker never touches memory outside the
+//! component it is currently searching.
+//!
 //! # Scheduling: per-worker deques + stealing
 //!
 //! Root subtree costs are heavily skewed (a hub vertex can own most of
 //! the search tree), so a bare shared cursor stalls: whoever draws the
 //! hub last runs alone while the rest idle. Instead:
 //!
-//! * roots are sorted **largest-degree-first** (ties by id) and dealt
-//!   round-robin across per-worker deques, so the expensive subtrees
-//!   start early and start spread out;
+//! * root tasks from every component are sorted **largest-degree-first**
+//!   (ties by original id) and dealt round-robin across per-worker
+//!   deques, so the expensive subtrees start early and start spread out;
 //! * each worker pops work from the *front* of its own deque;
 //! * a worker whose deque runs dry picks victims round-robin and steals
 //!   the *back half* of the first non-empty deque (the cheap tail —
@@ -32,18 +41,19 @@
 //! Every clique emitted from root `u` starts with `u` (the clique is
 //! grown from `{u}` with larger ids only), and within one root the DFS
 //! emits in lexicographic order (children are visited in increasing
-//! vertex order and emission happens at leaves). Per-root outputs are
-//! therefore pre-sorted with pairwise-disjoint, increasing key ranges:
-//! placing each root's block at index `u` and concatenating is a k-way
-//! merge with no comparisons, and the result is **byte-identical to
-//! sequential MULE** no matter which worker ran which root or in what
-//! order — the schedule affects timing only. The merged statistics are
-//! equally schedule-independent (each root subtree contributes the same
-//! counters wherever it runs), so they equal the sequential run's.
+//! vertex order and emission happens at leaves). Component id maps are
+//! monotone, so this holds in *original* ids too: per-root outputs are
+//! pre-sorted with pairwise-disjoint, increasing key ranges, placing
+//! each root's block at its original root index and concatenating is a
+//! k-way merge with no comparisons, and the result is **byte-identical
+//! to sequential MULE** no matter which worker ran which root or in
+//! what order — the schedule affects timing only. The merged statistics
+//! are equally schedule-independent (each root subtree contributes the
+//! same counters wherever it runs), so they equal the sequential run's.
 
-use crate::enumerate::MuleConfig;
-use crate::kernel::{enumerate_subtree, DepthArenas, Kernel};
-use crate::sinks::{CollectSink, Control};
+use crate::kernel::{enumerate_subtree, enumerate_subtree_bounded, DepthArenas};
+use crate::prepare::{prepare, PrepareConfig, PreparedInstance};
+use crate::sinks::{CollectSink, Control, RemapSink};
 use crate::stats::EnumerationStats;
 use std::collections::VecDeque;
 use std::sync::Mutex;
@@ -67,25 +77,53 @@ pub struct ParallelOutput {
     pub stats: EnumerationStats,
 }
 
+/// A root task: `(component index, local root id)` in a prepared
+/// instance.
+type RootTask = (u32, u32);
+
 /// Enumerate all α-maximal cliques using `threads` worker threads
 /// (`threads = 0` means one worker per available CPU).
+///
+/// Runs the preprocessing pipeline ([`crate::prepare`]) with default
+/// settings and fans the per-component root subtrees out over the
+/// work-stealing scheduler; see [`par_enumerate_prepared`].
 pub fn par_enumerate_maximal_cliques(
     g: &UncertainGraph,
     alpha: f64,
     threads: usize,
 ) -> Result<ParallelOutput, GraphError> {
-    let config = MuleConfig::default();
-    let kernel = Kernel::prepare(g, alpha, &config)?;
-    let n = kernel.g.num_vertices();
+    let inst = prepare(g, alpha, &PrepareConfig::default())?;
+    Ok(par_enumerate_prepared(&inst, threads))
+}
+
+/// Enumerate a prepared instance on `threads` worker threads
+/// (`threads = 0` means one worker per available CPU), honoring the
+/// instance's `min_size`. The deques are seeded with per-component root
+/// tasks, so component sharding is the unit of distribution; the output
+/// is identical to [`PreparedInstance::run`] — and, on default prepare
+/// settings, byte-identical to sequential [`crate::Mule`].
+pub fn par_enumerate_prepared(inst: &PreparedInstance, threads: usize) -> ParallelOutput {
     let threads = if threads == 0 {
         std::thread::available_parallelism().map_or(1, |p| p.get())
     } else {
         threads
     };
+    let n = inst.original_vertices();
 
-    // Degenerate case the worker loop cannot express.
+    // Degenerate case the worker loop cannot express. The empty clique
+    // has zero vertices, so it never meets a size threshold.
     if n == 0 {
-        return Ok(ParallelOutput {
+        if inst.min_size() >= 2 {
+            return ParallelOutput {
+                cliques: vec![],
+                probs: vec![],
+                stats: EnumerationStats {
+                    calls: 1,
+                    ..Default::default()
+                },
+            };
+        }
+        return ParallelOutput {
             cliques: vec![vec![]],
             probs: vec![1.0],
             stats: EnumerationStats {
@@ -93,37 +131,44 @@ pub fn par_enumerate_maximal_cliques(
                 emitted: 1,
                 ..Default::default()
             },
-        });
+        };
     }
 
-    // Seed: largest-degree-first (stable sort, so ties keep id order),
-    // dealt round-robin so every deque starts with a share of the
-    // expensive subtrees.
-    let mut order: Vec<VertexId> = (0..n as VertexId).collect();
-    order.sort_by_key(|&u| std::cmp::Reverse(kernel.g.neighbors(u).len()));
-    let queues: Vec<Mutex<VecDeque<VertexId>>> = (0..threads)
-        .map(|_| Mutex::new(VecDeque::with_capacity(n / threads + 1)))
+    // Seed: every component's roots, largest-degree-first (stable sort,
+    // so ties keep ascending original order), dealt round-robin so
+    // every deque starts with a share of the expensive subtrees.
+    let mut tasks: Vec<RootTask> = Vec::new();
+    for (ci, (sub, _)) in inst.components().enumerate() {
+        for local in 0..sub.num_vertices() as u32 {
+            tasks.push((ci as u32, local));
+        }
+    }
+    tasks.sort_by_key(|&(ci, local)| {
+        let (kernel, _) = inst.component_parts(ci);
+        std::cmp::Reverse(kernel.g.neighbors(local).len())
+    });
+    let queues: Vec<Mutex<VecDeque<RootTask>>> = (0..threads)
+        .map(|_| Mutex::new(VecDeque::with_capacity(tasks.len() / threads + 1)))
         .collect();
-    for (k, &u) in order.iter().enumerate() {
-        queues[k % threads].lock().unwrap().push_back(u);
+    for (k, &task) in tasks.iter().enumerate() {
+        queues[k % threads].lock().unwrap().push_back(task);
     }
 
     let mut worker_outputs: Vec<(Vec<RootOutput>, EnumerationStats)> = Vec::new();
     crossbeam::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for id in 0..threads {
-            let kernel = &kernel;
             let queues = &queues;
             handles.push(scope.spawn(move |_| {
                 let mut worker = Worker {
-                    kernel,
+                    inst,
                     stats: EnumerationStats::new(),
                     arenas: DepthArenas::new(),
                     clique_buf: Vec::new(),
                     outputs: Vec::new(),
                 };
-                while let Some(u) = next_root(queues, id) {
-                    worker.run_root(u);
+                while let Some((ci, local)) = next_task(queues, id) {
+                    worker.run_root(ci, local);
                 }
                 (worker.outputs, worker.stats)
             }));
@@ -135,10 +180,19 @@ pub fn par_enumerate_maximal_cliques(
     .expect("crossbeam scope failed");
 
     // K-way merge by construction: slot each root's pre-sorted block at
-    // its root index, then concatenate (see module docs).
+    // its original root index, then concatenate (see module docs).
+    // Singleton components never reach a worker; their one-clique blocks
+    // are filled in directly, with the stats contribution the direct
+    // search would record for them.
     let mut slots: Vec<Vec<(Vec<VertexId>, f64)>> = (0..n).map(|_| Vec::new()).collect();
     let mut stats = EnumerationStats::new();
     stats.calls = 1; // the conceptual root node
+    for &v in inst.singletons() {
+        slots[v as usize] = vec![(vec![v], 1.0)];
+        stats.calls += 1;
+        stats.emitted += 1;
+        stats.max_depth = stats.max_depth.max(1);
+    }
     for (outputs, s) in worker_outputs {
         stats.merge(&s);
         for (u, pairs) in outputs {
@@ -155,18 +209,18 @@ pub fn par_enumerate_maximal_cliques(
             probs.push(p);
         }
     }
-    Ok(ParallelOutput {
+    ParallelOutput {
         cliques,
         probs,
         stats,
-    })
+    }
 }
 
-/// Pop the next root for worker `id`: own deque front first, then steal
+/// Pop the next task for worker `id`: own deque front first, then steal
 /// the back half of the first non-empty victim (round-robin from
 /// `id + 1`). `None` means every deque was empty — and since no work is
 /// created after seeding, the worker can retire.
-fn next_root(queues: &[Mutex<VecDeque<VertexId>>], id: usize) -> Option<VertexId> {
+fn next_task<T: Copy>(queues: &[Mutex<VecDeque<T>>], id: usize) -> Option<T> {
     if let Some(u) = queues[id].lock().unwrap().pop_front() {
         return Some(u);
     }
@@ -190,10 +244,10 @@ fn next_root(queues: &[Mutex<VecDeque<VertexId>>], id: usize) -> Option<VertexId
     None
 }
 
-/// Per-thread search state: shares the read-only kernel, owns its arena,
-/// counters and per-root outputs.
+/// Per-thread search state: shares the read-only prepared instance,
+/// owns its arena, counters and per-root outputs.
 struct Worker<'k> {
-    kernel: &'k Kernel,
+    inst: &'k PreparedInstance,
     stats: EnumerationStats,
     arenas: DepthArenas,
     clique_buf: Vec<VertexId>,
@@ -202,35 +256,61 @@ struct Worker<'k> {
 }
 
 impl Worker<'_> {
-    /// Explore the root subtree `C = {u}` with the shared kernel
-    /// recursion, collecting its cliques separately for the
+    /// Explore the root subtree `C = {local}` of component `ci` with the
+    /// shared kernel recursion, collecting its cliques — translated to
+    /// original ids by the sink layer — separately for the
     /// deterministic merge.
-    fn run_root(&mut self, u: VertexId) {
+    fn run_root(&mut self, ci: u32, local: VertexId) {
+        let (kernel, map) = self.inst.component_parts(ci);
+        let t = self.inst.min_size();
         let mut sink = CollectSink::new();
         let mut arenas = std::mem::take(&mut self.arenas);
         let mut c = std::mem::take(&mut self.clique_buf);
         arenas.clear();
         c.clear();
-        let (i0, x0) =
-            self.kernel
-                .expand_root_into(u, &mut arenas.even, &mut self.stats.i_candidates_scanned);
-        c.push(u);
-        let ctl = enumerate_subtree(
-            self.kernel,
-            &mut self.stats,
-            &mut c,
-            1.0,
-            i0,
-            x0,
+        let (i0, x0) = kernel.expand_root_into(
+            local,
             &mut arenas.even,
-            &mut arenas.odd,
-            &mut sink,
+            &mut self.stats.i_candidates_scanned,
         );
-        debug_assert_eq!(ctl, Control::Continue, "CollectSink never stops");
-        c.pop();
+        if t >= 2 && 1 + i0.len() < t {
+            self.stats.size_pruned += 1;
+        } else {
+            c.push(local);
+            let mut remap = RemapSink::new(&mut sink, map);
+            let ctl = if t >= 2 {
+                enumerate_subtree_bounded(
+                    kernel,
+                    &mut self.stats,
+                    &mut c,
+                    1.0,
+                    i0,
+                    x0,
+                    &mut arenas.even,
+                    &mut arenas.odd,
+                    t,
+                    &mut remap,
+                )
+            } else {
+                enumerate_subtree(
+                    kernel,
+                    &mut self.stats,
+                    &mut c,
+                    1.0,
+                    i0,
+                    x0,
+                    &mut arenas.even,
+                    &mut arenas.odd,
+                    &mut remap,
+                )
+            };
+            debug_assert_eq!(ctl, Control::Continue, "CollectSink never stops");
+            c.pop();
+        }
         self.arenas = arenas;
         self.clique_buf = c;
-        self.outputs.push((u, sink.into_pairs()));
+        let root_original = map[local as usize];
+        self.outputs.push((root_original, sink.into_pairs()));
     }
 }
 
@@ -363,6 +443,21 @@ mod tests {
     }
 
     #[test]
+    fn min_size_parallel_matches_sequential_large() {
+        let g = fixture();
+        for alpha in [0.5, 0.1] {
+            for t in 3..=5usize {
+                let expected = crate::enumerate_large_maximal_cliques(&g, alpha, t).unwrap();
+                let inst = prepare(&g, alpha, &PrepareConfig::with_min_size(t)).unwrap();
+                for threads in [1, 3] {
+                    let out = par_enumerate_prepared(&inst, threads);
+                    assert_eq!(out.cliques, expected, "α={alpha}, t={t}, threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn steal_half_takes_the_back() {
         let queues = vec![
             Mutex::new(VecDeque::new()),
@@ -370,7 +465,7 @@ mod tests {
         ];
         // Worker 0 is empty: it must steal the back half {12, 13} of
         // worker 1, return the first stolen root and keep the rest.
-        assert_eq!(next_root(&queues, 0), Some(12));
+        assert_eq!(next_task(&queues, 0), Some(12));
         assert_eq!(
             queues[0]
                 .lock()
@@ -390,11 +485,11 @@ mod tests {
             vec![10, 11]
         );
         // Own work is drained before stealing again.
-        assert_eq!(next_root(&queues, 0), Some(13));
+        assert_eq!(next_task(&queues, 0), Some(13));
         // Then the remaining victim half, then exhaustion.
-        assert_eq!(next_root(&queues, 0), Some(11));
-        assert_eq!(next_root(&queues, 0), Some(10));
-        assert_eq!(next_root(&queues, 0), None);
-        assert_eq!(next_root(&queues, 1), None);
+        assert_eq!(next_task(&queues, 0), Some(11));
+        assert_eq!(next_task(&queues, 0), Some(10));
+        assert_eq!(next_task(&queues, 0), None);
+        assert_eq!(next_task(&queues, 1), None);
     }
 }

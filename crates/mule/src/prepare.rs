@@ -1,0 +1,878 @@
+//! The unified preprocessing pipeline: **prune → core-filter →
+//! component-shard**, producing one compact, vertex-remapped instance
+//! per connected component that every enumerator in this crate can run
+//! on (LARGE-MULE's winning idea from Section 4.3, generalized into the
+//! front door for *all* workloads).
+//!
+//! # Stages, in order, and why each is sound
+//!
+//! 1. **α-edge pruning** (Observation 3): every edge of an α-clique has
+//!    `p(e) ≥ α`, so edges below α cannot appear in any α-maximal
+//!    clique and deleting them changes nothing about the output.
+//! 2. **Expected-degree core filter** (the `(t−1)·α`-core, engaged only
+//!    when a size threshold `t ≥ 2` is requested): inside an α-clique
+//!    with at least `t` vertices every member has `t−1` incident clique
+//!    edges of probability ≥ α, so its expected degree stays at least
+//!    `(t−1)·α` at every peeling step — members of such cliques are
+//!    never peeled (see [`crate::kcore`]). Dropping non-core vertices
+//!    also cannot create false maximal cliques: any extension witness
+//!    `v` of a surviving clique `C` forms the α-clique `C ∪ {v}` of
+//!    size ≥ t + 1, so `v` survives too and still kills `C`.
+//! 3. **Shared-neighborhood peeling** (Modani–Dey, engaged when
+//!    `t ≥ 3`): recursively delete edges with fewer than `t − 2` common
+//!    neighbors and vertices of degree under `t − 1`
+//!    ([`crate::pruning::shared_neighborhood_filter`]); the same
+//!    induction shows edges of ≥-t α-cliques (and their maximality
+//!    witnesses) survive to the fixpoint.
+//! 4. **Connected-component decomposition**: an α-clique never spans two
+//!    components of the (pruned) skeleton, and neither can a maximality
+//!    witness (it is adjacent to every clique vertex). Each component
+//!    becomes its own dense-id instance via
+//!    [`ugraph_core::subgraph::induced_subgraph`]; the old↔new maps are
+//!    **monotone**, so canonical (ascending) cliques stay canonical
+//!    under translation and the probability arithmetic — same factors,
+//!    same multiplication order — is bit-identical to the direct path.
+//!
+//! The stage order matters only for economy, not soundness: pruning
+//! first shrinks what the core filter peels, the core filter shrinks
+//! what the shared-neighborhood fixpoint examines, and sharding last
+//! sees the smallest graph.
+//!
+//! # Byte-identical output
+//!
+//! Sequential MULE emits cliques in global lexicographic order (each
+//! root subtree `C = {u}` emits lexicographically, roots ascend).
+//! [`PreparedInstance::run`] therefore schedules root subtrees in
+//! ascending *original*-id order across components — interleaving
+//! components exactly as the direct search would — and folds the id
+//! translation into the sink layer, so on default settings the emitted
+//! stream (cliques, order, probability bits) is identical to running
+//! [`crate::Mule`] on the whole graph. The work-stealing parallel
+//! driver ([`crate::parallel::par_enumerate_prepared`]) seeds its
+//! deques per component and re-establishes the same order with its
+//! slot-per-root merge.
+
+use crate::enumerate::MuleConfig;
+use crate::kcore::CoreDecomposition;
+use crate::kernel::{enumerate_subtree, enumerate_subtree_bounded, DepthArenas, Kernel};
+use crate::pruning::shared_neighborhood_peel;
+use crate::sinks::{CliqueSink, Control};
+use crate::stats::EnumerationStats;
+use ugraph_core::{subgraph, Components, GraphError, UncertainGraph, VertexId};
+
+/// Configuration for [`prepare`].
+#[derive(Debug, Clone)]
+pub struct PrepareConfig {
+    /// Only cliques with at least this many vertices are wanted
+    /// (`0`/`1` = all α-maximal cliques). Values ≥ 2 engage the
+    /// size-based stages and the Algorithm 6 search bound.
+    pub min_size: usize,
+    /// Enable stage 2, the expected-degree `(min_size−1)·α`-core filter
+    /// (only engages when `min_size ≥ 2`).
+    pub core_filter: bool,
+    /// Enable stage 3, the Modani–Dey shared-neighborhood peel (only
+    /// engages when `min_size ≥ 3`; at smaller thresholds its
+    /// conditions are vacuous).
+    pub shared_neighborhood: bool,
+    /// Enable stage 4, sharding into connected components. When off the
+    /// instance is a single component with an identity id map.
+    pub shard_components: bool,
+    /// Kernel configuration for the per-component search (index mode /
+    /// budget). `degeneracy_order` and `naive_root` are ignored here —
+    /// they are ablation switches of the direct [`crate::Mule`] path.
+    pub mule: MuleConfig,
+}
+
+impl Default for PrepareConfig {
+    fn default() -> Self {
+        PrepareConfig {
+            min_size: 0,
+            core_filter: true,
+            shared_neighborhood: true,
+            shard_components: true,
+            mule: MuleConfig::default(),
+        }
+    }
+}
+
+impl PrepareConfig {
+    /// Default configuration with a size threshold.
+    pub fn with_min_size(min_size: usize) -> Self {
+        PrepareConfig {
+            min_size,
+            ..Default::default()
+        }
+    }
+}
+
+/// What each pipeline stage removed, plus the shape of the prepared
+/// instance. All counts refer to the stage's own input (stages
+/// compose, so e.g. `shared_pruned_edges` counts removals from the
+/// already core-filtered graph).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PrepareReport {
+    /// Vertices of the input graph.
+    pub original_vertices: usize,
+    /// Edges of the input graph.
+    pub original_edges: usize,
+    /// Stage 1: edges with `p(e) < α` (Observation 3).
+    pub alpha_pruned_edges: usize,
+    /// Stage 2: vertices (with at least one surviving edge) outside the
+    /// expected-degree `(t−1)·α`-core.
+    pub core_filtered_vertices: usize,
+    /// Stage 2: edges incident to a peeled vertex.
+    pub core_filtered_edges: usize,
+    /// Stage 3: edges removed by the shared-neighborhood fixpoint.
+    pub shared_pruned_edges: usize,
+    /// Stage 3: vertices isolated by the peel (had edges before it).
+    pub shared_isolated_vertices: usize,
+    /// Stage 4: connected components of the fully pruned graph.
+    pub components_total: usize,
+    /// Components that became enumeration instances.
+    pub components_kept: usize,
+    /// Components smaller than `min_size` (including isolated vertices
+    /// when `min_size ≥ 2`) — dropped, since no qualifying clique fits.
+    pub components_dropped_small: usize,
+    /// Isolated vertices emitted as singleton maximal cliques (only
+    /// when `min_size ≤ 1`) — directly by the scheduler, or by the
+    /// kernel's root loop on the single-component fast path.
+    pub singleton_vertices: usize,
+    /// Vertex count of the largest kept component.
+    pub largest_component: usize,
+    /// Vertices of the decomposition's kept material (kept components
+    /// plus singletons). The identity fast paths may carry
+    /// sub-threshold stragglers through the kernel for free; those are
+    /// excluded here so the accounting matches the sharded path.
+    pub final_vertices: usize,
+    /// Edges of the kept components (same accounting note as
+    /// [`Self::final_vertices`]).
+    pub final_edges: usize,
+}
+
+impl PrepareReport {
+    /// Every counter as a `(name, value)` pair, in declaration order —
+    /// the one place serializers (CLI report, bench JSON artifacts)
+    /// enumerate the fields, so adding a counter cannot silently go
+    /// missing from an output format.
+    pub fn fields(&self) -> [(&'static str, usize); 14] {
+        [
+            ("original_vertices", self.original_vertices),
+            ("original_edges", self.original_edges),
+            ("alpha_pruned_edges", self.alpha_pruned_edges),
+            ("core_filtered_vertices", self.core_filtered_vertices),
+            ("core_filtered_edges", self.core_filtered_edges),
+            ("shared_pruned_edges", self.shared_pruned_edges),
+            ("shared_isolated_vertices", self.shared_isolated_vertices),
+            ("components_total", self.components_total),
+            ("components_kept", self.components_kept),
+            ("components_dropped_small", self.components_dropped_small),
+            ("singleton_vertices", self.singleton_vertices),
+            ("largest_component", self.largest_component),
+            ("final_vertices", self.final_vertices),
+            ("final_edges", self.final_edges),
+        ]
+    }
+
+    /// Multi-line human-readable rendering (the CLI's `--prune-report`).
+    pub fn render(&self) -> String {
+        format!(
+            "prepare: {}v/{}e -> {}v/{}e\n\
+             alpha-pruned edges:        {}\n\
+             core-filtered:             {} vertices, {} edges\n\
+             shared-neighborhood peel:  {} edges, {} vertices isolated\n\
+             components:                {} total, {} kept, {} below min-size\n\
+             singleton cliques:         {}\n\
+             largest component:         {} vertices",
+            self.original_vertices,
+            self.original_edges,
+            self.final_vertices,
+            self.final_edges,
+            self.alpha_pruned_edges,
+            self.core_filtered_vertices,
+            self.core_filtered_edges,
+            self.shared_pruned_edges,
+            self.shared_isolated_vertices,
+            self.components_total,
+            self.components_kept,
+            self.components_dropped_small,
+            self.singleton_vertices,
+            self.largest_component,
+        )
+    }
+}
+
+/// One compact per-component instance: a dense-id subgraph wrapped in a
+/// ready search kernel, plus the monotone map back to original ids.
+pub struct PreparedComponent {
+    pub(crate) kernel: Kernel,
+    pub(crate) to_original: Vec<VertexId>,
+}
+
+impl PreparedComponent {
+    /// The compact, remapped component graph the search runs on.
+    pub fn graph(&self) -> &UncertainGraph {
+        &self.kernel.g
+    }
+
+    /// Monotone map from compact ids to original vertex ids.
+    pub fn to_original(&self) -> &[VertexId] {
+        &self.to_original
+    }
+}
+
+/// One schedule entry of the global ascending-root emission order.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Unit {
+    /// An isolated original vertex, emitted directly as `{v}`.
+    Singleton(VertexId),
+    /// Root subtree `local` of component `comp`.
+    Root { comp: u32, local: u32 },
+}
+
+/// The output of [`prepare`]: compact per-component instances, the
+/// old↔new id maps, a [`PrepareReport`], and reusable search state, so
+/// the same prepared instance can be enumerated repeatedly
+/// (allocation-free in steady state, like [`crate::Mule`]).
+pub struct PreparedInstance {
+    alpha: f64,
+    min_size: usize,
+    original_n: usize,
+    components: Vec<PreparedComponent>,
+    /// Ascending original ids of isolated vertices (empty when
+    /// `min_size ≥ 2`).
+    singletons: Vec<VertexId>,
+    /// Root subtrees and singletons in ascending original-id order —
+    /// the direct search's emission order.
+    schedule: Vec<Unit>,
+    report: PrepareReport,
+    stats: EnumerationStats,
+    arenas: DepthArenas,
+    clique_buf: Vec<VertexId>,
+    remap_scratch: Vec<VertexId>,
+}
+
+/// Run every pipeline stage over `g` and build the prepared instance.
+pub fn prepare(
+    g: &UncertainGraph,
+    alpha: f64,
+    config: &PrepareConfig,
+) -> Result<PreparedInstance, GraphError> {
+    let alpha = UncertainGraph::validate_alpha(alpha)?.get();
+    let t = config.min_size;
+    let n = g.num_vertices();
+    let mut report = PrepareReport {
+        original_vertices: n,
+        original_edges: g.num_edges(),
+        ..Default::default()
+    };
+
+    // Stage 1: α-edge pruning (Observation 3).
+    let mut work = subgraph::prune_below_alpha(g, alpha)?;
+    report.alpha_pruned_edges = g.num_edges() - work.num_edges();
+
+    // Stage 2: expected-degree (t−1)·α-core filter.
+    if t >= 2 && config.core_filter && work.num_edges() > 0 {
+        let decomp = CoreDecomposition::compute(&work);
+        let threshold = (t - 1) as f64 * alpha;
+        let mut in_core = vec![false; n];
+        for v in decomp.core(threshold) {
+            in_core[v as usize] = true;
+        }
+        let dropped = (0..n)
+            .filter(|&v| !in_core[v] && work.degree(v as VertexId) > 0)
+            .count();
+        if dropped > 0 {
+            let before = work.num_edges();
+            work = subgraph::restrict_to_vertices(&work, &in_core);
+            report.core_filtered_vertices = dropped;
+            report.core_filtered_edges = before - work.num_edges();
+        }
+    }
+
+    // Stage 3: Modani–Dey shared-neighborhood peel (vacuous for t < 3).
+    // `work` is already α-pruned by stage 1, so the peel-only entry
+    // point applies — no redundant re-prune pass.
+    if t >= 3 && config.shared_neighborhood && work.num_edges() > 0 {
+        let (peeled, pr) = shared_neighborhood_peel(&work, t)?;
+        report.shared_pruned_edges = pr.shared_pruned_edges;
+        report.shared_isolated_vertices = pr.degree_pruned_vertices;
+        work = peeled;
+    }
+
+    // Stage 4: component decomposition + one compact instance each.
+    let mut components = Vec::new();
+    let mut singletons = Vec::new();
+    let min_keep = t.max(2);
+    if config.shard_components {
+        let comps = Components::compute(&work);
+        report.components_total = comps.count();
+        let lists = comps.vertex_lists();
+        if lists.iter().filter(|l| l.len() >= min_keep).count() == 1 {
+            // Identity fast path: sharding found exactly one real
+            // component, so a compact copy would reproduce (almost) the
+            // whole graph — move the pruned graph into the kernel
+            // instead and let the root loop handle isolated vertices
+            // and the size bound handle sub-threshold stragglers. The
+            // report records the *decomposition's* accounting (kept
+            // material only, same as the sharded path would report);
+            // the enumeration cost of the stragglers carried along is
+            // one O(deg) root expansion each, cheaper than the avoided
+            // O(n + m) copy.
+            for list in &lists {
+                if list.len() >= min_keep {
+                    report.components_kept = 1;
+                    report.largest_component = list.len();
+                    // Component edges = half the degree sum (no arcs
+                    // leave a connected component).
+                    let arcs: usize = list.iter().map(|&v| work.degree(v)).sum();
+                    report.final_edges = arcs / 2;
+                    report.final_vertices += list.len();
+                } else if list.len() == 1 && t <= 1 {
+                    report.singleton_vertices += 1;
+                    report.final_vertices += 1;
+                } else {
+                    report.components_dropped_small += 1;
+                }
+            }
+            let identity: Vec<VertexId> = (0..n as VertexId).collect();
+            components.push(PreparedComponent {
+                kernel: Kernel::wrap(work, alpha, &config.mule),
+                to_original: identity,
+            });
+        } else {
+            for list in lists {
+                if list.len() < min_keep {
+                    if list.len() == 1 && t <= 1 {
+                        // An isolated vertex is itself a maximal clique.
+                        report.singleton_vertices += 1;
+                        singletons.push(list[0]);
+                    } else {
+                        report.components_dropped_small += 1;
+                    }
+                    continue;
+                }
+                let (sub, map) = subgraph::induced_subgraph(&work, &list)?;
+                report.components_kept += 1;
+                report.largest_component = report.largest_component.max(list.len());
+                report.final_edges += sub.num_edges();
+                report.final_vertices += list.len();
+                components.push(PreparedComponent {
+                    kernel: Kernel::wrap(sub, alpha, &config.mule),
+                    to_original: map,
+                });
+            }
+            report.final_vertices += singletons.len();
+            report.largest_component = report
+                .largest_component
+                .max(usize::from(!singletons.is_empty()));
+        }
+    } else if n > 0 {
+        report.components_total = 1;
+        report.components_kept = 1;
+        report.largest_component = n;
+        report.final_edges = work.num_edges();
+        report.final_vertices = n;
+        let identity: Vec<VertexId> = (0..n as VertexId).collect();
+        components.push(PreparedComponent {
+            kernel: Kernel::wrap(work, alpha, &config.mule),
+            to_original: identity,
+        });
+    }
+
+    // The global emission schedule: units in ascending original-id
+    // order (component-internal ids are already ascending in original
+    // order, so slotting per original vertex interleaves components
+    // exactly as the direct root loop would).
+    let mut unit_at: Vec<Option<Unit>> = vec![None; n];
+    for &v in &singletons {
+        unit_at[v as usize] = Some(Unit::Singleton(v));
+    }
+    for (ci, pc) in components.iter().enumerate() {
+        for (li, &orig) in pc.to_original.iter().enumerate() {
+            unit_at[orig as usize] = Some(Unit::Root {
+                comp: ci as u32,
+                local: li as u32,
+            });
+        }
+    }
+    let schedule: Vec<Unit> = unit_at.into_iter().flatten().collect();
+
+    Ok(PreparedInstance {
+        alpha,
+        min_size: t,
+        original_n: n,
+        components,
+        singletons,
+        schedule,
+        report,
+        stats: EnumerationStats::new(),
+        arenas: DepthArenas::new(),
+        clique_buf: Vec::new(),
+        remap_scratch: Vec::new(),
+    })
+}
+
+impl PreparedInstance {
+    /// The α threshold the instance was prepared for.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The size threshold (`0`/`1` = all maximal cliques).
+    pub fn min_size(&self) -> usize {
+        self.min_size
+    }
+
+    /// Vertex count of the *original* graph.
+    pub fn original_vertices(&self) -> usize {
+        self.original_n
+    }
+
+    /// What each stage removed and the shape of the instance.
+    pub fn report(&self) -> &PrepareReport {
+        &self.report
+    }
+
+    /// The compact per-component instances as `(graph, to_original)`
+    /// pairs; maps are monotone and pairwise disjoint.
+    pub fn components(&self) -> impl ExactSizeIterator<Item = (&UncertainGraph, &[VertexId])> {
+        self.components
+            .iter()
+            .map(|pc| (&pc.kernel.g, pc.to_original.as_slice()))
+    }
+
+    /// Ascending original ids of isolated vertices, each a singleton
+    /// maximal clique (empty when `min_size ≥ 2`).
+    pub fn singletons(&self) -> &[VertexId] {
+        &self.singletons
+    }
+
+    /// Counters from the most recent [`PreparedInstance::run`].
+    pub fn stats(&self) -> &EnumerationStats {
+        &self.stats
+    }
+
+    pub(crate) fn component_parts(&self, comp: u32) -> (&Kernel, &[VertexId]) {
+        let pc = &self.components[comp as usize];
+        (&pc.kernel, &pc.to_original)
+    }
+
+    pub(crate) fn schedule(&self) -> &[Unit] {
+        &self.schedule
+    }
+
+    /// Enumerate every α-maximal clique (of size ≥ `min_size` when one
+    /// was configured) across all components, streaming each — in
+    /// canonical order, translated back to original ids — into `sink`.
+    /// On default settings the emitted stream is byte-identical to
+    /// [`crate::Mule::run`] on the original graph (see module docs).
+    pub fn run<S: CliqueSink>(&mut self, sink: &mut S) -> &EnumerationStats {
+        self.stats = EnumerationStats::new();
+        self.stats.calls += 1; // the conceptual root node
+        if self.original_n == 0 {
+            // The empty clique is maximal in the empty graph — but it
+            // has zero vertices, so it never meets a size threshold
+            // (direct LargeMule likewise emits nothing here).
+            if self.min_size <= 1 {
+                self.stats.emitted += 1;
+                sink.emit(&[], 1.0);
+            }
+            return &self.stats;
+        }
+        let mut arenas = std::mem::take(&mut self.arenas);
+        let mut c = std::mem::take(&mut self.clique_buf);
+        let mut scratch = std::mem::take(&mut self.remap_scratch);
+        arenas.clear();
+        c.clear();
+        for &unit in &self.schedule {
+            match unit {
+                Unit::Singleton(v) => {
+                    self.stats.calls += 1;
+                    self.stats.max_depth = self.stats.max_depth.max(1);
+                    self.stats.emitted += 1;
+                    if sink.emit(&[v], 1.0) == Control::Stop {
+                        break;
+                    }
+                }
+                Unit::Root { comp, local } => {
+                    let pc = &self.components[comp as usize];
+                    let (i0, x0) = pc.kernel.expand_root_into(
+                        local,
+                        &mut arenas.even,
+                        &mut self.stats.i_candidates_scanned,
+                    );
+                    if self.min_size >= 2 && 1 + i0.len() < self.min_size {
+                        self.stats.size_pruned += 1;
+                        arenas.clear();
+                        continue;
+                    }
+                    c.push(local);
+                    let mut remap = Remap {
+                        inner: sink,
+                        map: &pc.to_original,
+                        scratch: &mut scratch,
+                    };
+                    let ctl = if self.min_size >= 2 {
+                        enumerate_subtree_bounded(
+                            &pc.kernel,
+                            &mut self.stats,
+                            &mut c,
+                            1.0,
+                            i0,
+                            x0,
+                            &mut arenas.even,
+                            &mut arenas.odd,
+                            self.min_size,
+                            &mut remap,
+                        )
+                    } else {
+                        enumerate_subtree(
+                            &pc.kernel,
+                            &mut self.stats,
+                            &mut c,
+                            1.0,
+                            i0,
+                            x0,
+                            &mut arenas.even,
+                            &mut arenas.odd,
+                            &mut remap,
+                        )
+                    };
+                    c.pop();
+                    arenas.clear();
+                    if ctl == Control::Stop {
+                        break;
+                    }
+                }
+            }
+        }
+        self.arenas = arenas;
+        self.clique_buf = c;
+        self.remap_scratch = scratch;
+        &self.stats
+    }
+}
+
+/// Crate-internal remap adapter with a borrowed scratch buffer, so run
+/// loops can construct one per root — or per emission, in `topk`'s
+/// β-cut recursion — without allocating (the public
+/// [`crate::sinks::RemapSink`] owns its scratch instead).
+pub(crate) struct Remap<'a, S: CliqueSink> {
+    pub(crate) inner: &'a mut S,
+    pub(crate) map: &'a [VertexId],
+    pub(crate) scratch: &'a mut Vec<VertexId>,
+}
+
+impl<S: CliqueSink> CliqueSink for Remap<'_, S> {
+    fn emit(&mut self, clique: &[VertexId], prob: f64) -> Control {
+        self.scratch.clear();
+        self.scratch
+            .extend(clique.iter().map(|&v| self.map[v as usize]));
+        debug_assert!(self.scratch.windows(2).all(|w| w[0] < w[1]));
+        self.inner.emit(self.scratch, prob)
+    }
+}
+
+/// Convenience wrapper: prepare with defaults (plus `min_size`) and
+/// collect all qualifying maximal cliques, sorted lexicographically.
+pub fn enumerate_prepared(
+    g: &UncertainGraph,
+    alpha: f64,
+    min_size: usize,
+) -> Result<Vec<(Vec<VertexId>, f64)>, GraphError> {
+    let mut inst = prepare(g, alpha, &PrepareConfig::with_min_size(min_size))?;
+    let mut sink = crate::sinks::CollectSink::new();
+    inst.run(&mut sink);
+    let mut pairs = sink.into_pairs();
+    pairs.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sinks::{CollectSink, CountSink, FirstKSink};
+    use ugraph_core::builder::{complete_graph, from_edges, GraphBuilder};
+    use ugraph_core::Prob;
+
+    /// Two triangles in separate components, an isolated vertex, and a
+    /// pendant edge — exercises sharding, singletons and remapping.
+    fn fixture() -> UncertainGraph {
+        from_edges(
+            9,
+            &[
+                (0, 1, 0.9),
+                (1, 2, 0.9),
+                (0, 2, 0.9),
+                (4, 5, 0.8),
+                (5, 6, 0.8),
+                (4, 6, 0.8),
+                (7, 8, 0.3),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn direct(g: &UncertainGraph, alpha: f64) -> (Vec<Vec<VertexId>>, Vec<u64>) {
+        let mut m = crate::Mule::new(g, alpha).unwrap();
+        let mut sink = CollectSink::new();
+        m.run(&mut sink);
+        let pairs = sink.into_pairs();
+        (
+            pairs.iter().map(|(c, _)| c.clone()).collect(),
+            pairs.iter().map(|(_, p)| p.to_bits()).collect(),
+        )
+    }
+
+    fn prepared(g: &UncertainGraph, alpha: f64) -> (Vec<Vec<VertexId>>, Vec<u64>) {
+        let mut inst = prepare(g, alpha, &PrepareConfig::default()).unwrap();
+        let mut sink = CollectSink::new();
+        inst.run(&mut sink);
+        let pairs = sink.into_pairs();
+        (
+            pairs.iter().map(|(c, _)| c.clone()).collect(),
+            pairs.iter().map(|(_, p)| p.to_bits()).collect(),
+        )
+    }
+
+    #[test]
+    fn emission_stream_matches_direct_mule_exactly() {
+        let g = fixture();
+        for alpha in [0.9, 0.5, 0.25, 0.05] {
+            assert_eq!(prepared(&g, alpha), direct(&g, alpha), "α={alpha}");
+        }
+    }
+
+    #[test]
+    fn stats_match_direct_mule() {
+        let g = fixture();
+        for alpha in [0.9, 0.5, 0.25] {
+            let mut m = crate::Mule::new(&g, alpha).unwrap();
+            let mut s1 = CountSink::new();
+            m.run(&mut s1);
+            let mut inst = prepare(&g, alpha, &PrepareConfig::default()).unwrap();
+            let mut s2 = CountSink::new();
+            inst.run(&mut s2);
+            assert_eq!(inst.stats(), m.stats(), "α={alpha}");
+        }
+    }
+
+    #[test]
+    fn report_accounts_for_stages() {
+        let g = fixture();
+        let inst = prepare(&g, 0.5, &PrepareConfig::default()).unwrap();
+        let r = inst.report();
+        assert_eq!(r.original_vertices, 9);
+        assert_eq!(r.original_edges, 7);
+        assert_eq!(r.alpha_pruned_edges, 1, "the 0.3 edge");
+        // Components of the pruned graph: two triangles + three
+        // isolated vertices (3, 7, 8).
+        assert_eq!(r.components_total, 5);
+        assert_eq!(r.components_kept, 2);
+        assert_eq!(r.singleton_vertices, 3);
+        assert_eq!(r.largest_component, 3);
+        assert_eq!(r.final_vertices, 9);
+        assert_eq!(r.final_edges, 6);
+        assert!(inst.report().render().contains("components"));
+    }
+
+    #[test]
+    fn components_are_compact_and_monotone() {
+        let g = fixture();
+        let inst = prepare(&g, 0.5, &PrepareConfig::default()).unwrap();
+        assert_eq!(inst.components().len(), 2);
+        for (sub, map) in inst.components() {
+            assert_eq!(sub.num_vertices(), 3);
+            assert_eq!(sub.num_edges(), 3);
+            assert_eq!(sub.num_vertices(), map.len());
+            assert!(map.windows(2).all(|w| w[0] < w[1]), "map not monotone");
+        }
+        assert_eq!(inst.singletons(), &[3, 7, 8]);
+        assert_eq!(inst.alpha(), 0.5);
+        assert_eq!(inst.min_size(), 0);
+        assert_eq!(inst.original_vertices(), 9);
+    }
+
+    #[test]
+    fn min_size_matches_direct_large_mule() {
+        // K4 sharing a vertex with a K3, plus pendants.
+        let mut edges = Vec::new();
+        for u in 0..4u32 {
+            for v in (u + 1)..4 {
+                edges.push((u, v, 0.9));
+            }
+        }
+        edges.extend([(3, 4, 0.9), (3, 5, 0.9), (4, 5, 0.9), (5, 6, 0.9)]);
+        let g = from_edges(8, &edges).unwrap();
+        for alpha in [0.9, 0.5, 0.1, 0.01] {
+            for t in 2..=5 {
+                // Direct path: LargeMule on the whole graph.
+                let mut lm = crate::LargeMule::new(&g, alpha, t).unwrap();
+                let mut sink = CollectSink::new();
+                lm.run(&mut sink);
+                let expected = sink.into_sorted_cliques();
+                let got: Vec<Vec<VertexId>> = enumerate_prepared(&g, alpha, t)
+                    .unwrap()
+                    .into_iter()
+                    .map(|(c, _)| c)
+                    .collect();
+                assert_eq!(got, expected, "α={alpha}, t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn min_size_two_drops_singletons() {
+        let g = fixture();
+        let inst = prepare(&g, 0.5, &PrepareConfig::with_min_size(2)).unwrap();
+        assert!(inst.singletons().is_empty());
+        assert_eq!(inst.report().components_dropped_small, 3);
+    }
+
+    #[test]
+    fn core_filter_strips_pendants() {
+        // K4 with a pendant chain: at t = 4 the chain's expected degree
+        // can never reach 3·α.
+        let mut edges = vec![(3u32, 4u32, 0.9), (4, 5, 0.9)];
+        for u in 0..4u32 {
+            for v in (u + 1)..4 {
+                edges.push((u, v, 0.9));
+            }
+        }
+        let g = from_edges(6, &edges).unwrap();
+        let inst = prepare(&g, 0.5, &PrepareConfig::with_min_size(4)).unwrap();
+        assert!(inst.report().core_filtered_vertices + inst.report().shared_pruned_edges > 0);
+        // One real component remains, so the identity fast path keeps
+        // the pruned graph whole (chain vertices isolated, not copied
+        // out) rather than building a compact copy.
+        assert_eq!(inst.components().len(), 1);
+        let (sub, map) = inst.components().next().unwrap();
+        assert_eq!(sub.num_edges(), 6);
+        assert_eq!(map, &[0, 1, 2, 3, 4, 5]);
+        assert_eq!(inst.report().largest_component, 4);
+        assert_eq!(inst.report().components_dropped_small, 2);
+    }
+
+    #[test]
+    fn empty_graph_with_min_size_emits_nothing() {
+        // The empty clique has zero vertices, so it never meets a size
+        // threshold — matching direct LargeMule exactly.
+        let g = GraphBuilder::new(0).build();
+        let mut lm = crate::LargeMule::new(&g, 0.5, 3).unwrap();
+        let mut direct = CollectSink::new();
+        lm.run(&mut direct);
+        assert!(direct.is_empty());
+
+        let mut inst = prepare(&g, 0.5, &PrepareConfig::with_min_size(3)).unwrap();
+        let mut sink = CollectSink::new();
+        inst.run(&mut sink);
+        assert!(sink.is_empty());
+
+        let inst = prepare(&g, 0.5, &PrepareConfig::with_min_size(3)).unwrap();
+        let out = crate::parallel::par_enumerate_prepared(&inst, 2);
+        assert!(out.cliques.is_empty());
+        assert_eq!(out.stats.emitted, 0);
+    }
+
+    #[test]
+    fn identity_fast_path_report_matches_sharded_accounting() {
+        // K4 plus a disjoint heavy edge pair and an isolated vertex:
+        // one real component at t = 3, so the identity fast path fires,
+        // but the report must count only the kept material — the same
+        // numbers the sharded path would report.
+        let mut edges = vec![(4u32, 5u32, 0.9)];
+        for u in 0..4u32 {
+            for v in (u + 1)..4 {
+                edges.push((u, v, 0.9));
+            }
+        }
+        let g = from_edges(7, &edges).unwrap();
+        let inst = prepare(&g, 0.5, &PrepareConfig::with_min_size(3)).unwrap();
+        let r = inst.report();
+        assert_eq!(r.components_kept, 1);
+        assert_eq!(r.final_vertices, 4, "only the K4 is kept material");
+        assert_eq!(r.final_edges, 6);
+        assert_eq!(r.largest_component, 4);
+        // The {4,5} edge falls to the core filter (expected degree 0.9
+        // is below the (t−1)·α = 1.0 bound), so 4, 5 and the isolated 6
+        // are all sub-threshold singleton components.
+        assert_eq!(r.core_filtered_vertices, 2);
+        assert_eq!(r.core_filtered_edges, 1);
+        assert_eq!(r.components_dropped_small, 3);
+    }
+
+    #[test]
+    fn empty_and_edgeless_graphs() {
+        let mut inst = prepare(
+            &GraphBuilder::new(0).build(),
+            0.5,
+            &PrepareConfig::default(),
+        )
+        .unwrap();
+        let mut sink = CollectSink::new();
+        inst.run(&mut sink);
+        assert_eq!(sink.into_sorted_cliques(), vec![Vec::<VertexId>::new()]);
+
+        let mut inst = prepare(
+            &GraphBuilder::new(3).build(),
+            0.5,
+            &PrepareConfig::default(),
+        )
+        .unwrap();
+        let mut sink = CollectSink::new();
+        inst.run(&mut sink);
+        assert_eq!(sink.into_sorted_cliques(), vec![vec![0], vec![1], vec![2]]);
+        assert_eq!(inst.report().singleton_vertices, 3);
+    }
+
+    #[test]
+    fn shard_off_is_a_single_identity_component() {
+        let g = fixture();
+        let cfg = PrepareConfig {
+            shard_components: false,
+            ..Default::default()
+        };
+        let inst = prepare(&g, 0.5, &cfg).unwrap();
+        assert_eq!(inst.components().len(), 1);
+        let (sub, map) = inst.components().next().unwrap();
+        assert_eq!(sub.num_vertices(), 9);
+        assert_eq!(map.len(), 9);
+        assert!(map.iter().enumerate().all(|(i, &v)| i as u32 == v));
+        let mut inst = prepare(&g, 0.5, &cfg).unwrap();
+        let mut sink = CollectSink::new();
+        inst.run(&mut sink);
+        let (cliques, _) = direct(&g, 0.5);
+        assert_eq!(
+            sink.into_pairs()
+                .into_iter()
+                .map(|(c, _)| c)
+                .collect::<Vec<_>>(),
+            cliques
+        );
+    }
+
+    #[test]
+    fn rerun_is_idempotent_and_early_stop_respected() {
+        let g = fixture();
+        let mut inst = prepare(&g, 0.5, &PrepareConfig::default()).unwrap();
+        let mut s1 = CountSink::new();
+        inst.run(&mut s1);
+        let mut s2 = CountSink::new();
+        inst.run(&mut s2);
+        assert_eq!(s1.count, s2.count);
+
+        let mut first = FirstKSink::new(2);
+        inst.run(&mut first);
+        assert_eq!(first.into_cliques().len(), 2);
+        assert!(inst.stats().emitted < s1.count);
+    }
+
+    #[test]
+    fn complete_graph_counts_survive_pipeline() {
+        let g = complete_graph(6, Prob::new(0.5).unwrap());
+        let mut inst = prepare(&g, 0.125, &PrepareConfig::default()).unwrap();
+        let mut sink = CountSink::new();
+        inst.run(&mut sink);
+        assert_eq!(sink.count, 20);
+    }
+}

@@ -50,19 +50,45 @@ pub fn shared_neighborhood_filter(
     alpha: f64,
     t: usize,
 ) -> Result<(UncertainGraph, PruneReport), GraphError> {
-    let mut report = PruneReport::default();
     let pruned = subgraph::prune_below_alpha(g, alpha)?;
-    report.alpha_pruned_edges = g.num_edges() - pruned.num_edges();
+    let alpha_pruned_edges = g.num_edges() - pruned.num_edges();
     if t <= 2 {
+        let report = PruneReport {
+            alpha_pruned_edges,
+            ..Default::default()
+        };
         return Ok((pruned, report));
+    }
+    let (peeled, mut report) = shared_neighborhood_peel(&pruned, t)?;
+    report.alpha_pruned_edges = alpha_pruned_edges;
+    Ok((peeled, report))
+}
+
+/// The shared-neighborhood fixpoint alone, **assuming `g` is already
+/// α-pruned** (so "clique" in the soundness argument means "α-feasible
+/// clique" — see module docs). The preprocessing pipeline
+/// (`crate::prepare`) calls this directly for its stage 3, having
+/// α-pruned in stage 1; calling it on an unpruned graph peels against
+/// deterministic cliques instead, which is still a valid (weaker)
+/// filter but not what LARGE–MULE's preprocessing specifies.
+///
+/// For `t ≤ 2` the conditions are vacuous and the graph is returned
+/// unchanged (a copy).
+pub fn shared_neighborhood_peel(
+    g: &UncertainGraph,
+    t: usize,
+) -> Result<(UncertainGraph, PruneReport), GraphError> {
+    let mut report = PruneReport::default();
+    if t <= 2 {
+        return Ok((g.clone(), report));
     }
     let need_common = t - 2; // per-edge common-neighbor requirement
     let need_degree = t - 1; // per-vertex degree requirement
 
     // Mutable adjacency: sorted neighbor lists with parallel probabilities.
-    let n = pruned.num_vertices();
+    let n = g.num_vertices();
     let mut adj: Vec<Vec<(VertexId, f64)>> = (0..n as VertexId)
-        .map(|v| pruned.neighbors_with_probs(v).collect())
+        .map(|v| g.neighbors_with_probs(v).collect())
         .collect();
     let had_edges: Vec<bool> = adj.iter().map(|a| !a.is_empty()).collect();
 

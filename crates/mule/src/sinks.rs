@@ -112,6 +112,50 @@ impl CliqueSink for CollectSink {
     }
 }
 
+/// Translates compact (remapped) vertex ids back to original ids on
+/// emission — the sink-layer half of the preprocessing pipeline
+/// (`mule::prepare`): enumerators run on dense per-component ids and
+/// this adapter folds the id translation into the emission path.
+///
+/// The map must be **monotone** (strictly increasing, as produced by
+/// component sharding, where a component's vertices keep their relative
+/// order), so a canonical (ascending) clique stays canonical after
+/// translation with no re-sort — checked in debug builds. For
+/// non-monotone relabelings (e.g. degeneracy orders) use the sorting
+/// translator inside `mule::enumerate` instead.
+pub struct RemapSink<'a, S: CliqueSink> {
+    inner: &'a mut S,
+    to_original: &'a [VertexId],
+    scratch: Vec<VertexId>,
+}
+
+impl<'a, S: CliqueSink> RemapSink<'a, S> {
+    /// Wrap `inner`, translating each emitted vertex `v` to
+    /// `to_original[v]`.
+    pub fn new(inner: &'a mut S, to_original: &'a [VertexId]) -> Self {
+        debug_assert!(to_original.windows(2).all(|w| w[0] < w[1]));
+        RemapSink {
+            inner,
+            to_original,
+            scratch: Vec::new(),
+        }
+    }
+}
+
+impl<S: CliqueSink> CliqueSink for RemapSink<'_, S> {
+    fn emit(&mut self, clique: &[VertexId], prob: f64) -> Control {
+        // One translation implementation for the whole crate: the
+        // borrowed-scratch adapter in `prepare` (which carries the
+        // monotonicity debug_assert).
+        crate::prepare::Remap {
+            inner: &mut *self.inner,
+            map: self.to_original,
+            scratch: &mut self.scratch,
+        }
+        .emit(clique, prob)
+    }
+}
+
 /// Adapts a closure `FnMut(&[VertexId], f64) -> Control` into a sink.
 pub struct FnSink<F>(pub F);
 
@@ -313,6 +357,28 @@ mod tests {
         let pairs = s.clone().into_pairs();
         assert_eq!(pairs[0], (vec![1, 2], 0.5));
         assert_eq!(s.into_sorted_cliques(), vec![vec![0], vec![1, 2]]);
+    }
+
+    #[test]
+    fn remap_sink_translates_monotonically() {
+        let mut inner = CollectSink::new();
+        {
+            let map = [3u32, 7, 9, 20];
+            let mut s = RemapSink::new(&mut inner, &map);
+            assert_eq!(s.emit(&[0, 2, 3], 0.5), Control::Continue);
+            assert_eq!(s.emit(&[1], 1.0), Control::Continue);
+        }
+        assert_eq!(inner.cliques(), &[vec![3, 9, 20], vec![7]]);
+        assert_eq!(inner.probs(), &[0.5, 1.0]);
+    }
+
+    #[test]
+    fn remap_sink_propagates_stop() {
+        let mut inner = FirstKSink::new(1);
+        let map = [5u32, 6];
+        let mut s = RemapSink::new(&mut inner, &map);
+        assert_eq!(s.emit(&[0], 1.0), Control::Stop);
+        assert_eq!(inner.into_cliques(), vec![vec![5]]);
     }
 
     #[test]

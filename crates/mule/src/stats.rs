@@ -24,6 +24,10 @@ pub struct EnumerationStats {
     /// Branches cut by the LARGE–MULE size bound `|C'| + |I'| < t`
     /// (Algorithm 6, line 8); zero for plain MULE.
     pub size_pruned: u64,
+    /// Branches cut by the adaptive top-k admission bound `clq(C ∪ {u})
+    /// ≤ β` (β = current k-th best probability; see `mule::topk`); zero
+    /// outside top-k runs.
+    pub beta_pruned: u64,
 }
 
 impl EnumerationStats {
@@ -46,6 +50,7 @@ impl EnumerationStats {
         self.i_candidates_scanned += other.i_candidates_scanned;
         self.x_candidates_scanned += other.x_candidates_scanned;
         self.size_pruned += other.size_pruned;
+        self.beta_pruned += other.beta_pruned;
     }
 }
 
@@ -62,6 +67,7 @@ mod tests {
             i_candidates_scanned: 10,
             x_candidates_scanned: 5,
             size_pruned: 0,
+            beta_pruned: 1,
         };
         let b = EnumerationStats {
             calls: 4,
@@ -70,6 +76,7 @@ mod tests {
             i_candidates_scanned: 1,
             x_candidates_scanned: 1,
             size_pruned: 7,
+            beta_pruned: 2,
         };
         a.merge(&b);
         assert_eq!(a.calls, 7);
@@ -77,6 +84,7 @@ mod tests {
         assert_eq!(a.max_depth, 5);
         assert_eq!(a.total_scanned(), 17);
         assert_eq!(a.size_pruned, 7);
+        assert_eq!(a.beta_pruned, 3);
     }
 
     #[test]

@@ -4,26 +4,45 @@
 //!
 //! The paper contrasts itself with ref 47: MULE enumerates *all* α-maximal
 //! cliques, while the top-k problem returns only the `k` most probable
-//! ones. We provide the top-k query on top of MULE in two variants:
+//! ones. We provide the top-k query on top of MULE in two variants, both
+//! running per-component over the preprocessing pipeline
+//! ([`crate::prepare`]):
 //!
-//! * [`top_k_maximal_cliques`] — exhaustive MULE run through a bounded
+//! * [`top_k_maximal_cliques`] — exhaustive enumeration through a bounded
 //!   min-heap ([`crate::sinks::TopKSink`]); exact, simple, and a fair
 //!   "enumerate-then-select" baseline;
-//! * [`top_k_maximal_cliques_pruned`] — the same, but the enumeration
-//!   re-runs with an *adaptively raised* threshold: once `k` cliques with
-//!   probability ≥ β are known, no α-maximal clique with probability < β
-//!   can enter the answer, so branches are cut at β instead of α. The
-//!   subtlety (documented below) is that maximality must still be judged
-//!   at α, so the search keeps the α-semantics for `I`/`X` construction
-//!   and only uses β for *branch admission*; we realize this by filtering
-//!   emissions instead: cliques with probability < β are still enumerated
-//!   but discarded. The saving therefore comes from the heap alone, and
-//!   the two variants are equivalent — the "pruned" variant exists to
-//!   document *why* a stronger cut is unsound rather than to pretend one.
+//! * [`top_k_maximal_cliques_pruned`] — the same answer, but the adaptive
+//!   threshold β (the current k-th best probability, read back from the
+//!   sink's heap between branches) is fed into **branch admission**:
+//!   clique probability is non-increasing along a search path
+//!   (`clq(C ∪ {u}) = clq(C) · r` with `r ≤ 1`), so once the heap is
+//!   full, a subtree entered at probability `≤ β` cannot contain any
+//!   clique that would be admitted, and the recursion skips it.
+//!
+//! # The α-maximality subtlety
+//!
+//! β applies to *admission only*. Maximality is still judged at α: the
+//! `I`/`X` candidate sets are built with the α threshold, and a skipped
+//! subtree's head vertex stays in its parent's `I` span, so later
+//! siblings still filter it into their `X'` sets and low-probability
+//! vertices keep witnessing non-maximality of high-probability cliques.
+//! Raising the *construction* threshold to β instead would be unsound:
+//! a clique `C` with `clq(C) > β` can be non-maximal solely because of
+//! an extension `C ∪ {v}` with `clq ∈ [α, β]`, and judging maximality at
+//! β would wrongly report `C`. The cut is safe precisely because
+//! skipping a subtree never changes what *other* branches emit — it
+//! only discards emissions that the heap would have rejected anyway.
 
-use crate::enumerate::Mule;
-use crate::sinks::TopKSink;
+use crate::kernel::{CandidateArena, DepthArenas, Kernel};
+use crate::prepare::{prepare, PrepareConfig, Unit};
+use crate::sinks::{CliqueSink, Control, TopKSink};
+use crate::stats::EnumerationStats;
+use std::ops::Range;
 use ugraph_core::{GraphError, UncertainGraph, VertexId};
+
+/// A ranked answer list: `(clique, probability)` pairs, probability
+/// descending.
+pub type RankedCliques = Vec<(Vec<VertexId>, f64)>;
 
 /// The `k` α-maximal cliques with the highest clique probability, sorted
 /// by probability descending (ties broken lexicographically on the vertex
@@ -36,28 +55,210 @@ pub fn top_k_maximal_cliques(
     alpha: f64,
     k: usize,
 ) -> Result<Vec<(Vec<VertexId>, f64)>, GraphError> {
-    let mut mule = Mule::new(g, alpha)?;
+    let mut inst = prepare(g, alpha, &PrepareConfig::default())?;
     let mut sink = TopKSink::new(k);
-    mule.run(&mut sink);
+    inst.run(&mut sink);
     Ok(sink.into_sorted())
 }
 
-/// Alias of [`top_k_maximal_cliques`] kept as the named "pruned" variant.
-///
-/// A genuinely stronger cut — abandoning every branch whose clique
-/// probability falls below the current k-th best β — is **unsound** for
-/// this problem: α-maximality is defined against the α threshold, and a
-/// low-probability subtree can still *witness non-maximality* of a
-/// high-probability clique reached on another path (its vertices must
-/// enter `X` sets). Cutting those branches can turn non-maximal sets into
-/// reported answers. The safe speedup is output-side selection, which the
-/// bounded heap already performs in O(log k) per emission.
+/// Like [`top_k_maximal_cliques`], but with the adaptive β cut: branches
+/// whose clique probability has already fallen to the current k-th best
+/// are skipped (see the module docs for why this is sound and why a
+/// stronger cut is not). Produces the identical result with strictly
+/// fewer search nodes once the heap fills.
 pub fn top_k_maximal_cliques_pruned(
     g: &UncertainGraph,
     alpha: f64,
     k: usize,
 ) -> Result<Vec<(Vec<VertexId>, f64)>, GraphError> {
-    top_k_maximal_cliques(g, alpha, k)
+    Ok(top_k_pruned_with_stats(g, alpha, k)?.0)
+}
+
+/// [`top_k_maximal_cliques_pruned`] plus the run's search counters
+/// (`beta_pruned` records how many branches the adaptive threshold cut),
+/// so the pruning's effect is measurable.
+pub fn top_k_pruned_with_stats(
+    g: &UncertainGraph,
+    alpha: f64,
+    k: usize,
+) -> Result<(RankedCliques, EnumerationStats), GraphError> {
+    let inst = prepare(g, alpha, &PrepareConfig::default())?;
+    let mut sink = TopKSink::new(k);
+    let mut stats = EnumerationStats::new();
+    stats.calls = 1; // the conceptual root node
+    if inst.original_vertices() == 0 {
+        stats.emitted = 1;
+        sink.emit(&[], 1.0);
+        return Ok((sink.into_sorted(), stats));
+    }
+    let mut arenas = DepthArenas::new();
+    let mut c: Vec<VertexId> = Vec::new();
+    let mut scratch: Vec<VertexId> = Vec::new();
+    for &unit in inst.schedule() {
+        match unit {
+            Unit::Singleton(v) => {
+                stats.calls += 1;
+                stats.max_depth = stats.max_depth.max(1);
+                stats.emitted += 1;
+                if sink.emit(&[v], 1.0) == Control::Stop {
+                    break;
+                }
+            }
+            Unit::Root { comp, local } => {
+                let (kernel, map) = inst.component_parts(comp);
+                let (i0, x0) = kernel.expand_root_into(
+                    local,
+                    &mut arenas.even,
+                    &mut stats.i_candidates_scanned,
+                );
+                c.push(local);
+                let ctl = beta_subtree(
+                    kernel,
+                    &mut stats,
+                    &mut c,
+                    1.0,
+                    i0,
+                    x0,
+                    &mut arenas.even,
+                    &mut arenas.odd,
+                    map,
+                    &mut scratch,
+                    &mut sink,
+                );
+                c.pop();
+                arenas.clear();
+                if ctl == Control::Stop {
+                    break;
+                }
+            }
+        }
+    }
+    Ok((sink.into_sorted(), stats))
+}
+
+/// Translate `c` to original ids and offer it to the heap, via the
+/// shared borrowed-scratch remap adapter (one translation
+/// implementation for the whole crate).
+fn emit_remapped(
+    sink: &mut TopKSink,
+    map: &[VertexId],
+    scratch: &mut Vec<VertexId>,
+    c: &[VertexId],
+    q: f64,
+) -> Control {
+    crate::prepare::Remap {
+        inner: sink,
+        map,
+        scratch,
+    }
+    .emit(c, q)
+}
+
+/// [`crate::kernel::enumerate_subtree`] specialized to a [`TopKSink`]:
+/// identical α-semantics for `I`/`X` construction and the leaf
+/// short-circuit, plus the adaptive admission cut. A separate copy
+/// rather than a parameter of the shared kernel recursion because the
+/// cut must consult the sink's heap *between branches* — a feedback
+/// channel the streaming [`CliqueSink`] interface deliberately does not
+/// expose.
+#[allow(clippy::too_many_arguments)] // mirrors Algorithm 2's state tuple
+fn beta_subtree(
+    kernel: &Kernel,
+    stats: &mut EnumerationStats,
+    c: &mut Vec<VertexId>,
+    q: f64,
+    i_span: Range<usize>,
+    x_span: Range<usize>,
+    cur: &mut CandidateArena,
+    next: &mut CandidateArena,
+    map: &[VertexId],
+    scratch: &mut Vec<VertexId>,
+    sink: &mut TopKSink,
+) -> Control {
+    stats.calls += 1;
+    stats.max_depth = stats.max_depth.max(c.len());
+    if i_span.is_empty() && x_span.is_empty() {
+        stats.emitted += 1;
+        return emit_remapped(sink, map, scratch, c, q);
+    }
+    for pos in i_span.clone() {
+        let (u, r) = cur.get(pos);
+        let q2 = q * r;
+        // The adaptive cut: admission requires prob > β, and probability
+        // only shrinks deeper in the subtree, so `q2 ≤ β` proves no
+        // admissible clique below. `u` stays in this node's I span, so
+        // later siblings' X' still see it (α-maximality unaffected).
+        if sink.threshold().is_some_and(|beta| q2 <= beta) {
+            stats.beta_pruned += 1;
+            continue;
+        }
+        let mark = next.mark();
+        kernel.filter_candidates_into(
+            u,
+            q2,
+            cur.span(pos + 1..i_span.end),
+            next,
+            &mut stats.i_candidates_scanned,
+        );
+        let x2_start = next.mark();
+        if mark == x2_start {
+            // I' empty: leaf child — X' only tested for emptiness
+            // (Lemma 9), at the α threshold as always.
+            stats.calls += 1;
+            stats.max_depth = stats.max_depth.max(c.len() + 1);
+            let extendable = kernel.any_candidate_survives(
+                u,
+                q2,
+                [cur.span(x_span.clone()), cur.span(i_span.start..pos)],
+                &mut stats.x_candidates_scanned,
+            );
+            if !extendable {
+                stats.emitted += 1;
+                c.push(u);
+                let ctl = emit_remapped(sink, map, scratch, c, q2);
+                c.pop();
+                if ctl == Control::Stop {
+                    return Control::Stop;
+                }
+            }
+            continue;
+        }
+        kernel.filter_candidates_into(
+            u,
+            q2,
+            cur.span(x_span.clone()),
+            next,
+            &mut stats.x_candidates_scanned,
+        );
+        kernel.filter_candidates_into(
+            u,
+            q2,
+            cur.span(i_span.start..pos),
+            next,
+            &mut stats.x_candidates_scanned,
+        );
+        let x2_end = next.mark();
+        c.push(u);
+        let ctl = beta_subtree(
+            kernel,
+            stats,
+            c,
+            q2,
+            mark..x2_start,
+            x2_start..x2_end,
+            next,
+            cur,
+            map,
+            scratch,
+            sink,
+        );
+        c.pop();
+        next.truncate(mark);
+        if ctl == Control::Stop {
+            return Control::Stop;
+        }
+    }
+    Control::Continue
 }
 
 #[cfg(test)]
@@ -107,6 +308,9 @@ mod tests {
         assert!(top_k_maximal_cliques(&fixture(), 0.3, 0)
             .unwrap()
             .is_empty());
+        assert!(top_k_maximal_cliques_pruned(&fixture(), 0.3, 0)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -121,10 +325,86 @@ mod tests {
     #[test]
     fn pruned_variant_agrees() {
         let g = fixture();
-        assert_eq!(
-            top_k_maximal_cliques(&g, 0.3, 3).unwrap(),
-            top_k_maximal_cliques_pruned(&g, 0.3, 3).unwrap()
+        for k in [1, 2, 3, 10] {
+            assert_eq!(
+                top_k_maximal_cliques(&g, 0.3, k).unwrap(),
+                top_k_maximal_cliques_pruned(&g, 0.3, k).unwrap(),
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn pruned_variant_agrees_on_random_graphs() {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        for seed in 0..15u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let n = 8 + (seed % 5) as usize;
+            let mut b = ugraph_core::GraphBuilder::new(n);
+            for u in 0..n as u32 {
+                for v in (u + 1)..n as u32 {
+                    if rng.gen::<f64>() < 0.5 {
+                        b.add_edge(u, v, 1.0 - rng.gen::<f64>()).unwrap();
+                    }
+                }
+            }
+            let g = b.build();
+            for alpha in [0.5, 0.1, 0.01] {
+                for k in [1, 3, 7] {
+                    let baseline = top_k_maximal_cliques(&g, alpha, k).unwrap();
+                    let (pruned, _) = top_k_pruned_with_stats(&g, alpha, k).unwrap();
+                    assert_eq!(pruned, baseline, "seed={seed} α={alpha} k={k}");
+                }
+            }
+        }
+    }
+
+    /// The β cut must fire (and save work) without changing the answer.
+    #[test]
+    fn beta_cut_reduces_search_nodes() {
+        // A heavy early clique fills the heap at β = 0.95; everything
+        // later sits below β and gets cut at the branch head.
+        let mut edges = vec![(0u32, 1u32, 0.95)];
+        for u in 2..12u32 {
+            for v in (u + 1)..12 {
+                edges.push((u, v, 0.6));
+            }
+        }
+        let g = from_edges(12, &edges).unwrap();
+        let (top, stats) = top_k_pruned_with_stats(&g, 0.01, 1).unwrap();
+        assert_eq!(top, vec![(vec![0, 1], 0.95)]);
+        assert!(stats.beta_pruned > 0, "cut never fired");
+        let baseline_calls = {
+            let mut m = crate::Mule::new(&g, 0.01).unwrap();
+            let mut sink = TopKSink::new(1);
+            m.run(&mut sink);
+            m.stats().calls
+        };
+        assert!(
+            stats.calls < baseline_calls,
+            "pruned {} vs baseline {}",
+            stats.calls,
+            baseline_calls
         );
+    }
+
+    /// The α-maximality subtlety (module docs): maximality must be
+    /// judged at α even inside β-cut territory. {2,3} has probability
+    /// 0.9 > α but is NOT maximal — its witness {2,3,4} has probability
+    /// 0.081, far below the β = 0.95 admission bar. An implementation
+    /// that raised the candidate-construction threshold to β would
+    /// prune the 0.3-edges, miss the witness, and wrongly report {2,3}
+    /// as the second-best maximal clique.
+    #[test]
+    fn maximality_judged_at_alpha_not_beta() {
+        let g = from_edges(5, &[(0, 1, 0.95), (2, 3, 0.9), (2, 4, 0.3), (3, 4, 0.3)]).unwrap();
+        let expected = [(vec![0, 1], 0.95), (vec![2, 3, 4], 0.9 * 0.3 * 0.3)];
+        let got = top_k_maximal_cliques_pruned(&g, 0.05, 2).unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].0, expected[0].0);
+        assert_eq!(got[1].0, expected[1].0, "{{2,3}} must not be reported");
+        assert!((got[1].1 - expected[1].1).abs() < 1e-12);
+        assert_eq!(got, top_k_maximal_cliques(&g, 0.05, 2).unwrap());
     }
 
     #[test]

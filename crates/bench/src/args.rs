@@ -65,11 +65,16 @@ impl Args {
         self.values.get(key).map(|s| s.as_str())
     }
 
-    /// A parsed value with a default.
-    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+    /// A parsed value with a default. Parse errors surface their own
+    /// message (e.g. `IndexMode`'s "expected auto|always|never") before
+    /// exiting.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> T
+    where
+        T::Err: std::fmt::Display,
+    {
         match self.get(key) {
-            Some(s) => s.parse().unwrap_or_else(|_| {
-                eprintln!("invalid value for --{key}: {s:?}");
+            Some(s) => s.parse().unwrap_or_else(|e| {
+                eprintln!("invalid value for --{key}: {s:?} ({e})");
                 std::process::exit(2);
             }),
             None => default,

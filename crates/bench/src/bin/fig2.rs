@@ -70,7 +70,7 @@ fn main() {
                     name.to_string(),
                     cell.clone(),
                     r.cliques.to_string(),
-                    r.calls.to_string(),
+                    r.calls().to_string(),
                 ]);
                 pts.push((alpha, s.median));
                 eprintln!("done {name} α={alpha}: {cell}");

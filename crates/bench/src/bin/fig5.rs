@@ -76,7 +76,7 @@ fn main() {
                     t.to_string(),
                     cell,
                     r.cliques.to_string(),
-                    r.calls.to_string(),
+                    r.calls().to_string(),
                 ]);
             }
             eprintln!("done {name} α={alpha}");

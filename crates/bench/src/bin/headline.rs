@@ -32,7 +32,7 @@
 //! ```
 
 use std::time::{Duration, Instant};
-use ugraph_bench::{harness, repeated_run, timed_run, Algo, Args, Json, Report, Summary};
+use ugraph_bench::{harness, repeated_run_with, timed_run_with, Algo, Args, Json, Report, Summary};
 
 const USAGE: &str = "headline — the Section 5 prose speedups
 options:
@@ -44,7 +44,24 @@ options:
   --out PATH         JSON output path (default results/headline.json)
   --repeats N        samples per (graph, alpha) point in --json mode (default 5)
   --min-size T       route the --json suite through the size-bounded pipeline
-  --prune-report P   write per-point PrepareReport JSON to P (--json mode)";
+  --prune-report P   write per-point PrepareReport JSON to P (--json mode)
+  --index-mode M     tiered neighborhood index: auto|always|never (default auto)
+  --index-budget B   dense probability-tier budget in bytes per kernel
+                     (0 = bitset membership tier only)";
+
+/// Append the work-performed counters to the current JSON row: the
+/// candidate-scan totals plus the tiered index's per-strategy probe
+/// counters, so `BENCH_pr<N>.json` tracks probes avoided rather than
+/// only wall-clock on a noisy single-CPU container.
+fn emit_counters(json: &mut Json, stats: &mule::EnumerationStats) {
+    json.key("i_candidates_scanned")
+        .int(stats.i_candidates_scanned as i64);
+    json.key("x_candidates_scanned")
+        .int(stats.x_candidates_scanned as i64);
+    json.key("dense_probes").int(stats.dense_probes as i64);
+    json.key("gallop_probes").int(stats.gallop_probes as i64);
+    json.key("merge_steps").int(stats.merge_steps as i64);
+}
 
 /// The perf-trajectory suite behind `--json`: sequential + parallel
 /// pipeline enumeration on ER / BA / Chung–Lu inputs at the Figure 1
@@ -55,6 +72,12 @@ fn run_trajectory(args: &Args) {
     let repeats: usize = args.get_or("repeats", 5).max(1);
     let min_size: usize = args.get_or("min-size", 0);
     let budget = Duration::from_secs_f64(args.get_or("timeout", 600.0));
+    let mule_cfg = {
+        let mut cfg = mule::MuleConfig::default();
+        cfg.index_mode = args.get_or("index-mode", cfg.index_mode);
+        cfg.dense_index_bytes = args.get_or("index-budget", cfg.dense_index_bytes);
+        cfg
+    };
     let alphas = [0.3, 0.5, 0.7];
     let thread_counts = [2usize, 4];
 
@@ -94,7 +117,11 @@ fn run_trajectory(args: &Args) {
     } else {
         ("MULE".to_string(), "MULE-par".to_string())
     };
-    let prepare_cfg = mule::PrepareConfig::with_min_size(min_size);
+    let prepare_cfg = {
+        let mut cfg = mule::PrepareConfig::with_min_size(min_size);
+        cfg.mule = mule_cfg.clone();
+        cfg
+    };
 
     let mut table = Report::new(
         "Perf trajectory: pipeline MULE on ER/BA/Chung-Lu (min/median/p95)",
@@ -107,13 +134,24 @@ fn run_trajectory(args: &Args) {
     json.key("scale").num(scale);
     json.key("repeats").int(repeats as i64);
     json.key("min_size").int(min_size as i64);
+    json.key("index_mode")
+        .str_val(&format!("{:?}", mule_cfg.index_mode).to_lowercase());
+    json.key("index_budget")
+        .int(mule_cfg.dense_index_bytes as i64);
     json.key("results").begin_arr();
     let mut prune_json = Json::new();
     prune_json.begin_arr();
     for (name, g) in &graphs {
         for &alpha in &alphas {
             // Sequential pipeline enumeration: the headline series.
-            let (r, s) = repeated_run(Algo::Pipeline(min_size), g, alpha, budget, repeats);
+            let (r, s) = repeated_run_with(
+                Algo::Pipeline(min_size),
+                g,
+                alpha,
+                budget,
+                repeats,
+                &mule_cfg,
+            );
             assert!(
                 !r.timed_out && s.samples == repeats,
                 "{name} α={alpha} exceeded the budget"
@@ -135,6 +173,7 @@ fn run_trajectory(args: &Args) {
             json.key("algo").str_val(&seq_label);
             json.key("threads").int(1);
             json.key("cliques").int(cliques as i64);
+            emit_counters(&mut json, &r.stats);
             json.summary("time", &s);
             json.end_obj();
             eprintln!("done {name} α={alpha} {seq_label}: {}", s.display());
@@ -160,12 +199,14 @@ fn run_trajectory(args: &Args) {
             for &threads in &thread_counts {
                 let mut secs = Vec::with_capacity(repeats);
                 let mut count = 0usize;
+                let mut par_stats = mule::EnumerationStats::new();
                 for _ in 0..repeats {
                     let start = Instant::now();
                     let inst = mule::prepare(g, alpha, &prepare_cfg).expect("valid alpha");
                     let out = mule::par_enumerate_prepared(&inst, threads);
                     secs.push(start.elapsed().as_secs_f64());
                     count = out.cliques.len();
+                    par_stats = out.stats;
                 }
                 assert_eq!(count as u64, cliques, "parallel/sequential count mismatch");
                 let s = Summary::from_samples(&secs);
@@ -185,6 +226,7 @@ fn run_trajectory(args: &Args) {
                 json.key("algo").str_val(&par_label);
                 json.key("threads").int(threads as i64);
                 json.key("cliques").int(count as i64);
+                emit_counters(&mut json, &par_stats);
                 json.summary("time", &s);
                 json.end_obj();
                 eprintln!(
@@ -230,6 +272,8 @@ fn main() {
             "repeats",
             "min-size",
             "prune-report",
+            "index-mode",
+            "index-budget",
         ],
         USAGE,
     );
@@ -241,6 +285,14 @@ fn main() {
     let scale: f64 = args.get_or("scale", 1.0);
     let dblp_scale: f64 = args.get_or("dblp-scale", 0.1);
     let budget = Duration::from_secs_f64(args.get_or("timeout", 120.0));
+    // The index flags apply to this mode too (DFS–NOIP stays index-free
+    // by design — see the harness docs).
+    let mule_cfg = {
+        let mut cfg = mule::MuleConfig::default();
+        cfg.index_mode = args.get_or("index-mode", cfg.index_mode);
+        cfg.dense_index_bytes = args.get_or("index-budget", cfg.dense_index_bytes);
+        cfg
+    };
 
     let mut report = Report::new(
         "Section 5 headline comparisons (paper ratio in last column)",
@@ -253,8 +305,8 @@ fn main() {
                    g: &ugraph_core::UncertainGraph,
                    alpha: f64,
                    paper: &str| {
-        let fast = timed_run(fast_algo, g, alpha, budget);
-        let slow = timed_run(slow_algo, g, alpha, budget);
+        let fast = timed_run_with(fast_algo, g, alpha, budget, &mule_cfg);
+        let slow = timed_run_with(slow_algo, g, alpha, budget, &mule_cfg);
         let ratio = slow.seconds / fast.seconds.max(1e-9);
         let ratio = if slow.timed_out {
             format!(">{ratio:.0}x")

@@ -15,7 +15,7 @@
 //! reported time.
 
 use mule::sinks::{CliqueSink, Control, CountSink};
-use mule::{DfsNoip, LargeMule, Mule, MuleConfig};
+use mule::{DfsNoip, EnumerationStats, LargeMule, Mule, MuleConfig};
 use std::time::{Duration, Instant};
 use ugraph_core::{UncertainGraph, VertexId};
 
@@ -33,13 +33,20 @@ pub struct RunResult {
     pub output_vertices: u64,
     /// Largest clique seen.
     pub max_clique: usize,
-    /// Search-tree nodes visited.
-    pub calls: u64,
+    /// The run's full counters (search-tree nodes, scanned candidates,
+    /// and the per-strategy probe counters of the tiered index), so
+    /// bench artifacts can track work performed, not only wall-clock.
+    pub stats: EnumerationStats,
     /// True if the deadline fired before the enumeration finished.
     pub timed_out: bool,
 }
 
 impl RunResult {
+    /// Search-tree nodes visited (`stats.calls`).
+    pub fn calls(&self) -> u64 {
+        self.stats.calls
+    }
+
     /// Render the runtime like the paper's tables (`>12s` when timed out).
     pub fn display_time(&self) -> String {
         if self.timed_out {
@@ -121,40 +128,56 @@ impl Algo {
 }
 
 /// Time one `(algorithm, graph, α)` point, counting (not storing) the
-/// output, honoring `budget` as a cooperative deadline.
+/// output, honoring `budget` as a cooperative deadline. Runs with the
+/// default [`MuleConfig`]; see [`timed_run_with`] to override the
+/// index configuration.
 pub fn timed_run(algo: Algo, g: &UncertainGraph, alpha: f64, budget: Duration) -> RunResult {
+    timed_run_with(algo, g, alpha, budget, &MuleConfig::default())
+}
+
+/// [`timed_run`] with an explicit kernel configuration (index mode and
+/// tier budgets); `mule_cfg` applies to every algorithm except the
+/// index-free DFS–NOIP baseline.
+pub fn timed_run_with(
+    algo: Algo,
+    g: &UncertainGraph,
+    alpha: f64,
+    budget: Duration,
+    mule_cfg: &MuleConfig,
+) -> RunResult {
     let mut sink = DeadlineSink::new(budget);
     let start = Instant::now();
-    let calls = match algo {
+    let stats = match algo {
         Algo::Mule => {
-            let mut m = Mule::new(g, alpha).expect("valid alpha");
+            let mut m = Mule::with_config(g, alpha, mule_cfg.clone()).expect("valid alpha");
             m.run(&mut sink);
-            m.stats().calls
+            *m.stats()
         }
         Algo::MuleNaiveRoot => {
             let cfg = MuleConfig {
                 naive_root: true,
-                ..Default::default()
+                ..mule_cfg.clone()
             };
             let mut m = Mule::with_config(g, alpha, cfg).expect("valid alpha");
             m.run(&mut sink);
-            m.stats().calls
+            *m.stats()
         }
         Algo::DfsNoip => {
             let mut d = DfsNoip::new(g, alpha).expect("valid alpha");
             d.run(&mut sink);
-            d.stats().calls
+            *d.stats()
         }
         Algo::LargeMule(t) => {
-            let mut l = LargeMule::new(g, alpha, t).expect("valid alpha");
+            let mut l = LargeMule::with_config(g, alpha, t, mule_cfg.clone()).expect("valid alpha");
             l.run(&mut sink);
-            l.stats().calls
+            *l.stats()
         }
         Algo::Pipeline(t) => {
-            let cfg = mule::PrepareConfig::with_min_size(t);
+            let mut cfg = mule::PrepareConfig::with_min_size(t);
+            cfg.mule = mule_cfg.clone();
             let mut inst = mule::prepare(g, alpha, &cfg).expect("valid alpha");
             inst.run(&mut sink);
-            inst.stats().calls
+            *inst.stats()
         }
     };
     let seconds = start.elapsed().as_secs_f64();
@@ -163,7 +186,7 @@ pub fn timed_run(algo: Algo, g: &UncertainGraph, alpha: f64, budget: Duration) -
         cliques: sink.inner.count,
         output_vertices: sink.inner.total_vertices,
         max_clique: sink.inner.max_size,
-        calls,
+        stats,
         timed_out: sink.expired,
     }
 }
@@ -186,11 +209,24 @@ pub fn repeated_run(
     budget: Duration,
     repeats: usize,
 ) -> (RunResult, crate::report::Summary) {
-    let first = timed_run(algo, g, alpha, budget);
+    repeated_run_with(algo, g, alpha, budget, repeats, &MuleConfig::default())
+}
+
+/// [`repeated_run`] with an explicit kernel configuration, forwarded to
+/// [`timed_run_with`] for every sample.
+pub fn repeated_run_with(
+    algo: Algo,
+    g: &UncertainGraph,
+    alpha: f64,
+    budget: Duration,
+    repeats: usize,
+    mule_cfg: &MuleConfig,
+) -> (RunResult, crate::report::Summary) {
+    let first = timed_run_with(algo, g, alpha, budget, mule_cfg);
     let mut secs = vec![first.seconds];
     if !first.timed_out {
         for _ in 1..repeats.max(1) {
-            let r = timed_run(algo, g, alpha, budget);
+            let r = timed_run_with(algo, g, alpha, budget, mule_cfg);
             if r.timed_out {
                 break;
             }
@@ -250,7 +286,7 @@ mod tests {
         assert_eq!(r.max_clique, 3);
         assert!(!r.timed_out);
         assert!(r.seconds >= 0.0);
-        assert!(r.calls > 0);
+        assert!(r.calls() > 0);
     }
 
     #[test]
@@ -285,7 +321,7 @@ mod tests {
             cliques: 1,
             output_vertices: 1,
             max_clique: 1,
-            calls: 1,
+            stats: EnumerationStats::new(),
             timed_out: false,
         };
         assert!(!done.display_time().starts_with('>'));

@@ -28,6 +28,6 @@ pub mod plot;
 pub mod report;
 
 pub use args::Args;
-pub use harness::{repeated_run, timed_run, Algo, RunResult};
+pub use harness::{repeated_run, repeated_run_with, timed_run, timed_run_with, Algo, RunResult};
 pub use plot::{AsciiPlot, Scale};
 pub use report::{Json, Report, Summary};

@@ -57,14 +57,20 @@ pub fn stats(args: &[String], out: &mut dyn Write) -> CmdResult {
 }
 
 /// `mule enumerate <graph> --alpha A [--min-size T] [--threads N]
-/// [--count-only] [--out FILE] [--no-prune] [--prune-report]`.
+/// [--count-only] [--out FILE] [--no-prune] [--prune-report]
+/// [--index-mode auto|always|never] [--index-budget BYTES]`.
 ///
 /// Default route is the preprocessing pipeline (`mule::prepare`):
 /// α-prune → `(t−1)·α` core filter → shared-neighborhood peel →
 /// per-component enumeration on compact remapped instances.
 /// `--no-prune` falls back to the direct single-kernel enumerators
 /// (byte-identical output, no sharding); `--prune-report` prints what
-/// each stage removed as `#`-prefixed comment lines.
+/// each stage removed as `#`-prefixed comment lines. `--index-mode`
+/// selects whether the tiered neighborhood index is built (`never`
+/// falls back to CSR gallop/merge; output is identical either way) and
+/// `--index-budget` caps the dense probability tier in bytes per
+/// enumeration kernel — per component when the pipeline shards (`0`
+/// disables dense rows, keeping only the bitset membership tier).
 pub fn enumerate(args: &[String], out: &mut dyn Write) -> CmdResult {
     let opts = Opts::parse(
         args,
@@ -76,6 +82,8 @@ pub fn enumerate(args: &[String], out: &mut dyn Write) -> CmdResult {
             "out",
             "no-prune",
             "prune-report",
+            "index-mode",
+            "index-budget",
         ]),
     )?;
     let g = graph_from(&opts)?;
@@ -86,12 +94,19 @@ pub fn enumerate(args: &[String], out: &mut dyn Write) -> CmdResult {
     if no_prune && opts.flag("prune-report") {
         return Err("--prune-report requires the pipeline; drop --no-prune".into());
     }
+    let mule_cfg = {
+        let mut cfg = mule::MuleConfig::default();
+        cfg.index_mode = opts.get_or("index-mode", cfg.index_mode)?;
+        cfg.dense_index_bytes = opts.get_or("index-budget", cfg.dense_index_bytes)?;
+        cfg
+    };
     let started = std::time::Instant::now();
 
     let prepared = if no_prune {
         None
     } else {
-        let cfg = mule::PrepareConfig::with_min_size(min_size);
+        let mut cfg = mule::PrepareConfig::with_min_size(min_size);
+        cfg.mule = mule_cfg.clone();
         let inst = mule::prepare(&g, alpha, &cfg).map_err(fmt_err)?;
         if opts.flag("prune-report") {
             for line in inst.report().render().lines() {
@@ -109,12 +124,14 @@ pub fn enumerate(args: &[String], out: &mut dyn Write) -> CmdResult {
                 inst.stats().calls
             }
             None if min_size >= 2 => {
-                let mut lm = mule::LargeMule::new(&g, alpha, min_size).map_err(fmt_err)?;
+                let mut lm = mule::LargeMule::with_config(&g, alpha, min_size, mule_cfg.clone())
+                    .map_err(fmt_err)?;
                 lm.run(&mut sink);
                 lm.stats().calls
             }
             None => {
-                let mut m = mule::Mule::new(&g, alpha).map_err(fmt_err)?;
+                let mut m =
+                    mule::Mule::with_config(&g, alpha, mule_cfg.clone()).map_err(fmt_err)?;
                 m.run(&mut sink);
                 m.stats().calls
             }
@@ -139,7 +156,8 @@ pub fn enumerate(args: &[String], out: &mut dyn Write) -> CmdResult {
             }
         }
         None if min_size >= 2 => {
-            let mut lm = mule::LargeMule::new(&g, alpha, min_size).map_err(fmt_err)?;
+            let mut lm = mule::LargeMule::with_config(&g, alpha, min_size, mule_cfg.clone())
+                .map_err(fmt_err)?;
             let mut sink = CollectSink::new();
             lm.run(&mut sink);
             sink.into_pairs()
@@ -149,6 +167,7 @@ pub fn enumerate(args: &[String], out: &mut dyn Write) -> CmdResult {
             // kernel matches the sequential direct enumerators.
             let cfg = mule::PrepareConfig {
                 shard_components: false,
+                mule: mule_cfg.clone(),
                 ..Default::default()
             };
             let inst = mule::prepare(&g, alpha, &cfg).map_err(fmt_err)?;
@@ -156,7 +175,7 @@ pub fn enumerate(args: &[String], out: &mut dyn Write) -> CmdResult {
             o.cliques.into_iter().zip(o.probs).collect()
         }
         None => {
-            let mut m = mule::Mule::new(&g, alpha).map_err(fmt_err)?;
+            let mut m = mule::Mule::with_config(&g, alpha, mule_cfg.clone()).map_err(fmt_err)?;
             let mut sink = CollectSink::new();
             m.run(&mut sink);
             sink.into_pairs()

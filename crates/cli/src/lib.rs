@@ -40,6 +40,11 @@ COMMANDS:
                [--min-size T] [--threads N] [--count-only] [--out FILE]
                [--no-prune]                 (bypass the preprocessing pipeline)
                [--prune-report]             (print per-stage removal counts)
+               [--index-mode auto|always|never]  (tiered neighborhood index;
+                                            'never' = CSR gallop/merge only)
+               [--index-budget BYTES]       (dense probability-row tier cap,
+                                            per component kernel; 0 keeps
+                                            only the bitset tier)
   topk       <graph> --alpha A --k K        k most probable α-maximal cliques
                [--skeleton]                 (skeleton-maximal instead: Zou et al.)
   verify     <graph> --alpha A --cliques F  verify a clique list

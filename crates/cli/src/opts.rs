@@ -57,23 +57,31 @@ impl Opts {
         self.positional.len()
     }
 
-    /// Required `--key` value, parsed.
-    pub fn required<T: std::str::FromStr>(&self, key: &str) -> Result<T, String> {
+    /// Required `--key` value, parsed. The parse error's own message is
+    /// surfaced (e.g. `IndexMode`'s "expected auto|always|never").
+    pub fn required<T: std::str::FromStr>(&self, key: &str) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
         let raw = self
             .values
             .get(key)
             .ok_or_else(|| format!("missing required option --{key}"))?;
         raw.parse()
-            .map_err(|_| format!("invalid value for --{key}: {raw:?}"))
+            .map_err(|e| format!("invalid value for --{key}: {raw:?} ({e})"))
     }
 
-    /// Optional `--key` value with default.
-    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+    /// Optional `--key` value with default. Parse errors surface their
+    /// own message, like [`Self::required`].
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
         match self.values.get(key) {
             None => Ok(default),
             Some(raw) => raw
                 .parse()
-                .map_err(|_| format!("invalid value for --{key}: {raw:?}")),
+                .map_err(|e| format!("invalid value for --{key}: {raw:?} ({e})")),
         }
     }
 

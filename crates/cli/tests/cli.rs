@@ -146,6 +146,40 @@ fn enumerate_pipeline_flags() {
 }
 
 #[test]
+fn enumerate_index_flags() {
+    let dir = scratch("index");
+    let g = fixture_graph(&dir);
+    // Every index mode — and a zero dense budget — is output-neutral:
+    // the tiered index only changes how the filter answers probes.
+    let (code, reference, err) = run(&["enumerate", &g, "--alpha", "0.5"]);
+    assert_eq!(code, 0, "{err}");
+    for extra in [
+        &["--index-mode", "never"][..],
+        &["--index-mode", "always"][..],
+        &["--index-mode", "auto", "--index-budget", "0"][..],
+        &["--index-mode", "never", "--no-prune"][..],
+    ] {
+        let mut args = vec!["enumerate", &g, "--alpha", "0.5"];
+        args.extend_from_slice(extra);
+        let (code, out, err) = run(&args);
+        assert_eq!(code, 0, "{extra:?}: {err}");
+        assert_eq!(out, reference, "{extra:?}");
+    }
+    // Bad mode values are usage errors.
+    let (code, _, err) = run(&[
+        "enumerate",
+        &g,
+        "--alpha",
+        "0.5",
+        "--index-mode",
+        "sometimes",
+    ]);
+    assert_eq!(code, 2);
+    assert!(err.contains("--index-mode"), "{err}");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn enumerate_parallel_matches_sequential() {
     let dir = scratch("par");
     let g = fixture_graph(&dir);

@@ -1,11 +1,12 @@
 //! A fixed-capacity bitset over `u64` blocks.
 //!
 //! Maximal-clique enumeration is dominated by neighborhood intersections.
-//! For small and dense graphs MULE uses a dense adjacency index
-//! ([`crate::adjacency::AdjacencyIndex`]) whose rows are bit-rows in one
-//! flattened word array (plain `&[u64]` slices, not `BitSet`s — one
-//! pointer chase per membership probe instead of two), so probes are
-//! O(1) and row-vs-row set algebra runs a word at a time.
+//! For small and dense graphs MULE uses the tiered neighborhood index
+//! ([`crate::adjacency::NeighborhoodIndex`]) whose membership rows are
+//! bit-rows in one flattened word array (plain `&[u64]` slices, not
+//! `BitSet`s — one pointer chase per membership probe instead of two), so
+//! probes are O(1) and row-vs-row set algebra runs a word at a time; hub
+//! vertices additionally carry dense probability rows on top.
 //!
 //! The implementation is deliberately self-contained (no `fixedbitset`
 //! dependency is available offline): [`BitSet`] for owned sets

@@ -9,8 +9,10 @@
 //!
 //! * [`UncertainGraph`] — immutable CSR storage with per-edge probabilities,
 //!   built through [`GraphBuilder`];
-//! * [`BitSet`] and [`AdjacencyIndex`] — dense neighborhood machinery for
-//!   the fast intersection paths;
+//! * [`BitSet`] and [`NeighborhoodIndex`] — the tiered neighborhood
+//!   machinery (bitset membership rows everywhere, dense probability
+//!   rows for hubs) behind the fast intersection paths, with the shared
+//!   search primitives in [`intersect`];
 //! * [`clique`] — clique probabilities (Observation 1) and the reference
 //!   α-clique / α-maximality oracles used as test oracles;
 //! * [`sample`] — possible-world semantics and Monte-Carlo validation;
@@ -55,12 +57,13 @@ pub mod clique;
 pub mod components;
 pub mod error;
 pub mod graph;
+pub mod intersect;
 pub mod prob;
 pub mod sample;
 pub mod stats;
 pub mod subgraph;
 
-pub use adjacency::AdjacencyIndex;
+pub use adjacency::NeighborhoodIndex;
 pub use bitset::BitSet;
 pub use builder::{DuplicatePolicy, GraphBuilder};
 pub use components::Components;

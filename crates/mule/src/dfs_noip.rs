@@ -13,6 +13,11 @@
 //! Figure 1 of the paper (and the `fig1` harness binary) measures exactly
 //! this gap; on wiki-vote at α = 10⁻⁴ the paper reports 114 s for MULE vs
 //! more than 11 hours for DFS–NOIP.
+//!
+//! The baseline deliberately ignores the tiered neighborhood index
+//! (`ugraph_core::NeighborhoodIndex`): its cost model is per-edge binary
+//! search plus full probability recomputation, and accelerating its
+//! membership tests would blur exactly the gap the comparison isolates.
 
 use crate::kernel::Arena;
 use crate::sinks::{CliqueSink, CollectSink, Control};

@@ -18,10 +18,13 @@
 //! (the paper's key insight versus Θ(n) recomputation — the DFS–NOIP
 //! baseline in [`crate::dfs_noip`] shows the cost of not doing this).
 //!
-//! Neighborhood filtering (`S ∩ Γ(m)` in Algorithms 3/4) supports two
-//! strategies selected by [`MuleConfig::index_mode`]: probing a dense
-//! [`ugraph_core::AdjacencyIndex`] row, or galloping binary search in the
-//! CSR adjacency.
+//! Neighborhood filtering (`S ∩ Γ(m)` in Algorithms 3/4) runs on the
+//! tiered [`ugraph_core::NeighborhoodIndex`] and picks a strategy per
+//! filter call: a one-load dense probability row for hub vertices
+//! (budgeted by [`MuleConfig::dense_index_bytes`]), an O(1) bitset
+//! membership probe plus galloping CSR search for everything else, and —
+//! when no index is built ([`MuleConfig::index_mode`]) — galloping or a
+//! linear two-pointer merge depending on the candidate-to-degree ratio.
 //!
 //! The candidate sets themselves live in a per-search pair of
 //! depth-alternating arenas ([`crate::kernel::DepthArenas`]): each
@@ -39,17 +42,33 @@ use ugraph_core::{GraphError, UncertainGraph, VertexId};
 /// clique multiplies its probability by `factor`.
 pub type Candidate = (VertexId, f64);
 
-/// How to test candidate-vs-neighborhood membership.
+/// Whether to build the tiered neighborhood index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum IndexMode {
-    /// Build the dense adjacency index when it fits in
-    /// [`MuleConfig::max_index_bytes`]; otherwise use binary search.
+    /// Build the index when its membership tier fits in
+    /// [`MuleConfig::max_index_bytes`]; otherwise run index-free
+    /// (gallop / merge over the CSR adjacency).
     #[default]
     Auto,
-    /// Always build the dense index (tests/ablation).
+    /// Always build the index (tests/ablation).
     Always,
-    /// Never build it; always binary-search the CSR adjacency.
+    /// Never build it; always search the CSR adjacency directly.
     Never,
+}
+
+impl std::str::FromStr for IndexMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(IndexMode::Auto),
+            "always" => Ok(IndexMode::Always),
+            "never" => Ok(IndexMode::Never),
+            other => Err(format!(
+                "unknown index mode {other:?} (expected auto|always|never)"
+            )),
+        }
+    }
 }
 
 /// Configuration for [`Mule`].
@@ -57,8 +76,27 @@ pub enum IndexMode {
 pub struct MuleConfig {
     /// Neighborhood membership strategy.
     pub index_mode: IndexMode,
-    /// Budget for the dense index under [`IndexMode::Auto`] (bytes).
+    /// Budget for the index's bitset membership tier under
+    /// [`IndexMode::Auto`] (bytes): the tier costs `n²/8` bytes and is
+    /// skipped — leaving the CSR-only strategies — when it would exceed
+    /// this.
     pub max_index_bytes: usize,
+    /// Budget for the index's dense probability tier, in bytes **per
+    /// enumeration kernel** — when the preprocessing pipeline shards
+    /// into components, each component kernel gets its own budget
+    /// (rows there are component-sized, which is what makes them
+    /// cheap; a global cap would starve exactly the sharded workloads
+    /// the tier targets). Hub vertices get a full `f64` row (`8·n`
+    /// bytes each, one load per candidate in the filter) in descending
+    /// degree order until the budget is spent, and only while a row
+    /// stays cache-resident
+    /// (`ugraph_core::adjacency::DENSE_ROW_MAX_BYTES`). `0` disables
+    /// the tier. The default is deliberately modest: the tier is
+    /// rebuilt per prepare call, so its build cost (zero +
+    /// scatter-fill) sits on the query path and a few MiB of the
+    /// hottest hub rows is where the measured win is. See
+    /// [`ugraph_core::adjacency`] for the tier-selection heuristic.
+    pub dense_index_bytes: usize,
     /// If true, relabel vertices by degeneracy order before enumerating and
     /// translate emitted cliques back. Changes the search-tree shape, never
     /// the output set. Off by default (the paper uses natural ids).
@@ -78,6 +116,7 @@ impl Default for MuleConfig {
         MuleConfig {
             index_mode: IndexMode::Auto,
             max_index_bytes: 64 << 20,
+            dense_index_bytes: 4 << 20,
             degeneracy_order: false,
             naive_root: false,
         }

@@ -1,7 +1,9 @@
 //! Shared search kernel for MULE, LARGE–MULE and the parallel workers:
-//! graph preparation (α-pruning, optional relabeling, adjacency index),
-//! the GenerateI/GenerateX candidate filter (Algorithms 3 and 4), and the
-//! candidate **arena** the filters write into.
+//! graph preparation (α-pruning, optional relabeling, the tiered
+//! neighborhood index), the GenerateI/GenerateX candidate filter
+//! (Algorithms 3 and 4) with its per-call adaptive strategy dispatch
+//! (dense row / bitset+gallop / two-pointer merge), and the candidate
+//! **arena** the filters write into.
 //!
 //! # Arena span layout
 //!
@@ -39,7 +41,8 @@ use crate::enumerate::{Candidate, IndexMode, MuleConfig};
 use crate::sinks::{CliqueSink, Control};
 use crate::stats::EnumerationStats;
 use std::ops::Range;
-use ugraph_core::{subgraph, AdjacencyIndex, GraphError, UncertainGraph, VertexId};
+use ugraph_core::intersect::{gallop_cost, gallop_search};
+use ugraph_core::{subgraph, GraphError, NeighborhoodIndex, UncertainGraph, VertexId};
 
 /// A growable scratch stack of `T` addressed by [`Range<usize>`] spans.
 ///
@@ -101,8 +104,12 @@ impl<T: Copy> Arena<T> {
 }
 
 /// The arena of `(vertex, factor)` candidate tuples used by MULE and
-/// LARGE–MULE.
+/// LARGE–MULE (a [`Arena<Candidate>`] with a span view type).
 pub(crate) type CandidateArena = Arena<Candidate>;
+
+/// A borrowed candidate span: a sorted slice of `(vertex, factor)`
+/// tuples.
+pub(crate) type CandSpan<'a> = &'a [Candidate];
 
 /// The depth-alternating buffer pair (see the module docs): nodes at
 /// even depth hold their spans in `even` and write children into `odd`,
@@ -127,11 +134,44 @@ impl DepthArenas {
     }
 }
 
+/// Which scanned counter a filter call charges: `I`-set generation
+/// (Algorithm 3) or `X`-set generation (Algorithm 4). The strategy
+/// counters (`dense_probes` / `gallop_probes` / `merge_steps`) are
+/// charged directly by the filter bodies regardless of side.
+#[derive(Clone, Copy)]
+pub(crate) enum Scan {
+    /// Candidate-set generation (`GenerateI`).
+    I,
+    /// Exclusion-set generation (`GenerateX`).
+    X,
+}
+
+impl Scan {
+    #[inline]
+    fn counter(self, stats: &mut EnumerationStats) -> &mut u64 {
+        match self {
+            Scan::I => &mut stats.i_candidates_scanned,
+            Scan::X => &mut stats.x_candidates_scanned,
+        }
+    }
+}
+
+/// Merge-vs-gallop crossover on the index-free path: the linear
+/// two-pointer merge is dispatched when `|src| · MERGE_FACTOR ≥ deg(u)`.
+/// Measured by the `filter_kernel` bench's `intersect` sweep (deg 1024,
+/// hit densities 10/50/90%): per candidate, galloping costs
+/// ~log(deg/|src|) probes while the merge amortizes to `1 + deg/|src|`
+/// pointer steps; the merge matches or beats the gallop from
+/// `|src|/deg = 1/16` up (0.7–0.8µs vs 0.9–1.0µs at 1/16, winning by
+/// ~1.7× at 1/4) and only loses below `1/64` — so the dispatch flips at
+/// `deg/|src| = 16`.
+const MERGE_FACTOR: usize = 16;
+
 /// Prepared search state shared by the enumeration algorithms.
 pub(crate) struct Kernel {
     pub g: UncertainGraph,
     pub alpha: f64,
-    pub index: Option<AdjacencyIndex>,
+    pub index: Option<NeighborhoodIndex>,
     /// When degeneracy relabeling is on: internal id → original id.
     pub back_map: Option<Vec<VertexId>>,
 }
@@ -160,9 +200,10 @@ impl Kernel {
         let build_index = match config.index_mode {
             IndexMode::Always => true,
             IndexMode::Never => false,
-            IndexMode::Auto => AdjacencyIndex::should_build(&pruned, config.max_index_bytes),
+            IndexMode::Auto => NeighborhoodIndex::should_build(&pruned, config.max_index_bytes),
         };
-        let index = build_index.then(|| AdjacencyIndex::build(&pruned));
+        let index =
+            build_index.then(|| NeighborhoodIndex::build(&pruned, config.dense_index_bytes));
         Ok(Kernel {
             g: pruned,
             alpha,
@@ -177,9 +218,9 @@ impl Kernel {
         let build_index = match config.index_mode {
             IndexMode::Always => true,
             IndexMode::Never => false,
-            IndexMode::Auto => AdjacencyIndex::should_build(&g, config.max_index_bytes),
+            IndexMode::Auto => NeighborhoodIndex::should_build(&g, config.max_index_bytes),
         };
-        let index = build_index.then(|| AdjacencyIndex::build(&g));
+        let index = build_index.then(|| NeighborhoodIndex::build(&g, config.dense_index_bytes));
         Kernel {
             g,
             alpha,
@@ -223,61 +264,122 @@ impl Kernel {
     /// adjacent to `u`, multiply each factor by `p({·, u})`, and drop
     /// entries whose new clique probability `q2 · r'` would fall below α.
     /// Survivors are appended at `out`'s tail (callers bracket the
-    /// appends with `mark`/`truncate`). `scanned` is incremented by the
-    /// number of candidate tuples examined.
+    /// appends with `mark`/`truncate`). `side` picks which scanned
+    /// counter is charged `src.len()`.
     ///
-    /// Both `src` and `Γ(u)` are sorted by vertex id, so the edge
-    /// probability is found by exponential ("galloping") search from a
-    /// moving left bound — O(log gap) per candidate, O(1) when hits are
-    /// adjacent in the row — and O(1) per *rejected* candidate when the
-    /// dense index is available.
+    /// The intersection strategy is chosen **per call** from the tiered
+    /// index and the `|src| / deg(u)` shape:
+    ///
+    /// * `u` holds a dense probability row (always cache-resident — see
+    ///   [`ugraph_core::adjacency::DENSE_ROW_MAX_BYTES`]) → one load per
+    ///   candidate answers membership and probability together
+    ///   (`dense_probes` counts the probability fetches it serves);
+    /// * membership tier only → O(1) bitset probe per candidate, gallop
+    ///   into the CSR row on each hit (`gallop_probes` accumulates the
+    ///   modeled `O(log gap)` comparison cost per search) — the moving
+    ///   left bound makes adjacent hits O(1);
+    /// * no index, `|src|` within [`MERGE_FACTOR`] of `deg(u)` → linear
+    ///   two-pointer merge (`merge_steps`), the regime where galloping
+    ///   degenerates into repeated short searches;
+    /// * no index otherwise → gallop per candidate from the moving left
+    ///   bound.
+    ///
+    /// Every strategy multiplies the identical CSR `f64` (the dense row
+    /// stores the same bits), so survivors and probabilities are
+    /// bit-equal whichever path runs.
     #[inline]
     pub fn filter_candidates_into(
         &self,
         u: VertexId,
         q2: f64,
-        src: &[Candidate],
+        src: CandSpan<'_>,
         out: &mut CandidateArena,
-        scanned: &mut u64,
+        stats: &mut EnumerationStats,
+        side: Scan,
     ) {
-        *scanned += src.len() as u64;
+        *side.counter(stats) += src.len() as u64;
         let nbrs = self.g.neighbors(u);
         let probs = self.g.neighbor_probs(u);
-        let mut lo = 0usize;
-        match &self.index {
-            Some(idx) => {
-                let row = idx.row(u);
+        if let Some(idx) = &self.index {
+            if let Some(drow) = idx.dense_row(u) {
+                // Dense rows only exist cache-resident, so the direct
+                // one-load-per-candidate probe is always the right call.
                 for &(w, r) in src {
-                    // O(1) membership probe; on a hit the probability is
-                    // found by galloping the CSR row (successive hits are
-                    // at increasing positions because `src` is sorted).
-                    if row.contains(w as usize) {
-                        let j = gallop_search(nbrs, lo, w).expect("index row and CSR agree");
-                        let r2 = r * probs[j];
-                        lo = j + 1;
+                    let p = drow[w as usize];
+                    if p > 0.0 {
+                        stats.dense_probes += 1;
+                        let r2 = r * p;
                         if q2 * r2 >= self.alpha {
                             out.push((w, r2));
                         }
                     }
                 }
+                return;
             }
-            None => {
-                for &(w, r) in src {
-                    if lo >= nbrs.len() {
-                        break;
+            let row = idx.row(u);
+            let mut lo = 0usize;
+            for &(w, r) in src {
+                // O(1) membership probe on the hot word row; on a hit
+                // the probability is found by galloping the CSR row
+                // (successive hits are at increasing positions because
+                // `src` is sorted).
+                if row.contains(w as usize) {
+                    let j = gallop_search(nbrs, lo, w).expect("index row and CSR agree");
+                    stats.gallop_probes += gallop_cost(j - lo + 1);
+                    let r2 = r * probs[j];
+                    lo = j + 1;
+                    if q2 * r2 >= self.alpha {
+                        out.push((w, r2));
                     }
-                    match gallop_search(nbrs, lo, w) {
-                        Ok(j) => {
-                            let r2 = r * probs[j];
-                            if q2 * r2 >= self.alpha {
-                                out.push((w, r2));
-                            }
-                            lo = j + 1;
-                        }
-                        Err(j) => {
-                            lo = j;
-                        }
+                }
+            }
+            return;
+        }
+        if src.len() * MERGE_FACTOR >= nbrs.len() {
+            // Linear two-pointer merge: |src| within a constant factor
+            // of deg(u), where one sequential pass beats repeated
+            // searches.
+            let mut j = 0usize;
+            let mut steps = 0u64;
+            for &(w, r) in src {
+                while j < nbrs.len() && nbrs[j] < w {
+                    j += 1;
+                    steps += 1;
+                }
+                if j >= nbrs.len() {
+                    break;
+                }
+                steps += 1;
+                if nbrs[j] == w {
+                    let r2 = r * probs[j];
+                    j += 1;
+                    if q2 * r2 >= self.alpha {
+                        out.push((w, r2));
                     }
+                }
+            }
+            stats.merge_steps += steps;
+            return;
+        }
+        // Index-free and the span is sparse relative to the row: gallop
+        // per candidate from a moving left bound.
+        let mut lo = 0usize;
+        for &(w, r) in src {
+            if lo >= nbrs.len() {
+                break;
+            }
+            match gallop_search(nbrs, lo, w) {
+                Ok(j) => {
+                    stats.gallop_probes += gallop_cost(j - lo + 1);
+                    let r2 = r * probs[j];
+                    if q2 * r2 >= self.alpha {
+                        out.push((w, r2));
+                    }
+                    lo = j + 1;
+                }
+                Err(j) => {
+                    stats.gallop_probes += gallop_cost(j - lo + 1);
+                    lo = j;
                 }
             }
         }
@@ -287,89 +389,112 @@ impl Kernel {
     /// `I'` is empty it can never recurse, so its `X'` is only ever
     /// tested for emptiness (Lemma 9) — this answers that test directly,
     /// short-circuiting at the first survivor instead of materializing
-    /// the set. `scanned` counts only the tuples actually examined.
+    /// the set. Dispatches across the same per-call strategies as
+    /// [`Self::filter_candidates_into`]. `x_candidates_scanned` counts
+    /// only the tuples actually examined (this test always charges the
+    /// `X` side).
+    ///
+    /// The strategy bodies are deliberately duplicated from the
+    /// materializing filter rather than parameterized over an
+    /// accept-callback: this loop's wall-clock proved highly sensitive
+    /// to codegen (see the negative results in the module/ROADMAP
+    /// notes), and the two entry points are pinned against each other
+    /// by `filter_strategies_agree_on_survivors_and_bits` and
+    /// `any_candidate_survives_matches_materialized_filter`, so any
+    /// hand-mirroring mistake fails the suite. Keep the bodies in sync
+    /// when touching either.
     #[inline]
     pub fn any_candidate_survives(
         &self,
         u: VertexId,
         q2: f64,
-        srcs: [&[Candidate]; 2],
-        scanned: &mut u64,
+        srcs: [CandSpan<'_>; 2],
+        stats: &mut EnumerationStats,
     ) -> bool {
         let nbrs = self.g.neighbors(u);
         let probs = self.g.neighbor_probs(u);
+        let index = self.index.as_ref();
+        let dense = index.and_then(|idx| idx.dense_row(u));
         for src in srcs {
-            let mut lo = 0usize;
-            match &self.index {
-                Some(idx) => {
-                    let row = idx.row(u);
-                    for &(w, r) in src {
-                        *scanned += 1;
-                        if row.contains(w as usize) {
-                            let j = gallop_search(nbrs, lo, w).expect("index row and CSR agree");
-                            lo = j + 1;
-                            if q2 * (r * probs[j]) >= self.alpha {
-                                return true;
-                            }
+            if let Some(drow) = dense {
+                for &(w, r) in src {
+                    stats.x_candidates_scanned += 1;
+                    let p = drow[w as usize];
+                    if p > 0.0 {
+                        stats.dense_probes += 1;
+                        if q2 * (r * p) >= self.alpha {
+                            return true;
                         }
                     }
                 }
-                None => {
-                    for &(w, r) in src {
-                        if lo >= nbrs.len() {
-                            break;
+                continue;
+            }
+            if let Some(idx) = index {
+                let row = idx.row(u);
+                let mut lo = 0usize;
+                for &(w, r) in src {
+                    stats.x_candidates_scanned += 1;
+                    if row.contains(w as usize) {
+                        let j = gallop_search(nbrs, lo, w).expect("index row and CSR agree");
+                        stats.gallop_probes += gallop_cost(j - lo + 1);
+                        lo = j + 1;
+                        if q2 * (r * probs[j]) >= self.alpha {
+                            return true;
                         }
-                        *scanned += 1;
-                        match gallop_search(nbrs, lo, w) {
-                            Ok(j) => {
-                                if q2 * (r * probs[j]) >= self.alpha {
-                                    return true;
-                                }
-                                lo = j + 1;
-                            }
-                            Err(j) => {
-                                lo = j;
-                            }
+                    }
+                }
+                continue;
+            }
+            if src.len() * MERGE_FACTOR >= nbrs.len() {
+                let mut j = 0usize;
+                let mut steps = 0u64;
+                for &(w, r) in src {
+                    if j >= nbrs.len() {
+                        break;
+                    }
+                    stats.x_candidates_scanned += 1;
+                    while j < nbrs.len() && nbrs[j] < w {
+                        j += 1;
+                        steps += 1;
+                    }
+                    if j >= nbrs.len() {
+                        break;
+                    }
+                    steps += 1;
+                    if nbrs[j] == w {
+                        let p = probs[j];
+                        j += 1;
+                        if q2 * (r * p) >= self.alpha {
+                            stats.merge_steps += steps;
+                            return true;
                         }
+                    }
+                }
+                stats.merge_steps += steps;
+                continue;
+            }
+            let mut lo = 0usize;
+            for &(w, r) in src {
+                if lo >= nbrs.len() {
+                    break;
+                }
+                stats.x_candidates_scanned += 1;
+                match gallop_search(nbrs, lo, w) {
+                    Ok(j) => {
+                        stats.gallop_probes += gallop_cost(j - lo + 1);
+                        if q2 * (r * probs[j]) >= self.alpha {
+                            return true;
+                        }
+                        lo = j + 1;
+                    }
+                    Err(j) => {
+                        stats.gallop_probes += gallop_cost(j - lo + 1);
+                        lo = j;
                     }
                 }
             }
         }
         false
-    }
-}
-
-/// Exponential search for `w` in the sorted slice `nbrs`, starting from
-/// `start`: probe at offsets 1, 2, 4, … then binary-search the bracketed
-/// window. `Ok(i)`/`Err(i)` follow [`slice::binary_search`] semantics
-/// relative to the whole slice. O(log gap) instead of O(log (len−start)),
-/// which is what makes sorted-merge intersections cheap when consecutive
-/// hits are near each other.
-#[inline]
-fn gallop_search(nbrs: &[VertexId], start: usize, w: VertexId) -> Result<usize, usize> {
-    let n = nbrs.len();
-    let mut prev = start;
-    let mut probe = start;
-    let mut step = 1usize;
-    while probe < n {
-        match nbrs[probe].cmp(&w) {
-            std::cmp::Ordering::Equal => return Ok(probe),
-            std::cmp::Ordering::Less => {
-                prev = probe + 1;
-                probe += step;
-                step <<= 1;
-            }
-            std::cmp::Ordering::Greater => {
-                return match nbrs[prev..probe].binary_search(&w) {
-                    Ok(off) => Ok(prev + off),
-                    Err(off) => Err(prev + off),
-                };
-            }
-        }
-    }
-    match nbrs[prev..n].binary_search(&w) {
-        Ok(off) => Ok(prev + off),
-        Err(off) => Err(prev + off),
     }
 }
 
@@ -408,13 +533,7 @@ pub(crate) fn enumerate_subtree<S: CliqueSink>(
         let mark = next.mark();
         // Algorithm 3: I' from candidates beyond u (they are > u because
         // the I span is sorted by vertex id).
-        kernel.filter_candidates_into(
-            u,
-            q2,
-            cur.span(pos + 1..i_span.end),
-            next,
-            &mut stats.i_candidates_scanned,
-        );
+        kernel.filter_candidates_into(u, q2, cur.span(pos + 1..i_span.end), next, stats, Scan::I);
         let x2_start = next.mark();
         if mark == x2_start {
             // I' is empty: the child is a leaf, so X' is only tested for
@@ -428,7 +547,7 @@ pub(crate) fn enumerate_subtree<S: CliqueSink>(
                 u,
                 q2,
                 [cur.span(x_span.clone()), cur.span(i_span.start..pos)],
-                &mut stats.x_candidates_scanned,
+                stats,
             );
             if !extendable {
                 stats.emitted += 1;
@@ -443,20 +562,8 @@ pub(crate) fn enumerate_subtree<S: CliqueSink>(
         }
         // Algorithm 4: X' from the exclusion set (including vertices
         // looped over earlier at this node).
-        kernel.filter_candidates_into(
-            u,
-            q2,
-            cur.span(x_span.clone()),
-            next,
-            &mut stats.x_candidates_scanned,
-        );
-        kernel.filter_candidates_into(
-            u,
-            q2,
-            cur.span(i_span.start..pos),
-            next,
-            &mut stats.x_candidates_scanned,
-        );
+        kernel.filter_candidates_into(u, q2, cur.span(x_span.clone()), next, stats, Scan::X);
+        kernel.filter_candidates_into(u, q2, cur.span(i_span.start..pos), next, stats, Scan::X);
         let x2_end = next.mark();
         c.push(u);
         let ctl = enumerate_subtree(
@@ -518,13 +625,7 @@ pub(crate) fn enumerate_subtree_bounded<S: CliqueSink>(
         let (u, r) = cur.get(pos);
         let q2 = q * r;
         let mark = next.mark();
-        kernel.filter_candidates_into(
-            u,
-            q2,
-            cur.span(pos + 1..i_span.end),
-            next,
-            &mut stats.i_candidates_scanned,
-        );
+        kernel.filter_candidates_into(u, q2, cur.span(pos + 1..i_span.end), next, stats, Scan::I);
         let i2_len = next.mark() - mark;
         // Line 8: not enough material left to reach t vertices.
         if c.len() + 1 + i2_len < t {
@@ -544,7 +645,7 @@ pub(crate) fn enumerate_subtree_bounded<S: CliqueSink>(
                 u,
                 q2,
                 [cur.span(x_span.clone()), cur.span(i_span.start..pos)],
-                &mut stats.x_candidates_scanned,
+                stats,
             );
             if !extendable {
                 stats.emitted += 1;
@@ -557,20 +658,8 @@ pub(crate) fn enumerate_subtree_bounded<S: CliqueSink>(
             }
             continue;
         }
-        kernel.filter_candidates_into(
-            u,
-            q2,
-            cur.span(x_span.clone()),
-            next,
-            &mut stats.x_candidates_scanned,
-        );
-        kernel.filter_candidates_into(
-            u,
-            q2,
-            cur.span(i_span.start..pos),
-            next,
-            &mut stats.x_candidates_scanned,
-        );
+        kernel.filter_candidates_into(u, q2, cur.span(x_span.clone()), next, stats, Scan::X);
+        kernel.filter_candidates_into(u, q2, cur.span(i_span.start..pos), next, stats, Scan::X);
         let x2_end = next.mark();
         c.push(u);
         let ctl = enumerate_subtree_bounded(
@@ -597,29 +686,6 @@ pub(crate) fn enumerate_subtree_bounded<S: CliqueSink>(
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn gallop_search_matches_binary_search() {
-        let nbrs: Vec<VertexId> = vec![1, 3, 4, 9, 17, 33, 64, 65, 66, 900];
-        for start in 0..=nbrs.len() {
-            for w in 0..=1000u32 {
-                let expected = match nbrs[start..].binary_search(&w) {
-                    Ok(off) => Ok(start + off),
-                    Err(off) => Err(start + off),
-                };
-                assert_eq!(
-                    gallop_search(&nbrs, start, w),
-                    expected,
-                    "start={start}, w={w}"
-                );
-            }
-        }
-    }
-
-    #[test]
-    fn gallop_search_empty_slice() {
-        assert_eq!(gallop_search(&[], 0, 7), Err(0));
-    }
 
     #[test]
     fn arena_mark_truncate_and_span() {
@@ -668,21 +734,96 @@ mod tests {
             for cand in [(2u32, 1.0f64), (3, 1.0), (4, 1.0)] {
                 arena.push(cand);
             }
-            let mut scanned = 0u64;
+            let mut stats = EnumerationStats::new();
             for (loq, expect) in [(1.0, true), (0.1, false)] {
                 let survives = kernel.any_candidate_survives(
                     0,
                     loq,
                     [arena.span(0..3), arena.span(0..0)],
-                    &mut scanned,
+                    &mut stats,
                 );
                 assert_eq!(survives, expect, "mode {mode:?}, q2={loq}");
                 // Cross-check against the materializing filter (which
                 // writes into the sibling buffer, per the span layout).
                 let mut out = CandidateArena::new();
-                let mut s2 = 0u64;
-                kernel.filter_candidates_into(0, loq, arena.span(0..3), &mut out, &mut s2);
+                let mut s2 = EnumerationStats::new();
+                kernel.filter_candidates_into(0, loq, arena.span(0..3), &mut out, &mut s2, Scan::X);
                 assert_eq!(out.mark() > 0, expect);
+            }
+            assert!(stats.x_candidates_scanned > 0);
+        }
+    }
+
+    #[test]
+    fn filter_strategies_agree_on_survivors_and_bits() {
+        use crate::enumerate::{IndexMode, MuleConfig};
+        use ugraph_core::builder::from_edges;
+
+        // A hub (degree ≥ MIN_DENSE_DEGREE) so the dense tier engages
+        // under IndexMode::Always with an unbounded budget; candidate
+        // spans of different sizes exercise merge and gallop on the
+        // index-free path.
+        let mut edges: Vec<(u32, u32, f64)> = (1..=20u32)
+            .map(|v| (0, v, 0.35 + 0.03 * v as f64))
+            .collect();
+        edges.push((21, 22, 0.9));
+        let g = from_edges(23, &edges).unwrap();
+
+        let configs = [
+            ("dense", IndexMode::Always, usize::MAX),
+            ("bitset", IndexMode::Always, 0),
+            ("csr", IndexMode::Never, 0),
+        ];
+        let mut arena = CandidateArena::new();
+        for w in 1..23u32 {
+            arena.push((w, 1.0));
+        }
+        type Outcome = (String, Vec<(u32, u64)>, bool);
+        for src_len in [1usize, 3, 22] {
+            let mut outcomes: Vec<Outcome> = Vec::new();
+            for (label, mode, budget) in configs {
+                let cfg = MuleConfig {
+                    index_mode: mode,
+                    dense_index_bytes: budget,
+                    ..Default::default()
+                };
+                let kernel = Kernel::prepare(&g, 0.3, &cfg).unwrap();
+                let mut out = CandidateArena::new();
+                let mut stats = EnumerationStats::new();
+                kernel.filter_candidates_into(
+                    0,
+                    1.0,
+                    arena.span(0..src_len),
+                    &mut out,
+                    &mut stats,
+                    Scan::I,
+                );
+                let survivors: Vec<(u32, u64)> = (0..out.mark())
+                    .map(|i| {
+                        let (w, r) = out.get(i);
+                        (w, r.to_bits())
+                    })
+                    .collect();
+                let mut s2 = EnumerationStats::new();
+                let alive = kernel.any_candidate_survives(
+                    0,
+                    1.0,
+                    [arena.span(0..src_len), arena.span(0..0)],
+                    &mut s2,
+                );
+                // Exactly one strategy family fired per config.
+                match label {
+                    "dense" => assert!(stats.dense_probes > 0, "{label} len={src_len}"),
+                    "bitset" => assert!(
+                        stats.dense_probes == 0 && stats.gallop_probes + stats.merge_steps > 0
+                    ),
+                    _ => assert!(stats.dense_probes == 0),
+                }
+                outcomes.push((label.to_string(), survivors, alive));
+            }
+            for pair in outcomes.windows(2) {
+                assert_eq!(pair[0].1, pair[1].1, "survivors differ at len={src_len}");
+                assert_eq!(pair[0].2, pair[1].2, "existence differs at len={src_len}");
             }
         }
     }

@@ -18,6 +18,10 @@
 //! also skips the `X ← X ∪ {(u, r)}` update, which is safe because any
 //! clique that `u` could still extend would have placed `u`'s branch above
 //! the size bound in the first place.
+//!
+//! The bounded recursion shares the kernel's adaptive candidate filter,
+//! so the tiered neighborhood index (dense hub rows / bitset membership
+//! / CSR gallop+merge, per [`MuleConfig`]) applies here unchanged.
 
 use crate::enumerate::MuleConfig;
 use crate::kernel::{enumerate_subtree_bounded, DepthArenas, Kernel};

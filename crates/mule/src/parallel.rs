@@ -14,7 +14,10 @@
 //! compact per-component kernels, and the root tasks seeded into the
 //! deques are `(component, local root)` pairs — sharding falls out of
 //! the decomposition, and a worker never touches memory outside the
-//! component it is currently searching.
+//! component it is currently searching. The per-component tiered
+//! neighborhood index (dense hub rows + bitset membership) is built
+//! once at prepare time and shared read-only, so workers pay no
+//! index-construction or synchronization cost.
 //!
 //! # Scheduling: per-worker deques + stealing
 //!

@@ -38,6 +38,15 @@
 //! what the shared-neighborhood fixpoint examines, and sharding last
 //! sees the smallest graph.
 //!
+//! Each component's kernel builds its own tiered
+//! [`ugraph_core::NeighborhoodIndex`] over the **compact remapped ids**
+//! (configured by [`PrepareConfig::mule`], built once at prepare time so
+//! the steady-state zero-allocation guarantee holds across reruns).
+//! That compactness is what makes the dense probability tier cheap: a
+//! hub's dense row costs `8 ·` *component size* bytes, not `8 · n`, so
+//! sharded instances afford one-load filter probes on far more hubs
+//! than a whole-graph kernel could.
+//!
 //! # Byte-identical output
 //!
 //! Sequential MULE emits cliques in global lexicographic order (each

@@ -7,7 +7,14 @@
 //! check the bound empirically.
 
 /// Counters collected during one enumeration run.
-#[derive(Debug, Default, Clone, PartialEq, Eq)]
+///
+/// The `*_candidates_scanned` counters measure the search's intrinsic
+/// filtering work (Theorem 3's charge per search-tree edge); the probe
+/// counters (`dense_probes`, `gallop_probes`, `merge_steps`) attribute
+/// that work to the intersection strategy the tiered neighborhood index
+/// actually dispatched to, so a wall-clock change can be traced to
+/// probes avoided rather than guessed at.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct EnumerationStats {
     /// Search-tree nodes: calls to the recursive procedure (the root
     /// counts once).
@@ -28,6 +35,21 @@ pub struct EnumerationStats {
     /// ≤ β` (β = current k-th best probability; see `mule::topk`); zero
     /// outside top-k runs.
     pub beta_pruned: u64,
+    /// Probability fetches served by a dense-tier row: one load where
+    /// the CSR path would pay a galloping search. Together with
+    /// [`Self::gallop_probes`] this prices the filter's
+    /// probability-retrieval work (rejects cost one bitset-word load
+    /// under either strategy and are not counted).
+    pub dense_probes: u64,
+    /// Modeled comparison probes spent in galloping CSR searches
+    /// (`ugraph_core::intersect::gallop_cost` per search — `O(log gap)`
+    /// priced from the distance the search advanced; with the
+    /// membership tier present, searches run only for *accepted*
+    /// candidates, without it for every candidate examined).
+    pub gallop_probes: u64,
+    /// Pointer advances + candidate comparisons performed by the linear
+    /// two-pointer merge strategy.
+    pub merge_steps: u64,
 }
 
 impl EnumerationStats {
@@ -51,6 +73,15 @@ impl EnumerationStats {
         self.x_candidates_scanned += other.x_candidates_scanned;
         self.size_pruned += other.size_pruned;
         self.beta_pruned += other.beta_pruned;
+        self.dense_probes += other.dense_probes;
+        self.gallop_probes += other.gallop_probes;
+        self.merge_steps += other.merge_steps;
+    }
+
+    /// Total filter probes across strategies — the "work performed"
+    /// number the bench artifacts track alongside wall-clock.
+    pub fn total_probes(&self) -> u64 {
+        self.dense_probes + self.gallop_probes + self.merge_steps
     }
 }
 
@@ -68,6 +99,9 @@ mod tests {
             x_candidates_scanned: 5,
             size_pruned: 0,
             beta_pruned: 1,
+            dense_probes: 4,
+            gallop_probes: 2,
+            merge_steps: 1,
         };
         let b = EnumerationStats {
             calls: 4,
@@ -77,6 +111,9 @@ mod tests {
             x_candidates_scanned: 1,
             size_pruned: 7,
             beta_pruned: 2,
+            dense_probes: 6,
+            gallop_probes: 3,
+            merge_steps: 9,
         };
         a.merge(&b);
         assert_eq!(a.calls, 7);
@@ -85,6 +122,10 @@ mod tests {
         assert_eq!(a.total_scanned(), 17);
         assert_eq!(a.size_pruned, 7);
         assert_eq!(a.beta_pruned, 3);
+        assert_eq!(a.dense_probes, 10);
+        assert_eq!(a.gallop_probes, 5);
+        assert_eq!(a.merge_steps, 10);
+        assert_eq!(a.total_probes(), 25);
     }
 
     #[test]

@@ -33,7 +33,7 @@
 //! skipping a subtree never changes what *other* branches emit — it
 //! only discards emissions that the heap would have rejected anyway.
 
-use crate::kernel::{CandidateArena, DepthArenas, Kernel};
+use crate::kernel::{CandidateArena, DepthArenas, Kernel, Scan};
 use crate::prepare::{prepare, PrepareConfig, Unit};
 use crate::sinks::{CliqueSink, Control, TopKSink};
 use crate::stats::EnumerationStats;
@@ -193,13 +193,7 @@ fn beta_subtree(
             continue;
         }
         let mark = next.mark();
-        kernel.filter_candidates_into(
-            u,
-            q2,
-            cur.span(pos + 1..i_span.end),
-            next,
-            &mut stats.i_candidates_scanned,
-        );
+        kernel.filter_candidates_into(u, q2, cur.span(pos + 1..i_span.end), next, stats, Scan::I);
         let x2_start = next.mark();
         if mark == x2_start {
             // I' empty: leaf child — X' only tested for emptiness
@@ -210,7 +204,7 @@ fn beta_subtree(
                 u,
                 q2,
                 [cur.span(x_span.clone()), cur.span(i_span.start..pos)],
-                &mut stats.x_candidates_scanned,
+                stats,
             );
             if !extendable {
                 stats.emitted += 1;
@@ -223,20 +217,8 @@ fn beta_subtree(
             }
             continue;
         }
-        kernel.filter_candidates_into(
-            u,
-            q2,
-            cur.span(x_span.clone()),
-            next,
-            &mut stats.x_candidates_scanned,
-        );
-        kernel.filter_candidates_into(
-            u,
-            q2,
-            cur.span(i_span.start..pos),
-            next,
-            &mut stats.x_candidates_scanned,
-        );
+        kernel.filter_candidates_into(u, q2, cur.span(x_span.clone()), next, stats, Scan::X);
+        kernel.filter_candidates_into(u, q2, cur.span(i_span.start..pos), next, stats, Scan::X);
         let x2_end = next.mark();
         c.push(u);
         let ctl = beta_subtree(

@@ -129,6 +129,59 @@ fn dfs_noip_steady_state_rerun_allocates_nothing() {
 }
 
 #[test]
+fn prepared_pipeline_steady_state_rerun_allocates_nothing() {
+    // The pipelined path (PreparedInstance::run over per-component
+    // kernels) must keep the steady-state guarantee with the tiered
+    // index in every configuration: dense rows engaged (the planted
+    // high-id hub clears both the absolute and the relative
+    // hub-over-mean dense floors), bitset tier only, and index-free
+    // (gallop/merge). The index is built once at prepare time, so a
+    // rerun touches the allocator zero times.
+    let g = {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(11);
+        let n = 48u32;
+        let mut b = ugraph_core::GraphBuilder::new(n as usize);
+        for v in 0..32u32 {
+            b.add_edge(n - 1, v, 0.9).unwrap();
+        }
+        for u in 0..(n - 1) {
+            for v in (u + 1)..(n - 1) {
+                if rng.gen::<f64>() < 0.12 {
+                    b.add_edge(u, v, 1.0 - rng.gen::<f64>() * 0.5).unwrap();
+                }
+            }
+        }
+        b.build()
+    };
+    for (mode, budget) in [
+        (mule::IndexMode::Always, usize::MAX),
+        (mule::IndexMode::Always, 0),
+        (mule::IndexMode::Never, 0),
+    ] {
+        let cfg = mule::PrepareConfig {
+            mule: mule::MuleConfig {
+                index_mode: mode,
+                dense_index_bytes: budget,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut inst = mule::prepare(&g, 0.05, &cfg).unwrap();
+        let mut warm = mule::sinks::CountSink::new();
+        inst.run(&mut warm);
+        assert!(warm.count > 50, "fixture too easy: {} cliques", warm.count);
+        let mut sink = mule::sinks::CountSink::new();
+        let (allocs, _) = allocations_during(|| inst.run(&mut sink));
+        assert_eq!(
+            allocs, 0,
+            "steady-state prepared rerun allocated {allocs} times (mode {mode:?}, budget {budget})"
+        );
+        assert_eq!(sink.count, warm.count);
+    }
+}
+
+#[test]
 fn first_run_allocation_count_is_bounded_by_depth_not_nodes() {
     // Even the *first* run must allocate only O(max_depth + log capacity)
     // times (arena growth doublings), never per node: a graph with tens of

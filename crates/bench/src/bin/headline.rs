@@ -63,6 +63,21 @@ fn emit_counters(json: &mut Json, stats: &mule::EnumerationStats) {
     json.key("merge_steps").int(stats.merge_steps as i64);
 }
 
+/// One `mule::Query` per measured point: the builder is the single
+/// place the suite's knobs (α, size bound, kernel config) turn into a
+/// prepared session.
+fn query_for<'g>(
+    g: &'g ugraph_core::UncertainGraph,
+    alpha: f64,
+    min_size: usize,
+    cfg: &mule::MuleConfig,
+) -> mule::Query<'g> {
+    mule::Query::new(g)
+        .alpha(alpha)
+        .min_size(min_size)
+        .kernel_config(cfg.clone())
+}
+
 /// The perf-trajectory suite behind `--json`: sequential + parallel
 /// pipeline enumeration on ER / BA / Chung–Lu inputs at the Figure 1
 /// scales.
@@ -116,11 +131,6 @@ fn run_trajectory(args: &Args) {
         )
     } else {
         ("MULE".to_string(), "MULE-par".to_string())
-    };
-    let prepare_cfg = {
-        let mut cfg = mule::PrepareConfig::with_min_size(min_size);
-        cfg.mule = mule_cfg.clone();
-        cfg
     };
 
     let mut table = Report::new(
@@ -182,12 +192,14 @@ fn run_trajectory(args: &Args) {
                 // One extra, untimed prepare per point: the report is a
                 // diagnostic artifact, deliberately kept out of the
                 // timed region.
-                let inst = mule::prepare(g, alpha, &prepare_cfg).expect("valid alpha");
+                let session = query_for(g, alpha, min_size, &mule_cfg)
+                    .prepare()
+                    .expect("valid alpha");
                 prune_json.begin_obj();
                 prune_json.key("graph").str_val(name);
                 prune_json.key("alpha").num(alpha);
                 prune_json.key("min_size").int(min_size as i64);
-                for (field, value) in inst.report().fields() {
+                for (field, value) in session.report().fields() {
                     prune_json.key(field).int(value as i64);
                 }
                 prune_json.end_obj();
@@ -202,11 +214,14 @@ fn run_trajectory(args: &Args) {
                 let mut par_stats = mule::EnumerationStats::new();
                 for _ in 0..repeats {
                     let start = Instant::now();
-                    let inst = mule::prepare(g, alpha, &prepare_cfg).expect("valid alpha");
-                    let out = mule::par_enumerate_prepared(&inst, threads);
+                    let mut session = query_for(g, alpha, min_size, &mule_cfg)
+                        .threads(threads)
+                        .prepare()
+                        .expect("valid alpha");
+                    let pairs = session.collect();
                     secs.push(start.elapsed().as_secs_f64());
-                    count = out.cliques.len();
-                    par_stats = out.stats;
+                    count = pairs.len();
+                    par_stats = *session.stats();
                 }
                 assert_eq!(count as u64, cliques, "parallel/sequential count mismatch");
                 let s = Summary::from_samples(&secs);

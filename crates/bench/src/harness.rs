@@ -173,11 +173,18 @@ pub fn timed_run_with(
             *l.stats()
         }
         Algo::Pipeline(t) => {
-            let mut cfg = mule::PrepareConfig::with_min_size(t);
-            cfg.mule = mule_cfg.clone();
-            let mut inst = mule::prepare(g, alpha, &cfg).expect("valid alpha");
-            inst.run(&mut sink);
-            *inst.stats()
+            // The pipeline path goes through the session front door
+            // (`mule::Query`), same as the CLI: one prepare, then a
+            // streamed run — the timed region covers both, matching the
+            // paper's whole-query timing.
+            let mut session = mule::Query::new(g)
+                .alpha(alpha)
+                .min_size(t)
+                .kernel_config(mule_cfg.clone())
+                .prepare()
+                .expect("valid alpha");
+            session.stream(&mut sink);
+            *session.stats()
         }
     };
     let seconds = start.elapsed().as_secs_f64();

@@ -1,7 +1,7 @@
 //! The `mule` subcommand implementations.
 
 use crate::opts::{load_graph, save_graph, Opts};
-use mule::sinks::{CollectSink, CountSink};
+use mule::sinks::CountSink;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
 use ugraph_core::{GraphStats, VertexId};
@@ -60,17 +60,19 @@ pub fn stats(args: &[String], out: &mut dyn Write) -> CmdResult {
 /// [--count-only] [--out FILE] [--no-prune] [--prune-report]
 /// [--index-mode auto|always|never] [--index-budget BYTES]`.
 ///
-/// Default route is the preprocessing pipeline (`mule::prepare`):
-/// α-prune → `(t−1)·α` core filter → shared-neighborhood peel →
-/// per-component enumeration on compact remapped instances.
-/// `--no-prune` falls back to the direct single-kernel enumerators
-/// (byte-identical output, no sharding); `--prune-report` prints what
-/// each stage removed as `#`-prefixed comment lines. `--index-mode`
-/// selects whether the tiered neighborhood index is built (`never`
-/// falls back to CSR gallop/merge; output is identical either way) and
-/// `--index-budget` caps the dense probability tier in bytes per
-/// enumeration kernel — per component when the pipeline shards (`0`
-/// disables dense rows, keeping only the bitset membership tier).
+/// Every flag maps onto the `mule::Query` builder, and the command runs
+/// over the `mule::Prepared` session it produces. The default route is
+/// the full preprocessing pipeline: α-prune → `(t−1)·α` core filter →
+/// shared-neighborhood peel → per-component enumeration on compact
+/// remapped instances. `--no-prune` turns the size/shard stages off
+/// (one identity-mapped kernel, byte-identical output);
+/// `--prune-report` prints what each stage removed as `#`-prefixed
+/// comment lines. `--index-mode` selects whether the tiered
+/// neighborhood index is built (`never` falls back to CSR gallop/merge;
+/// output is identical either way) and `--index-budget` caps the dense
+/// probability tier in bytes per enumeration kernel — per component
+/// when the pipeline shards (`0` disables dense rows, keeping only the
+/// bitset membership tier).
 pub fn enumerate(args: &[String], out: &mut dyn Write) -> CmdResult {
     let opts = Opts::parse(
         args,
@@ -94,93 +96,40 @@ pub fn enumerate(args: &[String], out: &mut dyn Write) -> CmdResult {
     if no_prune && opts.flag("prune-report") {
         return Err("--prune-report requires the pipeline; drop --no-prune".into());
     }
-    let mule_cfg = {
-        let mut cfg = mule::MuleConfig::default();
-        cfg.index_mode = opts.get_or("index-mode", cfg.index_mode)?;
-        cfg.dense_index_bytes = opts.get_or("index-budget", cfg.dense_index_bytes)?;
-        cfg
-    };
+    let default_cfg = mule::MuleConfig::default();
     let started = std::time::Instant::now();
 
-    let prepared = if no_prune {
-        None
-    } else {
-        let mut cfg = mule::PrepareConfig::with_min_size(min_size);
-        cfg.mule = mule_cfg.clone();
-        let inst = mule::prepare(&g, alpha, &cfg).map_err(fmt_err)?;
-        if opts.flag("prune-report") {
-            for line in inst.report().render().lines() {
-                writeln!(out, "# {line}").map_err(io_err)?;
-            }
+    let mut query = mule::Query::new(&g)
+        .alpha(alpha)
+        .min_size(min_size)
+        .threads(threads.max(1))
+        .index_mode(opts.get_or("index-mode", default_cfg.index_mode)?)
+        .dense_index_bytes(opts.get_or("index-budget", default_cfg.dense_index_bytes)?);
+    if no_prune {
+        query = query
+            .core_filter(false)
+            .shared_neighborhood(false)
+            .shard_components(false);
+    }
+    let mut session = query.prepare().map_err(fmt_err)?;
+    if opts.flag("prune-report") {
+        for line in session.report().render().lines() {
+            writeln!(out, "# {line}").map_err(io_err)?;
         }
-        Some(inst)
-    };
+    }
 
     if opts.flag("count-only") {
         let mut sink = CountSink::new();
-        let calls = match prepared {
-            Some(mut inst) => {
-                inst.run(&mut sink);
-                inst.stats().calls
-            }
-            None if min_size >= 2 => {
-                let mut lm = mule::LargeMule::with_config(&g, alpha, min_size, mule_cfg.clone())
-                    .map_err(fmt_err)?;
-                lm.run(&mut sink);
-                lm.stats().calls
-            }
-            None => {
-                let mut m =
-                    mule::Mule::with_config(&g, alpha, mule_cfg.clone()).map_err(fmt_err)?;
-                m.run(&mut sink);
-                m.stats().calls
-            }
-        };
+        session.stream(&mut sink);
         writeln!(out, "cliques:      {}", sink.count).map_err(io_err)?;
         writeln!(out, "max size:     {}", sink.max_size).map_err(io_err)?;
         writeln!(out, "output ids:   {}", sink.total_vertices).map_err(io_err)?;
-        writeln!(out, "search nodes: {calls}").map_err(io_err)?;
+        writeln!(out, "search nodes: {}", session.stats().calls).map_err(io_err)?;
         writeln!(out, "elapsed:      {:.3}s", started.elapsed().as_secs_f64()).map_err(io_err)?;
         return Ok(());
     }
 
-    let pairs: Vec<(Vec<VertexId>, f64)> = match prepared {
-        Some(mut inst) => {
-            if threads > 1 {
-                let o = mule::par_enumerate_prepared(&inst, threads);
-                o.cliques.into_iter().zip(o.probs).collect()
-            } else {
-                let mut sink = CollectSink::new();
-                inst.run(&mut sink);
-                sink.into_pairs()
-            }
-        }
-        None if min_size >= 2 => {
-            let mut lm = mule::LargeMule::with_config(&g, alpha, min_size, mule_cfg.clone())
-                .map_err(fmt_err)?;
-            let mut sink = CollectSink::new();
-            lm.run(&mut sink);
-            sink.into_pairs()
-        }
-        None if threads > 1 => {
-            // Direct-path parallel: prepare without sharding so the
-            // kernel matches the sequential direct enumerators.
-            let cfg = mule::PrepareConfig {
-                shard_components: false,
-                mule: mule_cfg.clone(),
-                ..Default::default()
-            };
-            let inst = mule::prepare(&g, alpha, &cfg).map_err(fmt_err)?;
-            let o = mule::par_enumerate_prepared(&inst, threads);
-            o.cliques.into_iter().zip(o.probs).collect()
-        }
-        None => {
-            let mut m = mule::Mule::with_config(&g, alpha, mule_cfg.clone()).map_err(fmt_err)?;
-            let mut sink = CollectSink::new();
-            m.run(&mut sink);
-            sink.into_pairs()
-        }
-    };
+    let pairs: Vec<(Vec<VertexId>, f64)> = session.collect();
 
     match opts.get_str("out") {
         Some(path) => {
@@ -204,9 +153,11 @@ pub fn enumerate(args: &[String], out: &mut dyn Write) -> CmdResult {
 /// `mule topk <graph> --alpha A --k K [--skeleton]`.
 ///
 /// Default: the k most probable *α-maximal* cliques (this library's
-/// semantics). With `--skeleton`: the related-work problem (Zou et al.,
-/// ICDE 2010) — the k most probable maximal cliques of the deterministic
-/// skeleton, found by branch-and-bound (no α involved).
+/// semantics), served by a `mule::Query` session's adaptive `top_k`
+/// (the β branch-admission cut). With `--skeleton`: the related-work
+/// problem (Zou et al., ICDE 2010) — the k most probable maximal
+/// cliques of the deterministic skeleton, found by branch-and-bound (no
+/// α involved).
 pub fn topk(args: &[String], out: &mut dyn Write) -> CmdResult {
     let opts = Opts::parse(args, &with_input_opts(&["alpha", "k", "skeleton"]))?;
     let g = graph_from(&opts)?;
@@ -224,7 +175,17 @@ pub fn topk(args: &[String], out: &mut dyn Write) -> CmdResult {
         return Ok(());
     }
     let alpha: f64 = opts.required("alpha")?;
-    let top = mule::topk::top_k_maximal_cliques(&g, alpha, k).map_err(fmt_err)?;
+    // Always build the session so α is validated even for k = 0 —
+    // "nothing" is a valid CLI ask, but a bad threshold never is.
+    let mut session = mule::Query::new(&g)
+        .alpha(alpha)
+        .prepare()
+        .map_err(fmt_err)?;
+    let top = if k == 0 {
+        Vec::new() // the API makes k = 0 an error; the CLI keeps it empty
+    } else {
+        session.top_k(k).map_err(fmt_err)?
+    };
     ugraph_io::write_clique_list(&mut *out, alpha, &top).map_err(io_err)?;
     Ok(())
 }

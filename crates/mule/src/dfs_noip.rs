@@ -52,14 +52,22 @@ impl DfsNoip {
     pub fn new(g: &UncertainGraph, alpha: f64) -> Result<Self, GraphError> {
         let alpha = UncertainGraph::validate_alpha(alpha)?.get();
         let pruned = subgraph::prune_below_alpha(g, alpha)?;
-        Ok(DfsNoip {
+        Ok(Self::from_pruned(pruned, alpha))
+    }
+
+    /// Wrap a graph that is **already α-pruned** (and an already
+    /// validated α) without the redundant prune pass — the session
+    /// API's per-component constructor ([`crate::Engine::Noip`]), where
+    /// pipeline stage 1 pruned before sharding.
+    pub(crate) fn from_pruned(pruned: UncertainGraph, alpha: f64) -> Self {
+        DfsNoip {
             g: pruned,
             alpha,
             stats: EnumerationStats::new(),
             arena: Arena::new(),
             scratch: Vec::new(),
             clique_buf: Vec::new(),
-        })
+        }
     }
 
     /// Counters from the most recent run.
@@ -195,29 +203,21 @@ pub fn enumerate_maximal_cliques_noip(
 }
 
 /// Pipeline variant of [`enumerate_maximal_cliques_noip`]: even the
-/// baseline benefits from the preprocessing layer — each compact
-/// prepared component ([`crate::prepare`]) gets its own DFS–NOIP run,
-/// with id translation folded into the sink
-/// ([`crate::sinks::RemapSink`]) and isolated vertices emitted
-/// directly. Same output as the direct run.
+/// baseline benefits from the preprocessing layer. Thin delegate over
+/// the session API with [`crate::Engine::Noip`] — each compact
+/// prepared component gets its own DFS–NOIP run, with id translation
+/// folded into the sink layer and isolated vertices emitted directly.
+/// Same output as the direct run.
 pub fn enumerate_maximal_cliques_noip_prepared(
     g: &UncertainGraph,
     alpha: f64,
 ) -> Result<Vec<Vec<VertexId>>, GraphError> {
-    let inst = crate::prepare::prepare(g, alpha, &crate::prepare::PrepareConfig::default())?;
-    let mut sink = CollectSink::new();
-    if inst.original_vertices() == 0 {
-        sink.emit(&[], 1.0);
-    }
-    for (sub, map) in inst.components() {
-        let mut algo = DfsNoip::new(sub, alpha)?;
-        let mut remap = crate::sinks::RemapSink::new(&mut sink, map);
-        algo.run(&mut remap);
-    }
-    for &v in inst.singletons() {
-        sink.emit(&[v], 1.0);
-    }
-    Ok(sink.into_sorted_cliques())
+    let mut session = crate::Query::new(g)
+        .alpha(alpha)
+        .engine(crate::Engine::Noip)
+        .prepare()
+        .map_err(crate::MuleError::expect_graph)?;
+    Ok(session.sorted_cliques())
 }
 
 #[cfg(test)]

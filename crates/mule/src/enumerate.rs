@@ -27,14 +27,14 @@
 //! linear two-pointer merge depending on the candidate-to-degree ratio.
 //!
 //! The candidate sets themselves live in a per-search pair of
-//! depth-alternating arenas ([`crate::kernel::DepthArenas`]): each
+//! depth-alternating arenas (`kernel::DepthArenas`): each
 //! node's `I`/`X` are spans of a contiguous buffer, the filters append
 //! at the sibling buffer's tail, and backtracking truncates — zero heap
 //! allocations per search node once the buffers reach the deepest path
 //! (see the kernel module docs for the span layout).
 
 use crate::kernel::DepthArenas;
-use crate::sinks::{CliqueSink, CollectSink, Control};
+use crate::sinks::{CliqueSink, Control};
 use crate::stats::EnumerationStats;
 use ugraph_core::{GraphError, UncertainGraph, VertexId};
 
@@ -307,37 +307,39 @@ impl<S: CliqueSink> CliqueSink for TranslatingSink<'_, S> {
     }
 }
 
-/// Convenience wrapper: collect all α-maximal cliques of `g`, each sorted
+/// Legacy wrapper: collect all α-maximal cliques of `g`, each sorted
 /// ascending, the list sorted lexicographically.
 ///
-/// Routes through the preprocessing pipeline ([`crate::prepare`]):
-/// α-pruned, component-sharded, enumerated per compact instance — the
-/// output is identical to running [`Mule`] directly (the pipeline is
-/// byte-identical on default settings).
+/// Thin delegate over the session API — equivalent to
+/// `Query::new(g).alpha(alpha).prepare()?.collect()` ([`crate::Query`]),
+/// which is the preferred entry point (prepare once, query many times).
+/// Output is byte-identical to the pre-session wrapper (pinned by
+/// `tests/api_equivalence.rs`).
 pub fn enumerate_maximal_cliques(
     g: &UncertainGraph,
     alpha: f64,
 ) -> Result<Vec<Vec<VertexId>>, GraphError> {
-    let mut inst = crate::prepare::prepare(g, alpha, &crate::prepare::PrepareConfig::default())?;
-    let mut sink = CollectSink::new();
-    inst.run(&mut sink);
-    Ok(sink.into_sorted_cliques())
+    let mut session = crate::Query::new(g)
+        .alpha(alpha)
+        .prepare()
+        .map_err(crate::MuleError::expect_graph)?;
+    Ok(session.sorted_cliques())
 }
 
-/// Convenience wrapper: count α-maximal cliques without storing them.
-/// Routes through the preprocessing pipeline like
-/// [`enumerate_maximal_cliques`].
+/// Legacy wrapper: count α-maximal cliques without storing them. Thin
+/// delegate over [`crate::Prepared::count`].
 pub fn count_maximal_cliques(g: &UncertainGraph, alpha: f64) -> Result<u64, GraphError> {
-    let mut inst = crate::prepare::prepare(g, alpha, &crate::prepare::PrepareConfig::default())?;
-    let mut sink = crate::sinks::CountSink::new();
-    inst.run(&mut sink);
-    Ok(sink.count)
+    let mut session = crate::Query::new(g)
+        .alpha(alpha)
+        .prepare()
+        .map_err(crate::MuleError::expect_graph)?;
+    Ok(session.count())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sinks::{CountSink, FirstKSink};
+    use crate::sinks::{CollectSink, CountSink, FirstKSink};
     use ugraph_core::builder::{complete_graph, from_edges, GraphBuilder};
     use ugraph_core::clique;
     use ugraph_core::Prob;

@@ -26,7 +26,7 @@
 use crate::enumerate::MuleConfig;
 use crate::kernel::{enumerate_subtree_bounded, DepthArenas, Kernel};
 use crate::pruning::{shared_neighborhood_filter, PruneReport};
-use crate::sinks::{CliqueSink, CollectSink, Control};
+use crate::sinks::{CliqueSink, Control};
 use crate::stats::EnumerationStats;
 use ugraph_core::{GraphError, UncertainGraph, VertexId};
 
@@ -160,10 +160,12 @@ impl LargeMule {
     }
 }
 
-/// Convenience wrapper: collect all α-maximal cliques with at least `t`
+/// Legacy wrapper: collect all α-maximal cliques with at least `t`
 /// vertices, sorted lexicographically.
 ///
-/// Routes through the full preprocessing pipeline ([`crate::prepare`]):
+/// Thin delegate over the session API — equivalent to
+/// `Query::new(g).alpha(alpha).min_size(t).prepare()?.collect()`
+/// ([`crate::Query`]), which runs the full preprocessing pipeline:
 /// α-prune, `(t−1)·α` expected-degree core filter, shared-neighborhood
 /// peel, then per-component enumeration with the Algorithm 6 size
 /// bound. [`LargeMule`] remains the direct single-kernel path; the two
@@ -174,17 +176,19 @@ pub fn enumerate_large_maximal_cliques(
     t: usize,
 ) -> Result<Vec<Vec<VertexId>>, GraphError> {
     assert!(t >= 2, "size threshold t must be at least 2 (got {t})");
-    let mut inst =
-        crate::prepare::prepare(g, alpha, &crate::prepare::PrepareConfig::with_min_size(t))?;
-    let mut sink = CollectSink::new();
-    inst.run(&mut sink);
-    Ok(sink.into_sorted_cliques())
+    let mut session = crate::Query::new(g)
+        .alpha(alpha)
+        .min_size(t)
+        .prepare()
+        .map_err(crate::MuleError::expect_graph)?;
+    Ok(session.sorted_cliques())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::enumerate::enumerate_maximal_cliques;
+    use crate::sinks::CollectSink;
     use ugraph_core::builder::{complete_graph, from_edges, GraphBuilder};
     use ugraph_core::Prob;
 

@@ -1,48 +1,70 @@
 //! # mule — Maximal Uncertain cLique Enumeration
 //!
 //! Algorithms from *Mukherjee, Xu, Tirthapura, "Mining Maximal Cliques
-//! from an Uncertain Graph"* (ICDE 2015):
+//! from an Uncertain Graph"* (ICDE 2015), behind one entry point: the
+//! [`Query`] builder and the reusable [`Prepared`] session it produces.
 //!
-//! | Paper artifact | Here |
-//! |---|---|
-//! | MULE (Algorithms 1–4) | [`Mule`], [`enumerate_maximal_cliques`] |
-//! | LARGE–MULE (Algorithms 5–6) | [`LargeMule`], [`enumerate_large_maximal_cliques`] |
-//! | Modani–Dey shared-neighborhood filter | [`pruning::shared_neighborhood_filter`] |
-//! | DFS–NOIP baseline (Algorithm 7) | [`DfsNoip`], [`dfs_noip::enumerate_maximal_cliques_noip`] |
-//! | Theorem 1 / Moon–Moser bounds | [`bounds`] |
-//! | Bron–Kerbosch + Tomita pivot (paper refs 8, 42) | [`deterministic`] |
-//! | Top-k by probability (paper ref 47) | [`topk`] |
+//! | Paper artifact | Through the session API | Direct (pipeline-off) path |
+//! |---|---|---|
+//! | MULE (Algorithms 1–4) | [`Query::prepare`] → [`Prepared::collect`] / [`Prepared::count`] / [`Prepared::stream`] / [`Prepared::iter`] | [`Mule`] |
+//! | LARGE–MULE (Algorithms 5–6) | [`Query::min_size`] ≥ 2, then any execution method | [`LargeMule`] |
+//! | Modani–Dey shared-neighborhood filter | pipeline stage 3 ([`Query::shared_neighborhood`]) | [`pruning::shared_neighborhood_filter`] |
+//! | DFS–NOIP baseline (Algorithm 7) | [`Query::engine`]`(`[`Engine::Noip`]`)` | [`DfsNoip`] |
+//! | Top-k by probability (paper ref 47) | [`Prepared::top_k`] (adaptive β cut) | [`topk`], [`zou_topk`] |
+//! | Theorem 1 / Moon–Moser bounds | — | [`bounds`] |
+//! | Bron–Kerbosch + Tomita pivot (paper refs 8, 42) | — | [`deterministic`] |
 //!
-//! Extensions beyond the paper: [`prepare`] (the unified preprocessing
-//! pipeline — α-prune → core-filter → shared-neighborhood peel →
-//! component-shard — that feeds every enumeration entry point one
-//! compact remapped instance per component), [`parallel`] (work-stealing
-//! root-subtree fan-out across threads, seeded per component), [`verify`]
-//! (independent output checking), [`kcore`] (expected-degree core
-//! decomposition — the paper's future-work direction), [`worlds`]
+//! # The session lifecycle
+//!
+//! [`Query::new`] collects every knob — α, size threshold, threads,
+//! index mode and budgets, pipeline stage toggles, engine — and
+//! validates them at [`Query::prepare`], which runs the preprocessing
+//! pipeline ([`mod@prepare`]: α-prune → expected-degree core filter →
+//! shared-neighborhood peel → component-shard) **once**. The resulting
+//! [`Prepared`] session owns the compact per-component kernels and
+//! answers any number of queries from them: [`Prepared::count`],
+//! [`Prepared::collect`] (parallel when [`Query::threads`] > 1),
+//! [`Prepared::stream`] into any [`CliqueSink`], [`Prepared::top_k`],
+//! and the pull-based [`Prepared::iter`]. No pipeline stage ever
+//! re-runs within a session, and reruns are allocation-free in steady
+//! state — the repeated-query shape a serving system needs. Errors
+//! surface through the unified [`MuleError`].
+//!
+//! The historical free functions ([`enumerate_maximal_cliques`],
+//! [`enumerate_large_maximal_cliques`], [`par_enumerate_maximal_cliques`],
+//! the [`topk`] and NOIP wrappers) remain as thin delegates over the
+//! session API, byte-identical to their pre-session output (pinned by
+//! `tests/api_equivalence.rs`); the enumerator types ([`Mule`],
+//! [`LargeMule`], [`DfsNoip`]) remain the direct single-kernel reference
+//! paths, byte-identical to the pipeline on default settings (pinned by
+//! `tests/pipeline_equality.rs`).
+//!
+//! Extensions beyond the paper: [`mod@prepare`] (the pipeline), [`parallel`]
+//! (work-stealing root-subtree fan-out, seeded per component),
+//! [`verify`] (independent output checking), [`kcore`] (expected-degree
+//! core decomposition — the paper's future-work direction), [`worlds`]
 //! (sampled possible-world diagnostics) and [`naive`] (the exponential
 //! test oracle).
-//!
-//! The convenience wrappers ([`enumerate_maximal_cliques`],
-//! [`enumerate_large_maximal_cliques`], [`par_enumerate_maximal_cliques`],
-//! [`topk`]) all route through [`prepare`]; the enumerator types
-//! ([`Mule`], [`LargeMule`], [`DfsNoip`]) remain the direct single-kernel
-//! paths, and the two are byte-identical on default settings (pinned by
-//! `tests/pipeline_equality.rs`).
 //!
 //! ## Example
 //!
 //! ```
-//! use mule::enumerate_maximal_cliques;
+//! use mule::{Query, MuleError};
 //! use ugraph_core::builder::from_edges;
 //!
+//! # fn main() -> Result<(), MuleError> {
 //! let g = from_edges(4, &[
 //!     (0, 1, 0.9), (1, 2, 0.9), (0, 2, 0.9), // solid triangle
 //!     (2, 3, 0.6),                            // shaky pendant
-//! ]).unwrap();
+//! ])?;
 //!
-//! let cliques = enumerate_maximal_cliques(&g, 0.5).unwrap();
+//! // Preprocess once; query the session as often as you like.
+//! let mut session = Query::new(&g).alpha(0.5).prepare()?;
+//! let cliques: Vec<_> = session.collect().into_iter().map(|(c, _)| c).collect();
 //! assert_eq!(cliques, vec![vec![0, 1, 2], vec![2, 3]]);
+//! assert_eq!(session.count(), 2);
+//! # Ok(())
+//! # }
 //! ```
 
 #![warn(missing_docs)]
@@ -59,6 +81,7 @@ pub mod naive;
 pub mod parallel;
 pub mod prepare;
 pub mod pruning;
+pub mod query;
 pub mod sinks;
 pub mod stats;
 pub mod topk;
@@ -73,5 +96,6 @@ pub use enumerate::{
 pub use large::{enumerate_large_maximal_cliques, LargeMule};
 pub use parallel::{par_enumerate_maximal_cliques, par_enumerate_prepared};
 pub use prepare::{prepare, PrepareConfig, PrepareReport, PreparedInstance};
+pub use query::{Cliques, Engine, MuleError, Prepared, Query};
 pub use sinks::{CliqueSink, Control};
 pub use stats::EnumerationStats;

@@ -3,14 +3,14 @@
 //! An engineering extension beyond the paper. Correctness rests on an
 //! independence property of Algorithm 2's root loop: the subtree rooted
 //! at `C = {u}` depends only on `u`'s neighborhood (see
-//! [`Kernel::expand_root_into`] for the closed-form initial sets), so
+//! `Kernel::expand_root_into` for the closed-form initial sets), so
 //! each root can be explored by a different worker with no shared
 //! mutable state.
 //!
 //! # Input: the preprocessing pipeline
 //!
 //! Since PR 3 the driver runs over a [`PreparedInstance`]
-//! ([`crate::prepare`]): the graph arrives α-pruned and sharded into
+//! ([`mod@crate::prepare`]): the graph arrives α-pruned and sharded into
 //! compact per-component kernels, and the root tasks seeded into the
 //! deques are `(component, local root)` pairs — sharding falls out of
 //! the decomposition, and a worker never touches memory outside the
@@ -36,7 +36,7 @@
 //!
 //! No work is ever produced after seeding, so termination is a full
 //! sweep finding every deque empty. Each worker owns its own
-//! depth-alternating arena pair ([`DepthArenas`]), so the per-node
+//! depth-alternating arena pair (`DepthArenas`), so the per-node
 //! zero-allocation property of the sequential kernel holds per worker.
 //!
 //! # Determinism by construction
@@ -55,7 +55,7 @@
 //! same counters wherever it runs), so they equal the sequential run's.
 
 use crate::kernel::{enumerate_subtree, enumerate_subtree_bounded, DepthArenas};
-use crate::prepare::{prepare, PrepareConfig, PreparedInstance};
+use crate::prepare::PreparedInstance;
 use crate::sinks::{CollectSink, Control, RemapSink};
 use crate::stats::EnumerationStats;
 use std::collections::VecDeque;
@@ -87,7 +87,7 @@ type RootTask = (u32, u32);
 /// Enumerate all α-maximal cliques using `threads` worker threads
 /// (`threads = 0` means one worker per available CPU).
 ///
-/// Runs the preprocessing pipeline ([`crate::prepare`]) with default
+/// Runs the preprocessing pipeline ([`mod@crate::prepare`]) with default
 /// settings and fans the per-component root subtrees out over the
 /// work-stealing scheduler; see [`par_enumerate_prepared`].
 pub fn par_enumerate_maximal_cliques(
@@ -95,8 +95,11 @@ pub fn par_enumerate_maximal_cliques(
     alpha: f64,
     threads: usize,
 ) -> Result<ParallelOutput, GraphError> {
-    let inst = prepare(g, alpha, &PrepareConfig::default())?;
-    Ok(par_enumerate_prepared(&inst, threads))
+    let session = crate::Query::new(g)
+        .alpha(alpha)
+        .prepare()
+        .map_err(crate::MuleError::expect_graph)?;
+    Ok(par_enumerate_prepared(session.instance(), threads))
 }
 
 /// Enumerate a prepared instance on `threads` worker threads
@@ -321,6 +324,7 @@ impl Worker<'_> {
 mod tests {
     use super::*;
     use crate::enumerate::enumerate_maximal_cliques;
+    use crate::prepare::{prepare, PrepareConfig};
     use ugraph_core::builder::{complete_graph, from_edges, GraphBuilder};
     use ugraph_core::Prob;
 

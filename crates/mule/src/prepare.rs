@@ -67,7 +67,20 @@ use crate::kernel::{enumerate_subtree, enumerate_subtree_bounded, DepthArenas, K
 use crate::pruning::shared_neighborhood_peel;
 use crate::sinks::{CliqueSink, Control};
 use crate::stats::EnumerationStats;
+use std::sync::atomic::{AtomicU64, Ordering};
 use ugraph_core::{subgraph, Components, GraphError, UncertainGraph, VertexId};
+
+/// Process-wide count of [`prepare`] pipeline executions (monotone,
+/// never reset). The session API ([`crate::Prepared`]) promises that a
+/// prepared instance answers any number of queries with the pipeline
+/// run exactly once; this counter is what lets a test *assert* that —
+/// capture it before building a session, exercise `count`/`collect`/
+/// `top_k`, and check the counter moved by exactly one.
+pub fn pipeline_invocations() -> u64 {
+    PIPELINE_RUNS.load(Ordering::Relaxed)
+}
+
+static PIPELINE_RUNS: AtomicU64 = AtomicU64::new(0);
 
 /// Configuration for [`prepare`].
 #[derive(Debug, Clone)]
@@ -266,6 +279,7 @@ pub fn prepare(
     alpha: f64,
     config: &PrepareConfig,
 ) -> Result<PreparedInstance, GraphError> {
+    PIPELINE_RUNS.fetch_add(1, Ordering::Relaxed);
     let alpha = UncertainGraph::validate_alpha(alpha)?.get();
     let t = config.min_size;
     let n = g.num_vertices();
@@ -494,71 +508,145 @@ impl PreparedInstance {
         arenas.clear();
         c.clear();
         for &unit in &self.schedule {
-            match unit {
-                Unit::Singleton(v) => {
-                    self.stats.calls += 1;
-                    self.stats.max_depth = self.stats.max_depth.max(1);
-                    self.stats.emitted += 1;
-                    if sink.emit(&[v], 1.0) == Control::Stop {
-                        break;
-                    }
-                }
-                Unit::Root { comp, local } => {
-                    let pc = &self.components[comp as usize];
-                    let (i0, x0) = pc.kernel.expand_root_into(
-                        local,
-                        &mut arenas.even,
-                        &mut self.stats.i_candidates_scanned,
-                    );
-                    if self.min_size >= 2 && 1 + i0.len() < self.min_size {
-                        self.stats.size_pruned += 1;
-                        arenas.clear();
-                        continue;
-                    }
-                    c.push(local);
-                    let mut remap = Remap {
-                        inner: sink,
-                        map: &pc.to_original,
-                        scratch: &mut scratch,
-                    };
-                    let ctl = if self.min_size >= 2 {
-                        enumerate_subtree_bounded(
-                            &pc.kernel,
-                            &mut self.stats,
-                            &mut c,
-                            1.0,
-                            i0,
-                            x0,
-                            &mut arenas.even,
-                            &mut arenas.odd,
-                            self.min_size,
-                            &mut remap,
-                        )
-                    } else {
-                        enumerate_subtree(
-                            &pc.kernel,
-                            &mut self.stats,
-                            &mut c,
-                            1.0,
-                            i0,
-                            x0,
-                            &mut arenas.even,
-                            &mut arenas.odd,
-                            &mut remap,
-                        )
-                    };
-                    c.pop();
-                    arenas.clear();
-                    if ctl == Control::Stop {
-                        break;
-                    }
-                }
+            let ctl = step(
+                &self.components,
+                self.min_size,
+                &mut self.stats,
+                unit,
+                &mut arenas,
+                &mut c,
+                &mut scratch,
+                sink,
+            );
+            if ctl == Control::Stop {
+                break;
             }
         }
         self.arenas = arenas;
         self.clique_buf = c;
         self.remap_scratch = scratch;
         &self.stats
+    }
+
+    /// Begin an incremental (unit-at-a-time) run: reset the counters and
+    /// account for the conceptual root, exactly like [`Self::run`] does
+    /// up front. Returns the empty-graph emission, if any — the one
+    /// clique the schedule loop cannot express. Drives the pull-based
+    /// iterator of the session API ([`crate::Prepared::iter`]).
+    pub(crate) fn begin_incremental(&mut self) -> Option<(Vec<VertexId>, f64)> {
+        self.stats = EnumerationStats::new();
+        self.stats.calls += 1; // the conceptual root node
+        self.arenas.clear();
+        self.clique_buf.clear();
+        if self.original_n == 0 && self.min_size <= 1 {
+            self.stats.emitted += 1;
+            return Some((Vec::new(), 1.0));
+        }
+        None
+    }
+
+    /// Number of schedule units (root subtrees + singleton emissions).
+    pub(crate) fn num_units(&self) -> usize {
+        self.schedule.len()
+    }
+
+    /// Run exactly one schedule unit into `sink` — the same per-unit
+    /// body [`Self::run`] loops over, so an incremental consumer emits
+    /// the byte-identical stream. Counters accumulate into
+    /// [`Self::stats`]; call [`Self::begin_incremental`] first.
+    pub(crate) fn run_unit<S: CliqueSink>(&mut self, idx: usize, sink: &mut S) -> Control {
+        let unit = self.schedule[idx];
+        let mut arenas = std::mem::take(&mut self.arenas);
+        let mut c = std::mem::take(&mut self.clique_buf);
+        let mut scratch = std::mem::take(&mut self.remap_scratch);
+        let ctl = step(
+            &self.components,
+            self.min_size,
+            &mut self.stats,
+            unit,
+            &mut arenas,
+            &mut c,
+            &mut scratch,
+            sink,
+        );
+        self.arenas = arenas;
+        self.clique_buf = c;
+        self.remap_scratch = scratch;
+        ctl
+    }
+}
+
+/// One schedule unit of a prepared run: emit a singleton directly, or
+/// expand and search a root subtree (bounded when a size threshold is
+/// configured), translating ids in the sink layer. Shared verbatim by
+/// [`PreparedInstance::run`] and [`PreparedInstance::run_unit`], so the
+/// streaming and pull-based paths cannot drift apart.
+#[allow(clippy::too_many_arguments)] // the run loop's split-borrowed state
+fn step<S: CliqueSink>(
+    components: &[PreparedComponent],
+    min_size: usize,
+    stats: &mut EnumerationStats,
+    unit: Unit,
+    arenas: &mut DepthArenas,
+    c: &mut Vec<VertexId>,
+    scratch: &mut Vec<VertexId>,
+    sink: &mut S,
+) -> Control {
+    match unit {
+        Unit::Singleton(v) => {
+            stats.calls += 1;
+            stats.max_depth = stats.max_depth.max(1);
+            stats.emitted += 1;
+            sink.emit(&[v], 1.0)
+        }
+        Unit::Root { comp, local } => {
+            let pc = &components[comp as usize];
+            let (i0, x0) = pc.kernel.expand_root_into(
+                local,
+                &mut arenas.even,
+                &mut stats.i_candidates_scanned,
+            );
+            if min_size >= 2 && 1 + i0.len() < min_size {
+                stats.size_pruned += 1;
+                arenas.clear();
+                return Control::Continue;
+            }
+            c.push(local);
+            let mut remap = Remap {
+                inner: sink,
+                map: &pc.to_original,
+                scratch,
+            };
+            let ctl = if min_size >= 2 {
+                enumerate_subtree_bounded(
+                    &pc.kernel,
+                    stats,
+                    c,
+                    1.0,
+                    i0,
+                    x0,
+                    &mut arenas.even,
+                    &mut arenas.odd,
+                    min_size,
+                    &mut remap,
+                )
+            } else {
+                enumerate_subtree(
+                    &pc.kernel,
+                    stats,
+                    c,
+                    1.0,
+                    i0,
+                    x0,
+                    &mut arenas.even,
+                    &mut arenas.odd,
+                    &mut remap,
+                )
+            };
+            c.pop();
+            arenas.clear();
+            ctl
+        }
     }
 }
 
@@ -582,17 +670,20 @@ impl<S: CliqueSink> CliqueSink for Remap<'_, S> {
     }
 }
 
-/// Convenience wrapper: prepare with defaults (plus `min_size`) and
-/// collect all qualifying maximal cliques, sorted lexicographically.
+/// Legacy wrapper: prepare with defaults (plus `min_size`) and collect
+/// all qualifying maximal cliques, sorted lexicographically. Thin
+/// delegate over the session API ([`crate::Query`]).
 pub fn enumerate_prepared(
     g: &UncertainGraph,
     alpha: f64,
     min_size: usize,
 ) -> Result<Vec<(Vec<VertexId>, f64)>, GraphError> {
-    let mut inst = prepare(g, alpha, &PrepareConfig::with_min_size(min_size))?;
-    let mut sink = crate::sinks::CollectSink::new();
-    inst.run(&mut sink);
-    let mut pairs = sink.into_pairs();
+    let mut session = crate::Query::new(g)
+        .alpha(alpha)
+        .min_size(min_size)
+        .prepare()
+        .map_err(crate::MuleError::expect_graph)?;
+    let mut pairs = session.collect();
     pairs.sort_by(|a, b| a.0.cmp(&b.0));
     Ok(pairs)
 }

@@ -1,0 +1,823 @@
+//! The unified session API: one [`Query`] builder in front of every
+//! workload this crate serves, and a reusable [`Prepared`] session that
+//! runs the preprocessing pipeline once and answers queries many times.
+//!
+//! # Why a session
+//!
+//! Historically each capability grew its own free function
+//! (`enumerate_maximal_cliques`, `count_…`, `enumerate_large_…`,
+//! `par_enumerate_…`, three top-k variants, two NOIP wrappers, …), each
+//! re-running prune → core-filter → shard per call and each choosing
+//! sequential/parallel and MULE/LARGE-MULE/NOIP by *which function you
+//! found* rather than by configuration. [`Query`] folds all of those
+//! knobs into one builder; [`Query::prepare`] runs the pipeline
+//! ([`mod@crate::prepare`]) exactly once; and the resulting [`Prepared`]
+//! session serves [`collect`](Prepared::collect),
+//! [`count`](Prepared::count), [`stream`](Prepared::stream),
+//! [`top_k`](Prepared::top_k) and the pull-based
+//! [`iter`](Prepared::iter) over the same prepared instance —
+//! repeated-query workloads pay preprocessing once.
+//!
+//! The legacy free functions remain as thin delegates over this module
+//! (byte-identical output, pinned by `tests/api_equivalence.rs`), and
+//! the direct enumerator structs ([`crate::Mule`], [`crate::LargeMule`],
+//! [`crate::DfsNoip`]) remain the pipeline-off reference paths.
+//!
+//! # Session lifecycle
+//!
+//! ```
+//! use mule::{Query, MuleError};
+//! use ugraph_core::builder::from_edges;
+//!
+//! # fn main() -> Result<(), MuleError> {
+//! let g = from_edges(4, &[
+//!     (0, 1, 0.9), (1, 2, 0.9), (0, 2, 0.9), // solid triangle
+//!     (2, 3, 0.6),                            // shaky pendant
+//! ])?;
+//!
+//! // Validate + preprocess once …
+//! let mut session = Query::new(&g).alpha(0.5).prepare()?;
+//!
+//! // … answer many queries from the same prepared instance.
+//! assert_eq!(session.count(), 2);
+//! let cliques: Vec<_> = session.collect().into_iter().map(|(c, _)| c).collect();
+//! assert_eq!(cliques, vec![vec![0, 1, 2], vec![2, 3]]);
+//! let top = session.top_k(1)?;
+//! assert_eq!(top[0].0, vec![0, 1, 2]); // 0.9³ = 0.729 beats 0.6
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::dfs_noip::DfsNoip;
+use crate::enumerate::{IndexMode, MuleConfig};
+use crate::prepare::{prepare, PrepareConfig, PrepareReport, PreparedInstance};
+use crate::sinks::{CliqueSink, CollectSink, Control, CountSink, RemapSink, TopKSink};
+use crate::stats::EnumerationStats;
+use crate::topk::RankedCliques;
+use std::collections::VecDeque;
+use std::fmt;
+use ugraph_core::{GraphError, ProbError, UncertainGraph, VertexId};
+
+/// The one error type of the public query surface: graph-layer errors,
+/// builder validation, and I/O bridging (for CLI-style callers), so
+/// entry points no longer mix `Result<_, GraphError>` with
+/// `Result<_, String>`.
+#[derive(Debug)]
+pub enum MuleError {
+    /// An error from the graph layer (construction, α validation, …).
+    Graph(GraphError),
+    /// [`Query::prepare`] was called without [`Query::alpha`].
+    AlphaNotSet,
+    /// [`Query::threads`] was given `0`; a session needs at least one
+    /// worker (use [`Query::threads_auto`] for one per CPU).
+    ZeroThreads,
+    /// [`Prepared::top_k`] was asked for zero cliques.
+    ZeroTopK,
+    /// An I/O error from a caller loading graphs or writing results —
+    /// the bridge variant for CLI / io front ends.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for MuleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MuleError::Graph(e) => write!(f, "{e}"),
+            MuleError::AlphaNotSet => {
+                write!(f, "query has no alpha threshold: call Query::alpha(..)")
+            }
+            MuleError::ZeroThreads => write!(
+                f,
+                "thread count must be at least 1 (threads_auto() picks one per CPU)"
+            ),
+            MuleError::ZeroTopK => write!(f, "top-k query with k = 0 asks for nothing"),
+            MuleError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MuleError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MuleError::Graph(e) => Some(e),
+            MuleError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for MuleError {
+    fn from(e: GraphError) -> Self {
+        MuleError::Graph(e)
+    }
+}
+
+impl From<ProbError> for MuleError {
+    fn from(e: ProbError) -> Self {
+        MuleError::Graph(GraphError::from(e))
+    }
+}
+
+impl From<std::io::Error> for MuleError {
+    fn from(e: std::io::Error) -> Self {
+        MuleError::Io(e)
+    }
+}
+
+impl MuleError {
+    /// Unwrap the graph-layer variant — for the legacy delegates, whose
+    /// signatures still promise `GraphError` and whose fully-specified
+    /// builders cannot produce any other variant.
+    pub(crate) fn expect_graph(self) -> GraphError {
+        match self {
+            MuleError::Graph(e) => e,
+            other => unreachable!("legacy delegate produced a non-graph error: {other}"),
+        }
+    }
+}
+
+/// Which search engine a [`Prepared`] session runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// The incremental-probability kernel (the paper's contribution):
+    /// MULE, or LARGE-MULE's bounded recursion when
+    /// [`Query::min_size`] ≥ 2.
+    #[default]
+    Auto,
+    /// The DFS–NOIP baseline (Algorithm 7) per prepared component —
+    /// probability recomputed from scratch, maximality by full scan.
+    /// Always sequential; exists so ablations run through the same
+    /// session front door.
+    Noip,
+}
+
+/// Builder for a clique-mining session: the single public entry point.
+///
+/// Collects every knob that used to be scattered across
+/// [`MuleConfig`], [`PrepareConfig`] and per-function parameters,
+/// validates on [`Query::prepare`] (before any preprocessing work), and
+/// produces a reusable [`Prepared`] session. See the
+/// [module docs](self) for the lifecycle.
+#[derive(Debug, Clone)]
+pub struct Query<'g> {
+    g: &'g UncertainGraph,
+    alpha: Option<f64>,
+    min_size: usize,
+    threads: usize,
+    engine: Engine,
+    core_filter: bool,
+    shared_neighborhood: bool,
+    shard_components: bool,
+    mule: MuleConfig,
+}
+
+impl<'g> Query<'g> {
+    /// Start a query over `g` with default settings: all α-maximal
+    /// cliques, sequential, full preprocessing pipeline, [`Engine::Auto`].
+    /// The α threshold has no default — set it with [`Query::alpha`].
+    pub fn new(g: &'g UncertainGraph) -> Self {
+        Query {
+            g,
+            alpha: None,
+            min_size: 0,
+            threads: 1,
+            engine: Engine::Auto,
+            core_filter: true,
+            shared_neighborhood: true,
+            shard_components: true,
+            mule: MuleConfig::default(),
+        }
+    }
+
+    /// The α threshold: cliques must exist with probability ≥ `alpha`.
+    /// Validated by [`Query::prepare`] (must lie in `(0, 1]`).
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.alpha = Some(alpha);
+        self
+    }
+
+    /// Only report cliques with at least `t` vertices (`0`/`1` = all).
+    /// Values ≥ 2 engage the size-based pipeline stages and the
+    /// LARGE-MULE search bound — the builder-state replacement for
+    /// reaching for `enumerate_large_maximal_cliques`.
+    pub fn min_size(mut self, t: usize) -> Self {
+        self.min_size = t;
+        self
+    }
+
+    /// Worker threads for [`Prepared::collect`] (default 1 =
+    /// sequential). `0` is rejected by [`Query::prepare`] — say
+    /// [`Query::threads_auto`] when you mean "one per CPU".
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+
+    /// One worker per available CPU.
+    pub fn threads_auto(mut self) -> Self {
+        self.threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+        self
+    }
+
+    /// Select the search engine (default [`Engine::Auto`]).
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Whether to build the tiered neighborhood index (see
+    /// [`IndexMode`]; default [`IndexMode::Auto`]).
+    pub fn index_mode(mut self, mode: IndexMode) -> Self {
+        self.mule.index_mode = mode;
+        self
+    }
+
+    /// Budget for the index's dense probability tier, in bytes per
+    /// enumeration kernel (see [`MuleConfig::dense_index_bytes`]).
+    pub fn dense_index_bytes(mut self, bytes: usize) -> Self {
+        self.mule.dense_index_bytes = bytes;
+        self
+    }
+
+    /// Budget for the index's bitset membership tier under
+    /// [`IndexMode::Auto`] (see [`MuleConfig::max_index_bytes`]).
+    pub fn max_index_bytes(mut self, bytes: usize) -> Self {
+        self.mule.max_index_bytes = bytes;
+        self
+    }
+
+    /// Replace the whole kernel configuration at once (harness/CLI
+    /// convenience; the granular setters cover the common cases). The
+    /// `degeneracy_order` / `naive_root` ablation switches are ignored
+    /// by the pipeline, exactly as [`PrepareConfig::mule`] documents.
+    pub fn kernel_config(mut self, cfg: MuleConfig) -> Self {
+        self.mule = cfg;
+        self
+    }
+
+    /// Toggle pipeline stage 2, the expected-degree core filter
+    /// (default on; engages only when `min_size ≥ 2`).
+    pub fn core_filter(mut self, on: bool) -> Self {
+        self.core_filter = on;
+        self
+    }
+
+    /// Toggle pipeline stage 3, the Modani–Dey shared-neighborhood peel
+    /// (default on; engages only when `min_size ≥ 3`).
+    pub fn shared_neighborhood(mut self, on: bool) -> Self {
+        self.shared_neighborhood = on;
+        self
+    }
+
+    /// Toggle pipeline stage 4, connected-component sharding (default
+    /// on). Off = a single identity-mapped instance, the CLI's
+    /// `--no-prune` shape. Every stage toggle is output-neutral.
+    pub fn shard_components(mut self, on: bool) -> Self {
+        self.shard_components = on;
+        self
+    }
+
+    /// Validate the builder state and run the preprocessing pipeline —
+    /// the session's one-time cost. Errors are reported here, eagerly,
+    /// before any query executes: a missing or out-of-range α, a zero
+    /// thread count. The returned [`Prepared`] session answers any
+    /// number of queries without re-running a single pipeline stage.
+    pub fn prepare(self) -> Result<Prepared, MuleError> {
+        let alpha = self.alpha.ok_or(MuleError::AlphaNotSet)?;
+        if self.threads == 0 {
+            return Err(MuleError::ZeroThreads);
+        }
+        let cfg = PrepareConfig {
+            min_size: self.min_size,
+            core_filter: self.core_filter,
+            shared_neighborhood: self.shared_neighborhood,
+            shard_components: self.shard_components,
+            mule: self.mule,
+        };
+        let inst = prepare(self.g, alpha, &cfg)?;
+        // Component graphs are already α-pruned by pipeline stage 1 (and
+        // α validated above), so the baseline enumerators wrap a copy
+        // directly instead of re-running the prune pass.
+        let noip = match self.engine {
+            Engine::Auto => Vec::new(),
+            Engine::Noip => inst
+                .components()
+                .map(|(sub, _)| DfsNoip::from_pruned(sub.clone(), inst.alpha()))
+                .collect(),
+        };
+        Ok(Prepared {
+            inst,
+            noip,
+            engine: self.engine,
+            threads: self.threads,
+            stats: EnumerationStats::new(),
+        })
+    }
+}
+
+/// A reusable mining session: the output of [`Query::prepare`].
+///
+/// Owns the [`PreparedInstance`] (compact per-component kernels, id
+/// maps, [`PrepareReport`]) and executes queries over it. Every
+/// execution method reuses the same prepared state — preprocessing ran
+/// exactly once, at [`Query::prepare`] — and reruns are allocation-free
+/// in steady state, like the underlying kernels. Counters of the most
+/// recent execution are at [`Prepared::stats`].
+pub struct Prepared {
+    inst: PreparedInstance,
+    /// One reusable DFS–NOIP enumerator per component ([`Engine::Noip`]
+    /// only; empty under [`Engine::Auto`]).
+    noip: Vec<DfsNoip>,
+    engine: Engine,
+    threads: usize,
+    stats: EnumerationStats,
+}
+
+impl Prepared {
+    /// The α threshold the session was prepared for.
+    pub fn alpha(&self) -> f64 {
+        self.inst.alpha()
+    }
+
+    /// The size threshold (`0`/`1` = all maximal cliques).
+    pub fn min_size(&self) -> usize {
+        self.inst.min_size()
+    }
+
+    /// Worker threads [`Prepared::collect`] will use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The engine this session dispatches to.
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// What each pipeline stage removed and the shape of the prepared
+    /// instance — fixed at prepare time, stable across executions.
+    pub fn report(&self) -> &PrepareReport {
+        self.inst.report()
+    }
+
+    /// Counters from the most recent execution method.
+    pub fn stats(&self) -> &EnumerationStats {
+        &self.stats
+    }
+
+    /// The underlying prepared instance, for advanced drivers (e.g. the
+    /// work-stealing scheduler [`crate::parallel::par_enumerate_prepared`]).
+    pub fn instance(&self) -> &PreparedInstance {
+        &self.inst
+    }
+
+    /// Stream every qualifying α-maximal clique — canonical order,
+    /// original ids, exact probability — into `sink`, sequentially.
+    /// This is the zero-copy primitive the other execution methods are
+    /// built on; the sink can stop the run early via [`Control::Stop`].
+    pub fn stream<S: CliqueSink>(&mut self, sink: &mut S) -> &EnumerationStats {
+        match self.engine {
+            Engine::Auto => {
+                self.inst.run(sink);
+                self.stats = *self.inst.stats();
+            }
+            Engine::Noip => {
+                self.stats = self.run_noip(sink);
+            }
+        }
+        &self.stats
+    }
+
+    /// Collect all qualifying cliques as `(clique, probability)` pairs
+    /// in canonical emission order. Runs on the session's configured
+    /// thread count: with [`Query::threads`] > 1 (and [`Engine::Auto`])
+    /// the work-stealing scheduler fans root subtrees out per component
+    /// and merges back the byte-identical stream.
+    pub fn collect(&mut self) -> Vec<(Vec<VertexId>, f64)> {
+        if self.threads > 1 && self.engine == Engine::Auto {
+            let out = crate::parallel::par_enumerate_prepared(&self.inst, self.threads);
+            self.stats = out.stats;
+            out.cliques.into_iter().zip(out.probs).collect()
+        } else {
+            let mut sink = CollectSink::new();
+            self.stream(&mut sink);
+            sink.into_pairs()
+        }
+    }
+
+    /// [`Prepared::collect`] without the probabilities: just the clique
+    /// vertex sets, sorted lexicographically — the shape the legacy
+    /// wrappers return, kept in one place so the delegates cannot
+    /// drift.
+    pub fn sorted_cliques(&mut self) -> Vec<Vec<VertexId>> {
+        let mut cliques: Vec<Vec<VertexId>> = self.collect().into_iter().map(|(c, _)| c).collect();
+        cliques.sort();
+        cliques
+    }
+
+    /// Count qualifying cliques without storing them (sequential —
+    /// counting is a streaming query; buffering the full output to
+    /// parallelize a count would defeat it).
+    pub fn count(&mut self) -> u64 {
+        let mut sink = CountSink::new();
+        self.stream(&mut sink);
+        sink.count
+    }
+
+    /// The `k` most probable qualifying cliques, probability descending
+    /// (ties lexicographic). Errors on `k = 0`. Under [`Engine::Auto`]
+    /// with no size threshold this runs the adaptive β-cut engine
+    /// (`mule::topk`): subtrees whose probability has fallen to the
+    /// current k-th best are skipped, maximality still judged at α.
+    /// Otherwise it selects over the streamed enumeration.
+    pub fn top_k(&mut self, k: usize) -> Result<RankedCliques, MuleError> {
+        if k == 0 {
+            return Err(MuleError::ZeroTopK);
+        }
+        if self.engine == Engine::Auto && self.min_size() <= 1 {
+            let (top, stats) = crate::topk::beta_top_k(&self.inst, k);
+            self.stats = stats;
+            Ok(top)
+        } else {
+            let mut sink = TopKSink::new(k);
+            self.stream(&mut sink);
+            Ok(sink.into_sorted())
+        }
+    }
+
+    /// A pull-based iterator over the qualifying cliques, in the same
+    /// canonical order [`Prepared::stream`] emits. Work is done lazily,
+    /// one schedule unit (root subtree / component) at a time, so
+    /// memory stays bounded by one unit's output instead of the whole
+    /// result set; dropping the iterator abandons the rest of the
+    /// search. [`Prepared::stats`] reflects the progress made so far.
+    pub fn iter(&mut self) -> Cliques<'_> {
+        let mut buf = VecDeque::new();
+        let stage = match self.engine {
+            Engine::Auto => {
+                if let Some(empty) = self.inst.begin_incremental() {
+                    buf.push_back(empty);
+                }
+                self.stats = *self.inst.stats();
+                IterStage::Pipeline { next_unit: 0 }
+            }
+            Engine::Noip => {
+                self.stats = EnumerationStats::new();
+                self.stats.calls = 1; // the conceptual root node
+                if self.inst.original_vertices() == 0 && self.min_size() <= 1 {
+                    self.stats.emitted += 1;
+                    buf.push_back((Vec::new(), 1.0));
+                }
+                IterStage::Noip {
+                    next_comp: 0,
+                    next_singleton: 0,
+                }
+            }
+        };
+        Cliques {
+            prepared: self,
+            buf,
+            stage,
+        }
+    }
+
+    /// The DFS–NOIP engine: one baseline run per prepared component
+    /// (ids translated in the sink layer), singletons emitted directly,
+    /// the size threshold enforced by an emission filter. Counters are
+    /// the merged per-component baseline counters. A [`Control::Stop`]
+    /// from the sink is latched, so later components are neither
+    /// searched nor allowed to emit — the same early-stop contract the
+    /// [`Engine::Auto`] path honors per schedule unit.
+    fn run_noip<S: CliqueSink>(&mut self, sink: &mut S) -> EnumerationStats {
+        let mut stats = EnumerationStats::new();
+        stats.calls = 1; // the conceptual root node
+        let t = self.min_size();
+        let mut latch = StopLatch {
+            inner: sink,
+            stopped: false,
+        };
+        let mut filter = MinSizeSink {
+            inner: &mut latch,
+            t,
+        };
+        if self.inst.original_vertices() == 0 {
+            if t <= 1 {
+                stats.emitted += 1;
+                filter.inner.emit(&[], 1.0);
+            }
+            return stats;
+        }
+        for (noip, (_, map)) in self.noip.iter_mut().zip(self.inst.components()) {
+            let mut remap = RemapSink::new(&mut filter, map);
+            noip.run(&mut remap);
+            stats.merge(noip.stats());
+            if filter.inner.stopped {
+                return stats;
+            }
+        }
+        for &v in self.inst.singletons() {
+            stats.calls += 1;
+            stats.max_depth = stats.max_depth.max(1);
+            stats.emitted += 1;
+            if filter.emit(&[v], 1.0) == Control::Stop {
+                break;
+            }
+        }
+        stats
+    }
+}
+
+/// Latches the first [`Control::Stop`] a sink returns: every later
+/// emission is swallowed and answered with `Stop`, so a multi-segment
+/// driver (the NOIP per-component loop) can both unwind its current
+/// segment and know not to start the next one.
+struct StopLatch<'a, S: CliqueSink> {
+    inner: &'a mut S,
+    stopped: bool,
+}
+
+impl<S: CliqueSink> CliqueSink for StopLatch<'_, S> {
+    fn emit(&mut self, clique: &[VertexId], prob: f64) -> Control {
+        if self.stopped {
+            return Control::Stop;
+        }
+        let ctl = self.inner.emit(clique, prob);
+        if ctl == Control::Stop {
+            self.stopped = true;
+        }
+        ctl
+    }
+}
+
+/// Emission filter enforcing [`Query::min_size`] for engines whose
+/// recursion has no size bound of its own (DFS–NOIP): cliques below the
+/// threshold are dropped, everything else passes through. Inactive
+/// (pure pass-through) for `t ≤ 1`, so the empty clique and singletons
+/// keep their default-semantics emissions.
+struct MinSizeSink<'a, S: CliqueSink> {
+    inner: &'a mut S,
+    t: usize,
+}
+
+impl<S: CliqueSink> CliqueSink for MinSizeSink<'_, S> {
+    fn emit(&mut self, clique: &[VertexId], prob: f64) -> Control {
+        if self.t >= 2 && clique.len() < self.t {
+            return Control::Continue;
+        }
+        self.inner.emit(clique, prob)
+    }
+}
+
+/// Where the pull iterator is in the enumeration.
+enum IterStage {
+    /// Walking the prepared schedule, one unit per refill.
+    Pipeline {
+        /// Next schedule unit to run.
+        next_unit: usize,
+    },
+    /// Walking the NOIP per-component runs, then the singletons.
+    Noip {
+        /// Next component to run.
+        next_comp: usize,
+        /// Next singleton to emit once components are done.
+        next_singleton: usize,
+    },
+}
+
+/// Pull-based clique iterator borrowing a [`Prepared`] session — see
+/// [`Prepared::iter`]. Yields `(clique, probability)` in canonical
+/// order.
+pub struct Cliques<'p> {
+    prepared: &'p mut Prepared,
+    buf: VecDeque<(Vec<VertexId>, f64)>,
+    stage: IterStage,
+}
+
+impl Iterator for Cliques<'_> {
+    type Item = (Vec<VertexId>, f64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(item) = self.buf.pop_front() {
+                return Some(item);
+            }
+            match &mut self.stage {
+                IterStage::Pipeline { next_unit } => {
+                    if *next_unit >= self.prepared.inst.num_units() {
+                        return None;
+                    }
+                    let mut sink = CollectSink::new();
+                    self.prepared.inst.run_unit(*next_unit, &mut sink);
+                    *next_unit += 1;
+                    self.prepared.stats = *self.prepared.inst.stats();
+                    self.buf.extend(sink.into_pairs());
+                }
+                IterStage::Noip {
+                    next_comp,
+                    next_singleton,
+                } => {
+                    let t = self.prepared.inst.min_size();
+                    if *next_comp < self.prepared.noip.len() {
+                        let (_, map) = self
+                            .prepared
+                            .inst
+                            .components()
+                            .nth(*next_comp)
+                            .expect("component index in range");
+                        let noip = &mut self.prepared.noip[*next_comp];
+                        let mut collect = CollectSink::new();
+                        {
+                            let mut filter = MinSizeSink {
+                                inner: &mut collect,
+                                t,
+                            };
+                            let mut remap = RemapSink::new(&mut filter, map);
+                            noip.run(&mut remap);
+                        }
+                        self.prepared.stats.merge(noip.stats());
+                        *next_comp += 1;
+                        self.buf.extend(collect.into_pairs());
+                    } else if *next_singleton < self.prepared.inst.singletons().len() {
+                        let v = self.prepared.inst.singletons()[*next_singleton];
+                        *next_singleton += 1;
+                        self.prepared.stats.calls += 1;
+                        self.prepared.stats.max_depth = self.prepared.stats.max_depth.max(1);
+                        self.prepared.stats.emitted += 1;
+                        self.buf.push_back((vec![v], 1.0));
+                    } else {
+                        return None;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugraph_core::builder::{from_edges, GraphBuilder};
+
+    fn fixture() -> UncertainGraph {
+        // Two triangles in separate components, an isolated vertex and a
+        // sub-α edge — exercises sharding, singletons and pruning.
+        from_edges(
+            9,
+            &[
+                (0, 1, 0.9),
+                (1, 2, 0.9),
+                (0, 2, 0.9),
+                (4, 5, 0.8),
+                (5, 6, 0.8),
+                (4, 6, 0.8),
+                (7, 8, 0.3),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn builder_validates_eagerly() {
+        let g = fixture();
+        assert!(matches!(
+            Query::new(&g).prepare(),
+            Err(MuleError::AlphaNotSet)
+        ));
+        assert!(matches!(
+            Query::new(&g).alpha(0.5).threads(0).prepare(),
+            Err(MuleError::ZeroThreads)
+        ));
+        assert!(matches!(
+            Query::new(&g).alpha(0.0).prepare(),
+            Err(MuleError::Graph(GraphError::InvalidAlpha { .. }))
+        ));
+        assert!(matches!(
+            Query::new(&g).alpha(1.5).prepare(),
+            Err(MuleError::Graph(GraphError::InvalidAlpha { .. }))
+        ));
+        assert!(Query::new(&g).alpha(0.5).threads_auto().prepare().is_ok());
+    }
+
+    #[test]
+    fn session_answers_all_query_shapes() {
+        let g = fixture();
+        let mut s = Query::new(&g).alpha(0.5).prepare().unwrap();
+        let pairs = s.collect();
+        assert_eq!(s.count() as usize, pairs.len());
+        let cliques: Vec<_> = pairs.iter().map(|(c, _)| c.clone()).collect();
+        assert_eq!(
+            cliques,
+            vec![vec![0, 1, 2], vec![3], vec![4, 5, 6], vec![7], vec![8]]
+        );
+        let top = s.top_k(2).unwrap();
+        assert_eq!(top.len(), 2);
+        assert!((top[0].1 - 1.0).abs() < 1e-12, "singletons are certain");
+        let pulled: Vec<_> = s.iter().collect();
+        assert_eq!(pulled, pairs, "pull iterator matches collect");
+        assert!(matches!(s.top_k(0), Err(MuleError::ZeroTopK)));
+    }
+
+    #[test]
+    fn min_size_and_threads_route_through_builder() {
+        let g = fixture();
+        let mut s = Query::new(&g).alpha(0.5).min_size(3).prepare().unwrap();
+        let cliques: Vec<_> = s.collect().into_iter().map(|(c, _)| c).collect();
+        assert_eq!(cliques, vec![vec![0, 1, 2], vec![4, 5, 6]]);
+        let mut par = Query::new(&g)
+            .alpha(0.5)
+            .min_size(3)
+            .threads(3)
+            .prepare()
+            .unwrap();
+        let par_cliques: Vec<_> = par.collect().into_iter().map(|(c, _)| c).collect();
+        assert_eq!(par_cliques, cliques);
+        assert_eq!(par.stats(), s.stats(), "merged stats equal sequential");
+    }
+
+    #[test]
+    fn noip_engine_matches_auto() {
+        let g = fixture();
+        for alpha in [0.9, 0.5, 0.1] {
+            let mut auto = Query::new(&g).alpha(alpha).prepare().unwrap();
+            let mut noip = Query::new(&g)
+                .alpha(alpha)
+                .engine(Engine::Noip)
+                .prepare()
+                .unwrap();
+            let mut a = auto.collect();
+            let mut b = noip.collect();
+            a.sort_by(|x, y| x.0.cmp(&y.0));
+            b.sort_by(|x, y| x.0.cmp(&y.0));
+            assert_eq!(a, b, "α={alpha}");
+            let mut pulled: Vec<_> = noip.iter().collect();
+            pulled.sort_by(|x, y| x.0.cmp(&y.0));
+            assert_eq!(pulled, b, "α={alpha} (iter)");
+        }
+    }
+
+    #[test]
+    fn noip_stream_honors_early_stop_across_components() {
+        // Stop during the first component must prevent any further
+        // emission — later components and singletons stay silent.
+        let g = fixture();
+        let mut s = Query::new(&g)
+            .alpha(0.5)
+            .engine(Engine::Noip)
+            .prepare()
+            .unwrap();
+        let mut calls = 0usize;
+        let mut sink = crate::sinks::FnSink(|_c: &[VertexId], _p: f64| {
+            calls += 1;
+            Control::Stop
+        });
+        let stats = *s.stream(&mut sink);
+        assert!(stats.emitted >= 1);
+        assert_eq!(calls, 1, "emissions after Control::Stop");
+    }
+
+    #[test]
+    fn empty_and_edgeless_graphs() {
+        let g0 = GraphBuilder::new(0).build();
+        for engine in [Engine::Auto, Engine::Noip] {
+            let mut s = Query::new(&g0).alpha(0.5).engine(engine).prepare().unwrap();
+            assert_eq!(s.collect(), vec![(vec![], 1.0)], "{engine:?}");
+            assert_eq!(s.iter().count(), 1, "{engine:?}");
+            let mut bounded = Query::new(&g0)
+                .alpha(0.5)
+                .min_size(2)
+                .engine(engine)
+                .prepare()
+                .unwrap();
+            assert_eq!(bounded.count(), 0, "{engine:?}: empty clique misses t");
+        }
+        let g3 = GraphBuilder::new(3).build();
+        let mut s = Query::new(&g3).alpha(0.5).prepare().unwrap();
+        assert_eq!(s.count(), 3);
+    }
+
+    #[test]
+    fn iter_is_lazy_and_abandonable() {
+        let g = fixture();
+        let mut s = Query::new(&g).alpha(0.5).prepare().unwrap();
+        let total = s.count();
+        let first_two: Vec<_> = s.iter().take(2).collect();
+        assert_eq!(first_two.len(), 2);
+        assert!(
+            s.stats().emitted < total,
+            "abandoned iterator must not have run the whole search"
+        );
+    }
+
+    #[test]
+    fn error_display_and_sources() {
+        let text = MuleError::AlphaNotSet.to_string();
+        assert!(text.contains("alpha"));
+        assert!(MuleError::ZeroThreads.to_string().contains("at least 1"));
+        assert!(MuleError::ZeroTopK.to_string().contains("k = 0"));
+        let ge: MuleError = GraphError::InvalidAlpha { value: 2.0 }.into();
+        use std::error::Error;
+        assert!(ge.source().is_some());
+        let io: MuleError = std::io::Error::other("boom").into();
+        assert!(io.to_string().contains("boom"));
+        assert!(io.source().is_some());
+    }
+}

@@ -6,7 +6,7 @@
 //! cliques, while the top-k problem returns only the `k` most probable
 //! ones. We provide the top-k query on top of MULE in two variants, both
 //! running per-component over the preprocessing pipeline
-//! ([`crate::prepare`]):
+//! ([`mod@crate::prepare`]):
 //!
 //! * [`top_k_maximal_cliques`] — exhaustive enumeration through a bounded
 //!   min-heap ([`crate::sinks::TopKSink`]); exact, simple, and a fair
@@ -34,7 +34,7 @@
 //! only discards emissions that the heap would have rejected anyway.
 
 use crate::kernel::{CandidateArena, DepthArenas, Kernel, Scan};
-use crate::prepare::{prepare, PrepareConfig, Unit};
+use crate::prepare::{PreparedInstance, Unit};
 use crate::sinks::{CliqueSink, Control, TopKSink};
 use crate::stats::EnumerationStats;
 use std::ops::Range;
@@ -55,9 +55,12 @@ pub fn top_k_maximal_cliques(
     alpha: f64,
     k: usize,
 ) -> Result<Vec<(Vec<VertexId>, f64)>, GraphError> {
-    let mut inst = prepare(g, alpha, &PrepareConfig::default())?;
+    let mut session = crate::Query::new(g)
+        .alpha(alpha)
+        .prepare()
+        .map_err(crate::MuleError::expect_graph)?;
     let mut sink = TopKSink::new(k);
-    inst.run(&mut sink);
+    session.stream(&mut sink);
     Ok(sink.into_sorted())
 }
 
@@ -82,14 +85,26 @@ pub fn top_k_pruned_with_stats(
     alpha: f64,
     k: usize,
 ) -> Result<(RankedCliques, EnumerationStats), GraphError> {
-    let inst = prepare(g, alpha, &PrepareConfig::default())?;
+    let session = crate::Query::new(g)
+        .alpha(alpha)
+        .prepare()
+        .map_err(crate::MuleError::expect_graph)?;
+    Ok(beta_top_k(session.instance(), k))
+}
+
+/// The adaptive-β top-k engine over an already-prepared instance:
+/// walks the instance's schedule with [`beta_subtree`], feeding the
+/// heap's current k-th best probability back into branch admission.
+/// Shared by [`top_k_pruned_with_stats`] and the session API
+/// ([`crate::Prepared::top_k`]), so the β-cut recursion exists once.
+pub(crate) fn beta_top_k(inst: &PreparedInstance, k: usize) -> (RankedCliques, EnumerationStats) {
     let mut sink = TopKSink::new(k);
     let mut stats = EnumerationStats::new();
     stats.calls = 1; // the conceptual root node
     if inst.original_vertices() == 0 {
         stats.emitted = 1;
         sink.emit(&[], 1.0);
-        return Ok((sink.into_sorted(), stats));
+        return (sink.into_sorted(), stats);
     }
     let mut arenas = DepthArenas::new();
     let mut c: Vec<VertexId> = Vec::new();
@@ -133,7 +148,7 @@ pub fn top_k_pruned_with_stats(
             }
         }
     }
-    Ok((sink.into_sorted(), stats))
+    (sink.into_sorted(), stats)
 }
 
 /// Translate `c` to original ids and offer it to the heap, via the

@@ -5,8 +5,9 @@
 //! `1 − e^{−c/10}` for `c` co-authored papers. Most maximal cliques are
 //! tiny (pairs who wrote one paper); the interesting structures are the
 //! *large* reliable groups. Enumerating everything and filtering wastes
-//! hours (the paper: 76797 s); LARGE–MULE prunes by size up front
-//! (paper: 32 s at t = 3).
+//! hours (the paper: 76797 s); a size-bounded query prunes up front
+//! (paper: 32 s at t = 3). With the session API, the size bound is just
+//! builder state: `Query::new(&g).alpha(α).min_size(t)`.
 //!
 //! ```text
 //! cargo run --release --example coauthor_groups
@@ -15,10 +16,9 @@
 use std::time::Instant;
 use uncertain_clique::gen::datasets;
 use uncertain_clique::mule::sinks::{CountSink, SizeHistogramSink};
-use uncertain_clique::mule::LargeMule;
 use uncertain_clique::prelude::*;
 
-fn main() -> Result<(), GraphError> {
+fn main() -> Result<(), MuleError> {
     // 5% of DBLP scale keeps the example snappy; crank to 1.0 to reproduce
     // the paper-scale behaviour.
     let g = datasets::by_name("DBLP10")
@@ -32,14 +32,15 @@ fn main() -> Result<(), GraphError> {
 
     let alpha = 0.3; // groups that co-exist with ≥30% probability
 
-    // Baseline: enumerate everything, histogram by size.
+    // Baseline: one session enumerates everything; any sink can consume
+    // the stream, here a size histogram.
     let t0 = Instant::now();
-    let mut all = Mule::new(&g, alpha)?;
+    let mut session = Query::new(&g).alpha(alpha).prepare()?;
     let mut hist = SizeHistogramSink::new();
-    all.run(&mut hist);
+    session.stream(&mut hist);
     let full_time = t0.elapsed();
     println!(
-        "\nfull MULE: {} maximal groups in {:.2?}",
+        "\nfull enumeration: {} maximal groups in {:.2?}",
         hist.total(),
         full_time
     );
@@ -50,30 +51,33 @@ fn main() -> Result<(), GraphError> {
         }
     }
 
-    // LARGE–MULE at increasing thresholds: each run gets cheaper.
-    println!("\nLARGE-MULE sweeps:");
+    // Size-bounded queries at increasing thresholds: each run gets
+    // cheaper (the `(t−1)·α` core filter, the Modani–Dey peel, and the
+    // Algorithm 6 search bound all engage through one builder knob).
+    println!("\nmin-size sweeps:");
     println!("  t   groups   time      search-nodes   vs-full-output");
     for t in [3usize, 4, 5] {
         let t0 = Instant::now();
-        let mut lm = LargeMule::new(&g, alpha, t)?;
+        let mut bounded = Query::new(&g).alpha(alpha).min_size(t).prepare()?;
         let mut sink = CountSink::new();
-        lm.run(&mut sink);
+        bounded.stream(&mut sink);
         let elapsed = t0.elapsed();
         let expected = hist.count_at_least(t);
         assert_eq!(
             sink.count, expected,
-            "LARGE-MULE must equal the size-filtered full output"
+            "the size-bounded query must equal the size-filtered full output"
         );
         println!(
             "  {t}   {:>6}   {:>8.2?}   {:>12}   matches ✓",
             sink.count,
             elapsed,
-            lm.stats().calls
+            bounded.stats().calls
         );
     }
 
-    // The five most reliable larger groups, via the top-k extension.
-    let top = uncertain_clique::mule::topk::top_k_maximal_cliques(&g, alpha, 200)?;
+    // The five most reliable larger groups — same full session, now
+    // serving a top-k query (no preprocessing re-run).
+    let top = session.top_k(200)?;
     println!("\nmost reliable groups with ≥3 authors:");
     for (c, p) in top.iter().filter(|(c, _)| c.len() >= 3).take(5) {
         println!("  authors {c:?}: probability {p:.3}");

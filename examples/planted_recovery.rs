@@ -17,7 +17,7 @@ use uncertain_clique::gen::EdgeProbModel;
 use uncertain_clique::mule::{kcore, verify};
 use uncertain_clique::prelude::*;
 
-fn main() -> Result<(), GraphError> {
+fn main() -> Result<(), MuleError> {
     let params = PlantedParams {
         n: 2000,
         num_plants: 8,
@@ -40,7 +40,13 @@ fn main() -> Result<(), GraphError> {
     // Mine at α just below the plant probability: every plant must appear
     // among the size-6 maximal cliques.
     let alpha = inst.plant_clique_prob * 0.9;
-    let mined = enumerate_maximal_cliques(&inst.graph, alpha)?;
+    let mined: Vec<_> = Query::new(&inst.graph)
+        .alpha(alpha)
+        .prepare()?
+        .collect()
+        .into_iter()
+        .map(|(c, _)| c)
+        .collect();
     let big: Vec<_> = mined
         .iter()
         .filter(|c| c.len() >= params.plant_size)
@@ -62,7 +68,13 @@ fn main() -> Result<(), GraphError> {
     // Above the plants' joint probability the plants must NOT be maximal
     // (their subsets take over).
     let too_high = (inst.plant_clique_prob * 1.3).min(0.99);
-    let strict = enumerate_maximal_cliques(&inst.graph, too_high)?;
+    let strict: Vec<_> = Query::new(&inst.graph)
+        .alpha(too_high)
+        .prepare()?
+        .collect()
+        .into_iter()
+        .map(|(c, _)| c)
+        .collect();
     let still_there = inst.plants.iter().filter(|p| strict.contains(p)).count();
     println!("at α = {too_high:.3}: {still_there} plants survive (expected 0)");
     assert_eq!(still_there, 0);

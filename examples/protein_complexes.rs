@@ -18,10 +18,9 @@
 
 use uncertain_clique::core::{clique, sample};
 use uncertain_clique::gen::datasets;
-use uncertain_clique::mule::{sinks::CollectSink, Mule};
 use uncertain_clique::prelude::*;
 
-fn main() -> Result<(), GraphError> {
+fn main() -> Result<(), MuleError> {
     let g = datasets::by_name("Fruit-Fly")
         .expect("registry has the PPI dataset")
         .build(42);
@@ -32,17 +31,16 @@ fn main() -> Result<(), GraphError> {
     );
 
     // Sweep the confidence threshold: higher α keeps only complexes whose
-    // *joint* existence is well supported.
+    // *joint* existence is well supported. One prepared session per
+    // threshold.
     println!("\n alpha   #complexes   largest");
     let mut strong: Vec<(Vec<VertexId>, f64)> = Vec::new();
     for alpha in [0.05, 0.25, 0.5, 0.75] {
-        let mut mule = Mule::new(&g, alpha)?;
-        let mut sink = CollectSink::new();
-        mule.run(&mut sink);
-        let largest = sink.cliques().iter().map(|c| c.len()).max().unwrap_or(0);
-        println!("{alpha:>6}   {:>10}   {largest:>7}", sink.len());
+        let pairs = Query::new(&g).alpha(alpha).prepare()?.collect();
+        let largest = pairs.iter().map(|(c, _)| c.len()).max().unwrap_or(0);
+        println!("{alpha:>6}   {:>10}   {largest:>7}", pairs.len());
         if alpha == 0.5 {
-            strong = sink.into_pairs();
+            strong = pairs;
         }
     }
 

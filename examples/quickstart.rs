@@ -1,14 +1,13 @@
-//! Quickstart: build a small uncertain graph, enumerate its α-maximal
-//! cliques, and inspect the result.
+//! Quickstart: build a small uncertain graph, prepare a mining session,
+//! and query it several ways.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use uncertain_clique::mule::{sinks::CollectSink, Mule};
 use uncertain_clique::prelude::*;
 
-fn main() -> Result<(), GraphError> {
+fn main() -> Result<(), MuleError> {
     // A little collaboration network: vertices are people, an edge means
     // "probably know each other", weighted by confidence.
     //
@@ -33,25 +32,37 @@ fn main() -> Result<(), GraphError> {
         g.num_edges()
     );
 
-    // Enumerate all 0.5-maximal cliques: vertex sets that form a fully
-    // connected group with probability at least 1/2, and cannot be
-    // extended without dropping below that bar.
+    // Prepare once: all 0.5-maximal cliques — vertex sets that form a
+    // fully connected group with probability at least 1/2, and cannot be
+    // extended without dropping below that bar. The session reuses the
+    // preprocessing across every query below.
     let alpha = 0.5;
-    let mut mule = Mule::new(&g, alpha)?;
-    let mut sink = CollectSink::new();
-    mule.run(&mut sink);
+    let mut session = Query::new(&g).alpha(alpha).prepare()?;
 
     println!("\n{alpha}-maximal cliques:");
-    for (clique, prob) in sink.into_pairs() {
+    for (clique, prob) in session.collect() {
         println!("  {clique:?}  (clique probability {prob:.4})");
     }
 
-    // Raising the bar to 0.7 splits the looser groups apart.
-    let strict = enumerate_maximal_cliques(&g, 0.7)?;
+    // Same session: the two most reliable groups, no re-preprocessing.
+    println!("\ntop-2 by probability:");
+    for (clique, prob) in session.top_k(2)? {
+        println!("  {clique:?}  ({prob:.4})");
+    }
+
+    // Raising the bar to 0.7 splits the looser groups apart — a new
+    // threshold is a new query.
+    let strict: Vec<_> = Query::new(&g)
+        .alpha(0.7)
+        .prepare()?
+        .collect()
+        .into_iter()
+        .map(|(c, _)| c)
+        .collect();
     println!("\n0.7-maximal cliques: {strict:?}");
 
-    // How much work did the search do?
-    let s = mule.stats();
+    // How much work did the last search do?
+    let s = session.stats();
     println!(
         "\nsearch tree: {} nodes, {} cliques, deepest clique {}",
         s.calls, s.emitted, s.max_depth

@@ -1,5 +1,5 @@
 //! Exploring how the threshold α shapes the mined structure, on a noisy
-//! peer-to-peer topology — plus the parallel enumerator and graph I/O.
+//! peer-to-peer topology — plus the parallel session and graph I/O.
 //!
 //! Mirrors the paper's Figures 2–3 in miniature: as α rises, both the
 //! number of α-maximal cliques and the cost of finding them drop sharply,
@@ -12,7 +12,6 @@
 use std::time::Instant;
 use uncertain_clique::gen::datasets;
 use uncertain_clique::io;
-use uncertain_clique::mule::{par_enumerate_maximal_cliques, sinks::CountSink};
 use uncertain_clique::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -25,33 +24,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         g.num_edges()
     );
 
-    // Sweep α across four orders of magnitude.
+    // Sweep α across four orders of magnitude. Each threshold is its own
+    // prepared session; the prune report shows how much of the graph the
+    // threshold already discards before the search starts.
     println!("\n   alpha    cliques      time   pruned-graph-edges");
     for alpha in [0.0001, 0.001, 0.01, 0.1, 0.5, 0.9] {
         let t0 = Instant::now();
-        let mut m = Mule::new(&g, alpha)?;
-        let mut sink = CountSink::new();
-        m.run(&mut sink);
+        let mut session = Query::new(&g).alpha(alpha).prepare()?;
+        let count = session.count();
         println!(
-            "{alpha:>8}   {:>8}   {:>7.2?}   {:>8}",
-            sink.count,
+            "{alpha:>8}   {count:>8}   {:>7.2?}   {:>8}",
             t0.elapsed(),
-            m.graph().num_edges(),
+            session.report().final_edges,
         );
     }
 
-    // The same enumeration, fanned out across CPU cores: identical output.
+    // The same enumeration, fanned out across CPU cores by builder state
+    // alone: identical output.
     let alpha = 0.001;
-    let seq = enumerate_maximal_cliques(&g, alpha)?;
+    let mut seq_session = Query::new(&g).alpha(alpha).prepare()?;
+    let seq = seq_session.collect();
     let t0 = Instant::now();
-    let par = par_enumerate_maximal_cliques(&g, alpha, 0)?;
+    let par = Query::new(&g)
+        .alpha(alpha)
+        .threads_auto()
+        .prepare()?
+        .collect();
     println!(
         "\nparallel enumeration: {} cliques in {:.2?} (sequential found {})",
-        par.cliques.len(),
+        par.len(),
         t0.elapsed(),
         seq.len()
     );
-    assert_eq!(par.cliques, seq, "parallel must equal sequential");
+    assert_eq!(par, seq, "parallel must equal sequential");
 
     // Round-trip the graph through the text format — the interchange path
     // for bringing your own uncertain data.

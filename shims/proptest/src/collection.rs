@@ -39,7 +39,7 @@ pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> 
     VecStrategy { element, size }
 }
 
-/// Output of [`vec`].
+/// Output of [`fn@vec`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S, Z> {
     element: S,

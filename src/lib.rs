@@ -13,21 +13,31 @@
 //!
 //! ## Quickstart
 //!
+//! The front door is the [`mule::Query`] builder: validate and
+//! preprocess once ([`mule::Query::prepare`]), then answer any number
+//! of queries from the reusable [`mule::Prepared`] session.
+//!
 //! ```
 //! use uncertain_clique::prelude::*;
 //!
+//! # fn main() -> Result<(), MuleError> {
 //! // Build a small uncertain graph.
 //! let mut b = GraphBuilder::new(4);
-//! b.add_edge(0, 1, 0.9).unwrap();
-//! b.add_edge(1, 2, 0.9).unwrap();
-//! b.add_edge(0, 2, 0.9).unwrap();
-//! b.add_edge(2, 3, 0.6).unwrap();
+//! b.add_edge(0, 1, 0.9)?;
+//! b.add_edge(1, 2, 0.9)?;
+//! b.add_edge(0, 2, 0.9)?;
+//! b.add_edge(2, 3, 0.6)?;
 //! let g = b.build();
 //!
-//! // Enumerate all 0.5-maximal cliques.
-//! let cliques = enumerate_maximal_cliques(&g, 0.5).unwrap();
+//! // One prepared session answers count, collect, and top-k.
+//! let mut session = Query::new(&g).alpha(0.5).prepare()?;
+//! assert_eq!(session.count(), 2);
+//! let cliques: Vec<_> = session.collect().into_iter().map(|(c, _)| c).collect();
 //! assert!(cliques.contains(&vec![0, 1, 2])); // 0.9³ = 0.729 ≥ 0.5
 //! assert!(cliques.contains(&vec![2, 3]));    // 0.6 ≥ 0.5
+//! assert_eq!(session.top_k(1)?[0].0, vec![0, 1, 2]);
+//! # Ok(())
+//! # }
 //! ```
 
 pub use mule;
@@ -38,8 +48,8 @@ pub use ugraph_io as io;
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
     pub use mule::{
-        enumerate_maximal_cliques, sinks::CollectSink, sinks::CountSink, CliqueSink, LargeMule,
-        Mule, MuleConfig,
+        enumerate_maximal_cliques, sinks::CollectSink, sinks::CountSink, CliqueSink, Engine,
+        IndexMode, LargeMule, Mule, MuleConfig, MuleError, Prepared, Query,
     };
     pub use ugraph_core::{GraphBuilder, GraphError, GraphStats, Prob, UncertainGraph, VertexId};
 }

@@ -1,0 +1,308 @@
+//! Session-API equivalence pins (satellite of the `Query`/`Prepared`
+//! redesign): the builder path must be **byte-identical** — same
+//! cliques, same order, same probability bits, equal stats — to every
+//! legacy free-function entry point it now fronts, across α ×
+//! `min_size` × threads × index mode × top-k. Seeded random graphs plus
+//! structured edge cases, in the same property-test style as
+//! `tests/pipeline_equality.rs`.
+
+use mule::{Engine, IndexMode, MuleError, Query};
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use ugraph_core::{GraphBuilder, UncertainGraph, VertexId};
+
+fn random_graph(seed: u64, n: usize, density: f64) -> UncertainGraph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            if rng.gen::<f64>() < density {
+                b.add_edge(u, v, 1.0 - rng.gen::<f64>()).unwrap();
+            }
+        }
+    }
+    b.build()
+}
+
+/// `(clique, prob bits)` — the byte-comparison currency.
+type Pairs = Vec<(Vec<VertexId>, u64)>;
+
+fn bits(pairs: Vec<(Vec<VertexId>, f64)>) -> Pairs {
+    pairs.into_iter().map(|(c, p)| (c, p.to_bits())).collect()
+}
+
+const ALPHAS: [f64; 4] = [0.9, 0.5, 0.1, 0.01];
+
+/// Builder `collect`/`count` vs the legacy wrappers, plus the pull
+/// iterator, on the default configuration.
+#[test]
+fn collect_count_and_iter_match_legacy_wrappers() {
+    for seed in 0..12u64 {
+        let density = [0.1, 0.25, 0.5][(seed % 3) as usize];
+        let g = random_graph(seed, 13 + (seed % 5) as usize, density);
+        for alpha in ALPHAS {
+            let mut s = Query::new(&g).alpha(alpha).prepare().unwrap();
+            let pairs = s.collect();
+            let seq_stats = *s.stats();
+
+            let legacy = mule::enumerate_maximal_cliques(&g, alpha).unwrap();
+            let mut from_builder: Vec<Vec<VertexId>> =
+                pairs.iter().map(|(c, _)| c.clone()).collect();
+            from_builder.sort();
+            assert_eq!(from_builder, legacy, "seed={seed} α={alpha} (collect)");
+
+            assert_eq!(
+                s.count(),
+                mule::count_maximal_cliques(&g, alpha).unwrap(),
+                "seed={seed} α={alpha} (count)"
+            );
+            assert_eq!(
+                s.stats(),
+                &seq_stats,
+                "seed={seed} α={alpha}: count re-did different work than collect"
+            );
+
+            let pulled: Vec<_> = s.iter().collect();
+            assert_eq!(
+                bits(pulled),
+                bits(pairs),
+                "seed={seed} α={alpha} (pull iterator)"
+            );
+            assert_eq!(
+                s.stats(),
+                &seq_stats,
+                "seed={seed} α={alpha}: iterator stats drifted"
+            );
+        }
+    }
+}
+
+/// `min_size` through the builder vs `enumerate_large_maximal_cliques`
+/// and the pair-returning `enumerate_prepared` (probability bits too).
+#[test]
+fn min_size_matches_legacy_large_and_prepared() {
+    for seed in 0..10u64 {
+        let g = random_graph(100 + seed, 12 + (seed % 4) as usize, 0.4);
+        for alpha in ALPHAS {
+            for t in 2..=5usize {
+                let mut s = Query::new(&g).alpha(alpha).min_size(t).prepare().unwrap();
+                let mut pairs = bits(s.collect());
+                pairs.sort();
+
+                let legacy: Vec<Vec<VertexId>> =
+                    mule::enumerate_large_maximal_cliques(&g, alpha, t).unwrap();
+                let got: Vec<Vec<VertexId>> = pairs.iter().map(|(c, _)| c.clone()).collect();
+                assert_eq!(got, legacy, "seed={seed} α={alpha} t={t} (large)");
+
+                let prepared = bits(mule::prepare::enumerate_prepared(&g, alpha, t).unwrap());
+                assert_eq!(pairs, prepared, "seed={seed} α={alpha} t={t} (prepared)");
+            }
+        }
+    }
+}
+
+/// `threads` through the builder vs `par_enumerate_maximal_cliques`:
+/// same stream, same probability bits, equal merged stats — and both
+/// equal the sequential session.
+#[test]
+fn threads_match_legacy_parallel_wrapper() {
+    for seed in 0..6u64 {
+        let g = random_graph(200 + seed, 15, 0.3);
+        for alpha in [0.5, 0.05] {
+            let mut seq = Query::new(&g).alpha(alpha).prepare().unwrap();
+            let seq_pairs = bits(seq.collect());
+            for threads in [2usize, 4] {
+                let mut s = Query::new(&g)
+                    .alpha(alpha)
+                    .threads(threads)
+                    .prepare()
+                    .unwrap();
+                let pairs = bits(s.collect());
+                assert_eq!(pairs, seq_pairs, "seed={seed} α={alpha} threads={threads}");
+
+                let legacy = mule::par_enumerate_maximal_cliques(&g, alpha, threads).unwrap();
+                let legacy_pairs: Pairs = legacy
+                    .cliques
+                    .into_iter()
+                    .zip(legacy.probs.iter().map(|p| p.to_bits()))
+                    .collect();
+                assert_eq!(
+                    pairs, legacy_pairs,
+                    "seed={seed} α={alpha} threads={threads} (legacy)"
+                );
+                assert_eq!(
+                    s.stats(),
+                    &legacy.stats,
+                    "seed={seed} α={alpha} threads={threads} (stats)"
+                );
+                assert_eq!(
+                    s.stats(),
+                    seq.stats(),
+                    "seed={seed} α={alpha} threads={threads} (vs sequential)"
+                );
+            }
+        }
+    }
+}
+
+/// Index mode and dense-budget knobs are output-neutral through the
+/// builder, exactly as they are through `MuleConfig`.
+#[test]
+fn index_modes_are_output_neutral() {
+    for seed in 0..6u64 {
+        let g = random_graph(300 + seed, 14, 0.35);
+        for alpha in [0.5, 0.1] {
+            let mut reference = Query::new(&g).alpha(alpha).prepare().unwrap();
+            let want = bits(reference.collect());
+            for (mode, budget) in [
+                (IndexMode::Always, usize::MAX),
+                (IndexMode::Always, 0),
+                (IndexMode::Never, 4 << 20),
+                (IndexMode::Auto, 0),
+            ] {
+                let mut s = Query::new(&g)
+                    .alpha(alpha)
+                    .index_mode(mode)
+                    .dense_index_bytes(budget)
+                    .prepare()
+                    .unwrap();
+                assert_eq!(
+                    bits(s.collect()),
+                    want,
+                    "seed={seed} α={alpha} mode={mode:?} budget={budget}"
+                );
+            }
+        }
+    }
+}
+
+/// `Prepared::top_k` vs both legacy top-k variants (which must also
+/// agree with each other), bits included.
+#[test]
+fn top_k_matches_both_legacy_variants() {
+    for seed in 0..8u64 {
+        let g = random_graph(400 + seed, 12, 0.45);
+        for alpha in [0.5, 0.1, 0.01] {
+            let mut s = Query::new(&g).alpha(alpha).prepare().unwrap();
+            for k in [1usize, 3, 8] {
+                let got = bits(s.top_k(k).unwrap());
+                let exhaustive = bits(mule::topk::top_k_maximal_cliques(&g, alpha, k).unwrap());
+                let pruned = bits(mule::topk::top_k_maximal_cliques_pruned(&g, alpha, k).unwrap());
+                assert_eq!(got, exhaustive, "seed={seed} α={alpha} k={k} (exhaustive)");
+                assert_eq!(got, pruned, "seed={seed} α={alpha} k={k} (pruned)");
+            }
+        }
+    }
+}
+
+/// The NOIP engine through the builder vs both legacy NOIP wrappers.
+#[test]
+fn noip_engine_matches_legacy_noip_wrappers() {
+    for seed in 0..6u64 {
+        let g = random_graph(500 + seed, 11, 0.3);
+        for alpha in [0.5, 0.1] {
+            let mut s = Query::new(&g)
+                .alpha(alpha)
+                .engine(Engine::Noip)
+                .prepare()
+                .unwrap();
+            let mut got: Vec<Vec<VertexId>> = s.collect().into_iter().map(|(c, _)| c).collect();
+            got.sort();
+            assert_eq!(
+                got,
+                mule::dfs_noip::enumerate_maximal_cliques_noip_prepared(&g, alpha).unwrap(),
+                "seed={seed} α={alpha} (prepared wrapper)"
+            );
+            assert_eq!(
+                got,
+                mule::dfs_noip::enumerate_maximal_cliques_noip(&g, alpha).unwrap(),
+                "seed={seed} α={alpha} (direct wrapper)"
+            );
+        }
+    }
+}
+
+/// The NOIP engine with a size threshold: the core-filter/peel stages
+/// plus the emission filter must reproduce exactly the legacy
+/// LARGE-MULE answer set on non-trivial graphs.
+#[test]
+fn noip_engine_with_min_size_matches_legacy_large() {
+    for seed in 0..5u64 {
+        let g = random_graph(600 + seed, 11, 0.45);
+        for alpha in [0.5, 0.1] {
+            for t in 2..=4usize {
+                let mut s = Query::new(&g)
+                    .alpha(alpha)
+                    .engine(Engine::Noip)
+                    .min_size(t)
+                    .prepare()
+                    .unwrap();
+                let mut got: Vec<Vec<VertexId>> = s.collect().into_iter().map(|(c, _)| c).collect();
+                got.sort();
+                assert_eq!(
+                    got,
+                    mule::enumerate_large_maximal_cliques(&g, alpha, t).unwrap(),
+                    "seed={seed} α={alpha} t={t}"
+                );
+            }
+        }
+    }
+}
+
+/// Builder validation is eager and typed: every rejection happens at
+/// `prepare()` (or at the `top_k` call for `k = 0`), with the variant
+/// naming the mistake.
+#[test]
+fn builder_validation_is_eager_and_typed() {
+    let g = random_graph(77, 8, 0.5);
+    assert!(matches!(
+        Query::new(&g).prepare(),
+        Err(MuleError::AlphaNotSet)
+    ));
+    assert!(matches!(
+        Query::new(&g).alpha(0.4).threads(0).prepare(),
+        Err(MuleError::ZeroThreads)
+    ));
+    for bad_alpha in [0.0, -1.0, 1.01, f64::NAN] {
+        assert!(
+            matches!(
+                Query::new(&g).alpha(bad_alpha).prepare(),
+                Err(MuleError::Graph(_))
+            ),
+            "α={bad_alpha} must be rejected at prepare()"
+        );
+    }
+    let mut s = Query::new(&g).alpha(0.4).prepare().unwrap();
+    assert!(matches!(s.top_k(0), Err(MuleError::ZeroTopK)));
+    // The session survives a rejected query.
+    assert!(!s.top_k(1).unwrap().is_empty());
+}
+
+/// Structured edge cases through every execution method: empty graph,
+/// edgeless graph, disconnected components with interleaved ids.
+#[test]
+fn structured_graphs_agree_across_methods() {
+    let mut cases: Vec<UncertainGraph> =
+        vec![GraphBuilder::new(0).build(), GraphBuilder::new(4).build()];
+    {
+        let mut b = GraphBuilder::new(10);
+        for (u, v) in [(0, 4), (4, 8), (0, 8)] {
+            b.add_edge(u, v, 0.9).unwrap();
+        }
+        for (u, v) in [(1, 5), (5, 9), (1, 9)] {
+            b.add_edge(u, v, 0.7).unwrap();
+        }
+        cases.push(b.build());
+    }
+    for (i, g) in cases.iter().enumerate() {
+        for alpha in [0.5, 0.1] {
+            let mut s = Query::new(g).alpha(alpha).prepare().unwrap();
+            let pairs = s.collect();
+            let legacy = mule::enumerate_maximal_cliques(g, alpha).unwrap();
+            let got: Vec<Vec<VertexId>> = pairs.iter().map(|(c, _)| c.clone()).collect();
+            assert_eq!(got, legacy, "case={i} α={alpha}");
+            assert_eq!(s.count() as usize, pairs.len(), "case={i} α={alpha}");
+            let pulled: Vec<_> = s.iter().collect();
+            assert_eq!(pulled, pairs, "case={i} α={alpha} (iter)");
+        }
+    }
+}

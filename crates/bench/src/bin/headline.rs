@@ -188,6 +188,60 @@ fn run_trajectory(args: &Args) {
             json.end_obj();
             eprintln!("done {name} α={alpha} {seq_label}: {}", s.display());
 
+            // Catalog cold-open: how fast a persisted session comes
+            // back, per point. The save is untimed (write-side cost is
+            // a one-off); the timed region is `Query::open` alone —
+            // read, validate every checksum and invariant, rebuild the
+            // neighborhood index. Enumeration counters are zero by
+            // construction: open runs no search.
+            {
+                let session = query_for(g, alpha, min_size, &mule_cfg)
+                    .prepare()
+                    .expect("valid alpha");
+                let cat_path = std::env::temp_dir().join(format!(
+                    "headline-{name}-{alpha}-{}.ugq",
+                    std::process::id()
+                ));
+                session.save(&cat_path).expect("write catalog");
+                let mut secs = Vec::with_capacity(repeats);
+                let mut reopened_count = 0u64;
+                for i in 0..repeats {
+                    let start = Instant::now();
+                    let mut reopened = mule::Query::open(&cat_path).expect("reopen catalog");
+                    secs.push(start.elapsed().as_secs_f64());
+                    if i == 0 {
+                        // Equality check once, outside the timed region.
+                        reopened_count = reopened.count();
+                    }
+                }
+                let _ = std::fs::remove_file(&cat_path);
+                assert_eq!(
+                    reopened_count, cliques,
+                    "{name} α={alpha}: catalog-open served a different result"
+                );
+                let s = Summary::from_samples(&secs);
+                table.row(&[
+                    name.to_string(),
+                    format!("{alpha}"),
+                    "catalog-open".into(),
+                    "1".into(),
+                    s.display(),
+                    cliques.to_string(),
+                ]);
+                json.begin_obj();
+                json.key("graph").str_val(name);
+                json.key("n").int(g.num_vertices() as i64);
+                json.key("m").int(g.num_edges() as i64);
+                json.key("alpha").num(alpha);
+                json.key("algo").str_val("catalog-open");
+                json.key("threads").int(1);
+                json.key("cliques").int(cliques as i64);
+                emit_counters(&mut json, &mule::EnumerationStats::new());
+                json.summary("time", &s);
+                json.end_obj();
+                eprintln!("done {name} α={alpha} catalog-open: {}", s.display());
+            }
+
             if args.get("prune-report").is_some() {
                 // One extra, untimed prepare per point: the report is a
                 // diagnostic artifact, deliberately kept out of the

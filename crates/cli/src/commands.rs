@@ -73,6 +73,13 @@ pub fn stats(args: &[String], out: &mut dyn Write) -> CmdResult {
 /// probability tier in bytes per enumeration kernel — per component
 /// when the pipeline shards (`0` disables dense rows, keeping only the
 /// bitset membership tier).
+///
+/// With `--catalog FILE.ugq` the session comes from a prepared catalog
+/// (`mule prepare`) instead of a graph file: no pipeline runs, and the
+/// flags that would re-specify prepare-time settings (α, size
+/// threshold, stage toggles, index configuration) are rejected as
+/// conflicts — only the runtime flags (`--threads`, `--count-only`,
+/// `--out`, `--prune-report`) apply.
 pub fn enumerate(args: &[String], out: &mut dyn Write) -> CmdResult {
     let opts = Opts::parse(
         args,
@@ -86,32 +93,64 @@ pub fn enumerate(args: &[String], out: &mut dyn Write) -> CmdResult {
             "prune-report",
             "index-mode",
             "index-budget",
+            "catalog",
         ]),
     )?;
-    let g = graph_from(&opts)?;
-    let alpha: f64 = opts.required("alpha")?;
-    let min_size: usize = opts.get_or("min-size", 0)?;
-    let threads: usize = opts.get_or("threads", 1)?;
-    let no_prune = opts.flag("no-prune");
-    if no_prune && opts.flag("prune-report") {
-        return Err("--prune-report requires the pipeline; drop --no-prune".into());
-    }
-    let default_cfg = mule::MuleConfig::default();
     let started = std::time::Instant::now();
 
-    let mut query = mule::Query::new(&g)
-        .alpha(alpha)
-        .min_size(min_size)
-        .threads(threads.max(1))
-        .index_mode(opts.get_or("index-mode", default_cfg.index_mode)?)
-        .dense_index_bytes(opts.get_or("index-budget", default_cfg.dense_index_bytes)?);
-    if no_prune {
-        query = query
-            .core_filter(false)
-            .shared_neighborhood(false)
-            .shard_components(false);
-    }
-    let mut session = query.prepare().map_err(fmt_err)?;
+    let mut session = if let Some(cat_path) = opts.get_str("catalog") {
+        // The catalog *is* the query configuration: α, size threshold,
+        // stage toggles and index settings were fixed at prepare time,
+        // so the flags that would re-specify them are conflicts, not
+        // overrides — silently ignoring either side would lie about
+        // what ran.
+        if opts.num_positional() > 0 {
+            return Err("--catalog replaces the graph operand".into());
+        }
+        for key in [
+            "alpha",
+            "min-size",
+            "no-prune",
+            "index-mode",
+            "index-budget",
+            "snap",
+            "assign",
+        ] {
+            if opts.get_str(key).is_some() || opts.flag(key) {
+                return Err(format!(
+                    "--{key} conflicts with --catalog: that setting is baked into the catalog"
+                ));
+            }
+        }
+        let cat_path = cat_path.to_string();
+        let mut session = mule::Query::open(&cat_path).map_err(|e| format!("{cat_path}: {e}"))?;
+        let threads: usize = opts.get_or("threads", 1)?;
+        session.set_threads(threads.max(1)).map_err(fmt_err)?;
+        session
+    } else {
+        let g = graph_from(&opts)?;
+        let alpha: f64 = opts.required("alpha")?;
+        let min_size: usize = opts.get_or("min-size", 0)?;
+        let threads: usize = opts.get_or("threads", 1)?;
+        let no_prune = opts.flag("no-prune");
+        if no_prune && opts.flag("prune-report") {
+            return Err("--prune-report requires the pipeline; drop --no-prune".into());
+        }
+        let default_cfg = mule::MuleConfig::default();
+        let mut query = mule::Query::new(&g)
+            .alpha(alpha)
+            .min_size(min_size)
+            .threads(threads.max(1))
+            .index_mode(opts.get_or("index-mode", default_cfg.index_mode)?)
+            .dense_index_bytes(opts.get_or("index-budget", default_cfg.dense_index_bytes)?);
+        if no_prune {
+            query = query
+                .core_filter(false)
+                .shared_neighborhood(false)
+                .shard_components(false);
+        }
+        query.prepare().map_err(fmt_err)?
+    };
     if opts.flag("prune-report") {
         for line in session.report().render().lines() {
             writeln!(out, "# {line}").map_err(io_err)?;
@@ -134,7 +173,8 @@ pub fn enumerate(args: &[String], out: &mut dyn Write) -> CmdResult {
     match opts.get_str("out") {
         Some(path) => {
             let file = File::create(path).map_err(|e| format!("cannot create {path:?}: {e}"))?;
-            ugraph_io::write_clique_list(BufWriter::new(file), alpha, &pairs).map_err(io_err)?;
+            ugraph_io::write_clique_list(BufWriter::new(file), session.alpha(), &pairs)
+                .map_err(io_err)?;
             writeln!(
                 out,
                 "wrote {} cliques to {path} in {:.3}s",
@@ -144,9 +184,148 @@ pub fn enumerate(args: &[String], out: &mut dyn Write) -> CmdResult {
             .map_err(io_err)?;
         }
         None => {
-            ugraph_io::write_clique_list(&mut *out, alpha, &pairs).map_err(io_err)?;
+            ugraph_io::write_clique_list(&mut *out, session.alpha(), &pairs).map_err(io_err)?;
         }
     }
+    Ok(())
+}
+
+/// `mule prepare <graph> --alpha A --out FILE.ugq [--min-size T]
+/// [--no-prune] [--index-mode auto|always|never] [--index-budget BYTES]`.
+///
+/// Runs the preprocessing pipeline exactly as `mule enumerate` would and
+/// persists the prepared session as a UGQ1 catalog instead of querying
+/// it. A later `mule enumerate --catalog FILE.ugq` (or
+/// `mule::Query::open` from Rust) serves byte-identical results without
+/// re-running a single pipeline stage — prepare once, cold-open many.
+pub fn prepare(args: &[String], out: &mut dyn Write) -> CmdResult {
+    let opts = Opts::parse(
+        args,
+        &with_input_opts(&[
+            "alpha",
+            "min-size",
+            "out",
+            "no-prune",
+            "index-mode",
+            "index-budget",
+        ]),
+    )?;
+    let g = graph_from(&opts)?;
+    let alpha: f64 = opts.required("alpha")?;
+    let out_path: String = opts.required("out")?;
+    let min_size: usize = opts.get_or("min-size", 0)?;
+    let default_cfg = mule::MuleConfig::default();
+    let started = std::time::Instant::now();
+    let mut query = mule::Query::new(&g)
+        .alpha(alpha)
+        .min_size(min_size)
+        .index_mode(opts.get_or("index-mode", default_cfg.index_mode)?)
+        .dense_index_bytes(opts.get_or("index-budget", default_cfg.dense_index_bytes)?);
+    if opts.flag("no-prune") {
+        query = query
+            .core_filter(false)
+            .shared_neighborhood(false)
+            .shard_components(false);
+    }
+    let session = query.prepare().map_err(fmt_err)?;
+    session.save(&out_path).map_err(fmt_err)?;
+    let bytes = std::fs::metadata(&out_path).map(|m| m.len()).unwrap_or(0);
+    let report = session.report();
+    writeln!(
+        out,
+        "prepared {} -> {out_path} ({} components, {} singletons, {bytes} bytes) in {:.3}s",
+        opts.positional(0, "graph file")?,
+        report.components_kept,
+        report.singleton_vertices,
+        started.elapsed().as_secs_f64()
+    )
+    .map_err(io_err)?;
+    Ok(())
+}
+
+/// `mule stat <catalog.ugq> [--list]` — summarize a prepared catalog.
+///
+/// Prints the header fields (threshold, stage toggles, index settings,
+/// source-graph fingerprint) and verifies every checksum; `--list` adds
+/// the TOC, one row per section with offset, length and CRC status. A
+/// structurally invalid or corrupted file exits 2 with a typed message.
+pub fn stat(args: &[String], out: &mut dyn Write) -> CmdResult {
+    let opts = Opts::parse(args, &["list"])?;
+    let path = opts.positional(0, "catalog file")?;
+    let cat = ugraph_io::Catalog::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let h = cat.header();
+    let stages: Vec<&str> = [
+        (ugraph_io::catalog::FLAG_CORE_FILTER, "core-filter"),
+        (
+            ugraph_io::catalog::FLAG_SHARED_NEIGHBORHOOD,
+            "shared-neighborhood",
+        ),
+        (
+            ugraph_io::catalog::FLAG_SHARD_COMPONENTS,
+            "shard-components",
+        ),
+    ]
+    .iter()
+    .filter(|(bit, _)| h.flags & bit != 0)
+    .map(|&(_, name)| name)
+    .collect();
+    let index_mode = match h.index_mode {
+        0 => "auto",
+        1 => "always",
+        2 => "never",
+        _ => "unknown",
+    };
+    writeln!(out, "catalog:      {path}").map_err(io_err)?;
+    writeln!(out, "format:       UGQ1 v{}", ugraph_io::catalog::VERSION).map_err(io_err)?;
+    writeln!(out, "alpha:        {}", f64::from_bits(h.alpha_bits)).map_err(io_err)?;
+    writeln!(out, "min size:     {}", h.min_size).map_err(io_err)?;
+    writeln!(
+        out,
+        "stages:       {}",
+        if stages.is_empty() {
+            "(none)".to_string()
+        } else {
+            stages.join(" ")
+        }
+    )
+    .map_err(io_err)?;
+    writeln!(out, "index mode:   {index_mode}").map_err(io_err)?;
+    writeln!(
+        out,
+        "index budget: dense {} / max {} bytes",
+        h.dense_index_bytes, h.max_index_bytes
+    )
+    .map_err(io_err)?;
+    writeln!(
+        out,
+        "graph:        {} vertices, {} edges",
+        h.original_vertices, h.original_edges
+    )
+    .map_err(io_err)?;
+    writeln!(out, "sections:     {}", cat.sections().len()).map_err(io_err)?;
+    writeln!(out, "file size:    {} bytes", cat.file_len()).map_err(io_err)?;
+    if opts.flag("list") {
+        writeln!(out, "{:<24} {:>10} {:>10}  crc", "name", "offset", "length").map_err(io_err)?;
+        let mut bad = 0usize;
+        for e in cat.sections() {
+            let ok = cat.section_crc_ok(e);
+            bad += usize::from(!ok);
+            writeln!(
+                out,
+                "{:<24} {:>10} {:>10}  {}",
+                e.name,
+                e.offset,
+                e.length,
+                if ok { "OK" } else { "BAD" }
+            )
+            .map_err(io_err)?;
+        }
+        if bad > 0 {
+            return Err(format!("{path}: {bad} section(s) failed CRC validation"));
+        }
+    }
+    cat.verify().map_err(|e| format!("{path}: {e}"))?;
+    writeln!(out, "integrity:    OK").map_err(io_err)?;
     Ok(())
 }
 

@@ -8,6 +8,9 @@
 //! mule stats g.ugb
 //! mule enumerate g.ugb --alpha 0.1 --out cliques.txt
 //! mule enumerate g.ugb --alpha 0.1 --min-size 4 --count-only
+//! mule prepare g.ugb --alpha 0.1 --out g.ugq
+//! mule stat g.ugq --list
+//! mule enumerate --catalog g.ugq --count-only
 //! mule topk g.ugb --alpha 0.1 --k 10
 //! mule verify g.ugb --alpha 0.1 --cliques cliques.txt
 //! mule sample g.ugb --clique 3,17,42 --samples 100000
@@ -45,6 +48,14 @@ COMMANDS:
                [--index-budget BYTES]       (dense probability-row tier cap,
                                             per component kernel; 0 keeps
                                             only the bitset tier)
+  enumerate  --catalog FILE.ugq             enumerate from a prepared catalog
+               [--threads N] [--count-only] (α, size threshold and index
+               [--out FILE] [--prune-report] settings come from the catalog)
+  prepare    <graph> --alpha A --out F.ugq  run the pipeline once, persist the
+               [--min-size T] [--no-prune]  prepared session as a UGQ1 catalog
+               [--index-mode M] [--index-budget BYTES]
+  stat       <catalog.ugq> [--list]         catalog header summary; --list adds
+                                            the TOC with per-section CRC status
   topk       <graph> --alpha A --k K        k most probable α-maximal cliques
                [--skeleton]                 (skeleton-maximal instead: Zou et al.)
   verify     <graph> --alpha A --cliques F  verify a clique list
@@ -73,6 +84,8 @@ pub fn run(args: &[String], stdout: &mut dyn Write, stderr: &mut dyn Write) -> i
     let result = match command.as_str() {
         "stats" => commands::stats(rest, stdout),
         "enumerate" => commands::enumerate(rest, stdout),
+        "prepare" => commands::prepare(rest, stdout),
+        "stat" => commands::stat(rest, stdout),
         "topk" => commands::topk(rest, stdout),
         "verify" => commands::verify(rest, stdout),
         "sample" => commands::sample(rest, stdout),

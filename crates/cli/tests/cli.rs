@@ -396,3 +396,120 @@ fn missing_file_reports_cleanly() {
     assert_eq!(code, 2);
     assert!(err.contains("cannot open"));
 }
+
+#[test]
+fn prepare_stat_and_catalog_enumerate() {
+    let dir = scratch("catalog");
+    let g = fixture_graph(&dir);
+    let cat = dir.join("g.ugq").to_string_lossy().into_owned();
+    let (code, out, err) = run(&["prepare", &g, "--alpha", "0.5", "--out", &cat]);
+    assert_eq!(code, 0, "{err}");
+    assert!(out.contains("prepared"), "{out}");
+
+    // The header summary reflects the prepare-time settings.
+    let (code, out, err) = run(&["stat", &cat]);
+    assert_eq!(code, 0, "{err}");
+    assert!(out.contains("format:       UGQ1 v1"), "{out}");
+    assert!(out.contains("alpha:        0.5"), "{out}");
+    assert!(out.contains("index mode:   auto"), "{out}");
+    assert!(out.contains("graph:        4 vertices, 4 edges"), "{out}");
+    assert!(out.contains("integrity:    OK"), "{out}");
+
+    // --list dumps the TOC with per-section CRC status.
+    let (code, out, _) = run(&["stat", &cat, "--list"]);
+    assert_eq!(code, 0);
+    for section in [
+        "component.0.graph",
+        "component.0.map",
+        "singletons",
+        "schedule",
+        "report",
+    ] {
+        assert!(out.contains(section), "missing {section} in {out}");
+    }
+    assert!(out.contains("OK"));
+    assert!(!out.contains("BAD"), "{out}");
+
+    // Catalog-routed enumeration is byte-identical to the direct run.
+    let (_, direct, _) = run(&["enumerate", &g, "--alpha", "0.5"]);
+    let (code, routed, err) = run(&["enumerate", "--catalog", &cat]);
+    assert_eq!(code, 0, "{err}");
+    assert_eq!(routed, direct);
+    let (code, counted, _) = run(&["enumerate", "--catalog", &cat, "--count-only"]);
+    assert_eq!(code, 0);
+    assert!(counted.contains("cliques:      2"), "{counted}");
+    let (code, threaded, _) = run(&["enumerate", "--catalog", &cat, "--threads", "3"]);
+    assert_eq!(code, 0);
+    assert_eq!(threaded, direct);
+    // The stored prepare report is served from the catalog too.
+    let (code, reported, _) = run(&["enumerate", "--catalog", &cat, "--prune-report"]);
+    assert_eq!(code, 0);
+    assert!(reported.contains("# prepare:"), "{reported}");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn catalog_flag_conflicts_are_rejected() {
+    let dir = scratch("catalog-conflict");
+    let g = fixture_graph(&dir);
+    let cat = dir.join("g.ugq").to_string_lossy().into_owned();
+    let (code, _, err) = run(&["prepare", &g, "--alpha", "0.5", "--out", &cat]);
+    assert_eq!(code, 0, "{err}");
+    // Prepare-time settings cannot be respecified at open time, and the
+    // graph operand is replaced by the catalog.
+    for extra in [
+        &["--alpha", "0.5"][..],
+        &["--min-size", "3"][..],
+        &["--no-prune"][..],
+        &["--index-mode", "never"][..],
+        &["--index-budget", "0"][..],
+    ] {
+        let mut args = vec!["enumerate", "--catalog", cat.as_str()];
+        args.extend_from_slice(extra);
+        let (code, _, err) = run(&args);
+        assert_eq!(code, 2, "{extra:?} accepted");
+        assert!(err.contains("--catalog"), "{extra:?}: {err}");
+    }
+    let (code, _, err) = run(&["enumerate", &g, "--catalog", &cat]);
+    assert_eq!(code, 2);
+    assert!(err.contains("graph operand"), "{err}");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_catalog_fails_with_typed_message() {
+    let dir = scratch("catalog-corrupt");
+    let g = fixture_graph(&dir);
+    let cat_path = dir.join("g.ugq");
+    let cat = cat_path.to_string_lossy().into_owned();
+    let (code, _, err) = run(&["prepare", &g, "--alpha", "0.5", "--out", &cat]);
+    assert_eq!(code, 0, "{err}");
+
+    // Flip the last payload byte (inside the report section): the file
+    // still opens structurally, but integrity must fail loudly.
+    let mut bytes = fs::read(&cat_path).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xFF;
+    fs::write(&cat_path, &bytes).unwrap();
+
+    let (code, _, err) = run(&["stat", &cat]);
+    assert_eq!(code, 2);
+    assert!(err.contains("corrupt UGQ1 catalog"), "{err}");
+    let (code, out, err) = run(&["stat", &cat, "--list"]);
+    assert_eq!(code, 2);
+    assert!(out.contains("BAD"), "{out}");
+    assert!(err.contains("failed CRC"), "{err}");
+    let (code, _, err) = run(&["enumerate", "--catalog", &cat, "--count-only"]);
+    assert_eq!(code, 2);
+    assert!(err.contains("corrupt UGQ1 catalog"), "{err}");
+
+    // Truncation and a missing file are also typed errors.
+    fs::write(&cat_path, &bytes[..40]).unwrap();
+    let (code, _, err) = run(&["stat", &cat]);
+    assert_eq!(code, 2);
+    assert!(err.contains("corrupt UGQ1 catalog"), "{err}");
+    let (code, _, err) = run(&["enumerate", "--catalog", "/nonexistent/x.ugq"]);
+    assert_eq!(code, 2);
+    assert!(err.contains("error"), "{err}");
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -55,6 +55,37 @@ impl UncertainGraph {
         }
     }
 
+    /// Construct a graph directly from CSR arrays, validating every
+    /// invariant ([`Self::check_invariants`]) before accepting them.
+    ///
+    /// This is the entry point for deserializers that store the CSR
+    /// arrays verbatim (the `ugraph-io` catalog format): unlike the
+    /// builder it performs no sorting or symmetrization, so the caller's
+    /// byte layout survives exactly — but nothing unchecked gets in. The
+    /// error string names the first violated invariant.
+    pub fn try_from_csr(
+        offsets: Vec<usize>,
+        neighbors: Vec<VertexId>,
+        probs: Vec<f64>,
+        name: String,
+    ) -> Result<Self, String> {
+        if offsets.is_empty() {
+            return Err("offsets array is empty (needs n + 1 entries)".into());
+        }
+        if offsets.len() - 1 > VertexId::MAX as usize {
+            return Err(format!("vertex count {} exceeds u32", offsets.len() - 1));
+        }
+        if neighbors.len() != probs.len() {
+            return Err("neighbor/prob arrays differ in length".into());
+        }
+        if *offsets.last().unwrap() != neighbors.len() {
+            return Err("offsets do not cover neighbor array".into());
+        }
+        let g = Self::from_csr_parts(offsets, neighbors, probs, name);
+        g.check_invariants()?;
+        Ok(g)
+    }
+
     /// Number of vertices `n = |V|`.
     #[inline]
     pub fn num_vertices(&self) -> usize {
@@ -313,5 +344,40 @@ mod tests {
         assert!(crate::UncertainGraph::validate_alpha(1.0).is_ok());
         assert!(crate::UncertainGraph::validate_alpha(0.0).is_err());
         assert!(crate::UncertainGraph::validate_alpha(1.1).is_err());
+    }
+
+    #[test]
+    fn try_from_csr_accepts_valid_parts() {
+        let g = triangle().with_name("tri");
+        let offsets: Vec<usize> = (0..=3).map(|v| if v == 0 { 0 } else { 2 * v }).collect();
+        let mut neighbors = Vec::new();
+        let mut probs = Vec::new();
+        for v in 0..3u32 {
+            neighbors.extend_from_slice(g.neighbors(v));
+            probs.extend_from_slice(g.neighbor_probs(v));
+        }
+        let back =
+            crate::UncertainGraph::try_from_csr(offsets, neighbors, probs, "tri".into()).unwrap();
+        assert_eq!(back, g);
+        assert_eq!(back.name(), "tri");
+    }
+
+    #[test]
+    fn try_from_csr_rejects_invalid_parts() {
+        use crate::UncertainGraph as G;
+        // Empty offsets.
+        assert!(G::try_from_csr(vec![], vec![], vec![], String::new()).is_err());
+        // Offsets not covering the neighbor array.
+        assert!(G::try_from_csr(vec![0, 1], vec![], vec![], String::new()).is_err());
+        // Mismatched neighbor/prob lengths.
+        assert!(G::try_from_csr(vec![0, 1], vec![0], vec![], String::new()).is_err());
+        // Self-loop.
+        assert!(G::try_from_csr(vec![0, 1], vec![0], vec![0.5], String::new()).is_err());
+        // Asymmetric adjacency: 0 → 1 without 1 → 0.
+        assert!(G::try_from_csr(vec![0, 1, 1], vec![1], vec![0.5], String::new()).is_err());
+        // Probability out of range.
+        assert!(G::try_from_csr(vec![0, 1, 2], vec![1, 0], vec![1.5, 1.5], String::new()).is_err());
+        // Odd arc count / broken symmetry stays out.
+        assert!(G::try_from_csr(vec![0, 2, 2], vec![1, 1], vec![0.5, 0.5], String::new()).is_err());
     }
 }

@@ -23,6 +23,18 @@ use ugraph_core::{GraphBuilder, UncertainGraph};
 
 const MAGIC: &[u8; 4] = b"UGB1";
 
+/// How many vertices beyond the edge-justified bound (`2·m`, every
+/// endpoint distinct) a header may claim before the reader calls it
+/// hostile. Real datasets carry some isolated vertices (sampled
+/// generators leave gaps in the id space), but a tiny file claiming
+/// billions of vertices is an allocation attack, not a graph: `n` is
+/// read *before* the edge payload exists, and building the CSR costs
+/// `O(n)` memory, so the reader must bound `n` by something the file's
+/// own size justifies. 4M spare vertices caps the damage of a
+/// minimal hostile file at a few tens of MB while clearing every
+/// paper-scale dataset by orders of magnitude.
+pub const EDGELESS_VERTEX_ALLOWANCE: usize = 1 << 22;
+
 /// Errors from the binary reader.
 #[derive(Debug)]
 pub enum BinError {
@@ -100,6 +112,16 @@ pub fn from_bytes(mut data: Bytes) -> Result<UncertainGraph, BinError> {
             .ok_or_else(|| BinError::Corrupt("edge count overflow".into()))?,
         "edges",
     )?;
+    // Length sanity *before* allocation: `m` is now bounded by the real
+    // payload, but `n` is a bare header claim that try_build turns into
+    // O(n) memory — bound it by what the edges can justify plus a
+    // generous isolated-vertex allowance, so a hostile few-byte header
+    // cannot reserve gigabytes.
+    if n > 2 * m + EDGELESS_VERTEX_ALLOWANCE {
+        return Err(BinError::Corrupt(format!(
+            "vertex count {n} implausible for {m} edges"
+        )));
+    }
     let mut b = GraphBuilder::with_capacity(n, m);
     let mut prev: Option<(u32, u32)> = None;
     for i in 0..m {
@@ -221,6 +243,63 @@ mod tests {
             from_bytes(buf.freeze()),
             Err(BinError::Corrupt(_))
         ));
+    }
+
+    /// A hostile header claiming `u32::MAX` vertices over a 1-edge
+    /// payload must fail the plausibility check cheaply — before
+    /// `try_build` turns the claim into gigabytes of CSR arrays.
+    #[test]
+    fn hostile_vertex_count_rejected_before_allocation() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(0);
+        buf.put_u64_le(u32::MAX as u64); // n: absurd for one edge
+        buf.put_u64_le(1); // m
+        buf.put_u32_le(0);
+        buf.put_u32_le(1);
+        buf.put_f64_le(0.5);
+        let err = from_bytes(buf.freeze()).unwrap_err();
+        assert!(
+            err.to_string().contains("implausible"),
+            "wrong rejection: {err}"
+        );
+    }
+
+    /// A hostile edge count with no payload behind it fails the length
+    /// check (including at the `m · 16` overflow boundary) without
+    /// reserving edge capacity.
+    #[test]
+    fn hostile_edge_count_rejected_before_allocation() {
+        for m in [u64::MAX, u64::MAX / 16 + 1, 1 << 40] {
+            let mut buf = BytesMut::new();
+            buf.put_slice(MAGIC);
+            buf.put_u32_le(0);
+            buf.put_u64_le(3);
+            buf.put_u64_le(m);
+            assert!(
+                matches!(from_bytes(buf.freeze()), Err(BinError::Corrupt(_))),
+                "m = {m} accepted"
+            );
+        }
+    }
+
+    /// A hostile name length over a short file fails the bounds check
+    /// before the name buffer is copied out.
+    #[test]
+    fn hostile_name_length_rejected_before_allocation() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(u32::MAX); // 4 GiB name in an 8-byte file
+        let err = from_bytes(buf.freeze()).unwrap_err();
+        assert!(err.to_string().contains("name"), "wrong rejection: {err}");
+    }
+
+    /// The allowance still admits graphs that really are mostly
+    /// isolated vertices.
+    #[test]
+    fn sparse_graph_with_many_isolated_vertices_loads() {
+        let g = from_edges(50_000, &[(0, 49_999, 0.5)]).unwrap();
+        assert_eq!(from_bytes(to_bytes(&g)).unwrap(), g);
     }
 
     #[test]

@@ -4,6 +4,8 @@
 //!   `u v` lists (with caller-assigned probabilities, reproducing the
 //!   paper's semi-synthetic construction);
 //! * [`binfmt`] — the compact validated UGB1 binary format;
+//! * [`catalog`] — the sectioned UGQ1 container (header + checksummed
+//!   TOC) that persists prepared query instances;
 //! * [`cache`] — a filesystem cache used by the experiment harness.
 //!
 //! Formats are hand-rolled: no serde *format* crate (serde_json etc.) is
@@ -15,9 +17,12 @@
 
 pub mod binfmt;
 pub mod cache;
+pub mod catalog;
 pub mod cliques;
 pub mod edgelist;
 
 pub use binfmt::{read_binary, write_binary, BinError};
+pub use bytes::Bytes;
+pub use catalog::{Catalog, CatalogError, CatalogHeader, CatalogWriter, SectionEntry};
 pub use cliques::{read_clique_list, write_clique_list};
 pub use edgelist::{read_prob_edgelist, read_snap_edgelist, write_prob_edgelist, ParseError};

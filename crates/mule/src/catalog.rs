@@ -1,0 +1,709 @@
+//! Persisting prepared sessions: encode a [`PreparedInstance`] into the
+//! UGQ1 container ([`ugraph_io::catalog`]) and rebuild it — with **zero
+//! pipeline work** — from the bytes.
+//!
+//! The io layer owns the container rules (header, TOC, checksums,
+//! strict layout); this module owns what the sections *mean* and is
+//! deliberately paranoid about it: checksums prove the bytes are the
+//! ones written, but a catalog is an executable artifact — the kernels
+//! assume α-pruned graphs, the scheduler assumes monotone disjoint id
+//! maps — so every structural invariant the pipeline would have
+//! established is re-validated on open. A CRC-valid file that lies
+//! about its semantics is rejected exactly like a bit-flipped one:
+//! typed error, never a panic, never silently-wrong cliques.
+//!
+//! # Sections (canonical order, all required)
+//!
+//! For `k` components, the TOC must contain, in exactly this order:
+//! `component.0.graph`, `component.0.map`, …, `component.{k-1}.graph`,
+//! `component.{k-1}.map`, `singletons`, `schedule`, `report`. All
+//! integers little-endian; section payload layouts:
+//!
+//! ```text
+//! component.N.graph — the compact remapped CSR kernel graph
+//!   n u64 ‖ arcs u64 ‖ name_len u32 ‖ name ‖ offsets (n+1)×u64
+//!   ‖ neighbors arcs×u32 ‖ probs arcs×u64 (f64 bit patterns)
+//! component.N.map — monotone compact→original id map
+//!   len u64 ‖ ids len×u32          (strictly increasing)
+//! singletons — isolated original vertices (each a maximal clique)
+//!   len u64 ‖ ids len×u32          (strictly increasing)
+//! schedule — the global ascending-root emission order
+//!   len u64 ‖ units len×(tag u8, a u32, b u32)
+//!   tag 0 = singleton vertex a (b must be 0)
+//!   tag 1 = root subtree: component a, local root b
+//! report — the PrepareReport counters
+//!   count u64 (= 14) ‖ counters 14×u64, field declaration order
+//! ```
+//!
+//! Probabilities travel as raw `f64` bit patterns, so a save → open
+//! round trip reproduces clique probabilities bit-for-bit.
+//!
+//! # What open() validates beyond the checksums
+//!
+//! * α parses and lies in `(0, 1]`; `index_mode` is a known value.
+//! * Every component graph passes the full CSR invariant check
+//!   ([`UncertainGraph::try_from_csr`]) **and** carries no edge below α
+//!   (the kernel precondition stage 1 of the pipeline establishes).
+//! * Section payload lengths are recomputed from the declared counts
+//!   with overflow-checked arithmetic and must match exactly — before
+//!   any count-sized allocation happens.
+//! * Id maps are strictly increasing, in range, and sized to their
+//!   component; the schedule's units are valid, strictly ascending in
+//!   original id, and exactly `Σ component sizes + |singletons|` long —
+//!   which together force the maps pairwise disjoint and the coverage
+//!   exactly-once, without allocating an `O(n)` seen-set for a
+//!   hostile `n`.
+//! * The report's fingerprint counters match the header's.
+//!
+//! # Why the neighborhood index is rebuilt, not stored
+//!
+//! `Kernel::wrap` builds the tiered [`ugraph_core::NeighborhoodIndex`]
+//! deterministically from the component graph and the persisted
+//! index-mode/budget config, so rebuilding at open yields bit-identical
+//! probe behavior (pinned by the round-trip suite's
+//! [`crate::EnumerationStats`] equality) for a few `O(n + m)` passes.
+//! Storing rows instead would make the index *data*: a CRC-valid but
+//! hostile row could silently misreport neighborhoods — exactly the
+//! failure class this format exists to exclude. Rebuilding **is** the
+//! validation; the section namespace stays open for a future version to
+//! add index rows with their own proof obligations.
+
+use crate::enumerate::{IndexMode, MuleConfig};
+use crate::kernel::Kernel;
+use crate::prepare::{PrepareConfig, PrepareReport, PreparedComponent, PreparedInstance, Unit};
+use std::path::Path;
+use ugraph_core::{UncertainGraph, VertexId};
+use ugraph_io::catalog::{
+    ByteReader, Catalog, CatalogError, CatalogHeader, CatalogWriter, FLAG_CORE_FILTER,
+    FLAG_SHARD_COMPONENTS, FLAG_SHARED_NEIGHBORHOOD,
+};
+use ugraph_io::Bytes;
+
+fn corrupt(msg: impl Into<String>) -> CatalogError {
+    CatalogError::Corrupt(msg.into())
+}
+
+fn index_mode_to_u8(mode: IndexMode) -> u8 {
+    match mode {
+        IndexMode::Auto => 0,
+        IndexMode::Always => 1,
+        IndexMode::Never => 2,
+    }
+}
+
+fn index_mode_from_u8(v: u8) -> Result<IndexMode, CatalogError> {
+    match v {
+        0 => Ok(IndexMode::Auto),
+        1 => Ok(IndexMode::Always),
+        2 => Ok(IndexMode::Never),
+        other => Err(corrupt(format!("unknown index mode {other}"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Section encoders
+// ---------------------------------------------------------------------------
+
+fn encode_graph(g: &UncertainGraph) -> Vec<u8> {
+    let n = g.num_vertices();
+    let arcs: usize = g.vertices().map(|v| g.degree(v)).sum();
+    let name = g.name().as_bytes();
+    let mut out = Vec::with_capacity(8 + 8 + 4 + name.len() + (n + 1) * 8 + arcs * 12);
+    out.extend_from_slice(&(n as u64).to_le_bytes());
+    out.extend_from_slice(&(arcs as u64).to_le_bytes());
+    out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+    out.extend_from_slice(name);
+    let mut offset = 0u64;
+    out.extend_from_slice(&offset.to_le_bytes());
+    for v in g.vertices() {
+        offset += g.degree(v) as u64;
+        out.extend_from_slice(&offset.to_le_bytes());
+    }
+    for v in g.vertices() {
+        for &u in g.neighbors(v) {
+            out.extend_from_slice(&u.to_le_bytes());
+        }
+    }
+    for v in g.vertices() {
+        for &p in g.neighbor_probs(v) {
+            out.extend_from_slice(&p.to_bits().to_le_bytes());
+        }
+    }
+    out
+}
+
+fn decode_graph(payload: &[u8], alpha: f64, what: &str) -> Result<UncertainGraph, CatalogError> {
+    let mut r = ByteReader::new(payload);
+    let truncated = || corrupt(format!("{what}: truncated header"));
+    let n = r.u64_le().ok_or_else(truncated)?;
+    let arcs = r.u64_le().ok_or_else(truncated)?;
+    let name_len = r.u32_le().ok_or_else(truncated)? as u64;
+    // Exact-length check with overflow-safe arithmetic BEFORE any
+    // count-sized allocation: a hostile header cannot reserve memory
+    // the payload does not carry.
+    let expect = (|| {
+        let fixed = 8u64 + 8 + 4;
+        let offsets = n.checked_add(1)?.checked_mul(8)?;
+        let arcs_bytes = arcs.checked_mul(12)?;
+        fixed
+            .checked_add(name_len)?
+            .checked_add(offsets)?
+            .checked_add(arcs_bytes)
+    })()
+    .ok_or_else(|| corrupt(format!("{what}: declared sizes overflow")))?;
+    if expect != payload.len() as u64 {
+        return Err(corrupt(format!(
+            "{what}: payload is {} bytes but the declared counts need {expect}",
+            payload.len()
+        )));
+    }
+    let n = n as usize;
+    let arcs = arcs as usize;
+    let name = std::str::from_utf8(r.take(name_len as usize).ok_or_else(truncated)?)
+        .map_err(|_| corrupt(format!("{what}: name is not UTF-8")))?
+        .to_string();
+    let mut offsets = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        offsets.push(r.u64_le().unwrap() as usize);
+    }
+    let mut neighbors: Vec<VertexId> = Vec::with_capacity(arcs);
+    for _ in 0..arcs {
+        neighbors.push(r.u32_le().unwrap());
+    }
+    let mut probs: Vec<f64> = Vec::with_capacity(arcs);
+    for _ in 0..arcs {
+        probs.push(f64::from_bits(r.u64_le().unwrap()));
+    }
+    debug_assert!(r.is_empty());
+    let g = UncertainGraph::try_from_csr(offsets, neighbors, probs, name)
+        .map_err(|why| corrupt(format!("{what}: {why}")))?;
+    // Kernel precondition: pipeline stage 1 guarantees every surviving
+    // edge has p ≥ α, and the search kernels assume it.
+    if let Some(p) = g.min_edge_prob() {
+        if p < alpha {
+            return Err(corrupt(format!(
+                "{what}: edge probability {p} below the catalog's α = {alpha}"
+            )));
+        }
+    }
+    Ok(g)
+}
+
+fn encode_ids(ids: &[VertexId]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + ids.len() * 4);
+    out.extend_from_slice(&(ids.len() as u64).to_le_bytes());
+    for &v in ids {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Decode a strictly-increasing id list bounded by `original_n`.
+fn decode_ids(
+    payload: &[u8],
+    original_n: usize,
+    what: &str,
+) -> Result<Vec<VertexId>, CatalogError> {
+    let mut r = ByteReader::new(payload);
+    let len = r
+        .u64_le()
+        .ok_or_else(|| corrupt(format!("{what}: truncated length")))?;
+    let expect = len
+        .checked_mul(4)
+        .and_then(|b| b.checked_add(8))
+        .ok_or_else(|| corrupt(format!("{what}: declared length overflows")))?;
+    if expect != payload.len() as u64 {
+        return Err(corrupt(format!(
+            "{what}: payload is {} bytes but the declared length needs {expect}",
+            payload.len()
+        )));
+    }
+    let len = len as usize;
+    let mut ids = Vec::with_capacity(len);
+    let mut prev: Option<VertexId> = None;
+    for _ in 0..len {
+        let v = r.u32_le().unwrap();
+        if (v as usize) >= original_n {
+            return Err(corrupt(format!(
+                "{what}: id {v} out of range for {original_n} original vertices"
+            )));
+        }
+        if let Some(prev) = prev {
+            if v <= prev {
+                return Err(corrupt(format!("{what}: ids not strictly increasing")));
+            }
+        }
+        prev = Some(v);
+        ids.push(v);
+    }
+    Ok(ids)
+}
+
+fn encode_schedule(schedule: &[Unit]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + schedule.len() * 9);
+    out.extend_from_slice(&(schedule.len() as u64).to_le_bytes());
+    for unit in schedule {
+        match *unit {
+            Unit::Singleton(v) => {
+                out.push(0);
+                out.extend_from_slice(&v.to_le_bytes());
+                out.extend_from_slice(&0u32.to_le_bytes());
+            }
+            Unit::Root { comp, local } => {
+                out.push(1);
+                out.extend_from_slice(&comp.to_le_bytes());
+                out.extend_from_slice(&local.to_le_bytes());
+            }
+        }
+    }
+    out
+}
+
+/// Decode and fully validate the schedule: every unit well-formed and
+/// in range, original ids strictly ascending, and the unit count equal
+/// to `Σ component sizes + |singletons|`. Ascending original ids make
+/// units pairwise distinct, so the count equality forces an exact
+/// bijection onto the roots and singletons — each enumerated exactly
+/// once, with no `O(original_n)` bookkeeping a hostile header could
+/// inflate.
+fn decode_schedule(
+    payload: &[u8],
+    components: &[PreparedComponent],
+    singletons: &[VertexId],
+) -> Result<Vec<Unit>, CatalogError> {
+    let mut r = ByteReader::new(payload);
+    let len = r
+        .u64_le()
+        .ok_or_else(|| corrupt("schedule: truncated length"))?;
+    let expect = len
+        .checked_mul(9)
+        .and_then(|b| b.checked_add(8))
+        .ok_or_else(|| corrupt("schedule: declared length overflows"))?;
+    if expect != payload.len() as u64 {
+        return Err(corrupt(format!(
+            "schedule: payload is {} bytes but the declared length needs {expect}",
+            payload.len()
+        )));
+    }
+    let expected_units: usize = components
+        .iter()
+        .map(|pc| pc.to_original.len())
+        .sum::<usize>()
+        + singletons.len();
+    if len as usize != expected_units {
+        return Err(corrupt(format!(
+            "schedule has {len} units but the components and singletons supply {expected_units}"
+        )));
+    }
+    let len = len as usize;
+    let mut schedule = Vec::with_capacity(len);
+    let mut prev: Option<VertexId> = None;
+    for i in 0..len {
+        let tag = r.u8().unwrap();
+        let a = r.u32_le().unwrap();
+        let b = r.u32_le().unwrap();
+        let (unit, orig) = match tag {
+            0 => {
+                if b != 0 {
+                    return Err(corrupt(format!("schedule unit {i}: singleton with b ≠ 0")));
+                }
+                if singletons.binary_search(&a).is_err() {
+                    return Err(corrupt(format!(
+                        "schedule unit {i}: {a} is not a singleton vertex"
+                    )));
+                }
+                (Unit::Singleton(a), a)
+            }
+            1 => {
+                let pc = components.get(a as usize).ok_or_else(|| {
+                    corrupt(format!("schedule unit {i}: component {a} out of range"))
+                })?;
+                let orig = *pc.to_original.get(b as usize).ok_or_else(|| {
+                    corrupt(format!(
+                        "schedule unit {i}: local root {b} out of range for component {a}"
+                    ))
+                })?;
+                (Unit::Root { comp: a, local: b }, orig)
+            }
+            other => {
+                return Err(corrupt(format!("schedule unit {i}: unknown tag {other}")));
+            }
+        };
+        if let Some(prev) = prev {
+            if orig <= prev {
+                return Err(corrupt(format!(
+                    "schedule unit {i}: original ids not strictly ascending"
+                )));
+            }
+        }
+        prev = Some(orig);
+        schedule.push(unit);
+    }
+    Ok(schedule)
+}
+
+fn encode_report(report: &PrepareReport) -> Vec<u8> {
+    let fields = report.fields();
+    let mut out = Vec::with_capacity(8 + fields.len() * 8);
+    out.extend_from_slice(&(fields.len() as u64).to_le_bytes());
+    for (_, value) in fields {
+        out.extend_from_slice(&(value as u64).to_le_bytes());
+    }
+    out
+}
+
+fn decode_report(payload: &[u8]) -> Result<PrepareReport, CatalogError> {
+    let template = PrepareReport::default();
+    let n_fields = template.fields().len();
+    let mut r = ByteReader::new(payload);
+    let count = r
+        .u64_le()
+        .ok_or_else(|| corrupt("report: truncated length"))?;
+    if count as usize != n_fields || payload.len() != 8 + n_fields * 8 {
+        return Err(corrupt(format!(
+            "report: expected exactly {n_fields} u64 counters, got count {count} in {} bytes",
+            payload.len()
+        )));
+    }
+    let mut next = || r.u64_le().unwrap() as usize;
+    Ok(PrepareReport {
+        original_vertices: next(),
+        original_edges: next(),
+        alpha_pruned_edges: next(),
+        core_filtered_vertices: next(),
+        core_filtered_edges: next(),
+        shared_pruned_edges: next(),
+        shared_isolated_vertices: next(),
+        components_total: next(),
+        components_kept: next(),
+        components_dropped_small: next(),
+        singleton_vertices: next(),
+        largest_component: next(),
+        final_vertices: next(),
+        final_edges: next(),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Instance ⇄ catalog
+// ---------------------------------------------------------------------------
+
+/// Encode a prepared instance as a UGQ1 byte image.
+pub fn to_bytes(inst: &PreparedInstance) -> Vec<u8> {
+    let cfg = inst.config();
+    let mut flags = 0u32;
+    if cfg.core_filter {
+        flags |= FLAG_CORE_FILTER;
+    }
+    if cfg.shared_neighborhood {
+        flags |= FLAG_SHARED_NEIGHBORHOOD;
+    }
+    if cfg.shard_components {
+        flags |= FLAG_SHARD_COMPONENTS;
+    }
+    let mut writer = CatalogWriter::new(CatalogHeader {
+        flags,
+        index_mode: index_mode_to_u8(cfg.mule.index_mode),
+        alpha_bits: inst.alpha().to_bits(),
+        min_size: cfg.min_size as u64,
+        dense_index_bytes: cfg.mule.dense_index_bytes as u64,
+        max_index_bytes: cfg.mule.max_index_bytes as u64,
+        original_vertices: inst.original_vertices() as u64,
+        original_edges: inst.report().original_edges as u64,
+        content_hash: 0, // computed by the writer
+    });
+    for (i, (g, map)) in inst.components().enumerate() {
+        writer.add_section(format!("component.{i}.graph"), encode_graph(g));
+        writer.add_section(format!("component.{i}.map"), encode_ids(map));
+    }
+    writer.add_section("singletons", encode_ids(inst.singletons()));
+    writer.add_section("schedule", encode_schedule(inst.schedule()));
+    writer.add_section("report", encode_report(inst.report()));
+    writer.finish()
+}
+
+/// Encode a prepared instance and write it to `path`.
+pub fn save(inst: &PreparedInstance, path: impl AsRef<Path>) -> Result<(), CatalogError> {
+    std::fs::write(path, to_bytes(inst))?;
+    Ok(())
+}
+
+/// Rebuild a prepared instance from a UGQ1 byte image, re-validating
+/// every semantic invariant (see the module docs). Runs **no** pipeline
+/// stage: `prepare::pipeline_invocations()` is untouched; the only
+/// rebuilt artifact is the deterministic per-component neighborhood
+/// index.
+pub fn from_bytes(data: Bytes) -> Result<PreparedInstance, CatalogError> {
+    let cat = Catalog::from_bytes(data)?;
+    // The open path loads every section, so verify everything up front:
+    // all payload checksums plus the header's whole-payload hash.
+    cat.verify()?;
+    let h = *cat.header();
+
+    let alpha = f64::from_bits(h.alpha_bits);
+    UncertainGraph::validate_alpha(alpha).map_err(|e| corrupt(e.to_string()))?;
+    let original_n = usize::try_from(h.original_vertices)
+        .ok()
+        .filter(|&n| n <= u32::MAX as usize + 1)
+        .ok_or_else(|| {
+            corrupt(format!(
+                "original vertex count {} exceeds u32",
+                h.original_vertices
+            ))
+        })?;
+    let to_usize = |v: u64, what: &str| {
+        usize::try_from(v).map_err(|_| corrupt(format!("{what} {v} exceeds this platform's usize")))
+    };
+    let cfg = PrepareConfig {
+        min_size: to_usize(h.min_size, "min_size")?,
+        core_filter: h.flags & FLAG_CORE_FILTER != 0,
+        shared_neighborhood: h.flags & FLAG_SHARED_NEIGHBORHOOD != 0,
+        shard_components: h.flags & FLAG_SHARD_COMPONENTS != 0,
+        mule: MuleConfig {
+            index_mode: index_mode_from_u8(h.index_mode)?,
+            max_index_bytes: to_usize(h.max_index_bytes, "max_index_bytes")?,
+            dense_index_bytes: to_usize(h.dense_index_bytes, "dense_index_bytes")?,
+            // Ablation switches of the direct path; the pipeline ignores
+            // them and the catalog does not persist them.
+            degeneracy_order: false,
+            naive_root: false,
+        },
+    };
+
+    // Canonical section order is part of the format: k graph/map pairs,
+    // then singletons, schedule, report — nothing else, nothing moved.
+    let names: Vec<&str> = cat.sections().iter().map(|e| e.name.as_str()).collect();
+    if names.len() < 3 || !(names.len() - 3).is_multiple_of(2) {
+        return Err(corrupt(format!(
+            "TOC has {} sections; expected 2·k + 3",
+            names.len()
+        )));
+    }
+    let k = (names.len() - 3) / 2;
+    for i in 0..k {
+        if names[2 * i] != format!("component.{i}.graph")
+            || names[2 * i + 1] != format!("component.{i}.map")
+        {
+            return Err(corrupt(format!(
+                "sections out of canonical order at component {i} (found {:?}, {:?})",
+                names[2 * i],
+                names[2 * i + 1]
+            )));
+        }
+    }
+    if names[2 * k..] != ["singletons", "schedule", "report"] {
+        return Err(corrupt(format!(
+            "sections out of canonical order in the tail (found {:?})",
+            &names[2 * k..]
+        )));
+    }
+
+    let mut components = Vec::with_capacity(k);
+    for i in 0..k {
+        let graph_name = format!("component.{i}.graph");
+        let g = decode_graph(cat.section(&graph_name)?, alpha, &graph_name)?;
+        let map_name = format!("component.{i}.map");
+        let map = decode_ids(cat.section(&map_name)?, original_n, &map_name)?;
+        if map.len() != g.num_vertices() {
+            return Err(corrupt(format!(
+                "component {i}: map has {} ids for a {}-vertex graph",
+                map.len(),
+                g.num_vertices()
+            )));
+        }
+        components.push(PreparedComponent {
+            kernel: Kernel::wrap(g, alpha, &cfg.mule),
+            to_original: map,
+        });
+    }
+
+    let singletons = decode_ids(cat.section("singletons")?, original_n, "singletons")?;
+    if cfg.min_size >= 2 && !singletons.is_empty() {
+        return Err(corrupt(
+            "singletons present although min_size ≥ 2 excludes them",
+        ));
+    }
+    let schedule = decode_schedule(cat.section("schedule")?, &components, &singletons)?;
+    let report = decode_report(cat.section("report")?)?;
+    if report.original_vertices as u64 != h.original_vertices
+        || report.original_edges as u64 != h.original_edges
+    {
+        return Err(corrupt(
+            "report counters disagree with the header's graph fingerprint",
+        ));
+    }
+
+    Ok(PreparedInstance::from_parts(
+        alpha, cfg, original_n, components, singletons, schedule, report,
+    ))
+}
+
+/// Read and rebuild a prepared instance from a catalog file.
+pub fn open(path: impl AsRef<Path>) -> Result<PreparedInstance, CatalogError> {
+    let data = std::fs::read(path)?;
+    from_bytes(Bytes::from(data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prepare::prepare;
+    use crate::sinks::CollectSink;
+    use ugraph_core::builder::from_edges;
+
+    fn fixture() -> UncertainGraph {
+        from_edges(
+            9,
+            &[
+                (0, 1, 0.9),
+                (1, 2, 0.9),
+                (0, 2, 0.9),
+                (4, 5, 0.8),
+                (5, 6, 0.8),
+                (4, 6, 0.8),
+                (7, 8, 0.3),
+            ],
+        )
+        .unwrap()
+        .with_name("catalog-fixture")
+    }
+
+    /// `unwrap_err` without requiring `Debug` on [`PreparedInstance`].
+    fn expect_err(res: Result<PreparedInstance, CatalogError>) -> CatalogError {
+        match res {
+            Ok(_) => panic!("hostile catalog was accepted"),
+            Err(e) => e,
+        }
+    }
+
+    fn pairs(inst: &mut PreparedInstance) -> Vec<(Vec<VertexId>, u64)> {
+        let mut sink = CollectSink::new();
+        inst.run(&mut sink);
+        sink.into_pairs()
+            .into_iter()
+            .map(|(c, p)| (c, p.to_bits()))
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_is_byte_identical() {
+        let g = fixture();
+        for alpha in [0.9, 0.5, 0.05] {
+            let mut inst = prepare(&g, alpha, &PrepareConfig::default()).unwrap();
+            let bytes = to_bytes(&inst);
+            let mut back = from_bytes(Bytes::from(bytes)).unwrap();
+            assert_eq!(back.alpha(), inst.alpha());
+            assert_eq!(back.min_size(), inst.min_size());
+            assert_eq!(back.original_vertices(), inst.original_vertices());
+            assert_eq!(back.report(), inst.report());
+            assert_eq!(back.singletons(), inst.singletons());
+            assert_eq!(pairs(&mut back), pairs(&mut inst), "α={alpha}");
+            assert_eq!(back.stats(), inst.stats(), "α={alpha}");
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_component_graphs_exactly() {
+        let g = fixture();
+        let inst = prepare(&g, 0.5, &PrepareConfig::default()).unwrap();
+        let back = from_bytes(Bytes::from(to_bytes(&inst))).unwrap();
+        for ((ga, ma), (gb, mb)) in inst.components().zip(back.components()) {
+            assert_eq!(ga, gb);
+            assert_eq!(ga.name(), gb.name());
+            assert_eq!(ma, mb);
+        }
+        assert_eq!(back.config().min_size, 0);
+        assert!(back.config().shard_components);
+    }
+
+    #[test]
+    fn empty_and_edgeless_instances_round_trip() {
+        for n in [0usize, 3] {
+            let g = ugraph_core::GraphBuilder::new(n).build();
+            let mut inst = prepare(&g, 0.5, &PrepareConfig::default()).unwrap();
+            let mut back = from_bytes(Bytes::from(to_bytes(&inst))).unwrap();
+            assert_eq!(pairs(&mut back), pairs(&mut inst), "n={n}");
+        }
+    }
+
+    #[test]
+    fn min_size_instances_round_trip() {
+        let g = fixture();
+        for t in [2usize, 3, 4] {
+            let mut inst = prepare(&g, 0.5, &PrepareConfig::with_min_size(t)).unwrap();
+            let mut back = from_bytes(Bytes::from(to_bytes(&inst))).unwrap();
+            assert_eq!(back.min_size(), t);
+            assert_eq!(pairs(&mut back), pairs(&mut inst), "t={t}");
+        }
+    }
+
+    #[test]
+    fn sub_alpha_component_edge_rejected() {
+        // Hand-build a catalog whose component graph carries an edge
+        // below the header's α: checksums all valid, semantics hostile.
+        let g = fixture();
+        let inst = prepare(&g, 0.9, &PrepareConfig::default()).unwrap();
+        let mut bytes = to_bytes(&inst);
+        // Recreate with a higher alpha claim than the payload honors:
+        // flip the stored α up to 0.95 and re-seal the header CRC.
+        let new_alpha = 0.95f64.to_bits().to_le_bytes();
+        bytes[16..24].copy_from_slice(&new_alpha);
+        let crc =
+            ugraph_io::catalog::crc32(&bytes[..ugraph_io::catalog::HEADER_LEN - 4]).to_le_bytes();
+        let hl = ugraph_io::catalog::HEADER_LEN;
+        bytes[hl - 4..hl].copy_from_slice(&crc);
+        let err = expect_err(from_bytes(Bytes::from(bytes)));
+        assert!(err.to_string().contains("below the catalog's α"), "{err}");
+    }
+
+    #[test]
+    fn report_fingerprint_mismatch_rejected() {
+        let g = fixture();
+        let inst = prepare(&g, 0.5, &PrepareConfig::default()).unwrap();
+        let bytes = to_bytes(&inst);
+        // Rebuild the catalog with a lying report section (valid CRCs).
+        let cat = Catalog::from_bytes(Bytes::from(bytes)).unwrap();
+        let mut writer = CatalogWriter::new(*cat.header());
+        for e in cat.sections() {
+            let mut payload = cat.section(&e.name).unwrap().to_vec();
+            if e.name == "report" {
+                payload[8..16].copy_from_slice(&999u64.to_le_bytes()); // original_vertices
+            }
+            writer.add_section(e.name.clone(), payload);
+        }
+        let err = expect_err(from_bytes(Bytes::from(writer.finish())));
+        assert!(err.to_string().contains("fingerprint"), "{err}");
+    }
+
+    #[test]
+    fn swapped_section_order_rejected() {
+        let g = fixture();
+        let inst = prepare(&g, 0.5, &PrepareConfig::default()).unwrap();
+        let cat = Catalog::from_bytes(Bytes::from(to_bytes(&inst))).unwrap();
+        assert!(cat.sections().len() >= 5);
+        // Re-serialize with two sections swapped: every checksum is
+        // valid, but the canonical order is not.
+        let mut order: Vec<String> = cat.sections().iter().map(|e| e.name.clone()).collect();
+        order.swap(0, 1);
+        let mut writer = CatalogWriter::new(*cat.header());
+        for name in &order {
+            writer.add_section(name.clone(), cat.section(name).unwrap().to_vec());
+        }
+        let err = expect_err(from_bytes(Bytes::from(writer.finish())));
+        assert!(err.to_string().contains("canonical order"), "{err}");
+    }
+
+    #[test]
+    fn missing_section_rejected() {
+        let g = fixture();
+        let inst = prepare(&g, 0.5, &PrepareConfig::default()).unwrap();
+        let cat = Catalog::from_bytes(Bytes::from(to_bytes(&inst))).unwrap();
+        let mut writer = CatalogWriter::new(*cat.header());
+        for e in cat.sections() {
+            if e.name != "report" {
+                writer.add_section(e.name.clone(), cat.section(&e.name).unwrap().to_vec());
+            }
+        }
+        expect_err(from_bytes(Bytes::from(writer.finish())));
+    }
+}

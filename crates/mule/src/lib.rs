@@ -30,6 +30,13 @@
 //! state — the repeated-query shape a serving system needs. Errors
 //! surface through the unified [`MuleError`].
 //!
+//! Sessions also persist: [`Prepared::save`] writes the prepared
+//! instance as a checksummed UGQ1 catalog file and [`Query::open`]
+//! rebuilds a byte-identical session from it without re-running any
+//! pipeline stage — the prepare-once / cold-open-many shape. See
+//! [`mod@catalog`] for the on-disk format and its validation
+//! guarantees.
+//!
 //! The historical free functions ([`enumerate_maximal_cliques`],
 //! [`enumerate_large_maximal_cliques`], [`par_enumerate_maximal_cliques`],
 //! the [`topk`] and NOIP wrappers) remain as thin delegates over the
@@ -71,6 +78,7 @@
 #![forbid(unsafe_code)]
 
 pub mod bounds;
+pub mod catalog;
 pub mod deterministic;
 pub mod dfs_noip;
 pub mod enumerate;

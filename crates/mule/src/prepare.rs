@@ -267,6 +267,10 @@ pub struct PreparedInstance {
     /// the direct search's emission order.
     schedule: Vec<Unit>,
     report: PrepareReport,
+    /// The configuration the instance was prepared under — retained so
+    /// the instance can be persisted ([`crate::catalog`]) and reopened
+    /// with bit-identical kernels.
+    config: PrepareConfig,
     stats: EnumerationStats,
     arenas: DepthArenas,
     clique_buf: Vec<VertexId>,
@@ -428,6 +432,7 @@ pub fn prepare(
         singletons,
         schedule,
         report,
+        config: config.clone(),
         stats: EnumerationStats::new(),
         arenas: DepthArenas::new(),
         clique_buf: Vec::new(),
@@ -473,6 +478,41 @@ impl PreparedInstance {
     /// Counters from the most recent [`PreparedInstance::run`].
     pub fn stats(&self) -> &EnumerationStats {
         &self.stats
+    }
+
+    /// The configuration the instance was prepared under.
+    pub fn config(&self) -> &PrepareConfig {
+        &self.config
+    }
+
+    /// Reassemble an instance from deserialized parts — the
+    /// [`crate::catalog`] open path. The caller (the catalog decoder)
+    /// has already validated every cross-part invariant the pipeline
+    /// would have established; crucially, this constructor does **not**
+    /// touch [`PIPELINE_RUNS`], because no pipeline stage runs.
+    pub(crate) fn from_parts(
+        alpha: f64,
+        config: PrepareConfig,
+        original_n: usize,
+        components: Vec<PreparedComponent>,
+        singletons: Vec<VertexId>,
+        schedule: Vec<Unit>,
+        report: PrepareReport,
+    ) -> Self {
+        PreparedInstance {
+            alpha,
+            min_size: config.min_size,
+            original_n,
+            components,
+            singletons,
+            schedule,
+            report,
+            config,
+            stats: EnumerationStats::new(),
+            arenas: DepthArenas::new(),
+            clique_buf: Vec::new(),
+            remap_scratch: Vec::new(),
+        }
     }
 
     pub(crate) fn component_parts(&self, comp: u32) -> (&Kernel, &[VertexId]) {

@@ -47,6 +47,33 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! # Persistence
+//!
+//! A prepared session can outlive its process: [`Prepared::save`]
+//! writes the prepared instance as a UGQ1 catalog (format:
+//! [`crate::catalog`]) and [`Query::open`] rebuilds a session from it
+//! with **zero** pipeline work — prepare once, possibly on a beefier
+//! machine, then cold-open per process/replica and serve immediately.
+//! The reopened session answers every query byte-identically to the
+//! one that was saved. Corrupted or tampered files fail with
+//! [`MuleError::Catalog`] — typed, never a panic, never silently wrong
+//! output.
+//!
+//! ```
+//! use mule::{Query, MuleError};
+//! use ugraph_core::builder::from_edges;
+//!
+//! # fn main() -> Result<(), MuleError> {
+//! let g = from_edges(3, &[(0, 1, 0.9), (1, 2, 0.9), (0, 2, 0.9)])?;
+//! let mut session = Query::new(&g).alpha(0.5).prepare()?;
+//! let bytes = session.to_catalog_bytes(); // or session.save(path)
+//!
+//! let mut reopened = Query::open_bytes(bytes)?; // or Query::open(path)
+//! assert_eq!(reopened.collect(), session.collect());
+//! # Ok(())
+//! # }
+//! ```
 
 use crate::dfs_noip::DfsNoip;
 use crate::enumerate::{IndexMode, MuleConfig};
@@ -56,7 +83,9 @@ use crate::stats::EnumerationStats;
 use crate::topk::RankedCliques;
 use std::collections::VecDeque;
 use std::fmt;
+use std::path::Path;
 use ugraph_core::{GraphError, ProbError, UncertainGraph, VertexId};
+use ugraph_io::catalog::CatalogError;
 
 /// The one error type of the public query surface: graph-layer errors,
 /// builder validation, and I/O bridging (for CLI-style callers), so
@@ -76,6 +105,13 @@ pub enum MuleError {
     /// An I/O error from a caller loading graphs or writing results —
     /// the bridge variant for CLI / io front ends.
     Io(std::io::Error),
+    /// A persisted catalog ([`Prepared::save`] / [`Query::open`]) was
+    /// structurally or semantically invalid — wrong magic, failed
+    /// checksum, unsupported version, or payload that lies about the
+    /// invariants the pipeline would have established. Plain I/O
+    /// failures while reading or writing a catalog surface as
+    /// [`MuleError::Io`].
+    Catalog(CatalogError),
 }
 
 impl fmt::Display for MuleError {
@@ -91,6 +127,7 @@ impl fmt::Display for MuleError {
             ),
             MuleError::ZeroTopK => write!(f, "top-k query with k = 0 asks for nothing"),
             MuleError::Io(e) => write!(f, "I/O error: {e}"),
+            MuleError::Catalog(e) => write!(f, "{e}"),
         }
     }
 }
@@ -100,6 +137,7 @@ impl std::error::Error for MuleError {
         match self {
             MuleError::Graph(e) => Some(e),
             MuleError::Io(e) => Some(e),
+            MuleError::Catalog(e) => Some(e),
             _ => None,
         }
     }
@@ -120,6 +158,17 @@ impl From<ProbError> for MuleError {
 impl From<std::io::Error> for MuleError {
     fn from(e: std::io::Error) -> Self {
         MuleError::Io(e)
+    }
+}
+
+impl From<CatalogError> for MuleError {
+    fn from(e: CatalogError) -> Self {
+        match e {
+            // Keep the error taxonomy honest: a file that cannot be
+            // read is an I/O problem, not a corrupt catalog.
+            CatalogError::Io(io) => MuleError::Io(io),
+            other => MuleError::Catalog(other),
+        }
     }
 }
 
@@ -312,6 +361,31 @@ impl<'g> Query<'g> {
             stats: EnumerationStats::new(),
         })
     }
+
+    /// Rebuild a session from a catalog file written by
+    /// [`Prepared::save`] — the cold-start entry point. No pipeline
+    /// stage runs (pinned by `tests/catalog_cold_open.rs`): the file
+    /// already holds the pipeline's output, and [`Query::open`] only
+    /// validates it and rebuilds the deterministic per-component
+    /// neighborhood index. The session starts with the saved
+    /// configuration, one worker thread and [`Engine::Auto`]; retune
+    /// with [`Prepared::set_threads`] / [`Prepared::set_engine`].
+    ///
+    /// Failures are typed: unreadable file → [`MuleError::Io`];
+    /// structurally or semantically invalid content →
+    /// [`MuleError::Catalog`]. A corrupted catalog never panics and
+    /// never serves data.
+    pub fn open(path: impl AsRef<Path>) -> Result<Prepared, MuleError> {
+        let inst = crate::catalog::open(path)?;
+        Ok(Prepared::from_instance(inst))
+    }
+
+    /// [`Query::open`] over an in-memory byte image (the counterpart of
+    /// [`Prepared::to_catalog_bytes`]).
+    pub fn open_bytes(bytes: impl Into<Vec<u8>>) -> Result<Prepared, MuleError> {
+        let inst = crate::catalog::from_bytes(ugraph_io::Bytes::from(bytes.into()))?;
+        Ok(Prepared::from_instance(inst))
+    }
 }
 
 /// A reusable mining session: the output of [`Query::prepare`].
@@ -333,6 +407,62 @@ pub struct Prepared {
 }
 
 impl Prepared {
+    /// A fresh session around an instance that came out of a catalog:
+    /// default runtime settings, engine state built on demand.
+    fn from_instance(inst: PreparedInstance) -> Self {
+        Prepared {
+            inst,
+            noip: Vec::new(),
+            engine: Engine::Auto,
+            threads: 1,
+            stats: EnumerationStats::new(),
+        }
+    }
+
+    /// Persist this session's prepared instance as a UGQ1 catalog file
+    /// (see [`crate::catalog`] for the byte-level format). A later
+    /// [`Query::open`] rebuilds an equivalent session — same α, size
+    /// threshold, stage toggles and index configuration — that serves
+    /// every query byte-identically, without re-running any pipeline
+    /// stage. Runtime-only settings (threads, engine) are not part of
+    /// the catalog.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), MuleError> {
+        Ok(crate::catalog::save(&self.inst, path)?)
+    }
+
+    /// The catalog byte image [`Prepared::save`] would write — for
+    /// callers that manage their own storage.
+    pub fn to_catalog_bytes(&self) -> Vec<u8> {
+        crate::catalog::to_bytes(&self.inst)
+    }
+
+    /// Retune the worker-thread count of an existing session (catalogs
+    /// persist no runtime settings, so reopened sessions start at 1).
+    /// Rejects `0` exactly like [`Query::threads`].
+    pub fn set_threads(&mut self, n: usize) -> Result<(), MuleError> {
+        if n == 0 {
+            return Err(MuleError::ZeroThreads);
+        }
+        self.threads = n;
+        Ok(())
+    }
+
+    /// Switch the search engine of an existing session. Selecting
+    /// [`Engine::Noip`] lazily builds the per-component baseline
+    /// enumerators on first switch (the same construction
+    /// [`Query::prepare`] performs eagerly); switching back to
+    /// [`Engine::Auto`] keeps them around for free re-switching.
+    pub fn set_engine(&mut self, engine: Engine) {
+        if engine == Engine::Noip && self.noip.is_empty() {
+            self.noip = self
+                .inst
+                .components()
+                .map(|(sub, _)| DfsNoip::from_pruned(sub.clone(), self.inst.alpha()))
+                .collect();
+        }
+        self.engine = engine;
+    }
+
     /// The α threshold the session was prepared for.
     pub fn alpha(&self) -> f64 {
         self.inst.alpha()

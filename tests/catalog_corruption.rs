@@ -1,0 +1,289 @@
+//! Adversarial catalog battery: every way a UGQ1 file can be damaged or
+//! forged must surface as a **typed error** — never a panic, never an
+//! allocation blow-up, and never silently-served data.
+//!
+//! Two threat models:
+//!
+//! * **Bit rot / truncation** — random or systematic byte damage. The
+//!   container's checksums (header CRC, TOC CRC, per-section CRCs,
+//!   whole-payload hash) must catch every single-byte flip and every
+//!   truncation point.
+//! * **Checksum-valid forgery** — an attacker (or a buggy writer) who
+//!   recomputes the checksums. The mule layer must re-validate the
+//!   semantic invariants: canonical section order, monotone id maps,
+//!   well-formed schedule, α-pruned component graphs, plausible counts.
+
+use mule::{MuleError, Query};
+use proptest::prelude::*;
+use ugraph_core::builder::from_edges;
+use ugraph_io::catalog::{crc32, Catalog, CatalogError, CatalogWriter, HEADER_LEN};
+use ugraph_io::Bytes;
+
+/// A small but fully featured catalog: two components, singletons, a
+/// sub-α edge pruned away.
+fn fixture_bytes() -> Vec<u8> {
+    let g = from_edges(
+        9,
+        &[
+            (0, 1, 0.9),
+            (1, 2, 0.9),
+            (0, 2, 0.9),
+            (4, 5, 0.8),
+            (5, 6, 0.8),
+            (4, 6, 0.8),
+            (7, 8, 0.3),
+        ],
+    )
+    .unwrap();
+    Query::new(&g)
+        .alpha(0.5)
+        .prepare()
+        .unwrap()
+        .to_catalog_bytes()
+}
+
+/// Open must fail with the catalog-typed error (I/O damage is a
+/// different test). Returns the message for content assertions.
+fn assert_rejected(bytes: Vec<u8>, what: &str) -> String {
+    match Query::open_bytes(bytes) {
+        Ok(_) => panic!("{what}: hostile catalog was accepted"),
+        Err(MuleError::Catalog(e)) => e.to_string(),
+        Err(other) => panic!("{what}: wrong error variant: {other}"),
+    }
+}
+
+/// Re-serialize a catalog through `CatalogWriter` with transformed
+/// sections — all checksums valid, semantics attacker-controlled.
+fn reforge(bytes: &[u8], transform: impl Fn(&mut Vec<(String, Vec<u8>)>)) -> Vec<u8> {
+    let cat = Catalog::from_bytes(Bytes::from(bytes.to_vec())).unwrap();
+    let mut sections: Vec<(String, Vec<u8>)> = cat
+        .sections()
+        .iter()
+        .map(|e| (e.name.clone(), cat.section(&e.name).unwrap().to_vec()))
+        .collect();
+    transform(&mut sections);
+    let mut writer = CatalogWriter::new(*cat.header());
+    for (name, payload) in sections {
+        writer.add_section(name, payload);
+    }
+    writer.finish()
+}
+
+/// Patch the 20 trailing bytes (offset u64, length u64, crc u32) of a
+/// named TOC entry and re-seal the TOC checksum, so the damage reaches
+/// the section-level validation instead of dying at the TOC CRC.
+fn patch_toc_entry(bytes: &mut [u8], target: &str, patch: impl Fn(&mut [u8])) {
+    let toc_len = u32::from_le_bytes(bytes[76..80].try_into().unwrap()) as usize;
+    let toc_start = HEADER_LEN;
+    let mut pos = toc_start;
+    while pos < toc_start + toc_len {
+        let name_len = u16::from_le_bytes(bytes[pos..pos + 2].try_into().unwrap()) as usize;
+        let name = std::str::from_utf8(&bytes[pos + 2..pos + 2 + name_len]).unwrap();
+        let fields = pos + 2 + name_len;
+        if name == target {
+            patch(&mut bytes[fields..fields + 20]);
+            let toc_crc = crc32(&bytes[toc_start..toc_start + toc_len]);
+            bytes[toc_start + toc_len..toc_start + toc_len + 4]
+                .copy_from_slice(&toc_crc.to_le_bytes());
+            return;
+        }
+        pos = fields + 20;
+    }
+    panic!("section {target} not in TOC");
+}
+
+/// Re-seal the header CRC after patching header bytes.
+fn reseal_header(bytes: &mut [u8]) {
+    let crc = crc32(&bytes[..HEADER_LEN - 4]);
+    bytes[HEADER_LEN - 4..HEADER_LEN].copy_from_slice(&crc.to_le_bytes());
+}
+
+#[test]
+fn every_single_byte_flip_is_rejected() {
+    let good = fixture_bytes();
+    assert!(Query::open_bytes(good.clone()).is_ok(), "fixture must open");
+    for i in 0..good.len() {
+        let mut bad = good.clone();
+        bad[i] ^= 0xFF;
+        match Query::open_bytes(bad) {
+            Ok(_) => panic!("flip at byte {i} went undetected"),
+            Err(MuleError::Catalog(_)) => {}
+            Err(other) => panic!("flip at byte {i}: wrong error variant: {other}"),
+        }
+    }
+}
+
+#[test]
+fn truncation_at_every_section_boundary_is_rejected() {
+    let good = fixture_bytes();
+    let cat = Catalog::from_bytes(Bytes::from(good.clone())).unwrap();
+    // Structural boundaries: mid-header, end of header, end of TOC, and
+    // the start and end of every section payload.
+    let mut cuts = vec![0, 1, HEADER_LEN / 2, HEADER_LEN];
+    for e in cat.sections() {
+        cuts.push(e.offset as usize);
+        cuts.push((e.offset + e.length) as usize);
+    }
+    cuts.push(good.len() - 1);
+    for cut in cuts {
+        if cut >= good.len() {
+            continue;
+        }
+        assert_rejected(good[..cut].to_vec(), &format!("truncation at {cut}"));
+    }
+    // Trailing garbage is as corrupt as missing bytes.
+    let mut padded = good.clone();
+    padded.push(0);
+    assert_rejected(padded, "trailing byte");
+}
+
+#[test]
+fn swapped_section_order_is_rejected_despite_valid_checksums() {
+    let good = fixture_bytes();
+    let n = Catalog::from_bytes(Bytes::from(good.clone()))
+        .unwrap()
+        .sections()
+        .len();
+    assert!(n >= 5, "fixture should have at least two components");
+    for (i, j) in [(0, 1), (0, n - 1), (n - 2, n - 1)] {
+        let forged = reforge(&good, |sections| sections.swap(i, j));
+        let msg = assert_rejected(forged, &format!("swap {i}<->{j}"));
+        assert!(msg.contains("canonical order"), "{msg}");
+    }
+}
+
+#[test]
+fn zeroed_section_crc_is_rejected() {
+    let good = fixture_bytes();
+    let target = "schedule";
+    let mut bad = good.clone();
+    patch_toc_entry(&mut bad, target, |fields| {
+        fields[16..20].fill(0); // the stored crc32
+    });
+    let msg = assert_rejected(bad, "zeroed crc");
+    assert!(msg.contains("crc32 mismatch"), "{msg}");
+}
+
+#[test]
+fn oversized_section_length_is_rejected_structurally() {
+    let good = fixture_bytes();
+    for huge in [u64::MAX, u64::MAX / 2, 1 << 40] {
+        let mut bad = good.clone();
+        patch_toc_entry(&mut bad, "report", |fields| {
+            fields[8..16].copy_from_slice(&huge.to_le_bytes());
+        });
+        // The structural layout check (sections must exactly tile the
+        // payload region) fires before any length-sized allocation.
+        assert_rejected(bad, &format!("length {huge}"));
+    }
+}
+
+#[test]
+fn unsupported_version_is_a_distinct_typed_error() {
+    let mut bad = fixture_bytes();
+    bad[4..8].copy_from_slice(&2u32.to_le_bytes());
+    reseal_header(&mut bad);
+    match Query::open_bytes(bad) {
+        Err(MuleError::Catalog(CatalogError::UnsupportedVersion { found })) => {
+            assert_eq!(found, 2)
+        }
+        other => panic!("wrong result for v2 catalog: {:?}", other.map(|_| "opened")),
+    }
+}
+
+#[test]
+fn forged_semantic_corruption_is_rejected() {
+    let good = fixture_bytes();
+
+    // Non-monotone id map (checksums valid).
+    let forged = reforge(&good, |sections| {
+        let (_, payload) = sections
+            .iter_mut()
+            .find(|(name, _)| name == "component.0.map")
+            .unwrap();
+        let len = payload.len();
+        payload.swap(8, len - 4); // swap first/last id's low bytes
+    });
+    let msg = assert_rejected(forged, "non-monotone map");
+    assert!(
+        msg.contains("strictly increasing") || msg.contains("out of range"),
+        "{msg}"
+    );
+
+    // Unknown schedule unit tag.
+    let forged = reforge(&good, |sections| {
+        let (_, payload) = sections
+            .iter_mut()
+            .find(|(name, _)| name == "schedule")
+            .unwrap();
+        payload[8] = 7; // first unit's tag byte
+    });
+    let msg = assert_rejected(forged, "bad schedule tag");
+    assert!(msg.contains("unknown tag"), "{msg}");
+
+    // A stray section the format does not define.
+    let forged = reforge(&good, |sections| {
+        sections.push(("evil".to_string(), vec![1, 2, 3]));
+    });
+    let msg = assert_rejected(forged, "stray section");
+    assert!(
+        msg.contains("canonical order") || msg.contains("sections"),
+        "{msg}"
+    );
+
+    // A dropped section.
+    let forged = reforge(&good, |sections| {
+        sections.retain(|(name, _)| name != "report");
+    });
+    assert_rejected(forged, "missing report");
+
+    // A component edge probability forged below the catalog's α:
+    // checksums fine, kernel precondition violated. Raise the stored α
+    // above the fixture's weakest surviving edge (0.8) instead of
+    // digging the probability bytes out of the CSR payload.
+    let mut forged = good.clone();
+    forged[16..24].copy_from_slice(&0.85f64.to_bits().to_le_bytes());
+    reseal_header(&mut forged);
+    let msg = assert_rejected(forged, "sub-α edge");
+    assert!(msg.contains("below the catalog's α"), "{msg}");
+
+    // Report counters disagreeing with the header fingerprint.
+    let forged = reforge(&good, |sections| {
+        let (_, payload) = sections
+            .iter_mut()
+            .find(|(name, _)| name == "report")
+            .unwrap();
+        payload[8..16].copy_from_slice(&12345u64.to_le_bytes());
+    });
+    let msg = assert_rejected(forged, "lying report");
+    assert!(msg.contains("fingerprint"), "{msg}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn random_byte_damage_never_panics_or_serves_data(
+        seed in 0u64..1_000_000,
+        flips in 1usize..4,
+    ) {
+        let good = fixture_bytes();
+        let mut bad = good.clone();
+        // Cheap deterministic pseudo-random positions/masks from the seed.
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        for _ in 0..flips {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let pos = (state >> 33) as usize % bad.len();
+            let mask = (state >> 25) as u8;
+            bad[pos] ^= mask;
+        }
+        // Flips can cancel (same position, same mask) — only a net
+        // change must be rejected.
+        if bad != good {
+            match Query::open_bytes(bad) {
+                Ok(_) => prop_assert!(false, "multi-byte damage went undetected"),
+                Err(MuleError::Catalog(_)) => {}
+                Err(other) => prop_assert!(false, "wrong error variant: {other}"),
+            }
+        }
+    }
+}

@@ -211,7 +211,9 @@ fn run_trajectory(args: &Args) {
                     secs.push(start.elapsed().as_secs_f64());
                     if i == 0 {
                         // Equality check once, outside the timed region.
-                        reopened_count = reopened.count();
+                        reopened_count = reopened
+                            .count()
+                            .expect("unlimited run cannot be interrupted");
                     }
                 }
                 let _ = std::fs::remove_file(&cat_path);
@@ -272,7 +274,9 @@ fn run_trajectory(args: &Args) {
                         .threads(threads)
                         .prepare()
                         .expect("valid alpha");
-                    let pairs = session.collect();
+                    let pairs = session
+                        .collect()
+                        .expect("unlimited run cannot be interrupted");
                     secs.push(start.elapsed().as_secs_f64());
                     count = pairs.len();
                     par_stats = *session.stats();

@@ -1,0 +1,214 @@
+//! Sustained-load latency harness for `mule serve` (PR 7).
+//!
+//! Boots a real server on a prepared `.ugq` catalog, drives it with
+//! concurrent newline-JSON clients for a fixed wall-clock window, and
+//! records sustained throughput (queries/sec) with p50/p95/p99 request
+//! latency — next to a **same-session baseline**: the identical query
+//! executed directly on one resident [`mule::Prepared`] session, so the
+//! artifact separates enumeration cost from serving overhead (framing,
+//! scheduling, session cache, TCP) on the same machine and build.
+//!
+//! ```text
+//! cargo run -p ugraph-bench --release --bin serve_load -- \
+//!     [--seed 42] [--scale 0.25] [--alpha 0.3] [--duration 3] \
+//!     [--clients 8] [--workers 4] [--out BENCH_pr7.json]
+//! ```
+
+use mule_cli::serve::{log_to, ServeConfig, Server};
+use mule_cli::wire::Json as Wire;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+use ugraph_bench::{harness, Args, Json};
+
+const USAGE: &str = "serve_load — sustained-load latency for `mule serve`
+options:
+  --seed N       dataset seed (default 42)
+  --scale X      BA5000 dataset scale (default 0.25)
+  --alpha A      enumeration threshold (default 0.3)
+  --duration S   seconds of sustained load per run (default 3)
+  --clients N    concurrent client connections (default = --workers;
+                 a persistent connection pins its worker, so clients
+                 beyond the worker count measure admission-queue wait)
+  --workers N    server worker threads (default 4)
+  --out PATH     JSON artifact path (default BENCH_pr7.json)";
+
+/// Linear-interpolation percentile over an ascending-sorted slice.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = q * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[rank.ceil() as usize] - sorted[lo]) * frac
+}
+
+/// Emit one latency distribution as a JSON object body.
+fn emit_latency(json: &mut Json, samples: &mut [f64], wall_s: f64) {
+    samples.sort_by(f64::total_cmp);
+    json.key("requests").int(samples.len() as i64);
+    json.key("qps").num(samples.len() as f64 / wall_s);
+    json.key("p50_ms").num(percentile(samples, 0.50) * 1e3);
+    json.key("p95_ms").num(percentile(samples, 0.95) * 1e3);
+    json.key("p99_ms").num(percentile(samples, 0.99) * 1e3);
+    json.key("max_ms")
+        .num(samples.last().copied().unwrap_or(0.0) * 1e3);
+}
+
+/// One client: issue `count` requests back-to-back over a persistent
+/// connection until the deadline, recording per-request seconds.
+fn drive_client(
+    addr: std::net::SocketAddr,
+    catalog: &str,
+    until: Instant,
+    expected: u64,
+) -> Vec<f64> {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    let frame = format!("{{\"op\":\"count\",\"catalog\":\"{catalog}\"}}\n");
+    let mut samples = Vec::new();
+    while Instant::now() < until {
+        let t0 = Instant::now();
+        writer.write_all(frame.as_bytes()).expect("send");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("reply");
+        samples.push(t0.elapsed().as_secs_f64());
+        let reply = Wire::parse(line.trim_end()).expect("parseable reply");
+        assert_eq!(
+            reply.get("count").and_then(Wire::as_u64),
+            Some(expected),
+            "server returned a wrong count under load: {line}"
+        );
+    }
+    samples
+}
+
+fn main() {
+    let args = Args::parse(
+        &[
+            "seed", "scale", "alpha", "duration", "clients", "workers", "out",
+        ],
+        USAGE,
+    );
+    let seed: u64 = args.get_or("seed", 42);
+    let scale: f64 = args.get_or("scale", 0.25);
+    let alpha: f64 = args.get_or("alpha", 0.3);
+    let duration = Duration::from_secs_f64(args.get_or("duration", 3.0));
+    let workers: usize = args.get_or("workers", 4).max(1);
+    let clients: usize = args.get_or("clients", workers).max(1);
+    let out_path: String = args.get_or("out", "BENCH_pr7.json".to_string());
+
+    // The workload: the BA5000 Table-1 stand-in, prepared once and
+    // saved as the catalog every request re-queries.
+    let g = harness::dataset("BA5000", seed, scale);
+    let mut session = mule::Query::new(&g)
+        .alpha(alpha)
+        .prepare()
+        .expect("prepare");
+    let expected = session.count().expect("unlimited count");
+    let dir = std::env::temp_dir().join(format!("mule-serve-load-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let catalog_path = dir.join("load.ugq");
+    session.save(&catalog_path).expect("save catalog");
+    let catalog = catalog_path.to_str().unwrap().to_string();
+
+    // Same-session baseline: the identical query on the resident
+    // session, no server in the path. Sample for the same wall-clock
+    // window so both distributions see comparable machine noise.
+    let mut baseline = Vec::new();
+    let until = Instant::now() + duration;
+    let base_t0 = Instant::now();
+    while Instant::now() < until {
+        let t0 = Instant::now();
+        let n = session.count().expect("unlimited count");
+        baseline.push(t0.elapsed().as_secs_f64());
+        assert_eq!(n, expected);
+    }
+    let baseline_wall = base_t0.elapsed().as_secs_f64();
+
+    // Sustained concurrent load against a live server.
+    let server = Server::start(
+        ServeConfig {
+            workers,
+            ..ServeConfig::default()
+        },
+        log_to(Box::new(std::io::sink())),
+    )
+    .expect("server start");
+    let addr = server.addr();
+    // Warm the session cache so the measured window is steady-state.
+    drive_client(addr, &catalog, Instant::now(), expected);
+    drive_client(
+        addr,
+        &catalog,
+        Instant::now() + Duration::from_millis(200),
+        expected,
+    );
+
+    let load_t0 = Instant::now();
+    let until = load_t0 + duration;
+    let mut served: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| scope.spawn(|| drive_client(addr, &catalog, until, expected)))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let load_wall = load_t0.elapsed().as_secs_f64();
+    server.request_shutdown();
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut json = Json::new();
+    json.begin_obj();
+    json.key("artifact").str_val("BENCH_pr7");
+    json.key("description").str_val(
+        "Sustained-load latency for `mule serve` (PR 7: deadline-aware cancellable \
+         sessions + fault-tolerant server). `serve` drives N concurrent newline-JSON \
+         clients issuing `count` queries against one resident .ugq catalog for a fixed \
+         window; `direct_baseline` runs the identical query on one resident Prepared \
+         session with no server in the path, same build, same machine, same window — \
+         the gap is the serving overhead (framing, admission, scheduling, TCP). Clients equal the worker count: a persistent connection pins its worker, so extra clients would sit in the admission queue for the whole window and report queue wait, not service latency. \
+         Single-CPU container: absolute numbers drift 10-16% between sessions; compare \
+         within this artifact only.",
+    );
+    json.key("workload").begin_obj();
+    json.key("dataset").str_val("BA5000");
+    json.key("scale").num(scale);
+    json.key("n").int(g.num_vertices() as i64);
+    json.key("m").int(g.num_edges() as i64);
+    json.key("alpha").num(alpha);
+    json.key("op").str_val("count");
+    json.key("cliques").int(expected as i64);
+    json.key("seed").int(seed as i64);
+    json.end_obj();
+    json.key("config").begin_obj();
+    json.key("clients").int(clients as i64);
+    json.key("server_workers").int(workers as i64);
+    json.key("duration_s").num(duration.as_secs_f64());
+    json.end_obj();
+    json.key("direct_baseline").begin_obj();
+    emit_latency(&mut json, &mut baseline, baseline_wall);
+    json.end_obj();
+    json.key("serve").begin_obj();
+    emit_latency(&mut json, &mut served, load_wall);
+    json.end_obj();
+    json.end_obj();
+
+    std::fs::write(&out_path, json.finish()).expect("write artifact");
+    println!("wrote {out_path}");
+    println!(
+        "direct: {} req ({:.0}/s)   serve[{clients} clients]: {} req ({:.0}/s)",
+        baseline.len(),
+        baseline.len() as f64 / baseline_wall,
+        served.len(),
+        served.len() as f64 / load_wall,
+    );
+}

@@ -183,7 +183,9 @@ pub fn timed_run_with(
                 .kernel_config(mule_cfg.clone())
                 .prepare()
                 .expect("valid alpha");
-            session.stream(&mut sink);
+            session
+                .stream(&mut sink)
+                .expect("unlimited run cannot be interrupted");
             *session.stats()
         }
     };

@@ -1,9 +1,11 @@
 //! The `mule` subcommand implementations.
 
 use crate::opts::{load_graph, save_graph, Opts};
-use mule::sinks::CountSink;
+use mule::sinks::{CollectSink, CountSink};
+use mule::MuleError;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
+use std::time::Duration;
 use ugraph_core::{GraphStats, VertexId};
 
 type CmdResult = Result<(), String>;
@@ -79,7 +81,13 @@ pub fn stats(args: &[String], out: &mut dyn Write) -> CmdResult {
 /// flags that would re-specify prepare-time settings (α, size
 /// threshold, stage toggles, index configuration) are rejected as
 /// conflicts — only the runtime flags (`--threads`, `--count-only`,
-/// `--out`, `--prune-report`) apply.
+/// `--out`, `--prune-report`, `--timeout-ms`, `--node-budget`) apply.
+///
+/// `--timeout-ms N` and `--node-budget N` bound the run cooperatively
+/// (see `mule::limits`): an interrupted enumeration still writes every
+/// clique emitted before the trip — a byte-identical prefix of the
+/// uninterrupted output — followed by a `# interrupted:` marker line,
+/// and the process exits with code 3 instead of 0.
 pub fn enumerate(args: &[String], out: &mut dyn Write) -> CmdResult {
     let opts = Opts::parse(
         args,
@@ -94,6 +102,8 @@ pub fn enumerate(args: &[String], out: &mut dyn Write) -> CmdResult {
             "index-mode",
             "index-budget",
             "catalog",
+            "timeout-ms",
+            "node-budget",
         ]),
     )?;
     let started = std::time::Instant::now();
@@ -151,6 +161,10 @@ pub fn enumerate(args: &[String], out: &mut dyn Write) -> CmdResult {
         }
         query.prepare().map_err(fmt_err)?
     };
+    let timeout_ms: Option<u64> = opts.get_opt("timeout-ms")?;
+    let node_budget: Option<u64> = opts.get_opt("node-budget")?;
+    session.set_deadline(timeout_ms.map(Duration::from_millis));
+    session.set_node_budget(node_budget);
     if opts.flag("prune-report") {
         for line in session.report().render().lines() {
             writeln!(out, "# {line}").map_err(io_err)?;
@@ -159,22 +173,41 @@ pub fn enumerate(args: &[String], out: &mut dyn Write) -> CmdResult {
 
     if opts.flag("count-only") {
         let mut sink = CountSink::new();
-        session.stream(&mut sink);
+        let interrupted = split_interrupt(session.stream(&mut sink).map(|_| ()))?;
         writeln!(out, "cliques:      {}", sink.count).map_err(io_err)?;
         writeln!(out, "max size:     {}", sink.max_size).map_err(io_err)?;
         writeln!(out, "output ids:   {}", sink.total_vertices).map_err(io_err)?;
         writeln!(out, "search nodes: {}", session.stats().calls).map_err(io_err)?;
         writeln!(out, "elapsed:      {:.3}s", started.elapsed().as_secs_f64()).map_err(io_err)?;
+        if let Some(e) = interrupted {
+            writeln!(out, "# interrupted: {e} — counts above are partial").map_err(io_err)?;
+            return Err(format!("INTERRUPTED: {e}"));
+        }
         return Ok(());
     }
 
-    let pairs: Vec<(Vec<VertexId>, f64)> = session.collect();
+    // When a limit is configured, stream into a collector so the rows
+    // emitted before an interruption survive it (`Prepared::collect`
+    // discards the partial set on error); otherwise `collect` may fan
+    // out across threads.
+    let (pairs, interrupted): (Vec<(Vec<VertexId>, f64)>, Option<MuleError>) =
+        if timeout_ms.is_some() || node_budget.is_some() {
+            let mut sink = CollectSink::new();
+            let interrupted = split_interrupt(session.stream(&mut sink).map(|_| ()))?;
+            (sink.into_pairs(), interrupted)
+        } else {
+            (session.collect().map_err(fmt_err)?, None)
+        };
 
     match opts.get_str("out") {
         Some(path) => {
             let file = File::create(path).map_err(|e| format!("cannot create {path:?}: {e}"))?;
-            ugraph_io::write_clique_list(BufWriter::new(file), session.alpha(), &pairs)
-                .map_err(io_err)?;
+            let mut w = BufWriter::new(file);
+            ugraph_io::write_clique_list(&mut w, session.alpha(), &pairs).map_err(io_err)?;
+            if let Some(e) = &interrupted {
+                writeln!(w, "# interrupted: {e} — list above is a prefix").map_err(io_err)?;
+            }
+            w.flush().map_err(io_err)?;
             writeln!(
                 out,
                 "wrote {} cliques to {path} in {:.3}s",
@@ -185,9 +218,26 @@ pub fn enumerate(args: &[String], out: &mut dyn Write) -> CmdResult {
         }
         None => {
             ugraph_io::write_clique_list(&mut *out, session.alpha(), &pairs).map_err(io_err)?;
+            if let Some(e) = &interrupted {
+                writeln!(out, "# interrupted: {e} — list above is a prefix").map_err(io_err)?;
+            }
         }
     }
+    if let Some(e) = interrupted {
+        return Err(format!("INTERRUPTED: {e}"));
+    }
     Ok(())
+}
+
+/// Separate an interruption (deadline / budget / cancel — partial
+/// results are still valid) from a hard error. `Ok(Some(e))` means the
+/// run was interrupted by `e`; other `MuleError`s propagate as strings.
+fn split_interrupt(r: Result<(), MuleError>) -> Result<Option<MuleError>, String> {
+    match r {
+        Ok(()) => Ok(None),
+        Err(e) if e.interrupted_stats().is_some() => Ok(Some(e)),
+        Err(e) => Err(fmt_err(e)),
+    }
 }
 
 /// `mule prepare <graph> --alpha A --out FILE.ugq [--min-size T]
@@ -530,6 +580,179 @@ pub fn worlds(args: &[String], out: &mut dyn Write) -> CmdResult {
     )
     .map_err(io_err)?;
     Ok(())
+}
+
+/// `mule serve` — the TCP query server over prepared catalogs, plus a
+/// minimal client mode for scripting and CI.
+///
+/// Server: `mule serve [--addr HOST:PORT] [--workers N]
+/// [--queue-depth N] [--cache N] [--max-frame-bytes N]
+/// [--default-timeout-ms N] [--idle-timeout-ms N] [--log FILE]
+/// [--danger-test-ops]`. Binds, prints `listening on HOST:PORT`, and
+/// serves newline-JSON requests (see `mule_cli::wire`) until a
+/// `shutdown` frame arrives; then drains and exits 0.
+///
+/// Client: `mule serve --connect HOST:PORT [--request JSON] [--text]
+/// [--no-newline]`. Sends `--request` verbatim (default
+/// `{"op":"ping"}` — verbatim means malformed frames can be exercised
+/// deliberately), prints the reply line, and maps typed failures onto
+/// the usual exit codes: interrupted queries exit 3, other error
+/// replies exit 2. `--text` renders an `enumerate` reply in the
+/// `write_clique_list` format so outputs diff cleanly against a direct
+/// `mule enumerate`. `--no-newline` omits the frame terminator and
+/// half-closes the socket — a deliberately truncated frame.
+pub fn serve(args: &[String], out: &mut dyn Write) -> CmdResult {
+    let opts = Opts::parse(
+        args,
+        &[
+            "addr",
+            "workers",
+            "queue-depth",
+            "cache",
+            "max-frame-bytes",
+            "default-timeout-ms",
+            "idle-timeout-ms",
+            "log",
+            "danger-test-ops",
+            "connect",
+            "request",
+            "text",
+            "no-newline",
+        ],
+    )?;
+    if let Some(addr) = opts.get_str("connect") {
+        return serve_client(addr, &opts, out);
+    }
+    for key in ["request", "text", "no-newline"] {
+        if opts.get_str(key).is_some() || opts.flag(key) {
+            return Err(format!("--{key} requires --connect (client mode)"));
+        }
+    }
+    let default_cfg = crate::serve::ServeConfig::default();
+    let cfg = crate::serve::ServeConfig {
+        addr: opts
+            .get_str("addr")
+            .unwrap_or(&default_cfg.addr)
+            .to_string(),
+        workers: opts.get_or("workers", default_cfg.workers)?,
+        queue_depth: opts.get_or("queue-depth", default_cfg.queue_depth)?,
+        cache_capacity: opts.get_or("cache", default_cfg.cache_capacity)?,
+        max_frame_bytes: opts.get_or("max-frame-bytes", default_cfg.max_frame_bytes)?,
+        default_timeout_ms: opts.get_opt("default-timeout-ms")?,
+        idle_timeout: Duration::from_millis(opts.get_or(
+            "idle-timeout-ms",
+            default_cfg.idle_timeout.as_millis() as u64,
+        )?),
+        danger_test_ops: opts.flag("danger-test-ops"),
+    };
+    let log: crate::serve::Log = match opts.get_str("log") {
+        Some(path) => {
+            let f = File::create(path).map_err(|e| format!("cannot create {path:?}: {e}"))?;
+            crate::serve::log_to(Box::new(f))
+        }
+        None => crate::serve::log_to(Box::new(std::io::stderr())),
+    };
+    let server = crate::serve::Server::start(cfg, log).map_err(io_err)?;
+    writeln!(out, "listening on {}", server.addr()).map_err(io_err)?;
+    out.flush().map_err(io_err)?;
+    server.join();
+    writeln!(out, "serve: drained and exiting").map_err(io_err)?;
+    Ok(())
+}
+
+/// The `--connect` client half of `mule serve`.
+fn serve_client(addr: &str, opts: &Opts, out: &mut dyn Write) -> CmdResult {
+    use std::io::BufRead;
+    let request = opts.get_str("request").unwrap_or("{\"op\":\"ping\"}");
+    let mut stream =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .map_err(io_err)?;
+    stream.write_all(request.as_bytes()).map_err(io_err)?;
+    if opts.flag("no-newline") {
+        // Deliberately truncated frame: half-close so the server sees
+        // EOF mid-frame.
+        stream.shutdown(std::net::Shutdown::Write).map_err(io_err)?;
+    } else {
+        stream.write_all(b"\n").map_err(io_err)?;
+    }
+    let mut reply = String::new();
+    std::io::BufReader::new(&mut stream)
+        .read_line(&mut reply)
+        .map_err(io_err)?;
+    let reply = reply.trim_end().to_string();
+    if reply.is_empty() {
+        writeln!(out, "(connection closed without reply)").map_err(io_err)?;
+        return Ok(());
+    }
+    let parsed = crate::wire::Json::parse(&reply);
+    if opts.flag("text") {
+        if let Ok(v) = &parsed {
+            if v.get("cliques").is_some() {
+                let alpha = v
+                    .get("alpha")
+                    .and_then(crate::wire::Json::as_f64)
+                    .unwrap_or(0.0);
+                let pairs = clique_pairs(v)?;
+                ugraph_io::write_clique_list(&mut *out, alpha, &pairs).map_err(io_err)?;
+            } else {
+                writeln!(out, "{reply}").map_err(io_err)?;
+            }
+        }
+    } else {
+        writeln!(out, "{reply}").map_err(io_err)?;
+    }
+    // Map typed failure replies onto exit codes.
+    if let Ok(v) = parsed {
+        if v.get("ok") == Some(&crate::wire::Json::Bool(false)) {
+            let code = v
+                .get("error")
+                .and_then(crate::wire::Json::as_str)
+                .unwrap_or("unknown");
+            let message = v
+                .get("message")
+                .and_then(crate::wire::Json::as_str)
+                .unwrap_or("");
+            return if matches!(code, "deadline_exceeded" | "budget_exhausted" | "cancelled") {
+                Err(format!("INTERRUPTED: {code}: {message}"))
+            } else {
+                Err(format!("server replied {code}: {message}"))
+            };
+        }
+    }
+    Ok(())
+}
+
+/// Decode the `cliques` + `probs` arrays of an `enumerate` reply.
+fn clique_pairs(v: &crate::wire::Json) -> Result<Vec<(Vec<VertexId>, f64)>, String> {
+    use crate::wire::Json;
+    let (Some(Json::Arr(cliques)), Some(Json::Arr(probs))) = (v.get("cliques"), v.get("probs"))
+    else {
+        return Err("reply lacks cliques/probs arrays".into());
+    };
+    if cliques.len() != probs.len() {
+        return Err("cliques/probs length mismatch".into());
+    }
+    cliques
+        .iter()
+        .zip(probs)
+        .map(|(c, p)| {
+            let Json::Arr(vs) = c else {
+                return Err("clique is not an array".to_string());
+            };
+            let clique: Vec<VertexId> = vs
+                .iter()
+                .map(|x| {
+                    x.as_u64()
+                        .and_then(|n| u32::try_from(n).ok())
+                        .ok_or_else(|| "vertex is not a u32".to_string())
+                })
+                .collect::<Result<_, _>>()?;
+            let prob = p.as_f64().ok_or("prob is not a number")?;
+            Ok((clique, prob))
+        })
+        .collect()
 }
 
 fn io_err(e: std::io::Error) -> String {

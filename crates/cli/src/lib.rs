@@ -29,6 +29,8 @@
 
 pub mod commands;
 pub mod opts;
+pub mod serve;
+pub mod wire;
 
 use std::io::Write;
 
@@ -48,9 +50,15 @@ COMMANDS:
                [--index-budget BYTES]       (dense probability-row tier cap,
                                             per component kernel; 0 keeps
                                             only the bitset tier)
+               [--timeout-ms N] [--node-budget N]  (bound the run; an
+                                            interrupted run writes the
+                                            output prefix plus a
+                                            '# interrupted:' marker and
+                                            exits 3)
   enumerate  --catalog FILE.ugq             enumerate from a prepared catalog
                [--threads N] [--count-only] (α, size threshold and index
                [--out FILE] [--prune-report] settings come from the catalog)
+               [--timeout-ms N] [--node-budget N]
   prepare    <graph> --alpha A --out F.ugq  run the pipeline once, persist the
                [--min-size T] [--no-prune]  prepared session as a UGQ1 catalog
                [--index-mode M] [--index-budget BYTES]
@@ -66,6 +74,12 @@ COMMANDS:
                [--snap] [--assign MODEL] [--seed S]
   generate   --dataset NAME --out FILE      build a Table-1 dataset stand-in
                [--seed S] [--scale X]       (NAME as in the paper, e.g. BA5000)
+  serve      [--addr HOST:PORT]             TCP query server over .ugq catalogs
+               [--workers N] [--queue-depth N] [--cache N]
+               [--default-timeout-ms N] [--log FILE] [--danger-test-ops]
+               (newline-JSON protocol; 'shutdown' op drains and exits)
+  serve      --connect HOST:PORT            client: send one request frame
+               [--request JSON] [--text] [--no-newline]
   kcore      <graph> [--k K]                expected-degree core decomposition
   worlds     <graph> [--worlds N] [--seed S] maximal-clique stats over sampled worlds
   datasets                                  list available dataset names
@@ -94,6 +108,7 @@ pub fn run(args: &[String], stdout: &mut dyn Write, stderr: &mut dyn Write) -> i
         "datasets" => commands::datasets(rest, stdout),
         "kcore" => commands::kcore(rest, stdout),
         "worlds" => commands::worlds(rest, stdout),
+        "serve" => commands::serve(rest, stdout),
         "help" | "--help" | "-h" => {
             let _ = write!(stdout, "{USAGE}");
             Ok(())
@@ -104,11 +119,14 @@ pub fn run(args: &[String], stdout: &mut dyn Write, stderr: &mut dyn Write) -> i
         Ok(()) => 0,
         Err(msg) => {
             let _ = writeln!(stderr, "error: {msg}");
-            // Usage errors exit 2, verification failures exit 1 (flagged
-            // by the command with a sentinel prefix).
+            // Usage errors exit 2, verification failures exit 1 and
+            // interrupted (deadline / budget / cancelled) runs exit 3 —
+            // both flagged by the command with a sentinel prefix.
             if let Some(stripped) = msg.strip_prefix("VERIFY-FAILED: ") {
                 let _ = writeln!(stderr, "{stripped}");
                 1
+            } else if msg.starts_with("INTERRUPTED: ") {
+                3
             } else {
                 2
             }

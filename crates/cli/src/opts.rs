@@ -85,6 +85,21 @@ impl Opts {
         }
     }
 
+    /// Optional `--key` value, parsed; `Ok(None)` when absent. Parse
+    /// errors surface their own message, like [`Self::required`].
+    pub fn get_opt<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.values.get(key) {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse()
+                .map(Some)
+                .map_err(|e| format!("invalid value for --{key}: {raw:?} ({e})")),
+        }
+    }
+
     /// Optional raw string value.
     pub fn get_str(&self, key: &str) -> Option<&str> {
         self.values.get(key).map(|s| s.as_str())
@@ -197,6 +212,18 @@ mod tests {
         let o = Opts::parse(&args(&["g.txt"]), &["alpha"]).unwrap();
         assert!(o.required::<f64>("alpha").unwrap_err().contains("--alpha"));
         assert!(o.positional(1, "output file").is_err());
+    }
+
+    #[test]
+    fn get_opt_distinguishes_absent_from_invalid() {
+        let o = Opts::parse(&args(&["--timeout-ms", "250"]), &["timeout-ms"]).unwrap();
+        assert_eq!(o.get_opt::<u64>("timeout-ms").unwrap(), Some(250));
+        assert_eq!(o.get_opt::<u64>("node-budget").unwrap(), None);
+        let bad = Opts::parse(&args(&["--timeout-ms", "soon"]), &["timeout-ms"]).unwrap();
+        assert!(bad
+            .get_opt::<u64>("timeout-ms")
+            .unwrap_err()
+            .contains("--timeout-ms"));
     }
 
     #[test]

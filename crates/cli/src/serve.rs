@@ -1,0 +1,642 @@
+//! The `mule serve` front end: a fault-tolerant TCP query server over
+//! prepared UGQ1 catalogs.
+//!
+//! Std-only networking (newline-delimited JSON over `TcpListener`; see
+//! [`crate::wire`] for the frame format) with the robustness shape the
+//! exemplar serving systems use:
+//!
+//! * **Bounded admission.** Accepted connections enter a fixed-depth
+//!   queue; when it is full the listener replies with a typed `busy`
+//!   error and closes, instead of queueing unboundedly or hanging the
+//!   client.
+//! * **Big-stack scoped workers.** Requests run on
+//!   `crossbeam::thread::scope` workers with
+//!   [`mule::thread_util::BIG_STACK_BYTES`] (128 MiB) stacks — the
+//!   enumeration kernel recurses per clique vertex, and a serving
+//!   process must not die of stack overflow on an adversarial catalog.
+//! * **Resident session LRU.** Prepared sessions are cached per
+//!   catalog path ([`Query::open`] cold-opens on miss) and *taken out*
+//!   of the cache while a request runs — no lock is held during
+//!   enumeration, and a poisoned session can simply be dropped.
+//! * **Per-request deadlines and budgets.** `timeout_ms` /
+//!   `node_budget` request fields (or the server-wide
+//!   `--default-timeout-ms`) arm the session's cooperative limits;
+//!   interrupted queries return typed `deadline_exceeded` /
+//!   `budget_exhausted` replies with partial stats, and the session
+//!   goes back into the cache unharmed.
+//! * **Panic isolation.** Each request body runs under
+//!   [`std::panic::catch_unwind`]; a panicking request gets an
+//!   `internal_error` reply, its session is discarded, and the server
+//!   keeps serving.
+//! * **Clean drain.** A `shutdown` request stops the accept loop;
+//!   workers finish the queued connections, then the process exits.
+//!
+//! Every hostile input — malformed JSON, oversized or truncated
+//! frames, mid-stream disconnects, unknown ops, missing catalogs —
+//! produces either one complete typed error reply or a closed
+//! connection. Never a partial frame, never a dead server.
+
+use crate::wire::{err_reply, ok_reply, Json, Request};
+use mule::sinks::{CollectSink, CountSink};
+use mule::{MuleError, Prepared, Query};
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Server tunables; every knob has a CLI flag.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks a free port (the bound address is
+    /// printed and available via [`Server::addr`]).
+    pub addr: String,
+    /// Request worker threads (each on a 128 MiB stack).
+    pub workers: usize,
+    /// Admission-queue depth; beyond it, connections are shed with a
+    /// typed `busy` reply.
+    pub queue_depth: usize,
+    /// Resident prepared-session LRU capacity (catalog paths).
+    pub cache_capacity: usize,
+    /// Largest accepted request frame in bytes; longer lines get an
+    /// `oversized_frame` reply and the connection is closed.
+    pub max_frame_bytes: usize,
+    /// Deadline applied when a request doesn't carry `timeout_ms`.
+    pub default_timeout_ms: Option<u64>,
+    /// Per-connection idle read timeout.
+    pub idle_timeout: Duration,
+    /// Honor the `panic` test op (fault-injection drills only).
+    pub danger_test_ops: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_depth: 64,
+            cache_capacity: 8,
+            max_frame_bytes: 1 << 20,
+            default_timeout_ms: None,
+            idle_timeout: Duration::from_secs(10),
+            danger_test_ops: false,
+        }
+    }
+}
+
+/// Blocking-read slice: a worker waiting for the next frame wakes this
+/// often to check the shutdown flag and the idle clock, so a drain
+/// never stalls behind a silent-but-open connection.
+const READ_POLL: Duration = Duration::from_millis(100);
+
+/// Where server diagnostics go (one line per event).
+pub type Log = Arc<Mutex<Box<dyn Write + Send>>>;
+
+/// Build a [`Log`] over any writer.
+pub fn log_to(w: Box<dyn Write + Send>) -> Log {
+    Arc::new(Mutex::new(w))
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    shutdown: AtomicBool,
+    queue: Mutex<VecDeque<TcpStream>>,
+    queue_cv: Condvar,
+    cache: Mutex<SessionCache>,
+    log: Log,
+}
+
+impl Shared {
+    fn log(&self, line: &str) {
+        if let Ok(mut w) = self.log.lock() {
+            let _ = writeln!(w, "[serve] {line}");
+            let _ = w.flush();
+        }
+    }
+}
+
+/// Most-recently-used at the back; sessions are *taken* while in use.
+struct SessionCache {
+    cap: usize,
+    entries: Vec<(String, Prepared)>,
+}
+
+impl SessionCache {
+    fn take(&mut self, key: &str) -> Option<Prepared> {
+        let i = self.entries.iter().position(|(k, _)| k == key)?;
+        Some(self.entries.remove(i).1)
+    }
+
+    fn put(&mut self, key: String, session: Prepared) {
+        self.entries.retain(|(k, _)| *k != key);
+        self.entries.push((key, session));
+        while self.entries.len() > self.cap.max(1) {
+            self.entries.remove(0); // least recently used
+        }
+    }
+}
+
+/// A running server: bound address plus the supervisor join handle.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    supervisor: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind and start serving in background threads; returns once the
+    /// listener is accepting.
+    pub fn start(cfg: ServeConfig, log: Log) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let cache_cap = cfg.cache_capacity;
+        let shared = Arc::new(Shared {
+            cfg,
+            shutdown: AtomicBool::new(false),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            cache: Mutex::new(SessionCache {
+                cap: cache_cap,
+                entries: Vec::new(),
+            }),
+            log,
+        });
+        let sup_shared = Arc::clone(&shared);
+        let supervisor = std::thread::Builder::new()
+            .name("mule-serve-supervisor".to_string())
+            .spawn(move || supervise(listener, sup_shared))?;
+        Ok(Server {
+            addr,
+            shared,
+            supervisor: Some(supervisor),
+        })
+    }
+
+    /// The bound socket address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Request shutdown from the hosting process (same effect as a
+    /// `shutdown` frame).
+    pub fn request_shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.queue_cv.notify_all();
+    }
+
+    /// Block until the server has drained and every worker exited.
+    pub fn join(mut self) {
+        if let Some(h) = self.supervisor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Accept loop plus worker pool; returns when shut down and drained.
+fn supervise(listener: TcpListener, shared: Arc<Shared>) {
+    shared.log(&format!(
+        "listening on {} ({} workers, queue depth {})",
+        listener
+            .local_addr()
+            .map_or("?".to_string(), |a| a.to_string()),
+        shared.cfg.workers,
+        shared.cfg.queue_depth
+    ));
+    let result = crossbeam::thread::scope(|scope| {
+        for i in 0..shared.cfg.workers.max(1) {
+            let shared = Arc::clone(&shared);
+            scope
+                .builder()
+                .name(format!("mule-serve-worker-{i}"))
+                .stack_size(mule::thread_util::BIG_STACK_BYTES)
+                .spawn(move |_| worker_loop(&shared))
+                .expect("spawn serve worker");
+        }
+        accept_loop(&listener, &shared);
+        // Wake sleeping workers so they notice the shutdown flag and
+        // drain whatever is still queued.
+        shared.queue_cv.notify_all();
+    });
+    debug_assert!(result.is_ok(), "worker panics are caught per-request");
+    shared.log("drained; exiting");
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, peer)) => admit(stream, peer, shared),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => {
+                shared.log(&format!("accept error: {e}"));
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+}
+
+fn admit(mut stream: TcpStream, peer: SocketAddr, shared: &Shared) {
+    let mut queue = shared.queue.lock().unwrap();
+    if queue.len() >= shared.cfg.queue_depth {
+        drop(queue); // shed load without holding the lock for I/O
+        shared.log(&format!("busy: shedding {peer}"));
+        let line = err_reply("busy", "admission queue full, retry later").render();
+        let _ = stream.write_all(line.as_bytes());
+        let _ = stream.write_all(b"\n");
+        return; // dropped => closed
+    }
+    queue.push_back(stream);
+    drop(queue);
+    shared.queue_cv.notify_one();
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(stream) = next_connection(shared) {
+        handle_connection(stream, shared);
+    }
+}
+
+/// Pop an accepted connection; `None` only after shutdown *and* an
+/// empty queue — queued work is drained, not dropped.
+fn next_connection(shared: &Shared) -> Option<TcpStream> {
+    let mut queue = shared.queue.lock().unwrap();
+    loop {
+        if let Some(s) = queue.pop_front() {
+            return Some(s);
+        }
+        if shared.shutdown.load(Ordering::Acquire) {
+            return None;
+        }
+        let (guard, _) = shared
+            .queue_cv
+            .wait_timeout(queue, Duration::from_millis(100))
+            .unwrap();
+        queue = guard;
+    }
+}
+
+enum Frame {
+    Line(String),
+    Oversized,
+    Closed,
+}
+
+/// Incremental newline framing over a raw stream; never allocates past
+/// the configured cap.
+struct FrameReader {
+    buf: Vec<u8>,
+    max: usize,
+}
+
+impl FrameReader {
+    /// Wait for the next frame, polling in short slices so a blocked
+    /// worker notices a shutdown request within [`READ_POLL`] instead
+    /// of a full idle timeout. Returns [`Frame::Closed`] on EOF, reset,
+    /// idle expiry, or shutdown-while-idle.
+    fn next(
+        &mut self,
+        stream: &mut TcpStream,
+        shutdown: &AtomicBool,
+        idle_timeout: Duration,
+    ) -> Frame {
+        let mut last_data = std::time::Instant::now();
+        loop {
+            if let Some(nl) = self.buf.iter().position(|&b| b == b'\n') {
+                let rest = self.buf.split_off(nl + 1);
+                let mut line = std::mem::replace(&mut self.buf, rest);
+                line.pop(); // the newline
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return match String::from_utf8(line) {
+                    Ok(s) => Frame::Line(s),
+                    // Invalid UTF-8 is a malformed frame, not a crash.
+                    Err(e) => Frame::Line(String::from_utf8_lossy(e.as_bytes()).into_owned()),
+                };
+            }
+            if self.buf.len() > self.max {
+                return Frame::Oversized;
+            }
+            let mut chunk = [0u8; 4096];
+            match stream.read(&mut chunk) {
+                Ok(0) => return Frame::Closed, // EOF (truncated frame if buf non-empty)
+                Ok(n) => {
+                    self.buf.extend_from_slice(&chunk[..n]);
+                    last_data = std::time::Instant::now();
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    // One poll slice expired with no data: drop the
+                    // connection if the server is draining or the
+                    // client has been silent past the idle window.
+                    if shutdown.load(Ordering::Acquire) || last_data.elapsed() >= idle_timeout {
+                        return Frame::Closed;
+                    }
+                }
+                Err(_) => return Frame::Closed, // reset mid-frame
+            }
+        }
+    }
+}
+
+fn send_line(stream: &mut TcpStream, line: &str) -> bool {
+    let mut framed = Vec::with_capacity(line.len() + 1);
+    framed.extend_from_slice(line.as_bytes());
+    framed.push(b'\n');
+    // One write_all per reply: the frame is either fully queued to the
+    // kernel or the connection is abandoned — no partial frames from
+    // interleaved writers.
+    stream
+        .write_all(&framed)
+        .and_then(|_| stream.flush())
+        .is_ok()
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Shared) {
+    let peer = stream
+        .peer_addr()
+        .map_or("?".to_string(), |a| a.to_string());
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let _ = stream.set_nodelay(true);
+    let mut frames = FrameReader {
+        buf: Vec::new(),
+        max: shared.cfg.max_frame_bytes,
+    };
+    loop {
+        match frames.next(&mut stream, &shared.shutdown, shared.cfg.idle_timeout) {
+            Frame::Closed => {
+                // EOF, reset, or idle timeout — possibly mid-frame; the
+                // client is gone either way.
+                return;
+            }
+            Frame::Oversized => {
+                shared.log(&format!("{peer}: oversized frame"));
+                let line = err_reply(
+                    "oversized_frame",
+                    &format!("request exceeds {} bytes", shared.cfg.max_frame_bytes),
+                )
+                .render();
+                let _ = send_line(&mut stream, &line);
+                return; // cannot resync framing; close
+            }
+            Frame::Line(text) => {
+                if text.trim().is_empty() {
+                    continue; // blank keep-alive lines are tolerated
+                }
+                let (reply, close) = handle_frame(&text, shared, &peer);
+                if !send_line(&mut stream, &reply) {
+                    shared.log(&format!("{peer}: write failed (client disconnected)"));
+                    return;
+                }
+                if close || shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Decode and execute one frame. Returns `(reply line, close?)`.
+/// Catches panics: the request gets `internal_error`, the server lives.
+fn handle_frame(text: &str, shared: &Shared, peer: &str) -> (String, bool) {
+    let request = match Json::parse(text).and_then(|v| Request::from_json(&v)) {
+        Ok(r) => r,
+        Err(e) => {
+            shared.log(&format!("{peer}: bad request: {e}"));
+            return (err_reply("bad_request", &e).render(), false);
+        }
+    };
+    match request.op.as_str() {
+        "ping" => (ok_reply("ping").render(), false),
+        "shutdown" => {
+            shared.log(&format!("{peer}: shutdown requested"));
+            shared.shutdown.store(true, Ordering::Release);
+            shared.queue_cv.notify_all();
+            (ok_reply("shutdown").render(), true)
+        }
+        "panic" if !shared.cfg.danger_test_ops => (
+            err_reply("bad_request", "op \"panic\" requires --danger-test-ops").render(),
+            false,
+        ),
+        "count" | "enumerate" | "top_k" | "panic" => {
+            let reply = run_query(&request, shared, peer);
+            (reply, false)
+        }
+        other => (
+            err_reply("bad_request", &format!("unknown op {other:?}")).render(),
+            false,
+        ),
+    }
+}
+
+/// Execute a catalog-backed query with panic isolation. The session is
+/// taken out of the LRU (or cold-opened) before `catch_unwind`, so no
+/// lock is ever poisoned; on success it is returned to the cache, on
+/// panic it is dropped with the unwind.
+fn run_query(request: &Request, shared: &Shared, peer: &str) -> String {
+    let Some(catalog) = request.catalog.clone() else {
+        return err_reply("bad_request", "missing field \"catalog\"").render();
+    };
+    let cached = shared.cache.lock().unwrap().take(&catalog);
+    let was_cached = cached.is_some();
+    let session = match cached {
+        Some(s) => s,
+        None => match Query::open(&catalog) {
+            Ok(s) => s,
+            Err(e) => {
+                shared.log(&format!("{peer}: catalog {catalog:?}: {e}"));
+                return err_reply("catalog_error", &format!("{catalog}: {e}")).render();
+            }
+        },
+    };
+    let req = request.clone();
+    let shed = AssertUnwindSafe((session, req));
+    let outcome = catch_unwind(move || {
+        let AssertUnwindSafe((mut session, req)) = shed;
+        let reply = execute(&mut session, &req);
+        // Limits are per-request state; never leak them into the next
+        // request served from the cache.
+        session.set_deadline(None);
+        session.set_node_budget(None);
+        session.set_cancel_token(None);
+        (reply, session)
+    });
+    match outcome {
+        Ok((reply, session)) => {
+            shared.cache.lock().unwrap().put(catalog, session);
+            reply
+        }
+        Err(payload) => {
+            let what = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            shared.log(&format!(
+                "{peer}: request panicked ({what}); session discarded (was cached: {was_cached})"
+            ));
+            err_reply(
+                "internal_error",
+                "request worker panicked; session discarded",
+            )
+            .render()
+        }
+    }
+}
+
+/// The op body proper — everything here may run under a deadline.
+fn execute(session: &mut Prepared, req: &Request) -> String {
+    if req.op == "panic" {
+        panic!("deliberate test panic (danger op)");
+    }
+    session.set_deadline(req.timeout_ms.map(Duration::from_millis));
+    session.set_node_budget(req.node_budget);
+    let started = Instant::now();
+    match req.op.as_str() {
+        "count" => {
+            let mut sink = CountSink::new();
+            match session.stream(&mut sink) {
+                Ok(stats) => ok_reply("count")
+                    .field("count", Json::Num(sink.count as f64))
+                    .field("max_size", Json::Num(sink.max_size as f64))
+                    .field("search_nodes", Json::Num(stats.calls as f64))
+                    .field("elapsed_ms", Json::Num(ms(started)))
+                    .render(),
+                Err(e) => interrupted_reply(e),
+            }
+        }
+        "enumerate" => {
+            let mut sink = CollectSink::new();
+            let result = session.stream(&mut sink).copied();
+            let limit = req.limit.unwrap_or(u64::MAX) as usize;
+            let pairs = sink.into_pairs();
+            let truncated = pairs.len() > limit;
+            let shown = &pairs[..pairs.len().min(limit)];
+            let cliques = Json::Arr(
+                shown
+                    .iter()
+                    .map(|(c, _)| Json::Arr(c.iter().map(|&v| Json::Num(v as f64)).collect()))
+                    .collect(),
+            );
+            let probs = Json::Arr(shown.iter().map(|&(_, p)| Json::Num(p)).collect());
+            match result {
+                Ok(stats) => ok_reply("enumerate")
+                    .field("alpha", Json::Num(session.alpha()))
+                    .field("count", Json::Num(pairs.len() as f64))
+                    .field("truncated", Json::Bool(truncated))
+                    .field("cliques", cliques)
+                    .field("probs", probs)
+                    .field("search_nodes", Json::Num(stats.calls as f64))
+                    .field("elapsed_ms", Json::Num(ms(started)))
+                    .render(),
+                // The partial prefix is still included: the emitted
+                // rows are a byte-identical prefix of the full stream
+                // (the library's interruption guarantee).
+                Err(e) => match interrupt_code(&e) {
+                    Some(code) => err_reply(code, &e.to_string())
+                        .field("partial", Json::Bool(true))
+                        .field("alpha", Json::Num(session.alpha()))
+                        .field("count", Json::Num(pairs.len() as f64))
+                        .field("cliques", cliques)
+                        .field("probs", probs)
+                        .field("elapsed_ms", Json::Num(ms(started)))
+                        .render(),
+                    None => err_reply("query_error", &e.to_string()).render(),
+                },
+            }
+        }
+        "top_k" => {
+            let Some(k) = req.k else {
+                return err_reply("bad_request", "top_k requires field \"k\"").render();
+            };
+            match session.top_k(k as usize) {
+                Ok(top) => ok_reply("top_k")
+                    .field("alpha", Json::Num(session.alpha()))
+                    .field(
+                        "cliques",
+                        Json::Arr(
+                            top.iter()
+                                .map(|(c, _)| {
+                                    Json::Arr(c.iter().map(|&v| Json::Num(v as f64)).collect())
+                                })
+                                .collect(),
+                        ),
+                    )
+                    .field(
+                        "probs",
+                        Json::Arr(top.iter().map(|&(_, p)| Json::Num(p)).collect()),
+                    )
+                    .field("elapsed_ms", Json::Num(ms(started)))
+                    .render(),
+                Err(MuleError::ZeroTopK) => {
+                    err_reply("bad_request", "k must be at least 1").render()
+                }
+                Err(e) => interrupted_reply(e),
+            }
+        }
+        _ => unreachable!("handle_frame routed a non-query op"),
+    }
+}
+
+fn ms(started: Instant) -> f64 {
+    started.elapsed().as_secs_f64() * 1e3
+}
+
+fn interrupt_code(e: &MuleError) -> Option<&'static str> {
+    match e {
+        MuleError::DeadlineExceeded { .. } => Some("deadline_exceeded"),
+        MuleError::BudgetExhausted { .. } => Some("budget_exhausted"),
+        MuleError::Cancelled { .. } => Some("cancelled"),
+        _ => None,
+    }
+}
+
+fn interrupted_reply(e: MuleError) -> String {
+    match (interrupt_code(&e), e.interrupted_stats()) {
+        (Some(code), Some(stats)) => err_reply(code, &e.to_string())
+            .field("partial", Json::Bool(true))
+            .field("emitted", Json::Num(stats.emitted as f64))
+            .field("search_nodes", Json::Num(stats.calls as f64))
+            .render(),
+        _ => err_reply("query_error", &e.to_string()).render(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_cache_takes_and_evicts_lru() {
+        // Build two tiny sessions via the in-memory catalog path.
+        let g =
+            ugraph_core::builder::from_edges(3, &[(0, 1, 0.9), (1, 2, 0.9), (0, 2, 0.9)]).unwrap();
+        let make = || {
+            let s = Query::new(&g).alpha(0.5).prepare().unwrap();
+            let bytes = s.to_catalog_bytes();
+            Query::open_bytes(bytes).unwrap()
+        };
+        let mut cache = SessionCache {
+            cap: 2,
+            entries: Vec::new(),
+        };
+        cache.put("a".into(), make());
+        cache.put("b".into(), make());
+        cache.put("c".into(), make()); // evicts "a" (LRU)
+        assert!(cache.take("a").is_none());
+        let b = cache.take("b").unwrap();
+        cache.put("b".into(), b);
+        cache.put("d".into(), make()); // evicts "c" — "b" was refreshed
+        assert!(cache.take("c").is_none());
+        assert!(cache.take("b").is_some());
+    }
+}

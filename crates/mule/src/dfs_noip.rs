@@ -217,7 +217,9 @@ pub fn enumerate_maximal_cliques_noip_prepared(
         .engine(crate::Engine::Noip)
         .prepare()
         .map_err(crate::MuleError::expect_graph)?;
-    Ok(session.sorted_cliques())
+    Ok(session
+        .sorted_cliques()
+        .expect("unlimited run cannot be interrupted"))
 }
 
 #[cfg(test)]

@@ -257,6 +257,7 @@ impl Mule {
                 0..0,
                 &mut arenas.even,
                 &mut arenas.odd,
+                &mut crate::limits::RunLimits::none(),
                 sink,
             );
         } else {
@@ -276,6 +277,7 @@ impl Mule {
                     x0,
                     &mut arenas.even,
                     &mut arenas.odd,
+                    &mut crate::limits::RunLimits::none(),
                     sink,
                 );
                 c.pop();
@@ -323,7 +325,9 @@ pub fn enumerate_maximal_cliques(
         .alpha(alpha)
         .prepare()
         .map_err(crate::MuleError::expect_graph)?;
-    Ok(session.sorted_cliques())
+    Ok(session
+        .sorted_cliques()
+        .expect("unlimited run cannot be interrupted"))
 }
 
 /// Legacy wrapper: count α-maximal cliques without storing them. Thin
@@ -333,7 +337,9 @@ pub fn count_maximal_cliques(g: &UncertainGraph, alpha: f64) -> Result<u64, Grap
         .alpha(alpha)
         .prepare()
         .map_err(crate::MuleError::expect_graph)?;
-    Ok(session.count())
+    Ok(session
+        .count()
+        .expect("unlimited run cannot be interrupted"))
 }
 
 #[cfg(test)]

@@ -38,6 +38,7 @@
 //! in-flight pushes might reallocate.
 
 use crate::enumerate::{Candidate, IndexMode, MuleConfig};
+use crate::limits::RunLimits;
 use crate::sinks::{CliqueSink, Control};
 use crate::stats::EnumerationStats;
 use std::ops::Range;
@@ -518,10 +519,17 @@ pub(crate) fn enumerate_subtree<S: CliqueSink>(
     x_span: Range<usize>,
     cur: &mut CandidateArena,
     next: &mut CandidateArena,
+    limits: &mut RunLimits,
     sink: &mut S,
 ) -> Control {
     stats.calls += 1;
     stats.max_depth = stats.max_depth.max(c.len());
+    // Amortized limit probe (deadline / budget / cancel token), checked
+    // *before* any emission at this node so an interrupted stream is a
+    // clean prefix of the uninterrupted one.
+    if limits.probe(stats.calls) {
+        return Control::Stop;
+    }
     if i_span.is_empty() && x_span.is_empty() {
         stats.emitted += 1;
         return sink.emit(c, q);
@@ -543,6 +551,9 @@ pub(crate) fn enumerate_subtree<S: CliqueSink>(
             // recursion would have recorded, minus the skipped scans).
             stats.calls += 1;
             stats.max_depth = stats.max_depth.max(c.len() + 1);
+            if limits.probe(stats.calls) {
+                return Control::Stop;
+            }
             let extendable = kernel.any_candidate_survives(
                 u,
                 q2,
@@ -575,6 +586,7 @@ pub(crate) fn enumerate_subtree<S: CliqueSink>(
             x2_start..x2_end,
             next,
             cur,
+            limits,
             sink,
         );
         c.pop();
@@ -609,10 +621,15 @@ pub(crate) fn enumerate_subtree_bounded<S: CliqueSink>(
     cur: &mut CandidateArena,
     next: &mut CandidateArena,
     t: usize,
+    limits: &mut RunLimits,
     sink: &mut S,
 ) -> Control {
     stats.calls += 1;
     stats.max_depth = stats.max_depth.max(c.len());
+    // Same pre-emission limit probe as `enumerate_subtree`.
+    if limits.probe(stats.calls) {
+        return Control::Stop;
+    }
     if i_span.is_empty() && x_span.is_empty() {
         debug_assert!(c.len() >= t || c.is_empty());
         if c.len() >= t {
@@ -641,6 +658,9 @@ pub(crate) fn enumerate_subtree_bounded<S: CliqueSink>(
             debug_assert!(c.len() + 1 >= t);
             stats.calls += 1;
             stats.max_depth = stats.max_depth.max(c.len() + 1);
+            if limits.probe(stats.calls) {
+                return Control::Stop;
+            }
             let extendable = kernel.any_candidate_survives(
                 u,
                 q2,
@@ -672,6 +692,7 @@ pub(crate) fn enumerate_subtree_bounded<S: CliqueSink>(
             next,
             cur,
             t,
+            limits,
             sink,
         );
         c.pop();

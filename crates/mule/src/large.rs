@@ -146,6 +146,7 @@ impl LargeMule {
                 &mut arenas.even,
                 &mut arenas.odd,
                 self.t,
+                &mut crate::limits::RunLimits::none(),
                 sink,
             );
             c.pop();
@@ -181,7 +182,9 @@ pub fn enumerate_large_maximal_cliques(
         .min_size(t)
         .prepare()
         .map_err(crate::MuleError::expect_graph)?;
-    Ok(session.sorted_cliques())
+    Ok(session
+        .sorted_cliques()
+        .expect("unlimited run cannot be interrupted"))
 }
 
 #[cfg(test)]

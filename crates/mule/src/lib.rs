@@ -28,7 +28,13 @@
 //! and the pull-based [`Prepared::iter`]. No pipeline stage ever
 //! re-runs within a session, and reruns are allocation-free in steady
 //! state — the repeated-query shape a serving system needs. Errors
-//! surface through the unified [`MuleError`].
+//! surface through the unified [`MuleError`]. Executions are bounded on
+//! demand: [`Query::deadline`] / [`Query::node_budget`] / an external
+//! [`CancelToken`] interrupt a run cooperatively with typed errors,
+//! partial stats and a byte-identical output prefix (see
+//! [`mod@limits`]) — the robustness layer the `mule serve` front end
+//! builds on, with its enumeration workers on dedicated 128 MiB stacks
+//! ([`mod@thread_util`]).
 //!
 //! Sessions also persist: [`Prepared::save`] writes the prepared
 //! instance as a checksummed UGQ1 catalog file and [`Query::open`]
@@ -67,9 +73,9 @@
 //!
 //! // Preprocess once; query the session as often as you like.
 //! let mut session = Query::new(&g).alpha(0.5).prepare()?;
-//! let cliques: Vec<_> = session.collect().into_iter().map(|(c, _)| c).collect();
+//! let cliques: Vec<_> = session.collect()?.into_iter().map(|(c, _)| c).collect();
 //! assert_eq!(cliques, vec![vec![0, 1, 2], vec![2, 3]]);
-//! assert_eq!(session.count(), 2);
+//! assert_eq!(session.count()?, 2);
 //! # Ok(())
 //! # }
 //! ```
@@ -85,6 +91,7 @@ pub mod enumerate;
 pub mod kcore;
 mod kernel;
 pub mod large;
+pub mod limits;
 pub mod naive;
 pub mod parallel;
 pub mod prepare;
@@ -92,6 +99,7 @@ pub mod pruning;
 pub mod query;
 pub mod sinks;
 pub mod stats;
+pub mod thread_util;
 pub mod topk;
 pub mod verify;
 pub mod worlds;
@@ -102,6 +110,7 @@ pub use enumerate::{
     count_maximal_cliques, enumerate_maximal_cliques, Candidate, IndexMode, Mule, MuleConfig,
 };
 pub use large::{enumerate_large_maximal_cliques, LargeMule};
+pub use limits::CancelToken;
 pub use parallel::{par_enumerate_maximal_cliques, par_enumerate_prepared};
 pub use prepare::{prepare, PrepareConfig, PrepareReport, PreparedInstance};
 pub use query::{Cliques, Engine, MuleError, Prepared, Query};

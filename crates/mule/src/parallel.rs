@@ -55,11 +55,14 @@
 //! same counters wherever it runs), so they equal the sequential run's.
 
 use crate::kernel::{enumerate_subtree, enumerate_subtree_bounded, DepthArenas};
+use crate::limits::{Interrupt, LimitSpec, RunLimits};
 use crate::prepare::PreparedInstance;
 use crate::sinks::{CollectSink, Control, RemapSink};
 use crate::stats::EnumerationStats;
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::sync::atomic::AtomicU64;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 use ugraph_core::{GraphError, UncertainGraph, VertexId};
 
 /// One root's collected output: `(root, pairs)` with pairs in emission
@@ -109,35 +112,63 @@ pub fn par_enumerate_maximal_cliques(
 /// is identical to [`PreparedInstance::run`] — and, on default prepare
 /// settings, byte-identical to sequential [`crate::Mule`].
 pub fn par_enumerate_prepared(inst: &PreparedInstance, threads: usize) -> ParallelOutput {
+    let (out, interrupt) = par_enumerate_prepared_limited(inst, threads, &LimitSpec::default());
+    debug_assert!(interrupt.is_none(), "no limits were configured");
+    out
+}
+
+/// [`par_enumerate_prepared`] under live limits. Every worker arms its
+/// own [`RunLimits`] from the same spec, sharing one deadline instant
+/// and one atomic node counter — so the budget bounds the run's *total*
+/// search nodes and all workers observe the same clock and the same
+/// [`crate::CancelToken`]. A tripped worker clears its own deque (so no
+/// peer steals the work it is abandoning) and retires; peers observe
+/// the same condition at their next probe, within one amortization
+/// window. Returns the merged (partial, on interruption) output and
+/// stats plus the most severe interrupt any worker hit.
+pub(crate) fn par_enumerate_prepared_limited(
+    inst: &PreparedInstance,
+    threads: usize,
+    spec: &LimitSpec,
+) -> (ParallelOutput, Option<Interrupt>) {
     let threads = if threads == 0 {
         std::thread::available_parallelism().map_or(1, |p| p.get())
     } else {
         threads
     };
     let n = inst.original_vertices();
+    // One clock and one node counter for the whole run.
+    let deadline = spec.deadline.map(|d| Instant::now() + d);
+    let shared_calls = Arc::new(AtomicU64::new(0));
 
     // Degenerate case the worker loop cannot express. The empty clique
     // has zero vertices, so it never meets a size threshold.
     if n == 0 {
         if inst.min_size() >= 2 {
-            return ParallelOutput {
-                cliques: vec![],
-                probs: vec![],
+            return (
+                ParallelOutput {
+                    cliques: vec![],
+                    probs: vec![],
+                    stats: EnumerationStats {
+                        calls: 1,
+                        ..Default::default()
+                    },
+                },
+                None,
+            );
+        }
+        return (
+            ParallelOutput {
+                cliques: vec![vec![]],
+                probs: vec![1.0],
                 stats: EnumerationStats {
                     calls: 1,
+                    emitted: 1,
                     ..Default::default()
                 },
-            };
-        }
-        return ParallelOutput {
-            cliques: vec![vec![]],
-            probs: vec![1.0],
-            stats: EnumerationStats {
-                calls: 1,
-                emitted: 1,
-                ..Default::default()
             },
-        };
+            None,
+        );
     }
 
     // Seed: every component's roots, largest-degree-first (stable sort,
@@ -160,11 +191,13 @@ pub fn par_enumerate_prepared(inst: &PreparedInstance, threads: usize) -> Parall
         queues[k % threads].lock().unwrap().push_back(task);
     }
 
-    let mut worker_outputs: Vec<(Vec<RootOutput>, EnumerationStats)> = Vec::new();
+    let mut worker_outputs: Vec<(Vec<RootOutput>, EnumerationStats, Option<Interrupt>)> =
+        Vec::new();
     crossbeam::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for id in 0..threads {
             let queues = &queues;
+            let limits = spec.arm_shared(deadline, Arc::clone(&shared_calls));
             handles.push(scope.spawn(move |_| {
                 let mut worker = Worker {
                     inst,
@@ -172,11 +205,24 @@ pub fn par_enumerate_prepared(inst: &PreparedInstance, threads: usize) -> Parall
                     arenas: DepthArenas::new(),
                     clique_buf: Vec::new(),
                     outputs: Vec::new(),
+                    limits,
                 };
-                while let Some((ci, local)) = next_task(queues, id) {
-                    worker.run_root(ci, local);
+                loop {
+                    // Immediate probe between roots: a zero deadline or
+                    // a pre-tripped token retires the worker before it
+                    // starts (or continues) any subtree.
+                    if worker.limits.probe_now(worker.stats.calls) {
+                        // Drain the deque so no peer steals work this
+                        // run has already abandoned.
+                        queues[id].lock().unwrap().clear();
+                        break;
+                    }
+                    match next_task(queues, id) {
+                        Some((ci, local)) => worker.run_root(ci, local),
+                        None => break,
+                    }
                 }
-                (worker.outputs, worker.stats)
+                (worker.outputs, worker.stats, worker.limits.tripped())
             }));
         }
         for h in handles {
@@ -199,8 +245,21 @@ pub fn par_enumerate_prepared(inst: &PreparedInstance, threads: usize) -> Parall
         stats.emitted += 1;
         stats.max_depth = stats.max_depth.max(1);
     }
-    for (outputs, s) in worker_outputs {
+    // The most severe interrupt across workers (external cancellation
+    // outranks the deadline, which outranks the budget — matching the
+    // single-probe ordering in `limits`).
+    let mut interrupt = None;
+    for (outputs, s, tripped) in worker_outputs {
         stats.merge(&s);
+        interrupt = match (interrupt, tripped) {
+            (Some(Interrupt::Cancelled), _) | (_, Some(Interrupt::Cancelled)) => {
+                Some(Interrupt::Cancelled)
+            }
+            (Some(Interrupt::Deadline), _) | (_, Some(Interrupt::Deadline)) => {
+                Some(Interrupt::Deadline)
+            }
+            (a, b) => a.or(b),
+        };
         for (u, pairs) in outputs {
             debug_assert!(slots[u as usize].is_empty(), "root {u} ran twice");
             slots[u as usize] = pairs;
@@ -215,11 +274,14 @@ pub fn par_enumerate_prepared(inst: &PreparedInstance, threads: usize) -> Parall
             probs.push(p);
         }
     }
-    ParallelOutput {
-        cliques,
-        probs,
-        stats,
-    }
+    (
+        ParallelOutput {
+            cliques,
+            probs,
+            stats,
+        },
+        interrupt,
+    )
 }
 
 /// Pop the next task for worker `id`: own deque front first, then steal
@@ -259,6 +321,9 @@ struct Worker<'k> {
     clique_buf: Vec<VertexId>,
     /// One [`RootOutput`] for every root this worker explored.
     outputs: Vec<RootOutput>,
+    /// This worker's armed limit state (deadline instant / node counter
+    /// shared across the run's workers).
+    limits: RunLimits,
 }
 
 impl Worker<'_> {
@@ -295,6 +360,7 @@ impl Worker<'_> {
                     &mut arenas.even,
                     &mut arenas.odd,
                     t,
+                    &mut self.limits,
                     &mut remap,
                 )
             } else {
@@ -307,10 +373,16 @@ impl Worker<'_> {
                     x0,
                     &mut arenas.even,
                     &mut arenas.odd,
+                    &mut self.limits,
                     &mut remap,
                 )
             };
-            debug_assert_eq!(ctl, Control::Continue, "CollectSink never stops");
+            // CollectSink never stops on its own; the only Stop the
+            // recursion can return here is a tripped limit.
+            debug_assert!(
+                ctl == Control::Continue || self.limits.tripped().is_some(),
+                "CollectSink never stops"
+            );
             c.pop();
         }
         self.arenas = arenas;

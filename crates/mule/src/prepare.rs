@@ -64,6 +64,7 @@
 use crate::enumerate::MuleConfig;
 use crate::kcore::CoreDecomposition;
 use crate::kernel::{enumerate_subtree, enumerate_subtree_bounded, DepthArenas, Kernel};
+use crate::limits::{Interrupt, RunLimits};
 use crate::pruning::shared_neighborhood_peel;
 use crate::sinks::{CliqueSink, Control};
 use crate::stats::EnumerationStats;
@@ -530,8 +531,29 @@ impl PreparedInstance {
     /// On default settings the emitted stream is byte-identical to
     /// [`crate::Mule::run`] on the original graph (see module docs).
     pub fn run<S: CliqueSink>(&mut self, sink: &mut S) -> &EnumerationStats {
+        self.run_limited(sink, &mut RunLimits::none());
+        &self.stats
+    }
+
+    /// [`Self::run`] under live [`RunLimits`]: probes once up front
+    /// (so a zero deadline or pre-tripped token interrupts before the
+    /// first emission even on tiny inputs), at every schedule-unit
+    /// boundary, and — through the kernel — every ~1024 search nodes
+    /// inside a unit. Returns why the run was interrupted, or `None`
+    /// for a clean finish (including a sink-requested
+    /// [`Control::Stop`]). Counters for the partial run are in
+    /// [`Self::stats`], and everything emitted before an interrupt is
+    /// a byte-identical prefix of the uninterrupted stream.
+    pub(crate) fn run_limited<S: CliqueSink>(
+        &mut self,
+        sink: &mut S,
+        limits: &mut RunLimits,
+    ) -> Option<Interrupt> {
         self.stats = EnumerationStats::new();
         self.stats.calls += 1; // the conceptual root node
+        if limits.probe_now(self.stats.calls) {
+            return limits.tripped();
+        }
         if self.original_n == 0 {
             // The empty clique is maximal in the empty graph — but it
             // has zero vertices, so it never meets a size threshold
@@ -540,7 +562,7 @@ impl PreparedInstance {
                 self.stats.emitted += 1;
                 sink.emit(&[], 1.0);
             }
-            return &self.stats;
+            return None;
         }
         let mut arenas = std::mem::take(&mut self.arenas);
         let mut c = std::mem::take(&mut self.clique_buf);
@@ -548,6 +570,9 @@ impl PreparedInstance {
         arenas.clear();
         c.clear();
         for &unit in &self.schedule {
+            if limits.probe_now(self.stats.calls) {
+                break;
+            }
             let ctl = step(
                 &self.components,
                 self.min_size,
@@ -556,6 +581,7 @@ impl PreparedInstance {
                 &mut arenas,
                 &mut c,
                 &mut scratch,
+                limits,
                 sink,
             );
             if ctl == Control::Stop {
@@ -565,7 +591,7 @@ impl PreparedInstance {
         self.arenas = arenas;
         self.clique_buf = c;
         self.remap_scratch = scratch;
-        &self.stats
+        limits.tripped()
     }
 
     /// Begin an incremental (unit-at-a-time) run: reset the counters and
@@ -599,6 +625,8 @@ impl PreparedInstance {
         let mut arenas = std::mem::take(&mut self.arenas);
         let mut c = std::mem::take(&mut self.clique_buf);
         let mut scratch = std::mem::take(&mut self.remap_scratch);
+        // The pull-based path is caller-paced (the consumer can simply
+        // stop pulling), so it runs without limits.
         let ctl = step(
             &self.components,
             self.min_size,
@@ -607,6 +635,7 @@ impl PreparedInstance {
             &mut arenas,
             &mut c,
             &mut scratch,
+            &mut RunLimits::none(),
             sink,
         );
         self.arenas = arenas;
@@ -630,6 +659,7 @@ fn step<S: CliqueSink>(
     arenas: &mut DepthArenas,
     c: &mut Vec<VertexId>,
     scratch: &mut Vec<VertexId>,
+    limits: &mut RunLimits,
     sink: &mut S,
 ) -> Control {
     match unit {
@@ -668,6 +698,7 @@ fn step<S: CliqueSink>(
                     &mut arenas.even,
                     &mut arenas.odd,
                     min_size,
+                    limits,
                     &mut remap,
                 )
             } else {
@@ -680,6 +711,7 @@ fn step<S: CliqueSink>(
                     x0,
                     &mut arenas.even,
                     &mut arenas.odd,
+                    limits,
                     &mut remap,
                 )
             };
@@ -723,7 +755,9 @@ pub fn enumerate_prepared(
         .min_size(min_size)
         .prepare()
         .map_err(crate::MuleError::expect_graph)?;
-    let mut pairs = session.collect();
+    let mut pairs = session
+        .collect()
+        .expect("unlimited run cannot be interrupted");
     pairs.sort_by(|a, b| a.0.cmp(&b.0));
     Ok(pairs)
 }

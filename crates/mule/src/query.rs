@@ -39,11 +39,70 @@
 //! let mut session = Query::new(&g).alpha(0.5).prepare()?;
 //!
 //! // … answer many queries from the same prepared instance.
-//! assert_eq!(session.count(), 2);
-//! let cliques: Vec<_> = session.collect().into_iter().map(|(c, _)| c).collect();
+//! assert_eq!(session.count()?, 2);
+//! let cliques: Vec<_> = session.collect()?.into_iter().map(|(c, _)| c).collect();
 //! assert_eq!(cliques, vec![vec![0, 1, 2], vec![2, 3]]);
 //! let top = session.top_k(1)?;
 //! assert_eq!(top[0].0, vec![0, 1, 2]); // 0.9³ = 0.729 beats 0.6
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! # Cancellation, deadlines and budgets
+//!
+//! Enumeration is output-exponential, so a serving system needs every
+//! run to be *bounded*. Three builder knobs — [`Query::deadline`]
+//! (wall-clock), [`Query::node_budget`] (search nodes, totaled across
+//! parallel workers) and [`Query::cancel_token`] (an external
+//! [`CancelToken`] kill switch) — make every execution method
+//! interruptible, and [`Prepared::set_deadline`] /
+//! [`Prepared::set_node_budget`] / [`Prepared::set_cancel_token`]
+//! retune them per request on a live session.
+//!
+//! What is guaranteed on interruption:
+//!
+//! * the execution method returns the matching typed error —
+//!   [`MuleError::DeadlineExceeded`], [`MuleError::BudgetExhausted`] or
+//!   [`MuleError::Cancelled`] — carrying the partial
+//!   [`EnumerationStats`]; it never panics and never returns silently
+//!   truncated data as if complete;
+//! * everything a [`Prepared::stream`] sink received before the error
+//!   is a **byte-identical prefix** of the uninterrupted stream — same
+//!   cliques, same probability bits, same order, nothing reordered or
+//!   duplicated ([`Prepared::collect`] instead discards the partial
+//!   set, since its parallel merge has no single stream order until
+//!   complete);
+//! * enforcement is amortized (a probe every ~1024 search nodes plus
+//!   one per schedule unit), so an interrupt lands within one probe
+//!   window and an *unlimited* run pays one predictable branch per
+//!   node — the zero-allocation pin and the byte-identity suites hold
+//!   with the checks compiled in;
+//! * the session survives: after an interrupted run (including a
+//!   cancelled one, once the token is [`CancelToken::reset`]) the same
+//!   session answers subsequent queries normally.
+//!
+//! See [`mod@crate::limits`] for the enforcement machinery and
+//! `tests/fault_injection.rs` for the pins.
+//!
+//! ```
+//! use std::time::Duration;
+//! use mule::{MuleError, Query};
+//! use ugraph_core::builder::from_edges;
+//!
+//! # fn main() -> Result<(), MuleError> {
+//! let g = from_edges(3, &[(0, 1, 0.9), (1, 2, 0.9), (0, 2, 0.9)])?;
+//! // A zero deadline interrupts before the first emission.
+//! let mut session = Query::new(&g)
+//!     .alpha(0.5)
+//!     .deadline(Duration::ZERO)
+//!     .prepare()?;
+//! match session.collect() {
+//!     Err(MuleError::DeadlineExceeded { stats }) => assert_eq!(stats.emitted, 0),
+//!     other => panic!("expected a deadline error, got {other:?}"),
+//! }
+//! // Lifting the deadline makes the same session fully usable.
+//! session.set_deadline(None);
+//! assert_eq!(session.count()?, 1);
 //! # Ok(())
 //! # }
 //! ```
@@ -70,13 +129,14 @@
 //! let bytes = session.to_catalog_bytes(); // or session.save(path)
 //!
 //! let mut reopened = Query::open_bytes(bytes)?; // or Query::open(path)
-//! assert_eq!(reopened.collect(), session.collect());
+//! assert_eq!(reopened.collect()?, session.collect()?);
 //! # Ok(())
 //! # }
 //! ```
 
 use crate::dfs_noip::DfsNoip;
 use crate::enumerate::{IndexMode, MuleConfig};
+use crate::limits::{CancelToken, Interrupt, LimitSpec, RunLimits};
 use crate::prepare::{prepare, PrepareConfig, PrepareReport, PreparedInstance};
 use crate::sinks::{CliqueSink, CollectSink, Control, CountSink, RemapSink, TopKSink};
 use crate::stats::EnumerationStats;
@@ -84,6 +144,7 @@ use crate::topk::RankedCliques;
 use std::collections::VecDeque;
 use std::fmt;
 use std::path::Path;
+use std::time::Duration;
 use ugraph_core::{GraphError, ProbError, UncertainGraph, VertexId};
 use ugraph_io::catalog::CatalogError;
 
@@ -112,6 +173,28 @@ pub enum MuleError {
     /// failures while reading or writing a catalog surface as
     /// [`MuleError::Io`].
     Catalog(CatalogError),
+    /// The execution's wall-clock deadline ([`Query::deadline`]) passed
+    /// before the run finished. Carries the counters of the partial
+    /// run; everything emitted before the interrupt is a byte-identical
+    /// prefix of the uninterrupted stream (see [`mod@crate::limits`]).
+    DeadlineExceeded {
+        /// Counters of the interrupted (partial) run.
+        stats: EnumerationStats,
+    },
+    /// The execution's search-node budget ([`Query::node_budget`]) was
+    /// consumed. Same partial-stats / prefix semantics as
+    /// [`MuleError::DeadlineExceeded`].
+    BudgetExhausted {
+        /// Counters of the interrupted (partial) run.
+        stats: EnumerationStats,
+    },
+    /// The session's [`CancelToken`] was tripped from outside. Same
+    /// partial-stats / prefix semantics as
+    /// [`MuleError::DeadlineExceeded`].
+    Cancelled {
+        /// Counters of the interrupted (partial) run.
+        stats: EnumerationStats,
+    },
 }
 
 impl fmt::Display for MuleError {
@@ -128,6 +211,21 @@ impl fmt::Display for MuleError {
             MuleError::ZeroTopK => write!(f, "top-k query with k = 0 asks for nothing"),
             MuleError::Io(e) => write!(f, "I/O error: {e}"),
             MuleError::Catalog(e) => write!(f, "{e}"),
+            MuleError::DeadlineExceeded { stats } => write!(
+                f,
+                "deadline exceeded after {} search nodes ({} cliques emitted)",
+                stats.calls, stats.emitted
+            ),
+            MuleError::BudgetExhausted { stats } => write!(
+                f,
+                "node budget exhausted after {} search nodes ({} cliques emitted)",
+                stats.calls, stats.emitted
+            ),
+            MuleError::Cancelled { stats } => write!(
+                f,
+                "cancelled after {} search nodes ({} cliques emitted)",
+                stats.calls, stats.emitted
+            ),
         }
     }
 }
@@ -182,6 +280,30 @@ impl MuleError {
             other => unreachable!("legacy delegate produced a non-graph error: {other}"),
         }
     }
+
+    /// The typed error for an interrupted run, carrying its partial
+    /// counters.
+    pub(crate) fn from_interrupt(interrupt: Interrupt, stats: EnumerationStats) -> Self {
+        match interrupt {
+            Interrupt::Deadline => MuleError::DeadlineExceeded { stats },
+            Interrupt::Budget => MuleError::BudgetExhausted { stats },
+            Interrupt::Cancelled => MuleError::Cancelled { stats },
+        }
+    }
+
+    /// The partial-run counters, when this error is one of the three
+    /// interruption variants ([`MuleError::DeadlineExceeded`] /
+    /// [`MuleError::BudgetExhausted`] / [`MuleError::Cancelled`]);
+    /// `None` for every other error. A convenient way for front ends to
+    /// report partial progress without matching all three variants.
+    pub fn interrupted_stats(&self) -> Option<&EnumerationStats> {
+        match self {
+            MuleError::DeadlineExceeded { stats }
+            | MuleError::BudgetExhausted { stats }
+            | MuleError::Cancelled { stats } => Some(stats),
+            _ => None,
+        }
+    }
 }
 
 /// Which search engine a [`Prepared`] session runs.
@@ -217,6 +339,7 @@ pub struct Query<'g> {
     shared_neighborhood: bool,
     shard_components: bool,
     mule: MuleConfig,
+    limits: LimitSpec,
 }
 
 impl<'g> Query<'g> {
@@ -234,6 +357,7 @@ impl<'g> Query<'g> {
             shared_neighborhood: true,
             shard_components: true,
             mule: MuleConfig::default(),
+            limits: LimitSpec::default(),
         }
     }
 
@@ -325,6 +449,38 @@ impl<'g> Query<'g> {
         self
     }
 
+    /// Bound every execution method's wall-clock time: a run still
+    /// going `d` after it started is interrupted at its next limit
+    /// probe (within ~1024 search nodes) and returns
+    /// [`MuleError::DeadlineExceeded`] with partial stats. Everything
+    /// the sink received up to that point is a byte-identical prefix of
+    /// the uninterrupted stream — see [`mod@crate::limits`] for the
+    /// full semantics. The deadline re-arms per execution method; it is
+    /// a per-run bound, not a session lifetime.
+    pub fn deadline(mut self, d: Duration) -> Self {
+        self.limits.deadline = Some(d);
+        self
+    }
+
+    /// Bound every execution method's work: a run that has expanded
+    /// more than `n` search nodes ([`EnumerationStats::calls`], totaled
+    /// across parallel workers) is interrupted and returns
+    /// [`MuleError::BudgetExhausted`]. Enforcement is amortized — the
+    /// overshoot is at most one probe window (~1024 nodes) per worker.
+    pub fn node_budget(mut self, n: u64) -> Self {
+        self.limits.node_budget = Some(n);
+        self
+    }
+
+    /// Attach an external kill switch: keep a clone of `token` and call
+    /// [`CancelToken::cancel`] from any thread to make in-flight (and
+    /// subsequent, until [`CancelToken::reset`]) executions return
+    /// [`MuleError::Cancelled`].
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.limits.cancel = Some(token);
+        self
+    }
+
     /// Validate the builder state and run the preprocessing pipeline —
     /// the session's one-time cost. Errors are reported here, eagerly,
     /// before any query executes: a missing or out-of-range α, a zero
@@ -359,6 +515,7 @@ impl<'g> Query<'g> {
             engine: self.engine,
             threads: self.threads,
             stats: EnumerationStats::new(),
+            limits: self.limits,
         })
     }
 
@@ -404,6 +561,9 @@ pub struct Prepared {
     engine: Engine,
     threads: usize,
     stats: EnumerationStats,
+    /// Per-execution limits (deadline / node budget / cancel token);
+    /// inactive by default.
+    limits: LimitSpec,
 }
 
 impl Prepared {
@@ -416,6 +576,7 @@ impl Prepared {
             engine: Engine::Auto,
             threads: 1,
             stats: EnumerationStats::new(),
+            limits: LimitSpec::default(),
         }
     }
 
@@ -463,6 +624,25 @@ impl Prepared {
         self.engine = engine;
     }
 
+    /// Retune the per-execution wall-clock deadline on a live session
+    /// (`None` removes it) — the server front end sets this per
+    /// request. Semantics as [`Query::deadline`].
+    pub fn set_deadline(&mut self, d: Option<Duration>) {
+        self.limits.deadline = d;
+    }
+
+    /// Retune the per-execution search-node budget on a live session
+    /// (`None` removes it). Semantics as [`Query::node_budget`].
+    pub fn set_node_budget(&mut self, n: Option<u64>) {
+        self.limits.node_budget = n;
+    }
+
+    /// Attach (or, with `None`, detach) an external [`CancelToken`] on
+    /// a live session. Semantics as [`Query::cancel_token`].
+    pub fn set_cancel_token(&mut self, token: Option<CancelToken>) {
+        self.limits.cancel = token;
+    }
+
     /// The α threshold the session was prepared for.
     pub fn alpha(&self) -> f64 {
         self.inst.alpha()
@@ -504,17 +684,31 @@ impl Prepared {
     /// original ids, exact probability — into `sink`, sequentially.
     /// This is the zero-copy primitive the other execution methods are
     /// built on; the sink can stop the run early via [`Control::Stop`].
-    pub fn stream<S: CliqueSink>(&mut self, sink: &mut S) -> &EnumerationStats {
-        match self.engine {
+    ///
+    /// With limits configured ([`Query::deadline`] /
+    /// [`Query::node_budget`] / [`Query::cancel_token`]) an interrupted
+    /// run returns the matching typed error with partial counters;
+    /// everything `sink` received before the error is a byte-identical
+    /// prefix of the uninterrupted stream. With no limits (the default)
+    /// this never errors.
+    pub fn stream<S: CliqueSink>(&mut self, sink: &mut S) -> Result<&EnumerationStats, MuleError> {
+        let interrupt = match self.engine {
             Engine::Auto => {
-                self.inst.run(sink);
+                let mut limits = self.limits.arm();
+                let interrupt = self.inst.run_limited(sink, &mut limits);
                 self.stats = *self.inst.stats();
+                interrupt
             }
             Engine::Noip => {
-                self.stats = self.run_noip(sink);
+                let mut limits = self.limits.arm();
+                self.stats = run_noip(&self.inst, &mut self.noip, sink, &mut limits);
+                limits.tripped()
             }
+        };
+        match interrupt {
+            Some(i) => Err(MuleError::from_interrupt(i, self.stats)),
+            None => Ok(&self.stats),
         }
-        &self.stats
     }
 
     /// Collect all qualifying cliques as `(clique, probability)` pairs
@@ -522,15 +716,27 @@ impl Prepared {
     /// thread count: with [`Query::threads`] > 1 (and [`Engine::Auto`])
     /// the work-stealing scheduler fans root subtrees out per component
     /// and merges back the byte-identical stream.
-    pub fn collect(&mut self) -> Vec<(Vec<VertexId>, f64)> {
+    ///
+    /// An interrupted run (deadline / budget / cancellation) returns
+    /// the typed error with partial counters and discards the partial
+    /// result set; stream into your own sink via [`Prepared::stream`]
+    /// to keep the prefix that was produced.
+    pub fn collect(&mut self) -> Result<Vec<(Vec<VertexId>, f64)>, MuleError> {
         if self.threads > 1 && self.engine == Engine::Auto {
-            let out = crate::parallel::par_enumerate_prepared(&self.inst, self.threads);
+            let (out, interrupt) = crate::parallel::par_enumerate_prepared_limited(
+                &self.inst,
+                self.threads,
+                &self.limits,
+            );
             self.stats = out.stats;
-            out.cliques.into_iter().zip(out.probs).collect()
+            match interrupt {
+                Some(i) => Err(MuleError::from_interrupt(i, self.stats)),
+                None => Ok(out.cliques.into_iter().zip(out.probs).collect()),
+            }
         } else {
             let mut sink = CollectSink::new();
-            self.stream(&mut sink);
-            sink.into_pairs()
+            self.stream(&mut sink)?;
+            Ok(sink.into_pairs())
         }
     }
 
@@ -538,38 +744,42 @@ impl Prepared {
     /// vertex sets, sorted lexicographically — the shape the legacy
     /// wrappers return, kept in one place so the delegates cannot
     /// drift.
-    pub fn sorted_cliques(&mut self) -> Vec<Vec<VertexId>> {
-        let mut cliques: Vec<Vec<VertexId>> = self.collect().into_iter().map(|(c, _)| c).collect();
+    pub fn sorted_cliques(&mut self) -> Result<Vec<Vec<VertexId>>, MuleError> {
+        let mut cliques: Vec<Vec<VertexId>> = self.collect()?.into_iter().map(|(c, _)| c).collect();
         cliques.sort();
-        cliques
+        Ok(cliques)
     }
 
     /// Count qualifying cliques without storing them (sequential —
     /// counting is a streaming query; buffering the full output to
-    /// parallelize a count would defeat it).
-    pub fn count(&mut self) -> u64 {
+    /// parallelize a count would defeat it). Interruption semantics as
+    /// [`Prepared::stream`].
+    pub fn count(&mut self) -> Result<u64, MuleError> {
         let mut sink = CountSink::new();
-        self.stream(&mut sink);
-        sink.count
+        self.stream(&mut sink)?;
+        Ok(sink.count)
     }
 
     /// The `k` most probable qualifying cliques, probability descending
     /// (ties lexicographic). Errors on `k = 0`. Under [`Engine::Auto`]
-    /// with no size threshold this runs the adaptive β-cut engine
-    /// (`mule::topk`): subtrees whose probability has fallen to the
-    /// current k-th best are skipped, maximality still judged at α.
-    /// Otherwise it selects over the streamed enumeration.
+    /// with no size threshold and no limits this runs the adaptive
+    /// β-cut engine (`mule::topk`): subtrees whose probability has
+    /// fallen to the current k-th best are skipped, maximality still
+    /// judged at α. Otherwise — including whenever a deadline, budget
+    /// or cancel token is configured — it selects over the streamed
+    /// enumeration, which enforces the limits and produces the
+    /// identical ranking.
     pub fn top_k(&mut self, k: usize) -> Result<RankedCliques, MuleError> {
         if k == 0 {
             return Err(MuleError::ZeroTopK);
         }
-        if self.engine == Engine::Auto && self.min_size() <= 1 {
+        if self.engine == Engine::Auto && self.min_size() <= 1 && !self.limits.is_active() {
             let (top, stats) = crate::topk::beta_top_k(&self.inst, k);
             self.stats = stats;
             Ok(top)
         } else {
             let mut sink = TopKSink::new(k);
-            self.stream(&mut sink);
+            self.stream(&mut sink)?;
             Ok(sink.into_sorted())
         }
     }
@@ -609,50 +819,95 @@ impl Prepared {
             stage,
         }
     }
+}
 
-    /// The DFS–NOIP engine: one baseline run per prepared component
-    /// (ids translated in the sink layer), singletons emitted directly,
-    /// the size threshold enforced by an emission filter. Counters are
-    /// the merged per-component baseline counters. A [`Control::Stop`]
-    /// from the sink is latched, so later components are neither
-    /// searched nor allowed to emit — the same early-stop contract the
-    /// [`Engine::Auto`] path honors per schedule unit.
-    fn run_noip<S: CliqueSink>(&mut self, sink: &mut S) -> EnumerationStats {
-        let mut stats = EnumerationStats::new();
-        stats.calls = 1; // the conceptual root node
-        let t = self.min_size();
-        let mut latch = StopLatch {
-            inner: sink,
-            stopped: false,
-        };
-        let mut filter = MinSizeSink {
-            inner: &mut latch,
-            t,
-        };
-        if self.inst.original_vertices() == 0 {
-            if t <= 1 {
-                stats.emitted += 1;
-                filter.inner.emit(&[], 1.0);
-            }
+/// The DFS–NOIP engine: one baseline run per prepared component
+/// (ids translated in the sink layer), singletons emitted directly,
+/// the size threshold enforced by an emission filter. Counters are
+/// the merged per-component baseline counters. A [`Control::Stop`]
+/// from the sink is latched, so later components are neither
+/// searched nor allowed to emit — the same early-stop contract the
+/// [`Engine::Auto`] path honors per schedule unit.
+///
+/// Limits are enforced more coarsely than in the MULE kernel (whose
+/// recursion probes per search node): the baseline's own recursion is
+/// untouched, so probes happen per *emission* (amortized, via
+/// [`ProbeSink`] below the id translation so sub-threshold emissions
+/// still tick) and immediately at every component boundary. The prefix
+/// guarantee is identical; only the interruption latency is looser. A
+/// tripped limit leaves the latch un-stopped, and the caller
+/// distinguishes the two Stop sources via `limits.tripped()`.
+fn run_noip<S: CliqueSink>(
+    inst: &PreparedInstance,
+    noips: &mut [DfsNoip],
+    sink: &mut S,
+    limits: &mut RunLimits,
+) -> EnumerationStats {
+    let mut stats = EnumerationStats::new();
+    stats.calls = 1; // the conceptual root node
+    let t = inst.min_size();
+    let mut latch = StopLatch {
+        inner: sink,
+        stopped: false,
+    };
+    let mut filter = MinSizeSink {
+        inner: &mut latch,
+        t,
+    };
+    let mut ticks = 0u64;
+    if limits.probe_now(ticks) {
+        return stats;
+    }
+    if inst.original_vertices() == 0 {
+        if t <= 1 {
+            stats.emitted += 1;
+            filter.inner.emit(&[], 1.0);
+        }
+        return stats;
+    }
+    for (noip, (_, map)) in noips.iter_mut().zip(inst.components()) {
+        {
+            let mut remap = RemapSink::new(&mut filter, map);
+            let mut probe = ProbeSink {
+                inner: &mut remap,
+                limits,
+                ticks: &mut ticks,
+            };
+            noip.run(&mut probe);
+        }
+        stats.merge(noip.stats());
+        if filter.inner.stopped || limits.probe_now(ticks) {
             return stats;
         }
-        for (noip, (_, map)) in self.noip.iter_mut().zip(self.inst.components()) {
-            let mut remap = RemapSink::new(&mut filter, map);
-            noip.run(&mut remap);
-            stats.merge(noip.stats());
-            if filter.inner.stopped {
-                return stats;
-            }
+    }
+    for &v in inst.singletons() {
+        stats.calls += 1;
+        stats.max_depth = stats.max_depth.max(1);
+        stats.emitted += 1;
+        if filter.emit(&[v], 1.0) == Control::Stop {
+            break;
         }
-        for &v in self.inst.singletons() {
-            stats.calls += 1;
-            stats.max_depth = stats.max_depth.max(1);
-            stats.emitted += 1;
-            if filter.emit(&[v], 1.0) == Control::Stop {
-                break;
-            }
+    }
+    stats
+}
+
+/// Innermost NOIP sink adapter: ticks the armed [`RunLimits`] once per
+/// emission and answers [`Control::Stop`] — without forwarding the
+/// emission — when a limit fires, so the baseline recursion unwinds on
+/// a clean prefix.
+struct ProbeSink<'a, S: CliqueSink> {
+    inner: &'a mut S,
+    limits: &'a mut RunLimits,
+    ticks: &'a mut u64,
+}
+
+impl<S: CliqueSink> CliqueSink for ProbeSink<'_, S> {
+    fn emit(&mut self, clique: &[VertexId], prob: f64) -> Control {
+        *self.ticks += 1;
+        if self.limits.probe(*self.ticks) {
+            return Control::Stop;
         }
-        stats
+        self.inner.emit(clique, prob)
     }
 }
 
@@ -831,8 +1086,8 @@ mod tests {
     fn session_answers_all_query_shapes() {
         let g = fixture();
         let mut s = Query::new(&g).alpha(0.5).prepare().unwrap();
-        let pairs = s.collect();
-        assert_eq!(s.count() as usize, pairs.len());
+        let pairs = s.collect().unwrap();
+        assert_eq!(s.count().unwrap() as usize, pairs.len());
         let cliques: Vec<_> = pairs.iter().map(|(c, _)| c.clone()).collect();
         assert_eq!(
             cliques,
@@ -850,7 +1105,7 @@ mod tests {
     fn min_size_and_threads_route_through_builder() {
         let g = fixture();
         let mut s = Query::new(&g).alpha(0.5).min_size(3).prepare().unwrap();
-        let cliques: Vec<_> = s.collect().into_iter().map(|(c, _)| c).collect();
+        let cliques: Vec<_> = s.collect().unwrap().into_iter().map(|(c, _)| c).collect();
         assert_eq!(cliques, vec![vec![0, 1, 2], vec![4, 5, 6]]);
         let mut par = Query::new(&g)
             .alpha(0.5)
@@ -858,7 +1113,7 @@ mod tests {
             .threads(3)
             .prepare()
             .unwrap();
-        let par_cliques: Vec<_> = par.collect().into_iter().map(|(c, _)| c).collect();
+        let par_cliques: Vec<_> = par.collect().unwrap().into_iter().map(|(c, _)| c).collect();
         assert_eq!(par_cliques, cliques);
         assert_eq!(par.stats(), s.stats(), "merged stats equal sequential");
     }
@@ -873,8 +1128,8 @@ mod tests {
                 .engine(Engine::Noip)
                 .prepare()
                 .unwrap();
-            let mut a = auto.collect();
-            let mut b = noip.collect();
+            let mut a = auto.collect().unwrap();
+            let mut b = noip.collect().unwrap();
             a.sort_by(|x, y| x.0.cmp(&y.0));
             b.sort_by(|x, y| x.0.cmp(&y.0));
             assert_eq!(a, b, "α={alpha}");
@@ -899,7 +1154,7 @@ mod tests {
             calls += 1;
             Control::Stop
         });
-        let stats = *s.stream(&mut sink);
+        let stats = *s.stream(&mut sink).unwrap();
         assert!(stats.emitted >= 1);
         assert_eq!(calls, 1, "emissions after Control::Stop");
     }
@@ -909,7 +1164,7 @@ mod tests {
         let g0 = GraphBuilder::new(0).build();
         for engine in [Engine::Auto, Engine::Noip] {
             let mut s = Query::new(&g0).alpha(0.5).engine(engine).prepare().unwrap();
-            assert_eq!(s.collect(), vec![(vec![], 1.0)], "{engine:?}");
+            assert_eq!(s.collect().unwrap(), vec![(vec![], 1.0)], "{engine:?}");
             assert_eq!(s.iter().count(), 1, "{engine:?}");
             let mut bounded = Query::new(&g0)
                 .alpha(0.5)
@@ -917,18 +1172,22 @@ mod tests {
                 .engine(engine)
                 .prepare()
                 .unwrap();
-            assert_eq!(bounded.count(), 0, "{engine:?}: empty clique misses t");
+            assert_eq!(
+                bounded.count().unwrap(),
+                0,
+                "{engine:?}: empty clique misses t"
+            );
         }
         let g3 = GraphBuilder::new(3).build();
         let mut s = Query::new(&g3).alpha(0.5).prepare().unwrap();
-        assert_eq!(s.count(), 3);
+        assert_eq!(s.count().unwrap(), 3);
     }
 
     #[test]
     fn iter_is_lazy_and_abandonable() {
         let g = fixture();
         let mut s = Query::new(&g).alpha(0.5).prepare().unwrap();
-        let total = s.count();
+        let total = s.count().unwrap();
         let first_two: Vec<_> = s.iter().take(2).collect();
         assert_eq!(first_two.len(), 2);
         assert!(

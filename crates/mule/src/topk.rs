@@ -60,7 +60,9 @@ pub fn top_k_maximal_cliques(
         .prepare()
         .map_err(crate::MuleError::expect_graph)?;
     let mut sink = TopKSink::new(k);
-    session.stream(&mut sink);
+    session
+        .stream(&mut sink)
+        .expect("unlimited run cannot be interrupted");
     Ok(sink.into_sorted())
 }
 

@@ -37,7 +37,7 @@ fn main() -> Result<(), MuleError> {
     let t0 = Instant::now();
     let mut session = Query::new(&g).alpha(alpha).prepare()?;
     let mut hist = SizeHistogramSink::new();
-    session.stream(&mut hist);
+    session.stream(&mut hist)?;
     let full_time = t0.elapsed();
     println!(
         "\nfull enumeration: {} maximal groups in {:.2?}",
@@ -60,7 +60,7 @@ fn main() -> Result<(), MuleError> {
         let t0 = Instant::now();
         let mut bounded = Query::new(&g).alpha(alpha).min_size(t).prepare()?;
         let mut sink = CountSink::new();
-        bounded.stream(&mut sink);
+        bounded.stream(&mut sink)?;
         let elapsed = t0.elapsed();
         let expected = hist.count_at_least(t);
         assert_eq!(

@@ -43,7 +43,7 @@ fn main() -> Result<(), MuleError> {
     let mined: Vec<_> = Query::new(&inst.graph)
         .alpha(alpha)
         .prepare()?
-        .collect()
+        .collect()?
         .into_iter()
         .map(|(c, _)| c)
         .collect();
@@ -71,7 +71,7 @@ fn main() -> Result<(), MuleError> {
     let strict: Vec<_> = Query::new(&inst.graph)
         .alpha(too_high)
         .prepare()?
-        .collect()
+        .collect()?
         .into_iter()
         .map(|(c, _)| c)
         .collect();

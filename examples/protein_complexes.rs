@@ -36,7 +36,7 @@ fn main() -> Result<(), MuleError> {
     println!("\n alpha   #complexes   largest");
     let mut strong: Vec<(Vec<VertexId>, f64)> = Vec::new();
     for alpha in [0.05, 0.25, 0.5, 0.75] {
-        let pairs = Query::new(&g).alpha(alpha).prepare()?.collect();
+        let pairs = Query::new(&g).alpha(alpha).prepare()?.collect()?;
         let largest = pairs.iter().map(|(c, _)| c.len()).max().unwrap_or(0);
         println!("{alpha:>6}   {:>10}   {largest:>7}", pairs.len());
         if alpha == 0.5 {

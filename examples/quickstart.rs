@@ -40,7 +40,7 @@ fn main() -> Result<(), MuleError> {
     let mut session = Query::new(&g).alpha(alpha).prepare()?;
 
     println!("\n{alpha}-maximal cliques:");
-    for (clique, prob) in session.collect() {
+    for (clique, prob) in session.collect()? {
         println!("  {clique:?}  (clique probability {prob:.4})");
     }
 
@@ -55,7 +55,7 @@ fn main() -> Result<(), MuleError> {
     let strict: Vec<_> = Query::new(&g)
         .alpha(0.7)
         .prepare()?
-        .collect()
+        .collect()?
         .into_iter()
         .map(|(c, _)| c)
         .collect();

@@ -31,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for alpha in [0.0001, 0.001, 0.01, 0.1, 0.5, 0.9] {
         let t0 = Instant::now();
         let mut session = Query::new(&g).alpha(alpha).prepare()?;
-        let count = session.count();
+        let count = session.count()?;
         println!(
             "{alpha:>8}   {count:>8}   {:>7.2?}   {:>8}",
             t0.elapsed(),
@@ -43,13 +43,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // alone: identical output.
     let alpha = 0.001;
     let mut seq_session = Query::new(&g).alpha(alpha).prepare()?;
-    let seq = seq_session.collect();
+    let seq = seq_session.collect()?;
     let t0 = Instant::now();
     let par = Query::new(&g)
         .alpha(alpha)
         .threads_auto()
         .prepare()?
-        .collect();
+        .collect()?;
     println!(
         "\nparallel enumeration: {} cliques in {:.2?} (sequential found {})",
         par.len(),

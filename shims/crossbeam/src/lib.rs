@@ -47,6 +47,52 @@ pub mod thread {
                 inner: self.inner.spawn(move || f(self)),
             }
         }
+
+        /// A builder for scoped threads with a name and/or an explicit
+        /// stack size — the crossbeam `scope.builder()` API, backed by
+        /// [`std::thread::Builder::spawn_scoped`]. The big-stack server
+        /// workers (`mule::thread_util`) use this to spawn scoped
+        /// threads with 128 MiB stacks.
+        pub fn builder(self) -> ScopedThreadBuilder<'scope, 'env> {
+            ScopedThreadBuilder {
+                scope: self,
+                inner: std::thread::Builder::new(),
+            }
+        }
+    }
+
+    /// Configures a scoped thread before spawning (name, stack size).
+    /// Created by [`Scope::builder`].
+    #[derive(Debug)]
+    pub struct ScopedThreadBuilder<'scope, 'env: 'scope> {
+        scope: Scope<'scope, 'env>,
+        inner: std::thread::Builder,
+    }
+
+    impl<'scope, 'env> ScopedThreadBuilder<'scope, 'env> {
+        /// Name the thread (shows up in panic messages and debuggers).
+        pub fn name(mut self, name: String) -> Self {
+            self.inner = self.inner.name(name);
+            self
+        }
+
+        /// Set the thread's stack size in bytes.
+        pub fn stack_size(mut self, size: usize) -> Self {
+            self.inner = self.inner.stack_size(size);
+            self
+        }
+
+        /// Spawn the configured thread inside the scope. Errors are the
+        /// OS's thread-creation failures ([`std::io::Error`]).
+        pub fn spawn<F, T>(self, f: F) -> std::io::Result<ScopedJoinHandle<'scope, T>>
+        where
+            F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = self.scope;
+            let inner = self.inner.spawn_scoped(scope.inner, move || f(scope))?;
+            Ok(ScopedJoinHandle { inner })
+        }
     }
 
     /// Create a scope: every thread spawned inside is joined before
@@ -85,5 +131,20 @@ mod tests {
         .expect("scope failed");
         assert_eq!(counter.load(Ordering::Relaxed), 10);
         assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn builder_sets_name_and_stack_size() {
+        let name = crate::thread::scope(|scope| {
+            let handle = scope
+                .builder()
+                .name("shim-worker".into())
+                .stack_size(4 * 1024 * 1024)
+                .spawn(|_| std::thread::current().name().map(str::to_owned))
+                .expect("spawn failed");
+            handle.join().expect("worker panicked")
+        })
+        .expect("scope failed");
+        assert_eq!(name.as_deref(), Some("shim-worker"));
     }
 }

@@ -31,8 +31,8 @@
 //!
 //! // One prepared session answers count, collect, and top-k.
 //! let mut session = Query::new(&g).alpha(0.5).prepare()?;
-//! assert_eq!(session.count(), 2);
-//! let cliques: Vec<_> = session.collect().into_iter().map(|(c, _)| c).collect();
+//! assert_eq!(session.count()?, 2);
+//! let cliques: Vec<_> = session.collect()?.into_iter().map(|(c, _)| c).collect();
 //! assert!(cliques.contains(&vec![0, 1, 2])); // 0.9³ = 0.729 ≥ 0.5
 //! assert!(cliques.contains(&vec![2, 3]));    // 0.6 ≥ 0.5
 //! assert_eq!(session.top_k(1)?[0].0, vec![0, 1, 2]);

@@ -41,7 +41,7 @@ fn collect_count_and_iter_match_legacy_wrappers() {
         let g = random_graph(seed, 13 + (seed % 5) as usize, density);
         for alpha in ALPHAS {
             let mut s = Query::new(&g).alpha(alpha).prepare().unwrap();
-            let pairs = s.collect();
+            let pairs = s.collect().unwrap();
             let seq_stats = *s.stats();
 
             let legacy = mule::enumerate_maximal_cliques(&g, alpha).unwrap();
@@ -51,7 +51,7 @@ fn collect_count_and_iter_match_legacy_wrappers() {
             assert_eq!(from_builder, legacy, "seed={seed} α={alpha} (collect)");
 
             assert_eq!(
-                s.count(),
+                s.count().unwrap(),
                 mule::count_maximal_cliques(&g, alpha).unwrap(),
                 "seed={seed} α={alpha} (count)"
             );
@@ -85,7 +85,7 @@ fn min_size_matches_legacy_large_and_prepared() {
         for alpha in ALPHAS {
             for t in 2..=5usize {
                 let mut s = Query::new(&g).alpha(alpha).min_size(t).prepare().unwrap();
-                let mut pairs = bits(s.collect());
+                let mut pairs = bits(s.collect().unwrap());
                 pairs.sort();
 
                 let legacy: Vec<Vec<VertexId>> =
@@ -109,14 +109,14 @@ fn threads_match_legacy_parallel_wrapper() {
         let g = random_graph(200 + seed, 15, 0.3);
         for alpha in [0.5, 0.05] {
             let mut seq = Query::new(&g).alpha(alpha).prepare().unwrap();
-            let seq_pairs = bits(seq.collect());
+            let seq_pairs = bits(seq.collect().unwrap());
             for threads in [2usize, 4] {
                 let mut s = Query::new(&g)
                     .alpha(alpha)
                     .threads(threads)
                     .prepare()
                     .unwrap();
-                let pairs = bits(s.collect());
+                let pairs = bits(s.collect().unwrap());
                 assert_eq!(pairs, seq_pairs, "seed={seed} α={alpha} threads={threads}");
 
                 let legacy = mule::par_enumerate_maximal_cliques(&g, alpha, threads).unwrap();
@@ -152,7 +152,7 @@ fn index_modes_are_output_neutral() {
         let g = random_graph(300 + seed, 14, 0.35);
         for alpha in [0.5, 0.1] {
             let mut reference = Query::new(&g).alpha(alpha).prepare().unwrap();
-            let want = bits(reference.collect());
+            let want = bits(reference.collect().unwrap());
             for (mode, budget) in [
                 (IndexMode::Always, usize::MAX),
                 (IndexMode::Always, 0),
@@ -166,7 +166,7 @@ fn index_modes_are_output_neutral() {
                     .prepare()
                     .unwrap();
                 assert_eq!(
-                    bits(s.collect()),
+                    bits(s.collect().unwrap()),
                     want,
                     "seed={seed} α={alpha} mode={mode:?} budget={budget}"
                 );
@@ -205,7 +205,8 @@ fn noip_engine_matches_legacy_noip_wrappers() {
                 .engine(Engine::Noip)
                 .prepare()
                 .unwrap();
-            let mut got: Vec<Vec<VertexId>> = s.collect().into_iter().map(|(c, _)| c).collect();
+            let mut got: Vec<Vec<VertexId>> =
+                s.collect().unwrap().into_iter().map(|(c, _)| c).collect();
             got.sort();
             assert_eq!(
                 got,
@@ -236,7 +237,8 @@ fn noip_engine_with_min_size_matches_legacy_large() {
                     .min_size(t)
                     .prepare()
                     .unwrap();
-                let mut got: Vec<Vec<VertexId>> = s.collect().into_iter().map(|(c, _)| c).collect();
+                let mut got: Vec<Vec<VertexId>> =
+                    s.collect().unwrap().into_iter().map(|(c, _)| c).collect();
                 got.sort();
                 assert_eq!(
                     got,
@@ -296,11 +298,15 @@ fn structured_graphs_agree_across_methods() {
     for (i, g) in cases.iter().enumerate() {
         for alpha in [0.5, 0.1] {
             let mut s = Query::new(g).alpha(alpha).prepare().unwrap();
-            let pairs = s.collect();
+            let pairs = s.collect().unwrap();
             let legacy = mule::enumerate_maximal_cliques(g, alpha).unwrap();
             let got: Vec<Vec<VertexId>> = pairs.iter().map(|(c, _)| c.clone()).collect();
             assert_eq!(got, legacy, "case={i} α={alpha}");
-            assert_eq!(s.count() as usize, pairs.len(), "case={i} α={alpha}");
+            assert_eq!(
+                s.count().unwrap() as usize,
+                pairs.len(),
+                "case={i} α={alpha}"
+            );
             let pulled: Vec<_> = s.iter().collect();
             assert_eq!(pulled, pairs, "case={i} α={alpha} (iter)");
         }

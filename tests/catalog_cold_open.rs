@@ -39,11 +39,12 @@ fn cold_open_serves_all_queries_with_zero_pipeline_work() {
 
     let reference: Vec<(Vec<VertexId>, u64)> = session
         .collect()
+        .unwrap()
         .into_iter()
         .map(|(c, p)| (c, p.to_bits()))
         .collect();
     let ref_stats = *session.stats();
-    let ref_count = session.count();
+    let ref_count = session.count().unwrap();
     let ref_top: Vec<(Vec<VertexId>, u64)> = session
         .top_k(3)
         .unwrap()
@@ -68,12 +69,13 @@ fn cold_open_serves_all_queries_with_zero_pipeline_work() {
         let mut reopened = Query::open(&path).unwrap();
         let pairs: Vec<(Vec<VertexId>, u64)> = reopened
             .collect()
+            .unwrap()
             .into_iter()
             .map(|(c, p)| (c, p.to_bits()))
             .collect();
         assert_eq!(pairs, reference, "round {round}: collect");
         assert_eq!(reopened.stats(), &ref_stats, "round {round}: stats");
-        assert_eq!(reopened.count(), ref_count, "round {round}: count");
+        assert_eq!(reopened.count().unwrap(), ref_count, "round {round}: count");
         let top: Vec<(Vec<VertexId>, u64)> = reopened
             .top_k(3)
             .unwrap()
@@ -89,6 +91,7 @@ fn cold_open_serves_all_queries_with_zero_pipeline_work() {
         assert_eq!(
             from_bytes
                 .collect()
+                .unwrap()
                 .into_iter()
                 .map(|(c, p)| (c, p.to_bits()))
                 .collect::<Vec<_>>(),
@@ -102,6 +105,7 @@ fn cold_open_serves_all_queries_with_zero_pipeline_work() {
         from_bytes.set_engine(Engine::Noip);
         let mut noip: Vec<(Vec<VertexId>, u64)> = from_bytes
             .collect()
+            .unwrap()
             .into_iter()
             .map(|(c, p)| (c, p.to_bits()))
             .collect();

@@ -43,11 +43,12 @@ fn observe(
 ) {
     let pairs: Vec<(Vec<VertexId>, u64)> = s
         .collect()
+        .unwrap()
         .into_iter()
         .map(|(c, p)| (c, p.to_bits()))
         .collect();
     let collect_stats = *s.stats();
-    let count = s.count();
+    let count = s.count().unwrap();
     let count_stats = *s.stats();
     let top: Vec<(Vec<VertexId>, u64)> = s
         .top_k(2)
@@ -120,7 +121,7 @@ fn reopened_session_supports_parallel_collect() {
     let mut reopened = Query::open_bytes(original.to_catalog_bytes()).unwrap();
     assert_eq!(reopened.threads(), 1, "runtime settings are not persisted");
     reopened.set_threads(3).unwrap();
-    assert_eq!(reopened.collect(), original.collect());
+    assert_eq!(reopened.collect().unwrap(), original.collect().unwrap());
     assert_eq!(reopened.stats(), original.stats());
     assert!(reopened.set_threads(0).is_err(), "zero threads rejected");
 }

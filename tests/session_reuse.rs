@@ -40,9 +40,9 @@ fn one_prepare_serves_count_collect_topk_and_iter() {
     );
     let report = session.report().clone();
 
-    let count = session.count();
+    let count = session.count().unwrap();
     let count_stats = *session.stats();
-    let pairs = session.collect();
+    let pairs = session.collect().unwrap();
     let top = session.top_k(2).unwrap();
     let pulled: Vec<_> = session.iter().collect();
 
@@ -64,7 +64,7 @@ fn one_prepare_serves_count_collect_topk_and_iter() {
     assert!(top[0].1 >= top[1].1);
 
     // Reruns do the same search work: count() twice yields equal stats.
-    let c2 = session.count();
+    let c2 = session.count().unwrap();
     assert_eq!(c2, count);
     assert_eq!(session.stats(), &count_stats);
     assert_eq!(pipeline_invocations(), before + 1);

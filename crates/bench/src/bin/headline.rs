@@ -24,7 +24,10 @@
 //! folklore. `--min-size T` runs the suite through the size-bounded
 //! pipeline instead (core filter + Modani–Dey peel engaged; parallel
 //! rows included), and `--prune-report PATH` writes a JSON array of
-//! per-point `PrepareReport`s.
+//! per-point `PrepareReport`s. Since PR 8 each point also carries a
+//! `prepare-full` / `alpha-refine` row pair: the cost of a fresh
+//! `Query::prepare` at that α versus `Base::refine(α)` on a resident
+//! α-generic base — the speedup one base buys a mixed-α workload.
 //!
 //! ```text
 //! cargo run -p ugraph-bench --release --bin headline -- [--seed 42] [--scale 1.0] [--dblp-scale 0.1] [--timeout 120]
@@ -152,6 +155,14 @@ fn run_trajectory(args: &Args) {
     let mut prune_json = Json::new();
     prune_json.begin_arr();
     for (name, g) in &graphs {
+        // One α-generic base per graph: the artifact every α-refinement
+        // row below derives from. Built once, like a serving process
+        // would hold it resident.
+        let alpha_base = mule::Query::new(g)
+            .min_size(min_size)
+            .kernel_config(mule_cfg.clone())
+            .prepare_base()
+            .expect("prepare base");
         for &alpha in &alphas {
             // Sequential pipeline enumeration: the headline series.
             let (r, s) = repeated_run_with(
@@ -242,6 +253,65 @@ fn run_trajectory(args: &Args) {
                 json.summary("time", &s);
                 json.end_obj();
                 eprintln!("done {name} α={alpha} catalog-open: {}", s.display());
+            }
+
+            // α-refinement vs full prepare at the same α: `prepare-full`
+            // times `Query::prepare` alone (pipeline, no enumeration);
+            // `alpha-refine` times `Base::refine(α)` on the resident
+            // base — mask, local core/peel, component re-split. The
+            // ratio between the two rows is the speedup one resident
+            // base buys a mixed-α workload. Counts are cross-checked
+            // against the sequential row outside the timed regions.
+            {
+                let mut prep_secs = Vec::with_capacity(repeats);
+                for _ in 0..repeats {
+                    let start = Instant::now();
+                    let session = query_for(g, alpha, min_size, &mule_cfg)
+                        .prepare()
+                        .expect("valid alpha");
+                    prep_secs.push(start.elapsed().as_secs_f64());
+                    drop(session);
+                }
+                let mut refine_secs = Vec::with_capacity(repeats);
+                let mut refined_count = 0u64;
+                for i in 0..repeats {
+                    let start = Instant::now();
+                    let refined = alpha_base.refine(alpha).expect("α is above the 0 floor");
+                    refine_secs.push(start.elapsed().as_secs_f64());
+                    if i == 0 {
+                        let mut refined = refined;
+                        refined_count = refined
+                            .count()
+                            .expect("unlimited run cannot be interrupted");
+                    }
+                }
+                assert_eq!(
+                    refined_count, cliques,
+                    "{name} α={alpha}: refinement served a different result"
+                );
+                for (algo, secs) in [("prepare-full", &prep_secs), ("alpha-refine", &refine_secs)] {
+                    let s = Summary::from_samples(secs);
+                    table.row(&[
+                        name.to_string(),
+                        format!("{alpha}"),
+                        algo.into(),
+                        "1".into(),
+                        s.display(),
+                        cliques.to_string(),
+                    ]);
+                    json.begin_obj();
+                    json.key("graph").str_val(name);
+                    json.key("n").int(g.num_vertices() as i64);
+                    json.key("m").int(g.num_edges() as i64);
+                    json.key("alpha").num(alpha);
+                    json.key("algo").str_val(algo);
+                    json.key("threads").int(1);
+                    json.key("cliques").int(cliques as i64);
+                    emit_counters(&mut json, &mule::EnumerationStats::new());
+                    json.summary("time", &s);
+                    json.end_obj();
+                    eprintln!("done {name} α={alpha} {algo}: {}", s.display());
+                }
             }
 
             if args.get("prune-report").is_some() {

@@ -78,10 +78,14 @@ pub fn stats(args: &[String], out: &mut dyn Write) -> CmdResult {
 ///
 /// With `--catalog FILE.ugq` the session comes from a prepared catalog
 /// (`mule prepare`) instead of a graph file: no pipeline runs, and the
-/// flags that would re-specify prepare-time settings (α, size
-/// threshold, stage toggles, index configuration) are rejected as
-/// conflicts — only the runtime flags (`--threads`, `--count-only`,
-/// `--out`, `--prune-report`, `--timeout-ms`, `--node-budget`) apply.
+/// flags that would re-specify prepare-time settings (size threshold,
+/// stage toggles, index configuration) are rejected as conflicts — only
+/// the runtime flags (`--threads`, `--count-only`, `--out`,
+/// `--prune-report`, `--timeout-ms`, `--node-budget`) apply. `--alpha`
+/// depends on what the catalog holds: for a fixed-α instance it is a
+/// conflict (α was baked in at prepare time), but for an α-generic base
+/// (`mule prepare --base`) it is *required* — the base is refined at
+/// that threshold, still with zero pipeline work.
 ///
 /// `--timeout-ms N` and `--node-budget N` bound the run cooperatively
 /// (see `mule::limits`): an interrupted enumeration still writes every
@@ -109,34 +113,51 @@ pub fn enumerate(args: &[String], out: &mut dyn Write) -> CmdResult {
     let started = std::time::Instant::now();
 
     let mut session = if let Some(cat_path) = opts.get_str("catalog") {
-        // The catalog *is* the query configuration: α, size threshold,
+        // The catalog *is* the query configuration: size threshold,
         // stage toggles and index settings were fixed at prepare time,
         // so the flags that would re-specify them are conflicts, not
         // overrides — silently ignoring either side would lie about
-        // what ran.
+        // what ran. α is the exception when the catalog holds an
+        // α-generic base: there it *is* the query parameter.
         if opts.num_positional() > 0 {
             return Err("--catalog replaces the graph operand".into());
         }
-        for key in [
-            "alpha",
-            "min-size",
-            "no-prune",
-            "index-mode",
-            "index-budget",
-            "snap",
-            "assign",
-        ] {
-            if opts.get_str(key).is_some() || opts.flag(key) {
-                return Err(format!(
-                    "--{key} conflicts with --catalog: that setting is baked into the catalog"
-                ));
-            }
-        }
+        opts.conflicts(
+            &[
+                "min-size",
+                "no-prune",
+                "index-mode",
+                "index-budget",
+                "snap",
+                "assign",
+            ],
+            "--catalog: that setting is baked into the catalog",
+        )?;
         let cat_path = cat_path.to_string();
-        let mut session = mule::Query::open(&cat_path).map_err(|e| format!("{cat_path}: {e}"))?;
+        let data =
+            std::fs::read(&cat_path).map_err(|e| format!("cannot open {cat_path:?}: {e}"))?;
+        let is_base = ugraph_io::Catalog::from_bytes(ugraph_io::Bytes::from(data.clone()))
+            .map(|c| c.header().flags & ugraph_io::catalog::FLAG_ALPHA_BASE != 0)
+            .unwrap_or(false);
         let threads: usize = opts.get_or("threads", 1)?;
-        session.set_threads(threads.max(1)).map_err(fmt_err)?;
-        session
+        if is_base {
+            let alpha: f64 = opts.get_opt("alpha")?.ok_or_else(|| {
+                format!("{cat_path} holds an α-generic base: --alpha selects the refinement threshold and is required")
+            })?;
+            let mut base =
+                mule::Query::open_base_bytes(data).map_err(|e| format!("{cat_path}: {e}"))?;
+            base.set_threads(threads.max(1)).map_err(fmt_err)?;
+            base.refine(alpha).map_err(fmt_err)?
+        } else {
+            opts.conflicts(
+                &["alpha"],
+                "--catalog: that setting is baked into the catalog",
+            )?;
+            let mut session =
+                mule::Query::open_bytes(data).map_err(|e| format!("{cat_path}: {e}"))?;
+            session.set_threads(threads.max(1)).map_err(fmt_err)?;
+            session
+        }
     } else {
         let g = graph_from(&opts)?;
         let alpha: f64 = opts.required("alpha")?;
@@ -241,13 +262,21 @@ fn split_interrupt(r: Result<(), MuleError>) -> Result<Option<MuleError>, String
 }
 
 /// `mule prepare <graph> --alpha A --out FILE.ugq [--min-size T]
-/// [--no-prune] [--index-mode auto|always|never] [--index-budget BYTES]`.
+/// [--no-prune] [--index-mode auto|always|never] [--index-budget BYTES]`
+/// — or `mule prepare <graph> --base [--floor F] --out FILE.ugq …`.
 ///
 /// Runs the preprocessing pipeline exactly as `mule enumerate` would and
 /// persists the prepared session as a UGQ1 catalog instead of querying
 /// it. A later `mule enumerate --catalog FILE.ugq` (or
 /// `mule::Query::open` from Rust) serves byte-identical results without
 /// re-running a single pipeline stage — prepare once, cold-open many.
+///
+/// With `--base` the catalog stores an **α-generic base** instead: only
+/// the α-independent work runs (prune at `--floor`, default `0.0` =
+/// keep everything; component shard; index build), and the resulting
+/// file serves *every* `α ≥ floor` — `mule enumerate --catalog F.ugq
+/// --alpha A` refines at A with no pipeline work. `--alpha` therefore
+/// conflicts with `--base`; α is supplied at query time.
 pub fn prepare(args: &[String], out: &mut dyn Write) -> CmdResult {
     let opts = Opts::parse(
         args,
@@ -258,16 +287,20 @@ pub fn prepare(args: &[String], out: &mut dyn Write) -> CmdResult {
             "no-prune",
             "index-mode",
             "index-budget",
+            "base",
+            "floor",
         ]),
     )?;
     let g = graph_from(&opts)?;
-    let alpha: f64 = opts.required("alpha")?;
+    let base_mode = opts.flag("base");
+    if !base_mode && (opts.get_str("floor").is_some() || opts.flag("floor")) {
+        return Err("--floor requires --base (a fixed-α catalog has no floor)".into());
+    }
     let out_path: String = opts.required("out")?;
     let min_size: usize = opts.get_or("min-size", 0)?;
     let default_cfg = mule::MuleConfig::default();
     let started = std::time::Instant::now();
     let mut query = mule::Query::new(&g)
-        .alpha(alpha)
         .min_size(min_size)
         .index_mode(opts.get_or("index-mode", default_cfg.index_mode)?)
         .dense_index_bytes(opts.get_or("index-budget", default_cfg.dense_index_bytes)?);
@@ -277,7 +310,27 @@ pub fn prepare(args: &[String], out: &mut dyn Write) -> CmdResult {
             .shared_neighborhood(false)
             .shard_components(false);
     }
-    let session = query.prepare().map_err(fmt_err)?;
+    if base_mode {
+        opts.conflicts(
+            &["alpha"],
+            "--base: α is a query-time parameter there (bound it with --floor)",
+        )?;
+        let floor: f64 = opts.get_or("floor", 0.0)?;
+        let base = query.alpha_floor(floor).prepare_base().map_err(fmt_err)?;
+        base.save(&out_path).map_err(fmt_err)?;
+        let bytes = std::fs::metadata(&out_path).map(|m| m.len()).unwrap_or(0);
+        writeln!(
+            out,
+            "prepared base {} -> {out_path} ({} components, floor {floor}, {bytes} bytes) in {:.3}s",
+            opts.positional(0, "graph file")?,
+            base.num_components(),
+            started.elapsed().as_secs_f64()
+        )
+        .map_err(io_err)?;
+        return Ok(());
+    }
+    let alpha: f64 = opts.required("alpha")?;
+    let session = query.alpha(alpha).prepare().map_err(fmt_err)?;
     session.save(&out_path).map_err(fmt_err)?;
     let bytes = std::fs::metadata(&out_path).map(|m| m.len()).unwrap_or(0);
     let report = session.report();
@@ -295,15 +348,18 @@ pub fn prepare(args: &[String], out: &mut dyn Write) -> CmdResult {
 
 /// `mule stat <catalog.ugq> [--list]` — summarize a prepared catalog.
 ///
-/// Prints the header fields (threshold, stage toggles, index settings,
-/// source-graph fingerprint) and verifies every checksum; `--list` adds
-/// the TOC, one row per section with offset, length and CRC status. A
-/// structurally invalid or corrupted file exits 2 with a typed message.
+/// Prints the header fields (threshold — or, for an α-generic base
+/// catalog, the α-floor — stage toggles, index settings, source-graph
+/// fingerprint, per-section-kind sizes for the base layout) and
+/// verifies every checksum; `--list` adds the TOC, one row per section
+/// with offset, length and CRC status. A structurally invalid or
+/// corrupted file exits 2 with a typed message.
 pub fn stat(args: &[String], out: &mut dyn Write) -> CmdResult {
     let opts = Opts::parse(args, &["list"])?;
     let path = opts.positional(0, "catalog file")?;
     let cat = ugraph_io::Catalog::open(path).map_err(|e| format!("{path}: {e}"))?;
     let h = cat.header();
+    let is_base = h.flags & ugraph_io::catalog::FLAG_ALPHA_BASE != 0;
     let stages: Vec<&str> = [
         (ugraph_io::catalog::FLAG_CORE_FILTER, "core-filter"),
         (
@@ -327,7 +383,13 @@ pub fn stat(args: &[String], out: &mut dyn Write) -> CmdResult {
     };
     writeln!(out, "catalog:      {path}").map_err(io_err)?;
     writeln!(out, "format:       UGQ1 v{}", ugraph_io::catalog::VERSION).map_err(io_err)?;
-    writeln!(out, "alpha:        {}", f64::from_bits(h.alpha_bits)).map_err(io_err)?;
+    if is_base {
+        writeln!(out, "kind:         α-generic base").map_err(io_err)?;
+        writeln!(out, "alpha floor:  {}", f64::from_bits(h.alpha_bits)).map_err(io_err)?;
+    } else {
+        writeln!(out, "kind:         prepared instance").map_err(io_err)?;
+        writeln!(out, "alpha:        {}", f64::from_bits(h.alpha_bits)).map_err(io_err)?;
+    }
     writeln!(out, "min size:     {}", h.min_size).map_err(io_err)?;
     writeln!(
         out,
@@ -353,6 +415,25 @@ pub fn stat(args: &[String], out: &mut dyn Write) -> CmdResult {
     )
     .map_err(io_err)?;
     writeln!(out, "sections:     {}", cat.sections().len()).map_err(io_err)?;
+    if is_base {
+        // Per-section-kind byte totals for the base layout: how much of
+        // the resident artifact is graphs vs id maps vs metadata.
+        let (mut graphs, mut maps, mut other) = (0u64, 0u64, 0u64);
+        for e in cat.sections() {
+            if e.name.ends_with(".graph") {
+                graphs += e.length;
+            } else if e.name.ends_with(".map") {
+                maps += e.length;
+            } else {
+                other += e.length;
+            }
+        }
+        writeln!(
+            out,
+            "section size: graphs {graphs} / maps {maps} / other {other} bytes"
+        )
+        .map_err(io_err)?;
+    }
     writeln!(out, "file size:    {} bytes", cat.file_len()).map_err(io_err)?;
     if opts.flag("list") {
         writeln!(out, "{:<24} {:>10} {:>10}  crc", "name", "offset", "length").map_err(io_err)?;

@@ -109,6 +109,18 @@ impl Opts {
     pub fn flag(&self, key: &str) -> bool {
         self.flags.iter().any(|f| f == key)
     }
+
+    /// Reject every listed option (given either as `--key value` or as a
+    /// bare flag) with a message naming `why` — for flags that are
+    /// mutually exclusive with a mode the command is already in.
+    pub fn conflicts(&self, keys: &[&str], why: &str) -> Result<(), String> {
+        for key in keys {
+            if self.get_str(key).is_some() || self.flag(key) {
+                return Err(format!("--{key} conflicts with {why}"));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Parse an `--assign` probability-model spec:

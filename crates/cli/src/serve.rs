@@ -14,10 +14,21 @@
 //!   [`mule::thread_util::BIG_STACK_BYTES`] (128 MiB) stacks — the
 //!   enumeration kernel recurses per clique vertex, and a serving
 //!   process must not die of stack overflow on an adversarial catalog.
-//! * **Resident session LRU.** Prepared sessions are cached per
-//!   catalog path ([`Query::open`] cold-opens on miss) and *taken out*
+//! * **Resident session LRU, α-aware.** Cache entries are keyed by
+//!   catalog path and cold-opened on miss by sniffing the catalog
+//!   header: a fixed-α catalog becomes one resident [`Prepared`]
+//!   session, while an α-generic base catalog (`mule prepare --base`)
+//!   becomes one resident [`mule::Base`] with its *own* LRU of refined
+//!   per-α [`Prepared`] views hanging off it — the expensive
+//!   α-independent artifact is loaded once and every requested α is a
+//!   cheap refinement (cache-hit or [`mule::Base::refine`]), never a
+//!   full pipeline run. Per-base `refine_hits` / `refine_misses`
+//!   counters are surfaced by the `stat` op. Entries are *taken out*
 //!   of the cache while a request runs — no lock is held during
-//!   enumeration, and a poisoned session can simply be dropped.
+//!   enumeration, a poisoned view can simply be dropped, and the base
+//!   it came from survives. (A `stat` issued while the only resident
+//!   entry is in flight reports `resident:false`; counters are
+//!   lifetime totals and come back with the entry.)
 //! * **Per-request deadlines and budgets.** `timeout_ms` /
 //!   `node_budget` request fields (or the server-wide
 //!   `--default-timeout-ms`) arm the session's cooperative limits;
@@ -36,9 +47,9 @@
 //! produces either one complete typed error reply or a closed
 //! connection. Never a partial frame, never a dead server.
 
-use crate::wire::{err_reply, ok_reply, Json, Request};
+use crate::wire::{err_reply, ok_reply, Json, ObjBuilder, Request};
 use mule::sinks::{CollectSink, CountSink};
-use mule::{MuleError, Prepared, Query};
+use mule::{Base, MuleError, Prepared, Query};
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -117,21 +128,66 @@ impl Shared {
     }
 }
 
-/// Most-recently-used at the back; sessions are *taken* while in use.
+/// One resident cache entry: what a catalog path resolves to.
+///
+/// Both variants are hundreds of bytes; the cache holds a handful of
+/// entries and they move only on take/put, so boxing buys nothing.
+#[allow(clippy::large_enum_variant)]
+enum Resident {
+    /// A fixed-α prepared instance — the catalog bakes in its α.
+    Fixed(Prepared),
+    /// An α-generic base plus its refined per-α views.
+    Base(BaseEntry),
+}
+
+/// A resident [`Base`] with an LRU of refined [`Prepared`] views keyed
+/// by the requested α's bit pattern, plus lifetime refine-cache
+/// counters (`hits` = view served from the LRU, `misses` = view built
+/// by [`Base::refine`], including the first request after a cold open).
+struct BaseEntry {
+    base: Base,
+    /// Most-recently-used at the back; views are *taken* while in use.
+    views: Vec<(u64, Prepared)>,
+    view_cap: usize,
+    refine_hits: u64,
+    refine_misses: u64,
+}
+
+impl BaseEntry {
+    fn take_view(&mut self, bits: u64) -> Option<Prepared> {
+        let i = self.views.iter().position(|(b, _)| *b == bits)?;
+        Some(self.views.remove(i).1)
+    }
+
+    fn put_view(&mut self, bits: u64, view: Prepared) {
+        self.views.retain(|(b, _)| *b != bits);
+        self.views.push((bits, view));
+        while self.views.len() > self.view_cap.max(1) {
+            self.views.remove(0); // least recently used α
+        }
+    }
+}
+
+/// Most-recently-used at the back; entries are *taken* while in use.
 struct SessionCache {
     cap: usize,
-    entries: Vec<(String, Prepared)>,
+    entries: Vec<(String, Resident)>,
 }
 
 impl SessionCache {
-    fn take(&mut self, key: &str) -> Option<Prepared> {
+    fn take(&mut self, key: &str) -> Option<Resident> {
         let i = self.entries.iter().position(|(k, _)| k == key)?;
         Some(self.entries.remove(i).1)
     }
 
-    fn put(&mut self, key: String, session: Prepared) {
+    /// Non-removing lookup for the `stat` op; does not refresh recency.
+    fn peek(&self, key: &str) -> Option<&Resident> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, r)| r)
+    }
+
+    fn put(&mut self, key: String, entry: Resident) {
         self.entries.retain(|(k, _)| *k != key);
-        self.entries.push((key, session));
+        self.entries.push((key, entry));
         while self.entries.len() > self.cap.max(1) {
             self.entries.remove(0); // least recently used
         }
@@ -427,6 +483,7 @@ fn handle_frame(text: &str, shared: &Shared, peer: &str) -> (String, bool) {
             err_reply("bad_request", "op \"panic\" requires --danger-test-ops").render(),
             false,
         ),
+        "stat" => (run_stat(&request, shared), false),
         "count" | "enumerate" | "top_k" | "panic" => {
             let reply = run_query(&request, shared, peer);
             (reply, false)
@@ -438,26 +495,128 @@ fn handle_frame(text: &str, shared: &Shared, peer: &str) -> (String, bool) {
     }
 }
 
-/// Execute a catalog-backed query with panic isolation. The session is
-/// taken out of the LRU (or cold-opened) before `catch_unwind`, so no
-/// lock is ever poisoned; on success it is returned to the cache, on
-/// panic it is dropped with the unwind.
+/// Cold-open a catalog path into a resident entry, sniffing the header
+/// for the α-base flag to pick the right open path.
+fn open_resident(catalog: &str, view_cap: usize) -> Result<Resident, String> {
+    let data = std::fs::read(catalog).map_err(|e| e.to_string())?;
+    let is_base = ugraph_io::Catalog::from_bytes(ugraph_io::Bytes::from(data.clone()))
+        .map(|c| c.header().flags & ugraph_io::catalog::FLAG_ALPHA_BASE != 0)
+        .unwrap_or(false);
+    if is_base {
+        let base = Query::open_base_bytes(data).map_err(|e| e.to_string())?;
+        Ok(Resident::Base(BaseEntry {
+            base,
+            views: Vec::new(),
+            view_cap,
+            refine_hits: 0,
+            refine_misses: 0,
+        }))
+    } else {
+        Query::open_bytes(data)
+            .map(Resident::Fixed)
+            .map_err(|e| e.to_string())
+    }
+}
+
+/// Execute a catalog-backed query with panic isolation. The resident
+/// entry is taken out of the LRU (or cold-opened) before
+/// `catch_unwind`, so no lock is ever poisoned; on success it is
+/// returned to the cache, on panic the executing view is dropped (but
+/// a resident base, which never ran inside the request, survives).
 fn run_query(request: &Request, shared: &Shared, peer: &str) -> String {
     let Some(catalog) = request.catalog.clone() else {
         return err_reply("bad_request", "missing field \"catalog\"").render();
     };
     let cached = shared.cache.lock().unwrap().take(&catalog);
     let was_cached = cached.is_some();
-    let session = match cached {
-        Some(s) => s,
-        None => match Query::open(&catalog) {
-            Ok(s) => s,
+    let resident = match cached {
+        Some(r) => r,
+        None => match open_resident(&catalog, shared.cfg.cache_capacity) {
+            Ok(r) => r,
             Err(e) => {
                 shared.log(&format!("{peer}: catalog {catalog:?}: {e}"));
                 return err_reply("catalog_error", &format!("{catalog}: {e}")).render();
             }
         },
     };
+    match resident {
+        Resident::Fixed(session) => {
+            if let Some(a) = request.alpha {
+                if a.to_bits() != session.alpha().to_bits() {
+                    let msg = format!(
+                        "catalog is a fixed-α prepared instance at α = {}; \
+                         omit \"alpha\" or match it exactly",
+                        session.alpha()
+                    );
+                    let mut cache = shared.cache.lock().unwrap();
+                    cache.put(catalog, Resident::Fixed(session));
+                    return err_reply("bad_request", &msg).render();
+                }
+            }
+            run_view(request, shared, peer, catalog, None, session, was_cached)
+        }
+        Resident::Base(mut entry) => {
+            let Some(alpha) = request.alpha else {
+                shared
+                    .cache
+                    .lock()
+                    .unwrap()
+                    .put(catalog, Resident::Base(entry));
+                return err_reply(
+                    "bad_request",
+                    "catalog holds an α-generic base: field \"alpha\" is required",
+                )
+                .render();
+            };
+            let bits = alpha.to_bits();
+            let view = match entry.take_view(bits) {
+                Some(v) => {
+                    entry.refine_hits += 1;
+                    v
+                }
+                None => {
+                    entry.refine_misses += 1;
+                    match entry.base.refine(alpha) {
+                        Ok(v) => v,
+                        Err(e) => {
+                            // e.g. α below the base's floor — a client
+                            // error; the base stays resident.
+                            let msg = e.to_string();
+                            shared
+                                .cache
+                                .lock()
+                                .unwrap()
+                                .put(catalog, Resident::Base(entry));
+                            return err_reply("bad_request", &msg).render();
+                        }
+                    }
+                }
+            };
+            run_view(
+                request,
+                shared,
+                peer,
+                catalog,
+                Some((entry, bits)),
+                view,
+                was_cached,
+            )
+        }
+    }
+}
+
+/// Run the op body on one prepared view under panic isolation, then
+/// return the view — and, for a base-backed view, the base entry with
+/// its counters — to the cache.
+fn run_view(
+    request: &Request,
+    shared: &Shared,
+    peer: &str,
+    catalog: String,
+    base: Option<(BaseEntry, u64)>,
+    session: Prepared,
+    was_cached: bool,
+) -> String {
     let req = request.clone();
     let shed = AssertUnwindSafe((session, req));
     let outcome = catch_unwind(move || {
@@ -472,7 +631,14 @@ fn run_query(request: &Request, shared: &Shared, peer: &str) -> String {
     });
     match outcome {
         Ok((reply, session)) => {
-            shared.cache.lock().unwrap().put(catalog, session);
+            let resident = match base {
+                None => Resident::Fixed(session),
+                Some((mut entry, bits)) => {
+                    entry.put_view(bits, session);
+                    Resident::Base(entry)
+                }
+            };
+            shared.cache.lock().unwrap().put(catalog, resident);
             reply
         }
         Err(payload) => {
@@ -484,12 +650,47 @@ fn run_query(request: &Request, shared: &Shared, peer: &str) -> String {
             shared.log(&format!(
                 "{peer}: request panicked ({what}); session discarded (was cached: {was_cached})"
             ));
+            if let Some((entry, _)) = base {
+                // Only the refined view unwound; the base is intact.
+                shared
+                    .cache
+                    .lock()
+                    .unwrap()
+                    .put(catalog, Resident::Base(entry));
+            }
             err_reply(
                 "internal_error",
                 "request worker panicked; session discarded",
             )
             .render()
         }
+    }
+}
+
+/// The `stat` op: report what (if anything) is resident for a catalog
+/// path, without cold-opening or touching recency. A base entry also
+/// reports its refine-cache counters.
+fn run_stat(request: &Request, shared: &Shared) -> String {
+    let Some(catalog) = request.catalog.as_deref() else {
+        return err_reply("bad_request", "missing field \"catalog\"").render();
+    };
+    let cache = shared.cache.lock().unwrap();
+    let reply: ObjBuilder = ok_reply("stat").field("catalog", Json::Str(catalog.to_string()));
+    match cache.peek(catalog) {
+        None => reply.field("resident", Json::Bool(false)).render(),
+        Some(Resident::Fixed(session)) => reply
+            .field("resident", Json::Bool(true))
+            .field("kind", Json::Str("fixed".to_string()))
+            .field("alpha", Json::Num(session.alpha()))
+            .render(),
+        Some(Resident::Base(entry)) => reply
+            .field("resident", Json::Bool(true))
+            .field("kind", Json::Str("base".to_string()))
+            .field("floor", Json::Num(entry.base.floor()))
+            .field("views", Json::Num(entry.views.len() as f64))
+            .field("refine_hits", Json::Num(entry.refine_hits as f64))
+            .field("refine_misses", Json::Num(entry.refine_misses as f64))
+            .render(),
     }
 }
 
@@ -617,13 +818,13 @@ mod tests {
 
     #[test]
     fn session_cache_takes_and_evicts_lru() {
-        // Build two tiny sessions via the in-memory catalog path.
+        // Build tiny sessions via the in-memory catalog path.
         let g =
             ugraph_core::builder::from_edges(3, &[(0, 1, 0.9), (1, 2, 0.9), (0, 2, 0.9)]).unwrap();
         let make = || {
             let s = Query::new(&g).alpha(0.5).prepare().unwrap();
             let bytes = s.to_catalog_bytes();
-            Query::open_bytes(bytes).unwrap()
+            Resident::Fixed(Query::open_bytes(bytes).unwrap())
         };
         let mut cache = SessionCache {
             cap: 2,
@@ -634,9 +835,81 @@ mod tests {
         cache.put("c".into(), make()); // evicts "a" (LRU)
         assert!(cache.take("a").is_none());
         let b = cache.take("b").unwrap();
+        assert!(cache.peek("b").is_none(), "take removes");
         cache.put("b".into(), b);
         cache.put("d".into(), make()); // evicts "c" — "b" was refreshed
         assert!(cache.take("c").is_none());
+        assert!(cache.peek("b").is_some());
         assert!(cache.take("b").is_some());
+    }
+
+    #[test]
+    fn base_entry_view_lru_and_counters() {
+        let g =
+            ugraph_core::builder::from_edges(3, &[(0, 1, 0.9), (1, 2, 0.9), (0, 2, 0.5)]).unwrap();
+        let base = Query::new(&g).prepare_base().unwrap();
+        let mut entry = BaseEntry {
+            base,
+            views: Vec::new(),
+            view_cap: 2,
+            refine_hits: 0,
+            refine_misses: 0,
+        };
+        // Simulate the request flow: miss → refine → put back.
+        for alpha in [0.9, 0.5, 0.9, 0.25, 0.7, 0.9] {
+            let bits = f64::to_bits(alpha);
+            let view = match entry.take_view(bits) {
+                Some(v) => {
+                    entry.refine_hits += 1;
+                    v
+                }
+                None => {
+                    entry.refine_misses += 1;
+                    entry.base.refine(alpha).unwrap()
+                }
+            };
+            assert_eq!(view.alpha().to_bits(), bits);
+            entry.put_view(bits, view);
+        }
+        // 0.9 hit once warm, then evicted by 0.25/0.7 (cap 2) → misses
+        // for 0.9, 0.5, 0.25, 0.7 and the re-refined final 0.9.
+        assert_eq!(entry.refine_hits, 1);
+        assert_eq!(entry.refine_misses, 5);
+        assert_eq!(entry.views.len(), 2);
+        // The resident views answer byte-identically to fresh prepares.
+        let mut warm = entry.take_view(f64::to_bits(0.9)).unwrap();
+        let mut fresh = Query::new(&g).alpha(0.9).prepare().unwrap();
+        assert_eq!(warm.collect().unwrap(), fresh.collect().unwrap());
+    }
+
+    #[test]
+    fn open_resident_sniffs_catalog_kind() {
+        let g =
+            ugraph_core::builder::from_edges(3, &[(0, 1, 0.9), (1, 2, 0.9), (0, 2, 0.9)]).unwrap();
+        let dir = std::env::temp_dir().join(format!("mule-serve-sniff-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let fixed_path = dir.join("fixed.ugq");
+        let base_path = dir.join("base.ugq");
+        Query::new(&g)
+            .alpha(0.5)
+            .prepare()
+            .unwrap()
+            .save(&fixed_path)
+            .unwrap();
+        Query::new(&g)
+            .prepare_base()
+            .unwrap()
+            .save(&base_path)
+            .unwrap();
+        match open_resident(fixed_path.to_str().unwrap(), 4).unwrap() {
+            Resident::Fixed(s) => assert_eq!(s.alpha(), 0.5),
+            Resident::Base(_) => panic!("fixed catalog opened as base"),
+        }
+        match open_resident(base_path.to_str().unwrap(), 4).unwrap() {
+            Resident::Base(e) => assert_eq!(e.base.floor(), 0.0),
+            Resident::Fixed(_) => panic!("base catalog opened as fixed"),
+        }
+        assert!(open_resident(dir.join("absent.ugq").to_str().unwrap(), 4).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -15,16 +15,30 @@
 //! {"op":"ping"}
 //! {"op":"count",     "catalog":"g.ugq", "timeout_ms":500, "node_budget":100000}
 //! {"op":"enumerate", "catalog":"g.ugq", "limit":1000}
+//! {"op":"enumerate", "catalog":"base.ugq", "alpha":0.5}
 //! {"op":"top_k",     "catalog":"g.ugq", "k":5}
+//! {"op":"stat",      "catalog":"base.ugq"}
 //! {"op":"shutdown"}
 //! {"op":"panic"}            (only honored with --danger-test-ops)
 //! ```
+//!
+//! `alpha` selects the refinement threshold when the catalog holds an
+//! α-generic base (`mule prepare --base`) — **required** there, since
+//! the base has no α of its own. Against a fixed-α catalog it is
+//! optional and must match the baked-in threshold exactly when present
+//! (a mismatch is a `bad_request`, never a silently different answer).
 //!
 //! # Replies
 //!
 //! Success replies carry `"ok":true` plus op-specific fields
 //! (`cliques`, `probs`, `count`, `search_nodes`, `elapsed_ms`,
-//! `alpha`, `truncated`). Failures carry `"ok":false`, a stable
+//! `alpha`, `truncated`). `stat` reports the resident-cache entry for
+//! one catalog: `"resident"`, and when resident `"kind"`
+//! (`"base"`/`"fixed"`) plus — for a base — `"floor"`, `"views"` (the
+//! refined per-α sessions currently resident) and the per-base
+//! `"refine_hits"` / `"refine_misses"` counters (a view taken from the
+//! LRU vs built by refinement; diagnosing mixed-α workloads is exactly
+//! watching the miss counter). Failures carry `"ok":false`, a stable
 //! machine-readable `"error"` code and a human `"message"`:
 //!
 //! `bad_request` · `oversized_frame` · `busy` · `catalog_error` ·
@@ -375,11 +389,15 @@ fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
 /// A decoded request frame.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Request {
-    /// The operation: `ping`, `count`, `enumerate`, `top_k`,
+    /// The operation: `ping`, `count`, `enumerate`, `top_k`, `stat`,
     /// `shutdown`, `panic`.
     pub op: String,
     /// Path of the `.ugq` catalog the query runs against.
     pub catalog: Option<String>,
+    /// Clique-probability threshold. Required when the catalog holds an
+    /// α-generic base (it selects the refinement); optional against a
+    /// fixed-α catalog, where a mismatch is rejected.
+    pub alpha: Option<f64>,
     /// Per-request deadline, milliseconds.
     pub timeout_ms: Option<u64>,
     /// Per-request search-node budget.
@@ -410,9 +428,25 @@ impl Request {
                     .ok_or(format!("field {key:?} must be a non-negative integer")),
             }
         };
+        let alpha = match v.get("alpha") {
+            None | Some(Json::Null) => None,
+            Some(f) => {
+                let a = f
+                    .as_f64()
+                    .ok_or("field \"alpha\" must be a number".to_string())?;
+                // The parser already rejects non-finite literals; the
+                // range check keeps the error at the wire layer instead
+                // of deep inside refinement.
+                if !(a > 0.0 && a <= 1.0) {
+                    return Err(format!("field \"alpha\" must lie in (0, 1], got {a}"));
+                }
+                Some(a)
+            }
+        };
         Ok(Request {
             op,
             catalog: v.get("catalog").and_then(Json::as_str).map(str::to_string),
+            alpha,
             timeout_ms: field_u64("timeout_ms")?,
             node_budget: field_u64("node_budget")?,
             k: field_u64("k")?,
@@ -482,6 +516,13 @@ mod tests {
         assert_eq!(r.catalog.as_deref(), Some("g.ugq"));
         assert_eq!(r.timeout_ms, Some(250));
         assert_eq!(r.node_budget, None);
+        assert_eq!(r.alpha, None);
+
+        let v = Json::parse(r#"{"op":"enumerate","catalog":"b.ugq","alpha":0.25}"#).unwrap();
+        let r = Request::from_json(&v).unwrap();
+        assert_eq!(r.alpha, Some(0.25));
+        let v = Json::parse(r#"{"op":"enumerate","alpha":null}"#).unwrap();
+        assert_eq!(Request::from_json(&v).unwrap().alpha, None);
 
         for bad in [
             r#"[1,2,3]"#,
@@ -490,6 +531,10 @@ mod tests {
             r#"{"op":"count","timeout_ms":-1}"#,
             r#"{"op":"count","timeout_ms":0.5}"#,
             r#"{"op":"count","k":"three"}"#,
+            r#"{"op":"enumerate","alpha":"high"}"#,
+            r#"{"op":"enumerate","alpha":0}"#,
+            r#"{"op":"enumerate","alpha":1.5}"#,
+            r#"{"op":"enumerate","alpha":-0.25}"#,
         ] {
             let v = Json::parse(bad).unwrap();
             assert!(Request::from_json(&v).is_err(), "{bad}");

@@ -464,6 +464,144 @@ fn server_survives_hostile_battery_then_drains_cleanly() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// One resident base serves clients at different α: refined views are
+/// cached per α, answers match fresh fixed-α prepares bit-exactly, and
+/// the `stat` op exposes the refine-cache counters. Also pins the
+/// α-protocol errors: base without `alpha`, α below the base's floor,
+/// and an `alpha` mismatch against a fixed-α catalog.
+#[test]
+fn base_catalog_serves_mixed_alpha_clients() {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    let dir = temp_dir("mixed-alpha");
+    let mut rng = SmallRng::seed_from_u64(13);
+    let mut b = ugraph_core::GraphBuilder::new(32);
+    for u in 0..32u32 {
+        for v in (u + 1)..32 {
+            if rng.gen::<f64>() < 0.3 {
+                b.add_edge(u, v, 0.3 + rng.gen::<f64>() * 0.7).unwrap();
+            }
+        }
+    }
+    let g = b.build();
+    let base_path = dir.join("base.ugq");
+    mule::Query::new(&g)
+        .alpha_floor(0.1)
+        .prepare_base()
+        .unwrap()
+        .save(&base_path)
+        .unwrap();
+    let base_path = base_path.to_str().unwrap().to_string();
+    let fixed = make_catalog(&dir, "fixed.ugq", 20, 5);
+
+    let server = start(ServeConfig::default());
+    let addr = server.addr();
+
+    // Two clients at different α against the one resident base; each
+    // reply must match a fresh fixed-α prepare bit-exactly.
+    for alpha in [0.6, 0.2] {
+        let want: Vec<(Vec<u32>, f64)> = mule::Query::new(&g)
+            .alpha(alpha)
+            .prepare()
+            .unwrap()
+            .collect()
+            .unwrap();
+        let reply = request(
+            addr,
+            &format!(r#"{{"op":"enumerate","catalog":"{base_path}","alpha":{alpha}}}"#),
+        );
+        assert_ok(&reply, "base enumerate");
+        assert_eq!(reply.get("alpha").and_then(Json::as_f64), Some(alpha));
+        let Some(Json::Arr(cliques)) = reply.get("cliques") else {
+            panic!("no cliques array")
+        };
+        let Some(Json::Arr(probs)) = reply.get("probs") else {
+            panic!("no probs array")
+        };
+        assert_eq!(cliques.len(), want.len(), "α = {alpha}");
+        for (i, ((want_c, want_p), (got_c, got_p))) in
+            want.iter().zip(cliques.iter().zip(probs)).enumerate()
+        {
+            let got_c: Vec<u32> = match got_c {
+                Json::Arr(vs) => vs.iter().map(|v| v.as_u64().unwrap() as u32).collect(),
+                _ => panic!("clique {i} not an array"),
+            };
+            assert_eq!(&got_c, want_c, "α = {alpha} clique {i}");
+            assert_eq!(
+                got_p.as_f64().unwrap().to_bits(),
+                want_p.to_bits(),
+                "α = {alpha} prob {i} not bit-exact"
+            );
+        }
+    }
+
+    // Both views are resident now: two cold refinements, no hits yet.
+    let reply = request(addr, &format!(r#"{{"op":"stat","catalog":"{base_path}"}}"#));
+    assert_ok(&reply, "stat");
+    assert_eq!(reply.get("resident"), Some(&Json::Bool(true)));
+    assert_eq!(reply.get("kind").and_then(Json::as_str), Some("base"));
+    assert_eq!(reply.get("floor").and_then(Json::as_f64), Some(0.1));
+    assert_eq!(reply.get("views").and_then(Json::as_u64), Some(2));
+    assert_eq!(reply.get("refine_hits").and_then(Json::as_u64), Some(0));
+    assert_eq!(reply.get("refine_misses").and_then(Json::as_u64), Some(2));
+
+    // Re-asking one of the αs is a refine-cache hit, not a re-refine.
+    let reply = request(
+        addr,
+        &format!(r#"{{"op":"count","catalog":"{base_path}","alpha":0.6}}"#),
+    );
+    assert_ok(&reply, "warm count");
+    let reply = request(addr, &format!(r#"{{"op":"stat","catalog":"{base_path}"}}"#));
+    assert_eq!(reply.get("refine_hits").and_then(Json::as_u64), Some(1));
+    assert_eq!(reply.get("refine_misses").and_then(Json::as_u64), Some(2));
+
+    // α-protocol errors, all typed, none fatal to the resident base:
+    // base without alpha …
+    let reply = request(
+        addr,
+        &format!(r#"{{"op":"count","catalog":"{base_path}"}}"#),
+    );
+    assert_err(&reply, "bad_request", "base without alpha");
+    // … α below the base's floor …
+    let reply = request(
+        addr,
+        &format!(r#"{{"op":"count","catalog":"{base_path}","alpha":0.05}}"#),
+    );
+    assert_err(&reply, "bad_request", "alpha below floor");
+    // … and a mismatched α against a fixed catalog (exact match is ok).
+    let reply = request(
+        addr,
+        &format!(r#"{{"op":"count","catalog":"{}","alpha":0.5}}"#, fixed.path),
+    );
+    assert_err(&reply, "bad_request", "fixed-α mismatch");
+    let reply = request(
+        addr,
+        &format!(
+            r#"{{"op":"count","catalog":"{}","alpha":0.05}}"#,
+            fixed.path
+        ),
+    );
+    assert_ok(&reply, "fixed-α exact match");
+    assert_eq!(reply.get("count").and_then(Json::as_u64), Some(fixed.count));
+    let reply = request(
+        addr,
+        &format!(r#"{{"op":"stat","catalog":"{}"}}"#, fixed.path),
+    );
+    assert_eq!(reply.get("kind").and_then(Json::as_str), Some("fixed"));
+    assert_eq!(reply.get("alpha").and_then(Json::as_f64), Some(0.05));
+
+    // The base survived every error above and still serves.
+    let reply = request(
+        addr,
+        &format!(r#"{{"op":"count","catalog":"{base_path}","alpha":0.2}}"#),
+    );
+    assert_ok(&reply, "base serves after protocol errors");
+
+    server.request_shutdown();
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Load shedding: with one worker pinned by an open connection and an
 /// admission queue of depth 1, the next connection gets a typed `busy`
 /// reply instead of waiting forever.

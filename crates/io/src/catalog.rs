@@ -152,8 +152,15 @@ pub const FLAG_CORE_FILTER: u32 = 1;
 pub const FLAG_SHARED_NEIGHBORHOOD: u32 = 1 << 1;
 /// Header flag: pipeline stage 4 (component sharding) was on.
 pub const FLAG_SHARD_COMPONENTS: u32 = 1 << 2;
+/// Header flag: the catalog stores an α-generic **base artifact**
+/// (floor-pruned components, no per-α pipeline output) rather than a
+/// fully prepared instance. `alpha_bits` then carries the α-*floor*
+/// (which, unlike a query α, may be `0.0`), and the section layout is
+/// the base variant documented in `mule::catalog`.
+pub const FLAG_ALPHA_BASE: u32 = 1 << 3;
 /// Every flag bit defined in version 1; others must be zero.
-pub const FLAGS_KNOWN: u32 = FLAG_CORE_FILTER | FLAG_SHARED_NEIGHBORHOOD | FLAG_SHARD_COMPONENTS;
+pub const FLAGS_KNOWN: u32 =
+    FLAG_CORE_FILTER | FLAG_SHARED_NEIGHBORHOOD | FLAG_SHARD_COMPONENTS | FLAG_ALPHA_BASE;
 
 /// Errors from the catalog reader/writer.
 #[derive(Debug)]
@@ -171,6 +178,16 @@ pub enum CatalogError {
     },
     /// A section the application requires is absent from the TOC.
     MissingSection(String),
+    /// The file is a valid catalog of the *other* kind: a fixed-α
+    /// instance opened through the base path, or an α-generic base
+    /// opened through the fixed path. The caller should retry through
+    /// the matching entry point.
+    WrongKind {
+        /// What the catalog actually holds.
+        found: &'static str,
+        /// What the open path expected.
+        expected: &'static str,
+    },
 }
 
 impl fmt::Display for CatalogError {
@@ -185,6 +202,10 @@ impl fmt::Display for CatalogError {
             CatalogError::MissingSection(name) => {
                 write!(f, "catalog is missing required section {name:?}")
             }
+            CatalogError::WrongKind { found, expected } => write!(
+                f,
+                "catalog holds {found} but this open path expected {expected}"
+            ),
         }
     }
 }

@@ -38,6 +38,43 @@
 //! Probabilities travel as raw `f64` bit patterns, so a save → open
 //! round trip reproduces clique probabilities bit-for-bit.
 //!
+//! # The α-generic base variant ([`ugraph_io::catalog::FLAG_ALPHA_BASE`])
+//!
+//! A second section layout, same container, flagged in the header:
+//! instead of a fixed-α prepared instance it stores a
+//! [`PreparedBase`] — the α-*independent* half of the pipeline — so one
+//! file serves every `α ≥ floor` via `PreparedBase::refine` with zero
+//! pipeline work beyond the local refinement. Header reuse: `alpha_bits`
+//! carries the **floor** (may be `0.0`, unlike a query α); `min_size`,
+//! the stage flags and the index budgets describe the config refinements
+//! are built under; the graph fingerprint fields are unchanged. For `k`
+//! base components the canonical section order is:
+//!
+//! ```text
+//! component.N.graph — floor-pruned connected component (same layout
+//!                     as above; every edge ≥ floor, n ≥ 2, connected)
+//! component.N.map   — monotone compact→original id map (same layout)
+//! isolated — original vertices isolated at the floor
+//!   len u64 ‖ ids len×u32           (strictly increasing)
+//! base.meta — source-graph identity the components cannot carry
+//!   name_len u32 ‖ name (UTF-8)
+//! ```
+//!
+//! No `schedule` or `report` section exists: both are α-dependent and
+//! are reconstructed exactly by `refine`. Open-path validation mirrors
+//! the fixed layout (CSR invariants, floor bound on every edge, strict
+//! section order, overflow-checked lengths) plus the base-specific
+//! obligations: every component is *connected* with ≥ 2 vertices (the
+//! untouched-component fast path shares it verbatim, so a disconnected
+//! "component" would corrupt refinement), maps + isolated cover the
+//! original vertex range exactly once (coverage sum checked before the
+//! `O(n)` disjointness bitmap is allocated), components are ordered by
+//! first original id, and the edge fingerprint bounds `Σ` component
+//! edges (equality at floor `0.0`, where pruning removes nothing).
+//! Opening a base through [`from_bytes`]/[`open`] or a fixed instance
+//! through [`base_from_bytes`]/[`open_base`] fails with the typed
+//! [`CatalogError::WrongKind`] — never a misparse.
+//!
 //! # What open() validates beyond the checksums
 //!
 //! * α parses and lies in `(0, 1]`; `index_mode` is a known value.
@@ -70,12 +107,14 @@
 
 use crate::enumerate::{IndexMode, MuleConfig};
 use crate::kernel::Kernel;
-use crate::prepare::{PrepareConfig, PrepareReport, PreparedComponent, PreparedInstance, Unit};
+use crate::prepare::{
+    PrepareConfig, PrepareReport, PreparedBase, PreparedComponent, PreparedInstance, Unit,
+};
 use std::path::Path;
-use ugraph_core::{UncertainGraph, VertexId};
+use ugraph_core::{Components, UncertainGraph, VertexId};
 use ugraph_io::catalog::{
-    ByteReader, Catalog, CatalogError, CatalogHeader, CatalogWriter, FLAG_CORE_FILTER,
-    FLAG_SHARD_COMPONENTS, FLAG_SHARED_NEIGHBORHOOD,
+    ByteReader, Catalog, CatalogError, CatalogHeader, CatalogWriter, FLAG_ALPHA_BASE,
+    FLAG_CORE_FILTER, FLAG_SHARD_COMPONENTS, FLAG_SHARED_NEIGHBORHOOD,
 };
 use ugraph_io::Bytes;
 
@@ -428,21 +467,9 @@ pub fn save(inst: &PreparedInstance, path: impl AsRef<Path>) -> Result<(), Catal
     Ok(())
 }
 
-/// Rebuild a prepared instance from a UGQ1 byte image, re-validating
-/// every semantic invariant (see the module docs). Runs **no** pipeline
-/// stage: `prepare::pipeline_invocations()` is untouched; the only
-/// rebuilt artifact is the deterministic per-component neighborhood
-/// index.
-pub fn from_bytes(data: Bytes) -> Result<PreparedInstance, CatalogError> {
-    let cat = Catalog::from_bytes(data)?;
-    // The open path loads every section, so verify everything up front:
-    // all payload checksums plus the header's whole-payload hash.
-    cat.verify()?;
-    let h = *cat.header();
-
-    let alpha = f64::from_bits(h.alpha_bits);
-    UncertainGraph::validate_alpha(alpha).map_err(|e| corrupt(e.to_string()))?;
-    let original_n = usize::try_from(h.original_vertices)
+/// Bounded original-vertex count from the header fingerprint.
+fn original_n_from_header(h: &CatalogHeader) -> Result<usize, CatalogError> {
+    usize::try_from(h.original_vertices)
         .ok()
         .filter(|&n| n <= u32::MAX as usize + 1)
         .ok_or_else(|| {
@@ -450,11 +477,15 @@ pub fn from_bytes(data: Bytes) -> Result<PreparedInstance, CatalogError> {
                 "original vertex count {} exceeds u32",
                 h.original_vertices
             ))
-        })?;
+        })
+}
+
+/// The prepare configuration both layouts persist in the header.
+fn config_from_header(h: &CatalogHeader) -> Result<PrepareConfig, CatalogError> {
     let to_usize = |v: u64, what: &str| {
         usize::try_from(v).map_err(|_| corrupt(format!("{what} {v} exceeds this platform's usize")))
     };
-    let cfg = PrepareConfig {
+    Ok(PrepareConfig {
         min_size: to_usize(h.min_size, "min_size")?,
         core_filter: h.flags & FLAG_CORE_FILTER != 0,
         shared_neighborhood: h.flags & FLAG_SHARED_NEIGHBORHOOD != 0,
@@ -468,7 +499,243 @@ pub fn from_bytes(data: Bytes) -> Result<PreparedInstance, CatalogError> {
             degeneracy_order: false,
             naive_root: false,
         },
-    };
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Base ⇄ catalog (the α-generic layout)
+// ---------------------------------------------------------------------------
+
+fn encode_meta(name: &str) -> Vec<u8> {
+    let bytes = name.as_bytes();
+    let mut out = Vec::with_capacity(4 + bytes.len());
+    out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    out.extend_from_slice(bytes);
+    out
+}
+
+/// Encode a prepared base as a flagged-UGQ1 byte image (see the module
+/// docs for the section layout).
+pub fn base_to_bytes(base: &PreparedBase) -> Vec<u8> {
+    let cfg = base.config();
+    let mut flags = FLAG_ALPHA_BASE;
+    if cfg.core_filter {
+        flags |= FLAG_CORE_FILTER;
+    }
+    if cfg.shared_neighborhood {
+        flags |= FLAG_SHARED_NEIGHBORHOOD;
+    }
+    if cfg.shard_components {
+        flags |= FLAG_SHARD_COMPONENTS;
+    }
+    let mut writer = CatalogWriter::new(CatalogHeader {
+        flags,
+        index_mode: index_mode_to_u8(cfg.mule.index_mode),
+        alpha_bits: base.floor().to_bits(),
+        min_size: cfg.min_size as u64,
+        dense_index_bytes: cfg.mule.dense_index_bytes as u64,
+        max_index_bytes: cfg.mule.max_index_bytes as u64,
+        original_vertices: base.original_vertices() as u64,
+        original_edges: base.original_edges() as u64,
+        content_hash: 0, // computed by the writer
+    });
+    for (i, (g, map)) in base.components().enumerate() {
+        writer.add_section(format!("component.{i}.graph"), encode_graph(g));
+        writer.add_section(format!("component.{i}.map"), encode_ids(map));
+    }
+    writer.add_section("isolated", encode_ids(base.isolated()));
+    writer.add_section("base.meta", encode_meta(base.graph_name()));
+    writer.finish()
+}
+
+/// Encode a prepared base and write it to `path`.
+pub fn save_base(base: &PreparedBase, path: impl AsRef<Path>) -> Result<(), CatalogError> {
+    std::fs::write(path, base_to_bytes(base))?;
+    Ok(())
+}
+
+/// Rebuild a prepared base from a flagged-UGQ1 byte image, re-validating
+/// every semantic invariant the refinement path relies on (see the
+/// module docs). Runs no pipeline stage; the per-component neighborhood
+/// indexes are rebuilt deterministically, exactly as in [`from_bytes`].
+pub fn base_from_bytes(data: Bytes) -> Result<PreparedBase, CatalogError> {
+    let cat = Catalog::from_bytes(data)?;
+    cat.verify()?;
+    let h = *cat.header();
+    if h.flags & FLAG_ALPHA_BASE == 0 {
+        return Err(CatalogError::WrongKind {
+            found: "a fixed-α prepared instance",
+            expected: "an α-generic base artifact (use the fixed open path)",
+        });
+    }
+
+    // The floor is an α-*bound*, not a query α: 0.0 (prune nothing) is
+    // legal here and only here, so validate the range by hand.
+    let floor = f64::from_bits(h.alpha_bits);
+    if !(0.0..=1.0).contains(&floor) {
+        // NaN fails the range test too.
+        return Err(corrupt(format!("α-floor {floor} outside [0, 1]")));
+    }
+    let original_n = original_n_from_header(&h)?;
+    let cfg = config_from_header(&h)?;
+
+    // Canonical section order: k graph/map pairs, then isolated, then
+    // base.meta — nothing else, nothing moved.
+    let names: Vec<&str> = cat.sections().iter().map(|e| e.name.as_str()).collect();
+    if names.len() < 2 || !(names.len() - 2).is_multiple_of(2) {
+        return Err(corrupt(format!(
+            "TOC has {} sections; expected 2·k + 2 for a base catalog",
+            names.len()
+        )));
+    }
+    let k = (names.len() - 2) / 2;
+    for i in 0..k {
+        if names[2 * i] != format!("component.{i}.graph")
+            || names[2 * i + 1] != format!("component.{i}.map")
+        {
+            return Err(corrupt(format!(
+                "sections out of canonical order at component {i} (found {:?}, {:?})",
+                names[2 * i],
+                names[2 * i + 1]
+            )));
+        }
+    }
+    if names[2 * k..] != ["isolated", "base.meta"] {
+        return Err(corrupt(format!(
+            "sections out of canonical order in the tail (found {:?})",
+            &names[2 * k..]
+        )));
+    }
+
+    let mut parts: Vec<(UncertainGraph, Vec<VertexId>)> = Vec::with_capacity(k);
+    let mut component_edges = 0usize;
+    let mut covered = 0usize;
+    for i in 0..k {
+        let graph_name = format!("component.{i}.graph");
+        // decode_graph's min-probability bound doubles as the floor
+        // precondition: every stored edge must carry p ≥ floor.
+        let g = decode_graph(cat.section(&graph_name)?, floor, &graph_name)?;
+        let map_name = format!("component.{i}.map");
+        let map = decode_ids(cat.section(&map_name)?, original_n, &map_name)?;
+        if map.len() != g.num_vertices() {
+            return Err(corrupt(format!(
+                "component {i}: map has {} ids for a {}-vertex graph",
+                map.len(),
+                g.num_vertices()
+            )));
+        }
+        if g.num_vertices() < 2 {
+            return Err(corrupt(format!(
+                "base component {i} has {} vertices; isolated vertices belong in the isolated section",
+                g.num_vertices()
+            )));
+        }
+        // Connectivity is load-bearing: refine's untouched fast path
+        // shares a base component *as is*, assuming it is one component.
+        if Components::compute(&g).count() != 1 {
+            return Err(corrupt(format!("base component {i} is not connected")));
+        }
+        // Components are emitted in discovery order from ascending BFS
+        // roots, so first original ids strictly increase.
+        if let Some((_, prev_map)) = parts.last() {
+            if map[0] <= prev_map[0] {
+                return Err(corrupt(format!(
+                    "base component {i} out of order (first id {} after {})",
+                    map[0], prev_map[0]
+                )));
+            }
+        }
+        component_edges += g.num_edges();
+        covered += map.len();
+        parts.push((g, map));
+    }
+
+    let isolated = decode_ids(cat.section("isolated")?, original_n, "isolated")?;
+    // Exactly-once coverage: the cheap sum first (bounding the bitmap
+    // allocation below by actual payload bytes), then disjointness.
+    covered += isolated.len();
+    if covered != original_n {
+        return Err(corrupt(format!(
+            "components and isolated vertices cover {covered} of {original_n} original vertices"
+        )));
+    }
+    let mut seen = vec![false; original_n];
+    for id in parts
+        .iter()
+        .flat_map(|(_, map)| map.iter())
+        .chain(isolated.iter())
+    {
+        if std::mem::replace(&mut seen[*id as usize], true) {
+            return Err(corrupt(format!(
+                "original vertex {id} appears in more than one component"
+            )));
+        }
+    }
+    // Edge fingerprint: floor-pruning only removes edges, and removes
+    // none at floor 0.
+    let original_edges = usize::try_from(h.original_edges)
+        .map_err(|_| corrupt("original edge count exceeds this platform's usize"))?;
+    if component_edges > original_edges || (floor == 0.0 && component_edges != original_edges) {
+        return Err(corrupt(format!(
+            "components carry {component_edges} edges but the header fingerprint says {original_edges} (floor {floor})"
+        )));
+    }
+
+    let meta = cat.section("base.meta")?;
+    let mut r = ByteReader::new(meta);
+    let name_len = r
+        .u32_le()
+        .ok_or_else(|| corrupt("base.meta: truncated name length"))? as usize;
+    if meta.len() != 4 + name_len {
+        return Err(corrupt(format!(
+            "base.meta: payload is {} bytes but the declared name needs {}",
+            meta.len(),
+            4 + name_len
+        )));
+    }
+    let name = std::str::from_utf8(r.take(name_len).unwrap())
+        .map_err(|_| corrupt("base.meta: name is not UTF-8"))?
+        .to_string();
+
+    Ok(PreparedBase::from_parts(
+        floor,
+        cfg,
+        original_n,
+        original_edges,
+        name,
+        parts,
+        isolated,
+    ))
+}
+
+/// Read and rebuild a prepared base from a catalog file.
+pub fn open_base(path: impl AsRef<Path>) -> Result<PreparedBase, CatalogError> {
+    let data = std::fs::read(path)?;
+    base_from_bytes(Bytes::from(data))
+}
+
+/// Rebuild a prepared instance from a UGQ1 byte image, re-validating
+/// every semantic invariant (see the module docs). Runs **no** pipeline
+/// stage: `prepare::pipeline_invocations()` is untouched; the only
+/// rebuilt artifact is the deterministic per-component neighborhood
+/// index.
+pub fn from_bytes(data: Bytes) -> Result<PreparedInstance, CatalogError> {
+    let cat = Catalog::from_bytes(data)?;
+    // The open path loads every section, so verify everything up front:
+    // all payload checksums plus the header's whole-payload hash.
+    cat.verify()?;
+    let h = *cat.header();
+    if h.flags & FLAG_ALPHA_BASE != 0 {
+        return Err(CatalogError::WrongKind {
+            found: "an α-generic base artifact",
+            expected: "a fixed-α prepared instance (use the base open path)",
+        });
+    }
+
+    let alpha = f64::from_bits(h.alpha_bits);
+    UncertainGraph::validate_alpha(alpha).map_err(|e| corrupt(e.to_string()))?;
+    let original_n = original_n_from_header(&h)?;
+    let cfg = config_from_header(&h)?;
 
     // Canonical section order is part of the format: k graph/map pairs,
     // then singletons, schedule, report — nothing else, nothing moved.
@@ -691,6 +958,182 @@ mod tests {
         }
         let err = expect_err(from_bytes(Bytes::from(writer.finish())));
         assert!(err.to_string().contains("canonical order"), "{err}");
+    }
+
+    #[test]
+    fn base_round_trip_preserves_refinement_bytes() {
+        let g = fixture();
+        for floor in [0.0, 0.25] {
+            let base = crate::prepare::prepare_base(&g, floor, &PrepareConfig::default()).unwrap();
+            let back = base_from_bytes(Bytes::from(base_to_bytes(&base))).unwrap();
+            assert_eq!(back.floor().to_bits(), base.floor().to_bits());
+            assert_eq!(back.original_vertices(), base.original_vertices());
+            assert_eq!(back.original_edges(), base.original_edges());
+            assert_eq!(back.graph_name(), base.graph_name());
+            assert_eq!(back.isolated(), base.isolated());
+            for ((ga, ma), (gb, mb)) in base.components().zip(back.components()) {
+                assert_eq!(ga, gb);
+                assert_eq!(ma, mb);
+            }
+            // The real contract: a reopened base refines byte-identically.
+            for alpha in [0.9, 0.5] {
+                let mut a = base.refine(alpha).unwrap();
+                let mut b = back.refine(alpha).unwrap();
+                assert_eq!(to_bytes(&a), to_bytes(&b), "floor={floor} α={alpha}");
+                assert_eq!(pairs(&mut a), pairs(&mut b), "floor={floor} α={alpha}");
+            }
+        }
+    }
+
+    #[test]
+    fn base_round_trip_is_byte_stable() {
+        let g = fixture();
+        let base = crate::prepare::prepare_base(&g, 0.5, &PrepareConfig::with_min_size(3)).unwrap();
+        let bytes = base_to_bytes(&base);
+        let back = base_from_bytes(Bytes::from(bytes.clone())).unwrap();
+        assert_eq!(base_to_bytes(&back), bytes);
+        assert_eq!(back.min_size(), 3);
+    }
+
+    #[test]
+    fn wrong_kind_is_typed_in_both_directions() {
+        let g = fixture();
+        let inst = prepare(&g, 0.5, &PrepareConfig::default()).unwrap();
+        let base = crate::prepare::prepare_base(&g, 0.0, &PrepareConfig::default()).unwrap();
+        assert!(matches!(
+            base_from_bytes(Bytes::from(to_bytes(&inst))),
+            Err(CatalogError::WrongKind { .. })
+        ));
+        assert!(matches!(
+            from_bytes(Bytes::from(base_to_bytes(&base))),
+            Err(CatalogError::WrongKind { .. })
+        ));
+    }
+
+    /// Re-serialize a base catalog with one section's payload replaced,
+    /// keeping every checksum valid.
+    fn reseal_base(bytes: Vec<u8>, target: &str, f: impl Fn(&mut Vec<u8>)) -> Vec<u8> {
+        let cat = Catalog::from_bytes(Bytes::from(bytes)).unwrap();
+        let mut writer = CatalogWriter::new(*cat.header());
+        for e in cat.sections() {
+            let mut payload = cat.section(&e.name).unwrap().to_vec();
+            if e.name == target {
+                f(&mut payload);
+            }
+            writer.add_section(e.name.clone(), payload);
+        }
+        writer.finish()
+    }
+
+    fn expect_base_err(res: Result<PreparedBase, CatalogError>) -> CatalogError {
+        match res {
+            Ok(_) => panic!("hostile base catalog was accepted"),
+            Err(e) => e,
+        }
+    }
+
+    #[test]
+    fn disconnected_base_component_rejected() {
+        // Two triangles in ONE declared component section: CRC-valid,
+        // semantically hostile — refine's share path would mis-serve it.
+        let g = fixture();
+        let base = crate::prepare::prepare_base(&g, 0.5, &PrepareConfig::default()).unwrap();
+        let two = from_edges(6, &[(0, 1, 0.9), (1, 2, 0.9), (3, 4, 0.9), (4, 5, 0.9)]).unwrap();
+        let bad = reseal_base(base_to_bytes(&base), "component.0.graph", |payload| {
+            *payload = encode_graph(&two);
+        });
+        // Map length no longer matches (3 ids vs 6 vertices) — widen the
+        // map too so connectivity is the first violated rule.
+        let bad = reseal_base(bad, "component.0.map", |payload| {
+            *payload = encode_ids(&[0, 1, 2, 3, 7, 8]);
+        });
+        let err = expect_base_err(base_from_bytes(Bytes::from(bad)));
+        assert!(err.to_string().contains("not connected"), "{err}");
+    }
+
+    #[test]
+    fn base_coverage_and_overlap_rejected() {
+        let g = fixture();
+        let base = crate::prepare::prepare_base(&g, 0.5, &PrepareConfig::default()).unwrap();
+        let bytes = base_to_bytes(&base);
+        // Drop a vertex from the isolated list: coverage sum breaks.
+        let short = reseal_base(bytes.clone(), "isolated", |payload| {
+            *payload = encode_ids(&[]);
+        });
+        let err = expect_base_err(base_from_bytes(Bytes::from(short)));
+        assert!(err.to_string().contains("cover"), "{err}");
+        // Rewrite a map onto an id another component owns: the fixture's
+        // components are {0,1,2} and {4,5,6}; remapping the second to
+        // {2,4,5} keeps the coverage sum and the ordering but double-
+        // covers vertex 2 (and orphans 6) — only the bitmap catches it.
+        let overlap = reseal_base(bytes, "component.1.map", |payload| {
+            *payload = encode_ids(&[2, 4, 5]);
+        });
+        let err = expect_base_err(base_from_bytes(Bytes::from(overlap)));
+        assert!(err.to_string().contains("more than one"), "{err}");
+    }
+
+    #[test]
+    fn sub_floor_edge_and_bad_floor_rejected() {
+        let g = fixture();
+        let base = crate::prepare::prepare_base(&g, 0.5, &PrepareConfig::default()).unwrap();
+        let mut bytes = base_to_bytes(&base);
+        // Claim a higher floor than the payload honors (0.5 → 0.85) and
+        // re-seal the header CRC: the 0.8-triangle now violates it.
+        bytes[16..24].copy_from_slice(&0.85f64.to_bits().to_le_bytes());
+        let hl = ugraph_io::catalog::HEADER_LEN;
+        let crc = ugraph_io::catalog::crc32(&bytes[..hl - 4]).to_le_bytes();
+        bytes[hl - 4..hl].copy_from_slice(&crc);
+        let err = expect_base_err(base_from_bytes(Bytes::from(bytes)));
+        assert!(err.to_string().contains("below the catalog's α"), "{err}");
+        // A floor outside [0, 1] (or NaN) is rejected before any section
+        // is touched.
+        for bad_floor in [1.5f64, -0.5, f64::NAN] {
+            let mut bytes = base_to_bytes(&base);
+            bytes[16..24].copy_from_slice(&bad_floor.to_bits().to_le_bytes());
+            let crc = ugraph_io::catalog::crc32(&bytes[..hl - 4]).to_le_bytes();
+            bytes[hl - 4..hl].copy_from_slice(&crc);
+            let err = expect_base_err(base_from_bytes(Bytes::from(bytes)));
+            assert!(err.to_string().contains("floor"), "{err}");
+        }
+    }
+
+    #[test]
+    fn base_edge_fingerprint_rejected() {
+        // At floor 0.0 pruning removes nothing, so Σ component edges
+        // must equal the header fingerprint exactly.
+        let g = fixture();
+        let base = crate::prepare::prepare_base(&g, 0.0, &PrepareConfig::default()).unwrap();
+        let mut bytes = base_to_bytes(&base);
+        bytes[56..64].copy_from_slice(&99u64.to_le_bytes()); // original_edges
+        let hl = ugraph_io::catalog::HEADER_LEN;
+        let crc = ugraph_io::catalog::crc32(&bytes[..hl - 4]).to_le_bytes();
+        bytes[hl - 4..hl].copy_from_slice(&crc);
+        let err = expect_base_err(base_from_bytes(Bytes::from(bytes)));
+        assert!(err.to_string().contains("fingerprint"), "{err}");
+    }
+
+    #[test]
+    fn base_section_order_and_meta_rejected() {
+        let g = fixture();
+        let base = crate::prepare::prepare_base(&g, 0.5, &PrepareConfig::default()).unwrap();
+        let cat = Catalog::from_bytes(Bytes::from(base_to_bytes(&base))).unwrap();
+        // Swap the tail sections: checksums fine, canon broken.
+        let mut order: Vec<String> = cat.sections().iter().map(|e| e.name.clone()).collect();
+        let n = order.len();
+        order.swap(n - 2, n - 1);
+        let mut writer = CatalogWriter::new(*cat.header());
+        for name in &order {
+            writer.add_section(name.clone(), cat.section(name).unwrap().to_vec());
+        }
+        let err = expect_base_err(base_from_bytes(Bytes::from(writer.finish())));
+        assert!(err.to_string().contains("canonical order"), "{err}");
+        // A lying meta length is typed, not a panic.
+        let bad_meta = reseal_base(base_to_bytes(&base), "base.meta", |payload| {
+            payload[0..4].copy_from_slice(&1000u32.to_le_bytes());
+        });
+        let err = expect_base_err(base_from_bytes(Bytes::from(bad_meta)));
+        assert!(err.to_string().contains("base.meta"), "{err}");
     }
 
     #[test]

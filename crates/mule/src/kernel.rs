@@ -42,6 +42,7 @@ use crate::limits::RunLimits;
 use crate::sinks::{CliqueSink, Control};
 use crate::stats::EnumerationStats;
 use std::ops::Range;
+use std::sync::Arc;
 use ugraph_core::intersect::{gallop_cost, gallop_search};
 use ugraph_core::{subgraph, GraphError, NeighborhoodIndex, UncertainGraph, VertexId};
 
@@ -169,10 +170,17 @@ impl Scan {
 const MERGE_FACTOR: usize = 16;
 
 /// Prepared search state shared by the enumeration algorithms.
+///
+/// The graph and index sit behind [`Arc`] so an α-generic base
+/// ([`crate::prepare::PreparedBase`]) can hand the *same* compact CSR
+/// and tiered index to every refined per-α view whose component the
+/// refinement left untouched — sharing is O(1) and the shared bytes
+/// are identical by construction, so byte-identity of the enumeration
+/// output is preserved for free.
 pub(crate) struct Kernel {
-    pub g: UncertainGraph,
+    pub g: Arc<UncertainGraph>,
     pub alpha: f64,
-    pub index: Option<NeighborhoodIndex>,
+    pub index: Option<Arc<NeighborhoodIndex>>,
     /// When degeneracy relabeling is on: internal id → original id.
     pub back_map: Option<Vec<VertexId>>,
 }
@@ -203,10 +211,10 @@ impl Kernel {
             IndexMode::Never => false,
             IndexMode::Auto => NeighborhoodIndex::should_build(&pruned, config.max_index_bytes),
         };
-        let index =
-            build_index.then(|| NeighborhoodIndex::build(&pruned, config.dense_index_bytes));
+        let index = build_index
+            .then(|| Arc::new(NeighborhoodIndex::build(&pruned, config.dense_index_bytes)));
         Ok(Kernel {
-            g: pruned,
+            g: Arc::new(pruned),
             alpha,
             index,
             back_map,
@@ -221,12 +229,27 @@ impl Kernel {
             IndexMode::Never => false,
             IndexMode::Auto => NeighborhoodIndex::should_build(&g, config.max_index_bytes),
         };
-        let index = build_index.then(|| NeighborhoodIndex::build(&g, config.dense_index_bytes));
+        let index =
+            build_index.then(|| Arc::new(NeighborhoodIndex::build(&g, config.dense_index_bytes)));
         Kernel {
-            g,
+            g: Arc::new(g),
             alpha,
             index,
             back_map: None,
+        }
+    }
+
+    /// Share this kernel's graph and index (O(1) `Arc` clones) under a
+    /// re-stamped α. Used by `PreparedBase::refine` for components the
+    /// α-dependent stages left untouched: the CSR bytes and index tiers
+    /// are the very ones a fresh pipeline would have produced, so the
+    /// refined view stays byte-identical while skipping the rebuild.
+    pub fn share_at(&self, alpha: f64) -> Self {
+        Kernel {
+            g: Arc::clone(&self.g),
+            alpha,
+            index: self.index.as_ref().map(Arc::clone),
+            back_map: self.back_map.clone(),
         }
     }
 

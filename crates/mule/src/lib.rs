@@ -43,6 +43,19 @@
 //! [`mod@catalog`] for the on-disk format and its validation
 //! guarantees.
 //!
+//! Because α is a *query-time* parameter in the paper, there is also an
+//! α-generic session shape: [`Query::prepare_base`] runs only the
+//! α-independent pipeline work once (floor-prune, component shard,
+//! index build) and returns a resident [`query::Base`] whose
+//! [`refine`](query::Base::refine)`(α)` derives, for any `α ≥ floor`, a
+//! [`Prepared`] session byte-identical to a fresh
+//! `Query::new(&g).alpha(α).prepare()` at a fraction of the cost —
+//! untouched components are shared, not copied. Bases persist through
+//! [`query::Base::save`] / [`Query::open_base`] as a flagged catalog
+//! variant, and `mule serve` keeps one resident base per catalog with
+//! an LRU of refined per-α views, so mixed-α traffic stops paying full
+//! pipeline runs.
+//!
 //! The historical free functions ([`enumerate_maximal_cliques`],
 //! [`enumerate_large_maximal_cliques`], [`par_enumerate_maximal_cliques`],
 //! the [`topk`] and NOIP wrappers) remain as thin delegates over the
@@ -112,7 +125,10 @@ pub use enumerate::{
 pub use large::{enumerate_large_maximal_cliques, LargeMule};
 pub use limits::CancelToken;
 pub use parallel::{par_enumerate_maximal_cliques, par_enumerate_prepared};
-pub use prepare::{prepare, PrepareConfig, PrepareReport, PreparedInstance};
-pub use query::{Cliques, Engine, MuleError, Prepared, Query};
+pub use prepare::{
+    prepare, prepare_base, BaseComponent, PrepareConfig, PrepareReport, PreparedBase,
+    PreparedInstance,
+};
+pub use query::{Base, Cliques, Engine, MuleError, Prepared, Query};
 pub use sinks::{CliqueSink, Control};
 pub use stats::EnumerationStats;

@@ -407,23 +407,7 @@ pub fn prepare(
         });
     }
 
-    // The global emission schedule: units in ascending original-id
-    // order (component-internal ids are already ascending in original
-    // order, so slotting per original vertex interleaves components
-    // exactly as the direct root loop would).
-    let mut unit_at: Vec<Option<Unit>> = vec![None; n];
-    for &v in &singletons {
-        unit_at[v as usize] = Some(Unit::Singleton(v));
-    }
-    for (ci, pc) in components.iter().enumerate() {
-        for (li, &orig) in pc.to_original.iter().enumerate() {
-            unit_at[orig as usize] = Some(Unit::Root {
-                comp: ci as u32,
-                local: li as u32,
-            });
-        }
-    }
-    let schedule: Vec<Unit> = unit_at.into_iter().flatten().collect();
+    let schedule = build_schedule(n, &singletons, &components);
 
     Ok(PreparedInstance {
         alpha,
@@ -467,7 +451,7 @@ impl PreparedInstance {
     pub fn components(&self) -> impl ExactSizeIterator<Item = (&UncertainGraph, &[VertexId])> {
         self.components
             .iter()
-            .map(|pc| (&pc.kernel.g, pc.to_original.as_slice()))
+            .map(|pc| (&*pc.kernel.g, pc.to_original.as_slice()))
     }
 
     /// Ascending original ids of isolated vertices, each a singleton
@@ -645,6 +629,31 @@ impl PreparedInstance {
     }
 }
 
+/// The global emission schedule: units in ascending original-id order
+/// (component-internal ids are already ascending in original order, so
+/// slotting per original vertex interleaves components exactly as the
+/// direct root loop would). Shared by [`prepare`] and
+/// `PreparedBase::refine` so the two construction paths cannot drift.
+fn build_schedule(
+    n: usize,
+    singletons: &[VertexId],
+    components: &[PreparedComponent],
+) -> Vec<Unit> {
+    let mut unit_at: Vec<Option<Unit>> = vec![None; n];
+    for &v in singletons {
+        unit_at[v as usize] = Some(Unit::Singleton(v));
+    }
+    for (ci, pc) in components.iter().enumerate() {
+        for (li, &orig) in pc.to_original.iter().enumerate() {
+            unit_at[orig as usize] = Some(Unit::Root {
+                comp: ci as u32,
+                local: li as u32,
+            });
+        }
+    }
+    unit_at.into_iter().flatten().collect()
+}
+
 /// One schedule unit of a prepared run: emit a singleton directly, or
 /// expand and search a root subtree (bounded when a size threshold is
 /// configured), translating ids in the sink layer. Shared verbatim by
@@ -760,6 +769,531 @@ pub fn enumerate_prepared(
         .expect("unlimited run cannot be interrupted");
     pairs.sort_by(|a, b| a.0.cmp(&b.0));
     Ok(pairs)
+}
+
+// ---------------------------------------------------------------------------
+// α-split base artifacts: prepare once at a floor, refine per α.
+// ---------------------------------------------------------------------------
+
+/// One α-independent base component: a compact, connected subgraph of
+/// the floor-pruned graph wrapped in a ready kernel (graph and tiered
+/// index behind [`std::sync::Arc`]), its monotone map to original ids,
+/// and the smallest edge probability inside it — the O(1) "does α touch
+/// this component at all?" probe `PreparedBase::refine` keys its
+/// fast path on.
+pub struct BaseComponent {
+    pub(crate) kernel: Kernel,
+    pub(crate) to_original: Vec<VertexId>,
+    pub(crate) min_prob: f64,
+}
+
+impl BaseComponent {
+    /// The compact, remapped component graph (floor-pruned bytes).
+    pub fn graph(&self) -> &UncertainGraph {
+        &self.kernel.g
+    }
+
+    /// Monotone map from compact ids to original vertex ids.
+    pub fn to_original(&self) -> &[VertexId] {
+        &self.to_original
+    }
+}
+
+/// The α-independent half of the pipeline: connected components of the
+/// floor-pruned graph, compact id maps and per-component tiered indexes,
+/// computed **once** and reusable for every query threshold `α ≥ floor`.
+///
+/// [`prepare_base`] runs only the α-generic work — a prune at the
+/// configurable floor (`0.0` = keep everything) and the component
+/// decomposition. No core-filter or peel runs at the floor: those
+/// stages are α-dependent, and running them early would compose
+/// differently with a later α than the fresh pipeline does. Keeping
+/// *all* material at the base is what lets `PreparedBase::refine`
+/// reconstruct the full [`PrepareReport`] and the exact component
+/// accounting of a fresh [`prepare`] at any α.
+///
+/// `refine(α)` derives a per-α [`PreparedInstance`] by masking sub-α
+/// edges *inside each component* and re-running the core-filter/peel
+/// bounds locally — every stage decomposes exactly per connected
+/// component, so the local runs produce bit-identical graphs, maps,
+/// schedule and report to the fresh global pipeline (pinned by
+/// `tests/alpha_refine.rs`). A component the α-stages leave untouched
+/// is **shared** into the refined view as two `Arc` clones (graph +
+/// index) with a re-stamped α — zero copying, zero index rebuild.
+pub struct PreparedBase {
+    floor: f64,
+    original_n: usize,
+    original_edges: usize,
+    /// The original graph's dataset name — re-attached when a refinement
+    /// collapses to the whole-graph identity path, whose kernel graph
+    /// carries the input name (component subgraphs carry `""`).
+    name: String,
+    config: PrepareConfig,
+    components: Vec<BaseComponent>,
+    /// Ascending original ids of vertices isolated at the floor.
+    isolated: Vec<VertexId>,
+}
+
+/// Run the α-independent pipeline stages over `g` at `floor` and build
+/// the reusable base artifact. `floor` must be a finite value in
+/// `[0, 1]`; `0.0` (the default in the session API) prunes nothing, so
+/// the base serves **every** valid α. Counts as one pipeline execution
+/// for [`pipeline_invocations`]; refinements add zero.
+pub fn prepare_base(
+    g: &UncertainGraph,
+    floor: f64,
+    config: &PrepareConfig,
+) -> Result<PreparedBase, GraphError> {
+    if !(0.0..=1.0).contains(&floor) {
+        // Rejects NaN too: comparisons with NaN are false.
+        return Err(GraphError::InvalidAlpha { value: floor });
+    }
+    PIPELINE_RUNS.fetch_add(1, Ordering::Relaxed);
+    let n = g.num_vertices();
+    // Edge probabilities are strictly positive, so a zero floor prunes
+    // nothing — work straight off the input (α validation also rejects
+    // 0, so the prune entry point cannot express it).
+    let pruned;
+    let work: &UncertainGraph = if floor > 0.0 {
+        pruned = subgraph::prune_below_alpha(g, floor)?;
+        &pruned
+    } else {
+        g
+    };
+    let mut components = Vec::new();
+    let mut isolated = Vec::new();
+    for list in Components::compute(work).vertex_lists() {
+        if list.len() == 1 {
+            isolated.push(list[0]);
+            continue;
+        }
+        let (sub, map) = subgraph::induced_subgraph(work, &list)?;
+        let min_prob = sub.min_edge_prob().expect("a size-≥2 component has edges");
+        components.push(BaseComponent {
+            kernel: Kernel::wrap(sub, floor, &config.mule),
+            to_original: map,
+            min_prob,
+        });
+    }
+    Ok(PreparedBase {
+        floor,
+        original_n: n,
+        original_edges: g.num_edges(),
+        name: g.name().to_string(),
+        config: config.clone(),
+        components,
+        isolated,
+    })
+}
+
+/// Per-base-component outcome of the α-dependent local stages.
+struct LocalRefinement {
+    /// The locally re-pruned/filtered/peeled graph — `None` when every
+    /// α-stage left the base component's bytes intact (the share path).
+    work: Option<UncertainGraph>,
+    /// Connected-component vertex lists (local ids) of the refined
+    /// graph, in local BFS order.
+    lists: Vec<Vec<VertexId>>,
+}
+
+impl LocalRefinement {
+    fn graph<'a>(&'a self, base: &'a BaseComponent) -> &'a UncertainGraph {
+        match &self.work {
+            Some(w) => w,
+            None => &base.kernel.g,
+        }
+    }
+}
+
+/// One entry of the merged global component order: a local list of a
+/// base component, or a vertex isolated at the floor.
+enum Slice {
+    Comp { j: usize, li: usize },
+    Iso(VertexId),
+}
+
+impl PreparedBase {
+    /// The α-floor the base was pruned at (`0.0` = no pruning).
+    pub fn floor(&self) -> f64 {
+        self.floor
+    }
+
+    /// The size threshold refinements are built for.
+    pub fn min_size(&self) -> usize {
+        self.config.min_size
+    }
+
+    /// Vertex count of the original graph.
+    pub fn original_vertices(&self) -> usize {
+        self.original_n
+    }
+
+    /// Edge count of the original graph (pre-floor), retained so
+    /// refinements can reconstruct the fresh α-prune accounting.
+    pub fn original_edges(&self) -> usize {
+        self.original_edges
+    }
+
+    /// The original graph's dataset name.
+    pub fn graph_name(&self) -> &str {
+        &self.name
+    }
+
+    /// The configuration refinements are built under.
+    pub fn config(&self) -> &PrepareConfig {
+        &self.config
+    }
+
+    /// The floor-pruned base components as `(graph, to_original)` pairs;
+    /// maps are monotone and pairwise disjoint.
+    pub fn components(&self) -> impl ExactSizeIterator<Item = (&UncertainGraph, &[VertexId])> {
+        self.components
+            .iter()
+            .map(|bc| (&*bc.kernel.g, bc.to_original.as_slice()))
+    }
+
+    /// Ascending original ids of vertices isolated at the floor.
+    pub fn isolated(&self) -> &[VertexId] {
+        &self.isolated
+    }
+
+    /// Reassemble a base from deserialized parts (the [`crate::catalog`]
+    /// open path). The decoder has validated the cross-part invariants
+    /// (connectivity, disjoint coverage, floor consistency); like
+    /// [`PreparedInstance::from_parts`] this never touches
+    /// [`PIPELINE_RUNS`] — but it does rebuild the per-component
+    /// indexes, which are derived state the catalog does not store.
+    pub(crate) fn from_parts(
+        floor: f64,
+        config: PrepareConfig,
+        original_n: usize,
+        original_edges: usize,
+        name: String,
+        parts: Vec<(UncertainGraph, Vec<VertexId>)>,
+        isolated: Vec<VertexId>,
+    ) -> Self {
+        let components = parts
+            .into_iter()
+            .map(|(g, map)| {
+                let min_prob = g.min_edge_prob().expect("a size-≥2 component has edges");
+                BaseComponent {
+                    kernel: Kernel::wrap(g, floor, &config.mule),
+                    to_original: map,
+                    min_prob,
+                }
+            })
+            .collect();
+        PreparedBase {
+            floor,
+            original_n,
+            original_edges,
+            name,
+            config,
+            components,
+            isolated,
+        }
+    }
+
+    /// Derive the per-α view: run the α-dependent stages (edge mask,
+    /// core filter, peel, local re-split) **inside each base component**
+    /// and assemble a [`PreparedInstance`] byte-identical — graphs, id
+    /// maps, schedule, report, probability bits — to a fresh
+    /// [`prepare`]`(g, alpha, config)`. Components the α-stages leave
+    /// untouched are shared (`Arc` clones of graph and index) instead of
+    /// rebuilt. Does **not** count as a pipeline execution.
+    ///
+    /// The caller (the session layer) guarantees `alpha ≥ floor`; below
+    /// the floor the base is missing edges the fresh pipeline would
+    /// keep, so the equivalence breaks — debug-asserted here, surfaced
+    /// as a typed error in [`crate::query`].
+    pub(crate) fn refine(&self, alpha: f64) -> Result<PreparedInstance, GraphError> {
+        let alpha = UncertainGraph::validate_alpha(alpha)?.get();
+        debug_assert!(
+            alpha >= self.floor,
+            "refine below the base floor ({} < {})",
+            alpha,
+            self.floor
+        );
+        let t = self.config.min_size;
+        let n = self.original_n;
+        let mut report = PrepareReport {
+            original_vertices: n,
+            original_edges: self.original_edges,
+            ..Default::default()
+        };
+
+        // The α-dependent stages, per base component. Every stage
+        // decomposes exactly per connected component (prune and restrict
+        // are edge/vertex-local, core numbers are a per-component
+        // fixpoint of the peel recurrence, the Modani–Dey peel is a
+        // per-component fixpoint, and `Components` refines within base
+        // components), so local runs reproduce the fresh global bytes.
+        let mut surviving = 0usize; // Σ edges after local stage 1
+        let mut locals: Vec<LocalRefinement> = Vec::with_capacity(self.components.len());
+        for bc in &self.components {
+            let mut work: Option<UncertainGraph> = None;
+
+            // Stage 1: mask sub-α edges. `min_prob ≥ α` ⇔ nothing to
+            // drop ⇔ the pruned CSR would be byte-identical — skip.
+            if bc.min_prob < alpha {
+                work = Some(subgraph::prune_below_alpha(&bc.kernel.g, alpha)?);
+            }
+            surviving += work
+                .as_ref()
+                .map_or(bc.kernel.g.num_edges(), |w| w.num_edges());
+
+            // Stage 2: expected-degree (t−1)·α-core filter, locally.
+            if t >= 2 && self.config.core_filter {
+                let cur = match &work {
+                    Some(w) => w,
+                    None => &bc.kernel.g,
+                };
+                let mut restricted = None;
+                if cur.num_edges() > 0 {
+                    let decomp = CoreDecomposition::compute(cur);
+                    let threshold = (t - 1) as f64 * alpha;
+                    let nj = cur.num_vertices();
+                    let mut in_core = vec![false; nj];
+                    for v in decomp.core(threshold) {
+                        in_core[v as usize] = true;
+                    }
+                    let dropped = (0..nj)
+                        .filter(|&v| !in_core[v] && cur.degree(v as VertexId) > 0)
+                        .count();
+                    if dropped > 0 {
+                        let before = cur.num_edges();
+                        let r = subgraph::restrict_to_vertices(cur, &in_core);
+                        report.core_filtered_vertices += dropped;
+                        report.core_filtered_edges += before - r.num_edges();
+                        restricted = Some(r);
+                    }
+                }
+                if restricted.is_some() {
+                    work = restricted;
+                }
+            }
+
+            // Stage 3: shared-neighborhood peel, locally. A no-removal
+            // peel rebuilds the identical CSR, so only edge loss (or an
+            // already-touched component, where the fresh path would
+            // carry the peeled copy anyway) replaces the graph.
+            if t >= 3 && self.config.shared_neighborhood {
+                let (cur_edges, peeled) = {
+                    let cur = match &work {
+                        Some(w) => w,
+                        None => &bc.kernel.g,
+                    };
+                    if cur.num_edges() > 0 {
+                        let (peeled, pr) = shared_neighborhood_peel(cur, t)?;
+                        report.shared_pruned_edges += pr.shared_pruned_edges;
+                        report.shared_isolated_vertices += pr.degree_pruned_vertices;
+                        (cur.num_edges(), Some(peeled))
+                    } else {
+                        (0, None)
+                    }
+                };
+                if let Some(p) = peeled {
+                    if work.is_some() || p.num_edges() != cur_edges {
+                        work = Some(p);
+                    }
+                }
+            }
+
+            // Stage 4a: local re-split — only when masking actually
+            // changed the component. Untouched components are connected
+            // by construction, so their single list is known.
+            let lists = match &work {
+                None => vec![(0..bc.kernel.g.num_vertices() as VertexId).collect()],
+                Some(w) => Components::compute(w).vertex_lists(),
+            };
+            locals.push(LocalRefinement { work, lists });
+        }
+        report.alpha_pruned_edges = self.original_edges - surviving;
+
+        // Stage 4b: merge the local component lists and the floor
+        // isolates into the global order — `Components` discovers
+        // components by ascending smallest member, and the base maps are
+        // monotone and disjoint, so sorting by first original id
+        // reproduces the fresh global discovery order exactly.
+        let mut entries: Vec<(VertexId, Slice)> = Vec::new();
+        for (j, (bc, lr)) in self.components.iter().zip(&locals).enumerate() {
+            for (li, list) in lr.lists.iter().enumerate() {
+                let first = bc.to_original[list[0] as usize];
+                entries.push((first, Slice::Comp { j, li }));
+            }
+        }
+        for &v in &self.isolated {
+            entries.push((v, Slice::Iso(v)));
+        }
+        entries.sort_unstable_by_key(|e| e.0);
+        let entry_len = |s: &Slice| match s {
+            Slice::Comp { j, li } => locals[*j].lists[*li].len(),
+            Slice::Iso(_) => 1,
+        };
+
+        let mut components: Vec<PreparedComponent> = Vec::new();
+        let mut singletons: Vec<VertexId> = Vec::new();
+        let min_keep = t.max(2);
+        if self.config.shard_components {
+            report.components_total = entries.len();
+            let qualifying = entries
+                .iter()
+                .filter(|(_, s)| entry_len(s) >= min_keep)
+                .count();
+            if qualifying == 1 {
+                // Identity fast path, replayed: the fresh pipeline would
+                // wrap the *whole* pruned graph — rebuild it by merging
+                // the local rows back into one n-vertex CSR (translated
+                // rows stay sorted under the monotone maps, probability
+                // bits are copied) under the original dataset name.
+                for (_, s) in &entries {
+                    let len = entry_len(s);
+                    if len >= min_keep {
+                        report.components_kept = 1;
+                        report.largest_component = len;
+                        let Slice::Comp { j, li } = s else {
+                            unreachable!("an isolate never meets min_keep ≥ 2")
+                        };
+                        let cur = locals[*j].graph(&self.components[*j]);
+                        let arcs: usize =
+                            locals[*j].lists[*li].iter().map(|&v| cur.degree(v)).sum();
+                        report.final_edges = arcs / 2;
+                        report.final_vertices += len;
+                    } else if len == 1 && t <= 1 {
+                        report.singleton_vertices += 1;
+                        report.final_vertices += 1;
+                    } else {
+                        report.components_dropped_small += 1;
+                    }
+                }
+                let identity: Vec<VertexId> = (0..n as VertexId).collect();
+                components.push(PreparedComponent {
+                    kernel: Kernel::wrap(self.merged_work(&locals), alpha, &self.config.mule),
+                    to_original: identity,
+                });
+            } else {
+                for (_, s) in &entries {
+                    let len = entry_len(s);
+                    if len < min_keep {
+                        if len == 1 && t <= 1 {
+                            report.singleton_vertices += 1;
+                            let v = match s {
+                                Slice::Comp { j, li } => {
+                                    self.components[*j].to_original
+                                        [locals[*j].lists[*li][0] as usize]
+                                }
+                                Slice::Iso(v) => *v,
+                            };
+                            singletons.push(v);
+                        } else {
+                            report.components_dropped_small += 1;
+                        }
+                        continue;
+                    }
+                    let Slice::Comp { j, li } = s else {
+                        unreachable!("an isolate never meets min_keep ≥ 2")
+                    };
+                    let (bc, lr) = (&self.components[*j], &locals[*j]);
+                    report.components_kept += 1;
+                    report.largest_component = report.largest_component.max(len);
+                    report.final_vertices += len;
+                    if lr.work.is_none() {
+                        // Untouched: the fresh induced subgraph would be
+                        // byte-identical to the base component, so share
+                        // the resident graph and index (O(1)) under a
+                        // re-stamped α.
+                        report.final_edges += bc.kernel.g.num_edges();
+                        components.push(PreparedComponent {
+                            kernel: bc.kernel.share_at(alpha),
+                            to_original: bc.to_original.clone(),
+                        });
+                    } else {
+                        let list = &lr.lists[*li];
+                        let (sub, _) = subgraph::induced_subgraph(lr.graph(bc), list)?;
+                        report.final_edges += sub.num_edges();
+                        let map: Vec<VertexId> =
+                            list.iter().map(|&l| bc.to_original[l as usize]).collect();
+                        components.push(PreparedComponent {
+                            kernel: Kernel::wrap(sub, alpha, &self.config.mule),
+                            to_original: map,
+                        });
+                    }
+                }
+                report.final_vertices += singletons.len();
+                report.largest_component = report
+                    .largest_component
+                    .max(usize::from(!singletons.is_empty()));
+            }
+        } else if n > 0 {
+            report.components_total = 1;
+            report.components_kept = 1;
+            report.largest_component = n;
+            let merged = self.merged_work(&locals);
+            report.final_edges = merged.num_edges();
+            report.final_vertices = n;
+            let identity: Vec<VertexId> = (0..n as VertexId).collect();
+            components.push(PreparedComponent {
+                kernel: Kernel::wrap(merged, alpha, &self.config.mule),
+                to_original: identity,
+            });
+        }
+
+        let schedule = build_schedule(n, &singletons, &components);
+        Ok(PreparedInstance::from_parts(
+            alpha,
+            self.config.clone(),
+            n,
+            components,
+            singletons,
+            schedule,
+            report,
+        ))
+    }
+
+    /// Merge the locally refined component rows back into one global
+    /// n-vertex CSR — the graph the fresh pipeline's whole-graph paths
+    /// (identity fast path, shard-off) would hold. Monotone maps keep
+    /// translated rows sorted; floor isolates contribute empty rows;
+    /// the original dataset name is re-attached (prune/restrict/peel
+    /// all preserve it on the fresh path).
+    fn merged_work(&self, locals: &[LocalRefinement]) -> UncertainGraph {
+        let n = self.original_n;
+        let mut slot = vec![u32::MAX; n];
+        for (j, bc) in self.components.iter().enumerate() {
+            for &orig in &bc.to_original {
+                slot[orig as usize] = j as u32;
+            }
+        }
+        let mut local_id = vec![0u32; n];
+        for bc in &self.components {
+            for (l, &orig) in bc.to_original.iter().enumerate() {
+                local_id[orig as usize] = l as u32;
+            }
+        }
+        let arcs: usize = locals
+            .iter()
+            .zip(&self.components)
+            .map(|(lr, bc)| 2 * lr.graph(bc).num_edges())
+            .sum();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        let mut neighbors = Vec::with_capacity(arcs);
+        let mut probs = Vec::with_capacity(arcs);
+        for v in 0..n {
+            let j = slot[v];
+            if j != u32::MAX {
+                let bc = &self.components[j as usize];
+                let cur = locals[j as usize].graph(bc);
+                for (w, p) in cur.neighbors_with_probs(local_id[v]) {
+                    neighbors.push(bc.to_original[w as usize]);
+                    probs.push(p);
+                }
+            }
+            offsets.push(neighbors.len());
+        }
+        UncertainGraph::try_from_csr(offsets, neighbors, probs, self.name.clone())
+            .expect("merged per-component rows form a valid CSR")
+    }
 }
 
 #[cfg(test)]
@@ -1048,5 +1582,154 @@ mod tests {
         let mut sink = CountSink::new();
         inst.run(&mut sink);
         assert_eq!(sink.count, 20);
+    }
+
+    /// Serialized-catalog bytes are the byte-identity proxy: they cover
+    /// every component graph (CSR + probability bits + name), id map,
+    /// the singleton list, the schedule, the report and α itself.
+    fn catalog_bytes(inst: &PreparedInstance) -> Vec<u8> {
+        crate::catalog::to_bytes(inst)
+    }
+
+    #[test]
+    fn refine_is_byte_identical_to_fresh_prepare() {
+        let g = fixture();
+        for floor in [0.0, 0.25, 0.5] {
+            for t in [0usize, 2, 3, 4] {
+                let cfg = PrepareConfig::with_min_size(t);
+                let base = prepare_base(&g, floor, &cfg).unwrap();
+                for alpha in [0.9, 0.75, 0.5, 0.25] {
+                    if alpha < floor {
+                        continue;
+                    }
+                    let fresh = prepare(&g, alpha, &cfg).unwrap();
+                    let refined = base.refine(alpha).unwrap();
+                    assert_eq!(
+                        catalog_bytes(&refined),
+                        catalog_bytes(&fresh),
+                        "floor={floor} t={t} α={alpha}"
+                    );
+                    let mut s1 = CollectSink::new();
+                    let mut refined = refined;
+                    refined.run(&mut s1);
+                    let mut s2 = CollectSink::new();
+                    let mut fresh = fresh;
+                    fresh.run(&mut s2);
+                    assert_eq!(s1.into_pairs(), s2.into_pairs());
+                    assert_eq!(refined.stats(), fresh.stats());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn refine_reproduces_identity_fast_path_and_shard_off() {
+        // K4 plus a weak edge and an isolated vertex — exactly one real
+        // component at t = 3, so fresh prepare takes the identity fast
+        // path and refine must rebuild the merged whole-graph kernel
+        // (original name included).
+        let mut edges = vec![(4u32, 5u32, 0.4)];
+        for u in 0..4u32 {
+            for v in (u + 1)..4 {
+                edges.push((u, v, 0.9));
+            }
+        }
+        let g = from_edges(7, &edges).unwrap().with_name("merged-fixture");
+        for cfg in [
+            PrepareConfig::with_min_size(3),
+            PrepareConfig {
+                shard_components: false,
+                ..Default::default()
+            },
+        ] {
+            let base = prepare_base(&g, 0.0, &cfg).unwrap();
+            for alpha in [0.9, 0.5, 0.3] {
+                let fresh = prepare(&g, alpha, &cfg).unwrap();
+                let refined = base.refine(alpha).unwrap();
+                assert_eq!(
+                    catalog_bytes(&refined),
+                    catalog_bytes(&fresh),
+                    "t={} shard={} α={alpha}",
+                    cfg.min_size,
+                    cfg.shard_components
+                );
+                let (kg, _) = refined.components().next().unwrap();
+                assert_eq!(kg.name(), "merged-fixture");
+            }
+        }
+    }
+
+    #[test]
+    fn refine_splits_components_when_masking_disconnects() {
+        // Barbell: two triangles joined by a weak bridge. At α = 0.5 the
+        // bridge masks away inside the base component, which must split
+        // locally into two compact instances matching fresh prepare.
+        let g = from_edges(
+            6,
+            &[
+                (0, 1, 0.9),
+                (1, 2, 0.9),
+                (0, 2, 0.9),
+                (2, 3, 0.3),
+                (3, 4, 0.8),
+                (4, 5, 0.8),
+                (3, 5, 0.8),
+            ],
+        )
+        .unwrap();
+        let base = prepare_base(&g, 0.0, &PrepareConfig::default()).unwrap();
+        assert_eq!(base.components().len(), 1, "one component at the floor");
+        let refined = base.refine(0.5).unwrap();
+        let fresh = prepare(&g, 0.5, &PrepareConfig::default()).unwrap();
+        assert_eq!(refined.components().len(), 2);
+        assert_eq!(catalog_bytes(&refined), catalog_bytes(&fresh));
+    }
+
+    #[test]
+    fn untouched_components_share_graph_and_index_storage() {
+        let g = fixture();
+        let base = prepare_base(&g, 0.0, &PrepareConfig::default()).unwrap();
+        // α = 0.5: both triangles survive untouched (min probs 0.9 and
+        // 0.8), the 0.3 pendant splits. The triangle kernels must be the
+        // *same* allocation, not byte-equal copies.
+        let refined = base.refine(0.5).unwrap();
+        let shared = refined
+            .components
+            .iter()
+            .filter(|pc| {
+                base.components
+                    .iter()
+                    .any(|bc| std::sync::Arc::ptr_eq(&bc.kernel.g, &pc.kernel.g))
+            })
+            .count();
+        assert_eq!(shared, 2);
+        for pc in &refined.components {
+            assert_eq!(pc.kernel.alpha, 0.5, "shared kernels are re-stamped");
+        }
+    }
+
+    #[test]
+    fn refine_does_not_count_as_a_pipeline_run() {
+        let g = fixture();
+        let before = pipeline_invocations();
+        let base = prepare_base(&g, 0.0, &PrepareConfig::default()).unwrap();
+        let _ = base.refine(0.5).unwrap();
+        let _ = base.refine(0.9).unwrap();
+        assert_eq!(pipeline_invocations(), before + 1);
+    }
+
+    #[test]
+    fn prepare_base_rejects_bad_floors() {
+        let g = fixture();
+        for bad in [-0.1, 1.5, f64::NAN] {
+            assert!(matches!(
+                prepare_base(&g, bad, &PrepareConfig::default()),
+                Err(GraphError::InvalidAlpha { .. })
+            ));
+        }
+        // 0.0 and 1.0 are both legal floors (unlike query α, which
+        // must be strictly positive).
+        assert!(prepare_base(&g, 0.0, &PrepareConfig::default()).is_ok());
+        assert!(prepare_base(&g, 1.0, &PrepareConfig::default()).is_ok());
     }
 }

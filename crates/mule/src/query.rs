@@ -133,11 +133,50 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! # α-generic sessions: prepare once, refine per α
+//!
+//! α is a *query-time* parameter in the paper — the same graph is
+//! interrogated at many thresholds — so baking α into the prepared
+//! artifact forces a full pipeline run per threshold.
+//! [`Query::prepare_base`] instead runs only the α-independent work
+//! (floor-prune at [`Query::alpha_floor`], default `0.0` = keep
+//! everything; component shard; per-component index build) and returns
+//! a resident [`Base`]. [`Base::refine`]`(α)` then derives a full
+//! [`Prepared`] session for any `α ≥ floor` by masking sub-α edges and
+//! re-running the cheap bound stages *inside* each component —
+//! byte-identical (order, probability bits, stats) to a fresh
+//! `Query::new(&g).alpha(α).prepare()`, at a fraction of the cost;
+//! components the α-stages leave untouched are shared into the view
+//! without copying. Bases persist too: [`Base::save`] /
+//! [`Query::open_base`] use a flagged catalog variant storing the base
+//! plus its floor, and opening a catalog through the wrong entry point
+//! fails with the typed [`ugraph_io::catalog::CatalogError::WrongKind`].
+//! Refining below the floor fails with [`MuleError::AlphaBelowFloor`].
+//!
+//! ```
+//! use mule::{Query, MuleError};
+//! use ugraph_core::builder::from_edges;
+//!
+//! # fn main() -> Result<(), MuleError> {
+//! let g = from_edges(4, &[
+//!     (0, 1, 0.9), (1, 2, 0.9), (0, 2, 0.9),
+//!     (2, 3, 0.6),
+//! ])?;
+//! let base = Query::new(&g).prepare_base()?; // no α needed here
+//! for alpha in [0.9, 0.5] {
+//!     let mut refined = base.refine(alpha)?;          // cheap
+//!     let mut fresh = Query::new(&g).alpha(alpha).prepare()?; // full pipeline
+//!     assert_eq!(refined.collect()?, fresh.collect()?);
+//! }
+//! # Ok(())
+//! # }
+//! ```
 
 use crate::dfs_noip::DfsNoip;
 use crate::enumerate::{IndexMode, MuleConfig};
 use crate::limits::{CancelToken, Interrupt, LimitSpec, RunLimits};
-use crate::prepare::{prepare, PrepareConfig, PrepareReport, PreparedInstance};
+use crate::prepare::{prepare, PrepareConfig, PrepareReport, PreparedBase, PreparedInstance};
 use crate::sinks::{CliqueSink, CollectSink, Control, CountSink, RemapSink, TopKSink};
 use crate::stats::EnumerationStats;
 use crate::topk::RankedCliques;
@@ -195,6 +234,16 @@ pub enum MuleError {
         /// Counters of the interrupted (partial) run.
         stats: EnumerationStats,
     },
+    /// [`Base::refine`] was asked for an α below the base's floor. The
+    /// base was pruned at the floor, so it is missing edges the query
+    /// would need — re-prepare the base with a lower
+    /// [`Query::alpha_floor`] instead.
+    AlphaBelowFloor {
+        /// The requested query threshold.
+        alpha: f64,
+        /// The floor the base artifact was pruned at.
+        floor: f64,
+    },
 }
 
 impl fmt::Display for MuleError {
@@ -225,6 +274,11 @@ impl fmt::Display for MuleError {
                 f,
                 "cancelled after {} search nodes ({} cliques emitted)",
                 stats.calls, stats.emitted
+            ),
+            MuleError::AlphaBelowFloor { alpha, floor } => write!(
+                f,
+                "alpha {alpha} is below the base artifact's floor {floor}: \
+                 the base is missing sub-floor edges this query would need"
             ),
         }
     }
@@ -332,6 +386,7 @@ pub enum Engine {
 pub struct Query<'g> {
     g: &'g UncertainGraph,
     alpha: Option<f64>,
+    alpha_floor: f64,
     min_size: usize,
     threads: usize,
     engine: Engine,
@@ -350,6 +405,7 @@ impl<'g> Query<'g> {
         Query {
             g,
             alpha: None,
+            alpha_floor: 0.0,
             min_size: 0,
             threads: 1,
             engine: Engine::Auto,
@@ -365,6 +421,17 @@ impl<'g> Query<'g> {
     /// Validated by [`Query::prepare`] (must lie in `(0, 1]`).
     pub fn alpha(mut self, alpha: f64) -> Self {
         self.alpha = Some(alpha);
+        self
+    }
+
+    /// The α-floor for [`Query::prepare_base`] (default `0.0` = prune
+    /// nothing, so the base serves every valid α). Edges below the
+    /// floor are dropped from the base artifact once, making it
+    /// smaller; in exchange, [`Base::refine`] only accepts `α ≥ floor`.
+    /// Validated by [`Query::prepare_base`] (must lie in `[0, 1]` —
+    /// unlike a query α, `0` is legal). Ignored by [`Query::prepare`].
+    pub fn alpha_floor(mut self, floor: f64) -> Self {
+        self.alpha_floor = floor;
         self
     }
 
@@ -542,6 +609,174 @@ impl<'g> Query<'g> {
     pub fn open_bytes(bytes: impl Into<Vec<u8>>) -> Result<Prepared, MuleError> {
         let inst = crate::catalog::from_bytes(ugraph_io::Bytes::from(bytes.into()))?;
         Ok(Prepared::from_instance(inst))
+    }
+
+    /// Validate the builder state and run only the **α-independent**
+    /// pipeline work — floor-prune ([`Query::alpha_floor`], default
+    /// none) and component decomposition, with the per-component tiered
+    /// indexes built once. The returned [`Base`] derives a full
+    /// [`Prepared`] session for any `α ≥ floor` via [`Base::refine`],
+    /// byte-identical to `Query::new(&g).alpha(α).prepare()` but
+    /// without re-running the α-generic stages: untouched components
+    /// are shared into the refined session as `Arc` clones.
+    ///
+    /// [`Query::alpha`] is not required (and not consulted) — α is
+    /// supplied per refinement. Runtime settings (threads, engine,
+    /// limits) set on this builder become the template every refined
+    /// session starts from.
+    pub fn prepare_base(self) -> Result<Base, MuleError> {
+        if self.threads == 0 {
+            return Err(MuleError::ZeroThreads);
+        }
+        let cfg = PrepareConfig {
+            min_size: self.min_size,
+            core_filter: self.core_filter,
+            shared_neighborhood: self.shared_neighborhood,
+            shard_components: self.shard_components,
+            mule: self.mule,
+        };
+        let base = crate::prepare::prepare_base(self.g, self.alpha_floor, &cfg)?;
+        Ok(Base {
+            base,
+            threads: self.threads,
+            engine: self.engine,
+            limits: self.limits,
+        })
+    }
+
+    /// Rebuild a [`Base`] from a base catalog file written by
+    /// [`Base::save`] — the α-generic counterpart of [`Query::open`].
+    /// No pipeline stage runs; only validation and the deterministic
+    /// per-component index rebuild. Opening a fixed-α catalog through
+    /// this entry point fails with
+    /// [`CatalogError::WrongKind`](ugraph_io::catalog::CatalogError) —
+    /// and vice versa for [`Query::open`] on a base catalog — so the
+    /// two artifact kinds cannot be confused silently.
+    pub fn open_base(path: impl AsRef<Path>) -> Result<Base, MuleError> {
+        let base = crate::catalog::open_base(path)?;
+        Ok(Base::from_base(base))
+    }
+
+    /// [`Query::open_base`] over an in-memory byte image (the
+    /// counterpart of [`Base::to_catalog_bytes`]).
+    pub fn open_base_bytes(bytes: impl Into<Vec<u8>>) -> Result<Base, MuleError> {
+        let base = crate::catalog::base_from_bytes(ugraph_io::Bytes::from(bytes.into()))?;
+        Ok(Base::from_base(base))
+    }
+}
+
+/// An α-generic prepared artifact: the output of [`Query::prepare_base`].
+///
+/// Owns the [`PreparedBase`] (floor-pruned components, id maps, tiered
+/// indexes — computed once) plus the runtime template (threads, engine,
+/// limits) refined sessions start from. One resident `Base` serves every
+/// query threshold `α ≥ floor`: [`Base::refine`] derives a [`Prepared`]
+/// session byte-identical to a fresh `Query::new(&g).alpha(α).prepare()`
+/// while re-running only the cheap α-dependent bounds locally per
+/// component — this is the paper's "α is a query-time parameter" shape
+/// made resident.
+pub struct Base {
+    base: PreparedBase,
+    threads: usize,
+    engine: Engine,
+    limits: LimitSpec,
+}
+
+impl Base {
+    /// A base opened from a catalog: default runtime template (one
+    /// thread, [`Engine::Auto`], no limits), like [`Query::open`].
+    fn from_base(base: PreparedBase) -> Self {
+        Base {
+            base,
+            threads: 1,
+            engine: Engine::Auto,
+            limits: LimitSpec::default(),
+        }
+    }
+
+    /// The α-floor the base was pruned at (`0.0` = serves every α).
+    pub fn floor(&self) -> f64 {
+        self.base.floor()
+    }
+
+    /// The size threshold refinements are built for.
+    pub fn min_size(&self) -> usize {
+        self.base.min_size()
+    }
+
+    /// Number of floor-level components resident in the base.
+    pub fn num_components(&self) -> usize {
+        self.base.components().len()
+    }
+
+    /// The underlying α-independent artifact, for advanced callers.
+    pub fn prepared_base(&self) -> &PreparedBase {
+        &self.base
+    }
+
+    /// Retune the worker-thread template refined sessions start with.
+    /// Rejects `0` exactly like [`Query::threads`].
+    pub fn set_threads(&mut self, n: usize) -> Result<(), MuleError> {
+        if n == 0 {
+            return Err(MuleError::ZeroThreads);
+        }
+        self.threads = n;
+        Ok(())
+    }
+
+    /// Retune the engine template refined sessions start with.
+    pub fn set_engine(&mut self, engine: Engine) {
+        self.engine = engine;
+    }
+
+    /// Derive a full [`Prepared`] session at `alpha` — the per-α step.
+    ///
+    /// Output is byte-identical (cliques, order, probability bits,
+    /// stats, report) to `Query::new(&g).alpha(alpha).prepare()` with
+    /// the same builder settings, but no α-generic stage re-runs:
+    /// components the α-mask leaves untouched are shared (`Arc` clones
+    /// of graph and index), and only the core-filter/peel bounds re-run
+    /// locally where masking bit something. `α < floor` fails with
+    /// [`MuleError::AlphaBelowFloor`]; an out-of-range α with the usual
+    /// graph-layer validation error. The base is unaffected either way
+    /// and can refine any number of thresholds.
+    pub fn refine(&self, alpha: f64) -> Result<Prepared, MuleError> {
+        if alpha < self.base.floor() {
+            return Err(MuleError::AlphaBelowFloor {
+                alpha,
+                floor: self.base.floor(),
+            });
+        }
+        let inst = self.base.refine(alpha)?;
+        let noip = match self.engine {
+            Engine::Auto => Vec::new(),
+            Engine::Noip => inst
+                .components()
+                .map(|(sub, _)| DfsNoip::from_pruned(sub.clone(), inst.alpha()))
+                .collect(),
+        };
+        Ok(Prepared {
+            inst,
+            noip,
+            engine: self.engine,
+            threads: self.threads,
+            stats: EnumerationStats::new(),
+            limits: self.limits.clone(),
+        })
+    }
+
+    /// Persist the base as a flagged-UGQ1 catalog file (see
+    /// [`crate::catalog`] for the byte layout). A later
+    /// [`Query::open_base`] rebuilds an equivalent base that refines
+    /// every `α ≥ floor` byte-identically, with zero pipeline work
+    /// beyond the refinement itself.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), MuleError> {
+        Ok(crate::catalog::save_base(&self.base, path)?)
+    }
+
+    /// The catalog byte image [`Base::save`] would write.
+    pub fn to_catalog_bytes(&self) -> Vec<u8> {
+        crate::catalog::base_to_bytes(&self.base)
     }
 }
 
@@ -1202,11 +1437,124 @@ mod tests {
         assert!(text.contains("alpha"));
         assert!(MuleError::ZeroThreads.to_string().contains("at least 1"));
         assert!(MuleError::ZeroTopK.to_string().contains("k = 0"));
+        assert!(MuleError::AlphaBelowFloor {
+            alpha: 0.2,
+            floor: 0.5
+        }
+        .to_string()
+        .contains("floor"));
         let ge: MuleError = GraphError::InvalidAlpha { value: 2.0 }.into();
         use std::error::Error;
         assert!(ge.source().is_some());
         let io: MuleError = std::io::Error::other("boom").into();
         assert!(io.to_string().contains("boom"));
         assert!(io.source().is_some());
+    }
+
+    #[test]
+    fn base_refines_byte_identically_across_engines_and_settings() {
+        let g = fixture();
+        for engine in [Engine::Auto, Engine::Noip] {
+            for t in [0usize, 3] {
+                let base = Query::new(&g)
+                    .min_size(t)
+                    .engine(engine)
+                    .prepare_base()
+                    .unwrap();
+                for alpha in [0.9, 0.5, 0.25] {
+                    let mut refined = base.refine(alpha).unwrap();
+                    let mut fresh = Query::new(&g)
+                        .alpha(alpha)
+                        .min_size(t)
+                        .engine(engine)
+                        .prepare()
+                        .unwrap();
+                    assert_eq!(
+                        refined.collect().unwrap(),
+                        fresh.collect().unwrap(),
+                        "{engine:?} t={t} α={alpha}"
+                    );
+                    assert_eq!(refined.stats(), fresh.stats(), "{engine:?} t={t} α={alpha}");
+                    assert_eq!(
+                        refined.report(),
+                        fresh.report(),
+                        "{engine:?} t={t} α={alpha}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn base_floor_is_enforced_and_validated() {
+        let g = fixture();
+        assert!(matches!(
+            Query::new(&g).alpha_floor(1.5).prepare_base(),
+            Err(MuleError::Graph(GraphError::InvalidAlpha { .. }))
+        ));
+        assert!(matches!(
+            Query::new(&g).threads(0).prepare_base(),
+            Err(MuleError::ZeroThreads)
+        ));
+        let base = Query::new(&g).alpha_floor(0.5).prepare_base().unwrap();
+        assert_eq!(base.floor(), 0.5);
+        assert!(matches!(
+            base.refine(0.25),
+            Err(MuleError::AlphaBelowFloor { .. })
+        ));
+        assert!(matches!(
+            base.refine(1.5),
+            Err(MuleError::Graph(GraphError::InvalidAlpha { .. }))
+        ));
+        // At or above the floor everything works, byte-identically.
+        let mut at_floor = base.refine(0.5).unwrap();
+        let mut fresh = Query::new(&g).alpha(0.5).prepare().unwrap();
+        assert_eq!(at_floor.collect().unwrap(), fresh.collect().unwrap());
+    }
+
+    #[test]
+    fn base_catalog_round_trip_through_session_api() {
+        let g = fixture();
+        let base = Query::new(&g).prepare_base().unwrap();
+        let bytes = base.to_catalog_bytes();
+        let runs_before = crate::prepare::pipeline_invocations();
+        let mut reopened = Query::open_base_bytes(bytes).unwrap();
+        assert_eq!(
+            crate::prepare::pipeline_invocations(),
+            runs_before,
+            "open_base must not run the pipeline"
+        );
+        reopened.set_threads(2).unwrap();
+        assert!(reopened.set_threads(0).is_err());
+        reopened.set_engine(Engine::Noip);
+        for alpha in [0.9, 0.5] {
+            let mut a = reopened.refine(alpha).unwrap();
+            // Same runtime template on the fresh side: the contract is
+            // byte-identity under *equal* settings.
+            let mut b = Query::new(&g)
+                .alpha(alpha)
+                .threads(2)
+                .engine(Engine::Noip)
+                .prepare()
+                .unwrap();
+            assert_eq!(a.collect().unwrap(), b.collect().unwrap(), "α={alpha}");
+        }
+        // File round trip through save/open_base.
+        let path = std::env::temp_dir().join("mule-query-base-roundtrip.ugq");
+        base.save(&path).unwrap();
+        let from_file = Query::open_base(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(from_file.floor(), base.floor());
+        assert_eq!(from_file.num_components(), base.num_components());
+        // Wrong-kind opens are typed in both directions.
+        let fixed = Query::new(&g).alpha(0.5).prepare().unwrap();
+        assert!(matches!(
+            Query::open_base_bytes(fixed.to_catalog_bytes()),
+            Err(MuleError::Catalog(CatalogError::WrongKind { .. }))
+        ));
+        assert!(matches!(
+            Query::open_bytes(base.to_catalog_bytes()),
+            Err(MuleError::Catalog(CatalogError::WrongKind { .. }))
+        ));
     }
 }

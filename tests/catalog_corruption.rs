@@ -259,6 +259,201 @@ fn forged_semantic_corruption_is_rejected() {
     assert!(msg.contains("fingerprint"), "{msg}");
 }
 
+/// The α-generic base variant of the fixture: same graph, floor 0.5,
+/// so the 0.3 edge is floor-pruned and vertices 3/7/8 are isolated.
+fn base_fixture_bytes() -> Vec<u8> {
+    let g = from_edges(
+        9,
+        &[
+            (0, 1, 0.9),
+            (1, 2, 0.9),
+            (0, 2, 0.9),
+            (4, 5, 0.8),
+            (5, 6, 0.8),
+            (4, 6, 0.8),
+            (7, 8, 0.3),
+        ],
+    )
+    .unwrap();
+    Query::new(&g)
+        .alpha_floor(0.5)
+        .prepare_base()
+        .unwrap()
+        .to_catalog_bytes()
+}
+
+/// The base open path must also fail with the catalog-typed error.
+fn assert_base_rejected(bytes: Vec<u8>, what: &str) -> String {
+    match Query::open_base_bytes(bytes) {
+        Ok(_) => panic!("{what}: hostile base catalog was accepted"),
+        Err(MuleError::Catalog(e)) => e.to_string(),
+        Err(other) => panic!("{what}: wrong error variant: {other}"),
+    }
+}
+
+#[test]
+fn base_every_single_byte_flip_is_rejected() {
+    let good = base_fixture_bytes();
+    assert!(
+        Query::open_base_bytes(good.clone()).is_ok(),
+        "base fixture must open"
+    );
+    for i in 0..good.len() {
+        let mut bad = good.clone();
+        bad[i] ^= 0xFF;
+        match Query::open_base_bytes(bad) {
+            Ok(_) => panic!("flip at byte {i} went undetected"),
+            Err(MuleError::Catalog(_)) => {}
+            Err(other) => panic!("flip at byte {i}: wrong error variant: {other}"),
+        }
+    }
+}
+
+#[test]
+fn base_truncation_at_every_section_boundary_is_rejected() {
+    let good = base_fixture_bytes();
+    let cat = Catalog::from_bytes(Bytes::from(good.clone())).unwrap();
+    let mut cuts = vec![0, 1, HEADER_LEN / 2, HEADER_LEN];
+    for e in cat.sections() {
+        cuts.push(e.offset as usize);
+        cuts.push((e.offset + e.length) as usize);
+    }
+    cuts.push(good.len() - 1);
+    for cut in cuts {
+        if cut >= good.len() {
+            continue;
+        }
+        assert_base_rejected(good[..cut].to_vec(), &format!("truncation at {cut}"));
+    }
+}
+
+#[test]
+fn base_forged_semantic_corruption_is_rejected() {
+    let good = base_fixture_bytes();
+
+    // Opening a base through the fixed path (and vice versa) is a
+    // distinct, typed wrong-kind error — not generic corruption.
+    match Query::open_bytes(good.clone()) {
+        Err(MuleError::Catalog(CatalogError::WrongKind { .. })) => {}
+        other => panic!("fixed open of base: {:?}", other.map(|_| "opened")),
+    }
+    match Query::open_base_bytes(fixture_bytes()) {
+        Err(MuleError::Catalog(CatalogError::WrongKind { .. })) => {}
+        other => panic!("base open of fixed: {:?}", other.map(|_| "opened")),
+    }
+
+    // Swapped tail sections (checksums valid).
+    let forged = reforge(&good, |sections| {
+        let n = sections.len();
+        sections.swap(n - 2, n - 1); // isolated <-> base.meta
+    });
+    let msg = assert_base_rejected(forged, "swapped tail");
+    assert!(msg.contains("canonical order"), "{msg}");
+
+    // A stray section.
+    let forged = reforge(&good, |sections| {
+        sections.push(("evil".to_string(), vec![0; 12]));
+    });
+    let msg = assert_base_rejected(forged, "stray section");
+    assert!(
+        msg.contains("canonical order") || msg.contains("sections"),
+        "{msg}"
+    );
+
+    // A dropped base.meta breaks the 2k+2 section count.
+    let forged = reforge(&good, |sections| {
+        sections.retain(|(name, _)| name != "base.meta");
+    });
+    assert_base_rejected(forged, "missing base.meta");
+
+    // Non-monotone isolated ids (the fixture isolates 3, 7 and 8).
+    let forged = reforge(&good, |sections| {
+        let (_, payload) = sections
+            .iter_mut()
+            .find(|(name, _)| name == "isolated")
+            .unwrap();
+        let len = payload.len();
+        payload.swap(8, len - 4); // swap first/last id's low bytes
+    });
+    let msg = assert_base_rejected(forged, "non-monotone isolated");
+    assert!(
+        msg.contains("strictly increasing") || msg.contains("out of range"),
+        "{msg}"
+    );
+
+    // Coverage hole: empty the isolated list, checksums intact.
+    let forged = reforge(&good, |sections| {
+        let (_, payload) = sections
+            .iter_mut()
+            .find(|(name, _)| name == "isolated")
+            .unwrap();
+        *payload = 0u64.to_le_bytes().to_vec();
+    });
+    let msg = assert_base_rejected(forged, "coverage hole");
+    assert!(msg.contains("cover"), "{msg}");
+
+    // A floor raised above a stored edge's probability: the stored
+    // component graphs would violate the floor precondition.
+    let mut forged = good.clone();
+    forged[16..24].copy_from_slice(&0.85f64.to_bits().to_le_bytes());
+    reseal_header(&mut forged);
+    let msg = assert_base_rejected(forged, "sub-floor edge");
+    assert!(msg.contains("below the catalog's α"), "{msg}");
+
+    // A floor outside [0, 1] — including NaN — is rejected up front.
+    for bad_floor in [1.5, -0.25, f64::NAN] {
+        let mut forged = good.clone();
+        forged[16..24].copy_from_slice(&bad_floor.to_bits().to_le_bytes());
+        reseal_header(&mut forged);
+        let msg = assert_base_rejected(forged, &format!("floor {bad_floor}"));
+        assert!(msg.contains("floor"), "{msg}");
+    }
+
+    // A lying edge fingerprint (header original_edges too small).
+    let mut forged = good.clone();
+    forged[56..64].copy_from_slice(&1u64.to_le_bytes());
+    reseal_header(&mut forged);
+    let msg = assert_base_rejected(forged, "edge fingerprint");
+    assert!(msg.contains("fingerprint"), "{msg}");
+
+    // A truncated base.meta (name length pointing past the payload).
+    let forged = reforge(&good, |sections| {
+        let (_, payload) = sections
+            .iter_mut()
+            .find(|(name, _)| name == "base.meta")
+            .unwrap();
+        payload[..4].copy_from_slice(&1000u32.to_le_bytes());
+    });
+    let msg = assert_base_rejected(forged, "truncated meta");
+    assert!(msg.contains("base.meta"), "{msg}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn base_random_byte_damage_never_panics_or_serves_data(
+        seed in 0u64..1_000_000,
+        flips in 1usize..4,
+    ) {
+        let good = base_fixture_bytes();
+        let mut bad = good.clone();
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        for _ in 0..flips {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let pos = (state >> 33) as usize % bad.len();
+            let mask = (state >> 25) as u8;
+            bad[pos] ^= mask;
+        }
+        if bad != good {
+            match Query::open_base_bytes(bad) {
+                Ok(_) => prop_assert!(false, "multi-byte damage went undetected"),
+                Err(MuleError::Catalog(_)) => {}
+                Err(other) => prop_assert!(false, "wrong error variant: {other}"),
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
     #[test]

@@ -297,6 +297,25 @@ pub fn prepare(args: &[String], out: &mut dyn Write) -> CmdResult {
         return Err("--floor requires --base (a fixed-α catalog has no floor)".into());
     }
     let out_path: String = opts.required("out")?;
+    // Chaos drills (CI and by hand): MULE_FAULT_PLAN=<spec> injects an
+    // IO fault into this prepare's save — see `ugraph_io::fault`. The
+    // save then fails typed, and the catalog path is untouched. The
+    // plan is scoped to this invocation: the guard disarms on every
+    // exit path so an embedding process (tests, a resident front end)
+    // never inherits a stale plan on this thread.
+    struct Disarm;
+    impl Drop for Disarm {
+        fn drop(&mut self) {
+            ugraph_io::fault::disarm();
+        }
+    }
+    let _disarm = match ugraph_io::fault::arm_from_env("MULE_FAULT_PLAN") {
+        Some(plan) => {
+            writeln!(out, "# fault plan armed: {plan:?}").map_err(io_err)?;
+            Some(Disarm)
+        }
+        None => None,
+    };
     let min_size: usize = opts.get_or("min-size", 0)?;
     let default_cfg = mule::MuleConfig::default();
     let started = std::time::Instant::now();
@@ -357,7 +376,13 @@ pub fn prepare(args: &[String], out: &mut dyn Write) -> CmdResult {
 pub fn stat(args: &[String], out: &mut dyn Write) -> CmdResult {
     let opts = Opts::parse(args, &["list"])?;
     let path = opts.positional(0, "catalog file")?;
-    let cat = ugraph_io::Catalog::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let cat = ugraph_io::Catalog::open(path).map_err(|e| match e {
+        // A path that cannot be read is a usage error, not a corrupt
+        // catalog: name the file and say so, aligned with serve's
+        // typed catalog_error replies (exit code stays 2).
+        ugraph_io::CatalogError::Io(io) => format!("cannot open catalog {path:?}: {io}"),
+        other => format!("{path}: {other}"),
+    })?;
     let h = cat.header();
     let is_base = h.flags & ugraph_io::catalog::FLAG_ALPHA_BASE != 0;
     let stages: Vec<&str> = [
@@ -668,20 +693,28 @@ pub fn worlds(args: &[String], out: &mut dyn Write) -> CmdResult {
 ///
 /// Server: `mule serve [--addr HOST:PORT] [--workers N]
 /// [--queue-depth N] [--cache N] [--max-frame-bytes N]
-/// [--default-timeout-ms N] [--idle-timeout-ms N] [--log FILE]
-/// [--danger-test-ops]`. Binds, prints `listening on HOST:PORT`, and
-/// serves newline-JSON requests (see `mule_cli::wire`) until a
-/// `shutdown` frame arrives; then drains and exits 0.
+/// [--default-timeout-ms N] [--idle-timeout-ms N]
+/// [--frame-timeout-ms N] [--busy-retry-ms N] [--poison-threshold N]
+/// [--log FILE] [--danger-test-ops]`. Binds, prints `listening on
+/// HOST:PORT`, and serves newline-JSON requests (see `mule_cli::wire`)
+/// until a `shutdown` frame arrives; then drains and exits 0.
 ///
 /// Client: `mule serve --connect HOST:PORT [--request JSON] [--text]
-/// [--no-newline]`. Sends `--request` verbatim (default
+/// [--no-newline] [--retries N] [--retry-base-ms N] [--retry-max-ms N]
+/// [--retry-seed S]`. Sends `--request` verbatim (default
 /// `{"op":"ping"}` — verbatim means malformed frames can be exercised
 /// deliberately), prints the reply line, and maps typed failures onto
 /// the usual exit codes: interrupted queries exit 3, other error
-/// replies exit 2. `--text` renders an `enumerate` reply in the
-/// `write_clique_list` format so outputs diff cleanly against a direct
-/// `mule enumerate`. `--no-newline` omits the frame terminator and
-/// half-closes the socket — a deliberately truncated frame.
+/// replies exit 2. Refused connections and `busy` replies are retried
+/// up to `--retries` times on a deterministic jittered exponential
+/// backoff (see `mule_cli::retry`), honoring the server's
+/// `retry_after_ms` hint; when any retries happened, the final report
+/// includes a `# retry:` attempt-counter line (suppressed under
+/// `--text`, whose output must stay diffable). `--text` renders an
+/// `enumerate` reply in the `write_clique_list` format so outputs diff
+/// cleanly against a direct `mule enumerate`. `--no-newline` omits the
+/// frame terminator and half-closes the socket — a deliberately
+/// truncated frame.
 pub fn serve(args: &[String], out: &mut dyn Write) -> CmdResult {
     let opts = Opts::parse(
         args,
@@ -693,18 +726,33 @@ pub fn serve(args: &[String], out: &mut dyn Write) -> CmdResult {
             "max-frame-bytes",
             "default-timeout-ms",
             "idle-timeout-ms",
+            "frame-timeout-ms",
+            "busy-retry-ms",
+            "poison-threshold",
             "log",
             "danger-test-ops",
             "connect",
             "request",
             "text",
             "no-newline",
+            "retries",
+            "retry-base-ms",
+            "retry-max-ms",
+            "retry-seed",
         ],
     )?;
     if let Some(addr) = opts.get_str("connect") {
         return serve_client(addr, &opts, out);
     }
-    for key in ["request", "text", "no-newline"] {
+    for key in [
+        "request",
+        "text",
+        "no-newline",
+        "retries",
+        "retry-base-ms",
+        "retry-max-ms",
+        "retry-seed",
+    ] {
         if opts.get_str(key).is_some() || opts.flag(key) {
             return Err(format!("--{key} requires --connect (client mode)"));
         }
@@ -724,6 +772,12 @@ pub fn serve(args: &[String], out: &mut dyn Write) -> CmdResult {
             "idle-timeout-ms",
             default_cfg.idle_timeout.as_millis() as u64,
         )?),
+        frame_timeout: Duration::from_millis(opts.get_or(
+            "frame-timeout-ms",
+            default_cfg.frame_timeout.as_millis() as u64,
+        )?),
+        busy_retry_ms: opts.get_or("busy-retry-ms", default_cfg.busy_retry_ms)?,
+        poison_threshold: opts.get_or("poison-threshold", default_cfg.poison_threshold)?,
         danger_test_ops: opts.flag("danger-test-ops"),
     };
     let log: crate::serve::Log = match opts.get_str("log") {
@@ -741,17 +795,18 @@ pub fn serve(args: &[String], out: &mut dyn Write) -> CmdResult {
     Ok(())
 }
 
-/// The `--connect` client half of `mule serve`.
-fn serve_client(addr: &str, opts: &Opts, out: &mut dyn Write) -> CmdResult {
+/// One client attempt: connect, send the frame, read one reply line.
+/// `Err` = connect failed (retryable); `Ok(None)` = connection closed
+/// without a reply (final); `Ok(Some(line))` = a reply arrived.
+fn client_attempt(addr: &str, request: &str, no_newline: bool) -> Result<Option<String>, String> {
     use std::io::BufRead;
-    let request = opts.get_str("request").unwrap_or("{\"op\":\"ping\"}");
     let mut stream =
         std::net::TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
     stream
         .set_read_timeout(Some(Duration::from_secs(60)))
         .map_err(io_err)?;
     stream.write_all(request.as_bytes()).map_err(io_err)?;
-    if opts.flag("no-newline") {
+    if no_newline {
         // Deliberately truncated frame: half-close so the server sees
         // EOF mid-frame.
         stream.shutdown(std::net::Shutdown::Write).map_err(io_err)?;
@@ -763,9 +818,82 @@ fn serve_client(addr: &str, opts: &Opts, out: &mut dyn Write) -> CmdResult {
         .read_line(&mut reply)
         .map_err(io_err)?;
     let reply = reply.trim_end().to_string();
-    if reply.is_empty() {
-        writeln!(out, "(connection closed without reply)").map_err(io_err)?;
-        return Ok(());
+    Ok((!reply.is_empty()).then_some(reply))
+}
+
+/// If `reply` is a typed `busy` error, its `retry_after_ms` hint
+/// (0 when the server sent none) — the signal that a retry is wanted.
+fn busy_retry_hint(reply: &str) -> Option<u64> {
+    let v = crate::wire::Json::parse(reply).ok()?;
+    if v.get("ok") != Some(&crate::wire::Json::Bool(false))
+        || v.get("error").and_then(crate::wire::Json::as_str) != Some("busy")
+    {
+        return None;
+    }
+    Some(
+        v.get("retry_after_ms")
+            .and_then(crate::wire::Json::as_u64)
+            .unwrap_or(0),
+    )
+}
+
+/// The `--connect` client half of `mule serve`: one request with
+/// bounded, deterministically jittered retries on transient faults
+/// (connect refused, `busy`). Non-transient replies — including typed
+/// interrupts, which are *results* — are never retried.
+fn serve_client(addr: &str, opts: &Opts, out: &mut dyn Write) -> CmdResult {
+    let request = opts.get_str("request").unwrap_or("{\"op\":\"ping\"}");
+    let retries: u32 = opts.get_or("retries", 3)?;
+    let base_ms: u64 = opts.get_or("retry-base-ms", 50)?;
+    let max_ms: u64 = opts.get_or("retry-max-ms", 2000)?;
+    let seed: u64 = opts.get_or("retry-seed", 42)?;
+    let delays = crate::retry::backoff_delays_ms(seed, base_ms, max_ms, retries);
+    let mut connect_failures = 0u32;
+    let mut busy_replies = 0u32;
+    let mut attempt = 0u32;
+    let reply = loop {
+        attempt += 1;
+        let mut hint = None;
+        let fault = match client_attempt(addr, request, opts.flag("no-newline")) {
+            Err(e) => {
+                connect_failures += 1;
+                e
+            }
+            Ok(None) => {
+                // Closed without a reply (e.g. a deliberately truncated
+                // frame): final, exactly as before retries existed.
+                writeln!(out, "(connection closed without reply)").map_err(io_err)?;
+                return Ok(());
+            }
+            Ok(Some(reply)) => match busy_retry_hint(&reply) {
+                None => break reply,
+                Some(h) => {
+                    busy_replies += 1;
+                    hint = Some(h);
+                    format!("server replied busy: {addr} shed the connection")
+                }
+            },
+        };
+        if attempt > retries {
+            return Err(format!(
+                "{fault} (gave up after {attempt} attempts: \
+                 {connect_failures} connect failures, {busy_replies} busy replies)"
+            ));
+        }
+        let scheduled = delays[(attempt - 1) as usize];
+        let delay = hint.map_or(scheduled, |h| scheduled.max(h));
+        std::thread::sleep(Duration::from_millis(delay));
+    };
+    // Attempt counters in the final report — only when something was
+    // actually retried, and never under --text (whose output must stay
+    // byte-diffable against a direct `mule enumerate`).
+    if attempt > 1 && !opts.flag("text") {
+        writeln!(
+            out,
+            "# retry: attempt {attempt} succeeded after \
+             {connect_failures} connect failure(s), {busy_replies} busy reply(s)"
+        )
+        .map_err(io_err)?;
     }
     let parsed = crate::wire::Json::parse(&reply);
     if opts.flag("text") {

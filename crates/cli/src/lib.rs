@@ -29,6 +29,7 @@
 
 pub mod commands;
 pub mod opts;
+pub mod retry;
 pub mod serve;
 pub mod wire;
 
@@ -76,10 +77,18 @@ COMMANDS:
                [--seed S] [--scale X]       (NAME as in the paper, e.g. BA5000)
   serve      [--addr HOST:PORT]             TCP query server over .ugq catalogs
                [--workers N] [--queue-depth N] [--cache N]
-               [--default-timeout-ms N] [--log FILE] [--danger-test-ops]
+               [--default-timeout-ms N] [--idle-timeout-ms N]
+               [--frame-timeout-ms N]       (slow-loris cutoff per frame)
+               [--busy-retry-ms N]          (retry_after_ms hint on 'busy')
+               [--poison-threshold N]       (failures before a wedged base
+                                            entry is evicted and reopened)
+               [--log FILE] [--danger-test-ops]
                (newline-JSON protocol; 'shutdown' op drains and exits)
   serve      --connect HOST:PORT            client: send one request frame
                [--request JSON] [--text] [--no-newline]
+               [--retries N] [--retry-base-ms N] [--retry-max-ms N]
+               [--retry-seed S]             (deterministic jittered backoff on
+                                            connect-refused and 'busy')
   kcore      <graph> [--k K]                expected-degree core decomposition
   worlds     <graph> [--worlds N] [--seed S] maximal-clique stats over sampled worlds
   datasets                                  list available dataset names

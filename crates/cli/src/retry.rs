@@ -1,0 +1,71 @@
+//! Deterministic jittered exponential backoff for `serve --connect`.
+//!
+//! The client retries transient faults — a refused connection (server
+//! not up yet or restarting) and typed `busy` replies (admission queue
+//! full) — on a schedule computed *up front* from a seed, so a given
+//! invocation's timing is reproducible: no wall-clock entropy, no
+//! thundering herd of identical clients (different seeds decorrelate
+//! their jitter), and a property test can pin the schedule's shape.
+//!
+//! Attempt `i` targets the exponential envelope `dᵢ = min(max_ms,
+//! base_ms·2ⁱ)` and draws its jitter uniformly from `[dᵢ/2, dᵢ]`;
+//! the drawn delays are then clamped to be non-decreasing. The result
+//! is *monotone-bounded*: every delay lies in `[base_ms/2, max_ms]`
+//! (after capping), within its attempt's envelope, and the schedule
+//! never shrinks — which `crates/cli/tests/backoff.rs` proves by
+//! proptest. A server `retry_after_ms` hint is honored by taking the
+//! max of hint and scheduled delay, which preserves monotonicity.
+
+use rand::{Rng, SeedableRng};
+
+/// The full delay schedule (milliseconds) for `attempts` retries:
+/// deterministic in `(seed, base_ms, max_ms, attempts)`, jittered
+/// within each attempt's exponential envelope, non-decreasing, and
+/// capped at `max_ms`. `base_ms` of 0 yields an all-zero schedule
+/// (busy-spin retries — allowed, but the CLI default is 50 ms).
+pub fn backoff_delays_ms(seed: u64, base_ms: u64, max_ms: u64, attempts: u32) -> Vec<u64> {
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    let mut delays = Vec::with_capacity(attempts as usize);
+    let mut prev = 0u64;
+    for i in 0..attempts {
+        let envelope = base_ms
+            .saturating_mul(1u64.checked_shl(i).unwrap_or(u64::MAX))
+            .min(max_ms);
+        let jittered = envelope / 2 + rng.gen_range(0..=envelope.div_ceil(2));
+        let delay = jittered.min(max_ms).max(prev);
+        prev = delay;
+        delays.push(delay);
+    }
+    delays
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_deterministic_in_the_seed() {
+        let a = backoff_delays_ms(7, 50, 2000, 10);
+        let b = backoff_delays_ms(7, 50, 2000, 10);
+        let c = backoff_delays_ms(8, 50, 2000, 10);
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different seeds should decorrelate jitter");
+    }
+
+    #[test]
+    fn schedule_is_monotone_and_bounded() {
+        let d = backoff_delays_ms(42, 50, 2000, 16);
+        assert_eq!(d.len(), 16);
+        assert!(d.windows(2).all(|w| w[0] <= w[1]), "non-decreasing: {d:?}");
+        assert!(d.iter().all(|&ms| ms <= 2000), "capped: {d:?}");
+        assert!(d[0] >= 25, "first delay at least base/2: {d:?}");
+        // The envelope doubles: by attempt 6 the cap must be reachable.
+        assert!(d[15] >= 1000, "tail reaches the cap region: {d:?}");
+    }
+
+    #[test]
+    fn zero_base_spins_and_zero_attempts_is_empty() {
+        assert!(backoff_delays_ms(1, 0, 100, 4).iter().all(|&ms| ms == 0));
+        assert!(backoff_delays_ms(1, 50, 100, 0).is_empty());
+    }
+}

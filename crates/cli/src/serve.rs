@@ -46,6 +46,40 @@
 //! frames, mid-stream disconnects, unknown ops, missing catalogs —
 //! produces either one complete typed error reply or a closed
 //! connection. Never a partial frame, never a dead server.
+//!
+//! # Durability &amp; recovery
+//!
+//! The chaos-hardening layer on top of the above:
+//!
+//! * **Slow-loris defense.** Besides the per-connection *idle* timeout
+//!   (no bytes at all), a connection that dribbles a frame one byte at
+//!   a time is cut off once the frame has been in flight longer than
+//!   `--frame-timeout-ms` — a peer can no longer pin a worker by
+//!   trickling forever.
+//! * **Retry contract.** A shed connection's `busy` reply carries
+//!   `retry_after_ms`, the server's hint for the client's next attempt;
+//!   `serve --connect` honors it (taking the max of the hint and its
+//!   own jittered exponential backoff) and retries both `busy` replies
+//!   and refused connections up to `--retries` times. Interrupted
+//!   queries (`deadline_exceeded` / `budget_exhausted` / `cancelled`)
+//!   keep exit code 3 at the CLI — they are *results* (partial,
+//!   typed), not transient faults, and are never retried.
+//! * **Deadline-aware admission.** The effective deadline
+//!   (`timeout_ms`, else `--default-timeout-ms`) is checked *before*
+//!   any catalog work: an already-expired request (zero budget) gets a
+//!   typed `deadline_exceeded` with `"rejected":true` instead of
+//!   consuming a session, open, or refine.
+//! * **Poisoned-entry recovery.** A resident base whose refines or
+//!   views keep panicking is not allowed to wedge its catalog key:
+//!   after `--poison-threshold` failures the entry is evicted and the
+//!   next request cold-reopens the catalog from disk (which is itself
+//!   crash-safe — saves are atomic-durable and orphan temp files are
+//!   cleaned on open; see `ugraph_io::catalog`'s "Durability &amp;
+//!   recovery" docs). Evictions and reopens are counted.
+//! * **Resilience counters.** The `stat` op (catalog field now
+//!   optional) reports server-wide totals: `shed`, `retries_hinted`,
+//!   `expired_rejected`, `idle_closes`, `slowloris_closes`,
+//!   `poison_evictions`, `poison_reopens`, `panics_isolated`.
 
 use crate::wire::{err_reply, ok_reply, Json, ObjBuilder, Request};
 use mule::sinks::{CollectSink, CountSink};
@@ -54,7 +88,7 @@ use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -78,6 +112,15 @@ pub struct ServeConfig {
     pub default_timeout_ms: Option<u64>,
     /// Per-connection idle read timeout.
     pub idle_timeout: Duration,
+    /// Maximum time one frame may stay in flight (first byte to
+    /// newline) before the connection is cut — slow-loris defense.
+    pub frame_timeout: Duration,
+    /// The `retry_after_ms` hint attached to `busy` replies.
+    pub busy_retry_ms: u64,
+    /// Consecutive refine/view failures before a resident base entry
+    /// is evicted (and later reopened from disk) instead of staying
+    /// wedged in the cache.
+    pub poison_threshold: u32,
     /// Honor the `panic` test op (fault-injection drills only).
     pub danger_test_ops: bool,
 }
@@ -92,6 +135,9 @@ impl Default for ServeConfig {
             max_frame_bytes: 1 << 20,
             default_timeout_ms: None,
             idle_timeout: Duration::from_secs(10),
+            frame_timeout: Duration::from_secs(10),
+            busy_retry_ms: 50,
+            poison_threshold: 3,
             danger_test_ops: false,
         }
     }
@@ -110,12 +156,47 @@ pub fn log_to(w: Box<dyn Write + Send>) -> Log {
     Arc::new(Mutex::new(w))
 }
 
+/// Lifetime resilience totals, surfaced by the `stat` op. All relaxed:
+/// they are monotone telemetry, not synchronization.
+#[derive(Default)]
+struct Counters {
+    /// Connections shed with a `busy` reply (admission queue full).
+    shed: AtomicU64,
+    /// `retry_after_ms` hints attached to replies.
+    retries_hinted: AtomicU64,
+    /// Requests rejected at admission with an already-expired deadline.
+    expired_rejected: AtomicU64,
+    /// Connections closed for idling past the idle timeout.
+    idle_closes: AtomicU64,
+    /// Connections cut for dribbling a frame past the frame timeout.
+    slowloris_closes: AtomicU64,
+    /// Resident entries evicted after repeated refine/view failures.
+    poison_evictions: AtomicU64,
+    /// Cold reopens of a previously poison-evicted catalog key.
+    poison_reopens: AtomicU64,
+    /// Request-body panics caught and turned into `internal_error`.
+    panics_isolated: AtomicU64,
+}
+
+impl Counters {
+    fn bump(c: &AtomicU64) {
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+    fn get(c: &AtomicU64) -> f64 {
+        c.load(Ordering::Relaxed) as f64
+    }
+}
+
 struct Shared {
     cfg: ServeConfig,
     shutdown: AtomicBool,
     queue: Mutex<VecDeque<TcpStream>>,
     queue_cv: Condvar,
     cache: Mutex<SessionCache>,
+    counters: Counters,
+    /// Catalog keys whose resident entry was poison-evicted; a
+    /// successful cold reopen removes the key and counts a reopen.
+    poisoned: Mutex<Vec<String>>,
     log: Log,
 }
 
@@ -151,6 +232,10 @@ struct BaseEntry {
     view_cap: usize,
     refine_hits: u64,
     refine_misses: u64,
+    /// Consecutive refine/view panics; at the server's poison
+    /// threshold the whole entry is evicted and later reopened from
+    /// disk instead of wedging its catalog key.
+    failures: u32,
 }
 
 impl BaseEntry {
@@ -218,6 +303,8 @@ impl Server {
                 cap: cache_cap,
                 entries: Vec::new(),
             }),
+            counters: Counters::default(),
+            poisoned: Mutex::new(Vec::new()),
             log,
         });
         let sup_shared = Arc::clone(&shared);
@@ -302,8 +389,15 @@ fn admit(mut stream: TcpStream, peer: SocketAddr, shared: &Shared) {
     let mut queue = shared.queue.lock().unwrap();
     if queue.len() >= shared.cfg.queue_depth {
         drop(queue); // shed load without holding the lock for I/O
-        shared.log(&format!("busy: shedding {peer}"));
-        let line = err_reply("busy", "admission queue full, retry later").render();
+        Counters::bump(&shared.counters.shed);
+        Counters::bump(&shared.counters.retries_hinted);
+        shared.log(&format!(
+            "busy: shedding {peer} (retry_after_ms {})",
+            shared.cfg.busy_retry_ms
+        ));
+        let line = err_reply("busy", "admission queue full, retry later")
+            .field("retry_after_ms", Json::Num(shared.cfg.busy_retry_ms as f64))
+            .render();
         let _ = stream.write_all(line.as_bytes());
         let _ = stream.write_all(b"\n");
         return; // dropped => closed
@@ -342,6 +436,11 @@ enum Frame {
     Line(String),
     Oversized,
     Closed,
+    /// No bytes at all for the idle window.
+    IdleExpired,
+    /// A frame stayed in flight (started but unfinished) past the
+    /// frame timeout — the slow-loris signature.
+    Stalled,
 }
 
 /// Incremental newline framing over a raw stream; never allocates past
@@ -354,15 +453,21 @@ struct FrameReader {
 impl FrameReader {
     /// Wait for the next frame, polling in short slices so a blocked
     /// worker notices a shutdown request within [`READ_POLL`] instead
-    /// of a full idle timeout. Returns [`Frame::Closed`] on EOF, reset,
-    /// idle expiry, or shutdown-while-idle.
+    /// of a full idle timeout. Returns [`Frame::Closed`] on EOF,
+    /// reset, or shutdown-while-idle; [`Frame::IdleExpired`] when no
+    /// bytes arrive for the idle window; [`Frame::Stalled`] when
+    /// a started frame dribbles past `frame_timeout` without its
+    /// newline (slow loris).
     fn next(
         &mut self,
         stream: &mut TcpStream,
         shutdown: &AtomicBool,
         idle_timeout: Duration,
+        frame_timeout: Duration,
     ) -> Frame {
         let mut last_data = std::time::Instant::now();
+        // Leftover bytes from the previous read already start a frame.
+        let mut frame_start: Option<Instant> = (!self.buf.is_empty()).then(Instant::now);
         loop {
             if let Some(nl) = self.buf.iter().position(|&b| b == b'\n') {
                 let rest = self.buf.split_off(nl + 1);
@@ -380,12 +485,18 @@ impl FrameReader {
             if self.buf.len() > self.max {
                 return Frame::Oversized;
             }
+            if let Some(started) = frame_start {
+                if started.elapsed() >= frame_timeout {
+                    return Frame::Stalled;
+                }
+            }
             let mut chunk = [0u8; 4096];
             match stream.read(&mut chunk) {
                 Ok(0) => return Frame::Closed, // EOF (truncated frame if buf non-empty)
                 Ok(n) => {
                     self.buf.extend_from_slice(&chunk[..n]);
                     last_data = std::time::Instant::now();
+                    frame_start.get_or_insert(last_data);
                 }
                 Err(e)
                     if e.kind() == std::io::ErrorKind::WouldBlock
@@ -394,8 +505,11 @@ impl FrameReader {
                     // One poll slice expired with no data: drop the
                     // connection if the server is draining or the
                     // client has been silent past the idle window.
-                    if shutdown.load(Ordering::Acquire) || last_data.elapsed() >= idle_timeout {
+                    if shutdown.load(Ordering::Acquire) {
                         return Frame::Closed;
+                    }
+                    if last_data.elapsed() >= idle_timeout {
+                        return Frame::IdleExpired;
                     }
                 }
                 Err(_) => return Frame::Closed, // reset mid-frame
@@ -428,11 +542,29 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
         max: shared.cfg.max_frame_bytes,
     };
     loop {
-        match frames.next(&mut stream, &shared.shutdown, shared.cfg.idle_timeout) {
+        match frames.next(
+            &mut stream,
+            &shared.shutdown,
+            shared.cfg.idle_timeout,
+            shared.cfg.frame_timeout,
+        ) {
             Frame::Closed => {
-                // EOF, reset, or idle timeout — possibly mid-frame; the
+                // EOF, reset, or shutdown — possibly mid-frame; the
                 // client is gone either way.
                 return;
+            }
+            Frame::IdleExpired => {
+                Counters::bump(&shared.counters.idle_closes);
+                shared.log(&format!("{peer}: idle timeout; closing"));
+                return;
+            }
+            Frame::Stalled => {
+                Counters::bump(&shared.counters.slowloris_closes);
+                shared.log(&format!(
+                    "{peer}: frame in flight past {:?}; cutting slow connection",
+                    shared.cfg.frame_timeout
+                ));
+                return; // mid-frame: cannot reply in-protocol, just cut
             }
             Frame::Oversized => {
                 shared.log(&format!("{peer}: oversized frame"));
@@ -498,6 +630,9 @@ fn handle_frame(text: &str, shared: &Shared, peer: &str) -> (String, bool) {
 /// Cold-open a catalog path into a resident entry, sniffing the header
 /// for the α-base flag to pick the right open path.
 fn open_resident(catalog: &str, view_cap: usize) -> Result<Resident, String> {
+    // Clear any orphan temp a crashed save left beside the catalog;
+    // atomic saves guarantee the catalog itself is never torn.
+    ugraph_io::fault::cleanup_orphan(std::path::Path::new(catalog));
     let data = std::fs::read(catalog).map_err(|e| e.to_string())?;
     let is_base = ugraph_io::Catalog::from_bytes(ugraph_io::Bytes::from(data.clone()))
         .map(|c| c.header().flags & ugraph_io::catalog::FLAG_ALPHA_BASE != 0)
@@ -510,6 +645,7 @@ fn open_resident(catalog: &str, view_cap: usize) -> Result<Resident, String> {
             view_cap,
             refine_hits: 0,
             refine_misses: 0,
+            failures: 0,
         }))
     } else {
         Query::open_bytes(data)
@@ -527,12 +663,43 @@ fn run_query(request: &Request, shared: &Shared, peer: &str) -> String {
     let Some(catalog) = request.catalog.clone() else {
         return err_reply("bad_request", "missing field \"catalog\"").render();
     };
+    // Deadline-aware admission: resolve the effective deadline (the
+    // request's, else the server default) *before* any catalog work.
+    // A zero budget is already expired — reject it typed and cheap
+    // rather than opening/taking a session it cannot use.
+    let mut request = request.clone();
+    request.timeout_ms = request.timeout_ms.or(shared.cfg.default_timeout_ms);
+    let request = &request;
+    if request.timeout_ms == Some(0) {
+        Counters::bump(&shared.counters.expired_rejected);
+        shared.log(&format!(
+            "{peer}: rejected at admission: deadline already expired"
+        ));
+        return err_reply(
+            "deadline_exceeded",
+            "request deadline already expired at admission; no work performed",
+        )
+        .field("rejected", Json::Bool(true))
+        .render();
+    }
     let cached = shared.cache.lock().unwrap().take(&catalog);
     let was_cached = cached.is_some();
     let resident = match cached {
         Some(r) => r,
         None => match open_resident(&catalog, shared.cfg.cache_capacity) {
-            Ok(r) => r,
+            Ok(r) => {
+                // A key on the poisoned list coming back resident is a
+                // successful recovery — count the reopen.
+                let mut poisoned = shared.poisoned.lock().unwrap();
+                if let Some(i) = poisoned.iter().position(|k| k == &catalog) {
+                    poisoned.remove(i);
+                    Counters::bump(&shared.counters.poison_reopens);
+                    shared.log(&format!(
+                        "{peer}: reopened previously poisoned catalog {catalog:?}"
+                    ));
+                }
+                r
+            }
             Err(e) => {
                 shared.log(&format!("{peer}: catalog {catalog:?}: {e}"));
                 return err_reply("catalog_error", &format!("{catalog}: {e}")).render();
@@ -576,9 +743,15 @@ fn run_query(request: &Request, shared: &Shared, peer: &str) -> String {
                 }
                 None => {
                     entry.refine_misses += 1;
-                    match entry.base.refine(alpha) {
-                        Ok(v) => v,
-                        Err(e) => {
+                    // Refinement runs on cached state a previous panic
+                    // may have mangled — isolate it exactly like the
+                    // request body, and count a failure against the
+                    // entry so a wedged base gets evicted, not retried
+                    // forever.
+                    let refined = catch_unwind(AssertUnwindSafe(|| entry.base.refine(alpha)));
+                    match refined {
+                        Ok(Ok(v)) => v,
+                        Ok(Err(e)) => {
                             // e.g. α below the base's floor — a client
                             // error; the base stays resident.
                             let msg = e.to_string();
@@ -588,6 +761,18 @@ fn run_query(request: &Request, shared: &Shared, peer: &str) -> String {
                                 .unwrap()
                                 .put(catalog, Resident::Base(entry));
                             return err_reply("bad_request", &msg).render();
+                        }
+                        Err(_) => {
+                            Counters::bump(&shared.counters.panics_isolated);
+                            shared.log(&format!(
+                                "{peer}: refine(α={alpha}) panicked on {catalog:?}"
+                            ));
+                            poison_or_restore(shared, catalog, entry);
+                            return err_reply(
+                                "internal_error",
+                                "refine panicked; base failure recorded",
+                            )
+                            .render();
                         }
                     }
                 }
@@ -635,6 +820,10 @@ fn run_view(
                 None => Resident::Fixed(session),
                 Some((mut entry, bits)) => {
                     entry.put_view(bits, session);
+                    // A completed request clears the consecutive-
+                    // failure streak: poisoning targets wedged
+                    // entries, not occasionally unlucky ones.
+                    entry.failures = 0;
                     Resident::Base(entry)
                 }
             };
@@ -642,6 +831,7 @@ fn run_view(
             reply
         }
         Err(payload) => {
+            Counters::bump(&shared.counters.panics_isolated);
             let what = payload
                 .downcast_ref::<&str>()
                 .map(|s| s.to_string())
@@ -651,12 +841,9 @@ fn run_view(
                 "{peer}: request panicked ({what}); session discarded (was cached: {was_cached})"
             ));
             if let Some((entry, _)) = base {
-                // Only the refined view unwound; the base is intact.
-                shared
-                    .cache
-                    .lock()
-                    .unwrap()
-                    .put(catalog, Resident::Base(entry));
+                // Only the refined view unwound; the base survives —
+                // unless repeated failures say it is itself wedged.
+                poison_or_restore(shared, catalog, entry);
             }
             err_reply(
                 "internal_error",
@@ -667,15 +854,70 @@ fn run_view(
     }
 }
 
-/// The `stat` op: report what (if anything) is resident for a catalog
+/// Record one failure against a base entry: restore it to the cache,
+/// or — at the server's poison threshold — evict it and remember the
+/// key so the next cold reopen is counted as a recovery.
+fn poison_or_restore(shared: &Shared, catalog: String, mut entry: BaseEntry) {
+    entry.failures += 1;
+    if entry.failures >= shared.cfg.poison_threshold.max(1) {
+        Counters::bump(&shared.counters.poison_evictions);
+        shared.log(&format!(
+            "poisoned: evicting {catalog:?} after {} consecutive failures; \
+             next request reopens from disk",
+            entry.failures
+        ));
+        let mut poisoned = shared.poisoned.lock().unwrap();
+        if !poisoned.iter().any(|k| k == &catalog) {
+            poisoned.push(catalog);
+        }
+        // entry dropped here — views and base are discarded.
+    } else {
+        shared
+            .cache
+            .lock()
+            .unwrap()
+            .put(catalog, Resident::Base(entry));
+    }
+}
+
+/// The `stat` op: server-wide resilience counters, plus — when the
+/// (optional) `catalog` field is present — what is resident for that
 /// path, without cold-opening or touching recency. A base entry also
 /// reports its refine-cache counters.
 fn run_stat(request: &Request, shared: &Shared) -> String {
+    let c = &shared.counters;
+    let mut reply: ObjBuilder = ok_reply("stat")
+        .field("shed", Json::Num(Counters::get(&c.shed)))
+        .field(
+            "retries_hinted",
+            Json::Num(Counters::get(&c.retries_hinted)),
+        )
+        .field(
+            "expired_rejected",
+            Json::Num(Counters::get(&c.expired_rejected)),
+        )
+        .field("idle_closes", Json::Num(Counters::get(&c.idle_closes)))
+        .field(
+            "slowloris_closes",
+            Json::Num(Counters::get(&c.slowloris_closes)),
+        )
+        .field(
+            "poison_evictions",
+            Json::Num(Counters::get(&c.poison_evictions)),
+        )
+        .field(
+            "poison_reopens",
+            Json::Num(Counters::get(&c.poison_reopens)),
+        )
+        .field(
+            "panics_isolated",
+            Json::Num(Counters::get(&c.panics_isolated)),
+        );
     let Some(catalog) = request.catalog.as_deref() else {
-        return err_reply("bad_request", "missing field \"catalog\"").render();
+        return reply.render();
     };
+    reply = reply.field("catalog", Json::Str(catalog.to_string()));
     let cache = shared.cache.lock().unwrap();
-    let reply: ObjBuilder = ok_reply("stat").field("catalog", Json::Str(catalog.to_string()));
     match cache.peek(catalog) {
         None => reply.field("resident", Json::Bool(false)).render(),
         Some(Resident::Fixed(session)) => reply
@@ -690,6 +932,7 @@ fn run_stat(request: &Request, shared: &Shared) -> String {
             .field("views", Json::Num(entry.views.len() as f64))
             .field("refine_hits", Json::Num(entry.refine_hits as f64))
             .field("refine_misses", Json::Num(entry.refine_misses as f64))
+            .field("failures", Json::Num(entry.failures as f64))
             .render(),
     }
 }
@@ -854,6 +1097,7 @@ mod tests {
             view_cap: 2,
             refine_hits: 0,
             refine_misses: 0,
+            failures: 0,
         };
         // Simulate the request flow: miss → refine → put back.
         for alpha in [0.9, 0.5, 0.9, 0.25, 0.7, 0.9] {

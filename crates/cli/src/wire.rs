@@ -17,6 +17,7 @@
 //! {"op":"enumerate", "catalog":"g.ugq", "limit":1000}
 //! {"op":"enumerate", "catalog":"base.ugq", "alpha":0.5}
 //! {"op":"top_k",     "catalog":"g.ugq", "k":5}
+//! {"op":"stat"}                              (server-wide counters only)
 //! {"op":"stat",      "catalog":"base.ugq"}
 //! {"op":"shutdown"}
 //! {"op":"panic"}            (only honored with --danger-test-ops)
@@ -32,23 +33,41 @@
 //!
 //! Success replies carry `"ok":true` plus op-specific fields
 //! (`cliques`, `probs`, `count`, `search_nodes`, `elapsed_ms`,
-//! `alpha`, `truncated`). `stat` reports the resident-cache entry for
-//! one catalog: `"resident"`, and when resident `"kind"`
-//! (`"base"`/`"fixed"`) plus — for a base — `"floor"`, `"views"` (the
-//! refined per-α sessions currently resident) and the per-base
-//! `"refine_hits"` / `"refine_misses"` counters (a view taken from the
-//! LRU vs built by refinement; diagnosing mixed-α workloads is exactly
-//! watching the miss counter). Failures carry `"ok":false`, a stable
-//! machine-readable `"error"` code and a human `"message"`:
+//! `alpha`, `truncated`). `stat` always reports the server-wide
+//! resilience counters (`"shed"`, `"retries_hinted"`,
+//! `"expired_rejected"`, `"idle_closes"`, `"slowloris_closes"`,
+//! `"poison_evictions"`, `"poison_reopens"`, `"panics_isolated"`);
+//! when its optional `catalog` field is present it adds the
+//! resident-cache entry for that path: `"resident"`, and when resident
+//! `"kind"` (`"base"`/`"fixed"`) plus — for a base — `"floor"`,
+//! `"views"` (the refined per-α sessions currently resident), the
+//! per-base `"refine_hits"` / `"refine_misses"` counters (a view taken
+//! from the LRU vs built by refinement; diagnosing mixed-α workloads
+//! is exactly watching the miss counter) and `"failures"` (consecutive
+//! failures toward the poison threshold). Failures carry `"ok":false`,
+//! a stable machine-readable `"error"` code and a human `"message"`:
 //!
 //! `bad_request` · `oversized_frame` · `busy` · `catalog_error` ·
 //! `deadline_exceeded` · `budget_exhausted` · `cancelled` ·
 //! `query_error` · `internal_error` · `shutting_down`
 //!
-//! Interrupted queries additionally report `"partial":true` with the
-//! stats counters at the moment the limit tripped. Every request —
-//! malformed, oversized, hostile — gets exactly one complete reply
-//! line or a closed connection; never a partial frame, never a panic.
+//! # Retry contract
+//!
+//! A `busy` reply (admission queue full) carries `"retry_after_ms"`,
+//! the server's hint for when to try again; `serve --connect` honors
+//! it, taking the max of the hint and its own jittered exponential
+//! backoff, and also retries refused connections the same way. A
+//! request whose effective deadline is already expired at admission
+//! (`timeout_ms` 0, or a zero server default) is rejected before any
+//! work as `deadline_exceeded` with `"rejected":true`. Interrupted
+//! queries (`deadline_exceeded` / `budget_exhausted` / `cancelled`)
+//! additionally report `"partial":true` with the stats counters at the
+//! moment the limit tripped; at the CLI they exit 3 and are **not**
+//! retried — a partial result is a result, not a transient fault.
+//!
+//! Every request — malformed, oversized, hostile — gets exactly one
+//! complete reply line or a closed connection; never a partial frame,
+//! never a panic.
 
 use std::fmt::Write as _;
 

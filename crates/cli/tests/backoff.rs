@@ -1,0 +1,201 @@
+//! Client-backoff battery for `serve --connect`: the deterministic
+//! jittered schedule is monotone-bounded (proptest), a client started
+//! *before* its server succeeds by retrying refused connections, and a
+//! `busy` reply with a `retry_after_ms` hint is retried rather than
+//! surfaced as failure.
+
+use mule_cli::retry::backoff_delays_ms;
+use proptest::prelude::*;
+
+fn run_cli(args: &[&str]) -> (i32, String, String) {
+    let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    let mut stdout = Vec::new();
+    let mut stderr = Vec::new();
+    let code = mule_cli::run(&args, &mut stdout, &mut stderr);
+    (
+        code,
+        String::from_utf8_lossy(&stdout).into_owned(),
+        String::from_utf8_lossy(&stderr).into_owned(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The schedule is monotone-bounded for every (seed, base, cap,
+    /// attempts): non-decreasing, never above the cap, never below
+    /// half the (capped) base envelope, and each delay within its
+    /// attempt's exponential envelope.
+    #[test]
+    fn backoff_schedule_is_monotone_bounded(
+        seed in any::<u64>(),
+        base_ms in 1u64..5_000,
+        max_ms in 1u64..60_000,
+        attempts in 0u32..24,
+    ) {
+        let delays = backoff_delays_ms(seed, base_ms, max_ms, attempts);
+        prop_assert_eq!(delays.len(), attempts as usize);
+        prop_assert!(
+            delays.windows(2).all(|w| w[0] <= w[1]),
+            "schedule must never shrink: {:?}", delays
+        );
+        let floor = base_ms.min(max_ms) / 2;
+        for (i, &d) in delays.iter().enumerate() {
+            prop_assert!(d <= max_ms, "delay {i} = {d} above cap {max_ms}");
+            prop_assert!(d >= floor, "delay {i} = {d} below floor {floor}");
+            // Within the attempt's envelope: min(max, base·2^i).
+            let envelope = base_ms
+                .saturating_mul(1u64.checked_shl(i as u32).unwrap_or(u64::MAX))
+                .min(max_ms);
+            prop_assert!(
+                d <= envelope,
+                "delay {i} = {d} above its envelope {envelope}"
+            );
+        }
+    }
+
+    /// Determinism: the same inputs always give the same schedule.
+    #[test]
+    fn backoff_schedule_is_deterministic(seed in any::<u64>()) {
+        prop_assert_eq!(
+            backoff_delays_ms(seed, 50, 2000, 12),
+            backoff_delays_ms(seed, 50, 2000, 12)
+        );
+    }
+}
+
+/// The connect-refused retry path: the client is launched while
+/// nothing is listening, and the server comes up *after* it. With
+/// backoff the request must still succeed — and the final report must
+/// say how many attempts it took.
+#[test]
+fn connect_succeeds_against_server_started_after_the_client() {
+    // Learn a free port, then release it for the late server.
+    let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = probe.local_addr().unwrap().to_string();
+    drop(probe);
+
+    let server_addr = addr.clone();
+    let (tx, rx) = std::sync::mpsc::channel();
+    let starter = std::thread::spawn(move || {
+        // Let the client burn its first attempts against the free port.
+        std::thread::sleep(std::time::Duration::from_millis(400));
+        let server = mule_cli::serve::Server::start(
+            mule_cli::serve::ServeConfig {
+                addr: server_addr,
+                ..mule_cli::serve::ServeConfig::default()
+            },
+            mule_cli::serve::log_to(Box::new(std::io::sink())),
+        )
+        .expect("late server start");
+        tx.send(server).unwrap();
+    });
+
+    let (code, stdout, stderr) = run_cli(&[
+        "serve",
+        "--connect",
+        &addr,
+        "--retries",
+        "10",
+        "--retry-base-ms",
+        "40",
+        "--retry-max-ms",
+        "400",
+        "--request",
+        r#"{"op":"ping"}"#,
+    ]);
+    assert_eq!(
+        code, 0,
+        "client must succeed once the server is up: {stderr}"
+    );
+    assert!(stdout.contains(r#""ok":true"#), "ping reply: {stdout}");
+    assert!(
+        stdout.contains("# retry: attempt"),
+        "attempt counters belong in the final report: {stdout}"
+    );
+    assert!(
+        stdout.contains("connect failure"),
+        "the report names the transient fault: {stdout}"
+    );
+
+    starter.join().unwrap();
+    let server = rx.recv().unwrap();
+    server.request_shutdown();
+    server.join();
+}
+
+/// The `busy` retry path, against a hand-rolled one-shot listener: the
+/// first connection is shed with a typed `busy` + `retry_after_ms`
+/// hint, the second is answered. The client must retry and exit 0.
+#[test]
+fn busy_reply_is_retried_honoring_the_hint() {
+    use std::io::{BufRead, BufReader, Write};
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let shedder = std::thread::spawn(move || {
+        // First connection: read the frame, shed with a hint, close.
+        let (mut s, _) = listener.accept().unwrap();
+        let mut line = String::new();
+        BufReader::new(s.try_clone().unwrap())
+            .read_line(&mut line)
+            .unwrap();
+        s.write_all(
+            b"{\"ok\":false,\"error\":\"busy\",\"message\":\"shed\",\"retry_after_ms\":25}\n",
+        )
+        .unwrap();
+        drop(s);
+        // Second connection: answer properly.
+        let (mut s, _) = listener.accept().unwrap();
+        let mut line = String::new();
+        BufReader::new(s.try_clone().unwrap())
+            .read_line(&mut line)
+            .unwrap();
+        s.write_all(b"{\"ok\":true,\"op\":\"ping\"}\n").unwrap();
+    });
+
+    let (code, stdout, stderr) = run_cli(&[
+        "serve",
+        "--connect",
+        &addr,
+        "--retries",
+        "3",
+        "--retry-base-ms",
+        "10",
+        "--request",
+        r#"{"op":"ping"}"#,
+    ]);
+    assert_eq!(code, 0, "busy must be retried, not surfaced: {stderr}");
+    assert!(stdout.contains(r#""ok":true"#), "final reply: {stdout}");
+    assert!(
+        stdout.contains("1 busy reply"),
+        "the report counts the busy shed: {stdout}"
+    );
+    shedder.join().unwrap();
+}
+
+/// Retries exhausted: a persistently refused connection still fails
+/// with exit 2 and a message carrying the attempt counters.
+#[test]
+fn exhausted_retries_fail_typed_with_attempt_counters() {
+    let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = probe.local_addr().unwrap().to_string();
+    drop(probe); // nothing will listen here
+
+    let (code, _stdout, stderr) = run_cli(&[
+        "serve",
+        "--connect",
+        &addr,
+        "--retries",
+        "2",
+        "--retry-base-ms",
+        "5",
+        "--retry-max-ms",
+        "20",
+    ]);
+    assert_eq!(code, 2, "exhausted retries are a usage-level failure");
+    assert!(stderr.contains("cannot connect"), "{stderr}");
+    assert!(
+        stderr.contains("gave up after 3 attempts") && stderr.contains("3 connect failures"),
+        "attempt counters in the failure report: {stderr}"
+    );
+}

@@ -1,0 +1,77 @@
+//! The `MULE_FAULT_PLAN` chaos hook, end to end through `mule prepare`
+//! (the CI chaos-smoke step drives the same path from the shell).
+//!
+//! A single-`#[test]` binary on purpose: the hook reads a process-wide
+//! environment variable, which must not race the other in-process CLI
+//! batteries running in parallel threads.
+
+use std::fs;
+
+fn run(args: &[&str]) -> (i32, String, String) {
+    let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    let mut out = Vec::new();
+    let mut err = Vec::new();
+    let code = mule_cli::run(&args, &mut out, &mut err);
+    (
+        code,
+        String::from_utf8(out).unwrap(),
+        String::from_utf8(err).unwrap(),
+    )
+}
+
+#[test]
+fn fault_plan_env_crashes_the_save_and_a_clean_retry_recovers() {
+    let dir = std::env::temp_dir().join(format!("mule-chaos-env-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    let graph = dir.join("g.txt");
+    fs::write(&graph, "0 1 0.9\n1 2 0.9\n0 2 0.9\n2 3 0.6\n").unwrap();
+    let graph = graph.to_string_lossy().into_owned();
+    let cat = dir.join("c.ugq").to_string_lossy().into_owned();
+    let tmp = format!("{cat}.tmp");
+
+    // A crashed save announces the armed plan, fails typed (exit 2),
+    // commits nothing, and leaves the orphan a real power cut would.
+    std::env::set_var("MULE_FAULT_PLAN", "crash-after:64");
+    let (code, out, err) = run(&["prepare", &graph, "--alpha", "0.5", "--out", &cat]);
+    std::env::remove_var("MULE_FAULT_PLAN");
+    assert_eq!(code, 2, "crashed save must fail: {err}");
+    assert!(
+        out.contains("# fault plan armed: CrashAfterPrefix(64)"),
+        "the armed plan is announced: {out}"
+    );
+    assert!(err.contains("injected crash"), "typed message: {err}");
+    assert!(
+        !std::path::Path::new(&cat).exists(),
+        "a crashed first save must not commit a catalog"
+    );
+    assert!(
+        std::path::Path::new(&tmp).exists(),
+        "the crash leaves its orphan temp file"
+    );
+
+    // With the variable gone the retry succeeds — the guard in
+    // `prepare` disarmed the plan, nothing is sticky across
+    // invocations — and the open path cleared the orphan.
+    let (code, out, err) = run(&["prepare", &graph, "--alpha", "0.5", "--out", &cat]);
+    assert_eq!(code, 0, "clean retry must succeed: {err}");
+    assert!(!out.contains("fault plan"), "no plan to announce: {out}");
+    let (code, out, err) = run(&["stat", &cat]);
+    assert_eq!(code, 0, "committed catalog must verify: {err}");
+    assert!(out.contains("integrity"), "stat report: {out}");
+    assert!(
+        !std::path::Path::new(&tmp).exists(),
+        "the successful save replaced the orphan"
+    );
+
+    // An unparsable spec is ignored, not fatal: a stale variable must
+    // never brick the tool.
+    std::env::set_var("MULE_FAULT_PLAN", "not-a-plan");
+    let cat2 = dir.join("c2.ugq").to_string_lossy().into_owned();
+    let (code, out, err) = run(&["prepare", &graph, "--alpha", "0.5", "--out", &cat2]);
+    std::env::remove_var("MULE_FAULT_PLAN");
+    assert_eq!(code, 0, "bad spec is ignored: {err}");
+    assert!(!out.contains("fault plan"), "nothing armed: {out}");
+
+    let _ = fs::remove_dir_all(&dir);
+}

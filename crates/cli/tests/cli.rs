@@ -513,3 +513,21 @@ fn corrupt_catalog_fails_with_typed_message() {
     assert!(err.contains("error"), "{err}");
     let _ = fs::remove_dir_all(&dir);
 }
+
+/// `mule stat` on a path that does not exist is a *usage* error (exit
+/// 2) naming the file — not a "corrupt catalog" claim about a file
+/// that was never there, and never a panic.
+#[test]
+fn stat_on_nonexistent_path_is_a_typed_usage_error() {
+    let (code, out, err) = run(&["stat", "/nonexistent/catalog.ugq"]);
+    assert_eq!(code, 2);
+    assert!(out.is_empty(), "no partial report: {out}");
+    assert!(
+        err.contains("cannot open catalog") && err.contains("/nonexistent/catalog.ugq"),
+        "the error must name the file and the failure: {err}"
+    );
+    assert!(
+        !err.contains("corrupt"),
+        "a missing file is not a corrupt one: {err}"
+    );
+}

@@ -275,16 +275,22 @@ fn server_survives_hostile_battery_then_drains_cleanly() {
     );
     scenarios += 1;
 
-    // 14. zero deadline trips before any emission; the session goes
-    //     back into the cache unharmed and serves the very next query.
+    // 14. an already-expired deadline is rejected *at admission*:
+    //     typed deadline_exceeded with "rejected":true, no catalog
+    //     work performed, and the connection (and resident session)
+    //     serve the very next query.
     let mut c = Client::connect(addr);
     let reply = c.roundtrip(&format!(
         r#"{{"op":"enumerate","catalog":"{}","timeout_ms":0}}"#,
         cat.path
     ));
     assert_err(&reply, "deadline_exceeded", "zero deadline");
-    assert_eq!(reply.get("partial"), Some(&Json::Bool(true)));
-    assert_eq!(reply.get("count").and_then(Json::as_u64), Some(0));
+    assert_eq!(reply.get("rejected"), Some(&Json::Bool(true)));
+    assert_eq!(
+        reply.get("partial"),
+        None,
+        "admission rejection does no work, so nothing is partial"
+    );
     let reply = c.roundtrip(&format!(r#"{{"op":"count","catalog":"{}"}}"#, cat.path));
     assert_ok(&reply, "count after deadline");
     assert_eq!(reply.get("count").and_then(Json::as_u64), Some(cat.count));
@@ -624,10 +630,15 @@ fn full_admission_queue_sheds_with_typed_busy_reply() {
     let queued = Client::connect(addr);
     std::thread::sleep(Duration::from_millis(100)); // let the acceptor enqueue it
 
-    // Overflow: shed with `busy` and close.
+    // Overflow: shed with `busy`, a `retry_after_ms` hint, and close.
     let mut shed = Client::connect(addr);
     let reply = shed.read_reply();
     assert_err(&reply, "busy", "overflow connection");
+    assert_eq!(
+        reply.get("retry_after_ms").and_then(Json::as_u64),
+        Some(50),
+        "busy replies carry the retry hint: {reply:?}"
+    );
     assert!(shed.read_line().is_none(), "shed connection is closed");
 
     // Release the worker; the queued connection must now be served.
@@ -638,9 +649,164 @@ fn full_admission_queue_sheds_with_typed_busy_reply() {
     };
     assert_ok(&queued.roundtrip(r#"{"op":"ping"}"#), "queued conn served");
 
+    // The shed shows up in the server-wide counters (stat, no catalog).
+    let reply = queued.roundtrip(r#"{"op":"stat"}"#);
+    assert_ok(&reply, "stat without catalog");
+    assert_eq!(reply.get("shed").and_then(Json::as_u64), Some(1));
+    assert_eq!(reply.get("retries_hinted").and_then(Json::as_u64), Some(1));
+
     server.request_shutdown();
     drop(queued);
     server.join();
+}
+
+/// Slow-loris defense plus admission-rejection telemetry: a connection
+/// dribbling a frame byte-by-byte is cut once the frame exceeds the
+/// frame timeout (even though it never goes idle), an untouched
+/// connection is closed at the idle timeout, and both closes — plus an
+/// expired-deadline rejection — land in the `stat` counters.
+#[test]
+fn slow_loris_and_idle_connections_are_cut_and_counted() {
+    let server = start(ServeConfig {
+        idle_timeout: Duration::from_millis(1500),
+        frame_timeout: Duration::from_millis(400),
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+
+    // Dribble one byte every 100 ms: never idle for 1.5 s, but the
+    // frame stays unfinished past the 400 ms frame deadline.
+    let mut loris = Client::connect(addr);
+    for b in br#"{"op":"ping"#.iter().cycle().take(12) {
+        // Once the server cuts us off, writes start failing — that is
+        // the expected outcome, not a test error.
+        if loris.writer.write_all(&[*b]).is_err() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    assert!(
+        loris.read_line().is_none(),
+        "slow-loris connection must be cut without a reply"
+    );
+
+    // A fully silent connection is closed at the idle timeout instead.
+    let mut idle = Client::connect(addr);
+    assert!(
+        idle.read_line().is_none(),
+        "idle connection must be closed without a reply"
+    );
+
+    // An already-expired request is rejected at admission.
+    let reply = request(
+        addr,
+        r#"{"op":"count","catalog":"/irrelevant.ugq","timeout_ms":0}"#,
+    );
+    assert_err(&reply, "deadline_exceeded", "expired admission");
+    assert_eq!(reply.get("rejected"), Some(&Json::Bool(true)));
+
+    // All three events are visible server-wide.
+    let reply = request(addr, r#"{"op":"stat"}"#);
+    assert_ok(&reply, "stat");
+    assert_eq!(
+        reply.get("slowloris_closes").and_then(Json::as_u64),
+        Some(1)
+    );
+    assert_eq!(reply.get("idle_closes").and_then(Json::as_u64), Some(1));
+    assert_eq!(
+        reply.get("expired_rejected").and_then(Json::as_u64),
+        Some(1)
+    );
+
+    server.request_shutdown();
+    server.join();
+}
+
+/// Poisoned-cache recovery: a resident base whose requests keep
+/// panicking is evicted at the poison threshold instead of wedging its
+/// catalog key, and the next request cold-reopens it from disk and
+/// serves correctly — with evictions and reopens counted.
+#[test]
+fn poisoned_base_is_evicted_and_reopened() {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    let dir = temp_dir("poison");
+    let mut rng = SmallRng::seed_from_u64(17);
+    let mut b = ugraph_core::GraphBuilder::new(24);
+    for u in 0..24u32 {
+        for v in (u + 1)..24 {
+            if rng.gen::<f64>() < 0.3 {
+                b.add_edge(u, v, 0.4 + rng.gen::<f64>() * 0.6).unwrap();
+            }
+        }
+    }
+    let g = b.build();
+    let base_path = dir.join("base.ugq");
+    mule::Query::new(&g)
+        .prepare_base()
+        .unwrap()
+        .save(&base_path)
+        .unwrap();
+    let base_path = base_path.to_str().unwrap().to_string();
+    let want = mule::Query::new(&g)
+        .alpha(0.5)
+        .prepare()
+        .unwrap()
+        .collect()
+        .unwrap()
+        .len() as u64;
+
+    let server = start(ServeConfig {
+        danger_test_ops: true,
+        poison_threshold: 2,
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+
+    // First panic: failure recorded, base stays resident.
+    let reply = request(
+        addr,
+        &format!(r#"{{"op":"panic","catalog":"{base_path}","alpha":0.5}}"#),
+    );
+    assert_err(&reply, "internal_error", "first panic");
+    let reply = request(addr, &format!(r#"{{"op":"stat","catalog":"{base_path}"}}"#));
+    assert_eq!(reply.get("resident"), Some(&Json::Bool(true)));
+    assert_eq!(reply.get("failures").and_then(Json::as_u64), Some(1));
+
+    // Second panic hits the threshold: the entry is evicted.
+    let reply = request(
+        addr,
+        &format!(r#"{{"op":"panic","catalog":"{base_path}","alpha":0.5}}"#),
+    );
+    assert_err(&reply, "internal_error", "second panic");
+    let reply = request(addr, &format!(r#"{{"op":"stat","catalog":"{base_path}"}}"#));
+    assert_eq!(
+        reply.get("resident"),
+        Some(&Json::Bool(false)),
+        "poisoned entry must be evicted: {reply:?}"
+    );
+    assert_eq!(
+        reply.get("poison_evictions").and_then(Json::as_u64),
+        Some(1)
+    );
+    assert_eq!(reply.get("poison_reopens").and_then(Json::as_u64), Some(0));
+
+    // The key is not wedged: the next real query reopens from disk and
+    // answers correctly, and a completed request resets the streak.
+    let reply = request(
+        addr,
+        &format!(r#"{{"op":"count","catalog":"{base_path}","alpha":0.5}}"#),
+    );
+    assert_ok(&reply, "count after poison eviction");
+    assert_eq!(reply.get("count").and_then(Json::as_u64), Some(want));
+    let reply = request(addr, &format!(r#"{{"op":"stat","catalog":"{base_path}"}}"#));
+    assert_eq!(reply.get("resident"), Some(&Json::Bool(true)));
+    assert_eq!(reply.get("poison_reopens").and_then(Json::as_u64), Some(1));
+    assert_eq!(reply.get("failures").and_then(Json::as_u64), Some(0));
+
+    server.request_shutdown();
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Shutdown requested while requests are still queued: every queued

@@ -66,6 +66,29 @@
 //! workspace root drives an adversarial matrix over exactly these
 //! cases.
 //!
+//! # Durability &amp; recovery
+//!
+//! Detection (above) is only half of robustness; the other half is
+//! never *producing* a torn file. [`CatalogWriter::write_to_path`] —
+//! and through it every `Prepared::save` / `Base::save` in `mule` —
+//! uses the atomic-durable recipe in [`crate::fault::write_atomic`]:
+//!
+//! 1. the serialized catalog is written to a sibling temp file named
+//!    `<file>.tmp` (same directory, so the rename below cannot cross
+//!    filesystems),
+//! 2. the temp file is fsynced,
+//! 3. the temp is renamed over the final path (atomic on POSIX), and
+//! 4. the parent directory is fsynced (best-effort) so the rename
+//!    itself survives power loss.
+//!
+//! A crash, full disk, or failed fsync at **any** byte boundary
+//! therefore leaves the final path either untouched (prior catalog
+//! intact) or fully replaced — never half-written. The only possible
+//! debris is an orphan `<file>.tmp`, which [`Catalog::open`] removes
+//! before reading. `tests/crash_battery.rs` at the workspace root
+//! proves this by injecting every [`crate::fault::FaultPlan`] at every
+//! byte-prefix cut point of a save and reopening after each.
+//!
 //! # Versioning / compatibility policy
 //!
 //! `version` is a hard gate: readers reject any version they were not
@@ -483,9 +506,12 @@ impl CatalogWriter {
         out
     }
 
-    /// [`Self::finish`] straight to a file.
+    /// [`Self::finish`] straight to a file, atomically and durably:
+    /// the bytes land in a sibling `<file>.tmp`, are fsynced, and only
+    /// then renamed over `path` (see [`crate::fault::write_atomic`]).
+    /// On error the prior contents of `path`, if any, are intact.
     pub fn write_to_path(self, path: impl AsRef<Path>) -> Result<(), CatalogError> {
-        std::fs::write(path, self.finish())?;
+        crate::fault::write_atomic(path.as_ref(), &self.finish())?;
         Ok(())
     }
 }
@@ -518,8 +544,13 @@ pub struct Catalog {
 }
 
 impl Catalog {
-    /// Read and validate a catalog file.
+    /// Read and validate a catalog file. Before reading, any orphan
+    /// temp file a crashed save may have left next to `path` is
+    /// removed (see [`crate::fault::cleanup_orphan`]) — a crashed save
+    /// never touches the final path, so the catalog itself is intact.
     pub fn open(path: impl AsRef<Path>) -> Result<Self, CatalogError> {
+        let path = path.as_ref();
+        crate::fault::cleanup_orphan(path);
         let data = std::fs::read(path)?;
         Self::from_bytes(Bytes::from(data))
     }

@@ -461,9 +461,12 @@ pub fn to_bytes(inst: &PreparedInstance) -> Vec<u8> {
     writer.finish()
 }
 
-/// Encode a prepared instance and write it to `path`.
+/// Encode a prepared instance and write it to `path` atomically and
+/// durably (temp file + fsync + rename; see
+/// [`ugraph_io::fault::write_atomic`]). On error, prior contents of
+/// `path` are intact.
 pub fn save(inst: &PreparedInstance, path: impl AsRef<Path>) -> Result<(), CatalogError> {
-    std::fs::write(path, to_bytes(inst))?;
+    ugraph_io::fault::write_atomic(path.as_ref(), &to_bytes(inst))?;
     Ok(())
 }
 
@@ -548,9 +551,12 @@ pub fn base_to_bytes(base: &PreparedBase) -> Vec<u8> {
     writer.finish()
 }
 
-/// Encode a prepared base and write it to `path`.
+/// Encode a prepared base and write it to `path` atomically and
+/// durably (temp file + fsync + rename; see
+/// [`ugraph_io::fault::write_atomic`]). On error, prior contents of
+/// `path` are intact.
 pub fn save_base(base: &PreparedBase, path: impl AsRef<Path>) -> Result<(), CatalogError> {
-    std::fs::write(path, base_to_bytes(base))?;
+    ugraph_io::fault::write_atomic(path.as_ref(), &base_to_bytes(base))?;
     Ok(())
 }
 
@@ -708,8 +714,11 @@ pub fn base_from_bytes(data: Bytes) -> Result<PreparedBase, CatalogError> {
     ))
 }
 
-/// Read and rebuild a prepared base from a catalog file.
+/// Read and rebuild a prepared base from a catalog file, after
+/// clearing any orphan temp a crashed save left beside it.
 pub fn open_base(path: impl AsRef<Path>) -> Result<PreparedBase, CatalogError> {
+    let path = path.as_ref();
+    ugraph_io::fault::cleanup_orphan(path);
     let data = std::fs::read(path)?;
     base_from_bytes(Bytes::from(data))
 }
@@ -805,8 +814,11 @@ pub fn from_bytes(data: Bytes) -> Result<PreparedInstance, CatalogError> {
     ))
 }
 
-/// Read and rebuild a prepared instance from a catalog file.
+/// Read and rebuild a prepared instance from a catalog file, after
+/// clearing any orphan temp a crashed save left beside it.
 pub fn open(path: impl AsRef<Path>) -> Result<PreparedInstance, CatalogError> {
+    let path = path.as_ref();
+    ugraph_io::fault::cleanup_orphan(path);
     let data = std::fs::read(path)?;
     from_bytes(Bytes::from(data))
 }

@@ -769,7 +769,8 @@ impl Base {
     /// [`crate::catalog`] for the byte layout). A later
     /// [`Query::open_base`] rebuilds an equivalent base that refines
     /// every `α ≥ floor` byte-identically, with zero pipeline work
-    /// beyond the refinement itself.
+    /// beyond the refinement itself. The write is atomic-durable (temp
+    /// file + fsync + rename): on error the prior file is intact.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), MuleError> {
         Ok(crate::catalog::save_base(&self.base, path)?)
     }
@@ -821,7 +822,8 @@ impl Prepared {
     /// threshold, stage toggles and index configuration — that serves
     /// every query byte-identically, without re-running any pipeline
     /// stage. Runtime-only settings (threads, engine) are not part of
-    /// the catalog.
+    /// the catalog. The write is atomic-durable (temp file + fsync +
+    /// rename): on error the prior file is intact.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), MuleError> {
         Ok(crate::catalog::save(&self.inst, path)?)
     }

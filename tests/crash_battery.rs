@@ -1,0 +1,339 @@
+//! Crash-at-every-boundary battery (tentpole proof of the robustness
+//! PR): a save interrupted by an injected IO fault at **every byte
+//! boundary** must leave the catalog either the complete old file or
+//! the complete new file — never a half-state, and never a panic.
+//!
+//! For each plan in {`fail-at:N`, `enospc:N`, `crash-after:N`} × every
+//! cut point `N` over the payload of `Prepared::save` (and a coarser
+//! sweep over `Base::save`):
+//!
+//! * the save returns a typed [`MuleError::Io`];
+//! * the bytes at the final path are untouched (byte-identical to the
+//!   pre-fault catalog) — checked at *every* cut;
+//! * reopening serves the old answers bit-for-bit — checked at sampled
+//!   cuts (byte-identity of the file already implies it; the samples
+//!   pin the end-to-end path);
+//! * non-crash plans leave no temp file; `crash-after` deliberately
+//!   leaves the orphan a real power cut would, and the next open
+//!   removes it.
+//!
+//! `short-writes:K` must *succeed* byte-identically (a correct writer
+//! loops), and `fsync-fail` must fail without touching the old file.
+//!
+//! `CRASH_BATTERY_STRIDE` (default 1 = exhaustive) coarsens the cut
+//! sweep for quick tiers; the CI chaos step sets it.
+
+use mule::{MuleError, Prepared, Query};
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use std::path::{Path, PathBuf};
+use ugraph_core::{GraphBuilder, UncertainGraph, VertexId};
+use ugraph_io::fault::{self, FaultPlan};
+
+fn random_graph(seed: u64, n: usize, density: f64) -> UncertainGraph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            if rng.gen::<f64>() < density {
+                b.add_edge(u, v, 1.0 - rng.gen::<f64>()).unwrap();
+            }
+        }
+    }
+    b.build()
+}
+
+/// Everything observable about a session, with exact probability bits.
+fn observe(s: &mut Prepared) -> (u64, Vec<(Vec<VertexId>, u64)>) {
+    let pairs = s
+        .collect()
+        .unwrap()
+        .into_iter()
+        .map(|(c, p)| (c, p.to_bits()))
+        .collect();
+    (s.count().unwrap(), pairs)
+}
+
+fn battery_dir(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("ugq-crash-battery-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn stride() -> usize {
+    std::env::var("CRASH_BATTERY_STRIDE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&s| s > 0)
+        .unwrap_or(1)
+}
+
+/// One faulted save: assert the typed error, the untouched final file,
+/// the temp-file contract of the plan, and (when `deep`) that a real
+/// reopen still serves the old answers.
+#[allow(clippy::too_many_arguments)]
+fn assert_save_dies_cleanly(
+    plan: FaultPlan,
+    save: &dyn Fn(&Path) -> Result<(), MuleError>,
+    path: &Path,
+    old_bytes: &[u8],
+    old_answers: &(u64, Vec<(Vec<VertexId>, u64)>),
+    deep: bool,
+) {
+    let fired_before = fault::faults_fired();
+    fault::arm(plan);
+    let outcome = save(path);
+    fault::disarm();
+    let err = outcome.unwrap_err_or_panic(plan);
+    assert!(
+        matches!(err, MuleError::Io(_)),
+        "{plan:?}: fault must surface as a typed IO error, got {err}"
+    );
+    assert!(
+        fault::faults_fired() > fired_before,
+        "{plan:?}: the armed fault never fired"
+    );
+
+    let on_disk = std::fs::read(path).expect("final path must survive a failed save");
+    assert_eq!(
+        on_disk, old_bytes,
+        "{plan:?}: failed save altered the committed catalog"
+    );
+
+    let tmp = fault::tmp_path(path);
+    match plan {
+        FaultPlan::CrashAfterPrefix(_) => assert!(
+            tmp.exists(),
+            "{plan:?}: a crash must leave its orphan temp file"
+        ),
+        _ => assert!(
+            !tmp.exists(),
+            "{plan:?}: non-crash failures must clean their temp file"
+        ),
+    }
+
+    if deep {
+        let mut reopened = Query::open(path).expect("old catalog must reopen after a failed save");
+        assert!(
+            !tmp.exists(),
+            "{plan:?}: open must clean the orphan temp file"
+        );
+        assert_eq!(
+            &observe(&mut reopened),
+            old_answers,
+            "{plan:?}: reopened catalog must serve the old answers"
+        );
+    } else if matches!(plan, FaultPlan::CrashAfterPrefix(_)) {
+        // Keep the fixture clean for the next cut without paying for a
+        // full open at every boundary.
+        fault::cleanup_orphan(path);
+    }
+}
+
+/// Small helper so a panic inside `save` reads as a battery failure
+/// with the offending plan, not a bare unwrap message.
+trait OrPanic {
+    fn unwrap_err_or_panic(self, plan: FaultPlan) -> MuleError;
+}
+impl OrPanic for Result<(), MuleError> {
+    fn unwrap_err_or_panic(self, plan: FaultPlan) -> MuleError {
+        match self {
+            Err(e) => e,
+            Ok(()) => panic!("{plan:?}: save must fail under an injected fault"),
+        }
+    }
+}
+
+#[test]
+fn prepared_save_survives_a_fault_at_every_byte_boundary() {
+    let dir = battery_dir("prepared");
+    let path = dir.join("catalog.ugq");
+
+    let g_old = random_graph(3, 11, 0.3);
+    let old = Query::new(&g_old).alpha(0.5).prepare().unwrap();
+    old.save(&path).unwrap();
+    let old_bytes = std::fs::read(&path).unwrap();
+    let old_answers = observe(&mut Query::open(&path).unwrap());
+
+    let g_new = random_graph(7, 12, 0.35);
+    let new = Query::new(&g_new).alpha(0.25).prepare().unwrap();
+    // Reference bytes of an unfaulted save of the replacement catalog.
+    let ref_path = dir.join("reference.ugq");
+    new.save(&ref_path).unwrap();
+    let new_bytes = std::fs::read(&ref_path).unwrap();
+    assert_ne!(new_bytes, old_bytes, "fixtures must actually differ");
+    let len = new_bytes.len();
+    assert!(len > 256, "fixture too small for a meaningful sweep: {len}");
+    let save = |p: &Path| new.save(p);
+
+    let step = stride();
+    let mut cuts_swept = 0usize;
+    for cut in (0..len).step_by(step) {
+        // Deep-reopen at the edges and every 64 strides; byte-compare
+        // (as strong, already covered by the round-trip suite) at all.
+        let deep = cut == 0 || cut + step >= len || (cut / step).is_multiple_of(64);
+        for plan in [
+            FaultPlan::FailAtByte(cut as u64),
+            FaultPlan::Enospc(cut as u64),
+            FaultPlan::CrashAfterPrefix(cut as u64),
+        ] {
+            assert_save_dies_cleanly(plan, &save, &path, &old_bytes, &old_answers, deep);
+        }
+        cuts_swept += 1;
+    }
+    assert!(cuts_swept > 0, "battery swept no cut points");
+
+    // A crash *past* the payload end: every write succeeded, the death
+    // lands between the last write and the rename. Old must survive.
+    assert_save_dies_cleanly(
+        FaultPlan::CrashAfterPrefix(len as u64 + 1),
+        &save,
+        &path,
+        &old_bytes,
+        &old_answers,
+        true,
+    );
+    // Fsync of the temp file fails: same contract as a failed write.
+    assert_save_dies_cleanly(
+        FaultPlan::FsyncFail,
+        &save,
+        &path,
+        &old_bytes,
+        &old_answers,
+        true,
+    );
+
+    // Short writes are not a fault: the writer loops, the save
+    // completes, and the committed bytes are identical to an unfaulted
+    // save — for pathological (1), odd (7), and chunk-sized strides.
+    for k in [1usize, 7, 4096] {
+        fault::arm(FaultPlan::ShortWrites(k));
+        let outcome = save(&path);
+        fault::disarm();
+        outcome.unwrap_or_else(|e| panic!("short-writes:{k} must succeed: {e}"));
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            new_bytes,
+            "short-writes:{k}: committed bytes must be identical to an unfaulted save"
+        );
+        // Restore the old catalog for the next battery step.
+        std::fs::write(&path, &old_bytes).unwrap();
+    }
+
+    // After the whole battery, a clean save commits and reopens.
+    save(&path).unwrap();
+    assert_eq!(std::fs::read(&path).unwrap(), new_bytes);
+    let reopened_answers = observe(&mut Query::open(&path).unwrap());
+    let mut fresh = Query::new(&g_new).alpha(0.25).prepare().unwrap();
+    assert_eq!(reopened_answers, observe(&mut fresh));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn base_save_survives_faulted_boundaries() {
+    let dir = battery_dir("base");
+    let path = dir.join("base.ugq");
+
+    let g_old = random_graph(11, 10, 0.3);
+    let old = Query::new(&g_old).prepare_base().unwrap();
+    old.save(&path).unwrap();
+    let old_bytes = std::fs::read(&path).unwrap();
+    let old_answers = observe(&mut Query::open_base(&path).unwrap().refine(0.5).unwrap());
+
+    let g_new = random_graph(13, 11, 0.35);
+    let new = Query::new(&g_new).prepare_base().unwrap();
+    let ref_path = dir.join("reference.ugq");
+    new.save(&ref_path).unwrap();
+    let new_bytes = std::fs::read(&ref_path).unwrap();
+    assert_ne!(new_bytes, old_bytes, "fixtures must actually differ");
+    let len = new_bytes.len();
+
+    // The base sweep is coarser (8× the prepared stride): the atomic
+    // writer under test is the same seam, already swept exhaustively
+    // above; this pins that `Base::save` goes through it.
+    let step = stride() * 8;
+    for cut in (0..len).step_by(step) {
+        let deep = cut == 0 || cut + step >= len;
+        for plan in [
+            FaultPlan::FailAtByte(cut as u64),
+            FaultPlan::Enospc(cut as u64),
+            FaultPlan::CrashAfterPrefix(cut as u64),
+        ] {
+            let fired_before = fault::faults_fired();
+            fault::arm(plan);
+            let outcome = new.save(&path);
+            fault::disarm();
+            let err = outcome.unwrap_err_or_panic(plan);
+            assert!(matches!(err, MuleError::Io(_)), "{plan:?}: {err}");
+            assert!(fault::faults_fired() > fired_before, "{plan:?}: no fire");
+            assert_eq!(
+                std::fs::read(&path).unwrap(),
+                old_bytes,
+                "{plan:?}: failed base save altered the committed catalog"
+            );
+            if deep {
+                let base = Query::open_base(&path).expect("old base must reopen");
+                assert!(
+                    !fault::tmp_path(&path).exists(),
+                    "{plan:?}: open_base must clean the orphan temp file"
+                );
+                assert_eq!(
+                    observe(&mut base.refine(0.5).unwrap()),
+                    old_answers,
+                    "{plan:?}: reopened base must serve the old answers"
+                );
+            } else {
+                fault::cleanup_orphan(&path);
+            }
+        }
+    }
+
+    // Clean save commits; refined answers match a fresh base.
+    new.save(&path).unwrap();
+    assert_eq!(std::fs::read(&path).unwrap(), new_bytes);
+    let got = observe(&mut Query::open_base(&path).unwrap().refine(0.25).unwrap());
+    let mut fresh = Query::new(&g_new).alpha(0.25).prepare().unwrap();
+    assert_eq!(got, observe(&mut fresh));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A crashed *first* save (no prior catalog): the final path must not
+/// exist, opening it is a typed IO error, and the orphan temp is gone
+/// after the open attempt — the fresh-directory half of recovery.
+#[test]
+fn crashed_first_save_leaves_no_catalog_and_open_recovers() {
+    let dir = battery_dir("first");
+    let path = dir.join("never-committed.ugq");
+
+    let g = random_graph(17, 10, 0.3);
+    let prepared = Query::new(&g).alpha(0.5).prepare().unwrap();
+    fault::arm(FaultPlan::CrashAfterPrefix(64));
+    let err = prepared.save(&path).unwrap_err();
+    fault::disarm();
+    assert!(matches!(err, MuleError::Io(_)), "{err}");
+    assert!(!path.exists(), "a crashed first save must not commit");
+    assert!(
+        fault::tmp_path(&path).exists(),
+        "the crash leaves its orphan"
+    );
+
+    match Query::open(&path) {
+        Err(MuleError::Io(_)) => {}
+        Err(other) => panic!("opening a never-committed path: {other}"),
+        Ok(_) => panic!("opening a never-committed path must fail"),
+    }
+    assert!(
+        !fault::tmp_path(&path).exists(),
+        "the failed open must still clean the orphan"
+    );
+
+    // The retry after the "reboot" succeeds and serves the answers.
+    prepared.save(&path).unwrap();
+    let mut reopened = Query::open(&path).unwrap();
+    let mut fresh = Query::new(&g).alpha(0.5).prepare().unwrap();
+    assert_eq!(observe(&mut reopened), observe(&mut fresh));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

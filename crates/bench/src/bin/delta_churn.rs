@@ -1,0 +1,273 @@
+//! Incremental maintenance vs full rebuild under churn (PR 10).
+//!
+//! The `mule::delta` subsystem claims that folding a mutation batch
+//! into a resident [`mule::Prepared`] session with `apply` beats
+//! re-running the whole pipeline on the mutated graph — *when the
+//! churn is localized*. This harness measures exactly that claim and
+//! writes `BENCH_pr10.json`:
+//!
+//! * **Workload** — the PR-8 community graph (a disjoint union of BA
+//!   communities; see `serve_load`): the component-bearing shape where
+//!   a localized batch touches one community and `apply` Arc-shares
+//!   every other component untouched. All churn lands in one stable
+//!   (high-probability) community, so every op is visible at the
+//!   default α and representable by construction.
+//! * **Series**, per batch size (churn rate) over the same session:
+//!   - `apply_ms` — `Prepared::apply(&delta)` on a clone of the
+//!     resident session (clone via catalog bytes, outside the timed
+//!     region);
+//!   - `rebuild_ms` — the same-session baseline: a fresh
+//!     `Query::prepare` of the *mutated* graph (graph merge outside
+//!     the timed region), per the drift discipline (both series are
+//!     measured in this process, this build — compare within this
+//!     artifact only);
+//!   - `append_ms` — the durability path: `mule::catalog::append_delta`
+//!     on a copy of the saved catalog (full re-serialize + atomic
+//!     write + fsync), the cost an online `update` op pays before the
+//!     in-memory fold.
+//! * **Verification** — once per batch size, byte-identity:
+//!   `apply` ≡ fresh prepare of the mutated graph
+//!   (`to_catalog_bytes` equality), the same oracle
+//!   `tests/delta_equivalence.rs` pins.
+//!
+//! ```text
+//! cargo run -p ugraph-bench --release --bin delta_churn -- \
+//!     [--seed 42] [--scale 0.25] [--alpha 0.3] [--repeats 9] \
+//!     [--out BENCH_pr10.json]
+//! ```
+
+use std::time::Instant;
+use ugraph_bench::{Args, Json};
+use ugraph_core::{GraphBuilder, UncertainGraph, VertexId};
+use ugraph_gen::ba::barabasi_albert;
+use ugraph_gen::rng::{derive_seed, rng_from_seed};
+use ugraph_gen::EdgeProbModel;
+
+const USAGE: &str = "delta_churn — incremental apply vs full rebuild (PR 10)
+options:
+  --seed N       dataset seed (default 42)
+  --scale X      BA-community count scale (default 0.25 = 78 communities)
+  --alpha A      session threshold (default 0.3)
+  --repeats N    samples per timing (default 9)
+  --out PATH     JSON artifact path (default BENCH_pr10.json)";
+
+/// The PR-8 community union (duplicated from `serve_load` — bins are
+/// standalone): every eighth community volatile, the rest in a stable
+/// high band.
+fn community_graph(seed: u64, communities: usize, community_n: usize) -> UncertainGraph {
+    let m_attach = 3usize.min(community_n - 1);
+    let mut b = GraphBuilder::with_capacity(
+        communities * community_n,
+        communities * ugraph_gen::ba::ba_edge_count(community_n, m_attach),
+    );
+    for c in 0..communities {
+        let probs = if c % 8 == 0 {
+            EdgeProbModel::Uniform { lo: 0.05, hi: 1.0 }
+        } else {
+            EdgeProbModel::Uniform { lo: 0.75, hi: 1.0 }
+        };
+        let mut rng = rng_from_seed(derive_seed(seed, &format!("community{c}")));
+        let community = barabasi_albert(community_n, m_attach, probs, &mut rng);
+        let off = (c * community_n) as VertexId;
+        for (u, v, p) in community.edges() {
+            b.add_edge(off + u, off + v, p).expect("valid union edge");
+        }
+    }
+    b.build()
+}
+
+/// A localized batch of `ops` mutations, all inside the vertex range
+/// `[lo, hi)` (one stable community): round-robin insert-absent /
+/// re-weight-existing / delete-existing, over distinct edges so the
+/// batch is representable against the unmutated graph. Returns the
+/// batch and the concretely mutated graph (the rebuild input).
+fn local_batch(
+    g: &UncertainGraph,
+    lo: u32,
+    hi: u32,
+    ops: usize,
+) -> (mule::GraphDelta, UncertainGraph) {
+    let mut present: Vec<(u32, u32, f64)> = Vec::new();
+    let mut absent: Vec<(u32, u32)> = Vec::new();
+    for u in lo..hi {
+        for v in (u + 1)..hi {
+            match g.edge_prob_raw(u, v) {
+                Some(p) => present.push((u, v, p)),
+                None => absent.push((u, v)),
+            }
+        }
+    }
+    assert!(
+        absent.len() >= ops && present.len() >= ops,
+        "community too small for a {ops}-op batch"
+    );
+    let mut delta = mule::GraphDelta::new();
+    let mut edges: std::collections::BTreeMap<(u32, u32), f64> =
+        present.iter().map(|&(u, v, p)| ((u, v), p)).collect();
+    let (mut ins, mut touch) = (0usize, 0usize);
+    for i in 0..ops {
+        match i % 3 {
+            0 => {
+                let (u, v) = absent[ins];
+                ins += 1;
+                delta = delta.insert(u, v, 0.9);
+                edges.insert((u, v), 0.9);
+            }
+            1 => {
+                let (u, v, _) = present[touch];
+                touch += 1;
+                delta = delta.set_prob(u, v, 0.8);
+                edges.insert((u, v), 0.8);
+            }
+            _ => {
+                let (u, v, _) = present[touch];
+                touch += 1;
+                delta = delta.delete(u, v);
+                edges.remove(&(u, v));
+            }
+        }
+    }
+    // The concretely mutated graph: untouched edges everywhere else.
+    let mut b = GraphBuilder::new(g.num_vertices());
+    let n = g.num_vertices() as u32;
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if u >= lo && v < hi {
+                continue; // community edges come from the ledger below
+            }
+            if let Some(p) = g.edge_prob_raw(u, v) {
+                b.add_edge(u, v, p).expect("valid edge");
+            }
+        }
+    }
+    for (&(u, v), &p) in &edges {
+        b.add_edge(u, v, p).expect("valid mutated edge");
+    }
+    (delta, b.build())
+}
+
+fn median_ms(samples: &mut [f64]) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2] * 1e3
+}
+
+fn main() {
+    let args = Args::parse(&["seed", "scale", "alpha", "repeats", "out"], USAGE);
+    let seed: u64 = args.get_or("seed", 42);
+    let scale: f64 = args.get_or("scale", 0.25);
+    let alpha: f64 = args.get_or("alpha", 0.3);
+    let repeats: usize = args.get_or("repeats", 9).max(1);
+    let out_path: String = args.get_or("out", "BENCH_pr10.json".to_string());
+
+    let community_n = 128usize;
+    let communities = ((5000.0 * scale / 16.0).round() as usize).max(4);
+    let g = community_graph(seed, communities, community_n);
+    // Community 1 is in the stable band (min p ≥ 0.75 > α): every edge
+    // is visible at α, so deletes and re-weights are representable.
+    let (lo, hi) = (community_n as u32, 2 * community_n as u32);
+
+    let session = mule::Query::new(&g)
+        .alpha(alpha)
+        .prepare()
+        .expect("prepare");
+    let resident_bytes = session.to_catalog_bytes();
+    let dir = std::env::temp_dir().join(format!("mule-delta-churn-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let saved = dir.join("resident.ugq");
+    session.save(&saved).expect("save catalog");
+
+    let mut json = Json::new();
+    json.begin_obj();
+    json.key("artifact").str_val("BENCH_pr10");
+    json.key("description").str_val(
+        "Incremental maintenance under churn (PR 10: mule::delta). Per batch \
+         size, `apply_ms` folds the batch into a clone of the resident session \
+         (Prepared::apply), `rebuild_ms` is the same-session baseline (fresh \
+         Query::prepare of the mutated graph, merge untimed), `append_ms` is \
+         the durability path (catalog::append_delta: re-serialize + atomic \
+         write). All churn is localized to one stable BA community; apply's \
+         result is verified byte-identical to the rebuild before timing is \
+         trusted. Medians over --repeats; absolute numbers move between \
+         sessions; compare within this artifact only.",
+    );
+    json.key("workload").begin_obj();
+    json.key("graph").str_val("BA-communities");
+    json.key("communities").int(communities as i64);
+    json.key("community_n").int(community_n as i64);
+    json.key("n").int(g.num_vertices() as i64);
+    json.key("m").int(g.num_edges() as i64);
+    json.key("alpha").num(alpha);
+    json.key("churned_community").int(1);
+    json.end_obj();
+    json.key("config").begin_obj();
+    json.key("seed").int(seed as i64);
+    json.key("scale").num(scale);
+    json.key("repeats").int(repeats as i64);
+    json.end_obj();
+
+    json.key("churn").begin_arr();
+    for &ops in &[1usize, 4, 16, 64] {
+        let (delta, mutated) = local_batch(&g, lo, hi, ops);
+
+        // Verify once: apply ≡ fresh prepare of the mutated graph.
+        let mut applied = mule::Query::open_bytes(resident_bytes.clone()).expect("clone");
+        applied.apply(&delta).expect("localized batch must apply");
+        let fresh = mule::Query::new(&mutated)
+            .alpha(alpha)
+            .prepare()
+            .expect("prepare mutated");
+        assert_eq!(
+            applied.to_catalog_bytes(),
+            fresh.to_catalog_bytes(),
+            "{ops}-op batch: apply must be byte-identical to a fresh prepare"
+        );
+
+        let mut apply_s = Vec::with_capacity(repeats);
+        for _ in 0..repeats {
+            let mut clone = mule::Query::open_bytes(resident_bytes.clone()).expect("clone");
+            let t0 = Instant::now();
+            clone.apply(&delta).expect("apply");
+            apply_s.push(t0.elapsed().as_secs_f64());
+        }
+        let mut rebuild_s = Vec::with_capacity(repeats);
+        for _ in 0..repeats {
+            let t0 = Instant::now();
+            let session = mule::Query::new(&mutated)
+                .alpha(alpha)
+                .prepare()
+                .expect("prepare mutated");
+            rebuild_s.push(t0.elapsed().as_secs_f64());
+            drop(session);
+        }
+        let mut append_s = Vec::with_capacity(repeats);
+        let scratch = dir.join(format!("append-{ops}.ugq"));
+        for _ in 0..repeats {
+            std::fs::copy(&saved, &scratch).expect("copy catalog");
+            let t0 = Instant::now();
+            mule::catalog::append_delta(&scratch, &delta).expect("append");
+            append_s.push(t0.elapsed().as_secs_f64());
+        }
+
+        let apply_ms = median_ms(&mut apply_s);
+        let rebuild_ms = median_ms(&mut rebuild_s);
+        let append_ms = median_ms(&mut append_s);
+        json.begin_obj();
+        json.key("ops").int(ops as i64);
+        json.key("apply_ms").num(apply_ms);
+        json.key("rebuild_ms").num(rebuild_ms);
+        json.key("append_ms").num(append_ms);
+        json.key("speedup").num(rebuild_ms / apply_ms.max(1e-9));
+        json.end_obj();
+        eprintln!(
+            "done {ops} op(s): apply {apply_ms:.3} ms, rebuild {rebuild_ms:.3} ms \
+             ({:.1}x), append {append_ms:.3} ms",
+            rebuild_ms / apply_ms.max(1e-9)
+        );
+    }
+    json.end_arr();
+    json.end_obj();
+
+    std::fs::write(&out_path, json.finish()).expect("write artifact");
+    eprintln!("wrote {out_path}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -28,6 +28,11 @@
 //! `prepare-full` / `alpha-refine` row pair: the cost of a fresh
 //! `Query::prepare` at that α versus `Base::refine(α)` on a resident
 //! α-generic base — the speedup one base buys a mixed-α workload.
+//! Since PR 10 each point also carries a `delta-apply` row: the cost of
+//! folding a one-edge mutation batch into a resident session with
+//! `Prepared::apply` — compare against the same point's `prepare-full`
+//! row for the incremental-vs-rebuild headline (the dedicated
+//! `delta_churn` bin sweeps batch sizes).
 //!
 //! ```text
 //! cargo run -p ugraph-bench --release --bin headline -- [--seed 42] [--scale 1.0] [--dblp-scale 0.1] [--timeout 120]
@@ -64,6 +69,20 @@ fn emit_counters(json: &mut Json, stats: &mule::EnumerationStats) {
     json.key("dense_probes").int(stats.dense_probes as i64);
     json.key("gallop_probes").int(stats.gallop_probes as i64);
     json.key("merge_steps").int(stats.merge_steps as i64);
+}
+
+/// First vertex pair with no edge in `g` — an always-representable
+/// insert for the `delta-apply` row.
+fn first_absent_pair(g: &ugraph_core::UncertainGraph) -> (u32, u32) {
+    let n = g.num_vertices() as u32;
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if g.edge_prob_raw(u, v).is_none() {
+                return (u, v);
+            }
+        }
+    }
+    panic!("graph is complete");
 }
 
 /// One `mule::Query` per measured point: the builder is the single
@@ -311,6 +330,67 @@ fn run_trajectory(args: &Args) {
                     json.summary("time", &s);
                     json.end_obj();
                     eprintln!("done {name} α={alpha} {algo}: {}", s.display());
+                }
+            }
+
+            // Incremental maintenance vs the prepare-full row above:
+            // `delta-apply` times `Prepared::apply` of a one-edge
+            // insert batch on a clone of the resident session (PR 10).
+            // The clone (via catalog bytes) and the count check stay
+            // outside the timed region. Skipped if the instance is not
+            // incrementally maintainable at this min_size (lossy
+            // preconditions — see `mule::delta`).
+            {
+                let session = query_for(g, alpha, min_size, &mule_cfg)
+                    .prepare()
+                    .expect("valid alpha");
+                let bytes = session.to_catalog_bytes();
+                let delta = mule::GraphDelta::new().insert(
+                    first_absent_pair(g).0,
+                    first_absent_pair(g).1,
+                    0.9,
+                );
+                let mut secs = Vec::with_capacity(repeats);
+                let mut applied_count = None;
+                for i in 0..repeats {
+                    let mut clone = mule::Query::open_bytes(bytes.clone()).expect("reopen clone");
+                    let start = Instant::now();
+                    match clone.apply(&delta) {
+                        Ok(()) => secs.push(start.elapsed().as_secs_f64()),
+                        Err(e) => {
+                            eprintln!("skip {name} α={alpha} delta-apply: {e}");
+                            secs.clear();
+                            break;
+                        }
+                    }
+                    if i == 0 {
+                        applied_count =
+                            Some(clone.count().expect("unlimited run cannot be interrupted"));
+                    }
+                }
+                if !secs.is_empty() {
+                    let s = Summary::from_samples(&secs);
+                    let applied_count = applied_count.unwrap();
+                    table.row(&[
+                        name.to_string(),
+                        format!("{alpha}"),
+                        "delta-apply".into(),
+                        "1".into(),
+                        s.display(),
+                        applied_count.to_string(),
+                    ]);
+                    json.begin_obj();
+                    json.key("graph").str_val(name);
+                    json.key("n").int(g.num_vertices() as i64);
+                    json.key("m").int(g.num_edges() as i64);
+                    json.key("alpha").num(alpha);
+                    json.key("algo").str_val("delta-apply");
+                    json.key("threads").int(1);
+                    json.key("cliques").int(applied_count as i64);
+                    emit_counters(&mut json, &mule::EnumerationStats::new());
+                    json.summary("time", &s);
+                    json.end_obj();
+                    eprintln!("done {name} α={alpha} delta-apply: {}", s.display());
                 }
             }
 

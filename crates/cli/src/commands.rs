@@ -365,6 +365,75 @@ pub fn prepare(args: &[String], out: &mut dyn Write) -> CmdResult {
     Ok(())
 }
 
+/// `mule update <catalog.ugq> --edges FILE [--compact]` — append a
+/// mutation batch to a prepared catalog.
+///
+/// `FILE` is a text batch, one op per line (`#` comments allowed):
+///
+/// ```text
+/// + u v p     insert edge {u, v} with probability p
+/// - u v       delete edge {u, v}
+/// = u v p     set the probability of edge {u, v} to p
+/// ```
+///
+/// The batch is validated against the catalog's artifact (with any
+/// already-pending deltas replayed) and appended as a `delta.{i}`
+/// section through the atomic-durable save path — a rejected or
+/// interrupted update leaves the file byte-identical to before. A later
+/// `mule enumerate --catalog` / `Query::open` replays pending deltas
+/// on open, serving results byte-identical to a fresh prepare of the
+/// mutated graph. `--compact` folds all pending deltas into the core
+/// sections afterwards (it also works alone, with no `--edges`).
+/// `MULE_FAULT_PLAN` injects IO faults for chaos drills, as in
+/// `mule prepare`.
+pub fn update(args: &[String], out: &mut dyn Write) -> CmdResult {
+    let opts = Opts::parse(args, &["edges", "compact"])?;
+    let path = opts.positional(0, "catalog file")?;
+    let edges = opts.get_str("edges");
+    if edges.is_none() && !opts.flag("compact") {
+        return Err("nothing to do: pass --edges FILE and/or --compact".into());
+    }
+    // Same per-invocation fault-plan scope as `prepare` (see there).
+    struct Disarm;
+    impl Drop for Disarm {
+        fn drop(&mut self) {
+            ugraph_io::fault::disarm();
+        }
+    }
+    let _disarm = match ugraph_io::fault::arm_from_env("MULE_FAULT_PLAN") {
+        Some(plan) => {
+            writeln!(out, "# fault plan armed: {plan:?}").map_err(io_err)?;
+            Some(Disarm)
+        }
+        None => None,
+    };
+    let started = std::time::Instant::now();
+    if let Some(file) = edges {
+        let text =
+            std::fs::read_to_string(file).map_err(|e| format!("cannot read {file:?}: {e}"))?;
+        let delta = mule::GraphDelta::parse_text(&text).map_err(|e| format!("{file}: {e}"))?;
+        let pending =
+            mule::catalog::append_delta(path, &delta).map_err(|e| format!("{path}: {e}"))?;
+        writeln!(
+            out,
+            "applied {} op(s) to {path} ({pending} pending delta section(s)) in {:.3}s",
+            delta.len(),
+            started.elapsed().as_secs_f64()
+        )
+        .map_err(io_err)?;
+    }
+    if opts.flag("compact") {
+        let folded = mule::catalog::compact(path).map_err(|e| format!("{path}: {e}"))?;
+        writeln!(
+            out,
+            "compacted {path}: {folded} delta section(s) folded in {:.3}s",
+            started.elapsed().as_secs_f64()
+        )
+        .map_err(io_err)?;
+    }
+    Ok(())
+}
+
 /// `mule stat <catalog.ugq> [--list]` — summarize a prepared catalog.
 ///
 /// Prints the header fields (threshold — or, for an α-generic base
@@ -729,6 +798,7 @@ pub fn serve(args: &[String], out: &mut dyn Write) -> CmdResult {
             "frame-timeout-ms",
             "busy-retry-ms",
             "poison-threshold",
+            "compact-threshold",
             "log",
             "danger-test-ops",
             "connect",
@@ -778,6 +848,7 @@ pub fn serve(args: &[String], out: &mut dyn Write) -> CmdResult {
         )?),
         busy_retry_ms: opts.get_or("busy-retry-ms", default_cfg.busy_retry_ms)?,
         poison_threshold: opts.get_or("poison-threshold", default_cfg.poison_threshold)?,
+        compact_threshold: opts.get_or("compact-threshold", default_cfg.compact_threshold)?,
         danger_test_ops: opts.flag("danger-test-ops"),
     };
     let log: crate::serve::Log = match opts.get_str("log") {

@@ -63,6 +63,11 @@ COMMANDS:
   prepare    <graph> --alpha A --out F.ugq  run the pipeline once, persist the
                [--min-size T] [--no-prune]  prepared session as a UGQ1 catalog
                [--index-mode M] [--index-budget BYTES]
+  update     <catalog.ugq> --edges FILE     append a mutation batch (one op per
+               [--compact]                  line: '+ u v p' insert, '- u v'
+                                            delete, '= u v p' re-weight) as a
+                                            crash-safe delta section; --compact
+                                            folds pending deltas into the core
   stat       <catalog.ugq> [--list]         catalog header summary; --list adds
                                             the TOC with per-section CRC status
   topk       <graph> --alpha A --k K        k most probable α-maximal cliques
@@ -82,6 +87,8 @@ COMMANDS:
                [--busy-retry-ms N]          (retry_after_ms hint on 'busy')
                [--poison-threshold N]       (failures before a wedged base
                                             entry is evicted and reopened)
+               [--compact-threshold N]      (pending deltas at which an
+                                            'update' op auto-compacts; 0 off)
                [--log FILE] [--danger-test-ops]
                (newline-JSON protocol; 'shutdown' op drains and exits)
   serve      --connect HOST:PORT            client: send one request frame
@@ -108,6 +115,7 @@ pub fn run(args: &[String], stdout: &mut dyn Write, stderr: &mut dyn Write) -> i
         "stats" => commands::stats(rest, stdout),
         "enumerate" => commands::enumerate(rest, stdout),
         "prepare" => commands::prepare(rest, stdout),
+        "update" => commands::update(rest, stdout),
         "stat" => commands::stat(rest, stdout),
         "topk" => commands::topk(rest, stdout),
         "verify" => commands::verify(rest, stdout),

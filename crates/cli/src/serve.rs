@@ -79,7 +79,17 @@
 //! * **Resilience counters.** The `stat` op (catalog field now
 //!   optional) reports server-wide totals: `shed`, `retries_hinted`,
 //!   `expired_rejected`, `idle_closes`, `slowloris_closes`,
-//!   `poison_evictions`, `poison_reopens`, `panics_isolated`.
+//!   `poison_evictions`, `poison_reopens`, `panics_isolated`,
+//!   `updates`, `compactions`.
+//! * **Live mutation.** The `update` op appends a typed
+//!   [`mule::GraphDelta`] batch to the catalog file (validated and
+//!   atomic-durable — see [`mule::catalog::append_delta`]) and folds
+//!   the same batch into the resident session via the incremental
+//!   [`mule::Prepared::apply`] / [`mule::Base::apply`] path, dropping
+//!   a base's stale refined views; past `--compact-threshold` pending
+//!   sections the catalog is rewritten clean
+//!   ([`mule::catalog::compact`]). Warm and cold queries alike serve
+//!   the mutated graph, byte-identical to a fresh prepare of it.
 
 use crate::wire::{err_reply, ok_reply, Json, ObjBuilder, Request};
 use mule::sinks::{CollectSink, CountSink};
@@ -121,6 +131,11 @@ pub struct ServeConfig {
     /// is evicted (and later reopened from disk) instead of staying
     /// wedged in the cache.
     pub poison_threshold: u32,
+    /// Pending `delta.{i}` sections at which an `update` triggers
+    /// automatic catalog compaction (`mule::catalog::compact`); `0`
+    /// disables auto-compaction (deltas accumulate until `mule update
+    /// --compact` or a manual compact).
+    pub compact_threshold: usize,
     /// Honor the `panic` test op (fault-injection drills only).
     pub danger_test_ops: bool,
 }
@@ -138,6 +153,7 @@ impl Default for ServeConfig {
             frame_timeout: Duration::from_secs(10),
             busy_retry_ms: 50,
             poison_threshold: 3,
+            compact_threshold: 8,
             danger_test_ops: false,
         }
     }
@@ -176,6 +192,10 @@ struct Counters {
     poison_reopens: AtomicU64,
     /// Request-body panics caught and turned into `internal_error`.
     panics_isolated: AtomicU64,
+    /// `update` batches accepted (appended to a catalog file).
+    updates: AtomicU64,
+    /// Automatic threshold-triggered catalog compactions.
+    compactions: AtomicU64,
 }
 
 impl Counters {
@@ -616,6 +636,7 @@ fn handle_frame(text: &str, shared: &Shared, peer: &str) -> (String, bool) {
             false,
         ),
         "stat" => (run_stat(&request, shared), false),
+        "update" => (run_update(&request, shared, peer), false),
         "count" | "enumerate" | "top_k" | "panic" => {
             let reply = run_query(&request, shared, peer);
             (reply, false)
@@ -880,6 +901,99 @@ fn poison_or_restore(shared: &Shared, catalog: String, mut entry: BaseEntry) {
     }
 }
 
+/// The `update` op: append a mutation batch to the catalog file, fold
+/// it into the resident session (if any), and auto-compact past the
+/// server's threshold.
+///
+/// Ordering is durability-first: the batch lands on disk (validated,
+/// atomic-durable; see [`mule::catalog::append_delta`]) before any
+/// in-memory state moves, so a crash after the reply can only leave
+/// *more* persisted than resident — never the reverse. The resident
+/// fold then keeps warm traffic on the mutated graph without a cold
+/// reopen: a fixed-α session gets [`mule::Prepared::apply`], a resident
+/// base gets [`mule::Base::apply`] and drops its refined per-α views
+/// (all stale). If the resident fold fails or panics the entry is
+/// simply evicted — the next request cold-reopens from the
+/// deltas-replayed file, which the append already proved valid.
+fn run_update(request: &Request, shared: &Shared, peer: &str) -> String {
+    let Some(catalog) = request.catalog.clone() else {
+        return err_reply("bad_request", "missing field \"catalog\"").render();
+    };
+    let Some(delta) = request.ops.as_ref() else {
+        return err_reply("bad_request", "update requires field \"ops\"").render();
+    };
+    let started = Instant::now();
+    let pending = match mule::catalog::append_delta(&catalog, delta) {
+        Ok(p) => p,
+        Err(MuleError::Delta(msg)) => {
+            shared.log(&format!("{peer}: update rejected on {catalog:?}: {msg}"));
+            return err_reply("update_rejected", &msg).render();
+        }
+        Err(e) => {
+            shared.log(&format!("{peer}: update on {catalog:?}: {e}"));
+            return err_reply("catalog_error", &format!("{catalog}: {e}")).render();
+        }
+    };
+    Counters::bump(&shared.counters.updates);
+    // Bind the take outside the `if let` scrutinee: the guard temporary
+    // would otherwise live for the whole body and deadlock on the
+    // re-lock in the success arm.
+    let taken = shared.cache.lock().unwrap().take(&catalog);
+    if let Some(resident) = taken {
+        let folded = catch_unwind(AssertUnwindSafe(|| match resident {
+            Resident::Fixed(mut session) => session.apply(delta).map(|()| Resident::Fixed(session)),
+            Resident::Base(mut entry) => entry.base.apply(delta).map(|()| {
+                // Every refined per-α view was derived from the
+                // pre-update base: all stale, drop them.
+                entry.views.clear();
+                Resident::Base(entry)
+            }),
+        }));
+        match folded {
+            Ok(Ok(entry)) => shared.cache.lock().unwrap().put(catalog.clone(), entry),
+            Ok(Err(e)) => shared.log(&format!(
+                "{peer}: resident fold failed on {catalog:?} ({e}); evicted, next request reopens"
+            )),
+            Err(_) => {
+                Counters::bump(&shared.counters.panics_isolated);
+                shared.log(&format!(
+                    "{peer}: resident fold panicked on {catalog:?}; evicted"
+                ));
+            }
+        }
+    }
+    let mut compacted = false;
+    let threshold = shared.cfg.compact_threshold;
+    if threshold > 0 && pending >= threshold {
+        match mule::catalog::compact(&catalog) {
+            Ok(folded) => {
+                compacted = folded > 0;
+                if compacted {
+                    Counters::bump(&shared.counters.compactions);
+                    shared.log(&format!(
+                        "{peer}: compacted {catalog:?} ({folded} pending deltas folded)"
+                    ));
+                }
+            }
+            // Compaction failure is not an update failure: the appended
+            // delta is durable and replayable; compaction retries on
+            // the next threshold crossing.
+            Err(e) => shared.log(&format!(
+                "{peer}: compaction of {catalog:?} failed ({e}); deltas remain pending"
+            )),
+        }
+    }
+    ok_reply("update")
+        .field("applied", Json::Num(delta.len() as f64))
+        .field(
+            "pending",
+            Json::Num(if compacted { 0.0 } else { pending as f64 }),
+        )
+        .field("compacted", Json::Bool(compacted))
+        .field("elapsed_ms", Json::Num(ms(started)))
+        .render()
+}
+
 /// The `stat` op: server-wide resilience counters, plus — when the
 /// (optional) `catalog` field is present — what is resident for that
 /// path, without cold-opening or touching recency. A base entry also
@@ -912,7 +1026,9 @@ fn run_stat(request: &Request, shared: &Shared) -> String {
         .field(
             "panics_isolated",
             Json::Num(Counters::get(&c.panics_isolated)),
-        );
+        )
+        .field("updates", Json::Num(Counters::get(&c.updates)))
+        .field("compactions", Json::Num(Counters::get(&c.compactions)));
     let Some(catalog) = request.catalog.as_deref() else {
         return reply.render();
     };

@@ -17,11 +17,26 @@
 //! {"op":"enumerate", "catalog":"g.ugq", "limit":1000}
 //! {"op":"enumerate", "catalog":"base.ugq", "alpha":0.5}
 //! {"op":"top_k",     "catalog":"g.ugq", "k":5}
+//! {"op":"update",    "catalog":"g.ugq", "ops":[["insert",2,3,0.8],["delete",0,1],["set",1,2,0.95]]}
 //! {"op":"stat"}                              (server-wide counters only)
 //! {"op":"stat",      "catalog":"base.ugq"}
 //! {"op":"shutdown"}
 //! {"op":"panic"}            (only honored with --danger-test-ops)
 //! ```
+//!
+//! `update` mutates the catalog *file* (a `delta.{i}` section appended
+//! through the atomic-durable save path; see `mule::catalog`) and folds
+//! the same batch into the resident session, so subsequent queries —
+//! warm or cold — serve the mutated graph. Each element of `ops` is a
+//! tagged array: `["insert", u, v, p]`, `["delete", u, v]`,
+//! `["set", u, v, p]`, applied in order with sequential semantics
+//! (see `mule::delta` for the representability contract). The reply
+//! carries `"pending"` (delta sections now on disk) and
+//! `"compacted":true` when the append crossed the server's
+//! `--compact-threshold` and the catalog was rewritten clean. A batch
+//! the artifact rejects (unknown edge, out-of-range vertex, lossy
+//! instance) is an `update_rejected` error and touches neither the
+//! file nor the resident session.
 //!
 //! `alpha` selects the refinement threshold when the catalog holds an
 //! α-generic base (`mule prepare --base`) — **required** there, since
@@ -408,8 +423,8 @@ fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
 /// A decoded request frame.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Request {
-    /// The operation: `ping`, `count`, `enumerate`, `top_k`, `stat`,
-    /// `shutdown`, `panic`.
+    /// The operation: `ping`, `count`, `enumerate`, `top_k`, `update`,
+    /// `stat`, `shutdown`, `panic`.
     pub op: String,
     /// Path of the `.ugq` catalog the query runs against.
     pub catalog: Option<String>,
@@ -425,6 +440,8 @@ pub struct Request {
     pub k: Option<u64>,
     /// Row cap for `enumerate` replies.
     pub limit: Option<u64>,
+    /// The mutation batch for `update`, decoded from the `ops` array.
+    pub ops: Option<mule::GraphDelta>,
 }
 
 impl Request {
@@ -462,6 +479,10 @@ impl Request {
                 Some(a)
             }
         };
+        let ops = match v.get("ops") {
+            None | Some(Json::Null) => None,
+            Some(o) => Some(decode_ops(o)?),
+        };
         Ok(Request {
             op,
             catalog: v.get("catalog").and_then(Json::as_str).map(str::to_string),
@@ -470,8 +491,65 @@ impl Request {
             node_budget: field_u64("node_budget")?,
             k: field_u64("k")?,
             limit: field_u64("limit")?,
+            ops,
         })
     }
+}
+
+/// Decode the `ops` array of an `update` request into a typed batch:
+/// `["insert", u, v, p]` / `["delete", u, v]` / `["set", u, v, p]`.
+/// Structure (arity, tags, integer endpoints) is validated here at the
+/// wire layer; *semantic* validation (edge visibility, probability
+/// range, vertex range) stays in `mule::delta` where the artifact is.
+fn decode_ops(v: &Json) -> Result<mule::GraphDelta, String> {
+    let Json::Arr(items) = v else {
+        return Err("field \"ops\" must be an array of op arrays".into());
+    };
+    let mut delta = mule::GraphDelta::new();
+    for (i, item) in items.iter().enumerate() {
+        let Json::Arr(parts) = item else {
+            return Err(format!("ops[{i}] must be an array"));
+        };
+        let tag = parts.first().and_then(Json::as_str).ok_or(format!(
+            "ops[{i}] must start with \"insert\", \"delete\" or \"set\""
+        ))?;
+        let endpoint = |j: usize| -> Result<u32, String> {
+            parts
+                .get(j)
+                .and_then(Json::as_u64)
+                .filter(|&x| x <= u32::MAX as u64)
+                .map(|x| x as u32)
+                .ok_or(format!("ops[{i}][{j}] must be a vertex id"))
+        };
+        let prob = |j: usize| -> Result<f64, String> {
+            parts
+                .get(j)
+                .and_then(Json::as_f64)
+                .ok_or(format!("ops[{i}][{j}] must be a number"))
+        };
+        match (tag, parts.len()) {
+            ("insert", 4) => delta.push(mule::DeltaOp::Insert {
+                u: endpoint(1)?,
+                v: endpoint(2)?,
+                p: prob(3)?,
+            }),
+            ("delete", 3) => delta.push(mule::DeltaOp::Delete {
+                u: endpoint(1)?,
+                v: endpoint(2)?,
+            }),
+            ("set", 4) => delta.push(mule::DeltaOp::SetProb {
+                u: endpoint(1)?,
+                v: endpoint(2)?,
+                p: prob(3)?,
+            }),
+            (tag, len) => {
+                return Err(format!(
+                    "ops[{i}]: unknown or malformed op ({tag:?} with {len} elements)"
+                ))
+            }
+        }
+    }
+    Ok(delta)
 }
 
 #[cfg(test)]
@@ -554,6 +632,52 @@ mod tests {
             r#"{"op":"enumerate","alpha":0}"#,
             r#"{"op":"enumerate","alpha":1.5}"#,
             r#"{"op":"enumerate","alpha":-0.25}"#,
+        ] {
+            let v = Json::parse(bad).unwrap();
+            assert!(Request::from_json(&v).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn update_ops_decode_to_typed_batches() {
+        let v = Json::parse(
+            r#"{"op":"update","catalog":"g.ugq",
+                "ops":[["insert",2,3,0.8],["delete",0,1],["set",1,2,0.95]]}"#,
+        )
+        .unwrap();
+        let r = Request::from_json(&v).unwrap();
+        let delta = r.ops.unwrap();
+        assert_eq!(
+            delta.ops(),
+            &[
+                mule::DeltaOp::Insert { u: 2, v: 3, p: 0.8 },
+                mule::DeltaOp::Delete { u: 0, v: 1 },
+                mule::DeltaOp::SetProb {
+                    u: 1,
+                    v: 2,
+                    p: 0.95
+                },
+            ]
+        );
+        // Empty batch decodes (it is the artifact's no-op).
+        let v = Json::parse(r#"{"op":"update","ops":[]}"#).unwrap();
+        assert!(Request::from_json(&v).unwrap().ops.unwrap().is_empty());
+        let v = Json::parse(r#"{"op":"count","ops":null}"#).unwrap();
+        assert_eq!(Request::from_json(&v).unwrap().ops, None);
+
+        for bad in [
+            r#"{"op":"update","ops":"no"}"#,
+            r#"{"op":"update","ops":[7]}"#,
+            r#"{"op":"update","ops":[[7,0,1]]}"#,
+            r#"{"op":"update","ops":[["insert",0,1]]}"#,
+            r#"{"op":"update","ops":[["insert",0,1,0.5,9]]}"#,
+            r#"{"op":"update","ops":[["delete",0]]}"#,
+            r#"{"op":"update","ops":[["delete",0,1,0.5]]}"#,
+            r#"{"op":"update","ops":[["set",0,1]]}"#,
+            r#"{"op":"update","ops":[["upsert",0,1,0.5]]}"#,
+            r#"{"op":"update","ops":[["insert",-1,1,0.5]]}"#,
+            r#"{"op":"update","ops":[["insert",0.5,1,0.5]]}"#,
+            r#"{"op":"update","ops":[["insert",4294967296,1,0.5]]}"#,
         ] {
             let v = Json::parse(bad).unwrap();
             assert!(Request::from_json(&v).is_err(), "{bad}");

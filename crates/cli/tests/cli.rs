@@ -531,3 +531,58 @@ fn stat_on_nonexistent_path_is_a_typed_usage_error() {
         "a missing file is not a corrupt one: {err}"
     );
 }
+
+#[test]
+fn update_appends_replays_and_compacts() {
+    let dir = scratch("update");
+    let g = fixture_graph(&dir); // triangle 0-1-2 (0.9) + pendant 2-3 (0.6)
+    let cat = dir.join("g.ugq").to_string_lossy().into_owned();
+    let (code, _, err) = run(&["prepare", &g, "--alpha", "0.5", "--out", &cat]);
+    assert_eq!(code, 0, "{err}");
+
+    // Batch: add edge 1–3 and strengthen 2–3 → new maximal clique 1 2 3.
+    let edges = dir.join("delta.txt");
+    fs::write(&edges, "# batch\n+ 1 3 0.8\n= 2 3 0.9\n").unwrap();
+    let (code, out, err) = run(&["update", &cat, "--edges", edges.to_str().unwrap()]);
+    assert_eq!(code, 0, "{err}");
+    assert!(out.contains("applied 2 op(s)"), "{out}");
+    assert!(out.contains("1 pending"), "{out}");
+
+    // Cold open replays the pending delta.
+    let (code, out, err) = run(&["enumerate", "--catalog", &cat]);
+    assert_eq!(code, 0, "{err}");
+    assert!(out.contains("0 1 2") && out.contains("1 2 3"), "{out}");
+
+    // The delta section is visible (and checksummed) in the TOC.
+    let (code, out, _) = run(&["stat", &cat, "--list"]);
+    assert_eq!(code, 0);
+    assert!(out.contains("delta.0"), "{out}");
+
+    // Compaction folds it in; answers are unchanged.
+    let (code, out, err) = run(&["update", &cat, "--compact"]);
+    assert_eq!(code, 0, "{err}");
+    assert!(out.contains("1 delta section(s) folded"), "{out}");
+    let (code, out, _) = run(&["enumerate", "--catalog", &cat]);
+    assert_eq!(code, 0);
+    assert!(out.contains("1 2 3"), "{out}");
+
+    // A rejected batch exits 2 and leaves the file byte-identical.
+    let before = fs::read(&cat).unwrap();
+    fs::write(&edges, "- 0 3\n").unwrap();
+    let (code, _, err) = run(&["update", &cat, "--edges", edges.to_str().unwrap()]);
+    assert_eq!(code, 2, "{err}");
+    assert!(err.contains("delta rejected"), "{err}");
+    assert_eq!(fs::read(&cat).unwrap(), before);
+
+    // Malformed batch text: line-numbered parse error, exit 2.
+    fs::write(&edges, "+ 1 nope 0.5\n").unwrap();
+    let (code, _, err) = run(&["update", &cat, "--edges", edges.to_str().unwrap()]);
+    assert_eq!(code, 2);
+    assert!(err.contains("line 1"), "{err}");
+
+    // Nothing to do is a usage error.
+    let (code, _, err) = run(&["update", &cat]);
+    assert_eq!(code, 2);
+    assert!(err.contains("nothing to do"), "{err}");
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -851,3 +851,150 @@ fn shutdown_drains_queued_connections() {
     server.join();
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// The `update` op end to end: mutates the catalog file, folds the
+/// batch into the resident session (fixed and base alike), trips
+/// threshold compaction, and rejects unrepresentable batches typed and
+/// trace-free — while the server keeps serving the mutated graph.
+#[test]
+fn update_op_mutates_catalogs_and_keeps_serving() {
+    let dir = temp_dir("update-op");
+    // Two solid triangles, no bridge: 2 maximal cliques at α = 0.5.
+    let mut b = ugraph_core::GraphBuilder::new(6);
+    for (u, v) in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
+        b.add_edge(u, v, 0.9).unwrap();
+    }
+    let g = b.build();
+    let fixed_path = dir.join("fixed.ugq");
+    mule::Query::new(&g)
+        .alpha(0.5)
+        .prepare()
+        .unwrap()
+        .save(&fixed_path)
+        .unwrap();
+    let base_path = dir.join("base.ugq");
+    mule::Query::new(&g)
+        .prepare_base()
+        .unwrap()
+        .save(&base_path)
+        .unwrap();
+    let fixed = fixed_path.to_str().unwrap().to_string();
+    let base = base_path.to_str().unwrap().to_string();
+
+    let server = start(ServeConfig {
+        compact_threshold: 2,
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+
+    // Warm the resident session on the pre-update graph.
+    let reply = request(addr, &format!(r#"{{"op":"count","catalog":"{fixed}"}}"#));
+    assert_ok(&reply, "warm count");
+    assert_eq!(reply.get("count").and_then(Json::as_u64), Some(2));
+
+    // Mutate: insert the bridge 2–3. One pending delta, no compaction.
+    let reply = request(
+        addr,
+        &format!(r#"{{"op":"update","catalog":"{fixed}","ops":[["insert",2,3,0.8]]}}"#),
+    );
+    assert_ok(&reply, "update insert");
+    assert_eq!(reply.get("applied").and_then(Json::as_u64), Some(1));
+    assert_eq!(reply.get("pending").and_then(Json::as_u64), Some(1));
+    assert_eq!(reply.get("compacted"), Some(&Json::Bool(false)));
+
+    // Warm traffic now serves the mutated graph: {0,1,2}, {3,4,5}, {2,3}.
+    let reply = request(addr, &format!(r#"{{"op":"count","catalog":"{fixed}"}}"#));
+    assert_eq!(
+        reply.get("count").and_then(Json::as_u64),
+        Some(3),
+        "resident session must serve the mutated graph: {reply:?}"
+    );
+    let reply = request(addr, r#"{"op":"stat"}"#);
+    assert_eq!(reply.get("updates").and_then(Json::as_u64), Some(1));
+    assert_eq!(reply.get("compactions").and_then(Json::as_u64), Some(0));
+
+    // Second update crosses --compact-threshold 2: auto-compaction.
+    let reply = request(
+        addr,
+        &format!(r#"{{"op":"update","catalog":"{fixed}","ops":[["set",2,3,0.6]]}}"#),
+    );
+    assert_ok(&reply, "update set");
+    assert_eq!(reply.get("compacted"), Some(&Json::Bool(true)));
+    assert_eq!(reply.get("pending").and_then(Json::as_u64), Some(0));
+    let reply = request(addr, r#"{"op":"stat"}"#);
+    assert_eq!(reply.get("compactions").and_then(Json::as_u64), Some(1));
+
+    // The compacted file is byte-identical to a fresh save of a fresh
+    // prepare of the mutated graph.
+    let mut mb = ugraph_core::GraphBuilder::new(6);
+    for (u, v, p) in [
+        (0, 1, 0.9),
+        (1, 2, 0.9),
+        (0, 2, 0.9),
+        (3, 4, 0.9),
+        (4, 5, 0.9),
+        (3, 5, 0.9),
+        (2, 3, 0.6),
+    ] {
+        mb.add_edge(u, v, p).unwrap();
+    }
+    let fresh = mule::Query::new(&mb.build()).alpha(0.5).prepare().unwrap();
+    assert_eq!(
+        std::fs::read(&fixed_path).unwrap(),
+        fresh.to_catalog_bytes(),
+        "compacted catalog must match a fresh prepare of the mutated graph"
+    );
+
+    // Rejected batch: typed error, file untouched, server keeps serving.
+    let before = std::fs::read(&fixed_path).unwrap();
+    let reply = request(
+        addr,
+        &format!(r#"{{"op":"update","catalog":"{fixed}","ops":[["delete",0,5]]}}"#),
+    );
+    assert_err(&reply, "update_rejected", "unknown edge");
+    assert_eq!(std::fs::read(&fixed_path).unwrap(), before);
+
+    // Wire-level validation and addressing errors.
+    assert_err(
+        &request(addr, &format!(r#"{{"op":"update","catalog":"{fixed}"}}"#)),
+        "bad_request",
+        "missing ops",
+    );
+    assert_err(
+        &request(addr, r#"{"op":"update","ops":[]}"#),
+        "bad_request",
+        "missing catalog",
+    );
+    assert_err(
+        &request(addr, r#"{"op":"update","catalog":"/absent.ugq","ops":[]}"#),
+        "catalog_error",
+        "absent catalog",
+    );
+
+    // A resident base: update invalidates its refined views, and the
+    // next α query refines from the mutated base.
+    let reply = request(
+        addr,
+        &format!(r#"{{"op":"count","catalog":"{base}","alpha":0.5}}"#),
+    );
+    assert_ok(&reply, "base warm count");
+    assert_eq!(reply.get("count").and_then(Json::as_u64), Some(2));
+    let reply = request(
+        addr,
+        &format!(r#"{{"op":"update","catalog":"{base}","ops":[["insert",2,3,0.8]]}}"#),
+    );
+    assert_ok(&reply, "base update");
+    let reply = request(
+        addr,
+        &format!(r#"{{"op":"count","catalog":"{base}","alpha":0.5}}"#),
+    );
+    assert_eq!(
+        reply.get("count").and_then(Json::as_u64),
+        Some(3),
+        "refined view must come from the mutated base: {reply:?}"
+    );
+
+    assert_ok(&request(addr, r#"{"op":"shutdown"}"#), "shutdown");
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}

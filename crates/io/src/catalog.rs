@@ -89,6 +89,35 @@
 //! proves this by injecting every [`crate::fault::FaultPlan`] at every
 //! byte-prefix cut point of a save and reopening after each.
 //!
+//! # Appended mutation batches: `delta.{i}` sections
+//!
+//! A catalog may carry committed mutation batches as trailing sections
+//! named `delta.0`, `delta.1`, … — gap-free, strictly after every core
+//! section (the `mule` layer rejects any other arrangement as
+//! corruption). The container treats them like any other section
+//! (crc32'd payload, content-hashed, contiguous tiling); appending one
+//! re-serializes the whole file through [`CatalogWriter`] and commits
+//! it with the same atomic-durable recipe, so the crash contract above
+//! covers delta appends and compaction unchanged. The header
+//! fingerprint keeps describing the *pre-delta* core artifact; readers
+//! replay the batches in order after validating it.
+//!
+//! Each `delta.{i}` payload, byte for byte (all integers
+//! little-endian):
+//!
+//! ```text
+//!  off        size field
+//!    0           8 count    u64 — number of op records
+//!    8 + 17·k    1 tag      u8: 1 insert ‖ 2 delete ‖ 3 set-prob
+//!    9 + 17·k    4 u        u32 endpoint (u < v not required on disk)
+//!   13 + 17·k    4 v        u32 endpoint
+//!   17 + 17·k    8 p        f64 bit pattern; **must be 0 for delete**
+//! ```
+//!
+//! The payload length must equal `8 + 17·count` exactly; unknown tags,
+//! non-zero delete probability bits, and count/length disagreement are
+//! typed errors on open (decoded and validated by `mule::GraphDelta`).
+//!
 //! # Versioning / compatibility policy
 //!
 //! `version` is a hard gate: readers reject any version they were not

@@ -75,6 +75,21 @@
 //! through [`base_from_bytes`]/[`open_base`] fails with the typed
 //! [`CatalogError::WrongKind`] — never a misparse.
 //!
+//! # Appended delta sections (`delta.{i}`)
+//!
+//! Both layouts accept a trailing contiguous run of `delta.0` …
+//! `delta.{d-1}` sections — serialized [`crate::GraphDelta`] batches
+//! ([`append_delta`]) that the open path replays, in order, through
+//! [`mod@crate::delta`] after the core artifact is assembled and
+//! validated. The header fingerprint and the report section keep
+//! describing the **pre-delta** core artifact; the replayed, opened
+//! artifact is byte-identical to a fresh prepare of the mutated graph
+//! (pinned by `tests/delta_equivalence.rs`). `append_delta` proves the
+//! grown image opens and replays *before* writing it, and both append
+//! and [`compact`] land through the atomic-durable path, so a crashed
+//! mutation can never leave a half-state. The byte-for-byte `delta.{i}`
+//! payload layout is documented in [`ugraph_io::catalog`].
+//!
 //! # What open() validates beyond the checksums
 //!
 //! * α parses and lies in `(0, 1]`; `index_mode` is a known value.
@@ -105,11 +120,13 @@
 //! validation; the section namespace stays open for a future version to
 //! add index rows with their own proof obligations.
 
+use crate::delta::GraphDelta;
 use crate::enumerate::{IndexMode, MuleConfig};
 use crate::kernel::Kernel;
 use crate::prepare::{
     PrepareConfig, PrepareReport, PreparedBase, PreparedComponent, PreparedInstance, Unit,
 };
+use crate::query::MuleError;
 use std::path::Path;
 use ugraph_core::{Components, UncertainGraph, VertexId};
 use ugraph_io::catalog::{
@@ -120,6 +137,26 @@ use ugraph_io::Bytes;
 
 fn corrupt(msg: impl Into<String>) -> CatalogError {
     CatalogError::Corrupt(msg.into())
+}
+
+/// Split a TOC name list into the core layout and the trailing run of
+/// appended `delta.{i}` sections, validating that the run is contiguous
+/// and numbered `0..d` in order (see [`append_delta`]). A `delta.*`
+/// name anywhere but in a well-formed trailing run is a typed error.
+fn split_delta_names<'a>(names: &'a [&'a str]) -> Result<(&'a [&'a str], usize), CatalogError> {
+    let core_len = names
+        .iter()
+        .position(|n| n.starts_with("delta."))
+        .unwrap_or(names.len());
+    for (i, name) in names[core_len..].iter().enumerate() {
+        let expect = format!("delta.{i}");
+        if *name != expect {
+            return Err(corrupt(format!(
+                "delta section {name:?} out of sequence (expected {expect:?})"
+            )));
+        }
+    }
+    Ok((&names[..core_len], names.len() - core_len))
 }
 
 fn index_mode_to_u8(mode: IndexMode) -> u8 {
@@ -586,8 +623,10 @@ pub fn base_from_bytes(data: Bytes) -> Result<PreparedBase, CatalogError> {
     let cfg = config_from_header(&h)?;
 
     // Canonical section order: k graph/map pairs, then isolated, then
-    // base.meta — nothing else, nothing moved.
-    let names: Vec<&str> = cat.sections().iter().map(|e| e.name.as_str()).collect();
+    // base.meta — nothing else, nothing moved — optionally followed by
+    // appended `delta.{i}` sections, replayed after assembly.
+    let all_names: Vec<&str> = cat.sections().iter().map(|e| e.name.as_str()).collect();
+    let (names, delta_count) = split_delta_names(&all_names)?;
     if names.len() < 2 || !(names.len() - 2).is_multiple_of(2) {
         return Err(corrupt(format!(
             "TOC has {} sections; expected 2·k + 2 for a base catalog",
@@ -703,7 +742,7 @@ pub fn base_from_bytes(data: Bytes) -> Result<PreparedBase, CatalogError> {
         .map_err(|_| corrupt("base.meta: name is not UTF-8"))?
         .to_string();
 
-    Ok(PreparedBase::from_parts(
+    let mut base = PreparedBase::from_parts(
         floor,
         cfg,
         original_n,
@@ -711,7 +750,11 @@ pub fn base_from_bytes(data: Bytes) -> Result<PreparedBase, CatalogError> {
         name,
         parts,
         isolated,
-    ))
+    );
+    replay_deltas(&cat, delta_count, |d| {
+        crate::delta::apply_base(&mut base, d)
+    })?;
+    Ok(base)
 }
 
 /// Read and rebuild a prepared base from a catalog file, after
@@ -747,8 +790,11 @@ pub fn from_bytes(data: Bytes) -> Result<PreparedInstance, CatalogError> {
     let cfg = config_from_header(&h)?;
 
     // Canonical section order is part of the format: k graph/map pairs,
-    // then singletons, schedule, report — nothing else, nothing moved.
-    let names: Vec<&str> = cat.sections().iter().map(|e| e.name.as_str()).collect();
+    // then singletons, schedule, report — nothing else, nothing moved —
+    // optionally followed by a contiguous run of appended `delta.{i}`
+    // sections ([`append_delta`]), replayed after assembly below.
+    let all_names: Vec<&str> = cat.sections().iter().map(|e| e.name.as_str()).collect();
+    let (names, delta_count) = split_delta_names(&all_names)?;
     if names.len() < 3 || !(names.len() - 3).is_multiple_of(2) {
         return Err(corrupt(format!(
             "TOC has {} sections; expected 2·k + 3",
@@ -809,9 +855,42 @@ pub fn from_bytes(data: Bytes) -> Result<PreparedInstance, CatalogError> {
         ));
     }
 
-    Ok(PreparedInstance::from_parts(
-        alpha, cfg, original_n, components, singletons, schedule, report,
-    ))
+    // The graph name is only observable on whole-graph instances (the
+    // identity fast path / shard-off store the input graph verbatim,
+    // name included; component subgraphs carry `""`). Recover it so
+    // delta replay rebuilds byte-identical merged graphs.
+    let name = components
+        .iter()
+        .find(|pc| pc.to_original.len() == original_n)
+        .map(|pc| pc.kernel.g.name().to_string())
+        .unwrap_or_default();
+    let mut inst = PreparedInstance::from_parts(
+        alpha, cfg, original_n, name, components, singletons, schedule, report,
+    );
+    replay_deltas(&cat, delta_count, |d| {
+        crate::delta::apply_instance(&mut inst, d)
+    })?;
+    Ok(inst)
+}
+
+/// Replay the appended `delta.{i}` sections, in order, through `apply`.
+/// The header fingerprint and every structural check describe the
+/// pre-delta core artifact — they ran before this. A batch that fails
+/// to decode or apply makes the whole catalog a typed corruption error
+/// ([`append_delta`] proves applicability before writing, so a failure
+/// here means the file was tampered with or damaged).
+fn replay_deltas(
+    cat: &Catalog,
+    delta_count: usize,
+    mut apply: impl FnMut(&GraphDelta) -> Result<(), MuleError>,
+) -> Result<(), CatalogError> {
+    for i in 0..delta_count {
+        let sec = format!("delta.{i}");
+        let delta = GraphDelta::from_bytes(cat.section(&sec)?)
+            .map_err(|e| corrupt(format!("{sec}: {e}")))?;
+        apply(&delta).map_err(|e| corrupt(format!("{sec}: {e}")))?;
+    }
+    Ok(())
 }
 
 /// Read and rebuild a prepared instance from a catalog file, after
@@ -821,6 +900,100 @@ pub fn open(path: impl AsRef<Path>) -> Result<PreparedInstance, CatalogError> {
     ugraph_io::fault::cleanup_orphan(path);
     let data = std::fs::read(path)?;
     from_bytes(Bytes::from(data))
+}
+
+// ---------------------------------------------------------------------------
+// Delta sections: append, count, compact
+// ---------------------------------------------------------------------------
+
+/// Append one [`GraphDelta`] batch to a catalog file as the next
+/// `delta.{i}` section and return the new pending-delta count. Works on
+/// both layouts (fixed instance and α-generic base).
+///
+/// The UGQ1 container requires sections to tile the file contiguously
+/// in TOC order, so an append re-serializes the whole catalog (core
+/// sections byte-for-byte, header — which keeps describing the
+/// *pre-delta* artifact — intact) and lands it through the
+/// atomic-durable write path: on any error, including a crash at an
+/// arbitrary byte boundary, the prior file is intact. Before anything
+/// reaches disk the new image is opened and fully replayed in memory —
+/// a batch the artifact rejects (unknown edge, out-of-range vertex,
+/// precondition failure; see [`mod@crate::delta`]) is never persisted,
+/// so a catalog that passed `append_delta` always reopens.
+pub fn append_delta(path: impl AsRef<Path>, delta: &GraphDelta) -> Result<usize, MuleError> {
+    let path = path.as_ref();
+    ugraph_io::fault::cleanup_orphan(path);
+    let data = std::fs::read(path).map_err(CatalogError::from)?;
+    let (bytes, pending) = append_delta_bytes(Bytes::from(data), delta)?;
+    ugraph_io::fault::write_atomic(path, &bytes).map_err(CatalogError::from)?;
+    Ok(pending)
+}
+
+/// Byte-level form of [`append_delta`]: returns the appended catalog
+/// image and the resulting pending-delta count without touching disk.
+pub fn append_delta_bytes(data: Bytes, delta: &GraphDelta) -> Result<(Vec<u8>, usize), MuleError> {
+    let cat = Catalog::from_bytes(data.clone())?;
+    cat.verify()?;
+    let names: Vec<&str> = cat.sections().iter().map(|e| e.name.as_str()).collect();
+    let (_, d) = split_delta_names(&names)?;
+    // Prove the batch replays against the artifact's current state
+    // (any already-pending deltas applied first) before bytes are
+    // assembled: a rejected batch surfaces as the typed
+    // [`MuleError::Delta`] and is never persisted.
+    if cat.header().flags & FLAG_ALPHA_BASE != 0 {
+        let mut base = base_from_bytes(data)?;
+        crate::delta::apply_base(&mut base, delta)?;
+    } else {
+        let mut inst = from_bytes(data)?;
+        crate::delta::apply_instance(&mut inst, delta)?;
+    }
+    let mut writer = CatalogWriter::new(*cat.header());
+    for entry in cat.sections() {
+        writer.add_section(entry.name.clone(), cat.section(&entry.name)?.to_vec());
+    }
+    writer.add_section(format!("delta.{d}"), delta.to_bytes());
+    Ok((writer.finish(), d + 1))
+}
+
+/// Number of pending (appended, not yet compacted) `delta.{i}` sections
+/// in a catalog file. Counts from the TOC without replaying.
+pub fn pending_deltas(path: impl AsRef<Path>) -> Result<usize, MuleError> {
+    let path = path.as_ref();
+    ugraph_io::fault::cleanup_orphan(path);
+    let data = std::fs::read(path).map_err(CatalogError::from)?;
+    let cat = Catalog::from_bytes(Bytes::from(data))?;
+    cat.verify()?;
+    let names: Vec<&str> = cat.sections().iter().map(|e| e.name.as_str()).collect();
+    Ok(split_delta_names(&names).map_err(MuleError::from)?.1)
+}
+
+/// Fold every pending `delta.{i}` section into the core sections and
+/// rewrite the catalog clean; returns how many batches were folded
+/// (`0` = the file was already clean and is untouched). The compacted
+/// image is exactly what saving the replayed artifact produces — i.e.
+/// byte-identical to a fresh save of a fresh prepare of the mutated
+/// graph — and lands through the same atomic-durable path as
+/// [`append_delta`]: a crash mid-compaction leaves the old
+/// base-plus-deltas file intact and replayable.
+pub fn compact(path: impl AsRef<Path>) -> Result<usize, MuleError> {
+    let path = path.as_ref();
+    ugraph_io::fault::cleanup_orphan(path);
+    let data = std::fs::read(path).map_err(CatalogError::from)?;
+    let image = Bytes::from(data);
+    let cat = Catalog::from_bytes(image.clone())?;
+    cat.verify()?;
+    let names: Vec<&str> = cat.sections().iter().map(|e| e.name.as_str()).collect();
+    let (_, d) = split_delta_names(&names)?;
+    if d == 0 {
+        return Ok(0);
+    }
+    let bytes = if cat.header().flags & FLAG_ALPHA_BASE != 0 {
+        base_to_bytes(&base_from_bytes(image)?)
+    } else {
+        to_bytes(&from_bytes(image)?)
+    };
+    ugraph_io::fault::write_atomic(path, &bytes).map_err(CatalogError::from)?;
+    Ok(d)
 }
 
 #[cfg(test)]

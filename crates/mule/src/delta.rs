@@ -1,0 +1,1037 @@
+//! Incremental maintenance of prepared artifacts under edge and
+//! probability updates — the "dynamic uncertain graph" subsystem.
+//!
+//! A [`GraphDelta`] is an ordered batch of typed mutations (edge
+//! insert, edge delete, probability change). [`crate::Prepared::apply`]
+//! and [`crate::Base::apply`] fold a batch into a live artifact by
+//! re-running the pipeline stages **only on the touched connected
+//! components**, merging joined components and splitting disconnected
+//! ones through the existing monotone id maps. The result is pinned
+//! byte-identical — graphs, id maps, schedule, report, probability
+//! bits — to a fresh [`crate::prepare()`] / [`crate::prepare_base`] of
+//! the mutated graph (`tests/delta_equivalence.rs`), at a fraction of
+//! the cost when churn is localized.
+//!
+//! # Why component-local re-pipelining is exact
+//!
+//! Every pipeline stage decomposes exactly per connected component of
+//! its input:
+//!
+//! 1. **α-prune** is edge-local: whether an edge survives depends only
+//!    on its own probability.
+//! 2. **Expected-degree core peel** is a per-component fixpoint: a
+//!    vertex's expected degree involves only its neighbors, so the
+//!    peeling cascade never crosses a component boundary.
+//! 3. **Modani–Dey shared-neighborhood peel** is likewise a
+//!    per-component fixpoint: common-neighbor counts and degrees are
+//!    component-internal.
+//! 4. **Component decomposition** refines components of its input.
+//!
+//! A delta batch's structural effect is confined to the components
+//! containing an op endpoint (plus any components an inserted edge
+//! joins — whose endpoints are, again, op endpoints). Therefore
+//! re-running stages on the union of touched components, with every
+//! untouched component's bytes carried over verbatim (`Arc`-shared,
+//! exactly PR 8's refine sharing argument: an untouched component's
+//! compact graph equals the fresh `induced_subgraph` of the mutated
+//! pruned graph because the id maps are monotone), reproduces the fresh
+//! global result. The global emission schedule is rebuilt through the
+//! same `build_schedule` helper the fresh path uses, so the
+//! merged component order cannot drift.
+//!
+//! **Report exactness** needs one precondition on sharded instances:
+//! the artifact's own report must show zero stage-2/3 losses and zero
+//! dropped-small components. Then (a) untouched components provably
+//! lose nothing in a fresh run on the mutated graph (their stage inputs
+//! are unchanged and they lost nothing before), so every loss counter
+//! of the fresh run is reproduced by the local re-run alone, and (b)
+//! kept components plus singletons cover all `n` vertices, so every op
+//! endpoint is attributable. Whole-graph instances (single component
+//! with an identity map — the identity fast path and the shard-off
+//! configuration) need only the stage-2/3 half of that precondition:
+//! their kernel graph *is* the α-pruned graph, so the apply degenerates
+//! to re-running the pipeline tail on the patched graph (sharing the
+//! code path with [`prepare`](crate::prepare()) itself). When the
+//! precondition fails the artifact simply does not retain enough of the
+//! graph to reconstruct the mutated state, and `apply` returns a typed
+//! [`MuleError::Delta`] telling the caller to re-prepare (or to
+//! maintain a [`crate::query::Base`] — bases store everything at the
+//! floor and need **no** precondition). The precondition holds
+//! automatically whenever `min_size ≤ 1`.
+//!
+//! # Representability: what ops may reference
+//!
+//! An artifact only knows the edges visible at its threshold (α for a
+//! prepared instance, the floor for a base). The batch semantics are
+//! sequential, against that visible state:
+//!
+//! - **insert** of an edge that is already visible (or already inserted
+//!   earlier in the batch) is a typed error;
+//! - **delete** / **set-prob** of an edge that is not visible (and not
+//!   inserted earlier in the batch) is a typed error — the artifact
+//!   cannot distinguish "absent" from "pruned below the threshold";
+//! - an **insert below the threshold** is legal: the edge counts toward
+//!   the mutated graph's edge total (the report's `original_edges`) but
+//!   is not materialized, exactly as a fresh prepare would prune it.
+//!   Within the same batch it stays addressable (it can be re-weighted
+//!   or deleted).
+//!
+//! Validation and all fallible construction complete **before** any
+//! mutation commits: a failed `apply` leaves the artifact unchanged.
+//! Vertex ids must be in range — the vertex set is fixed at prepare
+//! time (growing `n` is future work).
+//!
+//! # Persistence and serving
+//!
+//! Deltas serialize to a compact binary section format
+//! ([`GraphDelta::to_bytes`]) appended to UGQ1 catalogs as `delta.{i}`
+//! sections — see [`crate::catalog::append_delta`],
+//! [`crate::catalog::compact`], and the layout table in
+//! `ugraph_io::catalog`. [`crate::Query::open`] /
+//! [`crate::Query::open_base`] replay pending deltas on reopen, and
+//! `mule serve` exposes mutation as an `update` wire op.
+//!
+//! ```
+//! use mule::{GraphDelta, Query};
+//! use ugraph_core::builder::from_edges;
+//!
+//! # fn main() -> Result<(), mule::MuleError> {
+//! let g = from_edges(5, &[(0, 1, 0.9), (1, 2, 0.8), (3, 4, 0.7)])?;
+//! let mut session = Query::new(&g).alpha(0.5).prepare()?;
+//!
+//! // Bridge the two components and re-weight an edge, in one batch.
+//! let delta = GraphDelta::new().insert(2, 3, 0.6).set_prob(1, 2, 0.95);
+//! session.apply(&delta)?;
+//! assert_eq!(session.count()?, 4); // 0-1, 1-2, 2-3, 3-4
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::kcore::CoreDecomposition;
+use crate::kernel::{DepthArenas, Kernel};
+use crate::prepare::{
+    build_schedule, finish_pipeline, PrepareReport, PreparedComponent, PreparedInstance,
+};
+use crate::prepare::{BaseComponent, PreparedBase};
+use crate::pruning::shared_neighborhood_peel;
+use crate::query::MuleError;
+use crate::stats::EnumerationStats;
+use std::collections::HashMap;
+use ugraph_core::builder::from_edges;
+use ugraph_core::{subgraph, Components, UncertainGraph, VertexId};
+
+/// One typed mutation of an uncertain graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DeltaOp {
+    /// Add edge `{u, v}` with probability `p` (must not be visible at
+    /// the artifact's threshold; `p` may be below the threshold).
+    Insert {
+        /// One endpoint.
+        u: VertexId,
+        /// The other endpoint.
+        v: VertexId,
+        /// Existence probability in `(0, 1]`.
+        p: f64,
+    },
+    /// Remove edge `{u, v}` (must be visible, or inserted earlier in
+    /// the same batch).
+    Delete {
+        /// One endpoint.
+        u: VertexId,
+        /// The other endpoint.
+        v: VertexId,
+    },
+    /// Change the probability of edge `{u, v}` to `p` (the edge must be
+    /// visible, or inserted earlier in the same batch).
+    SetProb {
+        /// One endpoint.
+        u: VertexId,
+        /// The other endpoint.
+        v: VertexId,
+        /// New existence probability in `(0, 1]`.
+        p: f64,
+    },
+}
+
+/// An ordered batch of graph mutations with sequential semantics — the
+/// unit of [`crate::Prepared::apply`] / [`crate::Base::apply`] and of
+/// the catalog `delta.{i}` sections.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GraphDelta {
+    ops: Vec<DeltaOp>,
+}
+
+/// Serialized op tags (see the layout table in `ugraph_io::catalog`).
+const TAG_INSERT: u8 = 1;
+const TAG_DELETE: u8 = 2;
+const TAG_SET_PROB: u8 = 3;
+/// Serialized bytes per op: tag + two u32 endpoints + u64 prob bits.
+const OP_BYTES: usize = 1 + 4 + 4 + 8;
+
+impl GraphDelta {
+    /// An empty batch (applying it is a no-op).
+    pub fn new() -> Self {
+        GraphDelta::default()
+    }
+
+    /// Build from an explicit op list.
+    pub fn from_ops(ops: Vec<DeltaOp>) -> Self {
+        GraphDelta { ops }
+    }
+
+    /// Append an edge insertion (builder style).
+    pub fn insert(mut self, u: VertexId, v: VertexId, p: f64) -> Self {
+        self.ops.push(DeltaOp::Insert { u, v, p });
+        self
+    }
+
+    /// Append an edge deletion (builder style).
+    pub fn delete(mut self, u: VertexId, v: VertexId) -> Self {
+        self.ops.push(DeltaOp::Delete { u, v });
+        self
+    }
+
+    /// Append a probability change (builder style).
+    pub fn set_prob(mut self, u: VertexId, v: VertexId, p: f64) -> Self {
+        self.ops.push(DeltaOp::SetProb { u, v, p });
+        self
+    }
+
+    /// Append one op in place.
+    pub fn push(&mut self, op: DeltaOp) {
+        self.ops.push(op);
+    }
+
+    /// The ops, in application order.
+    pub fn ops(&self) -> &[DeltaOp] {
+        &self.ops
+    }
+
+    /// Number of ops in the batch.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Serialize to the catalog `delta.{i}` section payload: op count
+    /// as `u64` LE, then 17 bytes per op (tag `u8`, endpoints `u32` LE,
+    /// probability as `f64` bits in `u64` LE — zero for deletes).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + OP_BYTES * self.ops.len());
+        out.extend_from_slice(&(self.ops.len() as u64).to_le_bytes());
+        for op in &self.ops {
+            let (tag, u, v, p) = match *op {
+                DeltaOp::Insert { u, v, p } => (TAG_INSERT, u, v, p),
+                DeltaOp::Delete { u, v } => (TAG_DELETE, u, v, 0.0),
+                DeltaOp::SetProb { u, v, p } => (TAG_SET_PROB, u, v, p),
+            };
+            out.push(tag);
+            out.extend_from_slice(&u.to_le_bytes());
+            out.extend_from_slice(&v.to_le_bytes());
+            out.extend_from_slice(&p.to_bits().to_le_bytes());
+        }
+        out
+    }
+
+    /// Decode a [`Self::to_bytes`] payload. Every structural defect —
+    /// short buffer, trailing garbage, unknown tag, self-loop, non-zero
+    /// probability bits on a delete — is a typed [`MuleError::Delta`].
+    pub fn from_bytes(data: &[u8]) -> Result<Self, MuleError> {
+        let err = |msg: String| MuleError::Delta(msg);
+        if data.len() < 8 {
+            return Err(err("delta payload shorter than its count field".into()));
+        }
+        let count = u64::from_le_bytes(data[..8].try_into().unwrap());
+        let count: usize = count
+            .try_into()
+            .ok()
+            .filter(|c| data.len() == 8 + OP_BYTES * c)
+            .ok_or_else(|| {
+                err(format!(
+                    "delta payload length {} does not match op count {}",
+                    data.len(),
+                    count
+                ))
+            })?;
+        let mut ops = Vec::with_capacity(count);
+        for i in 0..count {
+            let rec = &data[8 + OP_BYTES * i..8 + OP_BYTES * (i + 1)];
+            let u = u32::from_le_bytes(rec[1..5].try_into().unwrap());
+            let v = u32::from_le_bytes(rec[5..9].try_into().unwrap());
+            let bits = u64::from_le_bytes(rec[9..17].try_into().unwrap());
+            let p = f64::from_bits(bits);
+            let op = match rec[0] {
+                TAG_INSERT => DeltaOp::Insert { u, v, p },
+                TAG_DELETE if bits == 0 => DeltaOp::Delete { u, v },
+                TAG_DELETE => {
+                    return Err(err(format!("op {i}: delete carries non-zero prob bits")))
+                }
+                TAG_SET_PROB => DeltaOp::SetProb { u, v, p },
+                tag => return Err(err(format!("op {i}: unknown tag {tag}"))),
+            };
+            ops.push(op);
+        }
+        Ok(GraphDelta { ops })
+    }
+
+    /// Parse the CLI edge-file format: one op per line — `+ u v p`
+    /// (insert), `- u v` (delete), `= u v p` (re-weight) — with blank
+    /// lines and `#` comments ignored. Errors carry 1-based line
+    /// numbers.
+    pub fn parse_text(text: &str) -> Result<Self, MuleError> {
+        let mut ops = Vec::new();
+        for (ln, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut fields = line.split_whitespace();
+            let verb = fields.next().unwrap();
+            let mut arg = |what: &str| -> Result<&str, MuleError> {
+                fields
+                    .next()
+                    .ok_or_else(|| MuleError::Delta(format!("line {}: missing {what}", ln + 1)))
+            };
+            let parse_v = |s: &str| -> Result<VertexId, MuleError> {
+                s.parse()
+                    .map_err(|_| MuleError::Delta(format!("line {}: bad vertex id {s:?}", ln + 1)))
+            };
+            let parse_p = |s: &str| -> Result<f64, MuleError> {
+                s.parse().map_err(|_| {
+                    MuleError::Delta(format!("line {}: bad probability {s:?}", ln + 1))
+                })
+            };
+            let op = match verb {
+                "+" => {
+                    let u = parse_v(arg("source vertex")?)?;
+                    let v = parse_v(arg("target vertex")?)?;
+                    let p = parse_p(arg("probability")?)?;
+                    DeltaOp::Insert { u, v, p }
+                }
+                "-" => {
+                    let u = parse_v(arg("source vertex")?)?;
+                    let v = parse_v(arg("target vertex")?)?;
+                    DeltaOp::Delete { u, v }
+                }
+                "=" => {
+                    let u = parse_v(arg("source vertex")?)?;
+                    let v = parse_v(arg("target vertex")?)?;
+                    let p = parse_p(arg("probability")?)?;
+                    DeltaOp::SetProb { u, v, p }
+                }
+                other => {
+                    return Err(MuleError::Delta(format!(
+                        "line {}: unknown op {other:?} (expected '+', '-', or '=')",
+                        ln + 1
+                    )))
+                }
+            };
+            if fields.next().is_some() {
+                return Err(MuleError::Delta(format!(
+                    "line {}: trailing fields after op",
+                    ln + 1
+                )));
+            }
+            ops.push(op);
+        }
+        Ok(GraphDelta { ops })
+    }
+}
+
+/// The finalized effect of a batch: per normalized edge key, the final
+/// probability (`Some`) or a delete tombstone (`None`), plus the net
+/// change to the mutated graph's total edge count.
+struct Ledger {
+    known: HashMap<(VertexId, VertexId), Option<f64>>,
+    edge_delta: isize,
+}
+
+/// Replay the batch sequentially against `visible` (the artifact's
+/// edge-probability view at its threshold), validating every op. Pure:
+/// touches no artifact state, so callers can abort with the artifact
+/// unchanged.
+fn run_ledger<F: Fn(VertexId, VertexId) -> Option<f64>>(
+    delta: &GraphDelta,
+    n: usize,
+    threshold_desc: &str,
+    visible: F,
+) -> Result<Ledger, MuleError> {
+    let mut ledger = Ledger {
+        known: HashMap::new(),
+        edge_delta: 0,
+    };
+    for (i, op) in delta.ops.iter().enumerate() {
+        let (u, v) = match *op {
+            DeltaOp::Insert { u, v, .. }
+            | DeltaOp::Delete { u, v }
+            | DeltaOp::SetProb { u, v, .. } => (u, v),
+        };
+        if u == v {
+            return Err(MuleError::Delta(format!("op {i}: self-loop on vertex {u}")));
+        }
+        for x in [u, v] {
+            if x as usize >= n {
+                return Err(MuleError::Delta(format!(
+                    "op {i}: vertex {x} out of range (graph has {n} vertices)"
+                )));
+            }
+        }
+        let key = (u.min(v), u.max(v));
+        let current = match ledger.known.get(&key) {
+            Some(&state) => state,
+            None => visible(key.0, key.1),
+        };
+        match *op {
+            DeltaOp::Insert { p, .. } => {
+                validate_prob(i, p)?;
+                if current.is_some() {
+                    return Err(MuleError::Delta(format!(
+                        "op {i}: insert of existing edge ({u}, {v})"
+                    )));
+                }
+                ledger.known.insert(key, Some(p));
+                ledger.edge_delta += 1;
+            }
+            DeltaOp::Delete { .. } => {
+                if current.is_none() {
+                    return Err(MuleError::Delta(format!(
+                        "op {i}: delete of edge ({u}, {v}) not visible at {threshold_desc} \
+                         (absent, or pruned below the artifact's threshold)"
+                    )));
+                }
+                ledger.known.insert(key, None);
+                ledger.edge_delta -= 1;
+            }
+            DeltaOp::SetProb { p, .. } => {
+                validate_prob(i, p)?;
+                if current.is_none() {
+                    return Err(MuleError::Delta(format!(
+                        "op {i}: set-prob of edge ({u}, {v}) not visible at {threshold_desc} \
+                         (absent, or pruned below the artifact's threshold)"
+                    )));
+                }
+                ledger.known.insert(key, Some(p));
+            }
+        }
+    }
+    Ok(ledger)
+}
+
+fn validate_prob(i: usize, p: f64) -> Result<(), MuleError> {
+    if p.is_finite() && p > 0.0 && p <= 1.0 {
+        Ok(())
+    } else {
+        Err(MuleError::Delta(format!(
+            "op {i}: probability {p} outside (0, 1]"
+        )))
+    }
+}
+
+/// Per-vertex location in a sharded artifact: owning component (or
+/// `u32::MAX`) and the local id within it.
+fn locate(components: &[(&[VertexId], usize)], n: usize) -> (Vec<u32>, Vec<u32>) {
+    let mut comp_of = vec![u32::MAX; n];
+    let mut local_id = vec![0u32; n];
+    for (j, (map, _)) in components.iter().enumerate() {
+        for (l, &orig) in map.iter().enumerate() {
+            comp_of[orig as usize] = j as u32;
+            local_id[orig as usize] = l as u32;
+        }
+    }
+    (comp_of, local_id)
+}
+
+/// One slot of the merged post-apply component order.
+enum Entry {
+    /// Untouched artifact component `j` — bytes carried over verbatim.
+    Keep(usize),
+    /// Connected component `li` of the locally re-pipelined graph.
+    Fresh(usize),
+    /// An untouched singleton / isolated vertex.
+    Lone,
+}
+
+/// Fold `delta` into a prepared instance. See the module docs for the
+/// soundness argument and the precondition; byte-identity to a fresh
+/// prepare of the mutated graph is pinned by `tests/delta_equivalence.rs`.
+pub(crate) fn apply_instance(
+    inst: &mut PreparedInstance,
+    delta: &GraphDelta,
+) -> Result<(), MuleError> {
+    if delta.is_empty() {
+        return Ok(());
+    }
+    let n = inst.original_n;
+    let whole_graph = inst.components.len() == 1 && inst.components[0].to_original.len() == n;
+    let r = &inst.report;
+    let stage_losses = r.core_filtered_vertices
+        + r.core_filtered_edges
+        + r.shared_pruned_edges
+        + r.shared_isolated_vertices;
+    if stage_losses > 0 || (!whole_graph && r.components_dropped_small > 0) {
+        return Err(MuleError::Delta(format!(
+            "instance does not retain the full alpha-pruned graph (core filter / peel / \
+             small-component drops removed material: {} core vertices, {} core edges, {} peeled \
+             edges, {} peel-isolated vertices, {} dropped components) — maintain a Base (which \
+             keeps everything at its floor) or re-prepare from the mutated graph",
+            r.core_filtered_vertices,
+            r.core_filtered_edges,
+            r.shared_pruned_edges,
+            r.shared_isolated_vertices,
+            r.components_dropped_small,
+        )));
+    }
+    let alpha = inst.alpha;
+    let t = inst.min_size;
+    let mut report = PrepareReport {
+        original_vertices: n,
+        ..Default::default()
+    };
+
+    if whole_graph {
+        // Whole-graph kernel (identity fast path or shard-off): the
+        // kernel graph is exactly the α-pruned graph, so patch it and
+        // re-run the pipeline tail — the same code path `prepare` runs,
+        // byte-identical by construction.
+        let g0 = &*inst.components[0].kernel.g;
+        let ledger = run_ledger(delta, n, &format!("alpha = {alpha}"), |u, v| {
+            g0.edge_prob_raw(u, v)
+        })?;
+        let mut edges: Vec<(VertexId, VertexId, f64)> = Vec::with_capacity(g0.num_edges());
+        for u in 0..n as VertexId {
+            for (v, p) in g0.neighbors_with_probs(u) {
+                if u < v && !ledger.known.contains_key(&(u, v)) {
+                    edges.push((u, v, p));
+                }
+            }
+        }
+        for (&(u, v), &state) in &ledger.known {
+            if let Some(p) = state {
+                if p >= alpha {
+                    edges.push((u, v, p));
+                }
+            }
+        }
+        report.original_edges = checked_edge_total(inst.report.original_edges, ledger.edge_delta)?;
+        let work = from_edges(n, &edges)
+            .map_err(MuleError::Graph)?
+            .with_name(inst.name.clone());
+        report.alpha_pruned_edges = report.original_edges - work.num_edges();
+        let rebuilt =
+            finish_pipeline(work, alpha, &inst.config, report).map_err(MuleError::Graph)?;
+        *inst = rebuilt;
+        return Ok(());
+    }
+
+    // Sharded instance: locate every vertex, replay the ledger against
+    // the visible (α-pruned) edges, and re-pipeline only the touched
+    // components.
+    let maps: Vec<(&[VertexId], usize)> = inst
+        .components
+        .iter()
+        .map(|pc| (pc.to_original.as_slice(), pc.kernel.g.num_edges()))
+        .collect();
+    let (comp_of, local_id) = locate(&maps, n);
+    let ledger = {
+        let components = &inst.components;
+        let comp_of = &comp_of;
+        let local_id = &local_id;
+        run_ledger(delta, n, &format!("alpha = {alpha}"), move |u, v| {
+            let (cu, cv) = (comp_of[u as usize], comp_of[v as usize]);
+            if cu == u32::MAX || cu != cv {
+                return None;
+            }
+            components[cu as usize]
+                .kernel
+                .g
+                .edge_prob_raw(local_id[u as usize], local_id[v as usize])
+        })?
+    };
+
+    // Touched material: every op endpoint's component or singleton.
+    let mut comp_touched = vec![false; inst.components.len()];
+    let mut vertex_touched = vec![false; n];
+    for &(u, v) in ledger.known.keys() {
+        for x in [u, v] {
+            vertex_touched[x as usize] = true;
+            let c = comp_of[x as usize];
+            if c != u32::MAX {
+                comp_touched[c as usize] = true;
+            }
+        }
+    }
+
+    // The touched region's α-pruned graph, over original ids (untouched
+    // vertices are isolated here and contribute empty rows).
+    let mut edges: Vec<(VertexId, VertexId, f64)> = Vec::new();
+    for (j, pc) in inst.components.iter().enumerate() {
+        if !comp_touched[j] {
+            continue;
+        }
+        let g = &*pc.kernel.g;
+        for lu in 0..g.num_vertices() as VertexId {
+            let u = pc.to_original[lu as usize];
+            for (lv, p) in g.neighbors_with_probs(lu) {
+                let v = pc.to_original[lv as usize];
+                if u < v && !ledger.known.contains_key(&(u, v)) {
+                    edges.push((u, v, p));
+                }
+            }
+        }
+    }
+    for (&(u, v), &state) in &ledger.known {
+        if let Some(p) = state {
+            if p >= alpha {
+                edges.push((u, v, p));
+            }
+        }
+    }
+    let mut work = from_edges(n, &edges).map_err(MuleError::Graph)?;
+    let untouched_surviving: usize = inst
+        .components
+        .iter()
+        .enumerate()
+        .filter(|(j, _)| !comp_touched[*j])
+        .map(|(_, pc)| pc.kernel.g.num_edges())
+        .sum();
+    report.original_edges = checked_edge_total(inst.report.original_edges, ledger.edge_delta)?;
+    report.alpha_pruned_edges = report.original_edges - (untouched_surviving + work.num_edges());
+
+    // Stages 2 and 3, locally. Untouched vertices have degree zero in
+    // `work`, so both stages ignore them — and by the precondition the
+    // fresh global run removes nothing from untouched components, so
+    // the local loss counters *are* the fresh global ones.
+    if t >= 2 && inst.config.core_filter && work.num_edges() > 0 {
+        let decomp = CoreDecomposition::compute(&work);
+        let threshold = (t - 1) as f64 * alpha;
+        let mut in_core = vec![false; n];
+        for v in decomp.core(threshold) {
+            in_core[v as usize] = true;
+        }
+        let dropped = (0..n)
+            .filter(|&v| !in_core[v] && work.degree(v as VertexId) > 0)
+            .count();
+        if dropped > 0 {
+            let before = work.num_edges();
+            work = subgraph::restrict_to_vertices(&work, &in_core);
+            report.core_filtered_vertices = dropped;
+            report.core_filtered_edges = before - work.num_edges();
+        }
+    }
+    if t >= 3 && inst.config.shared_neighborhood && work.num_edges() > 0 {
+        let (peeled, pr) = shared_neighborhood_peel(&work, t).map_err(MuleError::Graph)?;
+        report.shared_pruned_edges = pr.shared_pruned_edges;
+        report.shared_isolated_vertices = pr.degree_pruned_vertices;
+        work = peeled;
+    }
+
+    // Local re-split, then merge with the untouched material in global
+    // (smallest-original-id) component order.
+    let lists = Components::compute(&work).vertex_lists();
+    let mut entries: Vec<(VertexId, Entry)> = Vec::new();
+    for (j, pc) in inst.components.iter().enumerate() {
+        if !comp_touched[j] {
+            entries.push((pc.to_original[0], Entry::Keep(j)));
+        }
+    }
+    for &s in &inst.singletons {
+        if !vertex_touched[s as usize] {
+            entries.push((s, Entry::Lone));
+        }
+    }
+    // "In the touched region" = an op endpoint, or any vertex of a
+    // touched component (stages 2/3 can isolate those without their
+    // being op endpoints themselves).
+    let in_region = |v: VertexId| {
+        vertex_touched[v as usize] || {
+            let c = comp_of[v as usize];
+            c != u32::MAX && comp_touched[c as usize]
+        }
+    };
+    let mut fresh_subs: Vec<Option<(UncertainGraph, Vec<VertexId>)>> = Vec::new();
+    for (li, list) in lists.iter().enumerate() {
+        let relevant = list.len() >= 2 || in_region(list[0]);
+        if !relevant {
+            fresh_subs.push(None); // an untouched vertex, isolated in `work`
+            continue;
+        }
+        entries.push((list[0], Entry::Fresh(li)));
+        fresh_subs.push(if list.len() >= 2 {
+            Some(subgraph::induced_subgraph(&work, list).map_err(MuleError::Graph)?)
+        } else {
+            None
+        });
+    }
+    entries.sort_unstable_by_key(|&(first, _)| first);
+    report.components_total = entries.len();
+
+    let min_keep = t.max(2);
+    let entry_lens: Vec<usize> = entries
+        .iter()
+        .map(|(_, e)| match *e {
+            Entry::Keep(j) => inst.components[j].to_original.len(),
+            Entry::Fresh(li) => lists[li].len(),
+            Entry::Lone => 1,
+        })
+        .collect();
+    let qualifying = entry_lens.iter().filter(|&&len| len >= min_keep).count();
+
+    let mut components: Vec<PreparedComponent> = Vec::new();
+    let mut singletons: Vec<VertexId> = Vec::new();
+    if qualifying == 1 {
+        // The mutated graph collapsed to the identity fast path: hand
+        // the *whole* merged pruned graph to one kernel, exactly as a
+        // fresh prepare would, with the fresh path's accounting.
+        for ((_, e), &len) in entries.iter().zip(&entry_lens) {
+            if len >= min_keep {
+                report.components_kept = 1;
+                report.largest_component = len;
+                report.final_edges = match *e {
+                    Entry::Keep(j) => inst.components[j].kernel.g.num_edges(),
+                    Entry::Fresh(li) => {
+                        let arcs: usize = lists[li].iter().map(|&v| work.degree(v)).sum();
+                        arcs / 2
+                    }
+                    Entry::Lone => unreachable!("min_keep >= 2"),
+                };
+                report.final_vertices += len;
+            } else if len == 1 && t <= 1 {
+                report.singleton_vertices += 1;
+                report.final_vertices += 1;
+            } else {
+                report.components_dropped_small += 1;
+            }
+        }
+        let merged = merged_graph(inst, &comp_of, &local_id, &comp_touched, &work);
+        let identity: Vec<VertexId> = (0..n as VertexId).collect();
+        components.push(PreparedComponent {
+            kernel: Kernel::wrap(merged, alpha, &inst.config.mule),
+            to_original: identity,
+        });
+    } else {
+        let mut old: Vec<Option<PreparedComponent>> = inst.components.drain(..).map(Some).collect();
+        for ((first, e), &len) in entries.iter().zip(&entry_lens) {
+            if len < min_keep {
+                if len == 1 && t <= 1 {
+                    report.singleton_vertices += 1;
+                    singletons.push(*first);
+                } else {
+                    report.components_dropped_small += 1;
+                }
+                continue;
+            }
+            report.components_kept += 1;
+            report.largest_component = report.largest_component.max(len);
+            report.final_vertices += len;
+            match *e {
+                Entry::Keep(j) => {
+                    let pc = old[j].take().expect("each untouched component moves once");
+                    report.final_edges += pc.kernel.g.num_edges();
+                    components.push(pc);
+                }
+                Entry::Fresh(li) => {
+                    let (sub, map) = fresh_subs[li]
+                        .take()
+                        .expect("every kept fresh list was induced above");
+                    report.final_edges += sub.num_edges();
+                    components.push(PreparedComponent {
+                        kernel: Kernel::wrap(sub, alpha, &inst.config.mule),
+                        to_original: map,
+                    });
+                }
+                Entry::Lone => unreachable!("min_keep >= 2"),
+            }
+        }
+        report.final_vertices += singletons.len();
+        report.largest_component = report
+            .largest_component
+            .max(usize::from(!singletons.is_empty()));
+    }
+
+    let schedule = build_schedule(n, &singletons, &components);
+    inst.components = components;
+    inst.singletons = singletons;
+    inst.schedule = schedule;
+    inst.report = report;
+    inst.stats = EnumerationStats::new();
+    inst.arenas = DepthArenas::new();
+    inst.clique_buf = Vec::new();
+    inst.remap_scratch = Vec::new();
+    Ok(())
+}
+
+/// Merge untouched component rows and the locally re-pipelined rows
+/// into one global n-vertex CSR — the graph the fresh pipeline's
+/// identity fast path would hold (mirrors `PreparedBase::merged_work`).
+fn merged_graph(
+    inst: &PreparedInstance,
+    comp_of: &[u32],
+    local_id: &[u32],
+    comp_touched: &[bool],
+    work: &UncertainGraph,
+) -> UncertainGraph {
+    let n = inst.original_n;
+    let mut offsets = Vec::with_capacity(n + 1);
+    offsets.push(0usize);
+    let mut neighbors = Vec::new();
+    let mut probs = Vec::new();
+    for v in 0..n {
+        let j = comp_of[v];
+        if j != u32::MAX && !comp_touched[j as usize] {
+            let pc = &inst.components[j as usize];
+            for (w, p) in pc.kernel.g.neighbors_with_probs(local_id[v]) {
+                neighbors.push(pc.to_original[w as usize]);
+                probs.push(p);
+            }
+        } else {
+            for (w, p) in work.neighbors_with_probs(v as VertexId) {
+                neighbors.push(w);
+                probs.push(p);
+            }
+        }
+        offsets.push(neighbors.len());
+    }
+    UncertainGraph::try_from_csr(offsets, neighbors, probs, inst.name.clone())
+        .expect("merged per-component rows form a valid CSR")
+}
+
+/// Fold `delta` into a base artifact. Bases store every edge at their
+/// floor, so there is no precondition; untouched components and
+/// isolated vertices carry over verbatim. Byte-identity to a fresh
+/// [`crate::prepare_base`] of the mutated graph is pinned by
+/// `tests/delta_equivalence.rs`.
+pub(crate) fn apply_base(base: &mut PreparedBase, delta: &GraphDelta) -> Result<(), MuleError> {
+    if delta.is_empty() {
+        return Ok(());
+    }
+    let n = base.original_n;
+    let floor = base.floor;
+    let maps: Vec<(&[VertexId], usize)> = base
+        .components
+        .iter()
+        .map(|bc| (bc.to_original.as_slice(), bc.kernel.g.num_edges()))
+        .collect();
+    let (comp_of, local_id) = locate(&maps, n);
+    let ledger = {
+        let components = &base.components;
+        let comp_of = &comp_of;
+        let local_id = &local_id;
+        run_ledger(delta, n, &format!("floor = {floor}"), move |u, v| {
+            let (cu, cv) = (comp_of[u as usize], comp_of[v as usize]);
+            if cu == u32::MAX || cu != cv {
+                return None;
+            }
+            components[cu as usize]
+                .kernel
+                .g
+                .edge_prob_raw(local_id[u as usize], local_id[v as usize])
+        })?
+    };
+
+    let mut comp_touched = vec![false; base.components.len()];
+    let mut vertex_touched = vec![false; n];
+    for &(u, v) in ledger.known.keys() {
+        for x in [u, v] {
+            vertex_touched[x as usize] = true;
+            let c = comp_of[x as usize];
+            if c != u32::MAX {
+                comp_touched[c as usize] = true;
+            }
+        }
+    }
+
+    let mut edges: Vec<(VertexId, VertexId, f64)> = Vec::new();
+    for (j, bc) in base.components.iter().enumerate() {
+        if !comp_touched[j] {
+            continue;
+        }
+        let g = &*bc.kernel.g;
+        for lu in 0..g.num_vertices() as VertexId {
+            let u = bc.to_original[lu as usize];
+            for (lv, p) in g.neighbors_with_probs(lu) {
+                let v = bc.to_original[lv as usize];
+                if u < v && !ledger.known.contains_key(&(u, v)) {
+                    edges.push((u, v, p));
+                }
+            }
+        }
+    }
+    for (&(u, v), &state) in &ledger.known {
+        if let Some(p) = state {
+            if p >= floor {
+                edges.push((u, v, p));
+            }
+        }
+    }
+    let work = from_edges(n, &edges).map_err(MuleError::Graph)?;
+    let new_total = checked_edge_total(base.original_edges, ledger.edge_delta)?;
+
+    let lists = Components::compute(&work).vertex_lists();
+    let mut entries: Vec<(VertexId, Entry)> = Vec::new();
+    for (j, bc) in base.components.iter().enumerate() {
+        if !comp_touched[j] {
+            entries.push((bc.to_original[0], Entry::Keep(j)));
+        }
+    }
+    let mut isolated: Vec<VertexId> = base
+        .isolated
+        .iter()
+        .copied()
+        .filter(|&v| !vertex_touched[v as usize])
+        .collect();
+    let mut fresh_subs: Vec<Option<(UncertainGraph, Vec<VertexId>)>> = Vec::new();
+    for list in &lists {
+        if list.len() >= 2 {
+            entries.push((list[0], Entry::Fresh(fresh_subs.len())));
+            fresh_subs.push(Some(
+                subgraph::induced_subgraph(&work, list).map_err(MuleError::Graph)?,
+            ));
+        } else if vertex_touched[list[0] as usize] {
+            isolated.push(list[0]);
+        }
+    }
+    entries.sort_unstable_by_key(|&(first, _)| first);
+    isolated.sort_unstable();
+
+    let mut old: Vec<Option<BaseComponent>> = base.components.drain(..).map(Some).collect();
+    let mut components: Vec<BaseComponent> = Vec::with_capacity(entries.len());
+    for (_, e) in &entries {
+        match *e {
+            Entry::Keep(j) => {
+                components.push(old[j].take().expect("each untouched component moves once"));
+            }
+            Entry::Fresh(li) => {
+                let (sub, map) = fresh_subs[li]
+                    .take()
+                    .expect("every size->=2 list was induced above");
+                let min_prob = sub.min_edge_prob().expect("a size->=2 component has edges");
+                components.push(BaseComponent {
+                    kernel: Kernel::wrap(sub, floor, &base.config.mule),
+                    to_original: map,
+                    min_prob,
+                });
+            }
+            Entry::Lone => unreachable!("bases file isolates separately"),
+        }
+    }
+    base.components = components;
+    base.isolated = isolated;
+    base.original_edges = new_total;
+    Ok(())
+}
+
+/// `total + delta` with underflow surfaced as a typed error (cannot
+/// actually trigger — deletes are validated against visible edges — but
+/// the arithmetic stays checked rather than panicking).
+fn checked_edge_total(total: usize, delta: isize) -> Result<usize, MuleError> {
+    let new = total as i128 + delta as i128;
+    usize::try_from(new).map_err(|_| {
+        MuleError::Delta(format!(
+            "edge-count accounting underflow: {total} {delta:+}"
+        ))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g5() -> UncertainGraph {
+        from_edges(5, &[(0, 1, 0.9), (1, 2, 0.8), (3, 4, 0.7)]).unwrap()
+    }
+
+    #[test]
+    fn codec_round_trip() {
+        let d = GraphDelta::new()
+            .insert(0, 3, 0.5)
+            .delete(1, 2)
+            .set_prob(3, 4, 0.25);
+        let bytes = d.to_bytes();
+        assert_eq!(bytes.len(), 8 + 17 * 3);
+        assert_eq!(GraphDelta::from_bytes(&bytes).unwrap(), d);
+    }
+
+    #[test]
+    fn codec_rejects_structural_damage() {
+        let d = GraphDelta::new().insert(0, 3, 0.5);
+        let bytes = d.to_bytes();
+        for bad in [
+            &bytes[..7],               // short count field
+            &bytes[..bytes.len() - 1], // truncated op
+        ] {
+            assert!(GraphDelta::from_bytes(bad).is_err());
+        }
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(GraphDelta::from_bytes(&long).is_err(), "trailing garbage");
+        let mut bad_tag = bytes.clone();
+        bad_tag[8] = 9;
+        assert!(GraphDelta::from_bytes(&bad_tag).is_err());
+        let mut dirty_delete = GraphDelta::new().delete(0, 1).to_bytes();
+        dirty_delete[9 + 8] = 1; // non-zero prob bits on a delete
+        assert!(GraphDelta::from_bytes(&dirty_delete).is_err());
+    }
+
+    #[test]
+    fn parse_text_round_trip_and_errors() {
+        let d = GraphDelta::parse_text("# churn batch\n+ 0 3 0.5\n\n- 1 2\n= 3 4 0.25\n").unwrap();
+        assert_eq!(
+            d,
+            GraphDelta::new()
+                .insert(0, 3, 0.5)
+                .delete(1, 2)
+                .set_prob(3, 4, 0.25)
+        );
+        for bad in [
+            "? 0 1 0.5",
+            "+ 0 1",
+            "+ 0 x 0.5",
+            "- 0 1 0.5 extra",
+            "+ 0 1 blue",
+        ] {
+            let err = GraphDelta::parse_text(bad).unwrap_err();
+            assert!(err.to_string().contains("line 1"), "{err}");
+        }
+    }
+
+    #[test]
+    fn ledger_enforces_visibility_and_sequencing() {
+        let g = g5();
+        let vis = |u: VertexId, v: VertexId| g.edge_prob_raw(u, v);
+        let n = 5;
+        // Insert of an existing edge.
+        assert!(run_ledger(&GraphDelta::new().insert(0, 1, 0.5), n, "t", vis).is_err());
+        // Delete / set of an absent edge.
+        assert!(run_ledger(&GraphDelta::new().delete(0, 4), n, "t", vis).is_err());
+        assert!(run_ledger(&GraphDelta::new().set_prob(0, 4, 0.5), n, "t", vis).is_err());
+        // Self-loop and out-of-range.
+        assert!(run_ledger(&GraphDelta::new().delete(1, 1), n, "t", vis).is_err());
+        assert!(run_ledger(&GraphDelta::new().insert(0, 9, 0.5), n, "t", vis).is_err());
+        // Bad probabilities.
+        for p in [0.0, -0.5, 1.5, f64::NAN, f64::INFINITY] {
+            assert!(run_ledger(&GraphDelta::new().insert(0, 3, p), n, "t", vis).is_err());
+        }
+        // Sequential semantics: insert → set → delete → re-insert.
+        let l = run_ledger(
+            &GraphDelta::new()
+                .insert(0, 3, 0.5)
+                .set_prob(0, 3, 0.6)
+                .delete(0, 3)
+                .insert(3, 0, 0.7),
+            n,
+            "t",
+            vis,
+        )
+        .unwrap();
+        assert_eq!(l.edge_delta, 1);
+        assert_eq!(l.known[&(0, 3)], Some(0.7));
+        // Normalized endpoints: (4, 3) addresses edge (3, 4).
+        let l = run_ledger(&GraphDelta::new().delete(4, 3), n, "t", vis).unwrap();
+        assert_eq!(l.edge_delta, -1);
+        assert_eq!(l.known[&(3, 4)], None);
+    }
+}

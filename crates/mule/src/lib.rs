@@ -65,7 +65,10 @@
 //! paths, byte-identical to the pipeline on default settings (pinned by
 //! `tests/pipeline_equality.rs`).
 //!
-//! Extensions beyond the paper: [`mod@prepare`] (the pipeline), [`parallel`]
+//! Extensions beyond the paper: [`mod@prepare`] (the pipeline),
+//! [`mod@delta`] (dynamic graphs — typed mutation batches folded into
+//! live sessions and catalogs component-locally, byte-identical to a
+//! fresh prepare of the mutated graph), [`parallel`]
 //! (work-stealing root-subtree fan-out, seeded per component),
 //! [`verify`] (independent output checking), [`kcore`] (expected-degree
 //! core decomposition — the paper's future-work direction), [`worlds`]
@@ -98,6 +101,7 @@
 
 pub mod bounds;
 pub mod catalog;
+pub mod delta;
 pub mod deterministic;
 pub mod dfs_noip;
 pub mod enumerate;
@@ -118,6 +122,7 @@ pub mod verify;
 pub mod worlds;
 pub mod zou_topk;
 
+pub use delta::{DeltaOp, GraphDelta};
 pub use dfs_noip::DfsNoip;
 pub use enumerate::{
     count_maximal_cliques, enumerate_maximal_cliques, Candidate, IndexMode, Mule, MuleConfig,
@@ -132,3 +137,4 @@ pub use prepare::{
 pub use query::{Base, Cliques, Engine, MuleError, Prepared, Query};
 pub use sinks::{CliqueSink, Control};
 pub use stats::EnumerationStats;
+pub use worlds::{maximality_frequency, sampled_world_clique_stats, WorldCliqueStats};

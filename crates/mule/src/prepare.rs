@@ -257,25 +257,29 @@ pub(crate) enum Unit {
 /// the same prepared instance can be enumerated repeatedly
 /// (allocation-free in steady state, like [`crate::Mule`]).
 pub struct PreparedInstance {
-    alpha: f64,
-    min_size: usize,
-    original_n: usize,
-    components: Vec<PreparedComponent>,
+    pub(crate) alpha: f64,
+    pub(crate) min_size: usize,
+    pub(crate) original_n: usize,
+    /// Name of the original graph, carried so incremental maintenance
+    /// ([`crate::delta`]) can rebuild working graphs whose name matches
+    /// what a fresh [`prepare`] of the mutated graph would produce.
+    pub(crate) name: String,
+    pub(crate) components: Vec<PreparedComponent>,
     /// Ascending original ids of isolated vertices (empty when
     /// `min_size ≥ 2`).
-    singletons: Vec<VertexId>,
+    pub(crate) singletons: Vec<VertexId>,
     /// Root subtrees and singletons in ascending original-id order —
     /// the direct search's emission order.
-    schedule: Vec<Unit>,
-    report: PrepareReport,
+    pub(crate) schedule: Vec<Unit>,
+    pub(crate) report: PrepareReport,
     /// The configuration the instance was prepared under — retained so
     /// the instance can be persisted ([`crate::catalog`]) and reopened
     /// with bit-identical kernels.
-    config: PrepareConfig,
-    stats: EnumerationStats,
-    arenas: DepthArenas,
-    clique_buf: Vec<VertexId>,
-    remap_scratch: Vec<VertexId>,
+    pub(crate) config: PrepareConfig,
+    pub(crate) stats: EnumerationStats,
+    pub(crate) arenas: DepthArenas,
+    pub(crate) clique_buf: Vec<VertexId>,
+    pub(crate) remap_scratch: Vec<VertexId>,
 }
 
 /// Run every pipeline stage over `g` and build the prepared instance.
@@ -286,17 +290,36 @@ pub fn prepare(
 ) -> Result<PreparedInstance, GraphError> {
     PIPELINE_RUNS.fetch_add(1, Ordering::Relaxed);
     let alpha = UncertainGraph::validate_alpha(alpha)?.get();
-    let t = config.min_size;
-    let n = g.num_vertices();
     let mut report = PrepareReport {
-        original_vertices: n,
+        original_vertices: g.num_vertices(),
         original_edges: g.num_edges(),
         ..Default::default()
     };
 
     // Stage 1: α-edge pruning (Observation 3).
-    let mut work = subgraph::prune_below_alpha(g, alpha)?;
+    let work = subgraph::prune_below_alpha(g, alpha)?;
     report.alpha_pruned_edges = g.num_edges() - work.num_edges();
+
+    finish_pipeline(work, alpha, config, report)
+}
+
+/// Stages 2–4 of the pipeline plus instance assembly, split out of
+/// [`prepare`] so incremental maintenance ([`crate::delta`]) can re-run
+/// the α-independent tail on an already α-pruned working graph and be
+/// byte-identical to a fresh prepare **by construction**. `work` must be
+/// the stage-1 output (all edge probabilities ≥ `alpha`), `report` must
+/// have its `original_*` and `alpha_pruned_edges` fields filled in.
+/// Does not bump [`pipeline_invocations`]; callers that constitute a
+/// full pipeline run do that themselves.
+pub(crate) fn finish_pipeline(
+    mut work: UncertainGraph,
+    alpha: f64,
+    config: &PrepareConfig,
+    mut report: PrepareReport,
+) -> Result<PreparedInstance, GraphError> {
+    let t = config.min_size;
+    let n = work.num_vertices();
+    let name = work.name().to_string();
 
     // Stage 2: expected-degree (t−1)·α-core filter.
     if t >= 2 && config.core_filter && work.num_edges() > 0 {
@@ -413,6 +436,7 @@ pub fn prepare(
         alpha,
         min_size: t,
         original_n: n,
+        name,
         components,
         singletons,
         schedule,
@@ -475,10 +499,12 @@ impl PreparedInstance {
     /// has already validated every cross-part invariant the pipeline
     /// would have established; crucially, this constructor does **not**
     /// touch [`PIPELINE_RUNS`], because no pipeline stage runs.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn from_parts(
         alpha: f64,
         config: PrepareConfig,
         original_n: usize,
+        name: String,
         components: Vec<PreparedComponent>,
         singletons: Vec<VertexId>,
         schedule: Vec<Unit>,
@@ -488,6 +514,7 @@ impl PreparedInstance {
             alpha,
             min_size: config.min_size,
             original_n,
+            name,
             components,
             singletons,
             schedule,
@@ -632,9 +659,10 @@ impl PreparedInstance {
 /// The global emission schedule: units in ascending original-id order
 /// (component-internal ids are already ascending in original order, so
 /// slotting per original vertex interleaves components exactly as the
-/// direct root loop would). Shared by [`prepare`] and
-/// `PreparedBase::refine` so the two construction paths cannot drift.
-fn build_schedule(
+/// direct root loop would). Shared by [`prepare`],
+/// `PreparedBase::refine`, and [`crate::delta`] so the construction
+/// paths cannot drift.
+pub(crate) fn build_schedule(
     n: usize,
     singletons: &[VertexId],
     components: &[PreparedComponent],
@@ -821,17 +849,17 @@ impl BaseComponent {
 /// is **shared** into the refined view as two `Arc` clones (graph +
 /// index) with a re-stamped α — zero copying, zero index rebuild.
 pub struct PreparedBase {
-    floor: f64,
-    original_n: usize,
-    original_edges: usize,
+    pub(crate) floor: f64,
+    pub(crate) original_n: usize,
+    pub(crate) original_edges: usize,
     /// The original graph's dataset name — re-attached when a refinement
     /// collapses to the whole-graph identity path, whose kernel graph
     /// carries the input name (component subgraphs carry `""`).
-    name: String,
-    config: PrepareConfig,
-    components: Vec<BaseComponent>,
+    pub(crate) name: String,
+    pub(crate) config: PrepareConfig,
+    pub(crate) components: Vec<BaseComponent>,
     /// Ascending original ids of vertices isolated at the floor.
-    isolated: Vec<VertexId>,
+    pub(crate) isolated: Vec<VertexId>,
 }
 
 /// Run the α-independent pipeline stages over `g` at `floor` and build
@@ -1243,6 +1271,7 @@ impl PreparedBase {
             alpha,
             self.config.clone(),
             n,
+            self.name.clone(),
             components,
             singletons,
             schedule,

@@ -173,6 +173,7 @@
 //! # }
 //! ```
 
+use crate::delta::GraphDelta;
 use crate::dfs_noip::DfsNoip;
 use crate::enumerate::{IndexMode, MuleConfig};
 use crate::limits::{CancelToken, Interrupt, LimitSpec, RunLimits};
@@ -244,6 +245,13 @@ pub enum MuleError {
         /// The floor the base artifact was pruned at.
         floor: f64,
     },
+    /// A [`crate::GraphDelta`] batch could not be applied — an op
+    /// references an edge the artifact cannot see at its threshold, an
+    /// endpoint is out of range, a serialized delta is malformed, or
+    /// the artifact does not retain enough of the pruned graph for an
+    /// exact incremental update (see [`mod@crate::delta`]). The
+    /// artifact is left unchanged.
+    Delta(String),
 }
 
 impl fmt::Display for MuleError {
@@ -280,6 +288,7 @@ impl fmt::Display for MuleError {
                 "alpha {alpha} is below the base artifact's floor {floor}: \
                  the base is missing sub-floor edges this query would need"
             ),
+            MuleError::Delta(msg) => write!(f, "delta rejected: {msg}"),
         }
     }
 }
@@ -765,6 +774,19 @@ impl Base {
         })
     }
 
+    /// Fold a [`GraphDelta`] batch into the resident base, re-running
+    /// the floor-prune/shard work only on the components an op touches
+    /// (untouched components carry over byte-for-byte). The result is
+    /// byte-identical to a fresh [`Query::prepare_base`] of the mutated
+    /// graph; bases retain every edge at their floor, so — unlike
+    /// [`Prepared::apply`] — this never needs a precondition. On error
+    /// ([`MuleError::Delta`]) the base is unchanged. Refined views
+    /// derived *before* the apply still describe the old graph: derive
+    /// them again. See [`mod@crate::delta`].
+    pub fn apply(&mut self, delta: &GraphDelta) -> Result<(), MuleError> {
+        crate::delta::apply_base(&mut self.base, delta)
+    }
+
     /// Persist the base as a flagged-UGQ1 catalog file (see
     /// [`crate::catalog`] for the byte layout). A later
     /// [`Query::open_base`] rebuilds an equivalent base that refines
@@ -859,6 +881,40 @@ impl Prepared {
                 .collect();
         }
         self.engine = engine;
+    }
+
+    /// Fold a [`GraphDelta`] batch into the live session: re-run the
+    /// pipeline stages only on the touched components, share every
+    /// untouched component's bytes, and rebuild the emission schedule.
+    /// The resulting session is byte-identical — cliques, order,
+    /// probability bits, report — to a fresh
+    /// `Query::new(&g').alpha(α).prepare()` of the mutated graph `g'`
+    /// (pinned by `tests/delta_equivalence.rs`), and adds **zero**
+    /// pipeline invocations.
+    ///
+    /// Requires that the instance still retains the full α-pruned
+    /// graph: its own report must show zero core-filter/peel losses and
+    /// (for sharded instances) zero dropped-small components — always
+    /// true when `min_size ≤ 1`. Otherwise, and on any invalid op
+    /// (self-loop, out-of-range vertex, edge not visible at α), this
+    /// returns a typed [`MuleError::Delta`] and the session is
+    /// unchanged. See [`mod@crate::delta`] for the soundness argument
+    /// and the representability contract.
+    pub fn apply(&mut self, delta: &GraphDelta) -> Result<(), MuleError> {
+        crate::delta::apply_instance(&mut self.inst, delta)?;
+        self.stats = EnumerationStats::new();
+        // Engine state wraps per-component graphs that may just have
+        // changed: rebuild it for Noip sessions, drop it otherwise (the
+        // same lazy path `set_engine` uses).
+        self.noip.clear();
+        if self.engine == Engine::Noip {
+            self.noip = self
+                .inst
+                .components()
+                .map(|(sub, _)| DfsNoip::from_pruned(sub.clone(), self.inst.alpha()))
+                .collect();
+        }
+        Ok(())
     }
 
     /// Retune the per-execution wall-clock deadline on a live session

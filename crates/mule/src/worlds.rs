@@ -41,6 +41,24 @@ pub struct WorldCliqueStats {
 /// Sample `worlds` deterministic graphs and enumerate each one's maximal
 /// cliques with Bron–Kerbosch. Exponential-ish per world in the worst
 /// case — intended for small/medium graphs and moderate sample counts.
+///
+/// Deterministic for a fixed graph, world count and RNG seed.
+///
+/// ```
+/// use mule::sampled_world_clique_stats;
+/// use rand::{rngs::SmallRng, SeedableRng};
+/// use ugraph_core::builder::from_edges;
+///
+/// // A solid triangle plus a coin-flip pendant edge.
+/// let g = from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0), (2, 3, 0.5)]).unwrap();
+/// let stats = sampled_world_clique_stats(&g, 200, &mut SmallRng::seed_from_u64(7));
+/// assert_eq!(stats.worlds, 200);
+/// // Every world has exactly two maximal cliques: the triangle, plus
+/// // either the pendant edge {2,3} or the isolated singleton {3}.
+/// assert_eq!((stats.min_count, stats.max_count), (2, 2));
+/// assert_eq!(stats.mean_count, 2.0);
+/// assert_eq!(stats.max_size, 3);
+/// ```
 pub fn sampled_world_clique_stats<R: Rng + ?Sized>(
     g: &UncertainGraph,
     worlds: usize,
@@ -90,6 +108,22 @@ pub fn sampled_world_clique_stats<R: Rng + ?Sized>(
 /// estimates the per-world maximality probability, which has no closed
 /// product form (it couples `C`'s edges with all potential extender
 /// edges) — sampling is the honest way to get it.
+///
+/// ```
+/// use mule::maximality_frequency;
+/// use rand::{rngs::SmallRng, SeedableRng};
+/// use ugraph_core::builder::from_edges;
+///
+/// // Edge {0,1} at p = 0.9 under a p = 0.9 apex vertex 2.
+/// let g = from_edges(3, &[(0, 1, 0.9), (0, 2, 0.9), (1, 2, 0.9)]).unwrap();
+/// let (clq, max) = maximality_frequency(&g, &[0, 1], 50_000, &mut SmallRng::seed_from_u64(7));
+/// // clq(C, G) = 0.9, but {0,1} is only *maximal* when the apex fails
+/// // to materialize: 0.9 · (1 − 0.81) ≈ 0.171 — the gap the paper's
+/// // threshold-based maximality definition sidesteps.
+/// assert!((clq - 0.9).abs() < 0.01);
+/// assert!((max - 0.171).abs() < 0.01);
+/// assert!(max < clq);
+/// ```
 pub fn maximality_frequency<R: Rng + ?Sized>(
     g: &UncertainGraph,
     c: &[VertexId],
@@ -191,6 +225,43 @@ mod tests {
         let (clq, max) = maximality_frequency(&g, &[], 100, &mut rng);
         assert_eq!(clq, 1.0);
         assert_eq!(max, 0.0);
+    }
+
+    /// Seed-pinned regression: the sampling path is part of the public
+    /// API surface (prelude-exported), so its exact outputs for a fixed
+    /// seed are a contract — any change to the world-sampling order,
+    /// the Bron–Kerbosch traversal, or the aggregation arithmetic shows
+    /// up here as a diff, not as silent drift.
+    #[test]
+    fn seed_pinned_outputs_are_stable() {
+        let g = from_edges(
+            6,
+            &[
+                (0, 1, 0.9),
+                (1, 2, 0.8),
+                (0, 2, 0.7),
+                (2, 3, 0.5),
+                (3, 4, 0.6),
+                (4, 5, 0.4),
+                (3, 5, 0.3),
+            ],
+        )
+        .unwrap();
+
+        let s = sampled_world_clique_stats(&g, 64, &mut SmallRng::seed_from_u64(42));
+        assert_eq!(s.worlds, 64);
+        assert_eq!((s.min_count, s.max_count), (3, 5));
+        assert_eq!(s.mean_count.to_bits(), 4.046875f64.to_bits());
+        assert_eq!(s.mean_max_size.to_bits(), 2.453125f64.to_bits());
+        assert_eq!(s.max_size, 3);
+
+        // The triangle {0,1,2} has no skeleton extender (vertex 3 only
+        // reaches 2), so it is maximal in exactly the worlds where it
+        // is a clique.
+        let (clq, max) =
+            maximality_frequency(&g, &[0, 1, 2], 4096, &mut SmallRng::seed_from_u64(42));
+        assert_eq!(clq.to_bits(), (2047.0f64 / 4096.0).to_bits());
+        assert_eq!(max.to_bits(), clq.to_bits());
     }
 
     #[test]

@@ -482,3 +482,165 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Appended delta sections: the same two threat models over `delta.{i}`
+// ---------------------------------------------------------------------------
+
+/// The fixture with one committed mutation batch appended: insert the
+/// bridge 3–7 and drop a triangle edge. Both ops replay on open.
+fn delta_fixture_bytes() -> Vec<u8> {
+    let delta = mule::GraphDelta::new().insert(3, 7, 0.9).delete(4, 5);
+    let (bytes, pending) =
+        mule::catalog::append_delta_bytes(Bytes::from(fixture_bytes()), &delta).unwrap();
+    assert_eq!(pending, 1);
+    bytes
+}
+
+#[test]
+fn delta_every_single_byte_flip_is_rejected() {
+    let good = delta_fixture_bytes();
+    assert!(
+        Query::open_bytes(good.clone()).is_ok(),
+        "delta fixture must open"
+    );
+    for i in 0..good.len() {
+        let mut bad = good.clone();
+        bad[i] ^= 0xFF;
+        match Query::open_bytes(bad) {
+            Ok(_) => panic!("flip at byte {i} went undetected"),
+            Err(MuleError::Catalog(_)) => {}
+            Err(other) => panic!("flip at byte {i}: wrong error variant: {other}"),
+        }
+    }
+}
+
+#[test]
+fn delta_truncation_at_every_section_boundary_is_rejected() {
+    let good = delta_fixture_bytes();
+    let cat = Catalog::from_bytes(Bytes::from(good.clone())).unwrap();
+    let delta_off = cat
+        .sections()
+        .iter()
+        .find(|e| e.name == "delta.0")
+        .expect("delta.0 in TOC")
+        .offset as usize;
+    // Every byte boundary of the delta payload plus the file tail.
+    for cut in (delta_off..good.len()).chain([good.len() - 1]) {
+        assert_rejected(good[..cut].to_vec(), &format!("truncation at {cut}"));
+    }
+}
+
+#[test]
+fn forged_delta_corruption_is_rejected() {
+    let good = delta_fixture_bytes();
+
+    // Unknown op tag (checksums re-sealed).
+    let forged = reforge(&good, |sections| {
+        let (_, payload) = sections
+            .iter_mut()
+            .find(|(name, _)| name == "delta.0")
+            .unwrap();
+        payload[8] = 9; // first op's tag byte
+    });
+    let msg = assert_rejected(forged, "bad op tag");
+    assert!(msg.contains("unknown tag"), "{msg}");
+
+    // Count field lying about the payload length.
+    let forged = reforge(&good, |sections| {
+        let (_, payload) = sections
+            .iter_mut()
+            .find(|(name, _)| name == "delta.0")
+            .unwrap();
+        payload[..8].copy_from_slice(&100u64.to_le_bytes());
+    });
+    let msg = assert_rejected(forged, "lying count");
+    assert!(msg.contains("does not match op count"), "{msg}");
+
+    // A delete op smuggling non-zero probability bits.
+    let forged = reforge(&good, |sections| {
+        let (_, payload) = sections
+            .iter_mut()
+            .find(|(name, _)| name == "delta.0")
+            .unwrap();
+        // Second op (the delete) starts at 8 + 17; its prob bits at +9.
+        payload[8 + 17 + 9] = 1;
+    });
+    let msg = assert_rejected(forged, "delete with prob bits");
+    assert!(msg.contains("non-zero prob bits"), "{msg}");
+
+    // A payload shorter than its count field.
+    let forged = reforge(&good, |sections| {
+        let (_, payload) = sections
+            .iter_mut()
+            .find(|(name, _)| name == "delta.0")
+            .unwrap();
+        *payload = vec![1, 2, 3];
+    });
+    let msg = assert_rejected(forged, "short payload");
+    assert!(
+        msg.contains("count field") || msg.contains("op count"),
+        "{msg}"
+    );
+
+    // Numbering gap: delta.0 renamed delta.1.
+    let forged = reforge(&good, |sections| {
+        for (name, _) in sections.iter_mut() {
+            if name == "delta.0" {
+                *name = "delta.1".to_string();
+            }
+        }
+    });
+    let msg = assert_rejected(forged, "numbering gap");
+    assert!(msg.contains("out of sequence"), "{msg}");
+
+    // A delta section shuffled in front of the core sections.
+    let forged = reforge(&good, |sections| {
+        let i = sections.iter().position(|(n, _)| n == "delta.0").unwrap();
+        let sec = sections.remove(i);
+        sections.insert(0, sec);
+    });
+    assert_rejected(forged, "delta before core");
+
+    // A checksum-valid batch that does not replay (deletes an edge the
+    // core artifact never had): append proves applicability before it
+    // writes, so this file can only be forged — typed corruption.
+    let forged = reforge(&fixture_bytes(), |sections| {
+        let bad = mule::GraphDelta::new().delete(0, 8);
+        sections.push(("delta.0".to_string(), bad.to_bytes()));
+    });
+    let msg = assert_rejected(forged, "unreplayable delta");
+    assert!(msg.contains("delta rejected"), "{msg}");
+}
+
+#[test]
+fn base_forged_delta_corruption_is_rejected() {
+    // The α-base replay path wraps the same validation: an appended
+    // batch that cannot replay is typed corruption on open.
+    let good = base_fixture_bytes();
+    let delta = mule::GraphDelta::new().insert(3, 7, 0.9);
+    let (with_delta, pending) =
+        mule::catalog::append_delta_bytes(Bytes::from(good.clone()), &delta).unwrap();
+    assert_eq!(pending, 1);
+    assert!(
+        Query::open_base_bytes(with_delta.clone()).is_ok(),
+        "base delta fixture must open"
+    );
+
+    let forged = reforge(&with_delta, |sections| {
+        let (_, payload) = sections
+            .iter_mut()
+            .find(|(name, _)| name == "delta.0")
+            .unwrap();
+        payload[8] = 9;
+    });
+    let msg = assert_base_rejected(forged, "bad base op tag");
+    assert!(msg.contains("unknown tag"), "{msg}");
+
+    let forged = reforge(&good, |sections| {
+        let bad = mule::GraphDelta::new().delete(0, 8);
+        sections.push(("delta.0".to_string(), bad.to_bytes()));
+    });
+    let msg = assert_base_rejected(forged, "unreplayable base delta");
+    assert!(msg.contains("delta rejected"), "{msg}");
+}

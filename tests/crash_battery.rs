@@ -337,3 +337,183 @@ fn crashed_first_save_leaves_no_catalog_and_open_recovers() {
 
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// First vertex pair with no edge in `g` — a representable insert.
+fn absent_pair(g: &UncertainGraph) -> (u32, u32) {
+    let n = g.num_vertices() as u32;
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if g.edge_prob_raw(u, v).is_none() {
+                return (u, v);
+            }
+        }
+    }
+    panic!("fixture graph is complete");
+}
+
+/// A delta append interrupted at **every byte boundary** must leave the
+/// committed catalog byte-identical — the pending batch simply never
+/// happened — and a clean retry must commit the exact reference bytes.
+#[test]
+fn delta_append_survives_a_fault_at_every_byte_boundary() {
+    let dir = battery_dir("delta-append");
+    let path = dir.join("catalog.ugq");
+
+    let g = random_graph(19, 11, 0.3);
+    let prepared = Query::new(&g).alpha(0.4).prepare().unwrap();
+    prepared.save(&path).unwrap();
+    let old_bytes = std::fs::read(&path).unwrap();
+    let old_answers = observe(&mut Query::open(&path).unwrap());
+
+    // An always-representable batch: insert the first absent pair.
+    let (bu, bv) = absent_pair(&g);
+    let delta = mule::GraphDelta::new().insert(bu, bv, 0.9);
+
+    // Reference bytes of an unfaulted append.
+    let ref_path = dir.join("reference.ugq");
+    std::fs::write(&ref_path, &old_bytes).unwrap();
+    assert_eq!(mule::catalog::append_delta(&ref_path, &delta).unwrap(), 1);
+    let new_bytes = std::fs::read(&ref_path).unwrap();
+    assert_ne!(new_bytes, old_bytes);
+    let len = new_bytes.len();
+
+    let append = |p: &Path| mule::catalog::append_delta(p, &delta).map(|_| ());
+    let step = stride();
+    for cut in (0..len).step_by(step) {
+        let deep = cut == 0 || cut + step >= len || (cut / step).is_multiple_of(64);
+        for plan in [
+            FaultPlan::FailAtByte(cut as u64),
+            FaultPlan::Enospc(cut as u64),
+            FaultPlan::CrashAfterPrefix(cut as u64),
+        ] {
+            assert_save_dies_cleanly(plan, &append, &path, &old_bytes, &old_answers, deep);
+        }
+    }
+    // Death between the last write and the rename.
+    assert_save_dies_cleanly(
+        FaultPlan::CrashAfterPrefix(len as u64 + 1),
+        &append,
+        &path,
+        &old_bytes,
+        &old_answers,
+        true,
+    );
+    assert_save_dies_cleanly(
+        FaultPlan::FsyncFail,
+        &append,
+        &path,
+        &old_bytes,
+        &old_answers,
+        true,
+    );
+
+    // The clean retry commits the reference image and replays on open.
+    assert_eq!(mule::catalog::append_delta(&path, &delta).unwrap(), 1);
+    assert_eq!(std::fs::read(&path).unwrap(), new_bytes);
+    assert_eq!(mule::catalog::pending_deltas(&path).unwrap(), 1);
+    let mut g2 = ugraph_core::GraphBuilder::new(g.num_vertices());
+    for u in 0..g.num_vertices() as u32 {
+        for v in (u + 1)..g.num_vertices() as u32 {
+            if let Some(p) = g.edge_prob_raw(u, v) {
+                g2.add_edge(u, v, p).unwrap();
+            }
+        }
+    }
+    g2.add_edge(bu, bv, 0.9).unwrap();
+    let mut fresh = Query::new(&g2.build()).alpha(0.4).prepare().unwrap();
+    assert_eq!(
+        observe(&mut Query::open(&path).unwrap()),
+        observe(&mut fresh),
+        "reopen-with-pending-delta must serve the mutated graph"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Compaction interrupted at every (strided) byte boundary: the file
+/// keeps its pending `delta.{i}` sections — still replayable, answers
+/// unchanged — and the clean retry folds them byte-exactly.
+#[test]
+fn compaction_survives_faulted_boundaries() {
+    let dir = battery_dir("compact");
+    let path = dir.join("catalog.ugq");
+
+    let g = random_graph(23, 11, 0.3);
+    let (bu, bv) = absent_pair(&g);
+    Query::new(&g)
+        .alpha(0.4)
+        .prepare()
+        .unwrap()
+        .save(&path)
+        .unwrap();
+    let d0 = mule::GraphDelta::new().insert(bu, bv, 0.9);
+    let d1 = mule::GraphDelta::new().set_prob(bu, bv, 0.7);
+    assert_eq!(mule::catalog::append_delta(&path, &d0).unwrap(), 1);
+    assert_eq!(mule::catalog::append_delta(&path, &d1).unwrap(), 2);
+    let old_bytes = std::fs::read(&path).unwrap();
+    let old_answers = observe(&mut Query::open(&path).unwrap());
+
+    let ref_path = dir.join("reference.ugq");
+    std::fs::write(&ref_path, &old_bytes).unwrap();
+    assert_eq!(mule::catalog::compact(&ref_path).unwrap(), 2);
+    let new_bytes = std::fs::read(&ref_path).unwrap();
+    assert_ne!(new_bytes, old_bytes);
+    let len = new_bytes.len();
+
+    let compact = |p: &Path| mule::catalog::compact(p).map(|_| ());
+    // Coarser sweep, same seam as the exhaustive append battery above.
+    let step = stride() * 8;
+    for cut in (0..len).step_by(step) {
+        let deep = cut == 0 || cut + step >= len;
+        assert_save_dies_cleanly(
+            FaultPlan::FailAtByte(cut as u64),
+            &compact,
+            &path,
+            &old_bytes,
+            &old_answers,
+            deep,
+        );
+        assert_save_dies_cleanly(
+            FaultPlan::CrashAfterPrefix(cut as u64),
+            &compact,
+            &path,
+            &old_bytes,
+            &old_answers,
+            deep,
+        );
+        // A faulted compaction must leave the deltas pending.
+        assert_eq!(mule::catalog::pending_deltas(&path).unwrap(), 2);
+    }
+
+    // The clean retry folds both batches; the file is byte-identical to
+    // the reference fold AND to a fresh save of a fresh prepare of the
+    // mutated graph; a second compact is a no-op.
+    assert_eq!(mule::catalog::compact(&path).unwrap(), 2);
+    assert_eq!(std::fs::read(&path).unwrap(), new_bytes);
+    assert_eq!(mule::catalog::pending_deltas(&path).unwrap(), 0);
+    let mut g2 = ugraph_core::GraphBuilder::new(g.num_vertices());
+    for u in 0..g.num_vertices() as u32 {
+        for v in (u + 1)..g.num_vertices() as u32 {
+            if let Some(p) = g.edge_prob_raw(u, v) {
+                g2.add_edge(u, v, p).unwrap();
+            }
+        }
+    }
+    g2.add_edge(bu, bv, 0.7).unwrap();
+    let fresh_path = dir.join("fresh.ugq");
+    Query::new(&g2.build())
+        .alpha(0.4)
+        .prepare()
+        .unwrap()
+        .save(&fresh_path)
+        .unwrap();
+    assert_eq!(
+        std::fs::read(&fresh_path).unwrap(),
+        new_bytes,
+        "compaction must be byte-identical to a fresh save of the mutated graph"
+    );
+    assert_eq!(mule::catalog::compact(&path).unwrap(), 0);
+    assert_eq!(std::fs::read(&path).unwrap(), new_bytes);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
